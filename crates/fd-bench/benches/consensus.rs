@@ -1,0 +1,79 @@
+//! Wall-clock cost of simulating one consensus instance to decision, per
+//! protocol — the §5.4 comparison as a performance benchmark.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fd_bench::scenarios::{jitter_net, run_scripted, stable_fd, Protocol};
+use fd_consensus::ConsensusConfig;
+use fd_sim::Time;
+
+fn bench_consensus(c: &mut Criterion) {
+    let mut g = c.benchmark_group("consensus_to_decision");
+    for proto in Protocol::WITH_PAXOS {
+        for n in [5usize, 15] {
+            let label = match proto {
+                Protocol::Ec => "ec",
+                Protocol::Ct => "ct",
+                Protocol::Mr => "mr",
+                Protocol::Paxos => "paxos",
+            };
+            g.bench_function(format!("{label}_n{n}"), |b| {
+                b.iter(|| {
+                    let r = run_scripted(
+                        proto,
+                        n,
+                        7,
+                        jitter_net(n),
+                        Time::from_secs(5),
+                        ConsensusConfig::default(),
+                        stable_fd,
+                    );
+                    assert!(r.all_decided);
+                    r.decide_time
+                })
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_consensus);
+
+fn bench_replicated_log(c: &mut Criterion) {
+    use fd_consensus::{ConsensusConfig, MultiEc, MultiNode};
+    use fd_detectors::{HeartbeatConfig, HeartbeatDetector, LeaderByFirstNonSuspected};
+    use fd_sim::{ProcessId, WorldBuilder};
+
+    let mut g = c.benchmark_group("replicated_log");
+    for slots in [4u64, 16] {
+        g.bench_function(format!("n5_{slots}_slots"), |b| {
+            b.iter(|| {
+                let n = 5;
+                let mut w = WorldBuilder::new(jitter_net(n)).seed(5).record_trace(false).build(
+                    |pid, n| {
+                        MultiNode::new(
+                            pid,
+                            LeaderByFirstNonSuspected::new(
+                                HeartbeatDetector::new(pid, n, HeartbeatConfig::default()),
+                                n,
+                            ),
+                            MultiEc::new(pid, n, ConsensusConfig::default()),
+                        )
+                    },
+                );
+                for k in 0..slots {
+                    w.interact(ProcessId(0), move |node, ctx| node.submit(ctx, 100 + k));
+                }
+                let done = w.run_until(Time::from_secs(60), |w| {
+                    w.actor(ProcessId(0)).log().len() as u64 >= slots
+                });
+                assert!(done);
+                w.now()
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(log_benches, bench_replicated_log);
+
+criterion_main!(benches, log_benches);

@@ -1,0 +1,76 @@
+//! Simulation cost of one detector-second, per detector family. The
+//! heartbeat detector's n² message load dominates its cost; the leader
+//! detector is the cheapest — mirroring the E4 message-count table.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use fd_core::Standalone;
+use fd_detectors::{
+    FusedConfig, FusedDetector, HeartbeatConfig, HeartbeatDetector, LeaderConfig, LeaderDetector,
+    RingConfig, RingDetector,
+};
+use fd_sim::{LinkModel, NetworkConfig, SimDuration, Time, WorldBuilder};
+
+fn net(n: usize) -> NetworkConfig {
+    NetworkConfig::new(n).with_default(LinkModel::reliable_uniform(
+        SimDuration::from_millis(1),
+        SimDuration::from_millis(3),
+    ))
+}
+
+fn bench_detectors(c: &mut Criterion) {
+    let n = 8usize;
+    let sim = Time::from_secs(1);
+    let mut g = c.benchmark_group("detector_second_n8");
+
+    g.bench_function("heartbeat_ep", |b| {
+        b.iter_batched(
+            || {
+                WorldBuilder::new(net(n)).seed(1).record_trace(false).build(|pid, n| {
+                    Standalone(HeartbeatDetector::new(pid, n, HeartbeatConfig::default()))
+                })
+            },
+            |mut w| w.run_until_time(sim),
+            BatchSize::SmallInput,
+        )
+    });
+    g.bench_function("ring", |b| {
+        b.iter_batched(
+            || {
+                WorldBuilder::new(net(n))
+                    .seed(1)
+                    .record_trace(false)
+                    .build(|pid, n| Standalone(RingDetector::new(pid, n, RingConfig::default())))
+            },
+            |mut w| w.run_until_time(sim),
+            BatchSize::SmallInput,
+        )
+    });
+    g.bench_function("leader", |b| {
+        b.iter_batched(
+            || {
+                WorldBuilder::new(net(n))
+                    .seed(1)
+                    .record_trace(false)
+                    .build(|pid, n| Standalone(LeaderDetector::new(pid, n, LeaderConfig::default())))
+            },
+            |mut w| w.run_until_time(sim),
+            BatchSize::SmallInput,
+        )
+    });
+    g.bench_function("fused", |b| {
+        b.iter_batched(
+            || {
+                WorldBuilder::new(net(n))
+                    .seed(1)
+                    .record_trace(false)
+                    .build(|pid, n| Standalone(FusedDetector::new(pid, n, FusedConfig::default())))
+            },
+            |mut w| w.run_until_time(sim),
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_detectors);
+criterion_main!(benches);

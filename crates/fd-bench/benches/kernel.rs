@@ -1,0 +1,58 @@
+//! Kernel micro-benchmarks: raw event throughput of the discrete-event
+//! simulator, which bounds how large the experiment sweeps can get.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use fd_sim::{
+    Actor, Context, LinkModel, NetworkConfig, ProcessId, SimDuration, SimMessage, Time, TimerTag,
+    WorldBuilder,
+};
+
+struct Pinger;
+
+#[derive(Clone, Debug)]
+struct Ball;
+impl SimMessage for Ball {
+    fn kind(&self) -> &'static str {
+        "ball"
+    }
+}
+
+impl Actor for Pinger {
+    type Msg = Ball;
+    fn on_start(&mut self, ctx: &mut Context<'_, Ball>) {
+        ctx.set_timer(SimDuration::from_millis(1), TimerTag::new(0, 0, 0));
+    }
+    fn on_message(&mut self, ctx: &mut Context<'_, Ball>, from: ProcessId, _m: Ball) {
+        ctx.send(from, Ball);
+    }
+    fn on_timer(&mut self, ctx: &mut Context<'_, Ball>, _t: TimerTag) {
+        ctx.send_to_others(Ball);
+        ctx.set_timer(SimDuration::from_millis(1), TimerTag::new(0, 0, 0));
+    }
+}
+
+fn bench_kernel(c: &mut Criterion) {
+    let mut g = c.benchmark_group("kernel");
+    for n in [2usize, 8, 32] {
+        let sim_ms = 50u64;
+        g.throughput(Throughput::Elements(1));
+        g.bench_function(format!("pingpong_n{n}_{sim_ms}ms"), |b| {
+            b.iter_batched(
+                || {
+                    let net = NetworkConfig::new(n)
+                        .with_default(LinkModel::reliable_const(SimDuration::from_millis(1)));
+                    WorldBuilder::new(net).seed(1).record_trace(false).build(|_, _| Pinger)
+                },
+                |mut w| {
+                    w.run_until_time(Time::from_millis(sim_ms));
+                    w.metrics().events_processed()
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_kernel);
+criterion_main!(benches);

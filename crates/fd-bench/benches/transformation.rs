@@ -1,0 +1,54 @@
+//! Cost of the Fig. 2 ◇C→◇P stack versus the native heartbeat ◇P it
+//! replaces — the §4 "compares favorably" claim as a simulation-cost
+//! benchmark (fewer messages ⇒ fewer events ⇒ faster worlds).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use fd_core::Standalone;
+use fd_detectors::{
+    EcToEp, EcToEpConfig, EcToEpNode, HeartbeatConfig, HeartbeatDetector, LeaderConfig,
+    LeaderDetector,
+};
+use fd_sim::{LinkModel, NetworkConfig, SimDuration, Time, WorldBuilder};
+
+fn net(n: usize) -> NetworkConfig {
+    NetworkConfig::new(n).with_default(LinkModel::reliable_uniform(
+        SimDuration::from_millis(1),
+        SimDuration::from_millis(3),
+    ))
+}
+
+fn bench_transformation(c: &mut Criterion) {
+    let sim = Time::from_secs(1);
+    let mut g = c.benchmark_group("ep_second");
+    for n in [8usize, 16] {
+        g.bench_function(format!("fig2_stack_n{n}"), |b| {
+            b.iter_batched(
+                || {
+                    WorldBuilder::new(net(n)).seed(1).record_trace(false).build(|pid, n| {
+                        EcToEpNode::new(
+                            LeaderDetector::new(pid, n, LeaderConfig::default()),
+                            EcToEp::new(pid, n, EcToEpConfig::default()),
+                        )
+                    })
+                },
+                |mut w| w.run_until_time(sim),
+                BatchSize::SmallInput,
+            )
+        });
+        g.bench_function(format!("heartbeat_ep_n{n}"), |b| {
+            b.iter_batched(
+                || {
+                    WorldBuilder::new(net(n)).seed(1).record_trace(false).build(|pid, n| {
+                        Standalone(HeartbeatDetector::new(pid, n, HeartbeatConfig::default()))
+                    })
+                },
+                |mut w| w.run_until_time(sim),
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_transformation);
+criterion_main!(benches);

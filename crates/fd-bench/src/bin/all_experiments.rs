@@ -1,0 +1,6 @@
+//! Run every experiment (E1–E8) and print all tables.
+fn main() {
+    for table in fd_bench::experiments::run_all() {
+        table.emit();
+    }
+}

@@ -1,0 +1,6 @@
+//! Experiment E10 regenerator — quiescent reliable communication (\[1\]).
+fn main() {
+    for table in fd_bench::experiments::e10::run() {
+        table.emit();
+    }
+}

@@ -1,0 +1,6 @@
+//! Experiment E1 regenerator — see DESIGN.md's experiment index.
+fn main() {
+    for table in fd_bench::experiments::e1::run() {
+        table.emit();
+    }
+}

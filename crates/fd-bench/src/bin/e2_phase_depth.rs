@@ -1,0 +1,6 @@
+//! Experiment E2 regenerator — see DESIGN.md's experiment index.
+fn main() {
+    for table in fd_bench::experiments::e2::run() {
+        table.emit();
+    }
+}

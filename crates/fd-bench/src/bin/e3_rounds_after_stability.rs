@@ -1,0 +1,6 @@
+//! Experiment E3 regenerator — see DESIGN.md's experiment index.
+fn main() {
+    for table in fd_bench::experiments::e3::run() {
+        table.emit();
+    }
+}

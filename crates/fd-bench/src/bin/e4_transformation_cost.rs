@@ -1,0 +1,6 @@
+//! Experiment E4 regenerator — see DESIGN.md's experiment index.
+fn main() {
+    for table in fd_bench::experiments::e4::run() {
+        table.emit();
+    }
+}

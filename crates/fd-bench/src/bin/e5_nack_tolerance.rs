@@ -1,0 +1,6 @@
+//! Experiment E5 regenerator — see DESIGN.md's experiment index.
+fn main() {
+    for table in fd_bench::experiments::e5::run() {
+        table.emit();
+    }
+}

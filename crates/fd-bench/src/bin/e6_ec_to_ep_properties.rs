@@ -1,0 +1,6 @@
+//! Experiment E6 regenerator — see DESIGN.md's experiment index.
+fn main() {
+    for table in fd_bench::experiments::e6::run() {
+        table.emit();
+    }
+}

@@ -1,0 +1,6 @@
+//! Experiment E7 regenerator — see DESIGN.md's experiment index.
+fn main() {
+    for table in fd_bench::experiments::e7::run() {
+        table.emit();
+    }
+}

@@ -1,0 +1,6 @@
+//! Experiment E8 regenerator — see DESIGN.md's experiment index.
+fn main() {
+    for table in fd_bench::experiments::e8::run() {
+        table.emit();
+    }
+}

@@ -1,0 +1,6 @@
+//! Experiment E9 regenerator — ablations over the paper's design space.
+fn main() {
+    for table in fd_bench::experiments::e9::run() {
+        table.emit();
+    }
+}

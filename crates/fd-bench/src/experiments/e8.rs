@@ -1,0 +1,66 @@
+//! E8 — Theorem 2 soundness sweep: the ◇C algorithm solves Uniform
+//! Consensus whenever `f < n/2`, with real (message-based) detectors.
+//!
+//! Method: randomized crash plans (count, victims, times) and seeds over
+//! jittery networks; every run is checked for uniform agreement,
+//! validity, integrity, and termination. The baselines are swept too —
+//! all three algorithms are correct; the paper's contrasts are about
+//! *performance*, which E1–E5 cover.
+
+use crate::scenarios::{jitter_net, Protocol};
+use crate::table::Table;
+use fd_consensus::{ct_node_hb, ec_node_hb, mr_node_leader, run_scenario, Scenario};
+use fd_core::ConsensusRun;
+use fd_sim::{ProcessId, Time};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Run the experiment.
+pub fn run() -> Vec<Table> {
+    let mut t = Table::new(
+        "E8",
+        "Theorem 2 soundness sweep (random crash plans, f < n/2)",
+        &["protocol", "n", "runs", "terminated", "safety violations"],
+    );
+    for proto in Protocol::ALL {
+        for n in [4usize, 5, 7] {
+            let runs = 12u64;
+            let mut terminated = 0u64;
+            let mut violations = 0u64;
+            for seed in 0..runs {
+                let mut rng = SmallRng::seed_from_u64(seed * 1000 + n as u64);
+                let f_max = (n - 1) / 2;
+                let crashes = rng.gen_range(0..=f_max);
+                let mut sc = Scenario::failure_free(n, seed, Time::from_secs(30));
+                let mut victims: Vec<usize> = (0..n).collect();
+                for _ in 0..crashes {
+                    let idx = rng.gen_range(0..victims.len());
+                    let victim = victims.swap_remove(idx);
+                    let at = Time::from_millis(rng.gen_range(0..400));
+                    sc = sc.with_crash(ProcessId(victim), at);
+                }
+                let r = match proto {
+                    Protocol::Ec => run_scenario(jitter_net(n), &sc, ec_node_hb),
+                    Protocol::Ct => run_scenario(jitter_net(n), &sc, ct_node_hb),
+                    Protocol::Mr => run_scenario(jitter_net(n), &sc, mr_node_leader),
+                    Protocol::Paxos => unreachable!("E8 sweeps the paper's three protocols"),
+                };
+                let check = ConsensusRun::new(&r.trace, n);
+                if check.check_safety().is_err() {
+                    violations += 1;
+                } else if r.all_decided && check.check_all().is_ok() {
+                    terminated += 1;
+                }
+            }
+            t.row(vec![
+                proto.label().to_string(),
+                n.to_string(),
+                runs.to_string(),
+                terminated.to_string(),
+                violations.to_string(),
+            ]);
+        }
+    }
+    t.note("expected: terminated == runs and zero safety violations in every row");
+    vec![t]
+}

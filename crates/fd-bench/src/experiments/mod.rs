@@ -1,0 +1,32 @@
+//! One module per experiment in DESIGN.md's index. Every module exposes
+//! `run() -> Vec<Table>`; the `e*` binaries print them, and
+//! EXPERIMENTS.md records paper-vs-measured.
+
+pub mod e1;
+pub mod e2;
+pub mod e3;
+pub mod e4;
+pub mod e5;
+pub mod e6;
+pub mod e7;
+pub mod e8;
+pub mod e9;
+pub mod e10;
+
+use crate::table::Table;
+
+/// Run every experiment, in order (the `all_experiments` binary).
+pub fn run_all() -> Vec<Table> {
+    let mut out = Vec::new();
+    out.extend(e1::run());
+    out.extend(e2::run());
+    out.extend(e3::run());
+    out.extend(e4::run());
+    out.extend(e5::run());
+    out.extend(e6::run());
+    out.extend(e7::run());
+    out.extend(e8::run());
+    out.extend(e9::run());
+    out.extend(e10::run());
+    out
+}

@@ -1,0 +1,134 @@
+//! Result tables: aligned console output plus JSON export.
+
+use serde::Serialize;
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+/// A simple experiment-result table.
+#[derive(Debug, Clone, Serialize)]
+pub struct Table {
+    /// Experiment id, e.g. `"E1"`.
+    pub id: String,
+    /// Human title.
+    pub title: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Rows (already formatted cells).
+    pub rows: Vec<Vec<String>>,
+    /// Free-form notes (paper expectation, caveats).
+    pub notes: Vec<String>,
+}
+
+impl Table {
+    /// Start a table.
+    pub fn new(id: &str, title: &str, headers: &[&str]) -> Table {
+        Table {
+            id: id.to_string(),
+            title: title.to_string(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// Append a row.
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.headers.len(), "row width mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Append a note line.
+    pub fn note(&mut self, s: impl Into<String>) {
+        self.notes.push(s.into());
+    }
+
+    /// Render aligned text.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "== {} — {} ==", self.id, self.title);
+        let line = |cells: &[String], widths: &[usize]| -> String {
+            cells
+                .iter()
+                .zip(widths)
+                .map(|(c, w)| format!("{c:>w$}", w = w))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        let _ = writeln!(out, "{}", line(&self.headers, &widths));
+        let total: usize = widths.iter().sum::<usize>() + 2 * (widths.len() - 1);
+        let _ = writeln!(out, "{}", "-".repeat(total));
+        for row in &self.rows {
+            let _ = writeln!(out, "{}", line(row, &widths));
+        }
+        for n in &self.notes {
+            let _ = writeln!(out, "  note: {n}");
+        }
+        out
+    }
+
+    /// Print to stdout and also dump JSON next to the target dir.
+    pub fn emit(&self) {
+        println!("{}", self.render());
+        if let Err(e) = self.write_json() {
+            eprintln!("(json export failed: {e})");
+        }
+    }
+
+    fn write_json(&self) -> std::io::Result<()> {
+        let dir = PathBuf::from("target/experiments");
+        std::fs::create_dir_all(&dir)?;
+        let path = dir.join(format!("{}.json", self.id.to_lowercase()));
+        std::fs::write(path, serde_json::to_vec_pretty(self).expect("serialize"))?;
+        Ok(())
+    }
+}
+
+/// Format a float compactly.
+pub fn f(x: f64) -> String {
+    if x.abs() >= 100.0 {
+        format!("{x:.0}")
+    } else if x.abs() >= 10.0 {
+        format!("{x:.1}")
+    } else {
+        format!("{x:.2}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_is_aligned() {
+        let mut t = Table::new("EX", "demo", &["n", "value"]);
+        t.row(vec!["3".into(), "12".into()]);
+        t.row(vec!["31".into(), "1".into()]);
+        t.note("a note");
+        let r = t.render();
+        assert!(r.contains("EX — demo"));
+        assert!(r.contains("note: a note"));
+        let lines: Vec<&str> = r.lines().collect();
+        assert_eq!(lines[1].trim_start(), "n  value");
+    }
+
+    #[test]
+    #[should_panic(expected = "width mismatch")]
+    fn row_width_checked() {
+        let mut t = Table::new("EX", "demo", &["a", "b"]);
+        t.row(vec!["1".into()]);
+    }
+
+    #[test]
+    fn float_formatting() {
+        // `{:.0}` uses round-half-to-even.
+        assert_eq!(f(1234.5), "1234");
+        assert_eq!(f(42.25), "42.2");
+        assert_eq!(f(1.234), "1.23");
+    }
+}

@@ -1,0 +1,60 @@
+//! Smoke tests over the experiment harness: every experiment module must
+//! keep producing well-formed tables with the expected row structure.
+//! (The binaries themselves are not exercised by `cargo test`, so this
+//! guards the experiment code against bit-rot; the full sweeps run via
+//! `all_experiments`.)
+
+use fd_bench::experiments;
+
+#[test]
+fn e2_phase_depth_produces_the_protocol_rows() {
+    let tables = experiments::e2::run();
+    assert_eq!(tables.len(), 1);
+    let t = &tables[0];
+    assert_eq!(t.rows.len(), 8, "4 protocols × 2 sizes");
+    // The measured step counts must match the paper's phase counts: the
+    // cells are pre-formatted, so spot-check the ◇C n=5 row.
+    let ec_row = &t.rows[0];
+    assert_eq!(ec_row[3], "5.00", "◇C = 5 communication steps: {ec_row:?}");
+    let mr_row = &t.rows[4];
+    assert_eq!(mr_row[3], "3.00", "MR = 3 communication steps: {mr_row:?}");
+    let paxos_row = &t.rows[6];
+    assert_eq!(paxos_row[3], "5.00", "Paxos measures like ◇C: {paxos_row:?}");
+}
+
+#[test]
+fn e7_accuracy_rows_hold_their_claims() {
+    let tables = experiments::e7::run();
+    let t = &tables[0];
+    assert_eq!(t.rows.len(), 4);
+    for row in &t.rows {
+        assert_eq!(row[3], "yes", "◇C must hold in every construction: {row:?}");
+    }
+    // Ω-grade accuracy row suspects n−1 = 7; the others exactly 2.
+    assert_eq!(t.rows[0][1], "2.00");
+    assert_eq!(t.rows[1][1], "2.00");
+    assert_eq!(t.rows[2][1], "7.00");
+    assert_eq!(t.rows[3][1], "2.00");
+}
+
+#[test]
+fn e9c_gossip_vs_candidate_costs_are_quadratic_vs_linear() {
+    let tables = experiments::e9::run();
+    let t = tables.iter().find(|t| t.id == "E9c").expect("E9c present");
+    // Rows alternate gossip/candidate for n = 4, 8, 16.
+    let parse = |cell: &str| cell.parse::<f64>().unwrap();
+    for pair in t.rows.chunks(2) {
+        let n: f64 = pair[0][1].parse().unwrap();
+        let gossip = parse(&pair[0][2]);
+        let candidate = parse(&pair[1][2]);
+        assert!((gossip - n * (n - 1.0)).abs() <= n, "gossip ≈ n(n−1): {pair:?}");
+        assert!((candidate - (n - 1.0)).abs() <= 1.0, "candidate ≈ n−1: {pair:?}");
+    }
+}
+
+#[test]
+fn table_json_export_works() {
+    let tables = experiments::e2::run();
+    let json = serde_json::to_string(&tables[0]).expect("tables serialize");
+    assert!(json.contains("\"id\":\"E2\""));
+}

@@ -1,0 +1,216 @@
+//! Uniform Reliable Broadcast (URB).
+//!
+//! Strengthens [`ReliableBroadcast`](crate::reliable::ReliableBroadcast)'s
+//! agreement to the *uniform* form: if **any** process (correct or
+//! faulty) URB-delivers `m`, then every correct process eventually
+//! URB-delivers `m`. This is the broadcast-side analogue of the Uniform
+//! Agreement discussion in §5.1 — a faulty process must not be able to
+//! propagate a delivery that the correct majority never sees.
+//!
+//! Implementation: the majority-echo algorithm. Every process echoes each
+//! `(origin, seq)` it sees to everyone; a message is delivered only after
+//! echoes from a majority of processes have been collected. Requires
+//! `f < n/2`, the same assumption as the consensus algorithm.
+
+use fd_core::{Component, ProcessSet, SubCtx};
+use fd_sim::{ProcessId, SimMessage};
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::fmt;
+
+use crate::reliable::Delivery;
+
+/// Wire message of the uniform broadcast (an echo).
+#[derive(Debug, Clone)]
+pub struct UrbMsg<P> {
+    /// Original broadcaster.
+    pub origin: ProcessId,
+    /// Origin-local sequence number.
+    pub seq: u64,
+    /// Payload.
+    pub payload: P,
+}
+
+impl<P: Clone + fmt::Debug + 'static> SimMessage for UrbMsg<P> {
+    fn kind(&self) -> &'static str {
+        "urb.msg"
+    }
+}
+
+/// The majority-echo Uniform Reliable Broadcast module.
+#[derive(Debug)]
+pub struct UniformBroadcast<P> {
+    me: ProcessId,
+    n: usize,
+    /// Echo sets per (origin, seq).
+    echoes: HashMap<(ProcessId, u64), ProcessSet>,
+    /// Pairs we have already echoed ourselves.
+    relayed: HashSet<(ProcessId, u64)>,
+    /// Pairs already delivered.
+    done: HashSet<(ProcessId, u64)>,
+    delivered: VecDeque<Delivery<P>>,
+    next_seq: u64,
+}
+
+impl<P: Clone + fmt::Debug + 'static> UniformBroadcast<P> {
+    /// Create the module for process `me` of `n`.
+    pub fn new(me: ProcessId, n: usize) -> UniformBroadcast<P> {
+        UniformBroadcast {
+            me,
+            n,
+            echoes: HashMap::new(),
+            relayed: HashSet::new(),
+            done: HashSet::new(),
+            delivered: VecDeque::new(),
+            next_seq: 0,
+        }
+    }
+
+    fn majority(&self) -> usize {
+        self.n / 2 + 1
+    }
+
+    /// URB-broadcast `payload`. Returns the assigned sequence number.
+    pub fn broadcast<N: SimMessage>(
+        &mut self,
+        ctx: &mut SubCtx<'_, '_, N, UrbMsg<P>>,
+        payload: P,
+    ) -> u64 {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let key = (self.me, seq);
+        self.relayed.insert(key);
+        self.echoes.entry(key).or_default().insert(self.me);
+        ctx.send_to_others(UrbMsg { origin: self.me, seq, payload: payload.clone() });
+        self.maybe_deliver(key, payload);
+        seq
+    }
+
+    fn maybe_deliver(&mut self, key: (ProcessId, u64), payload: P) {
+        let count = self.echoes.get(&key).map_or(0, |s| s.len());
+        if count >= self.majority() && self.done.insert(key) {
+            self.delivered.push_back(Delivery { origin: key.0, seq: key.1, payload });
+        }
+    }
+
+    /// Drain payloads URB-delivered since the last call.
+    pub fn take_delivered(&mut self) -> Vec<Delivery<P>> {
+        self.delivered.drain(..).collect()
+    }
+
+    /// Number of echoes collected for `(origin, seq)` so far.
+    pub fn echo_count(&self, origin: ProcessId, seq: u64) -> usize {
+        self.echoes.get(&(origin, seq)).map_or(0, |s| s.len())
+    }
+}
+
+impl<P: Clone + fmt::Debug + 'static> Component for UniformBroadcast<P> {
+    type Msg = UrbMsg<P>;
+
+    fn ns(&self) -> u32 {
+        // Shares the broadcast namespace block; a node hosts either RB or
+        // URB, not both (and neither uses timers anyway).
+        10
+    }
+
+    fn on_start<N: SimMessage>(&mut self, _ctx: &mut SubCtx<'_, '_, N, UrbMsg<P>>) {}
+
+    fn on_message<N: SimMessage>(
+        &mut self,
+        ctx: &mut SubCtx<'_, '_, N, UrbMsg<P>>,
+        from: ProcessId,
+        msg: UrbMsg<P>,
+    ) {
+        let key = (msg.origin, msg.seq);
+        let echoes = self.echoes.entry(key).or_default();
+        echoes.insert(from);
+        echoes.insert(msg.origin);
+        if self.relayed.insert(key) {
+            // First sight: add our own echo and forward to everyone.
+            self.echoes.entry(key).or_default().insert(self.me);
+            ctx.send_to_others(msg.clone());
+        }
+        self.maybe_deliver(key, msg.payload);
+    }
+
+    fn on_timer<N: SimMessage>(&mut self, _ctx: &mut SubCtx<'_, '_, N, UrbMsg<P>>, _k: u32, _d: u64) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fd_core::Standalone;
+    use fd_sim::{Context, LinkModel, NetworkConfig, SimDuration, Time, WorldBuilder};
+
+    type Node = Standalone<UniformBroadcast<u64>>;
+
+    fn world(n: usize, seed: u64) -> fd_sim::World<Node> {
+        let net = NetworkConfig::new(n).with_default(LinkModel::reliable_uniform(
+            SimDuration::from_millis(1),
+            SimDuration::from_millis(5),
+        ));
+        WorldBuilder::new(net).seed(seed).build(|pid, n| Standalone(UniformBroadcast::new(pid, n)))
+    }
+
+    fn do_broadcast(w: &mut fd_sim::World<Node>, from: usize, value: u64) {
+        w.interact(ProcessId(from), |node, ctx: &mut Context<'_, UrbMsg<u64>>| {
+            let ns = node.inner().ns();
+            node.inner_mut().broadcast(&mut SubCtx::new(ctx, &std::convert::identity, ns), value);
+        });
+    }
+
+    fn delivered(w: &fd_sim::World<Node>, pid: usize) -> Vec<u64> {
+        w.actor(ProcessId(pid)).inner().delivered.iter().map(|d| d.payload).collect()
+    }
+
+    #[test]
+    fn no_delivery_before_majority() {
+        // n = 5 ⇒ majority = 3. With all links dead, the broadcaster only
+        // ever counts its own echo and must not deliver.
+        let net = NetworkConfig::new(5).with_default(LinkModel::Dead);
+        let mut w = WorldBuilder::new(net).build(|pid, n| Standalone(UniformBroadcast::<u64>::new(pid, n)));
+        do_broadcast(&mut w, 0, 1);
+        w.run_until_time(Time::from_millis(100));
+        assert!(delivered(&w, 0).is_empty(), "delivered without a majority of echoes");
+        assert_eq!(w.actor(ProcessId(0)).inner().echo_count(ProcessId(0), 0), 1);
+    }
+
+    #[test]
+    fn healthy_run_delivers_everywhere() {
+        let n = 5;
+        let mut w = world(n, 91);
+        do_broadcast(&mut w, 2, 42);
+        w.run_until_time(Time::from_millis(200));
+        for i in 0..n {
+            assert_eq!(delivered(&w, i), vec![42], "p{i}");
+        }
+    }
+
+    #[test]
+    fn uniformity_with_crashing_origin() {
+        // The origin crashes after its sends are queued; echoes still
+        // reach a majority, so all correct processes deliver.
+        let n = 5;
+        let net = NetworkConfig::new(n).with_default(LinkModel::reliable_const(SimDuration::from_millis(2)));
+        let mut w = WorldBuilder::new(net)
+            .seed(92)
+            .build(|pid, n| Standalone(UniformBroadcast::<u64>::new(pid, n)));
+        do_broadcast(&mut w, 0, 7);
+        w.schedule_crash(ProcessId(0), Time(1));
+        w.run_until_time(Time::from_millis(200));
+        for i in 1..n {
+            assert_eq!(delivered(&w, i), vec![7], "p{i}");
+        }
+    }
+
+    #[test]
+    fn delivery_is_exactly_once() {
+        let n = 4;
+        let mut w = world(n, 93);
+        do_broadcast(&mut w, 1, 9);
+        do_broadcast(&mut w, 1, 9);
+        w.run_until_time(Time::from_millis(300));
+        for i in 0..n {
+            assert_eq!(delivered(&w, i), vec![9, 9], "two distinct broadcasts, each once (p{i})");
+        }
+    }
+}

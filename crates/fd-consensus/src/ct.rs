@@ -1,0 +1,510 @@
+//! The Chandra–Toueg ◇S consensus baseline (§5.4's main comparison).
+//!
+//! The classic rotating-coordinator algorithm \[6\] with its centralized
+//! communication pattern and **four** phases per round:
+//!
+//! * **Phase 1** — every process sends its timestamped estimate to the
+//!   round's predetermined coordinator `c_r = p_{(r−1) mod n}`;
+//! * **Phase 2** — the coordinator waits for the **first ⌈(n+1)/2⌉**
+//!   estimates, selects the largest-timestamp one and proposes it;
+//! * **Phase 3** — a process adopts the proposition and acks, or nacks
+//!   when it suspects the coordinator;
+//! * **Phase 4** — the coordinator takes the **first ⌈(n+1)/2⌉** replies
+//!   and decides only if *all* of them are acks — the paper's point of
+//!   attack: "one single negative reply blocks the decision".
+//!
+//! Two structural differences from the ◇C algorithm matter for the
+//! experiments: the coordinator is fixed by the round number (so after
+//! the detector stabilizes, up to `n−1` extra rounds may pass before the
+//! never-suspected process coordinates — Theorem 3), and the Phase 2/4
+//! waits never use accuracy information (no "wait for every unsuspected
+//! process").
+
+use crate::api::{majority, ConsensusConfig, DecidePayload, Estimate, ProtocolStep, RoundProtocol};
+use fd_core::{obs, FdOutput, SubCtx};
+use fd_sim::{Payload, ProcessId, SimMessage};
+use std::collections::HashMap;
+
+/// Wire messages of the Chandra–Toueg consensus.
+#[derive(Debug, Clone)]
+pub enum CtMsg {
+    /// Phase 1: a timestamped estimate for the round's coordinator.
+    Estimate {
+        /// Round.
+        round: u64,
+        /// The sender's estimate.
+        est: Estimate,
+    },
+    /// Phase 2: the coordinator's proposition.
+    Proposition {
+        /// Round.
+        round: u64,
+        /// The proposed value.
+        value: u64,
+    },
+    /// Phase 3: positive reply.
+    Ack {
+        /// Round.
+        round: u64,
+    },
+    /// Phase 3: negative reply.
+    Nack {
+        /// Round.
+        round: u64,
+    },
+}
+
+impl SimMessage for CtMsg {
+    fn kind(&self) -> &'static str {
+        match self {
+            CtMsg::Estimate { .. } => "ct.estimate",
+            CtMsg::Proposition { .. } => "ct.proposition",
+            CtMsg::Ack { .. } => "ct.ack",
+            CtMsg::Nack { .. } => "ct.nack",
+        }
+    }
+    fn round(&self) -> Option<u64> {
+        Some(match self {
+            CtMsg::Estimate { round, .. }
+            | CtMsg::Proposition { round, .. }
+            | CtMsg::Ack { round }
+            | CtMsg::Nack { round } => *round,
+        })
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    Idle,
+    /// Phase 2 (coordinator): gathering the first majority of estimates.
+    AwaitEstimates,
+    /// Phase 3 (participant): waiting for the proposition.
+    AwaitProposition,
+    /// Phase 4 (coordinator): gathering the first majority of replies.
+    AwaitAcks,
+    Done,
+}
+
+const TIMER_POLL: u32 = 0;
+
+/// The rotating coordinator of round `r` (rounds are 1-based).
+pub fn rotating_coordinator(round: u64, n: usize) -> ProcessId {
+    ProcessId(((round - 1) % n as u64) as usize)
+}
+
+/// The Chandra–Toueg ◇S consensus state at one process.
+#[derive(Debug)]
+pub struct CtConsensus {
+    me: ProcessId,
+    n: usize,
+    cfg: ConsensusConfig,
+    est: Estimate,
+    round: u64,
+    phase: Phase,
+    /// Estimates buffered per round (processes run rounds at their own
+    /// pace, so a coordinator can receive estimates for rounds it has not
+    /// reached yet).
+    est_buckets: HashMap<u64, HashMap<ProcessId, Estimate>>,
+    /// Propositions buffered per round.
+    prop_buckets: HashMap<u64, u64>,
+    /// Phase 4 replies for the round currently coordinated; `true` = ack.
+    ack_replies: HashMap<ProcessId, bool>,
+    /// Whether the Phase 4 decision was already evaluated (first-majority
+    /// semantics: later replies are ignored).
+    acks_closed: bool,
+    prop_value: Option<u64>,
+    decision: Option<DecidePayload>,
+    rounds_started: u64,
+}
+
+impl CtConsensus {
+    /// Create the protocol instance for process `me` of `n`.
+    pub fn new(me: ProcessId, n: usize, cfg: ConsensusConfig) -> CtConsensus {
+        CtConsensus {
+            me,
+            n,
+            cfg,
+            est: Estimate::initial(0),
+            round: 0,
+            phase: Phase::Idle,
+            est_buckets: HashMap::new(),
+            prop_buckets: HashMap::new(),
+            ack_replies: HashMap::new(),
+            acks_closed: false,
+            prop_value: None,
+            decision: None,
+            rounds_started: 0,
+        }
+    }
+
+    /// Rounds started so far (instrumentation for experiment E3).
+    pub fn rounds_started(&self) -> u64 {
+        self.rounds_started
+    }
+
+    fn maj(&self) -> usize {
+        majority(self.n)
+    }
+
+    /// The coordinator of this process's current round.
+    pub fn current_coordinator(&self) -> ProcessId {
+        rotating_coordinator(self.round, self.n)
+    }
+
+    fn enter_round<N: SimMessage>(
+        &mut self,
+        ctx: &mut SubCtx<'_, '_, N, CtMsg>,
+        round: u64,
+    ) -> ProtocolStep {
+        self.round = round;
+        self.rounds_started += 1;
+        self.ack_replies.clear();
+        self.acks_closed = false;
+        self.prop_value = None;
+        // Prune state from rounds that can no longer matter to us.
+        self.est_buckets.retain(|r, _| *r >= round);
+        self.prop_buckets.retain(|r, _| *r >= round);
+
+        let coord = rotating_coordinator(round, self.n);
+        // Phase 1: everyone sends its estimate to the coordinator.
+        if coord == self.me {
+            self.est_buckets.entry(round).or_default().insert(self.me, self.est);
+            self.phase = Phase::AwaitEstimates;
+            self.try_complete_estimates(ctx)
+        } else {
+            ctx.send(coord, CtMsg::Estimate { round, est: self.est });
+            self.phase = Phase::AwaitProposition;
+            // The proposition may already be buffered if we are lagging.
+            if let Some(v) = self.prop_buckets.get(&round).copied() {
+                self.accept_proposition(ctx, round, v)
+            } else {
+                ProtocolStep::none()
+            }
+        }
+    }
+
+    /// Phase 2: the first ⌈(n+1)/2⌉ estimates suffice (no accuracy
+    /// information is consulted — the detector only offers suspicions).
+    fn try_complete_estimates<N: SimMessage>(
+        &mut self,
+        ctx: &mut SubCtx<'_, '_, N, CtMsg>,
+    ) -> ProtocolStep {
+        if self.phase != Phase::AwaitEstimates {
+            return ProtocolStep::none();
+        }
+        let round = self.round;
+        let maj = self.maj();
+        let bucket = self.est_buckets.entry(round).or_default();
+        if bucket.len() < maj {
+            return ProtocolStep::none();
+        }
+        // Select the estimate with the largest timestamp (scan in
+        // identity order for determinism).
+        let mut best: Option<Estimate> = None;
+        for q in (0..self.n).map(ProcessId) {
+            if let Some(e) = bucket.get(&q) {
+                best = Some(match best {
+                    None => *e,
+                    Some(b) => Estimate::newer_of(b, *e),
+                });
+            }
+        }
+        let v = best.expect("majority is non-empty").value;
+        self.est = Estimate { value: v, ts: round };
+        self.prop_value = Some(v);
+        ctx.send_to_others(CtMsg::Proposition { round, value: v });
+        self.phase = Phase::AwaitAcks;
+        self.ack_replies.insert(self.me, true);
+        self.try_complete_acks(ctx)
+    }
+
+    fn accept_proposition<N: SimMessage>(
+        &mut self,
+        ctx: &mut SubCtx<'_, '_, N, CtMsg>,
+        round: u64,
+        value: u64,
+    ) -> ProtocolStep {
+        debug_assert_eq!(self.phase, Phase::AwaitProposition);
+        debug_assert_eq!(round, self.round);
+        self.est = Estimate { value, ts: round };
+        ctx.send(rotating_coordinator(round, self.n), CtMsg::Ack { round });
+        self.enter_round(ctx, round + 1)
+    }
+
+    /// Phase 4: evaluate on exactly the first majority of replies; a
+    /// single nack among them kills the round.
+    fn try_complete_acks<N: SimMessage>(
+        &mut self,
+        ctx: &mut SubCtx<'_, '_, N, CtMsg>,
+    ) -> ProtocolStep {
+        if self.phase != Phase::AwaitAcks || self.acks_closed {
+            return ProtocolStep::none();
+        }
+        if self.ack_replies.len() < self.maj() {
+            return ProtocolStep::none();
+        }
+        self.acks_closed = true;
+        let all_acks = self.ack_replies.values().all(|&a| a);
+        let round = self.round;
+        if all_acks {
+            ProtocolStep::decide(self.prop_value.expect("proposed"), round)
+        } else {
+            self.enter_round(ctx, round + 1)
+        }
+    }
+}
+
+impl RoundProtocol for CtConsensus {
+    type Msg = CtMsg;
+
+    fn ns(&self) -> u32 {
+        fd_detectors::ns::CONSENSUS
+    }
+
+    fn on_propose<N: SimMessage>(
+        &mut self,
+        ctx: &mut SubCtx<'_, '_, N, CtMsg>,
+        value: u64,
+        _fd: FdOutput,
+    ) -> ProtocolStep {
+        if self.phase == Phase::Done {
+            // The decision broadcast can outrun a slow proposer: the
+            // instance is already over for this process. Record the
+            // proposal (for the validity bookkeeping) and do nothing.
+            ctx.observe(obs::PROPOSE, Payload::U64(value));
+            return ProtocolStep::none();
+        }
+        assert_eq!(self.phase, Phase::Idle, "propose called twice");
+        self.est = Estimate::initial(value);
+        ctx.observe(obs::PROPOSE, Payload::U64(value));
+        ctx.set_timer(self.cfg.poll_period, TIMER_POLL, 0);
+        self.enter_round(ctx, 1)
+    }
+
+    fn on_message<N: SimMessage>(
+        &mut self,
+        ctx: &mut SubCtx<'_, '_, N, CtMsg>,
+        from: ProcessId,
+        msg: CtMsg,
+        _fd: FdOutput,
+    ) -> ProtocolStep {
+        match msg {
+            CtMsg::Estimate { round, est } => {
+                if round >= self.round && self.phase != Phase::Done {
+                    self.est_buckets.entry(round).or_default().insert(from, est);
+                    if round == self.round {
+                        return self.try_complete_estimates(ctx);
+                    }
+                }
+                ProtocolStep::none()
+            }
+            CtMsg::Proposition { round, value } => {
+                if self.phase == Phase::AwaitProposition && round == self.round {
+                    self.accept_proposition(ctx, round, value)
+                } else if round > self.round && self.phase != Phase::Done {
+                    self.prop_buckets.insert(round, value);
+                    ProtocolStep::none()
+                } else {
+                    ProtocolStep::none()
+                }
+            }
+            CtMsg::Ack { round } => {
+                if self.phase == Phase::AwaitAcks && round == self.round {
+                    self.ack_replies.insert(from, true);
+                    self.try_complete_acks(ctx)
+                } else {
+                    ProtocolStep::none()
+                }
+            }
+            CtMsg::Nack { round } => {
+                if self.phase == Phase::AwaitAcks && round == self.round {
+                    self.ack_replies.insert(from, false);
+                    self.try_complete_acks(ctx)
+                } else {
+                    ProtocolStep::none()
+                }
+            }
+        }
+    }
+
+    fn on_timer<N: SimMessage>(
+        &mut self,
+        ctx: &mut SubCtx<'_, '_, N, CtMsg>,
+        kind: u32,
+        _data: u64,
+        fd: FdOutput,
+    ) -> ProtocolStep {
+        debug_assert_eq!(kind, TIMER_POLL);
+        if matches!(self.phase, Phase::Idle | Phase::Done) {
+            return ProtocolStep::none();
+        }
+        ctx.set_timer(self.cfg.poll_period, TIMER_POLL, 0);
+        if self.phase == Phase::AwaitProposition {
+            let c = self.current_coordinator();
+            if fd.suspected.contains(c) {
+                // Phase 3 failure path: nack the suspected coordinator
+                // and move to the next round.
+                let round = self.round;
+                ctx.send(c, CtMsg::Nack { round });
+                return self.enter_round(ctx, round + 1);
+            }
+        }
+        ProtocolStep::none()
+    }
+
+    fn on_decide_delivered<N: SimMessage>(
+        &mut self,
+        ctx: &mut SubCtx<'_, '_, N, CtMsg>,
+        value: u64,
+        round: u64,
+    ) {
+        if self.decision.is_none() {
+            self.decision = Some((value, round));
+            self.phase = Phase::Done;
+            ctx.observe(obs::DECIDE, Payload::U64Pair(value, round));
+        }
+    }
+
+    fn decision(&self) -> Option<DecidePayload> {
+        self.decision
+    }
+
+    fn round(&self) -> u64 {
+        self.round
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fd_core::ProcessSet;
+    use fd_sim::{Action, Context, Time};
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn drive<R>(
+        me: usize,
+        n: usize,
+        f: impl FnOnce(&mut SubCtx<'_, '_, CtMsg, CtMsg>) -> R,
+    ) -> (R, Vec<Action<CtMsg>>) {
+        let mut rng = SmallRng::seed_from_u64(0);
+        let mut actions = Vec::new();
+        let mut next_timer = 0;
+        let r = {
+            let mut ctx = Context::for_executor(
+                ProcessId(me),
+                n,
+                Time::from_millis(1),
+                &mut rng,
+                &mut actions,
+                &mut next_timer,
+            );
+            let mut sub = SubCtx::new(&mut ctx, &std::convert::identity, 9);
+            f(&mut sub)
+        };
+        (r, actions)
+    }
+
+    fn no_fd() -> FdOutput {
+        FdOutput { suspected: ProcessSet::new(), trusted: None }
+    }
+
+    fn suspects(ids: &[usize]) -> FdOutput {
+        FdOutput { suspected: ids.iter().map(|&i| ProcessId(i)).collect(), trusted: None }
+    }
+
+    #[test]
+    fn rotation_is_round_robin_one_based() {
+        assert_eq!(rotating_coordinator(1, 5), ProcessId(0));
+        assert_eq!(rotating_coordinator(2, 5), ProcessId(1));
+        assert_eq!(rotating_coordinator(5, 5), ProcessId(4));
+        assert_eq!(rotating_coordinator(6, 5), ProcessId(0));
+        assert_eq!(rotating_coordinator(11, 5), ProcessId(0));
+    }
+
+    #[test]
+    fn participant_sends_estimate_to_the_rotating_coordinator() {
+        let mut p = CtConsensus::new(ProcessId(2), 5, ConsensusConfig::default());
+        let (_, actions) = drive(2, 5, |ctx| p.on_propose(ctx, 30, no_fd()));
+        let ests: Vec<_> = actions
+            .iter()
+            .filter_map(|a| match a {
+                Action::Send { to, msg: CtMsg::Estimate { round: 1, .. } } => Some(*to),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(ests, vec![ProcessId(0)], "round 1's coordinator is p0");
+        assert_eq!(p.current_coordinator(), ProcessId(0));
+    }
+
+    #[test]
+    fn one_nack_among_the_first_majority_kills_the_round() {
+        // n = 5: coordinator p0's own ack + 1 ack + 1 nack = first
+        // majority with a nack → no decision, next round.
+        let mut p = CtConsensus::new(ProcessId(0), 5, ConsensusConfig::default());
+        drive(0, 5, |ctx| p.on_propose(ctx, 1, no_fd()));
+        for q in [1usize, 2] {
+            let est = CtMsg::Estimate { round: 1, est: Estimate::initial(q as u64) };
+            drive(0, 5, |ctx| p.on_message(ctx, ProcessId(q), est, no_fd()));
+        }
+        // Coordinator proposed after majority estimates; now replies:
+        drive(0, 5, |ctx| p.on_message(ctx, ProcessId(1), CtMsg::Ack { round: 1 }, no_fd()));
+        let (step, _) =
+            drive(0, 5, |ctx| p.on_message(ctx, ProcessId(2), CtMsg::Nack { round: 1 }, no_fd()));
+        assert!(step.broadcast_decision.is_none(), "CT's one-nack rule");
+        assert_eq!(p.round(), 2);
+        // Late extra acks for the closed round are ignored.
+        let (step, _) =
+            drive(0, 5, |ctx| p.on_message(ctx, ProcessId(3), CtMsg::Ack { round: 1 }, no_fd()));
+        assert_eq!(step, ProtocolStep::none());
+    }
+
+    #[test]
+    fn all_ack_first_majority_decides() {
+        let mut p = CtConsensus::new(ProcessId(0), 5, ConsensusConfig::default());
+        drive(0, 5, |ctx| p.on_propose(ctx, 1, no_fd()));
+        for q in [1usize, 2] {
+            let est = CtMsg::Estimate { round: 1, est: Estimate::initial(0) };
+            drive(0, 5, |ctx| p.on_message(ctx, ProcessId(q), est, no_fd()));
+        }
+        drive(0, 5, |ctx| p.on_message(ctx, ProcessId(1), CtMsg::Ack { round: 1 }, no_fd()));
+        let (step, _) =
+            drive(0, 5, |ctx| p.on_message(ctx, ProcessId(2), CtMsg::Ack { round: 1 }, no_fd()));
+        assert!(step.broadcast_decision.is_some());
+    }
+
+    #[test]
+    fn suspected_coordinator_is_nacked_on_poll() {
+        let mut p = CtConsensus::new(ProcessId(3), 5, ConsensusConfig::default());
+        drive(3, 5, |ctx| p.on_propose(ctx, 9, no_fd()));
+        let (_, actions) = drive(3, 5, |ctx| p.on_timer(ctx, 0, 0, suspects(&[0])));
+        let nacked: Vec<_> = actions
+            .iter()
+            .filter_map(|a| match a {
+                Action::Send { to, msg: CtMsg::Nack { round: 1 } } => Some(*to),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(nacked, vec![ProcessId(0)]);
+        assert_eq!(p.round(), 2, "and the participant rotates on");
+        assert_eq!(p.current_coordinator(), ProcessId(1));
+    }
+
+    #[test]
+    fn buffered_proposition_is_used_on_round_entry() {
+        let mut p = CtConsensus::new(ProcessId(3), 5, ConsensusConfig::default());
+        drive(3, 5, |ctx| p.on_propose(ctx, 9, no_fd()));
+        // A proposition for round 2 arrives while we are still in round 1.
+        drive(3, 5, |ctx| {
+            p.on_message(ctx, ProcessId(1), CtMsg::Proposition { round: 2, value: 55 }, no_fd())
+        });
+        // Round 1's coordinator is suspected → advance to round 2, where
+        // the buffered proposition must immediately be adopted + acked.
+        let (_, actions) = drive(3, 5, |ctx| p.on_timer(ctx, 0, 0, suspects(&[0])));
+        let acked_round2 = actions
+            .iter()
+            .any(|a| matches!(a, Action::Send { to: ProcessId(1), msg: CtMsg::Ack { round: 2 } }));
+        assert!(acked_round2, "buffered proposition consumed on entry");
+        assert_eq!(p.round(), 3);
+    }
+}

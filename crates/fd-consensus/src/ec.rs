@@ -1,0 +1,689 @@
+//! The ◇C-based Uniform Consensus algorithm of the paper (Figs. 3 and 4,
+//! Theorem 2).
+//!
+//! Each asynchronous round has five phases:
+//!
+//! * **Phase 0** — coordinator determination. A process whose ◇C module
+//!   trusts *itself* becomes coordinator and announces itself; everyone
+//!   else adopts the first announcer (a coordinator message for a later
+//!   round advances the process to that round — footnote 2).
+//! * **Phase 1** — every process sends its timestamped estimate to its
+//!   coordinator.
+//! * **Phase 2** — the coordinator waits until it has a **majority of
+//!   replies and a reply from every process it does not suspect** (the
+//!   paper's key use of ◇C's accuracy). With a majority of *non-null*
+//!   estimates it selects the largest-timestamp one and proposes it;
+//!   otherwise it sends a null proposition.
+//! * **Phase 3** — a process adopts a non-null proposition from a
+//!   coordinator and acks; a null proposition ends the round; suspecting
+//!   the coordinator produces a nack.
+//! * **Phase 4** — the proposing coordinator again waits for a majority
+//!   of replies *plus one from every unsuspected process*, and decides if
+//!   **a majority of replies are acks even if nacks were received** — the
+//!   improvement §5.4 contrasts with Chandra–Toueg's one-nack-kills-round
+//!   rule. Decisions travel by Reliable Broadcast.
+//!
+//! The two auxiliary tasks of Fig. 4 are implemented as message-handler
+//! arms: a late/other coordinator's announcement is answered with a null
+//! estimate (Task 1), and a late coordinator's non-null proposition with
+//! a nack (Task 2); R-delivery of a decision decides (Task 3).
+
+use crate::api::{majority, ConsensusConfig, DecidePayload, Estimate, ProtocolStep, RoundProtocol};
+use fd_core::{obs, FdOutput, SubCtx};
+use fd_sim::{Payload, ProcessId, SimMessage};
+use std::collections::{HashMap, HashSet};
+
+/// Wire messages of the ◇C consensus.
+#[derive(Debug, Clone)]
+pub enum EcMsg {
+    /// Phase 0: "I am the coordinator of `round`".
+    Coordinator {
+        /// The announced round.
+        round: u64,
+    },
+    /// Phase 1 / Task 1: an estimate (`None` is the null estimate).
+    Estimate {
+        /// The round the estimate is for.
+        round: u64,
+        /// The sender's estimate, or `None` for a null estimate.
+        est: Option<Estimate>,
+    },
+    /// Phase 2: the coordinator's proposition (`None` is null).
+    Proposition {
+        /// The round the proposition is for.
+        round: u64,
+        /// The proposed value, or `None` for a null proposition.
+        value: Option<u64>,
+    },
+    /// Phase 3: positive reply.
+    Ack {
+        /// The acknowledged round.
+        round: u64,
+    },
+    /// Phase 3 / Task 2: negative reply.
+    Nack {
+        /// The nacked round.
+        round: u64,
+    },
+}
+
+impl SimMessage for EcMsg {
+    fn kind(&self) -> &'static str {
+        match self {
+            EcMsg::Coordinator { .. } => "ec.coordinator",
+            EcMsg::Estimate { est: Some(_), .. } => "ec.estimate",
+            EcMsg::Estimate { est: None, .. } => "ec.null_estimate",
+            EcMsg::Proposition { value: Some(_), .. } => "ec.proposition",
+            EcMsg::Proposition { value: None, .. } => "ec.null_proposition",
+            EcMsg::Ack { .. } => "ec.ack",
+            EcMsg::Nack { .. } => "ec.nack",
+        }
+    }
+    fn round(&self) -> Option<u64> {
+        Some(match self {
+            EcMsg::Coordinator { round }
+            | EcMsg::Estimate { round, .. }
+            | EcMsg::Proposition { round, .. }
+            | EcMsg::Ack { round }
+            | EcMsg::Nack { round } => *round,
+        })
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    /// Not yet proposed.
+    Idle,
+    /// Phase 0: waiting to learn (or become) the round's coordinator.
+    AwaitCoordinator,
+    /// Phase 2 (coordinator): gathering estimates.
+    AwaitEstimates,
+    /// Phase 3 (participant): waiting for the proposition.
+    AwaitProposition,
+    /// Phase 4 (coordinator): gathering acks/nacks.
+    AwaitAcks,
+    /// Decided.
+    Done,
+}
+
+const TIMER_POLL: u32 = 0;
+
+/// The ◇C consensus protocol state at one process.
+#[derive(Debug)]
+pub struct EcConsensus {
+    me: ProcessId,
+    n: usize,
+    cfg: ConsensusConfig,
+    est: Estimate,
+    round: u64,
+    phase: Phase,
+    coordinator: Option<ProcessId>,
+    /// Phase 2 replies (coordinator role), this round.
+    est_replies: HashMap<ProcessId, Option<Estimate>>,
+    /// The non-null proposition sent this round (coordinator role).
+    prop_value: Option<u64>,
+    /// Phase 4 replies: `true` = ack.
+    ack_replies: HashMap<ProcessId, bool>,
+    /// Task 1 dedup: (coordinator, round) pairs already answered null.
+    answered_null: HashSet<(ProcessId, u64)>,
+    /// Task 2 dedup: (coordinator, round) pairs already nacked.
+    nacked: HashSet<(ProcessId, u64)>,
+    decision: Option<DecidePayload>,
+    /// How many rounds this process has *started* (instrumentation).
+    rounds_started: u64,
+}
+
+impl EcConsensus {
+    /// Create the protocol instance for process `me` of `n`.
+    pub fn new(me: ProcessId, n: usize, cfg: ConsensusConfig) -> EcConsensus {
+        EcConsensus {
+            me,
+            n,
+            cfg,
+            est: Estimate::initial(0),
+            round: 0,
+            phase: Phase::Idle,
+            coordinator: None,
+            est_replies: HashMap::new(),
+            prop_value: None,
+            ack_replies: HashMap::new(),
+            answered_null: HashSet::new(),
+            nacked: HashSet::new(),
+            decision: None,
+            rounds_started: 0,
+        }
+    }
+
+    /// Rounds started so far (instrumentation for experiments E3/E5).
+    pub fn rounds_started(&self) -> u64 {
+        self.rounds_started
+    }
+
+    fn maj(&self) -> usize {
+        majority(self.n)
+    }
+
+    fn enter_round<N: SimMessage>(
+        &mut self,
+        ctx: &mut SubCtx<'_, '_, N, EcMsg>,
+        round: u64,
+        fd: FdOutput,
+    ) -> ProtocolStep {
+        self.round = round;
+        self.rounds_started += 1;
+        self.phase = Phase::AwaitCoordinator;
+        self.coordinator = None;
+        self.est_replies.clear();
+        self.ack_replies.clear();
+        self.prop_value = None;
+        // Bound the Task-1/2 dedup memory: entries far behind the current
+        // round can be dropped — a duplicate null-estimate or nack to a
+        // very late coordinator is harmless (reply bookkeeping at the
+        // receiver is per-process idempotent), while the sets would
+        // otherwise grow with every pre-stabilization churn round.
+        if round > 64 {
+            let floor = round - 64;
+            self.answered_null.retain(|(_, r)| *r >= floor);
+            self.nacked.retain(|(_, r)| *r >= floor);
+        }
+        self.try_become_coordinator(ctx, fd)
+    }
+
+    /// Phase 0, coordinator side: `D.trusted_p = p` makes us announce.
+    fn try_become_coordinator<N: SimMessage>(
+        &mut self,
+        ctx: &mut SubCtx<'_, '_, N, EcMsg>,
+        fd: FdOutput,
+    ) -> ProtocolStep {
+        if self.phase != Phase::AwaitCoordinator || fd.trusted != Some(self.me) {
+            return ProtocolStep::none();
+        }
+        self.coordinator = Some(self.me);
+        let round = self.round;
+        ctx.send_to_others(EcMsg::Coordinator { round });
+        // Phase 1 for the coordinator itself: its own estimate counts.
+        self.est_replies.insert(self.me, Some(self.est));
+        self.phase = Phase::AwaitEstimates;
+        self.try_complete_estimates(ctx, fd)
+    }
+
+    /// The shared wait clause of Phases 2 and 4: every process has either
+    /// replied or is suspected by the local ◇C module.
+    fn all_unsuspected_replied<T>(&self, replies: &HashMap<ProcessId, T>, fd: &FdOutput) -> bool {
+        (0..self.n).map(ProcessId).all(|q| replies.contains_key(&q) || fd.suspected.contains(q))
+    }
+
+    fn try_complete_estimates<N: SimMessage>(
+        &mut self,
+        ctx: &mut SubCtx<'_, '_, N, EcMsg>,
+        fd: FdOutput,
+    ) -> ProtocolStep {
+        if self.phase != Phase::AwaitEstimates {
+            return ProtocolStep::none();
+        }
+        if self.est_replies.len() < self.maj() || !self.all_unsuspected_replied(&self.est_replies, &fd)
+        {
+            return ProtocolStep::none();
+        }
+        // Count the valid (non-null) estimates.
+        let mut best: Option<Estimate> = None;
+        let mut non_null = 0;
+        for q in (0..self.n).map(ProcessId) {
+            if let Some(Some(e)) = self.est_replies.get(&q) {
+                non_null += 1;
+                best = Some(match best {
+                    None => *e,
+                    Some(b) => Estimate::newer_of(b, *e),
+                });
+            }
+        }
+        let round = self.round;
+        if non_null >= self.maj() {
+            let v = best.expect("non_null > 0").value;
+            // Propose: adopt our own proposition and count our own ack.
+            self.est = Estimate { value: v, ts: round };
+            self.prop_value = Some(v);
+            ctx.send_to_others(EcMsg::Proposition { round, value: Some(v) });
+            self.phase = Phase::AwaitAcks;
+            self.ack_replies.insert(self.me, true);
+            self.try_complete_acks(ctx, fd)
+        } else {
+            ctx.send_to_others(EcMsg::Proposition { round, value: None });
+            self.enter_round(ctx, round + 1, fd)
+        }
+    }
+
+    /// Phase 4 wait: a majority of replies **and** a reply from every
+    /// unsuspected process; decide iff acks alone reach a majority.
+    fn try_complete_acks<N: SimMessage>(
+        &mut self,
+        ctx: &mut SubCtx<'_, '_, N, EcMsg>,
+        fd: FdOutput,
+    ) -> ProtocolStep {
+        if self.phase != Phase::AwaitAcks {
+            return ProtocolStep::none();
+        }
+        if self.ack_replies.len() < self.maj() || !self.all_unsuspected_replied(&self.ack_replies, &fd)
+        {
+            return ProtocolStep::none();
+        }
+        let acks = self.ack_replies.values().filter(|&&a| a).count();
+        let round = self.round;
+        if acks >= self.maj() {
+            let v = self.prop_value.expect("proposing coordinator has a value");
+            // The `decidable_p` flag of the paper: R-broadcast at most
+            // once; the decision then comes back via Task 3.
+            ProtocolStep::decide(v, round)
+        } else {
+            // Round failed despite completing: move on.
+            self.enter_round(ctx, round + 1, fd)
+        }
+    }
+
+    /// Adopt a non-null proposition (Phase 3 success path, also used for
+    /// propositions from coordinators of later rounds).
+    fn adopt_and_ack<N: SimMessage>(
+        &mut self,
+        ctx: &mut SubCtx<'_, '_, N, EcMsg>,
+        from: ProcessId,
+        round: u64,
+        value: u64,
+        fd: FdOutput,
+    ) -> ProtocolStep {
+        self.est = Estimate { value, ts: round };
+        ctx.send(from, EcMsg::Ack { round });
+        self.enter_round(ctx, round + 1, fd)
+    }
+}
+
+impl RoundProtocol for EcConsensus {
+    type Msg = EcMsg;
+
+    fn ns(&self) -> u32 {
+        fd_detectors::ns::CONSENSUS
+    }
+
+    fn on_propose<N: SimMessage>(
+        &mut self,
+        ctx: &mut SubCtx<'_, '_, N, EcMsg>,
+        value: u64,
+        fd: FdOutput,
+    ) -> ProtocolStep {
+        if self.phase == Phase::Done {
+            // The decision broadcast can outrun a slow proposer: the
+            // instance is already over for this process. Record the
+            // proposal (for the validity bookkeeping) and do nothing.
+            ctx.observe(obs::PROPOSE, Payload::U64(value));
+            return ProtocolStep::none();
+        }
+        assert_eq!(self.phase, Phase::Idle, "propose called twice");
+        self.est = Estimate::initial(value);
+        ctx.observe(obs::PROPOSE, Payload::U64(value));
+        ctx.set_timer(self.cfg.poll_period, TIMER_POLL, 0);
+        self.enter_round(ctx, 1, fd)
+    }
+
+    fn on_message<N: SimMessage>(
+        &mut self,
+        ctx: &mut SubCtx<'_, '_, N, EcMsg>,
+        from: ProcessId,
+        msg: EcMsg,
+        fd: FdOutput,
+    ) -> ProtocolStep {
+        if self.phase == Phase::Idle {
+            // Not yet proposed: we cannot contribute an estimate, but we
+            // must keep coordinators from blocking on us (they will not
+            // suspect a correct process forever). Answer announcements
+            // with null estimates and propositions with nacks — exactly
+            // the Fig. 4 tasks — and let the rounds churn until we join.
+            match msg {
+                EcMsg::Coordinator { round }
+                    if self.answered_null.insert((from, round)) => {
+                        ctx.send(from, EcMsg::Estimate { round, est: None });
+                    }
+                EcMsg::Proposition { round, value: Some(_) }
+                    if self.nacked.insert((from, round)) => {
+                        ctx.send(from, EcMsg::Nack { round });
+                    }
+                _ => {}
+            }
+            return ProtocolStep::none();
+        }
+        match msg {
+            EcMsg::Coordinator { round } => {
+                let decided = self.phase == Phase::Done;
+                if !decided && round > self.round {
+                    // Footnote 2: jump forward and treat `from` as the
+                    // coordinator of that round.
+                    self.round = round;
+                    self.rounds_started += 1;
+                    self.phase = Phase::AwaitCoordinator;
+                    self.coordinator = None;
+                    self.est_replies.clear();
+                    self.ack_replies.clear();
+                    self.prop_value = None;
+                    self.coordinator = Some(from);
+                    self.phase = Phase::AwaitProposition;
+                    ctx.send(from, EcMsg::Estimate { round, est: Some(self.est) });
+                    ProtocolStep::none()
+                } else if !decided
+                    && round == self.round
+                    && self.phase == Phase::AwaitCoordinator
+                {
+                    // Phase 0 resolution: adopt the announcer.
+                    self.coordinator = Some(from);
+                    self.phase = Phase::AwaitProposition;
+                    ctx.send(from, EcMsg::Estimate { round, est: Some(self.est) });
+                    ProtocolStep::none()
+                } else {
+                    // Task 1: any other coordinator of the current or a
+                    // previous round gets a null estimate, once.
+                    if self.answered_null.insert((from, round)) {
+                        ctx.send(from, EcMsg::Estimate { round, est: None });
+                    }
+                    ProtocolStep::none()
+                }
+            }
+            EcMsg::Estimate { round, est } => {
+                if self.phase == Phase::AwaitEstimates
+                    && round == self.round
+                    && self.coordinator == Some(self.me)
+                {
+                    self.est_replies.insert(from, est);
+                    self.try_complete_estimates(ctx, fd)
+                } else {
+                    // A late estimate for a round we already closed (we
+                    // sent a proposition or moved on); nothing owed.
+                    ProtocolStep::none()
+                }
+            }
+            EcMsg::Proposition { round, value } => {
+                let decided = self.phase == Phase::Done;
+                match value {
+                    Some(v) => {
+                        if !decided && round >= self.round && self.phase == Phase::AwaitProposition
+                            && (round > self.round || self.coordinator == Some(from))
+                        {
+                            // Phase 3 success: our coordinator (or a later
+                            // round's) proposed; adopt and ack.
+                            self.adopt_and_ack(ctx, from, round, v, fd)
+                        } else if !decided
+                            && round >= self.round
+                            && matches!(self.phase, Phase::AwaitCoordinator | Phase::AwaitProposition)
+                        {
+                            // Non-null proposition from *some other*
+                            // coordinator — the Phase 3 escape: adopt it.
+                            self.adopt_and_ack(ctx, from, round, v, fd)
+                        } else {
+                            // Task 2: late coordinator — nack, once.
+                            if self.nacked.insert((from, round)) {
+                                ctx.send(from, EcMsg::Nack { round });
+                            }
+                            ProtocolStep::none()
+                        }
+                    }
+                    None => {
+                        if !decided
+                            && round == self.round
+                            && self.phase == Phase::AwaitProposition
+                            && self.coordinator == Some(from)
+                        {
+                            // Phase 3: null proposition ends the round.
+                            self.enter_round(ctx, round + 1, fd)
+                        } else {
+                            ProtocolStep::none()
+                        }
+                    }
+                }
+            }
+            EcMsg::Ack { round } => {
+                if self.phase == Phase::AwaitAcks && round == self.round {
+                    self.ack_replies.insert(from, true);
+                    self.try_complete_acks(ctx, fd)
+                } else {
+                    ProtocolStep::none()
+                }
+            }
+            EcMsg::Nack { round } => {
+                if self.phase == Phase::AwaitAcks && round == self.round {
+                    self.ack_replies.insert(from, false);
+                    self.try_complete_acks(ctx, fd)
+                } else {
+                    ProtocolStep::none()
+                }
+            }
+        }
+    }
+
+    fn on_timer<N: SimMessage>(
+        &mut self,
+        ctx: &mut SubCtx<'_, '_, N, EcMsg>,
+        kind: u32,
+        _data: u64,
+        fd: FdOutput,
+    ) -> ProtocolStep {
+        debug_assert_eq!(kind, TIMER_POLL);
+        if matches!(self.phase, Phase::Idle | Phase::Done) {
+            // Done is terminal and Task 1/2 replies are message-driven;
+            // stop polling.
+            return ProtocolStep::none();
+        }
+        ctx.set_timer(self.cfg.poll_period, TIMER_POLL, 0);
+        match self.phase {
+            Phase::AwaitCoordinator => self.try_become_coordinator(ctx, fd),
+            Phase::AwaitEstimates => self.try_complete_estimates(ctx, fd),
+            Phase::AwaitAcks => self.try_complete_acks(ctx, fd),
+            Phase::AwaitProposition => {
+                // Phase 3 failure path: we suspect our coordinator.
+                let c = self.coordinator.expect("awaiting a known coordinator");
+                if fd.suspected.contains(c) {
+                    let round = self.round;
+                    ctx.send(c, EcMsg::Nack { round });
+                    self.enter_round(ctx, round + 1, fd)
+                } else {
+                    ProtocolStep::none()
+                }
+            }
+            Phase::Idle | Phase::Done => unreachable!(),
+        }
+    }
+
+    fn on_decide_delivered<N: SimMessage>(
+        &mut self,
+        ctx: &mut SubCtx<'_, '_, N, EcMsg>,
+        value: u64,
+        round: u64,
+    ) {
+        if self.decision.is_none() {
+            self.decision = Some((value, round));
+            self.phase = Phase::Done;
+            ctx.observe(obs::DECIDE, Payload::U64Pair(value, round));
+        }
+    }
+
+    fn decision(&self) -> Option<DecidePayload> {
+        self.decision
+    }
+
+    fn round(&self) -> u64 {
+        self.round
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fd_core::ProcessSet;
+    use fd_sim::{Action, Context, SimDuration, Time};
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    /// Drive one protocol callback directly, returning the step and the
+    /// actions (sends/timers/observations) it produced.
+    fn drive<R>(
+        me: usize,
+        n: usize,
+        f: impl FnOnce(&mut SubCtx<'_, '_, EcMsg, EcMsg>) -> R,
+    ) -> (R, Vec<Action<EcMsg>>) {
+        let mut rng = SmallRng::seed_from_u64(0);
+        let mut actions = Vec::new();
+        let mut next_timer = 0;
+        let r = {
+            let mut ctx = Context::for_executor(
+                ProcessId(me),
+                n,
+                Time::from_millis(1),
+                &mut rng,
+                &mut actions,
+                &mut next_timer,
+            );
+            let mut sub = SubCtx::new(&mut ctx, &std::convert::identity, 9);
+            f(&mut sub)
+        };
+        (r, actions)
+    }
+
+    fn sends(actions: &[Action<EcMsg>]) -> Vec<(ProcessId, &EcMsg)> {
+        actions
+            .iter()
+            .filter_map(|a| match a {
+                Action::Send { to, msg } => Some((*to, msg)),
+                _ => None,
+            })
+            .collect()
+    }
+
+    fn fd(trusted: usize, suspects: &[usize]) -> FdOutput {
+        FdOutput {
+            suspected: suspects.iter().map(|&i| ProcessId(i)).collect::<ProcessSet>(),
+            trusted: Some(ProcessId(trusted)),
+        }
+    }
+
+    #[test]
+    fn self_trusting_proposer_announces_and_collects_self_estimate() {
+        let mut p = EcConsensus::new(ProcessId(0), 5, ConsensusConfig::default());
+        let (step, actions) = drive(0, 5, |ctx| p.on_propose(ctx, 42, fd(0, &[])));
+        assert_eq!(step, ProtocolStep::none());
+        let coords: Vec<_> = sends(&actions)
+            .into_iter()
+            .filter(|(_, m)| matches!(m, EcMsg::Coordinator { round: 1 }))
+            .collect();
+        assert_eq!(coords.len(), 4, "announce to every other process");
+        assert_eq!(p.round(), 1);
+    }
+
+    #[test]
+    fn participant_sends_estimate_to_announcer() {
+        let mut p = EcConsensus::new(ProcessId(1), 5, ConsensusConfig::default());
+        let (_, _) = drive(1, 5, |ctx| p.on_propose(ctx, 7, fd(0, &[])));
+        let (step, actions) =
+            drive(1, 5, |ctx| p.on_message(ctx, ProcessId(0), EcMsg::Coordinator { round: 1 }, fd(0, &[])));
+        assert_eq!(step, ProtocolStep::none());
+        let est = sends(&actions);
+        assert_eq!(est.len(), 1);
+        assert!(matches!(est[0], (ProcessId(0), EcMsg::Estimate { round: 1, est: Some(e) }) if e.value == 7));
+    }
+
+    #[test]
+    fn task1_null_estimate_is_deduplicated() {
+        let mut p = EcConsensus::new(ProcessId(1), 5, ConsensusConfig::default());
+        drive(1, 5, |ctx| p.on_propose(ctx, 7, fd(0, &[])));
+        // First coordinator adopted; a SECOND announcer for the same
+        // round is a "late/other coordinator" — answered with one null.
+        drive(1, 5, |ctx| p.on_message(ctx, ProcessId(0), EcMsg::Coordinator { round: 1 }, fd(0, &[])));
+        let (_, a1) =
+            drive(1, 5, |ctx| p.on_message(ctx, ProcessId(2), EcMsg::Coordinator { round: 1 }, fd(0, &[])));
+        let (_, a2) =
+            drive(1, 5, |ctx| p.on_message(ctx, ProcessId(2), EcMsg::Coordinator { round: 1 }, fd(0, &[])));
+        assert_eq!(sends(&a1).len(), 1, "one null estimate to the other coordinator");
+        assert!(matches!(sends(&a1)[0].1, EcMsg::Estimate { est: None, .. }));
+        assert!(sends(&a2).is_empty(), "duplicate announcements are not re-answered");
+    }
+
+    #[test]
+    fn coordinator_message_for_later_round_jumps_forward() {
+        let mut p = EcConsensus::new(ProcessId(1), 5, ConsensusConfig::default());
+        drive(1, 5, |ctx| p.on_propose(ctx, 7, fd(0, &[])));
+        assert_eq!(p.round(), 1);
+        drive(1, 5, |ctx| p.on_message(ctx, ProcessId(3), EcMsg::Coordinator { round: 9 }, fd(0, &[])));
+        assert_eq!(p.round(), 9, "footnote 2: advance to the announced round");
+    }
+
+    #[test]
+    fn coordinator_decides_on_majority_acks_despite_nacks() {
+        // n = 5, majority = 3: the coordinator plus two acks beat two nacks.
+        let mut p = EcConsensus::new(ProcessId(0), 5, ConsensusConfig::default());
+        let all_visible = fd(0, &[]); // good accuracy: wait for everyone
+        drive(0, 5, |ctx| p.on_propose(ctx, 42, all_visible));
+        for q in 1..5 {
+            let est = EcMsg::Estimate { round: 1, est: Some(Estimate::initial(10 + q as u64)) };
+            drive(0, 5, |ctx| p.on_message(ctx, ProcessId(q), est, all_visible));
+        }
+        // Two acks, then two nacks: no decision until all replied.
+        for (q, ack) in [(1usize, true), (2, true), (3, false)] {
+            let msg = if ack { EcMsg::Ack { round: 1 } } else { EcMsg::Nack { round: 1 } };
+            let (step, _) = drive(0, 5, |ctx| p.on_message(ctx, ProcessId(q), msg, all_visible));
+            assert_eq!(step, ProtocolStep::none(), "must wait for unsuspected p4");
+        }
+        let (step, _) =
+            drive(0, 5, |ctx| p.on_message(ctx, ProcessId(4), EcMsg::Nack { round: 1 }, all_visible));
+        // 3 acks (incl. self) ≥ majority even with 2 nacks — the paper's
+        // feature. The decision value is the largest initial estimate.
+        assert!(step.broadcast_decision.is_some(), "majority-positive rule must decide");
+        assert_eq!(step.broadcast_decision.unwrap().1, 1, "decided in round 1");
+    }
+
+    #[test]
+    fn coordinator_fails_round_when_acks_below_majority() {
+        let mut p = EcConsensus::new(ProcessId(0), 5, ConsensusConfig::default());
+        let all_visible = fd(0, &[]);
+        drive(0, 5, |ctx| p.on_propose(ctx, 42, all_visible));
+        for q in 1..5 {
+            let est = EcMsg::Estimate { round: 1, est: Some(Estimate::initial(5)) };
+            drive(0, 5, |ctx| p.on_message(ctx, ProcessId(q), est, all_visible));
+        }
+        for q in 1..4 {
+            drive(0, 5, |ctx| p.on_message(ctx, ProcessId(q), EcMsg::Nack { round: 1 }, all_visible));
+        }
+        let (step, _) =
+            drive(0, 5, |ctx| p.on_message(ctx, ProcessId(4), EcMsg::Nack { round: 1 }, all_visible));
+        assert!(step.broadcast_decision.is_none());
+        assert_eq!(p.round(), 2, "failed round rolls over");
+    }
+
+    #[test]
+    fn suspicion_of_coordinator_produces_nack_and_next_round() {
+        let mut p = EcConsensus::new(ProcessId(1), 5, ConsensusConfig::default());
+        drive(1, 5, |ctx| p.on_propose(ctx, 7, fd(0, &[])));
+        drive(1, 5, |ctx| p.on_message(ctx, ProcessId(0), EcMsg::Coordinator { round: 1 }, fd(0, &[])));
+        // Poll with the coordinator now suspected.
+        let (_, actions) = drive(1, 5, |ctx| p.on_timer(ctx, 0, 0, fd(1, &[0])));
+        let nacks: Vec<_> = sends(&actions)
+            .into_iter()
+            .filter(|(_, m)| matches!(m, EcMsg::Nack { round: 1 }))
+            .collect();
+        assert_eq!(nacks.len(), 1);
+        assert_eq!(nacks[0].0, ProcessId(0));
+        assert_eq!(p.round(), 2);
+    }
+
+    #[test]
+    fn decide_delivery_is_idempotent_and_terminal() {
+        let mut p = EcConsensus::new(ProcessId(2), 3, ConsensusConfig::default());
+        drive(2, 3, |ctx| p.on_propose(ctx, 9, fd(0, &[])));
+        drive(2, 3, |ctx| p.on_decide_delivered(ctx, 77, 4));
+        drive(2, 3, |ctx| p.on_decide_delivered(ctx, 99, 5));
+        assert_eq!(p.decision(), Some((77, 4)), "first delivery wins");
+    }
+
+    #[test]
+    fn timer_kind_round_trips_through_timer_tag() {
+        // The poll timer must be re-armed on every poll while undecided.
+        let mut p = EcConsensus::new(ProcessId(1), 3, ConsensusConfig::default());
+        drive(1, 3, |ctx| p.on_propose(ctx, 7, fd(0, &[])));
+        let (_, actions) = drive(1, 3, |ctx| p.on_timer(ctx, 0, 0, fd(0, &[])));
+        let rearmed = actions.iter().any(|a| matches!(a, Action::SetTimer { after, .. } if *after == SimDuration::from_millis(2)));
+        assert!(rearmed, "poll must be re-armed");
+    }
+}

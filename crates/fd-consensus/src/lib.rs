@@ -1,0 +1,118 @@
+//! # fd-consensus — Uniform Consensus with unreliable failure detectors
+//!
+//! Five complete protocols sharing one skeleton ([`RoundProtocol`]):
+//!
+//! * [`EcConsensus`] — **the paper's contribution** (Figs. 3–4): five
+//!   phases per round, the coordinator chosen by ◇C's leader output
+//!   instead of rotation, and the majority-positive decision rule that
+//!   tolerates nacks;
+//! * [`EcMergedConsensus`] — the §5.4 merged-Phase-0/1 variant: one
+//!   communication step fewer, Ω(n²) messages;
+//! * [`CtConsensus`] — the Chandra–Toueg ◇S rotating-coordinator
+//!   baseline: four phases, first-majority waits, one nack kills a round;
+//! * [`MrConsensus`] — the Mostefaoui–Raynal-style Ω baseline: three
+//!   decentralized phases, `n − f` quorums;
+//! * [`PaxosConsensus`] — the single-decree synod of \[13\], driven by
+//!   the same Ω output (the §1.2 "similar approaches" reference point).
+//!
+//! A [`ConsensusNode`] hosts a detector, a Reliable Broadcast module and
+//! one protocol; [`MultiNode`] multiplexes ◇C instances into a live
+//! replicated log; the [`harness`] runs whole scenarios. §5.4's
+//! comparison table falls out of [`harness::RunResult`]'s metrics.
+
+#![warn(missing_docs)]
+
+pub mod api;
+pub mod ct;
+pub mod ec;
+pub mod ec_merged;
+pub mod harness;
+pub mod mr;
+pub mod multi;
+pub mod node;
+pub mod paxos;
+
+pub use api::{majority, ConsensusConfig, DecidePayload, Estimate, ProtocolStep, RoundProtocol};
+pub use ct::{rotating_coordinator, CtConsensus, CtMsg};
+pub use ec::{EcConsensus, EcMsg};
+pub use ec_merged::{EcMergedConsensus, EcmMsg};
+pub use harness::{default_net, run_scenario, RunResult, Scenario};
+pub use mr::{MrConsensus, MrMsg};
+pub use multi::{MultiEc, MultiMsg, MultiNode, MultiNodeMsg, SlotDecide, LOG_APPEND, NOOP};
+pub use node::{ConsensusNode, NodeMsg};
+pub use paxos::{PaxosConsensus, PaxosMsg};
+
+use fd_detectors::{
+    HeartbeatConfig, HeartbeatDetector, LeaderByFirstNonSuspected, LeaderConfig, LeaderDetector,
+    ScriptedDetector,
+};
+use fd_sim::ProcessId;
+
+/// ◇C consensus over a heartbeat-◇P-based ◇C detector (high accuracy).
+pub type EcNodeHb = ConsensusNode<LeaderByFirstNonSuspected<HeartbeatDetector>, EcConsensus>;
+
+/// ◇C consensus over the candidate-based ◇C detector of \[16\]
+/// (Ω-grade accuracy, `n−1` messages per period).
+pub type EcNodeLeader = ConsensusNode<LeaderDetector, EcConsensus>;
+
+/// Chandra–Toueg consensus over a heartbeat-based ◇S (◇P) detector.
+pub type CtNodeHb = ConsensusNode<LeaderByFirstNonSuspected<HeartbeatDetector>, CtConsensus>;
+
+/// MR-style consensus over the candidate-based Ω detector.
+pub type MrNodeLeader = ConsensusNode<LeaderDetector, MrConsensus>;
+
+/// Any protocol over a scripted (adversarial) detector.
+pub type ScriptedNode<P> = ConsensusNode<ScriptedDetector, P>;
+
+/// Single-decree Paxos over the candidate-based Ω detector.
+pub type PaxosNodeLeader = ConsensusNode<LeaderDetector, PaxosConsensus>;
+
+/// Build an [`EcNodeHb`].
+pub fn ec_node_hb(me: ProcessId, n: usize) -> EcNodeHb {
+    ConsensusNode::new(
+        me,
+        LeaderByFirstNonSuspected::new(HeartbeatDetector::new(me, n, HeartbeatConfig::default()), n),
+        EcConsensus::new(me, n, ConsensusConfig::default()),
+    )
+}
+
+/// Build an [`EcNodeLeader`].
+pub fn ec_node_leader(me: ProcessId, n: usize) -> EcNodeLeader {
+    ConsensusNode::new(
+        me,
+        LeaderDetector::new(me, n, LeaderConfig::default()),
+        EcConsensus::new(me, n, ConsensusConfig::default()),
+    )
+}
+
+/// Build a [`CtNodeHb`].
+pub fn ct_node_hb(me: ProcessId, n: usize) -> CtNodeHb {
+    ConsensusNode::new(
+        me,
+        LeaderByFirstNonSuspected::new(HeartbeatDetector::new(me, n, HeartbeatConfig::default()), n),
+        CtConsensus::new(me, n, ConsensusConfig::default()),
+    )
+}
+
+/// Build an [`MrNodeLeader`] that only knows `f < n/2`.
+pub fn mr_node_leader(me: ProcessId, n: usize) -> MrNodeLeader {
+    ConsensusNode::new(
+        me,
+        LeaderDetector::new(me, n, LeaderConfig::default()),
+        MrConsensus::with_unknown_f(me, n, ConsensusConfig::default()),
+    )
+}
+
+/// Build a [`PaxosNodeLeader`].
+pub fn paxos_node_leader(me: ProcessId, n: usize) -> PaxosNodeLeader {
+    ConsensusNode::new(
+        me,
+        LeaderDetector::new(me, n, LeaderConfig::default()),
+        PaxosConsensus::new(me, n, ConsensusConfig::default()),
+    )
+}
+
+/// Build a node with a scripted detector and any protocol.
+pub fn scripted_node<P: RoundProtocol>(me: ProcessId, fd: ScriptedDetector, cons: P) -> ScriptedNode<P> {
+    ConsensusNode::new(me, fd, cons)
+}

@@ -1,0 +1,489 @@
+//! Repeated consensus: a replicated command log.
+//!
+//! The standard way consensus is *used* (and the application the paper's
+//! introduction motivates): a sequence of independent Uniform Consensus
+//! instances, one per log slot. [`MultiEc`] multiplexes any number of
+//! [`EcConsensus`] instances over one node — messages and timers are
+//! tagged with the slot — and drives itself: each replica queues client
+//! commands with [`MultiNode::submit`], proposes its head-of-queue
+//! command for the next slot, and advances when the slot's decision
+//! arrives by Reliable Broadcast. All correct replicas end up with the
+//! identical decided log.
+//!
+//! The multiplexer is deliberately built on the ◇C algorithm rather
+//! than being generic over [`RoundProtocol`]: it relies on the property
+//! that *every* replica's estimate reaches the slot coordinator (Phase
+//! 1), so a command submitted at any replica can win its slot without
+//! extra machinery. A leader-proposes-its-own-value protocol (e.g. the
+//! Paxos synod in [`crate::paxos`]) would additionally need client
+//! command *forwarding* to the leader — the Multi-Paxos design — which
+//! is out of this reproduction's scope.
+
+use crate::api::{ConsensusConfig, DecidePayload, ProtocolStep, RoundProtocol};
+use crate::ec::{EcConsensus, EcMsg};
+use fd_broadcast::{RbMsg, ReliableBroadcast};
+use fd_core::Component;
+use fd_core::{EventuallyConsistentOracle, LeaderOracle, SubCtx, SuspectOracle};
+use fd_sim::{Actor, Context, Payload, ProcessId, SimMessage, TimerTag};
+use std::collections::{BTreeMap, VecDeque};
+
+/// Observation tag for log appends: payload `U64Pair(slot, value)`.
+pub const LOG_APPEND: &str = "multi.append";
+
+/// Timer-namespace base for slot instances: slot `s` uses `MULTI_NS_BASE + s`.
+pub const MULTI_NS_BASE: u32 = 0x1000_0000;
+
+/// Largest slot representable in the timer-namespace encoding.
+pub const MAX_SLOT: u64 = (u32::MAX - MULTI_NS_BASE) as u64;
+
+fn slot_ns(slot: u64) -> u32 {
+    assert!(slot <= MAX_SLOT, "log slot {slot} exceeds the namespace encoding (MAX_SLOT = {MAX_SLOT})");
+    MULTI_NS_BASE + slot as u32
+}
+
+/// The no-op command a replica proposes when it is pulled into a slot it
+/// has no pending command for. Consensus needs a majority of real
+/// (non-null) estimates to propose, so bystander replicas must
+/// contribute *something*; applications skip `NOOP` entries when
+/// applying the log. NOOP is the *smallest* value so the estimate
+/// selection's value tie-break always prefers a real command — a slot
+/// decides NOOP only when nobody had anything to propose.
+pub const NOOP: u64 = 0;
+
+/// A slot-tagged consensus message.
+#[derive(Debug, Clone)]
+pub struct MultiMsg {
+    /// The log slot this message belongs to.
+    pub slot: u64,
+    /// The instance-level message.
+    pub inner: EcMsg,
+}
+
+impl SimMessage for MultiMsg {
+    fn kind(&self) -> &'static str {
+        self.inner.kind()
+    }
+    fn round(&self) -> Option<u64> {
+        self.inner.round()
+    }
+}
+
+/// Decision broadcast payload: `(slot, value, round)`.
+pub type SlotDecide = (u64, u64, u64);
+
+/// The multiplexer of per-slot [`EcConsensus`] instances.
+#[derive(Debug)]
+pub struct MultiEc {
+    me: ProcessId,
+    n: usize,
+    cfg: ConsensusConfig,
+    instances: BTreeMap<u64, EcConsensus>,
+    /// Slots we have proposed in.
+    proposed: BTreeMap<u64, u64>,
+    /// The decided log.
+    log: BTreeMap<u64, DecidePayload>,
+    /// Client commands waiting for a slot.
+    pending: VecDeque<u64>,
+}
+
+impl MultiEc {
+    /// Create the multiplexer for process `me` of `n`.
+    pub fn new(me: ProcessId, n: usize, cfg: ConsensusConfig) -> MultiEc {
+        MultiEc {
+            me,
+            n,
+            cfg,
+            instances: BTreeMap::new(),
+            proposed: BTreeMap::new(),
+            log: BTreeMap::new(),
+            pending: VecDeque::new(),
+        }
+    }
+
+    /// The decided log so far: contiguous from slot 0 up to the first
+    /// undecided slot.
+    pub fn log(&self) -> Vec<(u64, u64)> {
+        let mut out = Vec::new();
+        for slot in 0.. {
+            match self.log.get(&slot) {
+                Some((v, _)) => out.push((slot, *v)),
+                None => break,
+            }
+        }
+        out
+    }
+
+    /// The decision of `slot`, if known (even out of order).
+    pub fn decided(&self, slot: u64) -> Option<DecidePayload> {
+        self.log.get(&slot).copied()
+    }
+
+    /// Number of commands still waiting to be proposed.
+    pub fn pending_len(&self) -> usize {
+        self.pending.len()
+    }
+
+    fn next_unproposed_slot(&self) -> u64 {
+        // Propose for the first slot we neither decided nor proposed in.
+        let mut slot = 0;
+        while self.log.contains_key(&slot) || self.proposed.contains_key(&slot) {
+            slot += 1;
+        }
+        slot
+    }
+
+    fn instance(&mut self, slot: u64) -> &mut EcConsensus {
+        let me = self.me;
+        let n = self.n;
+        let cfg = self.cfg.clone();
+        self.instances.entry(slot).or_insert_with(|| EcConsensus::new(me, n, cfg))
+    }
+}
+
+/// Combined node message of a [`MultiNode`].
+#[derive(Debug, Clone)]
+pub enum MultiNodeMsg<F> {
+    /// Failure-detector traffic.
+    Fd(F),
+    /// Slot-decision broadcasts.
+    Rb(RbMsg<SlotDecide>),
+    /// Slot-tagged consensus traffic.
+    Cons(MultiMsg),
+    /// "Slot `s` is open": the initiating replica tells everyone to
+    /// propose in it (their pending command or a NOOP), so the slot's
+    /// eventual coordinator — which may have had nothing to propose —
+    /// starts its Phase 0.
+    Open {
+        /// The opened slot.
+        slot: u64,
+    },
+}
+
+impl<F: SimMessage> SimMessage for MultiNodeMsg<F> {
+    fn kind(&self) -> &'static str {
+        match self {
+            MultiNodeMsg::Fd(m) => m.kind(),
+            MultiNodeMsg::Rb(m) => m.kind(),
+            MultiNodeMsg::Cons(m) => m.kind(),
+            MultiNodeMsg::Open { .. } => "multi.open",
+        }
+    }
+    fn round(&self) -> Option<u64> {
+        match self {
+            MultiNodeMsg::Fd(m) => m.round(),
+            MultiNodeMsg::Rb(_) => None,
+            MultiNodeMsg::Cons(m) => m.round(),
+            MultiNodeMsg::Open { .. } => None,
+        }
+    }
+}
+
+/// A replica: detector + Reliable Broadcast + the consensus multiplexer.
+pub struct MultiNode<D: Component> {
+    /// The ◇C failure-detection module.
+    pub fd: D,
+    /// Slot-decision dissemination.
+    pub rb: ReliableBroadcast<SlotDecide>,
+    /// The per-slot consensus instances.
+    pub multi: MultiEc,
+}
+
+impl<D> MultiNode<D>
+where
+    D: Component + SuspectOracle + LeaderOracle,
+{
+    /// Assemble a replica.
+    pub fn new(me: ProcessId, fd: D, multi: MultiEc) -> Self {
+        let rb = ReliableBroadcast::new(me);
+        assert_ne!(fd.ns(), rb.ns(), "components must own distinct timer namespaces");
+        assert!(fd.ns() < MULTI_NS_BASE && rb.ns() < MULTI_NS_BASE, "ns clash with slot range");
+        MultiNode { fd, rb, multi }
+    }
+
+    /// Queue a client command. It is proposed for the next free slot; if
+    /// another replica's command wins that slot, it is automatically
+    /// re-queued, so every submitted command is eventually decided
+    /// (at-least-once; deduplication is the application's concern).
+    pub fn submit(&mut self, ctx: &mut Context<'_, MultiNodeMsg<D::Msg>>, command: u64) {
+        assert_ne!(command, NOOP, "NOOP is reserved");
+        self.multi.pending.push_back(command);
+        self.drive(ctx);
+    }
+
+    /// The replica's decided log (contiguous prefix).
+    pub fn log(&self) -> Vec<(u64, u64)> {
+        self.multi.log()
+    }
+
+    /// Propose pending commands for free slots (one outstanding slot at a
+    /// time, the classic SMR pipeline of depth 1).
+    fn drive(&mut self, ctx: &mut Context<'_, MultiNodeMsg<D::Msg>>) {
+        if self.multi.pending.front().is_none() {
+            return;
+        }
+        let slot = self.multi.next_unproposed_slot();
+        // Depth-1 pipeline: only propose for `slot` if every earlier slot
+        // is decided.
+        if slot > 0 && !self.multi.log.contains_key(&(slot - 1)) {
+            return;
+        }
+        let command = self.multi.pending.pop_front().expect("checked");
+        self.propose_in_slot(ctx, slot, command, true);
+    }
+
+    /// A message/timer arrived for a slot we never proposed in: another
+    /// replica opened it. Join with our pending command (it may win the
+    /// slot) or a NOOP, so the slot's coordinator can gather a majority
+    /// of real estimates.
+    fn ensure_proposed(&mut self, ctx: &mut Context<'_, MultiNodeMsg<D::Msg>>, slot: u64) {
+        if self.multi.proposed.contains_key(&slot) || self.multi.log.contains_key(&slot) {
+            return;
+        }
+        let command = self.multi.pending.pop_front().unwrap_or(NOOP);
+        self.propose_in_slot(ctx, slot, command, false);
+    }
+
+    fn propose_in_slot(
+        &mut self,
+        ctx: &mut Context<'_, MultiNodeMsg<D::Msg>>,
+        slot: u64,
+        command: u64,
+        announce: bool,
+    ) {
+        if announce {
+            // Tell every replica the slot exists; each joins with its own
+            // pending command or a NOOP. Without this, a slot whose
+            // eventual coordinator has nothing to propose never starts.
+            for i in 0..ctx.n() {
+                let q = ProcessId(i);
+                if q != ctx.me() {
+                    ctx.send(q, MultiNodeMsg::Open { slot });
+                }
+            }
+        }
+        self.multi.proposed.insert(slot, command);
+        let fd = self.fd.output();
+        let ns = slot_ns(slot);
+        let wrap = move |m: EcMsg| MultiNodeMsg::Cons(MultiMsg { slot, inner: m });
+        let step = {
+            let inst = self.multi.instance(slot);
+            inst.on_propose(&mut SubCtx::new(ctx, &wrap, ns), command, fd)
+        };
+        self.apply_step(ctx, slot, step);
+        ctx.observe(api_obs::PROPOSE_SLOT, Payload::U64Pair(slot, command));
+    }
+
+    fn apply_step(
+        &mut self,
+        ctx: &mut Context<'_, MultiNodeMsg<D::Msg>>,
+        slot: u64,
+        step: ProtocolStep,
+    ) {
+        if let Some((value, round)) = step.broadcast_decision {
+            let ns = self.rb.ns();
+            self.rb.broadcast(&mut SubCtx::new(ctx, &MultiNodeMsg::Rb, ns), (slot, value, round));
+        }
+        self.drain_deliveries(ctx);
+    }
+
+    fn drain_deliveries(&mut self, ctx: &mut Context<'_, MultiNodeMsg<D::Msg>>) {
+        let deliveries = self.rb.take_delivered();
+        for d in deliveries {
+            let (slot, value, round) = d.payload;
+            if self.multi.log.contains_key(&slot) {
+                continue;
+            }
+            self.multi.log.insert(slot, (value, round));
+            ctx.observe(LOG_APPEND, Payload::U64Pair(slot, value));
+            // Our command lost this slot: re-queue it for the next one.
+            if let Some(&mine) = self.multi.proposed.get(&slot) {
+                if mine != value && mine != NOOP {
+                    self.multi.pending.push_front(mine);
+                }
+            }
+            let ns = slot_ns(slot);
+            let wrap = move |m: EcMsg| MultiNodeMsg::Cons(MultiMsg { slot, inner: m });
+            let inst = self.multi.instance(slot);
+            inst.on_decide_delivered(&mut SubCtx::new(ctx, &wrap, ns), value, round);
+        }
+        // A decision may have unblocked the next slot.
+        self.drive(ctx);
+    }
+}
+
+impl<D> Actor for MultiNode<D>
+where
+    D: Component + SuspectOracle + LeaderOracle,
+{
+    type Msg = MultiNodeMsg<D::Msg>;
+
+    fn on_start(&mut self, ctx: &mut Context<'_, Self::Msg>) {
+        let ns = self.fd.ns();
+        self.fd.on_start(&mut SubCtx::new(ctx, &MultiNodeMsg::Fd, ns));
+    }
+
+    fn on_message(&mut self, ctx: &mut Context<'_, Self::Msg>, from: ProcessId, msg: Self::Msg) {
+        match msg {
+            MultiNodeMsg::Fd(m) => {
+                let ns = self.fd.ns();
+                self.fd.on_message(&mut SubCtx::new(ctx, &MultiNodeMsg::Fd, ns), from, m);
+            }
+            MultiNodeMsg::Rb(m) => {
+                let ns = self.rb.ns();
+                self.rb.on_message(&mut SubCtx::new(ctx, &MultiNodeMsg::Rb, ns), from, m);
+                self.drain_deliveries(ctx);
+            }
+            MultiNodeMsg::Open { slot } => {
+                self.ensure_proposed(ctx, slot);
+            }
+            MultiNodeMsg::Cons(MultiMsg { slot, inner }) => {
+                self.ensure_proposed(ctx, slot);
+                let fd = self.fd.output();
+                let ns = slot_ns(slot);
+                let wrap = move |m: EcMsg| MultiNodeMsg::Cons(MultiMsg { slot, inner: m });
+                let step = {
+                    let inst = self.multi.instance(slot);
+                    inst.on_message(&mut SubCtx::new(ctx, &wrap, ns), from, inner, fd)
+                };
+                self.apply_step(ctx, slot, step);
+            }
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Context<'_, Self::Msg>, tag: TimerTag) {
+        if tag.ns == self.fd.ns() {
+            self.fd.on_timer(&mut SubCtx::new(ctx, &MultiNodeMsg::Fd, tag.ns), tag.kind, tag.data);
+        } else if tag.ns >= MULTI_NS_BASE {
+            let slot = (tag.ns - MULTI_NS_BASE) as u64;
+            let fd = self.fd.output();
+            let wrap = move |m: EcMsg| MultiNodeMsg::Cons(MultiMsg { slot, inner: m });
+            let step = {
+                let inst = self.multi.instance(slot);
+                inst.on_timer(&mut SubCtx::new(ctx, &wrap, tag.ns), tag.kind, tag.data, fd)
+            };
+            self.apply_step(ctx, slot, step);
+        } else {
+            debug_assert_eq!(tag.ns, self.rb.ns(), "timer for an unknown namespace");
+        }
+    }
+}
+
+/// Observation tags specific to the multiplexer.
+pub mod api_obs {
+    /// A replica proposed `U64Pair(slot, command)`.
+    pub const PROPOSE_SLOT: &str = "multi.propose";
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ConsensusConfig;
+    use fd_detectors::{HeartbeatConfig, HeartbeatDetector, LeaderByFirstNonSuspected};
+    use fd_sim::{Time, World, WorldBuilder};
+
+    type Replica = MultiNode<LeaderByFirstNonSuspected<HeartbeatDetector>>;
+
+    fn replica(pid: ProcessId, n: usize) -> Replica {
+        MultiNode::new(
+            pid,
+            LeaderByFirstNonSuspected::new(HeartbeatDetector::new(pid, n, HeartbeatConfig::default()), n),
+            MultiEc::new(pid, n, ConsensusConfig::default()),
+        )
+    }
+
+    fn world(n: usize, seed: u64) -> World<Replica> {
+        WorldBuilder::new(crate::harness::default_net(n)).seed(seed).build(replica)
+    }
+
+    /// All submitted commands, for containment checks.
+    fn submitted(n: usize, per: u64) -> Vec<u64> {
+        (0..n).flat_map(|i| (0..per).map(move |k| (i as u64 + 1) * 100 + k)).collect()
+    }
+
+    #[test]
+    fn replicas_build_identical_logs() {
+        let n = 5;
+        let mut w = world(n, 201);
+        // Every replica submits three commands concurrently.
+        for i in 0..n {
+            for k in 0..3u64 {
+                let cmd = (i as u64 + 1) * 100 + k;
+                w.interact(ProcessId(i), move |node, ctx| node.submit(ctx, cmd));
+            }
+        }
+        // Losing commands re-queue, so eventually every submitted command
+        // is in every replica's log (possibly interleaved with NOOPs).
+        let all = submitted(n, 3);
+        let contains_all = |log: &[(u64, u64)]| {
+            let vals: Vec<u64> = log.iter().map(|(_, v)| *v).collect();
+            all.iter().all(|c| vals.contains(c))
+        };
+        let done = w.run_until(Time::from_secs(120), |w| {
+            (0..n).all(|i| contains_all(&w.actor(ProcessId(i)).log()))
+        });
+        assert!(
+            done,
+            "logs did not fill: {:?}",
+            (0..n).map(|i| w.actor(ProcessId(i)).log().len()).collect::<Vec<_>>()
+        );
+        // Logs agree on every common slot (replicas may be at different
+        // lengths, but never disagree).
+        let reference = w.actor(ProcessId(0)).log();
+        for i in 1..n {
+            let log = w.actor(ProcessId(i)).log();
+            let common = reference.len().min(log.len());
+            assert_eq!(&log[..common], &reference[..common], "p{i} log diverged");
+        }
+        // Every decided non-NOOP command was actually submitted.
+        for (_, v) in &reference {
+            assert!(*v == NOOP || all.contains(v), "alien command {v}");
+        }
+    }
+
+    #[test]
+    fn log_survives_replica_crashes() {
+        let n = 5;
+        let mut w = world(n, 202);
+        for i in 0..n {
+            for k in 0..2u64 {
+                let cmd = (i as u64 + 1) * 10 + k;
+                w.interact(ProcessId(i), move |node, ctx| node.submit(ctx, cmd));
+            }
+        }
+        w.schedule_crash(ProcessId(4), Time::from_millis(30));
+        w.schedule_crash(ProcessId(3), Time::from_millis(90));
+        // The crashed replicas' commands may be lost, but the surviving
+        // replicas' six commands must all eventually be decided.
+        let survivors_cmds: Vec<u64> = (0..3).flat_map(|i| (0..2u64).map(move |k| (i as u64 + 1) * 10 + k)).collect();
+        let done = w.run_until(Time::from_secs(120), |w| {
+            (0..3).all(|i| {
+                let vals: Vec<u64> = w.actor(ProcessId(i)).log().iter().map(|(_, v)| *v).collect();
+                survivors_cmds.iter().all(|c| vals.contains(c))
+            })
+        });
+        assert!(done, "surviving replicas stalled");
+        let reference = w.actor(ProcessId(0)).log();
+        for i in 1..3 {
+            let log = w.actor(ProcessId(i)).log();
+            let common = reference.len().min(log.len());
+            assert_eq!(&log[..common], &reference[..common], "p{i} prefix diverged");
+        }
+    }
+
+    #[test]
+    fn slots_decide_in_order_per_replica() {
+        let n = 4;
+        let mut w = world(n, 203);
+        for k in 0..4u64 {
+            w.interact(ProcessId(0), move |node, ctx| node.submit(ctx, 1000 + k));
+        }
+        let done = w.run_until(Time::from_secs(30), |w| w.actor(ProcessId(0)).log().len() >= 4);
+        assert!(done);
+        let log = w.actor(ProcessId(0)).log();
+        let slots: Vec<u64> = log.iter().map(|(s, _)| *s).collect();
+        assert_eq!(slots, vec![0, 1, 2, 3]);
+        // Single submitter ⇒ commands appear in submission order.
+        let vals: Vec<u64> = log.iter().map(|(_, v)| *v).collect();
+        assert_eq!(vals, vec![1000, 1001, 1002, 1003]);
+    }
+}

@@ -1,0 +1,149 @@
+//! The consensus node: one simulated process hosting a failure detector,
+//! a Reliable Broadcast module, and a consensus protocol.
+//!
+//! This mirrors the paper's architecture exactly: the consensus algorithm
+//! queries its *local* failure-detection module (never the network) and
+//! hands decisions to the Reliable Broadcast primitive, whose deliveries
+//! trigger the decide task (Fig. 4).
+
+use crate::api::{DecidePayload, RoundProtocol};
+use fd_broadcast::{RbMsg, ReliableBroadcast};
+use fd_core::{EventuallyConsistentOracle, LeaderOracle, SubCtx, SuspectOracle};
+use fd_core::Component;
+use fd_sim::{Actor, Context, ProcessId, SimMessage, TimerTag};
+
+/// Combined message type of a consensus node.
+#[derive(Debug, Clone)]
+pub enum NodeMsg<F, C> {
+    /// Failure-detector traffic.
+    Fd(F),
+    /// Decision broadcasts.
+    Rb(RbMsg<DecidePayload>),
+    /// Consensus protocol traffic.
+    Cons(C),
+}
+
+impl<F: SimMessage, C: SimMessage> SimMessage for NodeMsg<F, C> {
+    fn kind(&self) -> &'static str {
+        match self {
+            NodeMsg::Fd(m) => m.kind(),
+            NodeMsg::Rb(m) => m.kind(),
+            NodeMsg::Cons(m) => m.kind(),
+        }
+    }
+    fn round(&self) -> Option<u64> {
+        match self {
+            NodeMsg::Fd(m) => m.round(),
+            NodeMsg::Rb(_) => None,
+            NodeMsg::Cons(m) => m.round(),
+        }
+    }
+}
+
+/// A process running detector `D` and consensus protocol `P`.
+pub struct ConsensusNode<D: Component, P: RoundProtocol> {
+    /// The failure-detection module.
+    pub fd: D,
+    /// The decision dissemination module.
+    pub rb: ReliableBroadcast<DecidePayload>,
+    /// The consensus protocol.
+    pub cons: P,
+}
+
+impl<D, P> ConsensusNode<D, P>
+where
+    D: Component + SuspectOracle + LeaderOracle,
+    P: RoundProtocol,
+{
+    /// Assemble a node from its modules.
+    pub fn new(me: ProcessId, fd: D, cons: P) -> Self {
+        let rb = ReliableBroadcast::new(me);
+        assert_ne!(fd.ns(), cons.ns(), "components must own distinct timer namespaces");
+        assert_ne!(fd.ns(), rb.ns(), "components must own distinct timer namespaces");
+        assert_ne!(cons.ns(), rb.ns(), "components must own distinct timer namespaces");
+        ConsensusNode { fd, rb, cons }
+    }
+
+    /// Propose a value. Call through
+    /// [`World::interact`](fd_sim::World::interact).
+    pub fn propose(&mut self, ctx: &mut Context<'_, NodeMsg<D::Msg, P::Msg>>, value: u64) {
+        let fd = self.fd.output();
+        let ns = self.cons.ns();
+        let step = self.cons.on_propose(&mut SubCtx::new(ctx, &NodeMsg::Cons, ns), value, fd);
+        self.apply_step(ctx, step);
+    }
+
+    /// This process's decision, if any.
+    pub fn decision(&self) -> Option<DecidePayload> {
+        self.cons.decision()
+    }
+
+    fn apply_step(
+        &mut self,
+        ctx: &mut Context<'_, NodeMsg<D::Msg, P::Msg>>,
+        step: crate::api::ProtocolStep,
+    ) {
+        if let Some(payload) = step.broadcast_decision {
+            let ns = self.rb.ns();
+            self.rb.broadcast(&mut SubCtx::new(ctx, &NodeMsg::Rb, ns), payload);
+        }
+        self.drain_deliveries(ctx);
+    }
+
+    fn drain_deliveries(&mut self, ctx: &mut Context<'_, NodeMsg<D::Msg, P::Msg>>) {
+        for d in self.rb.take_delivered() {
+            let (value, round) = d.payload;
+            let ns = self.cons.ns();
+            self.cons.on_decide_delivered(&mut SubCtx::new(ctx, &NodeMsg::Cons, ns), value, round);
+        }
+    }
+}
+
+impl<D, P> Actor for ConsensusNode<D, P>
+where
+    D: Component + SuspectOracle + LeaderOracle,
+    P: RoundProtocol,
+{
+    type Msg = NodeMsg<D::Msg, P::Msg>;
+
+    fn on_start(&mut self, ctx: &mut Context<'_, Self::Msg>) {
+        let ns = self.fd.ns();
+        self.fd.on_start(&mut SubCtx::new(ctx, &NodeMsg::Fd, ns));
+        let ns = self.rb.ns();
+        self.rb.on_start(&mut SubCtx::new(ctx, &NodeMsg::Rb, ns));
+        // The consensus protocol starts on propose().
+    }
+
+    fn on_message(&mut self, ctx: &mut Context<'_, Self::Msg>, from: ProcessId, msg: Self::Msg) {
+        match msg {
+            NodeMsg::Fd(m) => {
+                let ns = self.fd.ns();
+                self.fd.on_message(&mut SubCtx::new(ctx, &NodeMsg::Fd, ns), from, m);
+            }
+            NodeMsg::Rb(m) => {
+                let ns = self.rb.ns();
+                self.rb.on_message(&mut SubCtx::new(ctx, &NodeMsg::Rb, ns), from, m);
+                self.drain_deliveries(ctx);
+            }
+            NodeMsg::Cons(m) => {
+                let fd = self.fd.output();
+                let ns = self.cons.ns();
+                let step = self.cons.on_message(&mut SubCtx::new(ctx, &NodeMsg::Cons, ns), from, m, fd);
+                self.apply_step(ctx, step);
+            }
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Context<'_, Self::Msg>, tag: TimerTag) {
+        if tag.ns == self.fd.ns() {
+            self.fd.on_timer(&mut SubCtx::new(ctx, &NodeMsg::Fd, tag.ns), tag.kind, tag.data);
+        } else if tag.ns == self.cons.ns() {
+            let fd = self.fd.output();
+            let step =
+                self.cons.on_timer(&mut SubCtx::new(ctx, &NodeMsg::Cons, tag.ns), tag.kind, tag.data, fd);
+            self.apply_step(ctx, step);
+        } else {
+            debug_assert_eq!(tag.ns, self.rb.ns(), "timer for an unknown namespace");
+        }
+    }
+}

@@ -1,0 +1,498 @@
+//! Single-decree Paxos (the synod protocol of Lamport's *The part-time
+//! parliament* \[13\]), driven by the same Ω output as the ◇C algorithm.
+//!
+//! §1.2 and §5.4 discuss Paxos as the first consensus algorithm to pick
+//! coordinators by leader election rather than rotation, and note that
+//! "both algorithms use similar approaches" while differing in the model
+//! (Paxos assumes alternating synchrony periods; the paper assumes an
+//! asynchronous system augmented with a failure detector). This module
+//! makes the comparison concrete: the classic two-phase synod, with the
+//! co-located detector's `trusted` output deciding who plays proposer —
+//! so the "leader election algorithm" of \[13\] is exactly the Ω half of
+//! ◇C, and the protocols can be measured on identical scenarios.
+//!
+//! Structure per ballot (= the paper's "round" for instrumentation):
+//!
+//! * **Phase 1a/1b** — the self-trusting proposer picks a fresh ballot
+//!   `b` (proposer-unique: `k·n + id`) and sends `Prepare(b)`; acceptors
+//!   promise and report their highest accepted `(ballot, value)`.
+//! * **Phase 2a/2b** — on a majority of promises the proposer sends
+//!   `Accept(b, v)` with `v` = the reported value of the highest ballot,
+//!   or its own proposal; acceptors accept unless they promised higher.
+//! * A majority of accepts decides; the decision travels by Reliable
+//!   Broadcast like every protocol in this crate.
+//!
+//! Contention (several self-trusting proposers before Ω stabilizes) is
+//! resolved by rejection replies carrying the highest promised ballot:
+//! a preempted proposer re-prepares above it. Once Ω stabilizes, one
+//! proposer runs unopposed and decides in a single ballot — the same
+//! "one round after stabilization" profile as the ◇C algorithm, at
+//! Paxos's 4-communication-step cost (prepare, promise, accept, accepted).
+
+use crate::api::{majority, ConsensusConfig, DecidePayload, ProtocolStep, RoundProtocol};
+use fd_core::{obs, FdOutput, SubCtx};
+use fd_sim::{Payload, ProcessId, SimMessage};
+use std::collections::HashMap;
+
+/// Wire messages of the synod.
+#[derive(Debug, Clone)]
+pub enum PaxosMsg {
+    /// Phase 1a.
+    Prepare {
+        /// The ballot being opened.
+        ballot: u64,
+    },
+    /// Phase 1b: a promise not to accept anything below `ballot`,
+    /// reporting the highest proposal already accepted, if any.
+    Promise {
+        /// The promised ballot.
+        ballot: u64,
+        /// `(ballot, value)` of the acceptor's highest accepted proposal.
+        accepted: Option<(u64, u64)>,
+    },
+    /// Phase 2a.
+    Accept {
+        /// The ballot.
+        ballot: u64,
+        /// The value chosen for this ballot.
+        value: u64,
+    },
+    /// Phase 2b: the acceptor accepted `ballot`.
+    Accepted {
+        /// The accepted ballot.
+        ballot: u64,
+    },
+    /// Rejection of a prepare/accept below an existing promise, carrying
+    /// the promised ballot so the proposer can jump past it.
+    Reject {
+        /// The ballot that was rejected.
+        ballot: u64,
+        /// The acceptor's current promise.
+        promised: u64,
+    },
+}
+
+impl SimMessage for PaxosMsg {
+    fn kind(&self) -> &'static str {
+        match self {
+            PaxosMsg::Prepare { .. } => "paxos.prepare",
+            PaxosMsg::Promise { .. } => "paxos.promise",
+            PaxosMsg::Accept { .. } => "paxos.accept",
+            PaxosMsg::Accepted { .. } => "paxos.accepted",
+            PaxosMsg::Reject { .. } => "paxos.reject",
+        }
+    }
+    fn round(&self) -> Option<u64> {
+        Some(match self {
+            PaxosMsg::Prepare { ballot }
+            | PaxosMsg::Promise { ballot, .. }
+            | PaxosMsg::Accept { ballot, .. }
+            | PaxosMsg::Accepted { ballot }
+            | PaxosMsg::Reject { ballot, .. } => *ballot,
+        })
+    }
+}
+
+const TIMER_POLL: u32 = 0;
+
+/// How long a proposer lets a ballot sit without progress before
+/// retrying with a fresh one (also covers lost-to-crash acceptor waits).
+const RETRY_POLLS: u32 = 30;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ProposerPhase {
+    Idle,
+    AwaitPromises,
+    AwaitAccepts,
+    Done,
+}
+
+/// The synod state at one process (every process is an acceptor; the
+/// Ω-trusted process additionally plays proposer).
+#[derive(Debug)]
+pub struct PaxosConsensus {
+    me: ProcessId,
+    n: usize,
+    cfg: ConsensusConfig,
+    // --- acceptor state ---
+    promised: u64,
+    accepted: Option<(u64, u64)>,
+    // --- proposer state ---
+    proposal: Option<u64>,
+    phase: ProposerPhase,
+    ballot: u64,
+    promises: HashMap<ProcessId, Option<(u64, u64)>>,
+    accepts: usize,
+    chosen_value: Option<u64>,
+    /// Polls since the current ballot last made progress.
+    stalled_polls: u32,
+    /// Highest ballot seen anywhere (for jumping past contention).
+    max_seen: u64,
+    decision: Option<DecidePayload>,
+    ballots_started: u64,
+}
+
+impl PaxosConsensus {
+    /// Create the synod instance for process `me` of `n`.
+    pub fn new(me: ProcessId, n: usize, cfg: ConsensusConfig) -> PaxosConsensus {
+        PaxosConsensus {
+            me,
+            n,
+            cfg,
+            promised: 0,
+            accepted: None,
+            proposal: None,
+            phase: ProposerPhase::Idle,
+            ballot: 0,
+            promises: HashMap::new(),
+            accepts: 0,
+            chosen_value: None,
+            stalled_polls: 0,
+            max_seen: 0,
+            decision: None,
+            ballots_started: 0,
+        }
+    }
+
+    /// Ballots this proposer has opened (instrumentation).
+    pub fn ballots_started(&self) -> u64 {
+        self.ballots_started
+    }
+
+    fn maj(&self) -> usize {
+        majority(self.n)
+    }
+
+    /// The smallest proposer-unique ballot above `floor`.
+    fn next_ballot_above(&self, floor: u64) -> u64 {
+        let n = self.n as u64;
+        let id = self.me.index() as u64;
+        let mut k = floor / n;
+        while k * n + id <= floor {
+            k += 1;
+        }
+        k * n + id
+    }
+
+    fn open_ballot<N: SimMessage>(&mut self, ctx: &mut SubCtx<'_, '_, N, PaxosMsg>) {
+        let ballot = self.next_ballot_above(self.max_seen.max(self.ballot));
+        self.ballot = ballot;
+        self.max_seen = self.max_seen.max(ballot);
+        self.ballots_started += 1;
+        self.phase = ProposerPhase::AwaitPromises;
+        self.promises.clear();
+        self.accepts = 0;
+        self.chosen_value = None;
+        self.stalled_polls = 0;
+        // Self-promise (the proposer is also an acceptor).
+        if ballot > self.promised {
+            self.promised = ballot;
+            self.promises.insert(self.me, self.accepted);
+        }
+        ctx.send_to_others(PaxosMsg::Prepare { ballot });
+    }
+
+    fn try_phase2<N: SimMessage>(&mut self, ctx: &mut SubCtx<'_, '_, N, PaxosMsg>) -> ProtocolStep {
+        if self.phase != ProposerPhase::AwaitPromises || self.promises.len() < self.maj() {
+            return ProtocolStep::none();
+        }
+        // The synod rule: adopt the value of the highest reported ballot,
+        // else be free to propose our own.
+        let inherited = self.promises.values().flatten().max_by_key(|(b, _)| *b).map(|(_, v)| *v);
+        let value = inherited.unwrap_or_else(|| self.proposal.expect("proposer has a proposal"));
+        self.chosen_value = Some(value);
+        self.phase = ProposerPhase::AwaitAccepts;
+        self.stalled_polls = 0;
+        let ballot = self.ballot;
+        // Self-accept.
+        if ballot >= self.promised {
+            self.promised = ballot;
+            self.accepted = Some((ballot, value));
+            self.accepts = 1;
+        }
+        ctx.send_to_others(PaxosMsg::Accept { ballot, value });
+        self.try_decide()
+    }
+
+    fn try_decide(&mut self) -> ProtocolStep {
+        if self.phase == ProposerPhase::AwaitAccepts && self.accepts >= self.maj() {
+            self.phase = ProposerPhase::Idle; // the decision arrives by RB
+            return ProtocolStep::decide(self.chosen_value.expect("phase 2 ran"), self.ballot);
+        }
+        ProtocolStep::none()
+    }
+}
+
+impl RoundProtocol for PaxosConsensus {
+    type Msg = PaxosMsg;
+
+    fn ns(&self) -> u32 {
+        fd_detectors::ns::CONSENSUS
+    }
+
+    fn on_propose<N: SimMessage>(
+        &mut self,
+        ctx: &mut SubCtx<'_, '_, N, PaxosMsg>,
+        value: u64,
+        fd: FdOutput,
+    ) -> ProtocolStep {
+        if self.decision.is_some() {
+            ctx.observe(obs::PROPOSE, Payload::U64(value));
+            return ProtocolStep::none();
+        }
+        assert!(self.proposal.is_none(), "propose called twice");
+        self.proposal = Some(value);
+        ctx.observe(obs::PROPOSE, Payload::U64(value));
+        ctx.set_timer(self.cfg.poll_period, TIMER_POLL, 0);
+        if fd.trusted == Some(self.me) {
+            self.open_ballot(ctx);
+        }
+        ProtocolStep::none()
+    }
+
+    fn on_message<N: SimMessage>(
+        &mut self,
+        ctx: &mut SubCtx<'_, '_, N, PaxosMsg>,
+        from: ProcessId,
+        msg: PaxosMsg,
+        _fd: FdOutput,
+    ) -> ProtocolStep {
+        match msg {
+            PaxosMsg::Prepare { ballot } => {
+                self.max_seen = self.max_seen.max(ballot);
+                if ballot > self.promised {
+                    self.promised = ballot;
+                    ctx.send(from, PaxosMsg::Promise { ballot, accepted: self.accepted });
+                } else {
+                    ctx.send(from, PaxosMsg::Reject { ballot, promised: self.promised });
+                }
+                ProtocolStep::none()
+            }
+            PaxosMsg::Promise { ballot, accepted } => {
+                if self.phase == ProposerPhase::AwaitPromises && ballot == self.ballot {
+                    self.promises.insert(from, accepted);
+                    return self.try_phase2(ctx);
+                }
+                ProtocolStep::none()
+            }
+            PaxosMsg::Accept { ballot, value } => {
+                self.max_seen = self.max_seen.max(ballot);
+                if ballot >= self.promised {
+                    self.promised = ballot;
+                    self.accepted = Some((ballot, value));
+                    ctx.send(from, PaxosMsg::Accepted { ballot });
+                } else {
+                    ctx.send(from, PaxosMsg::Reject { ballot, promised: self.promised });
+                }
+                ProtocolStep::none()
+            }
+            PaxosMsg::Accepted { ballot } => {
+                if self.phase == ProposerPhase::AwaitAccepts && ballot == self.ballot {
+                    self.accepts += 1;
+                    return self.try_decide();
+                }
+                ProtocolStep::none()
+            }
+            PaxosMsg::Reject { ballot, promised } => {
+                self.max_seen = self.max_seen.max(promised);
+                // Preempted: abandon the ballot; the poll timer reopens
+                // above the contention if we still trust ourselves.
+                if ballot == self.ballot
+                    && matches!(self.phase, ProposerPhase::AwaitPromises | ProposerPhase::AwaitAccepts)
+                {
+                    self.phase = ProposerPhase::Idle;
+                }
+                ProtocolStep::none()
+            }
+        }
+    }
+
+    fn on_timer<N: SimMessage>(
+        &mut self,
+        ctx: &mut SubCtx<'_, '_, N, PaxosMsg>,
+        kind: u32,
+        _data: u64,
+        fd: FdOutput,
+    ) -> ProtocolStep {
+        debug_assert_eq!(kind, TIMER_POLL);
+        if self.decision.is_some() || self.proposal.is_none() {
+            return ProtocolStep::none();
+        }
+        ctx.set_timer(self.cfg.poll_period, TIMER_POLL, 0);
+        let lead = fd.trusted == Some(self.me);
+        match self.phase {
+            ProposerPhase::Idle if lead => self.open_ballot(ctx),
+            ProposerPhase::AwaitPromises | ProposerPhase::AwaitAccepts => {
+                self.stalled_polls += 1;
+                if !lead {
+                    // Deposed mid-ballot: stand down, let the new leader run.
+                    self.phase = ProposerPhase::Idle;
+                } else if self.stalled_polls > RETRY_POLLS {
+                    // Progress stalled (e.g. acceptors crashed before
+                    // replying): retry with a fresh ballot.
+                    self.open_ballot(ctx);
+                }
+            }
+            _ => {}
+        }
+        ProtocolStep::none()
+    }
+
+    fn on_decide_delivered<N: SimMessage>(
+        &mut self,
+        ctx: &mut SubCtx<'_, '_, N, PaxosMsg>,
+        value: u64,
+        round: u64,
+    ) {
+        if self.decision.is_none() {
+            self.decision = Some((value, round));
+            self.phase = ProposerPhase::Done;
+            ctx.observe(obs::DECIDE, Payload::U64Pair(value, round));
+        }
+    }
+
+    fn decision(&self) -> Option<DecidePayload> {
+        self.decision
+    }
+
+    fn round(&self) -> u64 {
+        self.ballot
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fd_core::ProcessSet;
+    use fd_sim::{Action, Context, Time};
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn drive<R>(
+        me: usize,
+        n: usize,
+        f: impl FnOnce(&mut SubCtx<'_, '_, PaxosMsg, PaxosMsg>) -> R,
+    ) -> (R, Vec<Action<PaxosMsg>>) {
+        let mut rng = SmallRng::seed_from_u64(0);
+        let mut actions = Vec::new();
+        let mut next_timer = 0;
+        let r = {
+            let mut ctx = Context::for_executor(
+                ProcessId(me),
+                n,
+                Time::from_millis(1),
+                &mut rng,
+                &mut actions,
+                &mut next_timer,
+            );
+            let mut sub = SubCtx::new(&mut ctx, &std::convert::identity, 9);
+            f(&mut sub)
+        };
+        (r, actions)
+    }
+
+    fn trusts(l: usize) -> FdOutput {
+        FdOutput { suspected: ProcessSet::new(), trusted: Some(ProcessId(l)) }
+    }
+
+    #[test]
+    fn ballots_are_proposer_unique_and_increasing() {
+        let p = PaxosConsensus::new(ProcessId(2), 5, ConsensusConfig::default());
+        assert_eq!(p.next_ballot_above(0), 2); // 0·5 + 2, the smallest > 0
+        assert_eq!(p.next_ballot_above(2), 7);
+        assert_eq!(p.next_ballot_above(7), 12);
+        assert_eq!(p.next_ballot_above(11), 12);
+        assert_eq!(p.next_ballot_above(12), 17);
+        let q = PaxosConsensus::new(ProcessId(3), 5, ConsensusConfig::default());
+        assert_ne!(p.next_ballot_above(20) % 5, q.next_ballot_above(20) % 5);
+    }
+
+    #[test]
+    fn leader_opens_a_ballot_on_propose() {
+        let mut p = PaxosConsensus::new(ProcessId(0), 5, ConsensusConfig::default());
+        let (_, actions) = drive(0, 5, |ctx| p.on_propose(ctx, 42, trusts(0)));
+        let prepares = actions
+            .iter()
+            .filter(|a| matches!(a, Action::Send { msg: PaxosMsg::Prepare { .. }, .. }))
+            .count();
+        assert_eq!(prepares, 4);
+        assert_eq!(p.ballots_started(), 1);
+    }
+
+    #[test]
+    fn non_leader_stays_quiet_until_trusted() {
+        let mut p = PaxosConsensus::new(ProcessId(1), 5, ConsensusConfig::default());
+        let (_, actions) = drive(1, 5, |ctx| p.on_propose(ctx, 42, trusts(0)));
+        assert!(
+            !actions.iter().any(|a| matches!(a, Action::Send { .. })),
+            "only the trusted process proposes"
+        );
+        // Ω flips to us: the poll opens a ballot.
+        let (_, actions) = drive(1, 5, |ctx| p.on_timer(ctx, 0, 0, trusts(1)));
+        assert!(actions.iter().any(|a| matches!(a, Action::Send { msg: PaxosMsg::Prepare { .. }, .. })));
+    }
+
+    #[test]
+    fn promises_inherit_the_highest_accepted_value() {
+        // The synod's value-locking rule, in isolation: acceptors report
+        // accepted (ballot, value) pairs; phase 2 must pick the highest's
+        // value, not the proposer's own.
+        let mut p = PaxosConsensus::new(ProcessId(0), 5, ConsensusConfig::default());
+        drive(0, 5, |ctx| p.on_propose(ctx, 42, trusts(0)));
+        drive(0, 5, |ctx| {
+            p.on_message(ctx, ProcessId(1), PaxosMsg::Promise { ballot: 5, accepted: Some((2, 77)) }, trusts(0))
+        });
+        let (_, actions) = drive(0, 5, |ctx| {
+            p.on_message(ctx, ProcessId(2), PaxosMsg::Promise { ballot: 5, accepted: Some((1, 66)) }, trusts(0))
+        });
+        let accepts: Vec<u64> = actions
+            .iter()
+            .filter_map(|a| match a {
+                Action::Send { msg: PaxosMsg::Accept { value, .. }, .. } => Some(*value),
+                _ => None,
+            })
+            .collect();
+        assert!(!accepts.is_empty(), "majority of promises reached");
+        assert!(accepts.iter().all(|v| *v == 77), "highest accepted ballot's value wins");
+    }
+
+    #[test]
+    fn acceptor_rejects_below_its_promise() {
+        let mut p = PaxosConsensus::new(ProcessId(3), 5, ConsensusConfig::default());
+        drive(3, 5, |ctx| p.on_propose(ctx, 1, trusts(0)));
+        drive(3, 5, |ctx| p.on_message(ctx, ProcessId(0), PaxosMsg::Prepare { ballot: 10 }, trusts(0)));
+        let (_, actions) =
+            drive(3, 5, |ctx| p.on_message(ctx, ProcessId(1), PaxosMsg::Prepare { ballot: 6 }, trusts(0)));
+        assert!(actions.iter().any(|a| matches!(
+            a,
+            Action::Send { to: ProcessId(1), msg: PaxosMsg::Reject { ballot: 6, promised: 10 } }
+        )));
+        // And an Accept below the promise is rejected too.
+        let (_, actions) = drive(3, 5, |ctx| {
+            p.on_message(ctx, ProcessId(1), PaxosMsg::Accept { ballot: 6, value: 9 }, trusts(0))
+        });
+        assert!(actions
+            .iter()
+            .any(|a| matches!(a, Action::Send { msg: PaxosMsg::Reject { .. }, .. })));
+    }
+
+    #[test]
+    fn preempted_proposer_jumps_past_the_contention() {
+        let mut p = PaxosConsensus::new(ProcessId(0), 5, ConsensusConfig::default());
+        drive(0, 5, |ctx| p.on_propose(ctx, 1, trusts(0)));
+        let b0 = p.ballot;
+        drive(0, 5, |ctx| {
+            p.on_message(ctx, ProcessId(2), PaxosMsg::Reject { ballot: b0, promised: 93 }, trusts(0))
+        });
+        // The poll reopens above the rejecting promise.
+        let (_, actions) = drive(0, 5, |ctx| p.on_timer(ctx, 0, 0, trusts(0)));
+        let new_ballot = actions
+            .iter()
+            .find_map(|a| match a {
+                Action::Send { msg: PaxosMsg::Prepare { ballot }, .. } => Some(*ballot),
+                _ => None,
+            })
+            .expect("reopened");
+        assert!(new_ballot > 93, "new ballot {new_ballot} must clear the contention at 93");
+    }
+}

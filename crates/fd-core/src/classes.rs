@@ -1,0 +1,253 @@
+//! Failure-detector classes.
+//!
+//! Chandra and Toueg characterize detectors by a *completeness* and an
+//! *accuracy* property; the four eventual classes of the paper's Fig. 1
+//! combine strong/weak completeness with eventual strong/weak accuracy.
+//! Two further classes matter here: `Ω` (eventual leader election) and the
+//! paper's contribution `◇C` (eventually consistent: ◇S-quality suspect
+//! sets *plus* Ω-quality trusted process, with the trusted process
+//! eventually unsuspected).
+//!
+//! [`FdClass::implementable_from`] encodes the reducibility results of §3
+//! and §4: which class can be built on top of which, and whether that
+//! construction needs partial synchrony.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Completeness: the capability of suspecting every crashed process.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Completeness {
+    /// Eventually every crashed process is permanently suspected by
+    /// **every** correct process.
+    Strong,
+    /// Eventually every crashed process is permanently suspected by
+    /// **some** correct process.
+    Weak,
+}
+
+/// Accuracy: the capability of not suspecting correct processes.
+/// Only the *eventual* variants appear in this paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Accuracy {
+    /// There is a time after which correct processes are not suspected by
+    /// any correct process.
+    EventualStrong,
+    /// There is a time after which **some** correct process is never
+    /// suspected by any correct process.
+    EventualWeak,
+}
+
+/// The failure-detector classes used in the paper.
+///
+/// ```
+/// use fd_core::{FdClass, SystemModel};
+///
+/// // §4's headline: partial synchrony lifts ◇C to ◇P (Fig. 2)...
+/// assert!(FdClass::EventuallyPerfect
+///     .implementable_from(FdClass::EventuallyConsistent, SystemModel::PartiallySynchronous));
+/// // ...which pure asynchrony cannot do.
+/// assert!(!FdClass::EventuallyPerfect
+///     .implementable_from(FdClass::EventuallyConsistent, SystemModel::Asynchronous));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FdClass {
+    /// ◇P: strong completeness + eventual strong accuracy.
+    EventuallyPerfect,
+    /// ◇Q: weak completeness + eventual strong accuracy.
+    EventuallyQuasiPerfect,
+    /// ◇S: strong completeness + eventual weak accuracy.
+    EventuallyStrong,
+    /// ◇W: weak completeness + eventual weak accuracy.
+    EventuallyWeak,
+    /// Ω: eventually all correct processes permanently trust the same
+    /// correct process.
+    Omega,
+    /// ◇C: ◇S suspect sets + Ω trusted process + eventually
+    /// `trusted ∉ suspected` (Definition 1 of the paper).
+    EventuallyConsistent,
+}
+
+/// The synchrony assumptions available to a transformation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SystemModel {
+    /// Pure asynchrony (reliable links, no timing assumptions).
+    Asynchronous,
+    /// Partial synchrony: after an unknown GST, message delays are bounded
+    /// by an unknown Δ (the model of \[6,8\] used in §4).
+    PartiallySynchronous,
+}
+
+impl FdClass {
+    /// The completeness property of this class's suspect output, if the
+    /// class exposes one (Ω exposes only a trusted process).
+    pub fn completeness(self) -> Option<Completeness> {
+        match self {
+            FdClass::EventuallyPerfect | FdClass::EventuallyStrong | FdClass::EventuallyConsistent => {
+                Some(Completeness::Strong)
+            }
+            FdClass::EventuallyQuasiPerfect | FdClass::EventuallyWeak => Some(Completeness::Weak),
+            FdClass::Omega => None,
+        }
+    }
+
+    /// The accuracy property of this class's suspect output, if any.
+    pub fn accuracy(self) -> Option<Accuracy> {
+        match self {
+            FdClass::EventuallyPerfect | FdClass::EventuallyQuasiPerfect => Some(Accuracy::EventualStrong),
+            FdClass::EventuallyStrong | FdClass::EventuallyWeak | FdClass::EventuallyConsistent => {
+                Some(Accuracy::EventualWeak)
+            }
+            FdClass::Omega => None,
+        }
+    }
+
+    /// Whether this class provides the Ω eventual-leader-election output.
+    pub fn has_leader(self) -> bool {
+        matches!(self, FdClass::Omega | FdClass::EventuallyConsistent)
+    }
+
+    /// Whether a detector of class `self` can be implemented on top of a
+    /// detector of class `from` under `model`, per §3 and §4:
+    ///
+    /// * every class implements itself;
+    /// * ◇P implements everything (§3: "any implementation of ◇P can be
+    ///   trivially used to implement ◇C", and ◇P ⊇ ◇Q/◇S/◇W by weakening);
+    /// * ◇C implements ◇S and Ω by projection, hence also ◇W;
+    /// * Ω implements ◇C (trivially, with poor accuracy — §3), hence also
+    ///   ◇S/◇W through ◇C;
+    /// * ◇S/◇W implement each other (completeness amplification \[6\]) and
+    ///   implement Ω (Chandra et al. \[5\] / Chu \[7\]), hence ◇C (§3);
+    /// * ◇Q implements ◇P (completeness amplification preserves eventual
+    ///   strong accuracy) and therefore everything;
+    /// * under **partial synchrony**, ◇C (and Ω) additionally implement
+    ///   ◇P via the Fig. 2 transformation (§4) — so there everything
+    ///   implements everything.
+    pub fn implementable_from(self, from: FdClass, model: SystemModel) -> bool {
+        use FdClass::*;
+        if from == self {
+            return true;
+        }
+        match model {
+            // In the asynchronous model the classes split in two rungs:
+            // {◇P, ◇Q} (eventual strong accuracy) on top, and
+            // {◇S, ◇W, Ω, ◇C} (all inter-reducible) below.
+            SystemModel::Asynchronous => {
+                let strong_acc = |c: FdClass| matches!(c, EventuallyPerfect | EventuallyQuasiPerfect);
+                if strong_acc(from) {
+                    true
+                } else {
+                    !strong_acc(self)
+                }
+            }
+            // Partial synchrony collapses the hierarchy: Fig. 2 lifts any
+            // ◇C (or Ω) to ◇P, and the lower rung was already
+            // inter-reducible.
+            SystemModel::PartiallySynchronous => true,
+        }
+    }
+
+    /// All classes, for exhaustive iteration in tests.
+    pub const ALL: [FdClass; 6] = [
+        FdClass::EventuallyPerfect,
+        FdClass::EventuallyQuasiPerfect,
+        FdClass::EventuallyStrong,
+        FdClass::EventuallyWeak,
+        FdClass::Omega,
+        FdClass::EventuallyConsistent,
+    ];
+}
+
+impl fmt::Display for FdClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            FdClass::EventuallyPerfect => "◇P",
+            FdClass::EventuallyQuasiPerfect => "◇Q",
+            FdClass::EventuallyStrong => "◇S",
+            FdClass::EventuallyWeak => "◇W",
+            FdClass::Omega => "Ω",
+            FdClass::EventuallyConsistent => "◇C",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use FdClass::*;
+    use SystemModel::*;
+
+    #[test]
+    fn fig1_grid() {
+        assert_eq!(EventuallyPerfect.completeness(), Some(Completeness::Strong));
+        assert_eq!(EventuallyPerfect.accuracy(), Some(Accuracy::EventualStrong));
+        assert_eq!(EventuallyQuasiPerfect.completeness(), Some(Completeness::Weak));
+        assert_eq!(EventuallyQuasiPerfect.accuracy(), Some(Accuracy::EventualStrong));
+        assert_eq!(EventuallyStrong.completeness(), Some(Completeness::Strong));
+        assert_eq!(EventuallyStrong.accuracy(), Some(Accuracy::EventualWeak));
+        assert_eq!(EventuallyWeak.completeness(), Some(Completeness::Weak));
+        assert_eq!(EventuallyWeak.accuracy(), Some(Accuracy::EventualWeak));
+    }
+
+    #[test]
+    fn ec_combines_es_and_omega() {
+        assert_eq!(EventuallyConsistent.completeness(), EventuallyStrong.completeness());
+        assert_eq!(EventuallyConsistent.accuracy(), EventuallyStrong.accuracy());
+        assert!(EventuallyConsistent.has_leader());
+        assert!(Omega.has_leader());
+        assert!(!EventuallyStrong.has_leader());
+        assert_eq!(Omega.completeness(), None);
+    }
+
+    #[test]
+    fn async_reducibility_lower_rung_is_an_equivalence() {
+        let lower = [EventuallyStrong, EventuallyWeak, Omega, EventuallyConsistent];
+        for a in lower {
+            for b in lower {
+                assert!(a.implementable_from(b, Asynchronous), "{a} from {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn async_upper_rung_not_reachable_from_below() {
+        for weak in [EventuallyStrong, EventuallyWeak, Omega, EventuallyConsistent] {
+            assert!(!EventuallyPerfect.implementable_from(weak, Asynchronous));
+            assert!(!EventuallyQuasiPerfect.implementable_from(weak, Asynchronous));
+        }
+    }
+
+    #[test]
+    fn ep_implements_everything() {
+        for c in FdClass::ALL {
+            assert!(c.implementable_from(EventuallyPerfect, Asynchronous));
+        }
+    }
+
+    #[test]
+    fn partial_synchrony_collapses_the_hierarchy() {
+        // The §4 result: Fig. 2 lifts ◇C to ◇P under partial synchrony.
+        assert!(EventuallyPerfect.implementable_from(EventuallyConsistent, PartiallySynchronous));
+        assert!(EventuallyPerfect.implementable_from(Omega, PartiallySynchronous));
+        for a in FdClass::ALL {
+            for b in FdClass::ALL {
+                assert!(a.implementable_from(b, PartiallySynchronous));
+            }
+        }
+    }
+
+    #[test]
+    fn self_implementation_always_holds() {
+        for c in FdClass::ALL {
+            assert!(c.implementable_from(c, Asynchronous));
+        }
+    }
+
+    #[test]
+    fn display_uses_paper_notation() {
+        assert_eq!(EventuallyConsistent.to_string(), "◇C");
+        assert_eq!(Omega.to_string(), "Ω");
+        assert_eq!(EventuallyPerfect.to_string(), "◇P");
+    }
+}

@@ -1,0 +1,256 @@
+//! Compact process sets.
+//!
+//! Failure-detector outputs are sets of processes; protocols intersect,
+//! union and scan them constantly. [`ProcessSet`] is a `u128` bitset (the
+//! workspace caps systems at 128 processes, far beyond any experiment in
+//! the paper), giving O(1) set algebra and allocation-free copies.
+
+use fd_sim::ProcessId;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{BitAnd, BitOr, Sub};
+
+/// Maximum number of processes representable.
+pub const MAX_PROCESSES: usize = 128;
+
+/// A set of processes, as a bitset over identities `0..128`.
+///
+/// ```
+/// use fd_core::ProcessSet;
+/// use fd_sim::ProcessId;
+///
+/// let crashed: ProcessSet = [ProcessId(1), ProcessId(3)].into_iter().collect();
+/// let correct = crashed.complement(5);
+/// assert_eq!(correct.to_vec(), vec![ProcessId(0), ProcessId(2), ProcessId(4)]);
+/// assert_eq!(correct.first(), Some(ProcessId(0))); // the paper's leader pick
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub struct ProcessSet {
+    bits: u128,
+}
+
+impl ProcessSet {
+    /// The empty set.
+    pub const EMPTY: ProcessSet = ProcessSet { bits: 0 };
+
+    /// The empty set.
+    pub fn new() -> ProcessSet {
+        ProcessSet::EMPTY
+    }
+
+    /// The set `{p_0, …, p_{n-1}}` of all processes in an `n`-process system.
+    pub fn full(n: usize) -> ProcessSet {
+        assert!(n <= MAX_PROCESSES, "at most {MAX_PROCESSES} processes supported");
+        if n == MAX_PROCESSES {
+            ProcessSet { bits: u128::MAX }
+        } else {
+            ProcessSet { bits: (1u128 << n) - 1 }
+        }
+    }
+
+    /// A singleton set.
+    pub fn singleton(p: ProcessId) -> ProcessSet {
+        let mut s = ProcessSet::new();
+        s.insert(p);
+        s
+    }
+
+    fn bit(p: ProcessId) -> u128 {
+        assert!(p.index() < MAX_PROCESSES, "process index out of range");
+        1u128 << p.index()
+    }
+
+    /// Add `p`; returns whether the set changed.
+    pub fn insert(&mut self, p: ProcessId) -> bool {
+        let b = Self::bit(p);
+        let changed = self.bits & b == 0;
+        self.bits |= b;
+        changed
+    }
+
+    /// Remove `p`; returns whether the set changed.
+    pub fn remove(&mut self, p: ProcessId) -> bool {
+        let b = Self::bit(p);
+        let changed = self.bits & b != 0;
+        self.bits &= !b;
+        changed
+    }
+
+    /// Membership test.
+    pub fn contains(&self, p: ProcessId) -> bool {
+        p.index() < MAX_PROCESSES && self.bits & Self::bit(p) != 0
+    }
+
+    /// Number of members.
+    pub fn len(&self) -> usize {
+        self.bits.count_ones() as usize
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.bits == 0
+    }
+
+    /// The member with the smallest identity — the "first" process in the
+    /// paper's total order, used to pick leaders deterministically.
+    pub fn first(&self) -> Option<ProcessId> {
+        if self.bits == 0 {
+            None
+        } else {
+            Some(ProcessId(self.bits.trailing_zeros() as usize))
+        }
+    }
+
+    /// Iterate members in identity order.
+    pub fn iter(&self) -> impl Iterator<Item = ProcessId> + '_ {
+        let mut bits = self.bits;
+        std::iter::from_fn(move || {
+            if bits == 0 {
+                None
+            } else {
+                let i = bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                Some(ProcessId(i))
+            }
+        })
+    }
+
+    /// `self ⊆ other`.
+    pub fn is_subset_of(&self, other: &ProcessSet) -> bool {
+        self.bits & !other.bits == 0
+    }
+
+    /// The complement within an `n`-process system.
+    pub fn complement(&self, n: usize) -> ProcessSet {
+        ProcessSet { bits: !self.bits & ProcessSet::full(n).bits }
+    }
+
+    /// Members as a sorted `Vec` (for trace payloads).
+    pub fn to_vec(&self) -> Vec<ProcessId> {
+        self.iter().collect()
+    }
+}
+
+impl BitOr for ProcessSet {
+    type Output = ProcessSet;
+    fn bitor(self, rhs: ProcessSet) -> ProcessSet {
+        ProcessSet { bits: self.bits | rhs.bits }
+    }
+}
+
+impl BitAnd for ProcessSet {
+    type Output = ProcessSet;
+    fn bitand(self, rhs: ProcessSet) -> ProcessSet {
+        ProcessSet { bits: self.bits & rhs.bits }
+    }
+}
+
+impl Sub for ProcessSet {
+    type Output = ProcessSet;
+    fn sub(self, rhs: ProcessSet) -> ProcessSet {
+        ProcessSet { bits: self.bits & !rhs.bits }
+    }
+}
+
+impl FromIterator<ProcessId> for ProcessSet {
+    fn from_iter<T: IntoIterator<Item = ProcessId>>(iter: T) -> Self {
+        let mut s = ProcessSet::new();
+        for p in iter {
+            s.insert(p);
+        }
+        s
+    }
+}
+
+impl<'a> FromIterator<&'a ProcessId> for ProcessSet {
+    fn from_iter<T: IntoIterator<Item = &'a ProcessId>>(iter: T) -> Self {
+        iter.into_iter().copied().collect()
+    }
+}
+
+impl Extend<ProcessId> for ProcessSet {
+    fn extend<T: IntoIterator<Item = ProcessId>>(&mut self, iter: T) {
+        for p in iter {
+            self.insert(p);
+        }
+    }
+}
+
+impl fmt::Display for ProcessSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, p) in self.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{p}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn set(ids: &[usize]) -> ProcessSet {
+        ids.iter().map(|&i| ProcessId(i)).collect()
+    }
+
+    #[test]
+    fn insert_remove_contains() {
+        let mut s = ProcessSet::new();
+        assert!(s.insert(ProcessId(3)));
+        assert!(!s.insert(ProcessId(3)));
+        assert!(s.contains(ProcessId(3)));
+        assert_eq!(s.len(), 1);
+        assert!(s.remove(ProcessId(3)));
+        assert!(!s.remove(ProcessId(3)));
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn full_and_complement() {
+        let full = ProcessSet::full(5);
+        assert_eq!(full.len(), 5);
+        let s = set(&[0, 2]);
+        assert_eq!(s.complement(5), set(&[1, 3, 4]));
+        assert_eq!(ProcessSet::full(MAX_PROCESSES).len(), MAX_PROCESSES);
+    }
+
+    #[test]
+    fn first_respects_total_order() {
+        assert_eq!(set(&[4, 2, 7]).first(), Some(ProcessId(2)));
+        assert_eq!(ProcessSet::new().first(), None);
+    }
+
+    #[test]
+    fn algebra() {
+        let a = set(&[0, 1, 2]);
+        let b = set(&[2, 3]);
+        assert_eq!(a | b, set(&[0, 1, 2, 3]));
+        assert_eq!(a & b, set(&[2]));
+        assert_eq!(a - b, set(&[0, 1]));
+        assert!(set(&[1]).is_subset_of(&a));
+        assert!(!b.is_subset_of(&a));
+    }
+
+    #[test]
+    fn iteration_is_sorted() {
+        let s = set(&[9, 1, 5]);
+        assert_eq!(s.to_vec(), vec![ProcessId(1), ProcessId(5), ProcessId(9)]);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(set(&[0, 2]).to_string(), "{p0,p2}");
+        assert_eq!(ProcessSet::new().to_string(), "{}");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn oversized_index_panics() {
+        let mut s = ProcessSet::new();
+        s.insert(ProcessId(MAX_PROCESSES));
+    }
+}

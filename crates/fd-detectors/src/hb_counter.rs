@@ -1,0 +1,453 @@
+//! The Heartbeat failure detector of Aguilera, Chen & Toueg \[1\]
+//! (*Heartbeat: a timeout-free failure detector for quiescent reliable
+//! communication*, WDAG 1997) — cited in the paper's §1.1 survey of
+//! detector classes beyond Chandra–Toueg's.
+//!
+//! Unlike every other detector in this crate, Heartbeat is **timeout
+//! free**: its output is not a suspect set but a vector of unbounded
+//! counters, `HB_p[q]` = how many heartbeats `p` has received from `q`.
+//! The counter of a crashed process eventually stops increasing; a
+//! correct process's counter increases forever. No timing assumption is
+//! consulted, so the output is never "wrong" — it is just evidence.
+//!
+//! Its killer application (and the reason \[1\] exists) is **quiescent
+//! reliable communication** over fair-lossy links: a sender retransmits a
+//! message only when the receiver's heartbeat counter has increased since
+//! the last attempt, until an ack arrives.
+//!
+//! * If the receiver is correct, fairness delivers some retransmission
+//!   and some ack — reliability.
+//! * If the receiver crashed, its counter stops, so retransmissions stop —
+//!   **quiescence**, which no timeout-based retransmitter achieves (a
+//!   timeout detector may be wrong forever, and "retransmit forever" is
+//!   the only safe policy without counter evidence).
+//!
+//! [`QuiescentChannel`] implements exactly that protocol;
+//! [`QuiescentNode`] hosts the counter detector and the channel together.
+
+use fd_core::{Component, SubCtx};
+use fd_sim::{Actor, Context, Payload, ProcessId, SimDuration, SimMessage, TimerTag};
+use std::collections::{HashMap, HashSet, VecDeque};
+
+/// Configuration of the [`HeartbeatCounter`] detector.
+#[derive(Debug, Clone)]
+pub struct HbCounterConfig {
+    /// Heartbeat period.
+    pub period: SimDuration,
+}
+
+impl Default for HbCounterConfig {
+    fn default() -> Self {
+        HbCounterConfig { period: SimDuration::from_millis(10) }
+    }
+}
+
+/// The heartbeat message of the counter detector.
+#[derive(Debug, Clone)]
+pub struct HbBeat;
+
+impl SimMessage for HbBeat {
+    fn kind(&self) -> &'static str {
+        "hbc.beat"
+    }
+}
+
+const TIMER_BEAT: u32 = 0;
+
+/// The timeout-free Heartbeat detector: output is a counter vector.
+#[derive(Debug)]
+pub struct HeartbeatCounter {
+    cfg: HbCounterConfig,
+    counters: Vec<u64>,
+}
+
+impl HeartbeatCounter {
+    /// Create the detector for one process of `n`.
+    pub fn new(n: usize, cfg: HbCounterConfig) -> HeartbeatCounter {
+        HeartbeatCounter { cfg, counters: vec![0; n] }
+    }
+
+    /// The current counter vector (`HB_p` in \[1\]).
+    pub fn counters(&self) -> &[u64] {
+        &self.counters
+    }
+
+    /// The counter for one process.
+    pub fn counter(&self, q: ProcessId) -> u64 {
+        self.counters[q.index()]
+    }
+}
+
+impl Component for HeartbeatCounter {
+    type Msg = HbBeat;
+
+    fn ns(&self) -> u32 {
+        crate::ns::HB_COUNTER
+    }
+
+    fn on_start<N: SimMessage>(&mut self, ctx: &mut SubCtx<'_, '_, N, HbBeat>) {
+        ctx.send_to_others(HbBeat);
+        ctx.set_timer(self.cfg.period, TIMER_BEAT, 0);
+    }
+
+    fn on_message<N: SimMessage>(
+        &mut self,
+        _ctx: &mut SubCtx<'_, '_, N, HbBeat>,
+        from: ProcessId,
+        _msg: HbBeat,
+    ) {
+        self.counters[from.index()] += 1;
+    }
+
+    fn on_timer<N: SimMessage>(&mut self, ctx: &mut SubCtx<'_, '_, N, HbBeat>, kind: u32, _d: u64) {
+        debug_assert_eq!(kind, TIMER_BEAT);
+        ctx.send_to_others(HbBeat);
+        ctx.set_timer(self.cfg.period, TIMER_BEAT, 0);
+    }
+}
+
+/// Observation tag: a payload was quiescently delivered
+/// (`U64Pair(seq, payload)`).
+pub const QC_DELIVERED: &str = "qc.delivered";
+
+/// Messages of the quiescent channel.
+#[derive(Debug, Clone)]
+pub enum QcMsg {
+    /// A (re)transmission of payload `payload` with sender-local `seq`.
+    Data {
+        /// Sender-local sequence number.
+        seq: u64,
+        /// The payload.
+        payload: u64,
+    },
+    /// Acknowledgement of `seq`.
+    Ack {
+        /// The acknowledged sequence number.
+        seq: u64,
+    },
+}
+
+impl SimMessage for QcMsg {
+    fn kind(&self) -> &'static str {
+        match self {
+            QcMsg::Data { .. } => "qc.data",
+            QcMsg::Ack { .. } => "qc.ack",
+        }
+    }
+}
+
+const TIMER_RETRY: u32 = 0;
+
+/// One pending outbound message.
+#[derive(Debug)]
+struct Pending {
+    to: ProcessId,
+    seq: u64,
+    payload: u64,
+    /// The receiver's heartbeat counter at our last transmission: we send
+    /// again only after it increases (the \[1\] rule).
+    sent_at_hb: u64,
+}
+
+/// Heartbeat-driven quiescent reliable point-to-point channel.
+#[derive(Debug)]
+pub struct QuiescentChannel {
+    cfg: HbCounterConfig,
+    next_seq: u64,
+    pending: Vec<Pending>,
+    received: HashSet<(ProcessId, u64)>,
+    delivered: VecDeque<(ProcessId, u64, u64)>,
+    /// Retransmission counts, for the quiescence assertions.
+    transmissions: HashMap<(ProcessId, u64), u64>,
+}
+
+impl QuiescentChannel {
+    /// Create the channel endpoint.
+    pub fn new(cfg: HbCounterConfig) -> QuiescentChannel {
+        QuiescentChannel {
+            cfg,
+            next_seq: 0,
+            pending: Vec::new(),
+            received: HashSet::new(),
+            delivered: VecDeque::new(),
+            transmissions: HashMap::new(),
+        }
+    }
+
+    /// Timer namespace of this component.
+    pub fn ns(&self) -> u32 {
+        crate::ns::QUIESCENT
+    }
+
+    /// Number of not-yet-acknowledged messages.
+    pub fn pending_len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// How many times `(to, seq)` has been transmitted.
+    pub fn transmissions(&self, to: ProcessId, seq: u64) -> u64 {
+        self.transmissions.get(&(to, seq)).copied().unwrap_or(0)
+    }
+
+    /// Drain messages delivered to this endpoint: `(from, seq, payload)`.
+    pub fn take_delivered(&mut self) -> Vec<(ProcessId, u64, u64)> {
+        self.delivered.drain(..).collect()
+    }
+
+    fn transmit<N: SimMessage>(&mut self, ctx: &mut SubCtx<'_, '_, N, QcMsg>, idx: usize, hb: &[u64]) {
+        let p = &mut self.pending[idx];
+        p.sent_at_hb = hb[p.to.index()];
+        *self.transmissions.entry((p.to, p.seq)).or_default() += 1;
+        let msg = QcMsg::Data { seq: p.seq, payload: p.payload };
+        let to = p.to;
+        ctx.send(to, msg);
+    }
+
+    /// Reliably send `payload` to `to`; returns the sequence number.
+    pub fn send<N: SimMessage>(
+        &mut self,
+        ctx: &mut SubCtx<'_, '_, N, QcMsg>,
+        to: ProcessId,
+        payload: u64,
+        hb: &[u64],
+    ) -> u64 {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.pending.push(Pending { to, seq, payload, sent_at_hb: 0 });
+        let idx = self.pending.len() - 1;
+        self.transmit(ctx, idx, hb);
+        seq
+    }
+
+    /// Startup: arm the retry scan.
+    pub fn on_start<N: SimMessage>(&mut self, ctx: &mut SubCtx<'_, '_, N, QcMsg>) {
+        ctx.set_timer(self.cfg.period, TIMER_RETRY, 0);
+    }
+
+    /// Handle channel traffic.
+    pub fn on_message<N: SimMessage>(
+        &mut self,
+        ctx: &mut SubCtx<'_, '_, N, QcMsg>,
+        from: ProcessId,
+        msg: QcMsg,
+    ) {
+        match msg {
+            QcMsg::Data { seq, payload } => {
+                // Always re-ack (the previous ack may have been lost);
+                // deliver at most once.
+                ctx.send(from, QcMsg::Ack { seq });
+                if self.received.insert((from, seq)) {
+                    self.delivered.push_back((from, seq, payload));
+                    ctx.observe(QC_DELIVERED, Payload::U64Pair(seq, payload));
+                }
+            }
+            QcMsg::Ack { seq } => {
+                self.pending.retain(|p| !(p.to == from && p.seq == seq));
+            }
+        }
+    }
+
+    /// Periodic retry scan: retransmit exactly the pending messages whose
+    /// receiver shows fresh heartbeat evidence.
+    pub fn on_timer<N: SimMessage>(
+        &mut self,
+        ctx: &mut SubCtx<'_, '_, N, QcMsg>,
+        kind: u32,
+        _data: u64,
+        hb: &[u64],
+    ) {
+        debug_assert_eq!(kind, TIMER_RETRY);
+        for idx in 0..self.pending.len() {
+            if hb[self.pending[idx].to.index()] > self.pending[idx].sent_at_hb {
+                self.transmit(ctx, idx, hb);
+            }
+        }
+        ctx.set_timer(self.cfg.period, TIMER_RETRY, 0);
+    }
+}
+
+/// Combined node message for [`QuiescentNode`].
+#[derive(Debug, Clone)]
+pub enum QcNodeMsg {
+    /// Heartbeat traffic.
+    Hb(HbBeat),
+    /// Channel traffic.
+    Qc(QcMsg),
+}
+
+impl SimMessage for QcNodeMsg {
+    fn kind(&self) -> &'static str {
+        match self {
+            QcNodeMsg::Hb(m) => m.kind(),
+            QcNodeMsg::Qc(m) => m.kind(),
+        }
+    }
+}
+
+/// A node hosting the Heartbeat counter detector and the quiescent
+/// channel — the full \[1\] stack.
+pub struct QuiescentNode {
+    /// The timeout-free detector.
+    pub hb: HeartbeatCounter,
+    /// The reliable channel endpoint.
+    pub qc: QuiescentChannel,
+}
+
+impl QuiescentNode {
+    /// Build the node for one process of `n`.
+    pub fn new(n: usize, cfg: HbCounterConfig) -> QuiescentNode {
+        QuiescentNode { hb: HeartbeatCounter::new(n, cfg.clone()), qc: QuiescentChannel::new(cfg) }
+    }
+
+    /// Reliably send `payload` to `to` (callable via `World::interact`).
+    pub fn send(&mut self, ctx: &mut Context<'_, QcNodeMsg>, to: ProcessId, payload: u64) -> u64 {
+        let ns = self.qc.ns();
+        let hb = self.hb.counters().to_vec();
+        self.qc.send(&mut SubCtx::new(ctx, &QcNodeMsg::Qc, ns), to, payload, &hb)
+    }
+}
+
+impl Actor for QuiescentNode {
+    type Msg = QcNodeMsg;
+
+    fn on_start(&mut self, ctx: &mut Context<'_, QcNodeMsg>) {
+        let ns = self.hb.ns();
+        self.hb.on_start(&mut SubCtx::new(ctx, &QcNodeMsg::Hb, ns));
+        let ns = self.qc.ns();
+        self.qc.on_start(&mut SubCtx::new(ctx, &QcNodeMsg::Qc, ns));
+    }
+
+    fn on_message(&mut self, ctx: &mut Context<'_, QcNodeMsg>, from: ProcessId, msg: QcNodeMsg) {
+        match msg {
+            QcNodeMsg::Hb(m) => {
+                let ns = self.hb.ns();
+                self.hb.on_message(&mut SubCtx::new(ctx, &QcNodeMsg::Hb, ns), from, m);
+            }
+            QcNodeMsg::Qc(m) => {
+                let ns = self.qc.ns();
+                self.qc.on_message(&mut SubCtx::new(ctx, &QcNodeMsg::Qc, ns), from, m);
+            }
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Context<'_, QcNodeMsg>, tag: TimerTag) {
+        if tag.ns == self.hb.ns() {
+            self.hb.on_timer(&mut SubCtx::new(ctx, &QcNodeMsg::Hb, tag.ns), tag.kind, tag.data);
+        } else {
+            debug_assert_eq!(tag.ns, self.qc.ns());
+            let hb = self.hb.counters().to_vec();
+            self.qc.on_timer(&mut SubCtx::new(ctx, &QcNodeMsg::Qc, tag.ns), tag.kind, tag.data, &hb);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fd_sim::{LinkModel, NetworkConfig, Time, WorldBuilder};
+
+    fn lossy_net(n: usize, drop: f64) -> NetworkConfig {
+        NetworkConfig::new(n).with_default(LinkModel::fair_lossy(
+            SimDuration::from_millis(1),
+            SimDuration::from_millis(4),
+            drop,
+        ))
+    }
+
+    #[test]
+    fn counters_grow_for_correct_and_stop_for_crashed() {
+        let n = 3;
+        let mut w = WorldBuilder::new(lossy_net(n, 0.2))
+            .seed(111)
+            .crash_at(ProcessId(2), Time::from_millis(300))
+            .build(|_, n| QuiescentNode::new(n, HbCounterConfig::default()));
+        w.run_until_time(Time::from_secs(1));
+        let crashed_at_1s = w.actor(ProcessId(0)).hb.counter(ProcessId(2));
+        let correct_at_1s = w.actor(ProcessId(0)).hb.counter(ProcessId(1));
+        w.run_until_time(Time::from_secs(3));
+        assert_eq!(
+            w.actor(ProcessId(0)).hb.counter(ProcessId(2)),
+            crashed_at_1s,
+            "a crashed process's counter must freeze"
+        );
+        assert!(
+            w.actor(ProcessId(0)).hb.counter(ProcessId(1)) > correct_at_1s + 100,
+            "a correct process's counter keeps growing"
+        );
+    }
+
+    #[test]
+    fn delivery_over_heavy_fair_loss() {
+        // 70% loss on every link: retransmissions driven by heartbeat
+        // evidence must still get the message through, exactly once.
+        let n = 2;
+        let mut w = WorldBuilder::new(lossy_net(n, 0.7))
+            .seed(112)
+            .build(|_, n| QuiescentNode::new(n, HbCounterConfig::default()));
+        w.interact(ProcessId(0), |node, ctx| {
+            node.send(ctx, ProcessId(1), 4242);
+        });
+        let got = w.run_until(Time::from_secs(30), |w| {
+            // Peek receiver state through the trace-free accessor.
+            w.actor(ProcessId(1)).qc.received.contains(&(ProcessId(0), 0))
+        });
+        assert!(got, "payload must be delivered despite 70% loss");
+        // Exactly-once delivery even though Data was retransmitted.
+        let mut rx = w
+            .actor(ProcessId(1))
+            .qc
+            .delivered
+            .iter()
+            .copied()
+            .collect::<Vec<_>>();
+        rx.dedup();
+        assert_eq!(rx, vec![(ProcessId(0), 0, 4242)]);
+        assert!(
+            w.actor(ProcessId(0)).qc.transmissions(ProcessId(1), 0) >= 2,
+            "loss must have forced retransmissions"
+        );
+    }
+
+    #[test]
+    fn sender_goes_quiescent_when_the_receiver_crashes() {
+        // The [1] headline: sending to a crashed process STOPS, because
+        // its heartbeat counter freezes — no timeout guessing involved.
+        let n = 2;
+        // The receiver is dead from the very first event: no ack can
+        // ever arrive, so only quiescence can silence the sender.
+        let mut w = WorldBuilder::new(lossy_net(n, 0.3))
+            .seed(113)
+            .crash_at(ProcessId(1), Time::ZERO)
+            .build(|_, n| QuiescentNode::new(n, HbCounterConfig::default()));
+        w.interact(ProcessId(0), |node, ctx| {
+            node.send(ctx, ProcessId(1), 7);
+        });
+        w.run_until_time(Time::from_secs(2));
+        let tx_at_2s = w.actor(ProcessId(0)).qc.transmissions(ProcessId(1), 0);
+        w.run_until_time(Time::from_secs(6));
+        let tx_at_6s = w.actor(ProcessId(0)).qc.transmissions(ProcessId(1), 0);
+        assert_eq!(tx_at_2s, tx_at_6s, "retransmissions must stop (quiescence)");
+        assert_eq!(w.actor(ProcessId(0)).qc.pending_len(), 1, "still unacked, but silent");
+    }
+
+    #[test]
+    fn acks_are_regenerated_for_duplicate_data() {
+        // Lost acks cause duplicate Data; the receiver re-acks and the
+        // sender's pending set eventually empties.
+        let n = 2;
+        let mut w = WorldBuilder::new(lossy_net(n, 0.6))
+            .seed(114)
+            .build(|_, n| QuiescentNode::new(n, HbCounterConfig::default()));
+        for k in 0..5u64 {
+            w.interact(ProcessId(0), move |node, ctx| {
+                node.send(ctx, ProcessId(1), 100 + k);
+            });
+        }
+        let emptied = w.run_until(Time::from_secs(30), |w| w.actor(ProcessId(0)).qc.pending_len() == 0);
+        assert!(emptied, "all five messages must eventually be acked");
+        let mut payloads: Vec<u64> =
+            w.actor(ProcessId(1)).qc.delivered.iter().map(|(_, _, v)| *v).collect();
+        payloads.sort_unstable();
+        assert_eq!(payloads, vec![100, 101, 102, 103, 104]);
+    }
+}

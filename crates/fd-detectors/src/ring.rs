@@ -1,0 +1,380 @@
+//! Ring-based detector in the style of Larrea, Arévalo & Fernández \[15\].
+//!
+//! Processes are arranged on a logical ring (identity order, wrapping).
+//! Each process *polls* its nearest non-suspected predecessor once per
+//! period; the predecessor answers with its current suspect list. A
+//! target that stays silent past its adaptive timeout is suspected and the
+//! poller moves one step further back; a reply from a suspected process
+//! revokes the mistake and grows its timeout. Receivers adopt the
+//! upstream list for everything outside the ring segment they vouch for
+//! locally, so suspicion information circulates around the ring.
+//!
+//! Properties (checked by the tests and by experiments E4/E6/E7):
+//!
+//! * strong completeness — a crashed process is suspected by the first
+//!   correct successor polling it, and the suspicion propagates with the
+//!   circulating lists;
+//! * eventual strong accuracy under partial synchrony — a falsely
+//!   suspected process is polled directly by its monitor, so its reply
+//!   clears the mistake at the source and the fix washes downstream;
+//! * the guarantee §3 highlights: eventually the **first non-suspected
+//!   process is the same at every correct process and is correct**, which
+//!   makes this detector a ◇C base *with good accuracy* at no extra
+//!   message cost (wrap it in [`LeaderByFirstNonSuspected`]).
+//!
+//! Cost: one poll plus one reply per process per period — the `2n`
+//! periodic messages §4 quotes for this algorithm. Its *crash-detection
+//! latency* is high (suspicion lists must travel the ring hop by hop),
+//! which is exactly the drawback §4 attributes to it; experiment E4
+//! measures that latency against the heartbeat and Fig. 2 detectors.
+//!
+//! [`LeaderByFirstNonSuspected`]: crate::omega::LeaderByFirstNonSuspected
+
+use crate::timeout::TimeoutTable;
+use fd_core::{Component, ProcessSet, SubCtx, SuspectOracle};
+use fd_sim::{ProcessId, SimDuration, SimMessage, Time};
+
+/// Configuration of a [`RingDetector`].
+#[derive(Debug, Clone)]
+pub struct RingConfig {
+    /// Poll period.
+    pub period: SimDuration,
+    /// How often the target timeout is checked.
+    pub check_period: SimDuration,
+    /// Initial target timeout.
+    pub initial_timeout: SimDuration,
+    /// Additive timeout increment after a false suspicion.
+    pub timeout_increment: SimDuration,
+}
+
+impl Default for RingConfig {
+    fn default() -> Self {
+        RingConfig {
+            period: SimDuration::from_millis(10),
+            check_period: SimDuration::from_millis(5),
+            initial_timeout: SimDuration::from_millis(40),
+            timeout_increment: SimDuration::from_millis(25),
+        }
+    }
+}
+
+/// Messages of the ring detector.
+#[derive(Debug, Clone)]
+pub enum RingMsg {
+    /// "Are you alive?" — sent to the current monitored predecessor.
+    Poll,
+    /// Reply to a poll, carrying the responder's suspect list.
+    Reply {
+        /// The responder's current suspect list.
+        suspects: Vec<ProcessId>,
+    },
+}
+
+impl SimMessage for RingMsg {
+    fn kind(&self) -> &'static str {
+        match self {
+            RingMsg::Poll => "ring.poll",
+            RingMsg::Reply { .. } => "ring.reply",
+        }
+    }
+}
+
+const TIMER_POLL: u32 = 0;
+const TIMER_CHECK: u32 = 1;
+
+/// Ring-based ◇P-quality failure detector.
+#[derive(Debug)]
+pub struct RingDetector {
+    me: ProcessId,
+    n: usize,
+    cfg: RingConfig,
+    suspected: ProcessSet,
+    last_heard: Time,
+    timeouts: TimeoutTable,
+}
+
+impl RingDetector {
+    /// Create the detector for process `me` of `n`.
+    pub fn new(me: ProcessId, n: usize, cfg: RingConfig) -> RingDetector {
+        let timeouts = TimeoutTable::additive(n, cfg.initial_timeout, cfg.timeout_increment);
+        RingDetector {
+            me,
+            n,
+            cfg,
+            suspected: ProcessSet::new(),
+            last_heard: Time::ZERO,
+            timeouts,
+        }
+    }
+
+    /// The nearest predecessor (going backwards on the ring) that this
+    /// process does not suspect — the process it currently polls.
+    pub fn monitored_predecessor(&self) -> ProcessId {
+        let mut p = self.me.predecessor(self.n);
+        while p != self.me && self.suspected.contains(p) {
+            p = p.predecessor(self.n);
+        }
+        p
+    }
+
+    /// The processes strictly between `from` and `me` going forward on the
+    /// ring — the segment this process vouches for locally (its failed
+    /// predecessor candidates).
+    fn between(&self, from: ProcessId) -> ProcessSet {
+        let mut set = ProcessSet::new();
+        let mut p = from.successor(self.n);
+        while p != self.me {
+            set.insert(p);
+            p = p.successor(self.n);
+        }
+        set
+    }
+
+    fn emit<N: SimMessage>(&self, ctx: &mut SubCtx<'_, '_, N, RingMsg>) {
+        ctx.observe(fd_core::obs::SUSPECTS, fd_sim::Payload::Pids(self.suspected.to_vec()));
+    }
+
+    fn poll_target<N: SimMessage>(&mut self, ctx: &mut SubCtx<'_, '_, N, RingMsg>) {
+        let target = self.monitored_predecessor();
+        if target != self.me {
+            ctx.send(target, RingMsg::Poll);
+        }
+    }
+
+    fn adopt_list<N: SimMessage>(
+        &mut self,
+        ctx: &mut SubCtx<'_, '_, N, RingMsg>,
+        from: ProcessId,
+        list: Vec<ProcessId>,
+    ) {
+        // Keep the local view for the ring segment we monitor ourselves
+        // (the processes strictly between the responder and us); adopt the
+        // upstream view for everyone else. Never suspect ourselves or the
+        // (evidently alive) responder.
+        let upstream: ProcessSet = list.iter().collect();
+        let local_segment = self.between(from);
+        let mut next = (upstream - local_segment) | (self.suspected & local_segment);
+        next.remove(self.me);
+        next.remove(from);
+        if next != self.suspected {
+            self.suspected = next;
+            self.emit(ctx);
+        }
+    }
+}
+
+impl SuspectOracle for RingDetector {
+    fn suspected(&self) -> ProcessSet {
+        self.suspected
+    }
+}
+
+impl Component for RingDetector {
+    type Msg = RingMsg;
+
+    fn ns(&self) -> u32 {
+        crate::ns::RING
+    }
+
+    fn on_start<N: SimMessage>(&mut self, ctx: &mut SubCtx<'_, '_, N, RingMsg>) {
+        self.last_heard = ctx.now();
+        self.poll_target(ctx);
+        ctx.set_timer(self.cfg.period, TIMER_POLL, 0);
+        ctx.set_timer(self.cfg.check_period, TIMER_CHECK, 0);
+        self.emit(ctx);
+    }
+
+    fn on_message<N: SimMessage>(
+        &mut self,
+        ctx: &mut SubCtx<'_, '_, N, RingMsg>,
+        from: ProcessId,
+        msg: RingMsg,
+    ) {
+        match msg {
+            RingMsg::Poll => {
+                ctx.send(from, RingMsg::Reply { suspects: self.suspected.to_vec() });
+            }
+            RingMsg::Reply { suspects } => {
+                if self.suspected.remove(from) {
+                    // False suspicion revoked: grow the timeout so the
+                    // mistake is eventually never repeated (the
+                    // ◇-accuracy mechanism).
+                    self.timeouts.increase(from);
+                    // Moving the monitor forward again: fresh window.
+                    self.last_heard = ctx.now();
+                    self.emit(ctx);
+                }
+                if self.monitored_predecessor() == from {
+                    self.last_heard = ctx.now();
+                    self.adopt_list(ctx, from, suspects);
+                }
+            }
+        }
+    }
+
+    fn on_timer<N: SimMessage>(
+        &mut self,
+        ctx: &mut SubCtx<'_, '_, N, RingMsg>,
+        kind: u32,
+        _data: u64,
+    ) {
+        match kind {
+            TIMER_POLL => {
+                self.poll_target(ctx);
+                ctx.set_timer(self.cfg.period, TIMER_POLL, 0);
+            }
+            TIMER_CHECK => {
+                let target = self.monitored_predecessor();
+                if target != self.me && ctx.now().since(self.last_heard) > self.timeouts.get(target)
+                {
+                    self.suspected.insert(target);
+                    // Give the next candidate a fresh monitoring window
+                    // and poll it immediately.
+                    self.last_heard = ctx.now();
+                    self.poll_target(ctx);
+                    self.emit(ctx);
+                }
+                ctx.set_timer(self.cfg.check_period, TIMER_CHECK, 0);
+            }
+            _ => unreachable!("unknown ring timer kind {kind}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fd_core::{FdClass, FdRun, Standalone};
+    use fd_sim::{LinkModel, NetworkConfig, Time, WorldBuilder};
+
+    fn run_ring(
+        n: usize,
+        crashes: &[(usize, u64)],
+        horizon_ms: u64,
+        seed: u64,
+    ) -> (fd_sim::Trace, fd_sim::Metrics, Time) {
+        let net = NetworkConfig::new(n).with_default(LinkModel::reliable_uniform(
+            SimDuration::from_millis(1),
+            SimDuration::from_millis(3),
+        ));
+        let mut b = WorldBuilder::new(net).seed(seed);
+        for &(pid, at) in crashes {
+            b = b.crash_at(ProcessId(pid), Time::from_millis(at));
+        }
+        let mut w = b.build(|pid, n| Standalone(RingDetector::new(pid, n, RingConfig::default())));
+        let end = Time::from_millis(horizon_ms);
+        w.run_until_time(end);
+        let (trace, metrics) = w.into_results();
+        (trace, metrics, end)
+    }
+
+    #[test]
+    fn ring_topology_helpers() {
+        let mut d = RingDetector::new(ProcessId(2), 5, RingConfig::default());
+        assert_eq!(d.monitored_predecessor(), ProcessId(1));
+        d.suspected.insert(ProcessId(1));
+        assert_eq!(d.monitored_predecessor(), ProcessId(0));
+        // between(4) for me=2 wraps: {0, 1}.
+        let seg = d.between(ProcessId(4));
+        assert_eq!(seg.to_vec(), vec![ProcessId(0), ProcessId(1)]);
+        assert!(d.between(ProcessId(1)).is_empty());
+    }
+
+    #[test]
+    fn crash_free_run_is_eventually_perfect() {
+        let (trace, _, end) = run_ring(5, &[], 1000, 21);
+        FdRun::new(&trace, 5, end).check_class(FdClass::EventuallyPerfect).unwrap();
+    }
+
+    #[test]
+    fn single_crash_propagates_to_everyone() {
+        let (trace, _, end) = run_ring(6, &[(3, 150)], 2000, 22);
+        let run = FdRun::new(&trace, 6, end);
+        run.check_class(FdClass::EventuallyPerfect).unwrap();
+        for p in [0usize, 1, 2, 4, 5] {
+            assert_eq!(
+                run.final_suspects(ProcessId(p)),
+                ProcessSet::singleton(ProcessId(3)),
+                "p{p} final view"
+            );
+        }
+    }
+
+    #[test]
+    fn adjacent_crashes_are_skipped_over() {
+        // p1 and p2 crash: p3 must walk its monitor back to p0 and the
+        // whole ring must converge on {p1, p2}.
+        let (trace, _, end) = run_ring(5, &[(1, 100), (2, 120)], 3000, 23);
+        let run = FdRun::new(&trace, 5, end);
+        run.check_class(FdClass::EventuallyPerfect).unwrap();
+        let expected: ProcessSet = [ProcessId(1), ProcessId(2)].into_iter().collect();
+        for p in [0usize, 3, 4] {
+            assert_eq!(run.final_suspects(ProcessId(p)), expected, "p{p}");
+        }
+    }
+
+    #[test]
+    fn crash_just_behind_a_crash_converges() {
+        // The regression that motivated the poll design: a correct process
+        // sandwiched after a crashed one must not stay suspected forever.
+        let (trace, _, end) = run_ring(6, &[(0, 100), (2, 150)], 4000, 24);
+        let run = FdRun::new(&trace, 6, end);
+        run.check_class(FdClass::EventuallyPerfect).unwrap();
+        let expected: ProcessSet = [ProcessId(0), ProcessId(2)].into_iter().collect();
+        for p in [1usize, 3, 4, 5] {
+            assert_eq!(run.final_suspects(ProcessId(p)), expected, "p{p}");
+        }
+    }
+
+    #[test]
+    fn steady_state_cost_is_2n_per_period() {
+        let n = 6;
+        let net = NetworkConfig::new(n).with_default(LinkModel::reliable_const(SimDuration::from_millis(2)));
+        let mut w = WorldBuilder::new(net)
+            .seed(25)
+            .build(|pid, n| Standalone(RingDetector::new(pid, n, RingConfig::default())));
+        w.run_until_time(Time::from_millis(500));
+        let before = w.metrics().sent_total();
+        w.run_until_time(Time::from_millis(1500));
+        let per_period = (w.metrics().sent_total() - before) as f64 / 100.0;
+        let expected = 2.0 * n as f64;
+        assert!(
+            (per_period - expected).abs() <= expected * 0.15,
+            "measured {per_period} msgs/period, expected ≈{expected} (the paper's 2n)"
+        );
+    }
+
+    #[test]
+    fn first_non_suspected_is_common_and_correct() {
+        // The §3 property that makes the ring a good ◇C base.
+        let (trace, _, end) = run_ring(6, &[(0, 100), (2, 150)], 4000, 25);
+        let run = FdRun::new(&trace, 6, end);
+        let mut firsts = Vec::new();
+        for p in run.correct().iter() {
+            let first = run.final_suspects(p).complement(6).first().unwrap();
+            firsts.push(first);
+        }
+        firsts.dedup();
+        assert_eq!(firsts, vec![ProcessId(1)], "all correct agree on first non-suspected");
+    }
+
+    #[test]
+    fn survives_partial_synchrony_chaos() {
+        let n = 4;
+        let net = NetworkConfig::partially_synchronous(
+            n,
+            Time::from_millis(400),
+            SimDuration::from_millis(4),
+            SimDuration::from_millis(150),
+            0.4,
+        );
+        let mut w = WorldBuilder::new(net)
+            .seed(26)
+            .crash_at(ProcessId(1), Time::from_millis(700))
+            .build(|pid, n| Standalone(RingDetector::new(pid, n, RingConfig::default())));
+        let end = Time::from_secs(5);
+        w.run_until_time(end);
+        let (trace, _) = w.into_results();
+        FdRun::new(&trace, n, end).check_class(FdClass::EventuallyPerfect).unwrap();
+    }
+}

@@ -1,0 +1,203 @@
+//! Scripted (oracle) detectors for adversarial experiments.
+//!
+//! Theorem 3 and the §5.4 comparisons quantify over *worst-case* detector
+//! behaviour: "before some time t all processes suspect each other, and at
+//! t a given correct process p stops being suspected". Message-based
+//! detectors cannot be steered into those exact histories, so experiments
+//! E3/E5 use [`ScriptedDetector`]: a message-free component that replays a
+//! predetermined output schedule, switching at scripted times.
+//!
+//! A scripted detector is a legitimate member of its class as long as the
+//! schedule's final step satisfies the class properties — the constructors
+//! below guarantee that by construction.
+
+use fd_core::{Component, FdOutput, LeaderOracle, ProcessSet, SubCtx, SuspectOracle};
+use fd_sim::{ProcessId, SimMessage, Time};
+
+/// A message type that is never sent.
+#[derive(Debug, Clone)]
+pub enum NoMsg {}
+
+impl SimMessage for NoMsg {
+    fn kind(&self) -> &'static str {
+        match *self {}
+    }
+}
+
+const TIMER_SWITCH: u32 = 0;
+
+/// A detector whose outputs follow a fixed schedule.
+#[derive(Debug)]
+pub struct ScriptedDetector {
+    /// `(switch_time, output)` steps, strictly increasing in time. The
+    /// first step must be at `Time::ZERO`.
+    schedule: Vec<(Time, FdOutput)>,
+    cursor: usize,
+}
+
+impl ScriptedDetector {
+    /// Build from an explicit schedule. Panics if the schedule is empty,
+    /// does not start at time zero, or is not strictly increasing.
+    pub fn from_schedule(schedule: Vec<(Time, FdOutput)>) -> ScriptedDetector {
+        assert!(!schedule.is_empty(), "schedule must have at least one step");
+        assert_eq!(schedule[0].0, Time::ZERO, "schedule must start at time zero");
+        for w in schedule.windows(2) {
+            assert!(w[0].0 < w[1].0, "schedule times must be strictly increasing");
+        }
+        ScriptedDetector { schedule, cursor: 0 }
+    }
+
+    /// The Theorem 3 adversary for a ◇S/◇C detector at process `me`:
+    /// before `stabilization`, every process suspects everyone but itself
+    /// and trusts itself (the all-self-elect "bad case" for Phase 0);
+    /// from `stabilization` on, everyone suspects `Π \ {leader}` and
+    /// trusts `leader`. The final step satisfies ◇C provided `leader` is
+    /// correct.
+    pub fn chaos_then_leader(
+        me: ProcessId,
+        n: usize,
+        stabilization: Time,
+        leader: ProcessId,
+    ) -> ScriptedDetector {
+        let chaotic = FdOutput {
+            suspected: ProcessSet::singleton(me).complement(n),
+            trusted: Some(me),
+        };
+        let stable = FdOutput {
+            suspected: ProcessSet::singleton(leader).complement(n),
+            trusted: Some(leader),
+        };
+        if stabilization == Time::ZERO {
+            ScriptedDetector::from_schedule(vec![(Time::ZERO, stable)])
+        } else {
+            ScriptedDetector::from_schedule(vec![(Time::ZERO, chaotic), (stabilization, stable)])
+        }
+    }
+
+    /// A permanently stable detector: everyone trusts `leader` and
+    /// suspects exactly `suspects` from the start.
+    pub fn stable(leader: ProcessId, suspects: ProcessSet) -> ScriptedDetector {
+        ScriptedDetector::from_schedule(vec![(
+            Time::ZERO,
+            FdOutput { suspected: suspects, trusted: Some(leader) },
+        )])
+    }
+
+    /// The current scripted output.
+    pub fn current(&self) -> FdOutput {
+        self.schedule[self.cursor].1
+    }
+
+    fn emit<N: SimMessage>(&self, ctx: &mut SubCtx<'_, '_, N, NoMsg>) {
+        let out = self.current();
+        ctx.observe(fd_core::obs::SUSPECTS, fd_sim::Payload::Pids(out.suspected.to_vec()));
+        if let Some(t) = out.trusted {
+            ctx.observe(fd_core::obs::TRUSTED, fd_sim::Payload::Pid(t));
+        }
+    }
+}
+
+impl SuspectOracle for ScriptedDetector {
+    fn suspected(&self) -> ProcessSet {
+        self.current().suspected
+    }
+}
+
+impl LeaderOracle for ScriptedDetector {
+    fn trusted(&self) -> ProcessId {
+        self.current().trusted.expect("scripted detector without a trusted output")
+    }
+}
+
+impl Component for ScriptedDetector {
+    type Msg = NoMsg;
+
+    fn ns(&self) -> u32 {
+        crate::ns::SCRIPTED
+    }
+
+    fn on_start<N: SimMessage>(&mut self, ctx: &mut SubCtx<'_, '_, N, NoMsg>) {
+        self.cursor = 0;
+        self.emit(ctx);
+        if let Some(&(at, _)) = self.schedule.get(1) {
+            ctx.set_timer(at.since(Time::ZERO), TIMER_SWITCH, 1);
+        }
+    }
+
+    fn on_message<N: SimMessage>(
+        &mut self,
+        _ctx: &mut SubCtx<'_, '_, N, NoMsg>,
+        _from: ProcessId,
+        msg: NoMsg,
+    ) {
+        match msg {}
+    }
+
+    fn on_timer<N: SimMessage>(&mut self, ctx: &mut SubCtx<'_, '_, N, NoMsg>, kind: u32, data: u64) {
+        debug_assert_eq!(kind, TIMER_SWITCH);
+        self.cursor = data as usize;
+        self.emit(ctx);
+        if let Some(&(at, _)) = self.schedule.get(self.cursor + 1) {
+            ctx.set_timer(at.since(ctx.now()), TIMER_SWITCH, self.cursor as u64 + 1);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fd_core::{FdClass, FdRun, Standalone};
+    use fd_sim::{NetworkConfig, WorldBuilder};
+
+    #[test]
+    fn schedule_switches_at_scripted_times() {
+        let n = 3;
+        let stab = Time::from_millis(50);
+        let mut w = WorldBuilder::new(NetworkConfig::new(n))
+            .build(|pid, n| Standalone(ScriptedDetector::chaos_then_leader(pid, n, stab, ProcessId(1))));
+        w.run_until_time(Time::from_millis(40));
+        // Pre-stabilization: everyone trusts itself.
+        for i in 0..n {
+            assert_eq!(w.actor(ProcessId(i)).trusted(), ProcessId(i));
+        }
+        w.run_until_time(Time::from_millis(100));
+        for i in 0..n {
+            assert_eq!(w.actor(ProcessId(i)).trusted(), ProcessId(1));
+            assert!(!w.actor(ProcessId(i)).suspected().contains(ProcessId(1)));
+        }
+    }
+
+    #[test]
+    fn stabilized_run_satisfies_ec() {
+        let n = 4;
+        let mut w = WorldBuilder::new(NetworkConfig::new(n)).build(|pid, n| {
+            Standalone(ScriptedDetector::chaos_then_leader(pid, n, Time::from_millis(30), ProcessId(0)))
+        });
+        let end = Time::from_millis(500);
+        w.run_until_time(end);
+        let (trace, _) = w.into_results();
+        FdRun::new(&trace, n, end).check_class(FdClass::EventuallyConsistent).unwrap();
+    }
+
+    #[test]
+    fn zero_stabilization_is_stable_from_start() {
+        let d = ScriptedDetector::chaos_then_leader(ProcessId(2), 4, Time::ZERO, ProcessId(1));
+        assert_eq!(d.trusted(), ProcessId(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn bad_schedule_rejected() {
+        let out = FdOutput { suspected: ProcessSet::new(), trusted: Some(ProcessId(0)) };
+        let _ = ScriptedDetector::from_schedule(vec![(Time::ZERO, out), (Time::ZERO, out)]);
+    }
+
+    #[test]
+    fn scripted_detector_sends_no_messages() {
+        let mut w = WorldBuilder::new(NetworkConfig::new(3)).build(|pid, n| {
+            Standalone(ScriptedDetector::chaos_then_leader(pid, n, Time::from_millis(10), ProcessId(0)))
+        });
+        w.run_until_time(Time::from_millis(100));
+        assert_eq!(w.metrics().sent_total(), 0);
+    }
+}

@@ -1,0 +1,125 @@
+//! Adaptive per-peer timeouts.
+//!
+//! All the timeout-based detectors in this crate (and the Fig. 2
+//! transformation's Task 4) rely on the same mechanism the paper's proofs
+//! use: when a suspicion turns out to be a mistake, the timeout for that
+//! peer is *increased*, so under partial synchrony each peer can be
+//! falsely suspected only a bounded number of times — once the timeout
+//! exceeds `2Φ + Δ` it never fires spuriously again (Theorem 1's
+//! argument).
+
+use fd_sim::{ProcessId, SimDuration};
+
+/// How a timeout grows after a false suspicion.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GrowthPolicy {
+    /// Add a fixed increment (the classic Chandra–Toueg scheme).
+    Additive(SimDuration),
+    /// Double the current value (faster convergence, coarser bound).
+    Exponential,
+}
+
+/// A table of per-peer timeout intervals (`Δ_p(q)` in Fig. 2).
+#[derive(Debug, Clone)]
+pub struct TimeoutTable {
+    current: Vec<SimDuration>,
+    policy: GrowthPolicy,
+    cap: SimDuration,
+    increases: Vec<u32>,
+}
+
+impl TimeoutTable {
+    /// A table for `n` peers, all starting at `initial`, growing per
+    /// `policy`, never exceeding `cap`.
+    pub fn new(n: usize, initial: SimDuration, policy: GrowthPolicy, cap: SimDuration) -> TimeoutTable {
+        assert!(initial > SimDuration::ZERO, "timeouts must be positive");
+        assert!(cap >= initial, "cap below initial timeout");
+        TimeoutTable { current: vec![initial; n], policy, cap, increases: vec![0; n] }
+    }
+
+    /// A table with the common additive policy and a generous cap.
+    pub fn additive(n: usize, initial: SimDuration, increment: SimDuration) -> TimeoutTable {
+        TimeoutTable::new(n, initial, GrowthPolicy::Additive(increment), SimDuration::from_secs(3600))
+    }
+
+    /// The current timeout for `q`.
+    pub fn get(&self, q: ProcessId) -> SimDuration {
+        self.current[q.index()]
+    }
+
+    /// Grow `q`'s timeout after a false suspicion. Returns the new value.
+    pub fn increase(&mut self, q: ProcessId) -> SimDuration {
+        let cur = self.current[q.index()];
+        let next = match self.policy {
+            GrowthPolicy::Additive(inc) => cur + inc,
+            GrowthPolicy::Exponential => cur.saturating_mul(2),
+        };
+        let next = next.min(self.cap);
+        self.current[q.index()] = next;
+        self.increases[q.index()] += 1;
+        next
+    }
+
+    /// How many times `q`'s timeout has been increased — i.e. how many
+    /// mistakes the detector made about `q`. Theorem 1's argument predicts
+    /// this is bounded under partial synchrony.
+    pub fn increases(&self, q: ProcessId) -> u32 {
+        self.increases[q.index()]
+    }
+
+    /// Total mistakes across all peers.
+    pub fn total_increases(&self) -> u64 {
+        self.increases.iter().map(|&x| x as u64).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn additive_growth() {
+        let mut t = TimeoutTable::additive(3, SimDuration::from_millis(10), SimDuration::from_millis(5));
+        assert_eq!(t.get(ProcessId(1)), SimDuration::from_millis(10));
+        assert_eq!(t.increase(ProcessId(1)), SimDuration::from_millis(15));
+        assert_eq!(t.increase(ProcessId(1)), SimDuration::from_millis(20));
+        // Other peers are untouched.
+        assert_eq!(t.get(ProcessId(0)), SimDuration::from_millis(10));
+        assert_eq!(t.increases(ProcessId(1)), 2);
+        assert_eq!(t.total_increases(), 2);
+    }
+
+    #[test]
+    fn exponential_growth_hits_cap() {
+        let mut t = TimeoutTable::new(
+            1,
+            SimDuration::from_millis(10),
+            GrowthPolicy::Exponential,
+            SimDuration::from_millis(35),
+        );
+        assert_eq!(t.increase(ProcessId(0)), SimDuration::from_millis(20));
+        assert_eq!(t.increase(ProcessId(0)), SimDuration::from_millis(35));
+        assert_eq!(t.increase(ProcessId(0)), SimDuration::from_millis(35));
+    }
+
+    #[test]
+    fn eventually_exceeds_any_bound() {
+        // The property Theorem 1 relies on: finitely many increases push
+        // the timeout past 2Φ + Δ for any fixed Φ, Δ.
+        let mut t = TimeoutTable::additive(1, SimDuration::from_millis(1), SimDuration::from_millis(7));
+        let bound = SimDuration::from_millis(1000);
+        let mut steps = 0;
+        while t.get(ProcessId(0)) <= bound {
+            t.increase(ProcessId(0));
+            steps += 1;
+            assert!(steps < 10_000);
+        }
+        assert!(t.get(ProcessId(0)) > bound);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_initial_rejected() {
+        let _ = TimeoutTable::additive(1, SimDuration::ZERO, SimDuration::from_millis(1));
+    }
+}

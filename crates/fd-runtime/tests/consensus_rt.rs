@@ -1,0 +1,202 @@
+//! The same protocol stack that runs in the simulator, on real OS
+//! threads with wall-clock timers: detectors converge and the ◇C
+//! consensus decides.
+
+use fd_consensus::{ec_node_hb, EcNodeHb};
+use fd_core::{obs, SuspectOracle};
+use fd_detectors::{HeartbeatConfig, HeartbeatDetector};
+use fd_core::Standalone;
+use fd_runtime::{Runtime, RuntimeConfig};
+use fd_sim::ProcessId;
+use std::time::Duration;
+
+#[test]
+fn heartbeat_detector_runs_on_threads() {
+    let n = 4;
+    let rt = Runtime::spawn(n, RuntimeConfig::default(), |pid, n| {
+        Standalone(HeartbeatDetector::new(pid, n, HeartbeatConfig::default()))
+    });
+    rt.run_for(Duration::from_millis(150));
+    rt.crash(ProcessId(3));
+    rt.run_for(Duration::from_millis(400));
+    let actors = rt.shutdown();
+    for (i, a) in actors.iter().enumerate().take(3) {
+        let suspects = a.as_ref().unwrap().suspected();
+        assert!(
+            suspects.contains(ProcessId(3)),
+            "p{i} failed to suspect the crashed process: {suspects}"
+        );
+        assert_eq!(suspects.len(), 1, "p{i} has false suspicions: {suspects}");
+    }
+}
+
+#[test]
+fn ec_consensus_decides_on_threads() {
+    let n = 5;
+    let rt: Runtime<EcNodeHb> =
+        Runtime::spawn(n, RuntimeConfig::default(), ec_node_hb);
+    // Let detectors settle, then propose everywhere.
+    rt.run_for(Duration::from_millis(100));
+    for i in 0..n {
+        let v = 100 + i as u64;
+        rt.interact(ProcessId(i), move |node, ctx| node.propose(ctx, v));
+    }
+    // Wait (with a hard cap) until every process records a decision.
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    loop {
+        let decided = (0..n)
+            .filter(|&i| rt.last_observation(ProcessId(i), obs::DECIDE).is_some())
+            .count();
+        if decided == n {
+            break;
+        }
+        assert!(std::time::Instant::now() < deadline, "only {decided}/{n} decided in 10s");
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    // All decisions agree and are proposed values.
+    let actors = rt.shutdown();
+    let mut values = Vec::new();
+    for a in &actors {
+        let (v, _r) = a.as_ref().unwrap().decision().expect("decided");
+        values.push(v);
+    }
+    values.dedup();
+    assert_eq!(values.len(), 1, "disagreement on threads: {values:?}");
+    assert!((100..100 + n as u64).contains(&values[0]));
+}
+
+#[test]
+fn ec_consensus_survives_a_crash_on_threads() {
+    let n = 5;
+    let rt: Runtime<EcNodeHb> =
+        Runtime::spawn(n, RuntimeConfig::default(), ec_node_hb);
+    rt.run_for(Duration::from_millis(100));
+    for i in 0..n {
+        let v = 7;
+        rt.interact(ProcessId(i), move |node, ctx| node.propose(ctx, v));
+    }
+    // Crash a non-leader quickly; the majority must still decide.
+    rt.crash(ProcessId(4));
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    loop {
+        let decided = (0..4)
+            .filter(|&i| rt.last_observation(ProcessId(i), obs::DECIDE).is_some())
+            .count();
+        if decided == 4 {
+            break;
+        }
+        assert!(std::time::Instant::now() < deadline, "only {decided}/4 decided in 10s");
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    let actors = rt.shutdown();
+    for a in actors.iter().take(4) {
+        assert_eq!(a.as_ref().unwrap().decision().unwrap().0, 7);
+    }
+}
+
+#[test]
+fn ec_consensus_decides_over_a_slow_jittery_network() {
+    // 10–30 ms injected per-message delay: heartbeats arrive late enough
+    // to cause early false suspicions; the adaptive timeouts must absorb
+    // them and consensus still decide.
+    let n = 4;
+    let cfg = RuntimeConfig {
+        delay: Some((
+            std::time::Duration::from_millis(10),
+            std::time::Duration::from_millis(30),
+        )),
+        ..RuntimeConfig::default()
+    };
+    let rt: Runtime<EcNodeHb> = Runtime::spawn(n, cfg, ec_node_hb);
+    rt.run_for(std::time::Duration::from_millis(300));
+    for i in 0..n {
+        let v = 60 + i as u64;
+        rt.interact(ProcessId(i), move |node, ctx| node.propose(ctx, v));
+    }
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(15);
+    loop {
+        let decided = (0..n)
+            .filter(|&i| rt.last_observation(ProcessId(i), obs::DECIDE).is_some())
+            .count();
+        if decided == n {
+            break;
+        }
+        assert!(std::time::Instant::now() < deadline, "only {decided}/{n} decided in 15s");
+        std::thread::sleep(std::time::Duration::from_millis(25));
+    }
+    let actors = rt.shutdown();
+    let mut values: Vec<u64> =
+        actors.iter().map(|a| a.as_ref().unwrap().decision().unwrap().0).collect();
+    values.dedup();
+    assert_eq!(values.len(), 1, "disagreement over the slow network: {values:?}");
+}
+
+#[test]
+fn trace_checkers_verify_real_thread_runs() {
+    // The same fd-core property machinery that audits simulator traces
+    // audits real executions, via the observation→trace bridge.
+    use fd_core::{ConsensusRun, FdClass, FdRun};
+    use fd_runtime::observations_to_trace;
+
+    let n = 4;
+    let rt: Runtime<EcNodeHb> = Runtime::spawn(n, RuntimeConfig::default(), ec_node_hb);
+    rt.run_for(Duration::from_millis(150));
+    rt.crash(ProcessId(3));
+    let crash_at = rt.now();
+    rt.run_for(Duration::from_millis(400));
+    for i in 0..3 {
+        let v = 5;
+        rt.interact(ProcessId(i), move |node, ctx| node.propose(ctx, v));
+    }
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    while (0..3).any(|i| rt.last_observation(ProcessId(i), obs::DECIDE).is_none()) {
+        assert!(std::time::Instant::now() < deadline, "no decision in 10s");
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    rt.run_for(Duration::from_millis(200));
+    let end = rt.now();
+    let observations = rt.observations();
+    rt.shutdown();
+
+    let trace = observations_to_trace(&observations, &[(ProcessId(3), crash_at)]);
+    // Detector properties on the live run...
+    let fd_run = FdRun::new(&trace, n, end);
+    fd_run.check_class(FdClass::EventuallyConsistent).unwrap();
+    assert_eq!(fd_run.final_trusted(ProcessId(0)), Some(ProcessId(0)));
+    // ...and consensus safety (p3 proposed nothing; it crashed first).
+    let c_run = ConsensusRun::new(&trace, n);
+    c_run.check_safety().unwrap();
+    c_run.check_termination().unwrap();
+}
+
+#[test]
+fn ct_and_mr_also_decide_on_threads() {
+    use fd_consensus::{ct_node_hb, mr_node_leader, CtNodeHb, MrNodeLeader};
+    let n = 5;
+
+    let rt: Runtime<CtNodeHb> = Runtime::spawn(n, RuntimeConfig::default(), ct_node_hb);
+    rt.run_for(Duration::from_millis(120));
+    for i in 0..n {
+        let v = 40 + i as u64;
+        rt.interact(ProcessId(i), move |node, ctx| node.propose(ctx, v));
+    }
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    while (0..n).any(|i| rt.last_observation(ProcessId(i), obs::DECIDE).is_none()) {
+        assert!(std::time::Instant::now() < deadline, "CT stalled on threads");
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    rt.shutdown();
+
+    let rt: Runtime<MrNodeLeader> = Runtime::spawn(n, RuntimeConfig::default(), mr_node_leader);
+    rt.run_for(Duration::from_millis(120));
+    for i in 0..n {
+        let v = 50 + i as u64;
+        rt.interact(ProcessId(i), move |node, ctx| node.propose(ctx, v));
+    }
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    while (0..n).any(|i| rt.last_observation(ProcessId(i), obs::DECIDE).is_none()) {
+        assert!(std::time::Instant::now() < deadline, "MR stalled on threads");
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    rt.shutdown();
+}

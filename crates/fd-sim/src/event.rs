@@ -1,0 +1,136 @@
+//! The kernel event queue.
+//!
+//! A binary min-heap ordered by `(time, sequence)`. The monotonically
+//! increasing sequence number breaks ties deterministically: two events
+//! scheduled for the same instant fire in scheduling order, so identical
+//! seeds always replay identical runs.
+
+use crate::actor::{TimerId, TimerTag};
+use crate::process::ProcessId;
+use crate::time::Time;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// What a scheduled event does when it fires.
+#[derive(Debug)]
+pub(crate) enum EventKind<M> {
+    /// Deliver `msg` from `from` to `to`.
+    Deliver { from: ProcessId, to: ProcessId, msg: M },
+    /// Fire timer `id` with `tag` at `pid`.
+    Timer { pid: ProcessId, id: TimerId, tag: TimerTag },
+    /// Crash `pid` (crash-stop).
+    Crash { pid: ProcessId },
+}
+
+#[derive(Debug)]
+pub(crate) struct QueuedEvent<M> {
+    pub at: Time,
+    pub seq: u64,
+    pub kind: EventKind<M>,
+}
+
+impl<M> PartialEq for QueuedEvent<M> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<M> Eq for QueuedEvent<M> {}
+
+impl<M> Ord for QueuedEvent<M> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want the earliest first.
+        (other.at, other.seq).cmp(&(self.at, self.seq))
+    }
+}
+impl<M> PartialOrd for QueuedEvent<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Deterministic event queue.
+#[derive(Debug)]
+pub(crate) struct EventQueue<M> {
+    heap: BinaryHeap<QueuedEvent<M>>,
+    next_seq: u64,
+}
+
+impl<M> EventQueue<M> {
+    pub fn new() -> Self {
+        EventQueue { heap: BinaryHeap::new(), next_seq: 0 }
+    }
+
+    pub fn push(&mut self, at: Time, kind: EventKind<M>) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(QueuedEvent { at, seq, kind });
+    }
+
+    pub fn pop(&mut self) -> Option<QueuedEvent<M>> {
+        self.heap.pop()
+    }
+
+    /// The time of the next event without removing it.
+    pub fn peek_time(&self) -> Option<Time> {
+        self.heap.peek().map(|e| e.at)
+    }
+
+    #[allow(dead_code)] // used by unit tests and debugging helpers
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    #[allow(dead_code)] // used by unit tests and debugging helpers
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn crash(pid: usize) -> EventKind<()> {
+        EventKind::Crash { pid: ProcessId(pid) }
+    }
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q: EventQueue<()> = EventQueue::new();
+        q.push(Time(30), crash(0));
+        q.push(Time(10), crash(1));
+        q.push(Time(20), crash(2));
+        let order: Vec<Time> = std::iter::from_fn(|| q.pop().map(|e| e.at)).collect();
+        assert_eq!(order, vec![Time(10), Time(20), Time(30)]);
+    }
+
+    #[test]
+    fn ties_break_by_insertion_order() {
+        let mut q: EventQueue<()> = EventQueue::new();
+        for i in 0..5 {
+            q.push(Time(7), crash(i));
+        }
+        let pids: Vec<usize> = std::iter::from_fn(|| {
+            q.pop().map(|e| match e.kind {
+                EventKind::Crash { pid } => pid.index(),
+                _ => unreachable!(),
+            })
+        })
+        .collect();
+        assert_eq!(pids, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn peek_matches_pop() {
+        let mut q: EventQueue<()> = EventQueue::new();
+        assert_eq!(q.peek_time(), None);
+        q.push(Time(5), crash(0));
+        q.push(Time(3), crash(1));
+        assert_eq!(q.peek_time(), Some(Time(3)));
+        assert_eq!(q.len(), 2);
+        q.pop();
+        assert_eq!(q.peek_time(), Some(Time(5)));
+        q.pop();
+        assert!(q.is_empty());
+    }
+}

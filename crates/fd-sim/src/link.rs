@@ -1,0 +1,423 @@
+//! Link models.
+//!
+//! The paper uses three kinds of directed links:
+//!
+//! * **Reliable** links (§2.1): every message sent is eventually delivered,
+//!   with no bound on delay in the asynchronous model.
+//! * **Partially synchronous / eventually timely** links (§4, the model of
+//!   Chandra–Toueg \[6\] and Dwork–Lynch–Stockmeyer \[8\]): after some finite
+//!   *global stabilization time* GST, every message is delivered within an
+//!   (unknown to the algorithm) bound Δ. Before GST, delays are arbitrary.
+//! * **Fair-lossy** links (§4, the output links of the leader in Fig. 2):
+//!   messages may be lost, but if infinitely many are sent, infinitely many
+//!   are delivered.
+//!
+//! A [`LinkModel`] maps a send instant to an optional delivery instant,
+//! sampling any randomness from the network RNG stream.
+
+use crate::time::{SimDuration, Time};
+use rand::rngs::SmallRng;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A distribution of message delays.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum DelayDist {
+    /// Always exactly this delay.
+    Constant(SimDuration),
+    /// Uniform in `[min, max]` (inclusive).
+    Uniform {
+        /// Smallest possible delay.
+        min: SimDuration,
+        /// Largest possible delay.
+        max: SimDuration,
+    },
+    /// Mostly uniform in `[min, max]`, but with probability `spike_prob`
+    /// the delay is instead uniform in `[max, spike_max]` — a crude heavy
+    /// tail that exercises timeout adaptation.
+    Spiky {
+        /// Smallest base delay.
+        min: SimDuration,
+        /// Largest base delay.
+        max: SimDuration,
+        /// Probability of a spike.
+        spike_prob: f64,
+        /// Largest spike delay.
+        spike_max: SimDuration,
+    },
+}
+
+impl DelayDist {
+    /// Sample a delay.
+    pub fn sample(&self, rng: &mut SmallRng) -> SimDuration {
+        match *self {
+            DelayDist::Constant(d) => d,
+            DelayDist::Uniform { min, max } => {
+                debug_assert!(min <= max, "uniform delay with min > max");
+                SimDuration(rng.gen_range(min.0..=max.0))
+            }
+            DelayDist::Spiky { min, max, spike_prob, spike_max } => {
+                if rng.gen_bool(spike_prob.clamp(0.0, 1.0)) {
+                    SimDuration(rng.gen_range(max.0..=spike_max.0.max(max.0)))
+                } else {
+                    SimDuration(rng.gen_range(min.0..=max.0))
+                }
+            }
+        }
+    }
+
+    /// The largest delay this distribution can produce.
+    pub fn upper_bound(&self) -> SimDuration {
+        match *self {
+            DelayDist::Constant(d) => d,
+            DelayDist::Uniform { max, .. } => max,
+            DelayDist::Spiky { max, spike_max, .. } => max.max(spike_max),
+        }
+    }
+}
+
+/// Behaviour of one directed link.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum LinkModel {
+    /// Reliable: never drops; delay drawn from `delay`.
+    Reliable {
+        /// The delay distribution.
+        delay: DelayDist,
+    },
+    /// Eventually timely (partial synchrony): messages sent at or after
+    /// `gst` are delivered within `bound`; messages sent before `gst` are
+    /// dropped with probability `pre_drop` and otherwise delayed by
+    /// `pre_delay` (which may be far larger than `bound`).
+    EventuallyTimely {
+        /// The global stabilization time.
+        gst: Time,
+        /// The post-GST delay bound (Δ).
+        bound: SimDuration,
+        /// Pre-GST delay distribution.
+        pre_delay: DelayDist,
+        /// Pre-GST drop probability.
+        pre_drop: f64,
+    },
+    /// Fair-lossy: each message independently dropped with probability
+    /// `drop`; surviving messages delayed by `delay`. Because drops are
+    /// independent, infinitely many sends yield infinitely many
+    /// deliveries almost surely — the paper's fairness condition.
+    FairLossy {
+        /// The delay distribution of surviving messages.
+        delay: DelayDist,
+        /// Independent per-message drop probability.
+        drop: f64,
+    },
+    /// Drops every message. Used to model partitioned links in adversarial
+    /// scenarios (not part of the paper's model, but useful for testing
+    /// that completeness does not depend on a particular link).
+    Dead,
+    /// Piecewise behaviour over time: `phases[i].1` governs sends at
+    /// instants in `[phases[i].0, phases[i+1].0)`. Expresses burst
+    /// partitions, heal events, or degradation schedules that the purely
+    /// probabilistic models cannot (e.g. "dead from 200 ms to 500 ms,
+    /// reliable otherwise"). Phases must start at `Time::ZERO` and be
+    /// strictly increasing.
+    Phased(PhaseSchedule),
+}
+
+/// The schedule of a [`LinkModel::Phased`] link.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PhaseSchedule {
+    phases: Vec<(Time, LinkModel)>,
+}
+
+impl PhaseSchedule {
+    /// Build a schedule. Panics if empty, not starting at time zero, not
+    /// strictly increasing, or nested.
+    pub fn new(phases: Vec<(Time, LinkModel)>) -> PhaseSchedule {
+        assert!(!phases.is_empty(), "schedule must have at least one phase");
+        assert_eq!(phases[0].0, Time::ZERO, "schedule must start at time zero");
+        for w in phases.windows(2) {
+            assert!(w[0].0 < w[1].0, "phase times must be strictly increasing");
+        }
+        assert!(
+            phases.iter().all(|(_, m)| !matches!(m, LinkModel::Phased(_))),
+            "phased links cannot nest"
+        );
+        PhaseSchedule { phases }
+    }
+
+    /// The model governing a send at `now`.
+    pub fn at(&self, now: Time) -> &LinkModel {
+        let idx = self.phases.partition_point(|(t, _)| *t <= now);
+        &self.phases[idx - 1].1
+    }
+
+    /// The phases, for bound computations.
+    pub fn phases(&self) -> &[(Time, LinkModel)] {
+        &self.phases
+    }
+}
+
+impl LinkModel {
+    /// A reliable link with constant delay `d`.
+    pub fn reliable_const(d: SimDuration) -> LinkModel {
+        LinkModel::Reliable { delay: DelayDist::Constant(d) }
+    }
+
+    /// A reliable link with delay uniform in `[min, max]`.
+    pub fn reliable_uniform(min: SimDuration, max: SimDuration) -> LinkModel {
+        LinkModel::Reliable { delay: DelayDist::Uniform { min, max } }
+    }
+
+    /// An eventually timely link: chaotic (uniform up to `pre_max`, dropped
+    /// with probability `pre_drop`) before `gst`, bounded by `bound` after.
+    pub fn eventually_timely(
+        gst: Time,
+        bound: SimDuration,
+        pre_max: SimDuration,
+        pre_drop: f64,
+    ) -> LinkModel {
+        LinkModel::EventuallyTimely {
+            gst,
+            bound,
+            pre_delay: DelayDist::Uniform { min: SimDuration(1), max: pre_max },
+            pre_drop,
+        }
+    }
+
+    /// A fair-lossy link with uniform delays.
+    pub fn fair_lossy(min: SimDuration, max: SimDuration, drop: f64) -> LinkModel {
+        LinkModel::FairLossy { delay: DelayDist::Uniform { min, max }, drop }
+    }
+
+    /// A piecewise-scheduled link (see [`LinkModel::Phased`]).
+    pub fn phased(phases: Vec<(Time, LinkModel)>) -> LinkModel {
+        LinkModel::Phased(PhaseSchedule::new(phases))
+    }
+
+    /// A link that behaves like `healthy` except during `[from, until)`,
+    /// when it is dead — a burst partition that heals.
+    ///
+    /// ```
+    /// use fd_sim::{LinkModel, SimDuration, Time};
+    /// use fd_sim::rng::derive_network_rng;
+    ///
+    /// let link = LinkModel::partitioned_during(
+    ///     LinkModel::reliable_const(SimDuration::from_millis(2)),
+    ///     Time::from_millis(100),
+    ///     Time::from_millis(200),
+    /// );
+    /// let mut rng = derive_network_rng(0);
+    /// assert!(link.deliver_at(Time::from_millis(50), &mut rng).is_some());
+    /// assert!(link.deliver_at(Time::from_millis(150), &mut rng).is_none());
+    /// assert!(link.deliver_at(Time::from_millis(250), &mut rng).is_some());
+    /// ```
+    pub fn partitioned_during(healthy: LinkModel, from: Time, until: Time) -> LinkModel {
+        assert!(Time::ZERO < from && from < until, "partition window must be (0, from, until)");
+        LinkModel::phased(vec![
+            (Time::ZERO, healthy.clone()),
+            (from, LinkModel::Dead),
+            (until, healthy),
+        ])
+    }
+
+    /// Given a send at `now`, decide when (if ever) the message arrives.
+    pub fn deliver_at(&self, now: Time, rng: &mut SmallRng) -> Option<Time> {
+        match *self {
+            LinkModel::Reliable { delay } => Some(now + delay.sample(rng)),
+            LinkModel::EventuallyTimely { gst, bound, pre_delay, pre_drop } => {
+                if now >= gst {
+                    // Post-GST: uniform within the (unknown) bound, never
+                    // dropped. A minimum of one tick keeps causality strict.
+                    let d = SimDuration(rng.gen_range(1..=bound.0.max(1)));
+                    Some(now + d)
+                } else if rng.gen_bool(pre_drop.clamp(0.0, 1.0)) {
+                    None
+                } else {
+                    Some(now + pre_delay.sample(rng))
+                }
+            }
+            LinkModel::FairLossy { delay, drop } => {
+                if rng.gen_bool(drop.clamp(0.0, 1.0)) {
+                    None
+                } else {
+                    Some(now + delay.sample(rng))
+                }
+            }
+            LinkModel::Dead => None,
+            LinkModel::Phased(ref sched) => sched.at(now).deliver_at(now, rng),
+        }
+    }
+
+    /// Whether this link can ever drop a message.
+    pub fn is_lossy(&self) -> bool {
+        match *self {
+            LinkModel::Reliable { .. } => false,
+            LinkModel::EventuallyTimely { pre_drop, .. } => pre_drop > 0.0,
+            LinkModel::FairLossy { drop, .. } => drop > 0.0,
+            LinkModel::Dead => true,
+            LinkModel::Phased(ref sched) => sched.phases.iter().any(|(_, m)| m.is_lossy()),
+        }
+    }
+}
+
+impl Default for LinkModel {
+    /// A mildly jittery reliable link: uniform delay in \[1, 5\] ms.
+    fn default() -> Self {
+        LinkModel::reliable_uniform(SimDuration::from_millis(1), SimDuration::from_millis(5))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::derive_network_rng;
+
+    fn rng() -> SmallRng {
+        derive_network_rng(1)
+    }
+
+    #[test]
+    fn constant_delay_is_exact() {
+        let m = LinkModel::reliable_const(SimDuration::from_millis(2));
+        let t = m.deliver_at(Time::from_millis(10), &mut rng()).unwrap();
+        assert_eq!(t, Time::from_millis(12));
+    }
+
+    #[test]
+    fn uniform_delay_within_bounds() {
+        let m = LinkModel::reliable_uniform(SimDuration(10), SimDuration(20));
+        let mut r = rng();
+        for _ in 0..1000 {
+            let t = m.deliver_at(Time(100), &mut r).unwrap();
+            assert!(t >= Time(110) && t <= Time(120), "{t}");
+        }
+    }
+
+    #[test]
+    fn eventually_timely_respects_bound_after_gst() {
+        let gst = Time::from_millis(50);
+        let bound = SimDuration::from_millis(3);
+        let m = LinkModel::eventually_timely(gst, bound, SimDuration::from_millis(500), 0.5);
+        let mut r = rng();
+        for _ in 0..1000 {
+            let sent = Time::from_millis(60);
+            let t = m.deliver_at(sent, &mut r).expect("post-GST messages are never dropped");
+            assert!(t > sent && t <= sent + bound);
+        }
+    }
+
+    #[test]
+    fn eventually_timely_pre_gst_can_drop_and_lag() {
+        let gst = Time::from_millis(50);
+        let m = LinkModel::eventually_timely(gst, SimDuration::from_millis(3), SimDuration::from_millis(500), 0.5);
+        let mut r = rng();
+        let mut drops = 0;
+        let mut late = 0;
+        for _ in 0..2000 {
+            match m.deliver_at(Time::ZERO, &mut r) {
+                None => drops += 1,
+                Some(t) if t > Time::ZERO + SimDuration::from_millis(3) => late += 1,
+                Some(_) => {}
+            }
+        }
+        assert!(drops > 500, "expected ~50% pre-GST drops, got {drops}");
+        assert!(late > 500, "expected many pre-GST deliveries beyond the bound, got {late}");
+    }
+
+    #[test]
+    fn fair_lossy_delivers_infinitely_often() {
+        let m = LinkModel::fair_lossy(SimDuration(1), SimDuration(5), 0.9);
+        let mut r = rng();
+        let delivered = (0..10_000).filter(|_| m.deliver_at(Time::ZERO, &mut r).is_some()).count();
+        assert!(delivered > 500, "90% loss still lets ~10% through, got {delivered}");
+    }
+
+    #[test]
+    fn dead_link_drops_everything() {
+        let mut r = rng();
+        assert!(LinkModel::Dead.deliver_at(Time::ZERO, &mut r).is_none());
+        assert!(LinkModel::Dead.is_lossy());
+    }
+
+    #[test]
+    fn lossiness_classification() {
+        assert!(!LinkModel::default().is_lossy());
+        assert!(LinkModel::fair_lossy(SimDuration(1), SimDuration(2), 0.1).is_lossy());
+        assert!(!LinkModel::fair_lossy(SimDuration(1), SimDuration(2), 0.0).is_lossy());
+    }
+
+    #[test]
+    fn spiky_delay_spikes() {
+        let d = DelayDist::Spiky {
+            min: SimDuration(1),
+            max: SimDuration(10),
+            spike_prob: 0.3,
+            spike_max: SimDuration(1000),
+        };
+        let mut r = rng();
+        let spikes = (0..5000).filter(|_| d.sample(&mut r) > SimDuration(10)).count();
+        assert!(spikes > 1000 && spikes < 2000, "spike count {spikes}");
+        assert_eq!(d.upper_bound(), SimDuration(1000));
+    }
+}
+
+#[cfg(test)]
+mod phased_tests {
+    use super::*;
+    use crate::rng::derive_network_rng;
+
+    #[test]
+    fn schedule_selects_by_time() {
+        let sched = PhaseSchedule::new(vec![
+            (Time::ZERO, LinkModel::reliable_const(SimDuration(5))),
+            (Time::from_millis(100), LinkModel::Dead),
+            (Time::from_millis(200), LinkModel::reliable_const(SimDuration(9))),
+        ]);
+        assert_eq!(*sched.at(Time::ZERO), LinkModel::reliable_const(SimDuration(5)));
+        assert_eq!(*sched.at(Time::from_millis(99)), LinkModel::reliable_const(SimDuration(5)));
+        assert_eq!(*sched.at(Time::from_millis(100)), LinkModel::Dead);
+        assert_eq!(*sched.at(Time::from_millis(150)), LinkModel::Dead);
+        assert_eq!(*sched.at(Time::from_millis(500)), LinkModel::reliable_const(SimDuration(9)));
+    }
+
+    #[test]
+    fn partition_window_drops_then_heals() {
+        let m = LinkModel::partitioned_during(
+            LinkModel::reliable_const(SimDuration(3)),
+            Time::from_millis(10),
+            Time::from_millis(20),
+        );
+        let mut rng = derive_network_rng(1);
+        assert!(m.deliver_at(Time::from_millis(5), &mut rng).is_some());
+        assert!(m.deliver_at(Time::from_millis(10), &mut rng).is_none());
+        assert!(m.deliver_at(Time::from_millis(19), &mut rng).is_none());
+        assert!(m.deliver_at(Time::from_millis(20), &mut rng).is_some());
+    }
+
+    #[test]
+    fn phased_lossiness_is_the_union() {
+        let healthy = LinkModel::reliable_const(SimDuration(1));
+        assert!(LinkModel::partitioned_during(
+            healthy.clone(),
+            Time::from_millis(1),
+            Time::from_millis(2)
+        )
+        .is_lossy());
+        let m = LinkModel::phased(vec![(Time::ZERO, healthy)]);
+        assert!(!m.is_lossy());
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot nest")]
+    fn nesting_rejected() {
+        let inner = LinkModel::phased(vec![(Time::ZERO, LinkModel::Dead)]);
+        let _ = LinkModel::phased(vec![(Time::ZERO, inner)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn non_monotone_schedule_rejected() {
+        let _ = PhaseSchedule::new(vec![
+            (Time::ZERO, LinkModel::Dead),
+            (Time::ZERO, LinkModel::Dead),
+        ]);
+    }
+}

@@ -1,0 +1,133 @@
+//! Run metrics: message and event counters.
+//!
+//! Metrics are always collected (they are cheap, unlike full traces) and
+//! drive the paper's message-complexity experiments: messages per round
+//! per protocol (§5.4) and periodic messages per interval for the failure
+//! detectors and the Fig. 2 transformation (§4).
+
+use crate::process::ProcessId;
+use std::collections::HashMap;
+
+/// Counters accumulated over one run.
+#[derive(Debug, Clone, Default)]
+pub struct Metrics {
+    sent_total: u64,
+    delivered_total: u64,
+    dropped_total: u64,
+    events_processed: u64,
+    sent_by_kind: HashMap<&'static str, u64>,
+    sent_by_kind_round: HashMap<(&'static str, u64), u64>,
+    sent_by_process: HashMap<ProcessId, u64>,
+}
+
+impl Metrics {
+    pub(crate) fn record_sent(&mut self, from: ProcessId, kind: &'static str, round: Option<u64>) {
+        self.sent_total += 1;
+        *self.sent_by_kind.entry(kind).or_default() += 1;
+        *self.sent_by_process.entry(from).or_default() += 1;
+        if let Some(r) = round {
+            *self.sent_by_kind_round.entry((kind, r)).or_default() += 1;
+        }
+    }
+
+    pub(crate) fn record_delivered(&mut self) {
+        self.delivered_total += 1;
+    }
+
+    pub(crate) fn record_dropped(&mut self) {
+        self.dropped_total += 1;
+    }
+
+    pub(crate) fn record_event(&mut self) {
+        self.events_processed += 1;
+    }
+
+    /// Total messages sent.
+    pub fn sent_total(&self) -> u64 {
+        self.sent_total
+    }
+
+    /// Total messages delivered.
+    pub fn delivered_total(&self) -> u64 {
+        self.delivered_total
+    }
+
+    /// Total messages lost (link drops + deliveries to crashed processes).
+    pub fn dropped_total(&self) -> u64 {
+        self.dropped_total
+    }
+
+    /// Total kernel events processed.
+    pub fn events_processed(&self) -> u64 {
+        self.events_processed
+    }
+
+    /// Messages sent with the given kind label.
+    pub fn sent_of_kind(&self, kind: &str) -> u64 {
+        self.sent_by_kind.iter().filter(|(k, _)| **k == kind).map(|(_, v)| *v).sum()
+    }
+
+    /// Messages sent with the given kind label in the given round.
+    pub fn sent_of_kind_in_round(&self, kind: &str, round: u64) -> u64 {
+        self.sent_by_kind_round
+            .iter()
+            .filter(|((k, r), _)| *k == kind && *r == round)
+            .map(|(_, v)| *v)
+            .sum()
+    }
+
+    /// Messages sent in the given round, all kinds.
+    pub fn sent_in_round(&self, round: u64) -> u64 {
+        self.sent_by_kind_round.iter().filter(|((_, r), _)| *r == round).map(|(_, v)| *v).sum()
+    }
+
+    /// All round numbers that appear in round-tagged sends, sorted.
+    pub fn rounds(&self) -> Vec<u64> {
+        let mut rs: Vec<u64> = self.sent_by_kind_round.keys().map(|(_, r)| *r).collect();
+        rs.sort_unstable();
+        rs.dedup();
+        rs
+    }
+
+    /// Messages sent by one process.
+    pub fn sent_by(&self, pid: ProcessId) -> u64 {
+        self.sent_by_process.get(&pid).copied().unwrap_or(0)
+    }
+
+    /// All message kinds seen, sorted by label.
+    pub fn kinds(&self) -> Vec<&'static str> {
+        let mut ks: Vec<&'static str> = self.sent_by_kind.keys().copied().collect();
+        ks.sort_unstable();
+        ks
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let mut m = Metrics::default();
+        m.record_sent(ProcessId(0), "hb", None);
+        m.record_sent(ProcessId(0), "est", Some(1));
+        m.record_sent(ProcessId(1), "est", Some(1));
+        m.record_sent(ProcessId(1), "est", Some(2));
+        m.record_delivered();
+        m.record_dropped();
+        m.record_event();
+
+        assert_eq!(m.sent_total(), 4);
+        assert_eq!(m.delivered_total(), 1);
+        assert_eq!(m.dropped_total(), 1);
+        assert_eq!(m.events_processed(), 1);
+        assert_eq!(m.sent_of_kind("hb"), 1);
+        assert_eq!(m.sent_of_kind("est"), 3);
+        assert_eq!(m.sent_of_kind_in_round("est", 1), 2);
+        assert_eq!(m.sent_in_round(2), 1);
+        assert_eq!(m.rounds(), vec![1, 2]);
+        assert_eq!(m.sent_by(ProcessId(1)), 2);
+        assert_eq!(m.sent_by(ProcessId(9)), 0);
+        assert_eq!(m.kinds(), vec!["est", "hb"]);
+    }
+}

@@ -1,0 +1,74 @@
+//! Process identities.
+//!
+//! The paper's system model is a finite, totally ordered set
+//! `Π = {p₁, …, pₙ}` of processes. [`ProcessId`] is a dense index into that
+//! set; the total order assumed by several algorithms (e.g. choosing the
+//! *first* non-suspected process as leader) is the index order.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identity of a process: a dense index in `0..n`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct ProcessId(pub usize);
+
+impl ProcessId {
+    /// The raw index.
+    pub const fn index(self) -> usize {
+        self.0
+    }
+
+    /// The next process in the ring order modulo `n`.
+    pub fn successor(self, n: usize) -> ProcessId {
+        ProcessId((self.0 + 1) % n)
+    }
+
+    /// The previous process in the ring order modulo `n`.
+    pub fn predecessor(self, n: usize) -> ProcessId {
+        ProcessId((self.0 + n - 1) % n)
+    }
+}
+
+impl fmt::Display for ProcessId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+impl From<usize> for ProcessId {
+    fn from(i: usize) -> Self {
+        ProcessId(i)
+    }
+}
+
+/// Iterate all processes of an `n`-process system in the total order.
+pub fn all_processes(n: usize) -> impl DoubleEndedIterator<Item = ProcessId> + ExactSizeIterator {
+    (0..n).map(ProcessId)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_order_wraps() {
+        assert_eq!(ProcessId(4).successor(5), ProcessId(0));
+        assert_eq!(ProcessId(0).predecessor(5), ProcessId(4));
+        assert_eq!(ProcessId(2).successor(5), ProcessId(3));
+        assert_eq!(ProcessId(3).predecessor(5), ProcessId(2));
+    }
+
+    #[test]
+    fn all_processes_is_total_order() {
+        let ps: Vec<_> = all_processes(4).collect();
+        assert_eq!(ps, vec![ProcessId(0), ProcessId(1), ProcessId(2), ProcessId(3)]);
+        let mut sorted = ps.clone();
+        sorted.sort();
+        assert_eq!(ps, sorted);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(ProcessId(7).to_string(), "p7");
+    }
+}

@@ -1,0 +1,271 @@
+//! Human-readable trace rendering.
+//!
+//! Debugging a distributed protocol means reading event orderings. The
+//! [`Timeline`] builder turns a recorded [`Trace`] into an annotated,
+//! filterable, chronological listing:
+//!
+//! ```text
+//! [   25.000ms] ✖ p3 crashed
+//! [   43.120ms] p0  fd.suspects → {p3}
+//! [   51.007ms] p0 → p4  ec.proposition (round 1)
+//! ```
+
+use crate::process::ProcessId;
+use crate::time::Time;
+use crate::trace::{Payload, Trace, TraceKind};
+use std::fmt::Write as _;
+
+/// A configurable renderer over a [`Trace`].
+///
+/// ```
+/// use fd_sim::{Payload, ProcessId, Time, Timeline, Trace, TraceEvent, TraceKind};
+///
+/// let trace = Trace::from_events(vec![TraceEvent {
+///     at: Time::from_millis(9),
+///     kind: TraceKind::Observation {
+///         pid: ProcessId(0),
+///         tag: "fd.trusted",
+///         payload: Payload::Pid(ProcessId(1)),
+///     },
+/// }]);
+/// let listing = Timeline::new(&trace).render();
+/// assert!(listing.contains("p0  fd.trusted → p1"));
+/// ```
+pub struct Timeline<'a> {
+    trace: &'a Trace,
+    from: Time,
+    until: Time,
+    include_messages: bool,
+    include_drops: bool,
+    tags: Option<Vec<&'a str>>,
+    processes: Option<Vec<ProcessId>>,
+}
+
+impl<'a> Timeline<'a> {
+    /// Render everything by default: observations and crashes, but not
+    /// the (usually overwhelming) per-message events.
+    pub fn new(trace: &'a Trace) -> Timeline<'a> {
+        Timeline {
+            trace,
+            from: Time::ZERO,
+            until: Time::MAX,
+            include_messages: false,
+            include_drops: false,
+            tags: None,
+            processes: None,
+        }
+    }
+
+    /// Restrict to events in `[from, until]`.
+    pub fn between(mut self, from: Time, until: Time) -> Self {
+        self.from = from;
+        self.until = until;
+        self
+    }
+
+    /// Include message send/delivery events.
+    pub fn with_messages(mut self) -> Self {
+        self.include_messages = true;
+        self
+    }
+
+    /// Include message drops.
+    pub fn with_drops(mut self) -> Self {
+        self.include_drops = true;
+        self
+    }
+
+    /// Only show observations with these tags.
+    pub fn only_tags(mut self, tags: &[&'a str]) -> Self {
+        self.tags = Some(tags.to_vec());
+        self
+    }
+
+    /// Only show events involving these processes.
+    pub fn only_processes(mut self, ps: &[ProcessId]) -> Self {
+        self.processes = Some(ps.to_vec());
+        self
+    }
+
+    fn wants_process(&self, p: ProcessId) -> bool {
+        self.processes.as_ref().is_none_or(|ps| ps.contains(&p))
+    }
+
+    fn fmt_payload(p: &Payload) -> String {
+        match p {
+            Payload::None => String::new(),
+            Payload::U64(x) => x.to_string(),
+            Payload::Pid(p) => p.to_string(),
+            Payload::Pids(v) => {
+                let inner: Vec<String> = v.iter().map(|p| p.to_string()).collect();
+                format!("{{{}}}", inner.join(","))
+            }
+            Payload::PidU64(p, x) => format!("({p}, {x})"),
+            Payload::U64Pair(a, b) => format!("({a}, {b})"),
+            Payload::Text(s) => s.clone(),
+        }
+    }
+
+    /// Produce the listing.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for ev in self.trace.events() {
+            if ev.at < self.from || ev.at > self.until {
+                continue;
+            }
+            let stamp = format!("[{:>10.3}ms]", ev.at.ticks() as f64 / 1000.0);
+            match &ev.kind {
+                TraceKind::Observation { pid, tag, payload } => {
+                    if !self.wants_process(*pid) {
+                        continue;
+                    }
+                    if let Some(tags) = &self.tags {
+                        if !tags.contains(tag) {
+                            continue;
+                        }
+                    }
+                    let _ = writeln!(out, "{stamp} {pid}  {tag} → {}", Self::fmt_payload(payload));
+                }
+                TraceKind::Crashed { pid } => {
+                    if !self.wants_process(*pid) {
+                        continue;
+                    }
+                    let _ = writeln!(out, "{stamp} ✖ {pid} crashed");
+                }
+                TraceKind::Sent { from, to, kind, round } => {
+                    if !self.include_messages || !(self.wants_process(*from) || self.wants_process(*to))
+                    {
+                        continue;
+                    }
+                    let r = round.map(|r| format!(" (round {r})")).unwrap_or_default();
+                    let _ = writeln!(out, "{stamp} {from} → {to}  {kind}{r}");
+                }
+                TraceKind::Delivered { from, to, kind, round } => {
+                    if !self.include_messages || !(self.wants_process(*from) || self.wants_process(*to))
+                    {
+                        continue;
+                    }
+                    let r = round.map(|r| format!(" (round {r})")).unwrap_or_default();
+                    let _ = writeln!(out, "{stamp} {from} ⇒ {to}  {kind}{r} delivered");
+                }
+                TraceKind::Dropped { from, to, kind, reason } => {
+                    if !self.include_drops || !(self.wants_process(*from) || self.wants_process(*to)) {
+                        continue;
+                    }
+                    let _ = writeln!(out, "{stamp} {from} ⊘ {to}  {kind} dropped ({reason:?})");
+                }
+            }
+        }
+        out
+    }
+}
+
+/// A one-line statistical summary of a trace.
+pub fn summary(trace: &Trace) -> String {
+    let mut sent = 0usize;
+    let mut delivered = 0usize;
+    let mut dropped = 0usize;
+    let mut crashes = 0usize;
+    let mut observations = 0usize;
+    for ev in trace.events() {
+        match ev.kind {
+            TraceKind::Sent { .. } => sent += 1,
+            TraceKind::Delivered { .. } => delivered += 1,
+            TraceKind::Dropped { .. } => dropped += 1,
+            TraceKind::Crashed { .. } => crashes += 1,
+            TraceKind::Observation { .. } => observations += 1,
+        }
+    }
+    format!(
+        "{} events: {sent} sent, {delivered} delivered, {dropped} dropped, {crashes} crashed, {observations} observations",
+        trace.len()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::{DropReason, TraceEvent};
+
+    fn sample() -> Trace {
+        Trace::from_events(vec![
+            TraceEvent {
+                at: Time::from_millis(1),
+                kind: TraceKind::Sent { from: ProcessId(0), to: ProcessId(1), kind: "hb", round: None },
+            },
+            TraceEvent {
+                at: Time::from_millis(2),
+                kind: TraceKind::Delivered {
+                    from: ProcessId(0),
+                    to: ProcessId(1),
+                    kind: "hb",
+                    round: Some(3),
+                },
+            },
+            TraceEvent { at: Time::from_millis(5), kind: TraceKind::Crashed { pid: ProcessId(2) } },
+            TraceEvent {
+                at: Time::from_millis(9),
+                kind: TraceKind::Observation {
+                    pid: ProcessId(0),
+                    tag: "fd.trusted",
+                    payload: Payload::Pid(ProcessId(1)),
+                },
+            },
+            TraceEvent {
+                at: Time::from_millis(12),
+                kind: TraceKind::Dropped {
+                    from: ProcessId(1),
+                    to: ProcessId(2),
+                    kind: "hb",
+                    reason: DropReason::ReceiverCrashed,
+                },
+            },
+        ])
+    }
+
+    #[test]
+    fn default_shows_observations_and_crashes_only() {
+        let tr = sample();
+        let out = Timeline::new(&tr).render();
+        assert!(out.contains("p2 crashed"));
+        assert!(out.contains("fd.trusted → p1"));
+        assert!(!out.contains("hb"), "messages hidden by default:\n{out}");
+        assert_eq!(out.lines().count(), 2);
+    }
+
+    #[test]
+    fn messages_and_drops_opt_in() {
+        let tr = sample();
+        let out = Timeline::new(&tr).with_messages().with_drops().render();
+        assert!(out.contains("p0 → p1  hb"));
+        assert!(out.contains("(round 3) delivered"));
+        assert!(out.contains("dropped (ReceiverCrashed)"));
+        assert_eq!(out.lines().count(), 5);
+    }
+
+    #[test]
+    fn filters_compose() {
+        let tr = sample();
+        let out = Timeline::new(&tr)
+            .with_messages()
+            .only_processes(&[ProcessId(2)])
+            .between(Time::from_millis(4), Time::from_millis(10))
+            .render();
+        assert!(out.contains("p2 crashed"));
+        assert!(!out.contains("fd.trusted"), "p0's observation filtered out:\n{out}");
+    }
+
+    #[test]
+    fn tag_filter() {
+        let tr = sample();
+        let out = Timeline::new(&tr).only_tags(&["nope"]).render();
+        assert!(!out.contains("fd.trusted"));
+        assert!(out.contains("crashed"), "crashes are not tag-filtered");
+    }
+
+    #[test]
+    fn summary_counts() {
+        let s = summary(&sample());
+        assert_eq!(s, "5 events: 1 sent, 1 delivered, 1 dropped, 1 crashed, 1 observations");
+    }
+}

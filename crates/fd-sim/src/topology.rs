@@ -1,0 +1,177 @@
+//! Network topology: the per-directed-link configuration of a run.
+//!
+//! Every ordered pair of distinct processes is connected by a directed link
+//! (the paper assumes two opposite reliable links per pair; other models
+//! are opt-in per experiment). Self-links exist for uniformity — a process
+//! "sending to itself" is delivered after a constant one-tick delay.
+
+use crate::link::LinkModel;
+use crate::process::ProcessId;
+use crate::time::{SimDuration, Time};
+use std::collections::HashMap;
+
+/// The link configuration of an `n`-process system.
+#[derive(Debug, Clone)]
+pub struct NetworkConfig {
+    n: usize,
+    default: LinkModel,
+    loopback: LinkModel,
+    overrides: HashMap<(ProcessId, ProcessId), LinkModel>,
+}
+
+impl NetworkConfig {
+    /// A fully connected network of `n` processes with the default
+    /// (reliable, jittery) link model everywhere.
+    pub fn new(n: usize) -> NetworkConfig {
+        NetworkConfig {
+            n,
+            default: LinkModel::default(),
+            loopback: LinkModel::reliable_const(SimDuration(1)),
+            overrides: HashMap::new(),
+        }
+    }
+
+    /// Number of processes.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Set the model used by every link without an explicit override.
+    pub fn with_default(mut self, model: LinkModel) -> Self {
+        self.default = model;
+        self
+    }
+
+    /// Override one directed link.
+    pub fn with_link(mut self, from: ProcessId, to: ProcessId, model: LinkModel) -> Self {
+        assert!(from.index() < self.n && to.index() < self.n, "link endpoints out of range");
+        self.overrides.insert((from, to), model);
+        self
+    }
+
+    /// Override every link *into* `to` (the "input links of the leader"
+    /// requirement of the Fig. 2 transformation).
+    pub fn with_links_into(mut self, to: ProcessId, model: LinkModel) -> Self {
+        for i in 0..self.n {
+            let from = ProcessId(i);
+            if from != to {
+                self.overrides.insert((from, to), model.clone());
+            }
+        }
+        self
+    }
+
+    /// Override every link *out of* `from` (the "output links of the
+    /// leader" requirement of the Fig. 2 transformation).
+    pub fn with_links_out_of(mut self, from: ProcessId, model: LinkModel) -> Self {
+        for i in 0..self.n {
+            let to = ProcessId(i);
+            if from != to {
+                self.overrides.insert((from, to), model.clone());
+            }
+        }
+        self
+    }
+
+    /// Make every link eventually timely with a shared GST and bound — the
+    /// global partial-synchrony model of \[6,8\].
+    pub fn partially_synchronous(
+        n: usize,
+        gst: Time,
+        bound: SimDuration,
+        pre_max: SimDuration,
+        pre_drop: f64,
+    ) -> NetworkConfig {
+        NetworkConfig::new(n).with_default(LinkModel::eventually_timely(gst, bound, pre_max, pre_drop))
+    }
+
+    /// The model governing the directed link `from → to`.
+    pub fn link(&self, from: ProcessId, to: ProcessId) -> &LinkModel {
+        if from == to {
+            return &self.loopback;
+        }
+        self.overrides.get(&(from, to)).unwrap_or(&self.default)
+    }
+
+    /// An upper bound on post-stabilization delay across all links, if one
+    /// exists (used by tests to size "run long enough" margins).
+    pub fn max_delay_bound(&self) -> Option<SimDuration> {
+        fn bound_of(m: &LinkModel) -> Option<SimDuration> {
+            match m {
+                LinkModel::Reliable { delay } => Some(delay.upper_bound()),
+                LinkModel::EventuallyTimely { bound, .. } => Some(*bound),
+                LinkModel::FairLossy { .. } | LinkModel::Dead => None,
+                // A phased link is bounded iff its *final* phase is (the
+                // earlier phases end; "post-stabilization" is the last one).
+                LinkModel::Phased(sched) => {
+                    bound_of(&sched.phases().last().expect("schedules are non-empty").1)
+                }
+            }
+        }
+        let mut max = bound_of(&self.default)?;
+        for m in self.overrides.values() {
+            match bound_of(m) {
+                Some(b) => max = max.max(b),
+                None => return None,
+            }
+        }
+        Some(max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_applies_everywhere() {
+        let cfg = NetworkConfig::new(3).with_default(LinkModel::reliable_const(SimDuration(7)));
+        assert_eq!(*cfg.link(ProcessId(0), ProcessId(2)), LinkModel::reliable_const(SimDuration(7)));
+    }
+
+    #[test]
+    fn override_beats_default() {
+        let cfg = NetworkConfig::new(3)
+            .with_link(ProcessId(0), ProcessId(1), LinkModel::Dead);
+        assert_eq!(*cfg.link(ProcessId(0), ProcessId(1)), LinkModel::Dead);
+        assert_eq!(*cfg.link(ProcessId(1), ProcessId(0)), LinkModel::default());
+    }
+
+    #[test]
+    fn loopback_is_fast_and_reliable() {
+        let cfg = NetworkConfig::new(2).with_default(LinkModel::Dead);
+        assert_eq!(*cfg.link(ProcessId(0), ProcessId(0)), LinkModel::reliable_const(SimDuration(1)));
+    }
+
+    #[test]
+    fn into_and_out_of_cover_all_peers() {
+        let n = 4;
+        let leader = ProcessId(2);
+        let cfg = NetworkConfig::new(n)
+            .with_links_into(leader, LinkModel::reliable_const(SimDuration(3)))
+            .with_links_out_of(leader, LinkModel::fair_lossy(SimDuration(1), SimDuration(2), 0.5));
+        for i in 0..n {
+            let p = ProcessId(i);
+            if p != leader {
+                assert_eq!(*cfg.link(p, leader), LinkModel::reliable_const(SimDuration(3)));
+                assert!(matches!(cfg.link(leader, p), LinkModel::FairLossy { .. }));
+            }
+        }
+        // Unrelated links keep the default.
+        assert_eq!(*cfg.link(ProcessId(0), ProcessId(1)), LinkModel::default());
+    }
+
+    #[test]
+    fn max_delay_bound_none_with_lossy_links() {
+        let cfg = NetworkConfig::new(2).with_default(LinkModel::fair_lossy(SimDuration(1), SimDuration(2), 0.1));
+        assert_eq!(cfg.max_delay_bound(), None);
+        let cfg = NetworkConfig::new(2).with_default(LinkModel::reliable_const(SimDuration(9)));
+        assert_eq!(cfg.max_delay_bound(), Some(SimDuration(9)));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_link_panics() {
+        let _ = NetworkConfig::new(2).with_link(ProcessId(0), ProcessId(5), LinkModel::Dead);
+    }
+}

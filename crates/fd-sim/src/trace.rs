@@ -1,0 +1,297 @@
+//! Run traces.
+//!
+//! The kernel can record every message event, crash, and protocol
+//! *observation* into a [`Trace`]. Observations are emitted by protocol
+//! components via [`Context::observe`](crate::actor::Context::observe) —
+//! e.g. a failure detector records each change of its suspected set, a
+//! consensus component records its decision — and are what the property
+//! checkers in `fd-core` consume to verify the paper's completeness,
+//! accuracy, leadership, and consensus properties on concrete runs.
+
+use crate::process::ProcessId;
+use crate::time::Time;
+use serde::{Deserialize, Serialize};
+
+/// Structured payload of an observation.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Payload {
+    /// No payload.
+    None,
+    /// A scalar.
+    U64(u64),
+    /// A process (e.g. the currently trusted leader).
+    Pid(ProcessId),
+    /// A set of processes (e.g. the currently suspected set), sorted.
+    Pids(Vec<ProcessId>),
+    /// A process plus a scalar (e.g. coordinator + round).
+    PidU64(ProcessId, u64),
+    /// Two scalars (e.g. decided value + deciding round).
+    U64Pair(u64, u64),
+    /// Free text, for debugging only.
+    Text(String),
+}
+
+impl Payload {
+    /// Build a sorted `Pids` payload from any iterator of processes.
+    pub fn pids(iter: impl IntoIterator<Item = ProcessId>) -> Payload {
+        let mut v: Vec<ProcessId> = iter.into_iter().collect();
+        v.sort_unstable();
+        Payload::Pids(v)
+    }
+
+    /// The `Pid` payload, if this is one.
+    pub fn as_pid(&self) -> Option<ProcessId> {
+        match self {
+            Payload::Pid(p) => Some(*p),
+            _ => None,
+        }
+    }
+
+    /// The `Pids` payload, if this is one.
+    pub fn as_pids(&self) -> Option<&[ProcessId]> {
+        match self {
+            Payload::Pids(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// The `U64` payload, if this is one.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Payload::U64(x) => Some(*x),
+            _ => None,
+        }
+    }
+
+    /// The `U64Pair` payload, if this is one.
+    pub fn as_u64_pair(&self) -> Option<(u64, u64)> {
+        match self {
+            Payload::U64Pair(a, b) => Some((*a, *b)),
+            _ => None,
+        }
+    }
+}
+
+/// Why a message did not reach its destination.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum DropReason {
+    /// The link model dropped it (loss, pre-GST chaos, dead link).
+    Link,
+    /// The destination had crashed by delivery time.
+    ReceiverCrashed,
+}
+
+/// One event in a run trace.
+///
+/// Message kinds are `&'static str` labels, so traces serialize to JSON
+/// (for offline analysis) but do not round-trip back; the checkers all
+/// work on the in-memory form.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub enum TraceKind {
+    /// A message left `from` towards `to`.
+    Sent {
+        /// Sender.
+        from: ProcessId,
+        /// Destination.
+        to: ProcessId,
+        /// Message kind label.
+        kind: &'static str,
+        /// Protocol round tag, if any.
+        round: Option<u64>,
+    },
+    /// A message was delivered and processed at `to`.
+    Delivered {
+        /// Sender.
+        from: ProcessId,
+        /// Destination.
+        to: ProcessId,
+        /// Message kind label.
+        kind: &'static str,
+        /// Protocol round tag, if any.
+        round: Option<u64>,
+    },
+    /// A message was lost.
+    Dropped {
+        /// Sender.
+        from: ProcessId,
+        /// Destination.
+        to: ProcessId,
+        /// Message kind label.
+        kind: &'static str,
+        /// Why it was lost.
+        reason: DropReason,
+    },
+    /// `pid` crashed (crash-stop; permanent).
+    Crashed {
+        /// The crashed process.
+        pid: ProcessId,
+    },
+    /// A protocol observation emitted by `pid`.
+    Observation {
+        /// The observing process.
+        pid: ProcessId,
+        /// Observation tag (see `fd-core`'s `obs` module).
+        tag: &'static str,
+        /// Structured payload.
+        payload: Payload,
+    },
+}
+
+/// A timestamped trace event.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct TraceEvent {
+    /// When the event occurred.
+    pub at: Time,
+    /// What happened.
+    pub kind: TraceKind,
+}
+
+/// The recorded history of one run.
+#[derive(Debug, Clone, Default, Serialize)]
+pub struct Trace {
+    events: Vec<TraceEvent>,
+}
+
+impl Trace {
+    /// All events in time order.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Number of recorded events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    pub(crate) fn push(&mut self, at: Time, kind: TraceKind) {
+        self.events.push(TraceEvent { at, kind });
+    }
+
+    /// Build a trace from pre-recorded events (used by tests and by tools
+    /// that synthesize adversarial histories). Events must be supplied in
+    /// the order they occurred.
+    pub fn from_events(events: Vec<TraceEvent>) -> Trace {
+        Trace { events }
+    }
+
+    /// The crash time of each process that crashed, in event order.
+    pub fn crashes(&self) -> Vec<(ProcessId, Time)> {
+        self.events
+            .iter()
+            .filter_map(|e| match e.kind {
+                TraceKind::Crashed { pid } => Some((pid, e.at)),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// All observations with tag `tag`, as `(time, pid, payload)` triples
+    /// in time order.
+    pub fn observations<'a>(
+        &'a self,
+        tag: &'a str,
+    ) -> impl Iterator<Item = (Time, ProcessId, &'a Payload)> + 'a {
+        self.events.iter().filter_map(move |e| match &e.kind {
+            TraceKind::Observation { pid, tag: t, payload } if *t == tag => {
+                Some((e.at, *pid, payload))
+            }
+            _ => None,
+        })
+    }
+
+    /// Observations with tag `tag` emitted by `pid`.
+    pub fn observations_of<'a>(
+        &'a self,
+        pid: ProcessId,
+        tag: &'a str,
+    ) -> impl Iterator<Item = (Time, &'a Payload)> + 'a {
+        self.observations(tag)
+            .filter(move |(_, p, _)| *p == pid)
+            .map(|(t, _, pl)| (t, pl))
+    }
+
+    /// The last observation with tag `tag` emitted by `pid`, if any.
+    pub fn last_observation_of<'a>(
+        &'a self,
+        pid: ProcessId,
+        tag: &str,
+    ) -> Option<(Time, &'a Payload)> {
+        self.events.iter().rev().find_map(|e| match &e.kind {
+            TraceKind::Observation { pid: p, tag: t, payload } if *p == pid && *t == tag => {
+                Some((e.at, payload))
+            }
+            _ => None,
+        })
+    }
+
+    /// Count sent messages matching a predicate on `(kind, round)`.
+    pub fn count_sent(&self, mut pred: impl FnMut(&'static str, Option<u64>) -> bool) -> u64 {
+        self.events
+            .iter()
+            .filter(|e| match e.kind {
+                TraceKind::Sent { kind, round, .. } => pred(kind, round),
+                _ => false,
+            })
+            .count() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Trace {
+        let mut t = Trace::default();
+        t.push(Time(1), TraceKind::Sent { from: ProcessId(0), to: ProcessId(1), kind: "hb", round: None });
+        t.push(Time(2), TraceKind::Crashed { pid: ProcessId(2) });
+        t.push(
+            Time(3),
+            TraceKind::Observation { pid: ProcessId(0), tag: "leader", payload: Payload::Pid(ProcessId(1)) },
+        );
+        t.push(
+            Time(5),
+            TraceKind::Observation { pid: ProcessId(0), tag: "leader", payload: Payload::Pid(ProcessId(0)) },
+        );
+        t.push(
+            Time(4),
+            TraceKind::Observation { pid: ProcessId(1), tag: "leader", payload: Payload::Pid(ProcessId(0)) },
+        );
+        t
+    }
+
+    #[test]
+    fn crashes_extracted() {
+        assert_eq!(sample().crashes(), vec![(ProcessId(2), Time(2))]);
+    }
+
+    #[test]
+    fn observations_filter_by_tag_and_pid() {
+        let t = sample();
+        assert_eq!(t.observations("leader").count(), 3);
+        assert_eq!(t.observations_of(ProcessId(0), "leader").count(), 2);
+        let (at, pl) = t.last_observation_of(ProcessId(0), "leader").unwrap();
+        assert_eq!(at, Time(5));
+        assert_eq!(pl.as_pid(), Some(ProcessId(0)));
+        assert!(t.last_observation_of(ProcessId(2), "leader").is_none());
+    }
+
+    #[test]
+    fn count_sent_with_predicate() {
+        let t = sample();
+        assert_eq!(t.count_sent(|k, _| k == "hb"), 1);
+        assert_eq!(t.count_sent(|k, _| k == "nope"), 0);
+    }
+
+    #[test]
+    fn payload_accessors() {
+        assert_eq!(Payload::U64(3).as_u64(), Some(3));
+        assert_eq!(Payload::U64Pair(1, 2).as_u64_pair(), Some((1, 2)));
+        assert_eq!(Payload::pids([ProcessId(2), ProcessId(0)]).as_pids().unwrap(), &[ProcessId(0), ProcessId(2)]);
+        assert_eq!(Payload::None.as_pid(), None);
+    }
+}

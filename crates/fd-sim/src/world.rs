@@ -1,0 +1,597 @@
+//! The simulation kernel.
+//!
+//! A [`World`] owns `n` actors, the event queue, the network configuration,
+//! and the run's trace/metrics. It executes the standard discrete-event
+//! loop: pop the earliest event, advance the clock, dispatch to the target
+//! actor, apply the actions the actor queued. Crash-stop failures are
+//! events like any other: once a process crashes it receives nothing and
+//! its pending timers are discarded, exactly the paper's failure model
+//! (crashes are permanent, no recovery).
+
+use crate::actor::{Action, Actor, Context, SimMessage};
+use crate::event::{EventKind, EventQueue, QueuedEvent};
+use crate::metrics::Metrics;
+use crate::process::ProcessId;
+use crate::rng::{derive_network_rng, derive_process_rng};
+use crate::time::Time;
+use crate::topology::NetworkConfig;
+use crate::trace::{DropReason, Payload, Trace, TraceKind};
+use rand::rngs::SmallRng;
+use std::collections::HashSet;
+
+struct Slot<A> {
+    actor: A,
+    rng: SmallRng,
+    crashed: bool,
+}
+
+/// Configures and constructs a [`World`].
+pub struct WorldBuilder {
+    net: NetworkConfig,
+    seed: u64,
+    crashes: Vec<(ProcessId, Time)>,
+    record_trace: bool,
+    max_events: u64,
+}
+
+impl WorldBuilder {
+    /// Start from a network configuration (which fixes `n`).
+    pub fn new(net: NetworkConfig) -> WorldBuilder {
+        WorldBuilder { net, seed: 0, crashes: Vec::new(), record_trace: true, max_events: u64::MAX }
+    }
+
+    /// Set the run seed. Identical seeds replay identical runs.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Schedule `pid` to crash at `at`.
+    pub fn crash_at(mut self, pid: ProcessId, at: Time) -> Self {
+        assert!(pid.index() < self.net.n(), "crash target out of range");
+        self.crashes.push((pid, at));
+        self
+    }
+
+    /// Enable or disable full trace recording (metrics are always on).
+    pub fn record_trace(mut self, on: bool) -> Self {
+        self.record_trace = on;
+        self
+    }
+
+    /// Abort the run (panic) if it processes more than `max` events —
+    /// a guard against accidental zero-delay timer loops.
+    pub fn max_events(mut self, max: u64) -> Self {
+        self.max_events = max;
+        self
+    }
+
+    /// Instantiate the actors (via `make(pid, n)`) and build the world.
+    pub fn build<A, F>(self, mut make: F) -> World<A>
+    where
+        A: Actor,
+        F: FnMut(ProcessId, usize) -> A,
+    {
+        let n = self.net.n();
+        assert!(n > 0, "a world needs at least one process");
+        let actors = (0..n)
+            .map(|i| Slot {
+                actor: make(ProcessId(i), n),
+                rng: derive_process_rng(self.seed, i),
+                crashed: false,
+            })
+            .collect();
+        let mut world = World {
+            n,
+            now: Time::ZERO,
+            queue: EventQueue::new(),
+            actors,
+            net: self.net,
+            net_rng: derive_network_rng(self.seed),
+            cancelled: HashSet::new(),
+            next_timer_id: 0,
+            trace: Trace::default(),
+            metrics: Metrics::default(),
+            record_trace: self.record_trace,
+            max_events: self.max_events,
+            started: false,
+            scratch: Vec::new(),
+        };
+        for (pid, at) in self.crashes {
+            world.queue.push(at, EventKind::Crash { pid });
+        }
+        world
+    }
+}
+
+/// A running simulation of `n` processes.
+pub struct World<A: Actor> {
+    n: usize,
+    now: Time,
+    queue: EventQueue<A::Msg>,
+    actors: Vec<Slot<A>>,
+    net: NetworkConfig,
+    net_rng: SmallRng,
+    cancelled: HashSet<u64>,
+    next_timer_id: u64,
+    trace: Trace,
+    metrics: Metrics,
+    record_trace: bool,
+    max_events: u64,
+    started: bool,
+    scratch: Vec<Action<A::Msg>>,
+}
+
+impl<A: Actor> World<A> {
+    /// Number of processes.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> Time {
+        self.now
+    }
+
+    /// The recorded trace so far.
+    pub fn trace(&self) -> &Trace {
+        &self.trace
+    }
+
+    /// The metrics so far.
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    /// Read access to an actor's state (e.g. to query its failure
+    /// detector output from experiment code).
+    pub fn actor(&self, pid: ProcessId) -> &A {
+        &self.actors[pid.index()].actor
+    }
+
+    /// Whether `pid` has crashed.
+    pub fn is_crashed(&self, pid: ProcessId) -> bool {
+        self.actors[pid.index()].crashed
+    }
+
+    /// The processes that have not crashed (so far).
+    pub fn correct(&self) -> Vec<ProcessId> {
+        (0..self.n).map(ProcessId).filter(|p| !self.is_crashed(*p)).collect()
+    }
+
+    /// Schedule a crash after construction.
+    pub fn schedule_crash(&mut self, pid: ProcessId, at: Time) {
+        assert!(at >= self.now, "cannot schedule a crash in the past");
+        self.queue.push(at, EventKind::Crash { pid });
+    }
+
+    /// Interact with a live actor outside of message/timer dispatch —
+    /// e.g. call `propose(v)` on a consensus component. The closure gets
+    /// the actor and a full [`Context`], so it may send and arm timers.
+    /// Interactions with crashed processes are ignored.
+    pub fn interact(&mut self, pid: ProcessId, f: impl FnOnce(&mut A, &mut Context<'_, A::Msg>)) {
+        self.ensure_started();
+        if self.actors[pid.index()].crashed {
+            return;
+        }
+        self.dispatch(pid, f);
+    }
+
+    fn ensure_started(&mut self) {
+        if self.started {
+            return;
+        }
+        self.started = true;
+        for i in 0..self.n {
+            let pid = ProcessId(i);
+            self.dispatch(pid, |actor, ctx| actor.on_start(ctx));
+        }
+    }
+
+    fn dispatch(&mut self, pid: ProcessId, f: impl FnOnce(&mut A, &mut Context<'_, A::Msg>)) {
+        let now = self.now;
+        let n = self.n;
+        let mut actions = std::mem::take(&mut self.scratch);
+        actions.clear();
+        {
+            let slot = &mut self.actors[pid.index()];
+            let mut ctx = Context {
+                me: pid,
+                n,
+                now,
+                rng: &mut slot.rng,
+                actions: &mut actions,
+                next_timer_id: &mut self.next_timer_id,
+            };
+            f(&mut slot.actor, &mut ctx);
+        }
+        for action in actions.drain(..) {
+            self.apply(pid, action);
+        }
+        self.scratch = actions;
+    }
+
+    fn apply(&mut self, from: ProcessId, action: Action<A::Msg>) {
+        match action {
+            Action::Send { to, msg } => {
+                let kind = msg.kind();
+                let round = msg.round();
+                self.metrics.record_sent(from, kind, round);
+                if self.record_trace {
+                    self.trace.push(self.now, TraceKind::Sent { from, to, kind, round });
+                }
+                match self.net.link(from, to).deliver_at(self.now, &mut self.net_rng) {
+                    Some(at) => {
+                        // Enforce strict causality: delivery strictly after
+                        // the send instant in queue order is already
+                        // guaranteed by the sequence number; a zero sampled
+                        // delay is therefore fine.
+                        self.queue.push(at, EventKind::Deliver { from, to, msg });
+                    }
+                    None => {
+                        self.metrics.record_dropped();
+                        if self.record_trace {
+                            self.trace.push(
+                                self.now,
+                                TraceKind::Dropped { from, to, kind, reason: DropReason::Link },
+                            );
+                        }
+                    }
+                }
+            }
+            Action::SetTimer { id, after, tag } => {
+                self.queue.push(self.now + after, EventKind::Timer { pid: from, id, tag });
+            }
+            Action::CancelTimer { id } => {
+                self.cancelled.insert(id.0);
+            }
+            Action::Observe { tag, payload } => {
+                if self.record_trace {
+                    self.trace.push(self.now, TraceKind::Observation { pid: from, tag, payload });
+                }
+            }
+        }
+    }
+
+    fn process(&mut self, ev: QueuedEvent<A::Msg>) {
+        self.now = ev.at;
+        self.metrics.record_event();
+        assert!(
+            self.metrics.events_processed() <= self.max_events,
+            "event budget exceeded ({}): possible zero-delay loop",
+            self.max_events
+        );
+        match ev.kind {
+            EventKind::Deliver { from, to, msg } => {
+                if self.actors[to.index()].crashed {
+                    self.metrics.record_dropped();
+                    if self.record_trace {
+                        self.trace.push(
+                            self.now,
+                            TraceKind::Dropped {
+                                from,
+                                to,
+                                kind: msg.kind(),
+                                reason: DropReason::ReceiverCrashed,
+                            },
+                        );
+                    }
+                    return;
+                }
+                self.metrics.record_delivered();
+                if self.record_trace {
+                    self.trace.push(
+                        self.now,
+                        TraceKind::Delivered { from, to, kind: msg.kind(), round: msg.round() },
+                    );
+                }
+                self.dispatch(to, |actor, ctx| actor.on_message(ctx, from, msg));
+            }
+            EventKind::Timer { pid, id, tag } => {
+                if self.cancelled.remove(&id.0) || self.actors[pid.index()].crashed {
+                    return;
+                }
+                self.dispatch(pid, |actor, ctx| actor.on_timer(ctx, tag));
+            }
+            EventKind::Crash { pid } => {
+                let slot = &mut self.actors[pid.index()];
+                if !slot.crashed {
+                    slot.crashed = true;
+                    if self.record_trace {
+                        self.trace.push(self.now, TraceKind::Crashed { pid });
+                    }
+                }
+            }
+        }
+    }
+
+    /// Process a single event. Returns its time, or `None` if the queue
+    /// was empty.
+    pub fn step(&mut self) -> Option<Time> {
+        self.ensure_started();
+        let ev = self.queue.pop()?;
+        self.process(ev);
+        Some(self.now)
+    }
+
+    /// Run every event scheduled at or before `until`, then advance the
+    /// clock to `until`.
+    pub fn run_until_time(&mut self, until: Time) {
+        self.ensure_started();
+        while let Some(t) = self.queue.peek_time() {
+            if t > until {
+                break;
+            }
+            let ev = self.queue.pop().expect("peeked");
+            self.process(ev);
+        }
+        self.now = self.now.max(until);
+    }
+
+    /// Run until `pred(self)` holds (checked before the first event and
+    /// after every event) or the clock would pass `deadline`. Returns
+    /// `true` iff the predicate was met.
+    pub fn run_until(&mut self, deadline: Time, mut pred: impl FnMut(&Self) -> bool) -> bool {
+        self.ensure_started();
+        if pred(self) {
+            return true;
+        }
+        while let Some(t) = self.queue.peek_time() {
+            if t > deadline {
+                break;
+            }
+            let ev = self.queue.pop().expect("peeked");
+            self.process(ev);
+            if pred(self) {
+                return true;
+            }
+        }
+        self.now = self.now.max(deadline);
+        false
+    }
+
+    /// Consume the world, returning its trace and metrics.
+    pub fn into_results(self) -> (Trace, Metrics) {
+        (self.trace, self.metrics)
+    }
+
+    /// Record an observation on behalf of the harness itself (pid-less
+    /// events are attributed to process 0; used rarely, e.g. to mark
+    /// scenario phases in traces).
+    pub fn annotate(&mut self, tag: &'static str, payload: Payload) {
+        if self.record_trace {
+            self.trace.push(self.now, TraceKind::Observation { pid: ProcessId(0), tag, payload });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::actor::TimerTag;
+    use crate::link::LinkModel;
+    use crate::time::SimDuration;
+
+    /// Each process pings its successor on start; a ping is answered with
+    /// a pong; receipt of a pong re-arms a timer that pings again.
+    struct PingPong {
+        pings_seen: u64,
+        pongs_seen: u64,
+    }
+
+    #[derive(Clone, Debug)]
+    enum Pp {
+        Ping,
+        Pong,
+    }
+    impl SimMessage for Pp {
+        fn kind(&self) -> &'static str {
+            match self {
+                Pp::Ping => "ping",
+                Pp::Pong => "pong",
+            }
+        }
+    }
+
+    const T_PING: TimerTag = TimerTag::new(0, 0, 0);
+
+    impl Actor for PingPong {
+        type Msg = Pp;
+        fn on_start(&mut self, ctx: &mut Context<'_, Pp>) {
+            ctx.set_timer(SimDuration::from_millis(1), T_PING);
+        }
+        fn on_message(&mut self, ctx: &mut Context<'_, Pp>, from: ProcessId, msg: Pp) {
+            match msg {
+                Pp::Ping => {
+                    self.pings_seen += 1;
+                    ctx.send(from, Pp::Pong);
+                }
+                Pp::Pong => {
+                    self.pongs_seen += 1;
+                    ctx.set_timer(SimDuration::from_millis(1), T_PING);
+                }
+            }
+        }
+        fn on_timer(&mut self, ctx: &mut Context<'_, Pp>, _tag: TimerTag) {
+            let next = ctx.me().successor(ctx.n());
+            ctx.send(next, Pp::Ping);
+        }
+    }
+
+    fn two_node_world(seed: u64) -> World<PingPong> {
+        let net = NetworkConfig::new(2).with_default(LinkModel::reliable_const(SimDuration::from_millis(1)));
+        WorldBuilder::new(net).seed(seed).build(|_, _| PingPong { pings_seen: 0, pongs_seen: 0 })
+    }
+
+    #[test]
+    fn ping_pong_round_trips() {
+        let mut w = two_node_world(1);
+        w.run_until_time(Time::from_millis(100));
+        assert!(w.actor(ProcessId(0)).pongs_seen > 10);
+        assert!(w.actor(ProcessId(1)).pings_seen > 10);
+        // Every pong answers a ping; at the cutoff a couple of pings may
+        // still be in flight or unanswered.
+        let pings = w.metrics().sent_of_kind("ping");
+        let pongs = w.metrics().sent_of_kind("pong");
+        assert!(pings >= pongs && pings - pongs <= 2, "pings={pings} pongs={pongs}");
+    }
+
+    #[test]
+    fn identical_seeds_replay_identically() {
+        let mut a = two_node_world(42);
+        let mut b = two_node_world(42);
+        a.run_until_time(Time::from_millis(50));
+        b.run_until_time(Time::from_millis(50));
+        assert_eq!(a.trace().events(), b.trace().events());
+        assert_eq!(a.metrics().sent_total(), b.metrics().sent_total());
+    }
+
+    #[test]
+    fn crash_stops_a_process() {
+        let net = NetworkConfig::new(2).with_default(LinkModel::reliable_const(SimDuration::from_millis(1)));
+        let mut w = WorldBuilder::new(net)
+            .crash_at(ProcessId(1), Time::from_millis(10))
+            .build(|_, _| PingPong { pings_seen: 0, pongs_seen: 0 });
+        w.run_until_time(Time::from_millis(100));
+        assert!(w.is_crashed(ProcessId(1)));
+        assert!(!w.is_crashed(ProcessId(0)));
+        assert_eq!(w.correct(), vec![ProcessId(0)]);
+        // p1 stopped answering, so p0 saw only the pongs from before the crash.
+        let p0 = w.actor(ProcessId(0));
+        assert!(p0.pongs_seen <= 12, "pongs after crash: {}", p0.pongs_seen);
+        // Messages to the crashed process are recorded as drops.
+        assert!(w.metrics().dropped_total() > 0);
+    }
+
+    #[test]
+    fn run_until_predicate_stops_early() {
+        let mut w = two_node_world(3);
+        let hit = w.run_until(Time::from_secs(10), |w| w.actor(ProcessId(1)).pings_seen >= 3);
+        assert!(hit);
+        assert!(w.now() < Time::from_secs(1));
+        assert!(w.actor(ProcessId(1)).pings_seen >= 3);
+    }
+
+    #[test]
+    fn run_until_deadline_when_predicate_never_holds() {
+        let mut w = two_node_world(3);
+        let hit = w.run_until(Time::from_millis(5), |_| false);
+        assert!(!hit);
+        assert_eq!(w.now(), Time::from_millis(5));
+    }
+
+    #[test]
+    fn interact_injects_external_calls() {
+        let mut w = two_node_world(4);
+        w.interact(ProcessId(0), |_actor, ctx| ctx.send(ProcessId(1), Pp::Ping));
+        w.run_until_time(Time::from_millis(3));
+        assert!(w.actor(ProcessId(1)).pings_seen >= 1);
+    }
+
+    #[test]
+    fn interact_with_crashed_process_is_ignored() {
+        let net = NetworkConfig::new(2);
+        let mut w = WorldBuilder::new(net)
+            .crash_at(ProcessId(0), Time::ZERO)
+            .build(|_, _| PingPong { pings_seen: 0, pongs_seen: 0 });
+        w.run_until_time(Time::from_millis(1));
+        let sent_before = w.metrics().sent_total();
+        w.interact(ProcessId(0), |_a, ctx| ctx.send(ProcessId(1), Pp::Ping));
+        assert_eq!(w.metrics().sent_total(), sent_before);
+    }
+
+    #[test]
+    fn cancelled_timers_do_not_fire() {
+        struct Cancelling {
+            fired: bool,
+        }
+        #[derive(Clone, Debug)]
+        struct Never;
+        impl SimMessage for Never {}
+        impl Actor for Cancelling {
+            type Msg = Never;
+            fn on_start(&mut self, ctx: &mut Context<'_, Never>) {
+                let id = ctx.set_timer(SimDuration::from_millis(5), TimerTag::new(0, 0, 0));
+                ctx.cancel_timer(id);
+            }
+            fn on_message(&mut self, _: &mut Context<'_, Never>, _: ProcessId, _: Never) {}
+            fn on_timer(&mut self, _: &mut Context<'_, Never>, _: TimerTag) {
+                self.fired = true;
+            }
+        }
+        let mut w = WorldBuilder::new(NetworkConfig::new(1)).build(|_, _| Cancelling { fired: false });
+        w.run_until_time(Time::from_millis(20));
+        assert!(!w.actor(ProcessId(0)).fired);
+    }
+
+    #[test]
+    #[should_panic(expected = "event budget exceeded")]
+    fn event_budget_guards_zero_delay_loops() {
+        struct Looper;
+        #[derive(Clone, Debug)]
+        struct Never;
+        impl SimMessage for Never {}
+        impl Actor for Looper {
+            type Msg = Never;
+            fn on_start(&mut self, ctx: &mut Context<'_, Never>) {
+                ctx.set_timer(SimDuration::ZERO, TimerTag::new(0, 0, 0));
+            }
+            fn on_message(&mut self, _: &mut Context<'_, Never>, _: ProcessId, _: Never) {}
+            fn on_timer(&mut self, ctx: &mut Context<'_, Never>, _: TimerTag) {
+                ctx.set_timer(SimDuration::ZERO, TimerTag::new(0, 0, 0));
+            }
+        }
+        let mut w = WorldBuilder::new(NetworkConfig::new(1)).max_events(1_000).build(|_, _| Looper);
+        w.run_until_time(Time::from_millis(1));
+    }
+
+    #[test]
+    fn trace_can_be_disabled() {
+        let mut w = {
+            let net = NetworkConfig::new(2);
+            WorldBuilder::new(net).record_trace(false).build(|_, _| PingPong { pings_seen: 0, pongs_seen: 0 })
+        };
+        w.run_until_time(Time::from_millis(50));
+        assert!(w.trace().is_empty());
+        assert!(w.metrics().sent_total() > 0, "metrics stay on");
+    }
+}
+
+#[cfg(test)]
+mod annotate_tests {
+    use super::*;
+    use crate::actor::{SimMessage, TimerTag};
+    use crate::trace::Payload;
+
+    struct Quiet;
+    #[derive(Clone, Debug)]
+    struct Never;
+    impl SimMessage for Never {}
+    impl Actor for Quiet {
+        type Msg = Never;
+        fn on_start(&mut self, _: &mut Context<'_, Never>) {}
+        fn on_message(&mut self, _: &mut Context<'_, Never>, _: ProcessId, _: Never) {}
+        fn on_timer(&mut self, _: &mut Context<'_, Never>, _: TimerTag) {}
+    }
+
+    #[test]
+    fn harness_annotations_land_in_the_trace() {
+        let mut w = WorldBuilder::new(crate::topology::NetworkConfig::new(1)).build(|_, _| Quiet);
+        w.run_until_time(Time::from_millis(10));
+        w.annotate("scenario.phase", Payload::U64(2));
+        let (trace, _) = w.into_results();
+        let (at, _, payload) = trace.observations("scenario.phase").next().expect("annotated");
+        assert_eq!(at, Time::from_millis(10));
+        assert_eq!(payload.as_u64(), Some(2));
+    }
+
+    #[test]
+    fn annotations_respect_trace_switch() {
+        let mut w = WorldBuilder::new(crate::topology::NetworkConfig::new(1))
+            .record_trace(false)
+            .build(|_, _| Quiet);
+        w.annotate("x", Payload::None);
+        let (trace, _) = w.into_results();
+        assert!(trace.is_empty());
+    }
+}

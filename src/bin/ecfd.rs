@@ -1,0 +1,377 @@
+//! `ecfd` — scenario driver CLI.
+//!
+//! Run consensus instances, failure detectors, or a replicated log over
+//! the deterministic simulator, straight from the command line:
+//!
+//! ```bash
+//! ecfd consensus --n 7 --protocol ec --crash 2@50 --seed 9 --timeline
+//! ecfd detector --kind ring --n 6 --crash 3@200 --run-ms 3000
+//! ecfd log --n 5 --commands 8 --crash 4@40
+//! ecfd classes
+//! ```
+//!
+//! Argument parsing is hand-rolled (the workspace deliberately has no CLI
+//! dependency); `--help` prints the grammar.
+
+use ecfd::prelude::*;
+use fd_consensus::{ConsensusNode, EcMergedConsensus, MultiEc, MultiNode};
+use fd_core::Standalone;
+use fd_detectors::{
+    FusedConfig, FusedDetector, HeartbeatDetector, OmegaGossip, OmegaGossipConfig, OmegaGossipNode,
+    RingDetector, StableLeaderConfig, StableLeaderDetector,
+};
+use std::process::ExitCode;
+
+const HELP: &str = "\
+ecfd — eventually consistent failure detectors, runnable
+
+USAGE:
+  ecfd consensus [--n N] [--protocol ec|ecm|ct|mr|paxos] [--seed S]
+                 [--crash P@MS ...] [--horizon-ms MS] [--timeline]
+  ecfd detector  [--kind heartbeat|ring|leader|fused|stable|gossip]
+                 [--n N] [--seed S] [--crash P@MS ...] [--run-ms MS] [--timeline]
+  ecfd log       [--n N] [--commands K] [--seed S] [--crash P@MS ...]
+  ecfd classes
+  ecfd help
+
+OPTIONS:
+  --n N             number of processes (default 5)
+  --protocol X      consensus protocol: ec (the paper's ◇C algorithm, default),
+                    ecm (merged Phase 0/1 variant), ct (Chandra–Toueg ◇S),
+                    mr (Mostefaoui–Raynal Ω), paxos (single-decree synod)
+  --kind X          failure detector family (default heartbeat)
+  --seed S          run seed (default 42); same seed ⇒ identical run
+  --crash P@MS      crash process P at MS milliseconds (repeatable)
+  --horizon-ms MS   consensus give-up horizon (default 10000)
+  --run-ms MS       detector run length (default 3000)
+  --commands K      commands submitted to the replicated log (default 6)
+  --timeline        print the chronological observation timeline
+";
+
+#[derive(Debug, Default)]
+struct Args {
+    n: usize,
+    seed: u64,
+    protocol: String,
+    kind: String,
+    crashes: Vec<(usize, u64)>,
+    horizon_ms: u64,
+    run_ms: u64,
+    commands: u64,
+    timeline: bool,
+}
+
+fn parse_args(argv: &[String]) -> Result<Args, String> {
+    let mut a = Args {
+        n: 5,
+        seed: 42,
+        protocol: "ec".into(),
+        kind: "heartbeat".into(),
+        horizon_ms: 10_000,
+        run_ms: 3_000,
+        commands: 6,
+        ..Args::default()
+    };
+    let mut it = argv.iter();
+    while let Some(flag) = it.next() {
+        let mut take = || it.next().ok_or_else(|| format!("{flag} needs a value"));
+        match flag.as_str() {
+            "--n" => a.n = take()?.parse().map_err(|e| format!("--n: {e}"))?,
+            "--seed" => a.seed = take()?.parse().map_err(|e| format!("--seed: {e}"))?,
+            "--protocol" => a.protocol = take()?.clone(),
+            "--kind" => a.kind = take()?.clone(),
+            "--horizon-ms" => a.horizon_ms = take()?.parse().map_err(|e| format!("--horizon-ms: {e}"))?,
+            "--run-ms" => a.run_ms = take()?.parse().map_err(|e| format!("--run-ms: {e}"))?,
+            "--commands" => a.commands = take()?.parse().map_err(|e| format!("--commands: {e}"))?,
+            "--timeline" => a.timeline = true,
+            "--crash" => {
+                let spec = take()?;
+                let (p, ms) = spec
+                    .split_once('@')
+                    .ok_or_else(|| format!("--crash wants P@MS, got {spec}"))?;
+                a.crashes.push((
+                    p.parse().map_err(|e| format!("--crash process: {e}"))?,
+                    ms.parse().map_err(|e| format!("--crash time: {e}"))?,
+                ));
+            }
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    if a.n == 0 || a.n > fd_core::MAX_PROCESSES {
+        return Err(format!("--n must be in 1..={}", fd_core::MAX_PROCESSES));
+    }
+    for &(p, _) in &a.crashes {
+        if p >= a.n {
+            return Err(format!("--crash process p{p} out of range for n={}", a.n));
+        }
+    }
+    if 2 * a.crashes.len() >= a.n {
+        eprintln!("warning: {} crashes with n={} violates f < n/2 — liveness not guaranteed", a.crashes.len(), a.n);
+    }
+    Ok(a)
+}
+
+fn scenario_of(a: &Args) -> Scenario {
+    let mut sc = Scenario::failure_free(a.n, a.seed, Time::from_millis(a.horizon_ms));
+    for &(p, ms) in &a.crashes {
+        sc = sc.with_crash(ProcessId(p), Time::from_millis(ms));
+    }
+    sc
+}
+
+fn print_timeline(trace: &fd_sim::Trace) {
+    println!("\ntimeline:");
+    print!("{}", fd_sim::Timeline::new(trace).render());
+}
+
+fn cmd_consensus(a: &Args) -> Result<(), String> {
+    let sc = scenario_of(a);
+    println!(
+        "consensus: protocol={} n={} seed={} crashes={:?}",
+        a.protocol, a.n, a.seed, a.crashes
+    );
+    let r = match a.protocol.as_str() {
+        "ec" => run_scenario(default_net(a.n), &sc, fd_consensus::ec_node_hb),
+        "ct" => run_scenario(default_net(a.n), &sc, fd_consensus::ct_node_hb),
+        "mr" => run_scenario(default_net(a.n), &sc, fd_consensus::mr_node_leader),
+        "paxos" => run_scenario(default_net(a.n), &sc, fd_consensus::paxos_node_leader),
+        "ecm" => run_scenario(default_net(a.n), &sc, |pid, n| {
+            ConsensusNode::new(
+                pid,
+                LeaderByFirstNonSuspected::new(HeartbeatDetector::new(pid, n, HeartbeatConfig::default()), n),
+                EcMergedConsensus::new(pid, n, ConsensusConfig::default()),
+            )
+        }),
+        other => return Err(format!("unknown protocol {other} (ec|ecm|ct|mr|paxos)")),
+    };
+    if !r.all_decided {
+        return Err("no decision before the horizon (crashed majority, or horizon too small)".into());
+    }
+    let check = ConsensusRun::new(&r.trace, a.n);
+    check.check_all().map_err(|v| v.to_string())?;
+    println!(
+        "decided {} in round {} at {} ({} protocol messages)",
+        r.decided_value(),
+        r.max_decision_round().unwrap(),
+        r.decide_time.unwrap(),
+        r.metrics.sent_total(),
+    );
+    println!("uniform agreement + validity + integrity + termination verified ✓");
+    if a.timeline {
+        print_timeline(&r.trace);
+    }
+    Ok(())
+}
+
+fn cmd_detector(a: &Args) -> Result<(), String> {
+    println!("detector: kind={} n={} seed={} crashes={:?}", a.kind, a.n, a.seed, a.crashes);
+    let net = default_net(a.n);
+    let mut b = WorldBuilder::new(net).seed(a.seed);
+    for &(p, ms) in &a.crashes {
+        b = b.crash_at(ProcessId(p), Time::from_millis(ms));
+    }
+    let end = Time::from_millis(a.run_ms);
+    let (trace, metrics) = match a.kind.as_str() {
+        "heartbeat" => {
+            let mut w = b.build(|pid, n| {
+                Standalone(LeaderByFirstNonSuspected::new(
+                    HeartbeatDetector::new(pid, n, HeartbeatConfig::default()),
+                    n,
+                ))
+            });
+            w.run_until_time(end);
+            w.into_results()
+        }
+        "ring" => {
+            let mut w = b.build(|pid, n| {
+                Standalone(LeaderByFirstNonSuspected::new(RingDetector::new(pid, n, RingConfig::default()), n))
+            });
+            w.run_until_time(end);
+            w.into_results()
+        }
+        "leader" => {
+            let mut w = b.build(|pid, n| Standalone(LeaderDetector::new(pid, n, LeaderConfig::default())));
+            w.run_until_time(end);
+            w.into_results()
+        }
+        "fused" => {
+            let mut w = b.build(|pid, n| Standalone(FusedDetector::new(pid, n, FusedConfig::default())));
+            w.run_until_time(end);
+            w.into_results()
+        }
+        "stable" => {
+            let mut w = b.build(|pid, n| {
+                Standalone(StableLeaderDetector::new(pid, n, StableLeaderConfig::default()))
+            });
+            w.run_until_time(end);
+            w.into_results()
+        }
+        "gossip" => {
+            let mut w = b.build(|pid, n| {
+                OmegaGossipNode::new(
+                    HeartbeatDetector::new(pid, n, HeartbeatConfig::default()),
+                    OmegaGossip::new(pid, n, OmegaGossipConfig::default()),
+                )
+            });
+            w.run_until_time(end);
+            w.into_results()
+        }
+        other => return Err(format!("unknown detector {other}")),
+    };
+    let run = FdRun::new(&trace, a.n, end);
+    println!("{}", fd_sim::trace_summary(&trace));
+    for p in run.correct().iter() {
+        println!(
+            "  {p}: suspects {}  trusts {}",
+            run.final_suspects(p),
+            run.final_trusted(p).map_or("-".to_string(), |q| q.to_string()),
+        );
+    }
+    for class in [FdClass::EventuallyConsistent, FdClass::EventuallyPerfect, FdClass::Omega] {
+        match run.check_class(class) {
+            Ok(()) => println!("  {class}: holds ✓"),
+            Err(v) => println!("  {class}: {v}"),
+        }
+    }
+    println!("  total messages: {}", metrics.sent_total());
+    if a.timeline {
+        print_timeline(&trace);
+    }
+    Ok(())
+}
+
+fn cmd_log(a: &Args) -> Result<(), String> {
+    println!("replicated log: n={} commands={} seed={} crashes={:?}", a.n, a.commands, a.seed, a.crashes);
+    let mut b = WorldBuilder::new(default_net(a.n)).seed(a.seed);
+    for &(p, ms) in &a.crashes {
+        b = b.crash_at(ProcessId(p), Time::from_millis(ms));
+    }
+    let mut w = b.build(|pid, n| {
+        MultiNode::new(
+            pid,
+            LeaderByFirstNonSuspected::new(HeartbeatDetector::new(pid, n, HeartbeatConfig::default()), n),
+            MultiEc::new(pid, n, ConsensusConfig::default()),
+        )
+    });
+    for k in 0..a.commands {
+        let submitter = (k as usize) % a.n;
+        let cmd = 1000 + k;
+        w.interact(ProcessId(submitter), move |node, ctx| node.submit(ctx, cmd));
+    }
+    let crashed: Vec<usize> = a.crashes.iter().map(|&(p, _)| p).collect();
+    let survivor_cmds: Vec<u64> = (0..a.commands)
+        .filter(|&k| !crashed.contains(&((k as usize) % a.n)))
+        .map(|k| 1000 + k)
+        .collect();
+    let done = w.run_until(Time::from_millis(a.horizon_ms), |w| {
+        w.correct().iter().all(|&p| {
+            let vals: Vec<u64> = w.actor(p).log().iter().map(|(_, v)| *v).collect();
+            survivor_cmds.iter().all(|c| vals.contains(c))
+        })
+    });
+    if !done {
+        return Err("log did not converge before the horizon".into());
+    }
+    let reference_pid = *w.correct().first().expect("a survivor");
+    let log = w.actor(ProcessId(reference_pid.index())).log();
+    println!("log at {reference_pid} ({} slots, {}):", log.len(), w.now());
+    for (slot, v) in &log {
+        if *v == fd_consensus::NOOP {
+            println!("  [{slot}] (noop)");
+        } else {
+            println!("  [{slot}] command {v}");
+        }
+    }
+    Ok(())
+}
+
+fn cmd_classes() {
+    println!("failure-detector classes (Fig. 1 + Ω + the paper's ◇C):\n");
+    for class in FdClass::ALL {
+        let comp = class.completeness().map_or("-".into(), |c| format!("{c:?}"));
+        let acc = class.accuracy().map_or("-".into(), |a| format!("{a:?}"));
+        let leader = if class.has_leader() { "yes" } else { "no" };
+        println!("  {class:<3}  completeness={comp:<7} accuracy={acc:<14} leader-output={leader}");
+    }
+    println!("\nreducibility (can the row be built from ◇C?):");
+    for class in FdClass::ALL {
+        use fd_core::SystemModel::*;
+        let asy = class.implementable_from(FdClass::EventuallyConsistent, Asynchronous);
+        let psy = class.implementable_from(FdClass::EventuallyConsistent, PartiallySynchronous);
+        println!("  {class:<3}  async={asy:<5}  partial-synchrony={psy}");
+    }
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let Some((cmd, rest)) = argv.split_first() else {
+        print!("{HELP}");
+        return ExitCode::FAILURE;
+    };
+    if matches!(cmd.as_str(), "help" | "--help" | "-h") {
+        print!("{HELP}");
+        return ExitCode::SUCCESS;
+    }
+    if cmd == "classes" {
+        cmd_classes();
+        return ExitCode::SUCCESS;
+    }
+    let args = match parse_args(rest) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}\n");
+            eprint!("{HELP}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let result = match cmd.as_str() {
+        "consensus" => cmd_consensus(&args),
+        "detector" => cmd_detector(&args),
+        "log" => cmd_log(&args),
+        other => Err(format!("unknown command {other}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(s: &str) -> Result<Args, String> {
+        let argv: Vec<String> = s.split_whitespace().map(String::from).collect();
+        parse_args(&argv)
+    }
+
+    #[test]
+    fn defaults() {
+        let a = parse("").unwrap();
+        assert_eq!(a.n, 5);
+        assert_eq!(a.seed, 42);
+        assert_eq!(a.protocol, "ec");
+        assert!(a.crashes.is_empty());
+    }
+
+    #[test]
+    fn full_flag_set() {
+        let a = parse("--n 7 --protocol ct --seed 9 --crash 2@50 --crash 3@75 --timeline").unwrap();
+        assert_eq!(a.n, 7);
+        assert_eq!(a.protocol, "ct");
+        assert_eq!(a.seed, 9);
+        assert_eq!(a.crashes, vec![(2, 50), (3, 75)]);
+        assert!(a.timeline);
+    }
+
+    #[test]
+    fn bad_crash_spec_rejected() {
+        assert!(parse("--crash nope").is_err());
+        assert!(parse("--crash 9@10").is_err(), "out of range for default n");
+        assert!(parse("--n 0").is_err());
+        assert!(parse("--mystery 1").is_err());
+    }
+}

@@ -1,0 +1,106 @@
+//! Ablations of the design decisions DESIGN.md marks ⚗: show that the
+//! mechanisms the paper's proofs rely on are *load-bearing* — removing
+//! them makes the property checkers fail, on real runs.
+
+use ecfd::prelude::*;
+use fd_core::Standalone;
+use fd_detectors::{HeartbeatConfig, HeartbeatDetector};
+use fd_sim::DelayDist;
+
+/// A network whose delays spike above any *fixed* timeout forever:
+/// mostly 1–3 ms, but 6% of messages take up to 120 ms.
+fn spiky_net(n: usize) -> NetworkConfig {
+    NetworkConfig::new(n).with_default(LinkModel::Reliable {
+        delay: DelayDist::Spiky {
+            min: SimDuration::from_millis(1),
+            max: SimDuration::from_millis(3),
+            spike_prob: 0.06,
+            spike_max: SimDuration::from_millis(120),
+        },
+    })
+}
+
+fn run_heartbeat(cfg: HeartbeatConfig, seed: u64) -> (fd_sim::Trace, Time, u64) {
+    let n = 4;
+    let mut w = WorldBuilder::new(spiky_net(n))
+        .seed(seed)
+        .build(move |pid, n| Standalone(HeartbeatDetector::new(pid, n, cfg.clone())));
+    let end = Time::from_secs(20);
+    w.run_until_time(end);
+    let mistakes: u64 = (0..n).map(|i| w.actor(ProcessId(i)).mistakes()).sum();
+    let (trace, _) = w.into_results();
+    (trace, end, mistakes)
+}
+
+#[test]
+fn adaptive_timeouts_are_load_bearing() {
+    // DESIGN ⚗ #4 / Theorem 1's mechanism. A *short, fixed* timeout under
+    // heavy-tailed delays false-suspects forever — eventual strong
+    // accuracy fails; the adaptive variant absorbs the tail and passes.
+    let n = 4;
+
+    // Ablated: 20 ms timeout that never grows, under 120 ms spikes.
+    let fixed = HeartbeatConfig {
+        initial_timeout: SimDuration::from_millis(20),
+        timeout_increment: SimDuration::from_ticks(1), // effectively frozen
+        ..HeartbeatConfig::default()
+    };
+    let (trace, end, mistakes_fixed) = run_heartbeat(fixed, 0xAB1);
+    let run = FdRun::new(&trace, n, end);
+    assert!(
+        run.check_stable_margin(SimDuration::from_secs(2)).is_err(),
+        "a frozen timeout must keep flapping under heavy-tailed delays"
+    );
+    assert!(mistakes_fixed > 50, "expected persistent false suspicions, got {mistakes_fixed}");
+
+    // Intact: the same initial timeout with real additive adaptation.
+    let adaptive = HeartbeatConfig {
+        initial_timeout: SimDuration::from_millis(20),
+        timeout_increment: SimDuration::from_millis(25),
+        ..HeartbeatConfig::default()
+    };
+    let (trace, end, mistakes_adaptive) = run_heartbeat(adaptive, 0xAB1);
+    let run = FdRun::new(&trace, n, end);
+    run.check_class(FdClass::EventuallyPerfect).unwrap();
+    run.check_stable_margin(SimDuration::from_secs(2)).unwrap();
+    assert!(
+        mistakes_adaptive < mistakes_fixed / 3,
+        "adaptation must cut mistakes sharply: {mistakes_adaptive} vs {mistakes_fixed}"
+    );
+}
+
+#[test]
+fn run_length_matters_for_eventual_properties() {
+    // DESIGN ⚗ #3. "Eventually" on a finite trace is only meaningful with
+    // quiescence slack: a horizon cut right after a crash shows a
+    // completeness violation (suspicions have not propagated yet), while
+    // the same run with room to settle passes with a wide margin.
+    let n = 4;
+    let crash_at = Time::from_millis(500);
+    let mk = || {
+        WorldBuilder::new(default_net(n))
+            .seed(0xAB2)
+            .crash_at(ProcessId(2), crash_at)
+            .build(|pid, n| Standalone(HeartbeatDetector::new(pid, n, HeartbeatConfig::default())))
+    };
+
+    // Horizon 5 ms after the crash: detection cannot have happened.
+    let mut w = mk();
+    let early = crash_at + SimDuration::from_millis(5);
+    w.run_until_time(early);
+    let (trace, _) = w.into_results();
+    assert!(
+        FdRun::new(&trace, n, early).check_strong_completeness().is_err(),
+        "too-short horizons must be detectably inconclusive"
+    );
+
+    // Horizon with 2.4 s of slack: completeness holds and the output was
+    // quiescent for a checkable margin.
+    let mut w = mk();
+    let late = Time::from_secs(3);
+    w.run_until_time(late);
+    let (trace, _) = w.into_results();
+    let run = FdRun::new(&trace, n, late);
+    run.check_class(FdClass::EventuallyPerfect).unwrap();
+    run.check_stable_margin(SimDuration::from_secs(2)).unwrap();
+}

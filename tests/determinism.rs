@@ -1,0 +1,40 @@
+//! Reproducibility: the whole stack — detectors, broadcast, consensus —
+//! replays bit-identically under the same seed, and seeds actually
+//! matter.
+
+use ecfd::prelude::*;
+
+fn run(seed: u64) -> RunResult {
+    let n = 5;
+    let sc = Scenario::failure_free(n, seed, Time::from_secs(5))
+        .with_crash(ProcessId(2), Time::from_millis(40));
+    run_scenario(default_net(n), &sc, ec_node_hb)
+}
+
+#[test]
+fn same_seed_same_everything() {
+    let a = run(12345);
+    let b = run(12345);
+    assert_eq!(a.trace.events(), b.trace.events(), "traces must be identical");
+    assert_eq!(a.decisions, b.decisions);
+    assert_eq!(a.decide_time, b.decide_time);
+    assert_eq!(a.metrics.sent_total(), b.metrics.sent_total());
+}
+
+#[test]
+fn different_seeds_differ_somewhere() {
+    let a = run(1);
+    let b = run(2);
+    // Values agree by chance or not, but the message schedules (jittered
+    // link delays) will differ.
+    assert_ne!(a.trace.events(), b.trace.events());
+}
+
+#[test]
+fn seeded_replay_is_stable_across_detector_types() {
+    let n = 4;
+    let sc = Scenario::failure_free(n, 99, Time::from_secs(5));
+    let a = run_scenario(default_net(n), &sc, fd_consensus::ec_node_leader);
+    let b = run_scenario(default_net(n), &sc, fd_consensus::ec_node_leader);
+    assert_eq!(a.trace.events(), b.trace.events());
+}

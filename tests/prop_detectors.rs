@@ -1,0 +1,121 @@
+//! Property-based detector tests: under arbitrary seeds, crash plans and
+//! link jitter (within the models each algorithm assumes), every detector
+//! satisfies its claimed class on a long-enough run.
+
+use ecfd::prelude::*;
+use fd_core::Standalone;
+use fd_detectors::{
+    FusedConfig, FusedDetector, HeartbeatConfig, HeartbeatDetector, LeaderConfig, LeaderDetector,
+    RingConfig, RingDetector, StableLeaderConfig, StableLeaderDetector,
+};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+struct FdPlan {
+    n: usize,
+    seed: u64,
+    crashes: Vec<(usize, u64)>, // (victim, ms) — at most ⌈n/2⌉−1 victims
+    jitter_max_ms: u64,
+}
+
+fn arb_plan() -> impl Strategy<Value = FdPlan> {
+    (3usize..8, any::<u64>(), 1u64..5).prop_flat_map(|(n, seed, jitter)| {
+        let f_max = (n - 1) / 2;
+        prop::collection::vec((0..n, 50u64..400), 0..=f_max).prop_map(move |mut crashes| {
+            crashes.sort();
+            crashes.dedup_by_key(|c| c.0);
+            FdPlan { n, seed, crashes, jitter_max_ms: jitter }
+        })
+    })
+}
+
+fn run_plan<A: fd_sim::Actor>(
+    plan: &FdPlan,
+    make: impl FnMut(ProcessId, usize) -> A,
+) -> (fd_sim::Trace, Time) {
+    let net = NetworkConfig::new(plan.n).with_default(LinkModel::reliable_uniform(
+        SimDuration::from_millis(1),
+        SimDuration::from_millis(plan.jitter_max_ms.max(2)),
+    ));
+    let mut b = WorldBuilder::new(net).seed(plan.seed);
+    for &(victim, at) in &plan.crashes {
+        b = b.crash_at(ProcessId(victim), Time::from_millis(at));
+    }
+    let mut w = b.build(make);
+    // Long horizon: timeouts must outgrow any jitter-induced mistakes and
+    // the ring needs O(n) periods to circulate suspicion lists.
+    let end = Time::from_secs(6);
+    w.run_until_time(end);
+    let (trace, _) = w.into_results();
+    (trace, end)
+}
+
+fn class_or_fail(trace: &fd_sim::Trace, n: usize, end: Time, class: FdClass) -> Result<(), TestCaseError> {
+    FdRun::new(trace, n, end)
+        .check_class(class)
+        .map_err(|v| TestCaseError::fail(format!("{v}")))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    #[test]
+    fn heartbeat_is_always_ep(plan in arb_plan()) {
+        let (trace, end) = run_plan(&plan, |pid, n| {
+            Standalone(HeartbeatDetector::new(pid, n, HeartbeatConfig::default()))
+        });
+        class_or_fail(&trace, plan.n, end, FdClass::EventuallyPerfect)?;
+    }
+
+    #[test]
+    fn ring_is_always_ep(plan in arb_plan()) {
+        let (trace, end) = run_plan(&plan, |pid, n| {
+            Standalone(RingDetector::new(pid, n, RingConfig::default()))
+        });
+        class_or_fail(&trace, plan.n, end, FdClass::EventuallyPerfect)?;
+    }
+
+    #[test]
+    fn leader_detector_is_always_ec(plan in arb_plan()) {
+        let (trace, end) = run_plan(&plan, |pid, n| {
+            Standalone(LeaderDetector::new(pid, n, LeaderConfig::default()))
+        });
+        class_or_fail(&trace, plan.n, end, FdClass::EventuallyConsistent)?;
+        // And the eventual leader is the first correct process.
+        let run = FdRun::new(&trace, plan.n, end);
+        let first_correct = run.correct().first().expect("someone survives");
+        for p in run.correct().iter() {
+            prop_assert_eq!(run.final_trusted(p), Some(first_correct));
+        }
+    }
+
+    #[test]
+    fn fused_detector_is_always_ep_and_ec(plan in arb_plan()) {
+        let (trace, end) = run_plan(&plan, |pid, n| {
+            Standalone(FusedDetector::new(pid, n, FusedConfig::default()))
+        });
+        class_or_fail(&trace, plan.n, end, FdClass::EventuallyPerfect)?;
+        class_or_fail(&trace, plan.n, end, FdClass::EventuallyConsistent)?;
+    }
+
+    #[test]
+    fn stable_detector_is_always_ec(plan in arb_plan()) {
+        let (trace, end) = run_plan(&plan, |pid, n| {
+            Standalone(StableLeaderDetector::new(pid, n, StableLeaderConfig::default()))
+        });
+        class_or_fail(&trace, plan.n, end, FdClass::EventuallyConsistent)?;
+        class_or_fail(&trace, plan.n, end, FdClass::EventuallyPerfect)?;
+    }
+
+    #[test]
+    fn ec_wrapper_preserves_ep_and_adds_leadership(plan in arb_plan()) {
+        let (trace, end) = run_plan(&plan, |pid, n| {
+            Standalone(LeaderByFirstNonSuspected::new(
+                HeartbeatDetector::new(pid, n, HeartbeatConfig::default()),
+                n,
+            ))
+        });
+        class_or_fail(&trace, plan.n, end, FdClass::EventuallyPerfect)?;
+        class_or_fail(&trace, plan.n, end, FdClass::EventuallyConsistent)?;
+    }
+}

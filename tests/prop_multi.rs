@@ -1,0 +1,89 @@
+//! Property-based tests of the replicated log: under random command
+//! batches, submitters, and crash plans, all surviving replicas hold
+//! prefix-consistent logs and every command submitted by a survivor is
+//! eventually decided exactly once per submission.
+
+use ecfd::prelude::*;
+use fd_consensus::{ConsensusConfig, MultiEc, MultiNode, NOOP};
+use fd_detectors::HeartbeatDetector;
+use proptest::prelude::*;
+
+type Replica = MultiNode<LeaderByFirstNonSuspected<HeartbeatDetector>>;
+
+fn replica(pid: ProcessId, n: usize) -> Replica {
+    MultiNode::new(
+        pid,
+        LeaderByFirstNonSuspected::new(HeartbeatDetector::new(pid, n, HeartbeatConfig::default()), n),
+        MultiEc::new(pid, n, ConsensusConfig::default()),
+    )
+}
+
+#[derive(Debug, Clone)]
+struct LogPlan {
+    n: usize,
+    seed: u64,
+    /// (submitting replica, command payload) — payloads made unique below.
+    submissions: Vec<usize>,
+    crash: Option<(usize, u64)>,
+}
+
+fn arb_plan() -> impl Strategy<Value = LogPlan> {
+    (4usize..6, any::<u64>()).prop_flat_map(|(n, seed)| {
+        (
+            prop::collection::vec(0..n, 1..8),
+            prop::option::of((1..n, 20u64..150)),
+        )
+            .prop_map(move |(submissions, crash)| LogPlan { n, seed, submissions, crash })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn survivor_logs_are_prefix_consistent_and_complete(plan in arb_plan()) {
+        let n = plan.n;
+        let mut w = WorldBuilder::new(default_net(n)).seed(plan.seed).build(replica);
+        // Unique commands: index+1 shifted so 0 (NOOP) never collides.
+        let mut survivor_cmds = Vec::new();
+        for (i, &replica_idx) in plan.submissions.iter().enumerate() {
+            let cmd = 1000 + i as u64;
+            let crashed_submitter = plan.crash.is_some_and(|(c, _)| c == replica_idx);
+            if !crashed_submitter {
+                survivor_cmds.push(cmd);
+            }
+            w.interact(ProcessId(replica_idx), move |node, ctx| node.submit(ctx, cmd));
+        }
+        if let Some((victim, at)) = plan.crash {
+            w.schedule_crash(ProcessId(victim), Time::from_millis(at));
+        }
+        let survivors: Vec<usize> =
+            (0..n).filter(|&i| plan.crash.is_none_or(|(c, _)| c != i)).collect();
+        let done = w.run_until(Time::from_secs(60), |w| {
+            survivors.iter().all(|&i| {
+                let vals: Vec<u64> = w.actor(ProcessId(i)).log().iter().map(|(_, v)| *v).collect();
+                survivor_cmds.iter().all(|c| vals.contains(c))
+            })
+        });
+        prop_assert!(done, "survivor commands not all decided: {plan:?}");
+
+        // Prefix consistency across every pair of survivors.
+        let logs: Vec<Vec<(u64, u64)>> =
+            survivors.iter().map(|&i| w.actor(ProcessId(i)).log()).collect();
+        for a in 0..logs.len() {
+            for b in a + 1..logs.len() {
+                let common = logs[a].len().min(logs[b].len());
+                prop_assert_eq!(&logs[a][..common], &logs[b][..common], "prefix divergence");
+            }
+        }
+        // No survivor command appears twice; NOOPs are the only repeats.
+        for log in &logs {
+            let mut seen = std::collections::HashSet::new();
+            for (_, v) in log {
+                if *v != NOOP {
+                    prop_assert!(seen.insert(*v), "command {v} decided twice");
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,106 @@
+//! Property-based safety: on *arbitrary* schedules — random seeds, crash
+//! plans, link jitter, horizons that may cut runs off mid-flight — the
+//! consensus protocols never violate uniform agreement, validity, or
+//! integrity. (Liveness needs stabilization, so it is only asserted when
+//! the run had room to finish.)
+
+use ecfd::prelude::*;
+use fd_consensus::{ct_node_hb, mr_node_leader};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+struct Plan {
+    n: usize,
+    seed: u64,
+    crashes: Vec<(usize, u64)>, // (victim, ms)
+    horizon_ms: u64,
+    jitter_max_ms: u64,
+}
+
+fn arb_plan() -> impl Strategy<Value = Plan> {
+    (3usize..8, any::<u64>(), 0u64..300, 1u64..8).prop_flat_map(|(n, seed, horizon_extra, jitter)| {
+        let f_max = (n - 1) / 2;
+        prop::collection::vec((0..n, 0u64..200), 0..=f_max).prop_map(move |mut crashes| {
+            // Distinct victims only.
+            crashes.sort();
+            crashes.dedup_by_key(|c| c.0);
+            Plan {
+                n,
+                seed,
+                crashes,
+                horizon_ms: 150 + horizon_extra,
+                jitter_max_ms: jitter,
+            }
+        })
+    })
+}
+
+fn net_for(plan: &Plan) -> NetworkConfig {
+    NetworkConfig::new(plan.n).with_default(LinkModel::reliable_uniform(
+        SimDuration::from_millis(1),
+        SimDuration::from_millis(plan.jitter_max_ms.max(2)),
+    ))
+}
+
+fn scenario_for(plan: &Plan) -> Scenario {
+    let mut sc = Scenario::failure_free(plan.n, plan.seed, Time::from_millis(plan.horizon_ms));
+    for &(victim, at) in &plan.crashes {
+        sc = sc.with_crash(ProcessId(victim), Time::from_millis(at));
+    }
+    sc
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn ec_safety_on_arbitrary_schedules(plan in arb_plan()) {
+        let r = run_scenario(net_for(&plan), &scenario_for(&plan), ec_node_hb);
+        let check = ConsensusRun::new(&r.trace, plan.n);
+        check.check_safety().map_err(|v| TestCaseError::fail(v.to_string()))?;
+        if r.all_decided {
+            check.check_all().map_err(|v| TestCaseError::fail(v.to_string()))?;
+        }
+    }
+
+    #[test]
+    fn ct_safety_on_arbitrary_schedules(plan in arb_plan()) {
+        let r = run_scenario(net_for(&plan), &scenario_for(&plan), ct_node_hb);
+        let check = ConsensusRun::new(&r.trace, plan.n);
+        check.check_safety().map_err(|v| TestCaseError::fail(v.to_string()))?;
+    }
+
+    #[test]
+    fn mr_safety_on_arbitrary_schedules(plan in arb_plan()) {
+        let r = run_scenario(net_for(&plan), &scenario_for(&plan), mr_node_leader);
+        let check = ConsensusRun::new(&r.trace, plan.n);
+        check.check_safety().map_err(|v| TestCaseError::fail(v.to_string()))?;
+    }
+
+    #[test]
+    fn ec_liveness_with_generous_horizon(plan in arb_plan()) {
+        // Same plans, but with time to finish: termination must hold.
+        let mut sc = scenario_for(&plan);
+        sc.horizon = Time::from_secs(30);
+        let r = run_scenario(net_for(&plan), &sc, ec_node_hb);
+        prop_assert!(r.all_decided, "EC did not terminate on {plan:?}");
+        ConsensusRun::new(&r.trace, plan.n)
+            .check_all()
+            .map_err(|v| TestCaseError::fail(v.to_string()))?;
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn paxos_safety_on_arbitrary_schedules(plan in arb_plan()) {
+        let r = run_scenario(
+            net_for(&plan),
+            &scenario_for(&plan),
+            fd_consensus::paxos_node_leader,
+        );
+        let check = ConsensusRun::new(&r.trace, plan.n);
+        check.check_safety().map_err(|v| TestCaseError::fail(v.to_string()))?;
+    }
+}

@@ -1,0 +1,103 @@
+//! Property-based tests of the core data structures: `ProcessSet`
+//! algebra, the estimate lattice, and majority arithmetic.
+
+use ecfd::prelude::*;
+use fd_consensus::{majority, Estimate};
+use fd_core::MAX_PROCESSES;
+use proptest::prelude::*;
+
+fn arb_set() -> impl Strategy<Value = ProcessSet> {
+    prop::collection::vec(0usize..MAX_PROCESSES, 0..24)
+        .prop_map(|ids| ids.into_iter().map(ProcessId).collect())
+}
+
+proptest! {
+    #[test]
+    fn union_is_commutative_and_idempotent(a in arb_set(), b in arb_set()) {
+        prop_assert_eq!(a | b, b | a);
+        prop_assert_eq!(a | a, a);
+    }
+
+    #[test]
+    fn intersection_distributes_over_union(a in arb_set(), b in arb_set(), c in arb_set()) {
+        prop_assert_eq!(a & (b | c), (a & b) | (a & c));
+    }
+
+    #[test]
+    fn de_morgan(a in arb_set(), b in arb_set()) {
+        let n = MAX_PROCESSES;
+        prop_assert_eq!((a | b).complement(n), a.complement(n) & b.complement(n));
+        prop_assert_eq!((a & b).complement(n), a.complement(n) | b.complement(n));
+    }
+
+    #[test]
+    fn difference_is_intersection_with_complement(a in arb_set(), b in arb_set()) {
+        prop_assert_eq!(a - b, a & b.complement(MAX_PROCESSES));
+    }
+
+    #[test]
+    fn complement_involution(a in arb_set()) {
+        prop_assert_eq!(a.complement(MAX_PROCESSES).complement(MAX_PROCESSES), a);
+    }
+
+    #[test]
+    fn insert_remove_roundtrip(a in arb_set(), id in 0usize..MAX_PROCESSES) {
+        let p = ProcessId(id);
+        let mut s = a;
+        let was_in = s.contains(p);
+        s.insert(p);
+        prop_assert!(s.contains(p));
+        s.remove(p);
+        prop_assert!(!s.contains(p));
+        if !was_in {
+            prop_assert_eq!(s, a - ProcessSet::singleton(p));
+        }
+    }
+
+    #[test]
+    fn len_matches_iteration(a in arb_set()) {
+        prop_assert_eq!(a.len(), a.iter().count());
+        prop_assert_eq!(a.is_empty(), a.is_empty());
+    }
+
+    #[test]
+    fn iteration_is_strictly_sorted(a in arb_set()) {
+        let v = a.to_vec();
+        for w in v.windows(2) {
+            prop_assert!(w[0] < w[1]);
+        }
+    }
+
+    #[test]
+    fn first_is_the_minimum(a in arb_set()) {
+        prop_assert_eq!(a.first(), a.iter().min());
+    }
+
+    #[test]
+    fn subset_relation_consistent(a in arb_set(), b in arb_set()) {
+        prop_assert_eq!(a.is_subset_of(&(a | b)), true);
+        prop_assert_eq!((a & b).is_subset_of(&a), true);
+        prop_assert_eq!(a.is_subset_of(&b), (a - b).is_empty());
+    }
+
+    #[test]
+    fn estimate_lattice_is_associative_on_ts(x in 0u64..100, y in 0u64..100, z in 0u64..100) {
+        let a = Estimate { value: 1, ts: x };
+        let b = Estimate { value: 2, ts: y };
+        let c = Estimate { value: 3, ts: z };
+        let left = Estimate::newer_of(Estimate::newer_of(a, b), c);
+        let right = Estimate::newer_of(a, Estimate::newer_of(b, c));
+        // newer_of is a lattice join on (ts, value): fully associative.
+        prop_assert_eq!(left, right);
+    }
+
+    #[test]
+    fn majority_overlaps_itself(n in 1usize..128) {
+        // Two majorities always intersect: the quorum property consensus
+        // safety rests on.
+        prop_assert!(2 * majority(n) > n);
+        // And a majority is achievable by correct processes when f < n/2.
+        let f = (n - 1) / 2;
+        prop_assert!(n - f >= majority(n));
+    }
+}
