@@ -48,8 +48,10 @@ fn bench_replicated_log(c: &mut Criterion) {
         g.bench_function(format!("n5_{slots}_slots"), |b| {
             b.iter(|| {
                 let n = 5;
-                let mut w = WorldBuilder::new(jitter_net(n)).seed(5).record_trace(false).build(
-                    |pid, n| {
+                let mut w = WorldBuilder::new(jitter_net(n))
+                    .seed(5)
+                    .record_trace(false)
+                    .build(|pid, n| {
                         MultiNode::new(
                             pid,
                             LeaderByFirstNonSuspected::new(
@@ -58,8 +60,7 @@ fn bench_replicated_log(c: &mut Criterion) {
                             ),
                             MultiEc::new(pid, n, ConsensusConfig::default()),
                         )
-                    },
-                );
+                    });
                 for k in 0..slots {
                     w.interact(ProcessId(0), move |node, ctx| node.submit(ctx, 100 + k));
                 }

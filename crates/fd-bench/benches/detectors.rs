@@ -25,9 +25,12 @@ fn bench_detectors(c: &mut Criterion) {
     g.bench_function("heartbeat_ep", |b| {
         b.iter_batched(
             || {
-                WorldBuilder::new(net(n)).seed(1).record_trace(false).build(|pid, n| {
-                    Standalone(HeartbeatDetector::new(pid, n, HeartbeatConfig::default()))
-                })
+                WorldBuilder::new(net(n))
+                    .seed(1)
+                    .record_trace(false)
+                    .build(|pid, n| {
+                        Standalone(HeartbeatDetector::new(pid, n, HeartbeatConfig::default()))
+                    })
             },
             |mut w| w.run_until_time(sim),
             BatchSize::SmallInput,
@@ -51,7 +54,9 @@ fn bench_detectors(c: &mut Criterion) {
                 WorldBuilder::new(net(n))
                     .seed(1)
                     .record_trace(false)
-                    .build(|pid, n| Standalone(LeaderDetector::new(pid, n, LeaderConfig::default())))
+                    .build(|pid, n| {
+                        Standalone(LeaderDetector::new(pid, n, LeaderConfig::default()))
+                    })
             },
             |mut w| w.run_until_time(sim),
             BatchSize::SmallInput,

@@ -41,7 +41,10 @@ fn bench_kernel(c: &mut Criterion) {
                 || {
                     let net = NetworkConfig::new(n)
                         .with_default(LinkModel::reliable_const(SimDuration::from_millis(1)));
-                    WorldBuilder::new(net).seed(1).record_trace(false).build(|_, _| Pinger)
+                    WorldBuilder::new(net)
+                        .seed(1)
+                        .record_trace(false)
+                        .build(|_, _| Pinger)
                 },
                 |mut w| {
                     w.run_until_time(Time::from_millis(sim_ms));

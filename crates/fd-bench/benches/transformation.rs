@@ -24,12 +24,15 @@ fn bench_transformation(c: &mut Criterion) {
         g.bench_function(format!("fig2_stack_n{n}"), |b| {
             b.iter_batched(
                 || {
-                    WorldBuilder::new(net(n)).seed(1).record_trace(false).build(|pid, n| {
-                        EcToEpNode::new(
-                            LeaderDetector::new(pid, n, LeaderConfig::default()),
-                            EcToEp::new(pid, n, EcToEpConfig::default()),
-                        )
-                    })
+                    WorldBuilder::new(net(n))
+                        .seed(1)
+                        .record_trace(false)
+                        .build(|pid, n| {
+                            EcToEpNode::new(
+                                LeaderDetector::new(pid, n, LeaderConfig::default()),
+                                EcToEp::new(pid, n, EcToEpConfig::default()),
+                            )
+                        })
                 },
                 |mut w| w.run_until_time(sim),
                 BatchSize::SmallInput,
@@ -38,9 +41,12 @@ fn bench_transformation(c: &mut Criterion) {
         g.bench_function(format!("heartbeat_ep_n{n}"), |b| {
             b.iter_batched(
                 || {
-                    WorldBuilder::new(net(n)).seed(1).record_trace(false).build(|pid, n| {
-                        Standalone(HeartbeatDetector::new(pid, n, HeartbeatConfig::default()))
-                    })
+                    WorldBuilder::new(net(n))
+                        .seed(1)
+                        .record_trace(false)
+                        .build(|pid, n| {
+                            Standalone(HeartbeatDetector::new(pid, n, HeartbeatConfig::default()))
+                        })
                 },
                 |mut w| w.run_until_time(sim),
                 BatchSize::SmallInput,

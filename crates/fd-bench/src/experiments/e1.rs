@@ -20,7 +20,14 @@ pub fn run() -> Vec<Table> {
     let mut t = Table::new(
         "E1",
         "messages per round, failure-free stable runs",
-        &["protocol", "n", "measured", "paper kn", "impl k(n-1)", "meas/paper"],
+        &[
+            "protocol",
+            "n",
+            "measured",
+            "paper kn",
+            "impl k(n-1)",
+            "meas/paper",
+        ],
     );
     for proto in Protocol::ALL {
         for n in [3usize, 5, 9, 13, 21, 31, 63] {
@@ -34,7 +41,11 @@ pub fn run() -> Vec<Table> {
                 stable_fd,
             );
             assert!(r.all_decided, "{proto:?} n={n} did not decide");
-            assert_eq!(r.max_decision_round(), Some(1), "{proto:?} n={n} needed >1 round");
+            assert_eq!(
+                r.max_decision_round(),
+                Some(1),
+                "{proto:?} n={n} needed >1 round"
+            );
             let measured = r.messages_in_round(proto.prefix(), 1);
             let paper = proto.paper_messages(n);
             let impl_expected = match proto {
@@ -59,7 +70,13 @@ pub fn run() -> Vec<Table> {
     let mut t2 = Table::new(
         "E1b",
         "◇C Phase 0 worst case: all processes self-elect (pre-stabilization churn)",
-        &["n", "churned rounds", "coordinator msgs", "per round", "n(n-1)"],
+        &[
+            "n",
+            "churned rounds",
+            "coordinator msgs",
+            "per round",
+            "n(n-1)",
+        ],
     );
     for n in [5usize, 9, 13] {
         let stab = Time::from_millis(80);

@@ -18,7 +18,14 @@ pub fn run() -> Vec<Table> {
     let mut t = Table::new(
         "E10",
         "quiescent reliable communication over fair-lossy links ([1])",
-        &["receiver", "loss", "delivered", "tx @2s", "tx @8s", "quiescent"],
+        &[
+            "receiver",
+            "loss",
+            "delivered",
+            "tx @2s",
+            "tx @8s",
+            "quiescent",
+        ],
     );
     for &crashed in &[false, true] {
         for &loss in &[0.2f64, 0.5, 0.8] {

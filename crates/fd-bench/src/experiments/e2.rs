@@ -22,7 +22,13 @@ pub fn run() -> Vec<Table> {
     let mut t = Table::new(
         "E2",
         "communication steps per round (constant link delay Δ = 5 ms)",
-        &["protocol", "n", "decide at", "steps (≈time/Δ)", "paper phases/round"],
+        &[
+            "protocol",
+            "n",
+            "decide at",
+            "steps (≈time/Δ)",
+            "paper phases/round",
+        ],
     );
     for proto in Protocol::WITH_PAXOS {
         for n in [5usize, 9] {

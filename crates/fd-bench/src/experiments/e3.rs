@@ -23,7 +23,12 @@ pub fn run() -> Vec<Table> {
     let mut t = Table::new(
         "E3",
         "decision round vs. stable-leader position (n = 9, stable from t = 0)",
-        &["protocol", "leader p_k", "decision round", "decide time (ms)"],
+        &[
+            "protocol",
+            "leader p_k",
+            "decision round",
+            "decide time (ms)",
+        ],
     );
     for proto in Protocol::WITH_PAXOS {
         for k in [0usize, 2, 4, 6, 8] {

@@ -47,7 +47,10 @@ fn measure<A: Actor>(
     victim: ProcessId,
 ) -> Measured {
     let crash_at = Time::from_millis(1500);
-    let mut w = WorldBuilder::new(net(n)).seed(9).crash_at(victim, crash_at).build(make);
+    let mut w = WorldBuilder::new(net(n))
+        .seed(9)
+        .crash_at(victim, crash_at)
+        .build(make);
     w.run_until_time(Time::from_millis(500));
     let before = w.metrics().sent_total();
     w.run_until_time(Time::from_millis(1500));
@@ -59,7 +62,10 @@ fn measure<A: Actor>(
         .with_suspects_tag(suspects_tag)
         .detection_latency(victim)
         .map(|d| d.as_millis());
-    Measured { msgs_per_period: window_msgs as f64 / periods as f64, detect_latency_ms: latency }
+    Measured {
+        msgs_per_period: window_msgs as f64 / periods as f64,
+        detect_latency_ms: latency,
+    }
 }
 
 /// Run the experiment.
@@ -67,7 +73,14 @@ pub fn run() -> Vec<Table> {
     let mut t = Table::new(
         "E4",
         "detector periodic cost and crash-detection latency (period = 10 ms)",
-        &["detector", "n", "msgs/period", "paper formula", "formula value", "crash→all-suspect (ms)"],
+        &[
+            "detector",
+            "n",
+            "msgs/period",
+            "paper formula",
+            "formula value",
+            "crash→all-suspect (ms)",
+        ],
     );
     for n in [4usize, 8, 16] {
         let victim = ProcessId(n / 2);
@@ -78,7 +91,14 @@ pub fn run() -> Vec<Table> {
             obs::SUSPECTS,
             victim,
         );
-        push(&mut t, "heartbeat ◇P (CT)", n, &m, "n(n−1)", (n * (n - 1)) as u64);
+        push(
+            &mut t,
+            "heartbeat ◇P (CT)",
+            n,
+            &m,
+            "n(n−1)",
+            (n * (n - 1)) as u64,
+        );
 
         let m = measure(
             n,
@@ -101,7 +121,10 @@ pub fn run() -> Vec<Table> {
             &mut t,
             "leader ◇C [16]",
             n,
-            &Measured { msgs_per_period: m.msgs_per_period, detect_latency_ms: None },
+            &Measured {
+                msgs_per_period: m.msgs_per_period,
+                detect_latency_ms: None,
+            },
             "n−1",
             n as u64 - 1,
         );
@@ -117,7 +140,14 @@ pub fn run() -> Vec<Table> {
             EP_SUSPECTS,
             victim,
         );
-        push(&mut t, "Fig.2 on leader ◇C", n, &m, "3(n−1)", 3 * (n as u64 - 1));
+        push(
+            &mut t,
+            "Fig.2 on leader ◇C",
+            n,
+            &m,
+            "3(n−1)",
+            3 * (n as u64 - 1),
+        );
 
         let m = measure(
             n,
@@ -154,7 +184,9 @@ pub fn run() -> Vec<Table> {
                 let mut w = WorldBuilder::new(net(n))
                     .seed(13)
                     .crash_at(ProcessId(0), crash_at)
-                    .build(|pid, n| Standalone(LeaderDetector::new(pid, n, LeaderConfig::default())));
+                    .build(|pid, n| {
+                        Standalone(LeaderDetector::new(pid, n, LeaderConfig::default()))
+                    });
                 w.run_until_time(Time::from_secs(5));
                 w.into_results().0
             };
@@ -184,6 +216,7 @@ fn push(t: &mut Table, label: &str, n: usize, m: &Measured, formula: &str, value
         f(m.msgs_per_period),
         formula.to_string(),
         value.to_string(),
-        m.detect_latency_ms.map_or("n/a".to_string(), |l| l.to_string()),
+        m.detect_latency_ms
+            .map_or("n/a".to_string(), |l| l.to_string()),
     ]);
 }

@@ -24,25 +24,40 @@ use fd_sim::{ProcessId, Time};
 
 /// Build the E5 detector for one process: `nackers` falsely suspect
 /// (or self-trust, for MR) until `heal`; everyone else is stable on p0.
-fn e5_fd(pid: ProcessId, n: usize, nackers: &ProcessSet, heal: Time, mr_mode: bool) -> ScriptedDetector {
+fn e5_fd(
+    pid: ProcessId,
+    n: usize,
+    nackers: &ProcessSet,
+    heal: Time,
+    mr_mode: bool,
+) -> ScriptedDetector {
     let _ = n;
     let leader = ProcessId(0);
     // The clean detector has *good accuracy* (empty suspect set) — this
     // is the precondition for the ◇C coordinator's "wait for every
     // unsuspected process" clause to gather the extra positive replies
     // the paper's feature depends on.
-    let clean = FdOutput { suspected: ProcessSet::new(), trusted: Some(leader) };
+    let clean = FdOutput {
+        suspected: ProcessSet::new(),
+        trusted: Some(leader),
+    };
     if !nackers.contains(pid) {
         return ScriptedDetector::from_schedule(vec![(Time::ZERO, clean)]);
     }
     let dirty = if mr_mode {
         // MR reads only the trusted output: a self-vote spoils the
         // leader-majority at this process and produces a ⊥.
-        FdOutput { suspected: ProcessSet::new(), trusted: Some(pid) }
+        FdOutput {
+            suspected: ProcessSet::new(),
+            trusted: Some(pid),
+        }
     } else {
         // ◇C/CT read the suspected set: falsely suspecting the leader
         // makes this process nack the round-1 coordinator.
-        FdOutput { suspected: ProcessSet::singleton(leader), trusted: Some(leader) }
+        FdOutput {
+            suspected: ProcessSet::singleton(leader),
+            trusted: Some(leader),
+        }
     };
     ScriptedDetector::from_schedule(vec![(Time::ZERO, dirty), (heal, clean)])
 }
@@ -55,7 +70,12 @@ pub fn run() -> Vec<Table> {
     let mut t = Table::new(
         "E5",
         "round-1 decisions with k false accusers (n = 5, majority = 3, 20 seeds)",
-        &["protocol", "k", "P(decide in round 1)", "mean decision round"],
+        &[
+            "protocol",
+            "k",
+            "P(decide in round 1)",
+            "mean decision round",
+        ],
     );
     for proto in Protocol::ALL {
         for k in 0..n {
@@ -73,7 +93,10 @@ pub fn run() -> Vec<Table> {
                     fast_poll(),
                     move |pid, n| e5_fd(pid, n, &nackers, heal, proto == Protocol::Mr),
                 );
-                assert!(r.all_decided, "{proto:?} k={k} seed={seed} did not terminate");
+                assert!(
+                    r.all_decided,
+                    "{proto:?} k={k} seed={seed} did not terminate"
+                );
                 let round = r.max_decision_round().unwrap();
                 if round == 1 {
                     round1 += 1;

@@ -23,11 +23,20 @@ fn stack_net(n: usize, leader: ProcessId, gst: Time, out_drop: f64) -> NetworkCo
         ))
         .with_links_into(
             leader,
-            LinkModel::eventually_timely(gst, SimDuration::from_millis(5), SimDuration::from_millis(120), 0.3),
+            LinkModel::eventually_timely(
+                gst,
+                SimDuration::from_millis(5),
+                SimDuration::from_millis(120),
+                0.3,
+            ),
         )
         .with_links_out_of(
             leader,
-            LinkModel::fair_lossy(SimDuration::from_millis(1), SimDuration::from_millis(4), out_drop),
+            LinkModel::fair_lossy(
+                SimDuration::from_millis(1),
+                SimDuration::from_millis(4),
+                out_drop,
+            ),
         )
 }
 
@@ -37,7 +46,14 @@ pub fn run() -> Vec<Table> {
     let mut t = Table::new(
         "E6",
         "Fig. 2 (◇C→◇P) under partial synchrony: ◇P holds? (n = 5)",
-        &["GST (ms)", "out-loss", "crashes", "◇P holds", "stabilized (ms)", "leader mistakes"],
+        &[
+            "GST (ms)",
+            "out-loss",
+            "crashes",
+            "◇P holds",
+            "stabilized (ms)",
+            "leader mistakes",
+        ],
     );
     for gst_ms in [0u64, 100, 400] {
         for out_drop in [0.0f64, 0.25, 0.5] {
@@ -45,7 +61,8 @@ pub fn run() -> Vec<Table> {
                 // With c crashes of the lowest ids, the eventual leader is p_c.
                 let leader = ProcessId(crashes);
                 let gst = Time::from_millis(gst_ms);
-                let mut b = WorldBuilder::new(stack_net(n, leader, gst, out_drop)).seed(gst_ms ^ 0xE6);
+                let mut b =
+                    WorldBuilder::new(stack_net(n, leader, gst, out_drop)).seed(gst_ms ^ 0xE6);
                 for c in 0..crashes {
                     b = b.crash_at(ProcessId(c), Time::from_millis(200 + 100 * c as u64));
                 }

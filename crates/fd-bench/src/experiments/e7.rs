@@ -38,13 +38,22 @@ pub fn run() -> Vec<Table> {
     let mut t = Table::new(
         "E7",
         "steady-state accuracy of ◇C constructions (n = 8, 2 crashed)",
-        &["construction", "mean |suspected| at correct", "ideal", "◇C holds", "extra msgs"],
+        &[
+            "construction",
+            "mean |suspected| at correct",
+            "ideal",
+            "◇C holds",
+            "extra msgs",
+        ],
     );
 
     let mut record = |label: &str, trace: &Trace, end: Time, extra: &str| {
         let run = FdRun::new(trace, n, end);
         let correct = run.correct();
-        let mean: f64 = correct.iter().map(|p| run.final_suspects(p).len() as f64).sum::<f64>()
+        let mean: f64 = correct
+            .iter()
+            .map(|p| run.final_suspects(p).len() as f64)
+            .sum::<f64>()
             / correct.len() as f64;
         let holds = run.check_class(FdClass::EventuallyConsistent).is_ok();
         t.row(vec![
@@ -65,16 +74,21 @@ pub fn run() -> Vec<Table> {
     record("◇C from heartbeat ◇P", &trace, end, "0");
 
     let (trace, end) = run_world(n, |pid, n| {
-        Standalone(LeaderByFirstNonSuspected::new(RingDetector::new(pid, n, RingConfig::default()), n))
+        Standalone(LeaderByFirstNonSuspected::new(
+            RingDetector::new(pid, n, RingConfig::default()),
+            n,
+        ))
     });
     record("◇C from ring ◇S [15]", &trace, end, "0");
 
-    let (trace, end) =
-        run_world(n, |pid, n| Standalone(LeaderDetector::new(pid, n, LeaderConfig::default())));
+    let (trace, end) = run_world(n, |pid, n| {
+        Standalone(LeaderDetector::new(pid, n, LeaderConfig::default()))
+    });
     record("◇C from Ω [16] (suspect all but leader)", &trace, end, "0");
 
-    let (trace, end) =
-        run_world(n, |pid, n| Standalone(FusedDetector::new(pid, n, FusedConfig::default())));
+    let (trace, end) = run_world(n, |pid, n| {
+        Standalone(FusedDetector::new(pid, n, FusedConfig::default()))
+    });
     record("fused ◇C+◇P (§4)", &trace, end, "n−1 (I-AM-ALIVEs)");
 
     t.note("the Ω-based construction suspects n−1 = 7 processes — \"very poor accuracy\" (§3);");

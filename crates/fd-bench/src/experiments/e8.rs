@@ -6,61 +6,68 @@
 //! validity, integrity, and termination. The baselines are swept too —
 //! all three algorithms are correct; the paper's contrasts are about
 //! *performance*, which E1–E5 cover.
+//!
+//! The sweep runs on the `fd-campaign` engine: seeds fan out over a
+//! worker pool (one seed per (protocol, n, crash-plan) triple — see
+//! [`crate::campaign::E8Scenario`] for the layout) and the merged report
+//! is folded back into the paper-style table. `ecfd campaign --scenario
+//! e8` runs the same scenario over arbitrary seed ranges.
 
-use crate::scenarios::{jitter_net, Protocol};
+use crate::campaign::{e8_cell, E8Scenario, E8_SIZES};
+use crate::scenarios::Protocol;
 use crate::table::Table;
-use fd_consensus::{ct_node_hb, ec_node_hb, mr_node_leader, run_scenario, Scenario};
-use fd_core::ConsensusRun;
-use fd_sim::{ProcessId, Time};
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use fd_campaign::{Campaign, CampaignReport};
 
-/// Run the experiment.
-pub fn run() -> Vec<Table> {
+/// Seeds per (protocol, n) cell in the default table (matches the
+/// original serial experiment).
+pub const RUNS_PER_CELL: u64 = 12;
+
+/// Sweep `seeds` over the E8 scenario with `jobs` workers.
+pub fn sweep(seeds: std::ops::Range<u64>, jobs: usize) -> CampaignReport {
+    Campaign::new(&E8Scenario, seeds).jobs(jobs).run()
+}
+
+/// Fold a campaign report into the paper-style soundness table.
+pub fn tabulate(report: &CampaignReport) -> Table {
     let mut t = Table::new(
         "E8",
         "Theorem 2 soundness sweep (random crash plans, f < n/2)",
         &["protocol", "n", "runs", "terminated", "safety violations"],
     );
     for proto in Protocol::ALL {
-        for n in [4usize, 5, 7] {
-            let runs = 12u64;
-            let mut terminated = 0u64;
-            let mut violations = 0u64;
-            for seed in 0..runs {
-                let mut rng = SmallRng::seed_from_u64(seed * 1000 + n as u64);
-                let f_max = (n - 1) / 2;
-                let crashes = rng.gen_range(0..=f_max);
-                let mut sc = Scenario::failure_free(n, seed, Time::from_secs(30));
-                let mut victims: Vec<usize> = (0..n).collect();
-                for _ in 0..crashes {
-                    let idx = rng.gen_range(0..victims.len());
-                    let victim = victims.swap_remove(idx);
-                    let at = Time::from_millis(rng.gen_range(0..400));
-                    sc = sc.with_crash(ProcessId(victim), at);
-                }
-                let r = match proto {
-                    Protocol::Ec => run_scenario(jitter_net(n), &sc, ec_node_hb),
-                    Protocol::Ct => run_scenario(jitter_net(n), &sc, ct_node_hb),
-                    Protocol::Mr => run_scenario(jitter_net(n), &sc, mr_node_leader),
-                    Protocol::Paxos => unreachable!("E8 sweeps the paper's three protocols"),
-                };
-                let check = ConsensusRun::new(&r.trace, n);
-                if check.check_safety().is_err() {
-                    violations += 1;
-                } else if r.all_decided && check.check_all().is_ok() {
-                    terminated += 1;
-                }
-            }
+        for n in E8_SIZES {
+            let cell: Vec<_> = report
+                .results
+                .iter()
+                .filter(|r| e8_cell(r.seed) == (proto, n))
+                .collect();
+            let terminated = cell.iter().filter(|r| r.passed()).count();
+            let violations = cell
+                .iter()
+                .filter(|r| {
+                    r.violation
+                        .as_ref()
+                        .is_some_and(|(p, _)| p == "consensus.safety")
+                })
+                .count();
             t.row(vec![
                 proto.label().to_string(),
                 n.to_string(),
-                runs.to_string(),
+                cell.len().to_string(),
                 terminated.to_string(),
                 violations.to_string(),
             ]);
         }
     }
     t.note("expected: terminated == runs and zero safety violations in every row");
-    vec![t]
+    t
+}
+
+/// Run the experiment.
+pub fn run() -> Vec<Table> {
+    let jobs = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1);
+    let report = sweep(0..9 * RUNS_PER_CELL, jobs);
+    vec![tabulate(&report)]
 }

@@ -28,14 +28,24 @@ fn e9a() -> Table {
     let mut t = Table::new(
         "E9a",
         "merged Phase 0/1 vs. five-phase ◇C consensus (Δ = 5 ms constant links)",
-        &["variant", "n", "steps to last decide", "round-1 msgs", "decision round"],
+        &[
+            "variant",
+            "n",
+            "steps to last decide",
+            "round-1 msgs",
+            "decision round",
+        ],
     );
     let delta = SimDuration::from_millis(5);
     for n in [5usize, 9, 13] {
         let sc = Scenario::failure_free(n, 3, Time::from_secs(5));
 
         let five = run_scenario(const_delay_net(n, delta), &sc, |pid, n| {
-            scripted_node(pid, stable_fd(pid, n), EcConsensus::new(pid, n, fast_poll()))
+            scripted_node(
+                pid,
+                stable_fd(pid, n),
+                EcConsensus::new(pid, n, fast_poll()),
+            )
         });
         assert!(five.all_decided);
         t.row(vec![
@@ -47,7 +57,11 @@ fn e9a() -> Table {
         ]);
 
         let merged = run_scenario(const_delay_net(n, delta), &sc, |pid, n| {
-            scripted_node(pid, stable_fd(pid, n), EcMergedConsensus::new(pid, n, fast_poll()))
+            scripted_node(
+                pid,
+                stable_fd(pid, n),
+                EcMergedConsensus::new(pid, n, fast_poll()),
+            )
         });
         assert!(merged.all_decided);
         t.row(vec![
@@ -89,9 +103,13 @@ fn e9b() -> Table {
         };
         let end = Time::from_secs(30);
 
-        let mut w = WorldBuilder::new(mk_net())
-            .seed(0xE9)
-            .build(|pid, n| Standalone(StableLeaderDetector::new(pid, n, StableLeaderConfig::default())));
+        let mut w = WorldBuilder::new(mk_net()).seed(0xE9).build(|pid, n| {
+            Standalone(StableLeaderDetector::new(
+                pid,
+                n,
+                StableLeaderConfig::default(),
+            ))
+        });
         w.run_until_time(end);
         let (stable_trace, _) = w.into_results();
 
@@ -103,11 +121,23 @@ fn e9b() -> Table {
 
         let changes = |trace: &fd_sim::Trace| -> usize {
             (1..n)
-                .map(|i| FdRun::new(trace, n, end).trusted_history(ProcessId(i)).len())
+                .map(|i| {
+                    FdRun::new(trace, n, end)
+                        .trusted_history(ProcessId(i))
+                        .len()
+                })
                 .sum()
         };
-        t.row(vec!["stable [2]".into(), n.to_string(), changes(&stable_trace).to_string()]);
-        t.row(vec!["plain [16]".into(), n.to_string(), changes(&plain_trace).to_string()]);
+        t.row(vec![
+            "stable [2]".into(),
+            n.to_string(),
+            changes(&stable_trace).to_string(),
+        ]);
+        t.row(vec![
+            "plain [16]".into(),
+            n.to_string(),
+            changes(&plain_trace).to_string(),
+        ]);
     }
     t.note("the plain candidate rule re-elects the flaky p0 after every recovery;");
     t.note("punish-count ranking demotes it once and leadership stays put ([2]'s point)");

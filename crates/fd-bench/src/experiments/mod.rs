@@ -3,6 +3,7 @@
 //! EXPERIMENTS.md records paper-vs-measured.
 
 pub mod e1;
+pub mod e10;
 pub mod e2;
 pub mod e3;
 pub mod e4;
@@ -11,7 +12,6 @@ pub mod e6;
 pub mod e7;
 pub mod e8;
 pub mod e9;
-pub mod e10;
 
 use crate::table::Table;
 

@@ -8,6 +8,7 @@
 
 #![warn(missing_docs)]
 
+pub mod campaign;
 pub mod experiments;
 pub mod scenarios;
 pub mod table;

@@ -1,6 +1,8 @@
 //! Shared workload builders for the experiments.
 
-use fd_consensus::{scripted_node, ConsensusConfig, CtConsensus, EcConsensus, MrConsensus, PaxosConsensus};
+use fd_consensus::{
+    scripted_node, ConsensusConfig, CtConsensus, EcConsensus, MrConsensus, PaxosConsensus,
+};
 use fd_core::ProcessSet;
 use fd_detectors::ScriptedDetector;
 use fd_sim::{LinkModel, NetworkConfig, ProcessId, SimDuration, Time};
@@ -20,7 +22,9 @@ pub fn jitter_net(n: usize) -> NetworkConfig {
 /// transitions happen well before the next message round trip — making
 /// nack/rotation behaviour deterministic in the adversarial experiments.
 pub fn fast_poll() -> ConsensusConfig {
-    ConsensusConfig { poll_period: SimDuration::from_ticks(500) }
+    ConsensusConfig {
+        poll_period: SimDuration::from_ticks(500),
+    }
 }
 
 /// A stable scripted ◇C detector: leader `p0`, suspects `Π \ {p0}`,
@@ -118,7 +122,11 @@ pub fn run_scripted(
             scripted_node(pid, mk_fd(pid, n), CtConsensus::new(pid, n, cfg.clone()))
         }),
         Protocol::Mr => fd_consensus::run_scenario(net, &sc, |pid, n| {
-            scripted_node(pid, mk_fd(pid, n), MrConsensus::with_unknown_f(pid, n, cfg.clone()))
+            scripted_node(
+                pid,
+                mk_fd(pid, n),
+                MrConsensus::with_unknown_f(pid, n, cfg.clone()),
+            )
         }),
         Protocol::Paxos => fd_consensus::run_scenario(net, &sc, |pid, n| {
             scripted_node(pid, mk_fd(pid, n), PaxosConsensus::new(pid, n, cfg.clone()))
@@ -131,4 +139,3 @@ pub fn run_scripted(
 pub fn protocol_messages(r: &fd_consensus::RunResult, proto: Protocol) -> u64 {
     r.messages_with_prefix(proto.prefix())
 }
-

@@ -19,7 +19,10 @@ fn e2_phase_depth_produces_the_protocol_rows() {
     let mr_row = &t.rows[4];
     assert_eq!(mr_row[3], "3.00", "MR = 3 communication steps: {mr_row:?}");
     let paxos_row = &t.rows[6];
-    assert_eq!(paxos_row[3], "5.00", "Paxos measures like ◇C: {paxos_row:?}");
+    assert_eq!(
+        paxos_row[3], "5.00",
+        "Paxos measures like ◇C: {paxos_row:?}"
+    );
 }
 
 #[test]
@@ -47,8 +50,14 @@ fn e9c_gossip_vs_candidate_costs_are_quadratic_vs_linear() {
         let n: f64 = pair[0][1].parse().unwrap();
         let gossip = parse(&pair[0][2]);
         let candidate = parse(&pair[1][2]);
-        assert!((gossip - n * (n - 1.0)).abs() <= n, "gossip ≈ n(n−1): {pair:?}");
-        assert!((candidate - (n - 1.0)).abs() <= 1.0, "candidate ≈ n−1: {pair:?}");
+        assert!(
+            (gossip - n * (n - 1.0)).abs() <= n,
+            "gossip ≈ n(n−1): {pair:?}"
+        );
+        assert!(
+            (candidate - (n - 1.0)).abs() <= 1.0,
+            "candidate ≈ n−1: {pair:?}"
+        );
     }
 }
 

@@ -61,7 +61,12 @@ pub struct ReliableBroadcast<P> {
 impl<P: Clone + fmt::Debug + 'static> ReliableBroadcast<P> {
     /// Create the module for process `me`.
     pub fn new(me: ProcessId) -> ReliableBroadcast<P> {
-        ReliableBroadcast { me, seen: HashSet::new(), delivered: VecDeque::new(), next_seq: 0 }
+        ReliableBroadcast {
+            me,
+            seen: HashSet::new(),
+            delivered: VecDeque::new(),
+            next_seq: 0,
+        }
     }
 
     /// R-broadcast `payload`. It is relayed to every other process and
@@ -74,8 +79,16 @@ impl<P: Clone + fmt::Debug + 'static> ReliableBroadcast<P> {
         let seq = self.next_seq;
         self.next_seq += 1;
         self.seen.insert((self.me, seq));
-        ctx.send_to_others(RbMsg { origin: self.me, seq, payload: payload.clone() });
-        self.delivered.push_back(Delivery { origin: self.me, seq, payload });
+        ctx.send_to_others(RbMsg {
+            origin: self.me,
+            seq,
+            payload: payload.clone(),
+        });
+        self.delivered.push_back(Delivery {
+            origin: self.me,
+            seq,
+            payload,
+        });
         seq
     }
 
@@ -110,11 +123,21 @@ impl<P: Clone + fmt::Debug + 'static> Component for ReliableBroadcast<P> {
             // First sight: relay so agreement survives a crashed origin,
             // then deliver locally.
             ctx.send_to_others(msg.clone());
-            self.delivered.push_back(Delivery { origin: msg.origin, seq: msg.seq, payload: msg.payload });
+            self.delivered.push_back(Delivery {
+                origin: msg.origin,
+                seq: msg.seq,
+                payload: msg.payload,
+            });
         }
     }
 
-    fn on_timer<N: SimMessage>(&mut self, _ctx: &mut SubCtx<'_, '_, N, RbMsg<P>>, _k: u32, _d: u64) {}
+    fn on_timer<N: SimMessage>(
+        &mut self,
+        _ctx: &mut SubCtx<'_, '_, N, RbMsg<P>>,
+        _k: u32,
+        _d: u64,
+    ) {
+    }
 }
 
 /// Namespace shim: the registry lives in `fd-detectors`, but depending on
@@ -137,18 +160,28 @@ mod tests {
             SimDuration::from_millis(1),
             SimDuration::from_millis(5),
         ));
-        WorldBuilder::new(net).seed(seed).build(|pid, _| Standalone(ReliableBroadcast::new(pid)))
+        WorldBuilder::new(net)
+            .seed(seed)
+            .build(|pid, _| Standalone(ReliableBroadcast::new(pid)))
     }
 
     fn do_broadcast(w: &mut fd_sim::World<Node>, from: usize, value: u64) {
-        w.interact(ProcessId(from), |node, ctx: &mut Context<'_, RbMsg<u64>>| {
-            let ns = node.inner().ns();
-            node.inner_mut().broadcast(&mut SubCtx::new(ctx, &std::convert::identity, ns), value);
-        });
+        w.interact(
+            ProcessId(from),
+            |node, ctx: &mut Context<'_, RbMsg<u64>>| {
+                let ns = node.inner().ns();
+                node.inner_mut()
+                    .broadcast(&mut SubCtx::new(ctx, &std::convert::identity, ns), value);
+            },
+        );
     }
 
     fn delivered_of(node: &Node) -> Vec<(ProcessId, u64, u64)> {
-        node.inner().delivered.iter().map(|d| (d.origin, d.seq, d.payload)).collect()
+        node.inner()
+            .delivered
+            .iter()
+            .map(|d| (d.origin, d.seq, d.payload))
+            .collect()
     }
 
     #[test]
@@ -182,7 +215,8 @@ mod tests {
         // The origin crashes right after sending: since at least one
         // correct process received a copy, relays carry it everywhere.
         let n = 5;
-        let net = NetworkConfig::new(n).with_default(LinkModel::reliable_const(SimDuration::from_millis(2)));
+        let net = NetworkConfig::new(n)
+            .with_default(LinkModel::reliable_const(SimDuration::from_millis(2)));
         let mut w = WorldBuilder::new(net)
             .seed(83)
             .build(|pid, _| Standalone(ReliableBroadcast::<u64>::new(pid)));

@@ -80,7 +80,11 @@ impl<P: Clone + fmt::Debug + 'static> UniformBroadcast<P> {
         let key = (self.me, seq);
         self.relayed.insert(key);
         self.echoes.entry(key).or_default().insert(self.me);
-        ctx.send_to_others(UrbMsg { origin: self.me, seq, payload: payload.clone() });
+        ctx.send_to_others(UrbMsg {
+            origin: self.me,
+            seq,
+            payload: payload.clone(),
+        });
         self.maybe_deliver(key, payload);
         seq
     }
@@ -88,7 +92,11 @@ impl<P: Clone + fmt::Debug + 'static> UniformBroadcast<P> {
     fn maybe_deliver(&mut self, key: (ProcessId, u64), payload: P) {
         let count = self.echoes.get(&key).map_or(0, |s| s.len());
         if count >= self.majority() && self.done.insert(key) {
-            self.delivered.push_back(Delivery { origin: key.0, seq: key.1, payload });
+            self.delivered.push_back(Delivery {
+                origin: key.0,
+                seq: key.1,
+                payload,
+            });
         }
     }
 
@@ -132,7 +140,13 @@ impl<P: Clone + fmt::Debug + 'static> Component for UniformBroadcast<P> {
         self.maybe_deliver(key, msg.payload);
     }
 
-    fn on_timer<N: SimMessage>(&mut self, _ctx: &mut SubCtx<'_, '_, N, UrbMsg<P>>, _k: u32, _d: u64) {}
+    fn on_timer<N: SimMessage>(
+        &mut self,
+        _ctx: &mut SubCtx<'_, '_, N, UrbMsg<P>>,
+        _k: u32,
+        _d: u64,
+    ) {
+    }
 }
 
 #[cfg(test)]
@@ -148,18 +162,29 @@ mod tests {
             SimDuration::from_millis(1),
             SimDuration::from_millis(5),
         ));
-        WorldBuilder::new(net).seed(seed).build(|pid, n| Standalone(UniformBroadcast::new(pid, n)))
+        WorldBuilder::new(net)
+            .seed(seed)
+            .build(|pid, n| Standalone(UniformBroadcast::new(pid, n)))
     }
 
     fn do_broadcast(w: &mut fd_sim::World<Node>, from: usize, value: u64) {
-        w.interact(ProcessId(from), |node, ctx: &mut Context<'_, UrbMsg<u64>>| {
-            let ns = node.inner().ns();
-            node.inner_mut().broadcast(&mut SubCtx::new(ctx, &std::convert::identity, ns), value);
-        });
+        w.interact(
+            ProcessId(from),
+            |node, ctx: &mut Context<'_, UrbMsg<u64>>| {
+                let ns = node.inner().ns();
+                node.inner_mut()
+                    .broadcast(&mut SubCtx::new(ctx, &std::convert::identity, ns), value);
+            },
+        );
     }
 
     fn delivered(w: &fd_sim::World<Node>, pid: usize) -> Vec<u64> {
-        w.actor(ProcessId(pid)).inner().delivered.iter().map(|d| d.payload).collect()
+        w.actor(ProcessId(pid))
+            .inner()
+            .delivered
+            .iter()
+            .map(|d| d.payload)
+            .collect()
     }
 
     #[test]
@@ -167,10 +192,14 @@ mod tests {
         // n = 5 ⇒ majority = 3. With all links dead, the broadcaster only
         // ever counts its own echo and must not deliver.
         let net = NetworkConfig::new(5).with_default(LinkModel::Dead);
-        let mut w = WorldBuilder::new(net).build(|pid, n| Standalone(UniformBroadcast::<u64>::new(pid, n)));
+        let mut w =
+            WorldBuilder::new(net).build(|pid, n| Standalone(UniformBroadcast::<u64>::new(pid, n)));
         do_broadcast(&mut w, 0, 1);
         w.run_until_time(Time::from_millis(100));
-        assert!(delivered(&w, 0).is_empty(), "delivered without a majority of echoes");
+        assert!(
+            delivered(&w, 0).is_empty(),
+            "delivered without a majority of echoes"
+        );
         assert_eq!(w.actor(ProcessId(0)).inner().echo_count(ProcessId(0), 0), 1);
     }
 
@@ -190,7 +219,8 @@ mod tests {
         // The origin crashes after its sends are queued; echoes still
         // reach a majority, so all correct processes deliver.
         let n = 5;
-        let net = NetworkConfig::new(n).with_default(LinkModel::reliable_const(SimDuration::from_millis(2)));
+        let net = NetworkConfig::new(n)
+            .with_default(LinkModel::reliable_const(SimDuration::from_millis(2)));
         let mut w = WorldBuilder::new(net)
             .seed(92)
             .build(|pid, n| Standalone(UniformBroadcast::<u64>::new(pid, n)));
@@ -210,7 +240,11 @@ mod tests {
         do_broadcast(&mut w, 1, 9);
         w.run_until_time(Time::from_millis(300));
         for i in 0..n {
-            assert_eq!(delivered(&w, i), vec![9, 9], "two distinct broadcasts, each once (p{i})");
+            assert_eq!(
+                delivered(&w, i),
+                vec![9, 9],
+                "two distinct broadcasts, each once (p{i})"
+            );
         }
     }
 }

@@ -1,0 +1,147 @@
+//! Built-in scenarios.
+//!
+//! [`BlindScenario`] is a deliberately broken detector — it never suspects
+//! anyone — run against plans that always crash processes. Every seed
+//! therefore violates strong completeness, which makes it the standard
+//! end-to-end exercise (and demo) of the failure pipeline: campaign →
+//! artifact → replay → shrink.
+
+use crate::monitor::{Monitor, NamedMonitor};
+use crate::plan::{RunOutcome, RunPlan};
+use crate::scenario::Scenario;
+use fd_core::{observe_suspects, observe_trusted, ProcessSet};
+use fd_sim::prelude::*;
+
+/// A detector module that is blind to failures: it reports an empty
+/// suspect set forever, while heartbeating so runs still move messages.
+struct BlindActor;
+
+#[derive(Clone, Debug)]
+struct Beat;
+
+impl SimMessage for Beat {
+    fn kind(&self) -> &'static str {
+        "blind.hb"
+    }
+}
+
+const T_BEAT: TimerTag = TimerTag::new(b'b' as u32, 0, 0);
+const BEAT_PERIOD: SimDuration = SimDuration::from_millis(100);
+
+impl Actor for BlindActor {
+    type Msg = Beat;
+
+    fn on_start(&mut self, ctx: &mut Context<'_, Beat>) {
+        observe_suspects(ctx, &ProcessSet::new());
+        observe_trusted(ctx, ProcessId(0));
+        ctx.set_timer(BEAT_PERIOD, T_BEAT);
+    }
+
+    fn on_message(&mut self, _ctx: &mut Context<'_, Beat>, _from: ProcessId, _msg: Beat) {}
+
+    fn on_timer(&mut self, ctx: &mut Context<'_, Beat>, _tag: TimerTag) {
+        ctx.send_to_others(Beat);
+        // Re-assert blindness, so the suspect history is non-trivial.
+        observe_suspects(ctx, &ProcessSet::new());
+        ctx.set_timer(BEAT_PERIOD, T_BEAT);
+    }
+}
+
+/// The known-bad scenario: blind detectors plus seed-derived crash plans.
+/// Every seed fails `fd.strong_completeness`.
+pub struct BlindScenario;
+
+/// Registry name of [`BlindScenario`].
+pub const BLIND: &str = "blind";
+
+impl Scenario for BlindScenario {
+    fn name(&self) -> &str {
+        BLIND
+    }
+
+    fn plan(&self, seed: u64) -> RunPlan {
+        // Pure seed arithmetic — no RNG — so plans are trivially stable.
+        let n = 4 + (seed % 3) as usize;
+        let first = (seed % n as u64) as usize;
+        let second = (first + 1 + (seed / 3 % (n as u64 - 1)) as usize) % n;
+        RunPlan::new(seed, Time::from_secs(1), NetworkConfig::new(n))
+            .with_crash(ProcessId(first), Time::from_millis(50 + seed % 100))
+            .with_crash(ProcessId(second), Time::from_millis(200 + seed % 80))
+    }
+
+    fn execute(&self, plan: &RunPlan) -> RunOutcome {
+        let mut builder = WorldBuilder::new(plan.net.clone()).seed(plan.seed);
+        for &(pid, at) in &plan.crashes {
+            builder = builder.crash_at(pid, at);
+        }
+        let mut world = builder.build(|_, _| BlindActor);
+        world.run_until_time(plan.horizon);
+        let n = world.n();
+        let (trace, metrics) = world.into_results();
+        RunOutcome {
+            trace,
+            n,
+            end: plan.horizon,
+            decision_latency: None,
+            messages: metrics.sent_total(),
+        }
+    }
+
+    fn monitors(&self) -> Vec<Box<dyn Monitor>> {
+        vec![NamedMonitor::boxed("fd.strong_completeness")]
+    }
+}
+
+/// Look up a scenario shipped with this crate by registry name.
+pub fn builtin_scenario(name: &str) -> Option<Box<dyn Scenario>> {
+    match name {
+        BLIND => Some(Box::new(BlindScenario)),
+        _ => None,
+    }
+}
+
+/// Names of the scenarios shipped with this crate.
+pub fn builtin_names() -> Vec<&'static str> {
+    vec![BLIND]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plans_are_pure_functions_of_the_seed() {
+        let sc = BlindScenario;
+        for seed in 0..50 {
+            let a = sc.plan(seed);
+            let b = sc.plan(seed);
+            assert_eq!(serde_json::to_string(&a), serde_json::to_string(&b));
+            assert_eq!(a.crashes.len(), 2, "two distinct victims per plan");
+            let (p, q) = (a.crashes[0].0, a.crashes[1].0);
+            assert_ne!(p, q, "victims must differ (seed {seed})");
+            assert!(p.index() < a.n() && q.index() < a.n());
+        }
+    }
+
+    #[test]
+    fn every_seed_violates_strong_completeness() {
+        let sc = BlindScenario;
+        for seed in [0u64, 1, 17, 999] {
+            let plan = sc.plan(seed);
+            let outcome = sc.execute(&plan);
+            let [m] = &sc.monitors()[..] else {
+                panic!("one monitor")
+            };
+            let err = m.check(&outcome).unwrap_err();
+            assert_eq!(err.property, "strong-completeness");
+            assert!(outcome.messages > 0, "heartbeats must flow");
+        }
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        assert!(builtin_scenario("blind").is_some());
+        assert!(builtin_scenario("nope").is_none());
+        assert_eq!(builtin_names(), vec!["blind"]);
+    }
+}

@@ -1,0 +1,327 @@
+//! The campaign runner: fan one scenario over a seed range with a pool
+//! of worker threads, check every run against the scenario's monitors,
+//! and merge everything into one report.
+//!
+//! Work distribution is a single atomic counter the workers race on
+//! (effectively work-stealing at seed granularity), so stragglers never
+//! idle the pool. Each worker executes its seeds in a fully isolated
+//! world; because a seed's run is a pure function of its plan, the
+//! per-seed results are identical whatever `jobs` is — only wall-clock
+//! time changes.
+
+use crate::artifact::Artifact;
+use crate::plan::RunOutcome;
+use crate::scenario::Scenario;
+use std::ops::Range;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// The verdict on one seed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SeedResult {
+    /// The seed.
+    pub seed: u64,
+    /// FNV digest of the run's trace (replay compares against this).
+    pub digest: u64,
+    /// Messages sent during the run.
+    pub messages: u64,
+    /// Decision latency in ticks, for scenarios that measure decisions.
+    pub latency_ticks: Option<u64>,
+    /// The first violated property, if any: `(property, detail)`.
+    pub violation: Option<(String, String)>,
+}
+
+impl SeedResult {
+    /// Whether every monitor held.
+    pub fn passed(&self) -> bool {
+        self.violation.is_none()
+    }
+}
+
+/// Order statistics over one per-seed metric.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Stats {
+    /// Number of samples.
+    pub count: usize,
+    /// Smallest sample.
+    pub min: u64,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Median.
+    pub p50: u64,
+    /// 99th percentile (nearest-rank).
+    pub p99: u64,
+    /// Largest sample.
+    pub max: u64,
+}
+
+impl Stats {
+    /// Compute from raw samples; `None` when empty.
+    pub fn from_samples(mut samples: Vec<u64>) -> Option<Stats> {
+        if samples.is_empty() {
+            return None;
+        }
+        samples.sort_unstable();
+        let count = samples.len();
+        let sum: u128 = samples.iter().map(|&x| x as u128).sum();
+        let pct = |p: usize| samples[(count - 1) * p / 100];
+        Some(Stats {
+            count,
+            min: samples[0],
+            mean: sum as f64 / count as f64,
+            p50: pct(50),
+            p99: pct(99),
+            max: samples[count - 1],
+        })
+    }
+}
+
+/// The merged result of a campaign.
+#[derive(Debug)]
+pub struct CampaignReport {
+    /// Scenario name.
+    pub scenario: String,
+    /// The swept seed range `[start, end)`.
+    pub seeds: (u64, u64),
+    /// Worker threads used.
+    pub jobs: usize,
+    /// Per-seed verdicts, sorted by seed.
+    pub results: Vec<SeedResult>,
+    /// Repro artifacts written for failing seeds.
+    pub artifacts: Vec<PathBuf>,
+    /// Wall-clock time of the sweep.
+    pub wall: Duration,
+}
+
+impl CampaignReport {
+    /// Seeds on which every monitor held.
+    pub fn passed(&self) -> u64 {
+        self.results.iter().filter(|r| r.passed()).count() as u64
+    }
+
+    /// Seeds with at least one violation.
+    pub fn failed(&self) -> u64 {
+        self.results.len() as u64 - self.passed()
+    }
+
+    /// The pass/fail vector, seed-ordered — convenient for asserting that
+    /// different `--jobs` values agree run-for-run.
+    pub fn pass_vector(&self) -> Vec<bool> {
+        self.results.iter().map(|r| r.passed()).collect()
+    }
+
+    /// Decision-latency statistics (ticks) over the runs that decided.
+    pub fn latency_stats(&self) -> Option<Stats> {
+        Stats::from_samples(
+            self.results
+                .iter()
+                .filter_map(|r| r.latency_ticks)
+                .collect(),
+        )
+    }
+
+    /// Message-count statistics over all runs.
+    pub fn message_stats(&self) -> Option<Stats> {
+        Stats::from_samples(self.results.iter().map(|r| r.messages).collect())
+    }
+
+    /// Human-readable summary (what `ecfd campaign` prints).
+    pub fn render(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "campaign {}: seeds {}..{} jobs={} wall={:.2?}",
+            self.scenario, self.seeds.0, self.seeds.1, self.jobs, self.wall
+        );
+        let _ = writeln!(out, "  passed {} / failed {}", self.passed(), self.failed());
+        let fmt_stats = |label: &str, s: Stats, unit: &str| {
+            format!(
+                "  {label}: min {} mean {:.1} p50 {} p99 {} max {} {unit} ({} runs)",
+                s.min, s.mean, s.p50, s.p99, s.max, s.count
+            )
+        };
+        if let Some(s) = self.latency_stats() {
+            let _ = writeln!(out, "{}", fmt_stats("decision latency", s, "ticks"));
+        }
+        if let Some(s) = self.message_stats() {
+            let _ = writeln!(out, "{}", fmt_stats("messages", s, ""));
+        }
+        for r in self.results.iter().filter(|r| !r.passed()).take(10) {
+            let (prop, detail) = r.violation.as_ref().expect("failed seed has a violation");
+            let _ = writeln!(out, "  seed {}: {prop} — {detail}", r.seed);
+        }
+        if self.failed() > 10 {
+            let _ = writeln!(out, "  … and {} more failing seeds", self.failed() - 10);
+        }
+        for p in &self.artifacts {
+            let _ = writeln!(out, "  artifact: {}", p.display());
+        }
+        out
+    }
+}
+
+/// A configured seed sweep, ready to run.
+pub struct Campaign<'s> {
+    scenario: &'s dyn Scenario,
+    seeds: Range<u64>,
+    jobs: usize,
+    artifact_dir: Option<PathBuf>,
+}
+
+impl<'s> Campaign<'s> {
+    /// Sweep `scenario` over `seeds` with one worker per available core.
+    pub fn new(scenario: &'s dyn Scenario, seeds: Range<u64>) -> Campaign<'s> {
+        let jobs = std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1);
+        Campaign {
+            scenario,
+            seeds,
+            jobs,
+            artifact_dir: None,
+        }
+    }
+
+    /// Set the worker count (clamped to at least 1).
+    pub fn jobs(mut self, jobs: usize) -> Self {
+        self.jobs = jobs.max(1);
+        self
+    }
+
+    /// Write a JSON repro artifact for each failing seed into `dir`.
+    pub fn artifact_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.artifact_dir = Some(dir.into());
+        self
+    }
+
+    /// Execute one seed: plan, run, check. Also used by replay paths.
+    pub fn run_seed(scenario: &dyn Scenario, seed: u64) -> (SeedResult, Option<Artifact>) {
+        let plan = scenario.plan(seed);
+        let outcome = scenario.execute(&plan);
+        let digest = outcome.trace.digest();
+        let violation = first_violation(scenario, &outcome);
+        let artifact = violation.as_ref().map(|(property, detail)| Artifact {
+            scenario: scenario.name().to_string(),
+            seed,
+            property: property.clone(),
+            detail: detail.clone(),
+            digest,
+            plan,
+        });
+        let result = SeedResult {
+            seed,
+            digest,
+            messages: outcome.messages,
+            latency_ticks: outcome.decision_latency.map(|d| d.ticks()),
+            violation,
+        };
+        (result, artifact)
+    }
+
+    /// Run the sweep.
+    pub fn run(&self) -> CampaignReport {
+        let started = Instant::now();
+        let next = AtomicU64::new(self.seeds.start);
+        let results: Mutex<Vec<SeedResult>> = Mutex::new(Vec::new());
+        let artifacts: Mutex<Vec<PathBuf>> = Mutex::new(Vec::new());
+        let worker = || loop {
+            let seed = next.fetch_add(1, Ordering::Relaxed);
+            if seed >= self.seeds.end {
+                break;
+            }
+            let (result, artifact) = Self::run_seed(self.scenario, seed);
+            if let (Some(a), Some(dir)) = (artifact, &self.artifact_dir) {
+                match a.save(dir) {
+                    Ok(path) => artifacts.lock().unwrap().push(path),
+                    Err(e) => eprintln!("campaign: could not write artifact for seed {seed}: {e}"),
+                }
+            }
+            results.lock().unwrap().push(result);
+        };
+        if self.jobs == 1 {
+            worker();
+        } else {
+            std::thread::scope(|s| {
+                for _ in 0..self.jobs {
+                    s.spawn(worker);
+                }
+            });
+        }
+        let mut results = results.into_inner().unwrap();
+        results.sort_by_key(|r| r.seed);
+        let mut artifacts = artifacts.into_inner().unwrap();
+        artifacts.sort();
+        CampaignReport {
+            scenario: self.scenario.name().to_string(),
+            seeds: (self.seeds.start, self.seeds.end),
+            jobs: self.jobs,
+            results,
+            artifacts,
+            wall: started.elapsed(),
+        }
+    }
+}
+
+/// The first monitor violation of a run, as owned strings.
+pub(crate) fn first_violation(
+    scenario: &dyn Scenario,
+    outcome: &RunOutcome,
+) -> Option<(String, String)> {
+    for m in scenario.monitors() {
+        if let Err(v) = m.check(outcome) {
+            return Some((m.property().to_string(), v.to_string()));
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builtin::BlindScenario;
+
+    #[test]
+    fn stats_order_statistics() {
+        let s = Stats::from_samples((1..=100).rev().collect()).unwrap();
+        assert_eq!(s.count, 100);
+        assert_eq!(s.min, 1);
+        assert_eq!(s.max, 100);
+        assert_eq!(s.p50, 50);
+        assert_eq!(s.p99, 99);
+        assert!((s.mean - 50.5).abs() < 1e-9);
+        assert_eq!(Stats::from_samples(Vec::new()), None);
+    }
+
+    #[test]
+    fn report_counts_and_rendering() {
+        let sc = BlindScenario;
+        let report = Campaign::new(&sc, 0..4).jobs(2).run();
+        assert_eq!(report.results.len(), 4);
+        // Every blind seed has crashes nobody suspects: all fail.
+        assert_eq!(report.failed(), 4);
+        assert_eq!(report.pass_vector(), vec![false; 4]);
+        let text = report.render();
+        assert!(text.contains("passed 0 / failed 4"), "{text}");
+        assert!(text.contains("fd.strong_completeness"), "{text}");
+    }
+
+    #[test]
+    fn seed_results_independent_of_job_count() {
+        let sc = BlindScenario;
+        let serial = Campaign::new(&sc, 0..12).jobs(1).run();
+        let parallel = Campaign::new(&sc, 0..12).jobs(4).run();
+        assert_eq!(serial.results, parallel.results);
+    }
+
+    #[test]
+    fn empty_seed_range_is_fine() {
+        let sc = BlindScenario;
+        let report = Campaign::new(&sc, 5..5).jobs(3).run();
+        assert!(report.results.is_empty());
+        assert_eq!(report.passed(), 0);
+        assert_eq!(report.latency_stats(), None);
+    }
+}

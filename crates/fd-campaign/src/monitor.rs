@@ -1,0 +1,110 @@
+//! Property monitors: pluggable checks a scenario attaches to every run.
+//!
+//! Monitors wrap the trace checkers of `fd-core::properties` behind a
+//! stable string name, so a campaign can record *which* property a seed
+//! violated and a replay can re-run exactly that check from a JSON
+//! artifact.
+
+use crate::plan::RunOutcome;
+use fd_core::CheckResult;
+
+/// One property checked against every run of a campaign.
+pub trait Monitor: Send + Sync {
+    /// Stable name of the property (recorded in artifacts; for the
+    /// built-in checkers these are the `fd-core` [`fd_core::NAMED_CHECKS`]
+    /// names such as `"consensus.safety"`).
+    fn property(&self) -> &str;
+
+    /// Check the finished run.
+    fn check(&self, outcome: &RunOutcome) -> CheckResult;
+}
+
+/// A monitor backed by the `fd-core` named-check registry.
+pub struct NamedMonitor {
+    name: &'static str,
+}
+
+impl NamedMonitor {
+    /// Build a monitor for one of [`fd_core::NAMED_CHECKS`]. Panics on an
+    /// unknown name — that is a programming error in the scenario, not a
+    /// run-time condition.
+    pub fn new(name: &'static str) -> NamedMonitor {
+        assert!(
+            fd_core::NAMED_CHECKS.contains(&name),
+            "unknown property {name:?}; see fd_core::NAMED_CHECKS"
+        );
+        NamedMonitor { name }
+    }
+
+    /// Boxed convenience for `Scenario::monitors` lists.
+    pub fn boxed(name: &'static str) -> Box<dyn Monitor> {
+        Box::new(NamedMonitor::new(name))
+    }
+}
+
+impl Monitor for NamedMonitor {
+    fn property(&self) -> &str {
+        self.name
+    }
+
+    fn check(&self, outcome: &RunOutcome) -> CheckResult {
+        fd_core::run_named_check(self.name, &outcome.trace, outcome.n, outcome.end)
+            .expect("name validated at construction")
+    }
+}
+
+/// Find the monitor for `property` among a scenario's monitors, falling
+/// back to the named registry. Used by replay and the shrinker, which
+/// must re-check the one property an artifact names.
+pub fn check_property(
+    monitors: &[Box<dyn Monitor>],
+    property: &str,
+    outcome: &RunOutcome,
+) -> Result<CheckResult, String> {
+    if let Some(m) = monitors.iter().find(|m| m.property() == property) {
+        return Ok(m.check(outcome));
+    }
+    fd_core::run_named_check(property, &outcome.trace, outcome.n, outcome.end)
+        .ok_or_else(|| format!("unknown property {property:?}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fd_sim::{Time, Trace};
+
+    fn empty_outcome() -> RunOutcome {
+        RunOutcome {
+            trace: Trace::default(),
+            n: 3,
+            end: Time::from_secs(1),
+            decision_latency: None,
+            messages: 0,
+        }
+    }
+
+    #[test]
+    fn named_monitor_checks_by_name() {
+        let m = NamedMonitor::new("fd.strong_completeness");
+        assert_eq!(m.property(), "fd.strong_completeness");
+        // No crashes in an empty trace, so completeness holds vacuously.
+        assert!(m.check(&empty_outcome()).is_ok());
+        // Termination fails on an empty trace: nobody decided.
+        let t = NamedMonitor::new("consensus.termination");
+        assert!(t.check(&empty_outcome()).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown property")]
+    fn unknown_name_rejected_eagerly() {
+        let _ = NamedMonitor::new("fd.totally_made_up");
+    }
+
+    #[test]
+    fn check_property_falls_back_to_registry() {
+        let none: Vec<Box<dyn Monitor>> = Vec::new();
+        let r = check_property(&none, "consensus.termination", &empty_outcome()).unwrap();
+        assert!(r.is_err());
+        assert!(check_property(&none, "nope", &empty_outcome()).is_err());
+    }
+}

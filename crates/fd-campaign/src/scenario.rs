@@ -1,0 +1,32 @@
+//! The scenario abstraction: seed in, deterministic run out.
+
+use crate::monitor::Monitor;
+use crate::plan::{RunOutcome, RunPlan};
+
+/// A deterministic, seed-indexed workload.
+///
+/// The contract that makes campaigns, replays, and shrinking work:
+///
+/// * [`Scenario::plan`] must be a **pure function of the seed** — no
+///   ambient randomness, no wall-clock.
+/// * [`Scenario::execute`] must be a **pure function of the plan** — two
+///   executions of the same plan produce byte-identical traces (the
+///   engine asserts this indirectly by hashing traces).
+///
+/// Everything the run depends on therefore lives in the serializable
+/// [`RunPlan`], so a failing seed can be shipped as a JSON artifact and
+/// re-executed — possibly mutated by the shrinker — anywhere.
+pub trait Scenario: Send + Sync {
+    /// Registry name (`ecfd campaign --scenario <name>`).
+    fn name(&self) -> &str;
+
+    /// Expand a seed into a full run plan.
+    fn plan(&self, seed: u64) -> RunPlan;
+
+    /// Execute a plan to completion.
+    fn execute(&self, plan: &RunPlan) -> RunOutcome;
+
+    /// The properties checked against every run, in order; the first
+    /// violation fails the seed.
+    fn monitors(&self) -> Vec<Box<dyn Monitor>>;
+}

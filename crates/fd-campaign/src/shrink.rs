@@ -1,0 +1,198 @@
+//! Greedy counterexample shrinking.
+//!
+//! Given an artifact whose plan violates a property, repeatedly try
+//! simpler plans — drop a crash, shorten the horizon, remove a process,
+//! reduce link loss — keeping any mutation under which the same property
+//! still fails. The result is a locally minimal counterexample: no single
+//! remaining simplification preserves the failure.
+
+use crate::artifact::Artifact;
+use crate::monitor::check_property;
+use crate::plan::RunPlan;
+use crate::scenario::Scenario;
+use fd_sim::{LinkModel, Time};
+
+/// Hard cap on candidate executions, so a pathological scenario cannot
+/// spin the shrinker forever.
+const MAX_ATTEMPTS: usize = 512;
+
+/// The result of a shrink pass.
+#[derive(Debug)]
+pub struct ShrinkOutcome {
+    /// The minimized artifact (same scenario/seed/property, simpler plan,
+    /// updated digest and detail).
+    pub artifact: Artifact,
+    /// The accepted simplifications, in order.
+    pub applied: Vec<String>,
+    /// Total candidate plans executed.
+    pub attempts: usize,
+}
+
+/// Greedily minimize `artifact`'s plan while its property keeps failing.
+/// Errors if the original plan does not actually violate the property
+/// (a stale or hand-edited artifact).
+pub fn shrink(scenario: &dyn Scenario, artifact: &Artifact) -> Result<ShrinkOutcome, String> {
+    let still_fails = |plan: &RunPlan| -> Result<Option<(String, u64)>, String> {
+        let outcome = scenario.execute(plan);
+        let check = check_property(&scenario.monitors(), &artifact.property, &outcome)?;
+        Ok(check.err().map(|v| (v.to_string(), outcome.trace.digest())))
+    };
+
+    let (mut detail, mut digest) = still_fails(&artifact.plan)?.ok_or_else(|| {
+        format!(
+            "plan does not violate {:?} — nothing to shrink",
+            artifact.property
+        )
+    })?;
+
+    let mut current = artifact.plan.clone();
+    let mut applied = Vec::new();
+    let mut attempts = 0usize;
+    'progress: loop {
+        for (label, candidate) in candidates(&current) {
+            if attempts >= MAX_ATTEMPTS {
+                break 'progress;
+            }
+            attempts += 1;
+            if let Some((d, g)) = still_fails(&candidate)? {
+                current = candidate;
+                detail = d;
+                digest = g;
+                applied.push(label);
+                continue 'progress;
+            }
+        }
+        break;
+    }
+
+    Ok(ShrinkOutcome {
+        artifact: Artifact {
+            detail,
+            digest,
+            plan: current,
+            ..artifact.clone()
+        },
+        applied,
+        attempts,
+    })
+}
+
+/// The single-step simplifications of a plan, most aggressive first.
+fn candidates(plan: &RunPlan) -> Vec<(String, RunPlan)> {
+    let mut out = Vec::new();
+    for i in 0..plan.crashes.len() {
+        let (pid, at) = plan.crashes[i];
+        out.push((format!("drop crash {pid}@{at}"), plan.without_crash(i)));
+    }
+    let n = plan.n();
+    if n > 1 && plan.crashes.iter().all(|(p, _)| p.index() < n - 1) {
+        out.push((format!("shrink n to {}", n - 1), plan.shrunk_to(n - 1)));
+    }
+    let shorter = Time(plan.horizon.ticks() / 4 * 3);
+    if shorter > Time::ZERO && shorter < plan.horizon {
+        out.push((
+            format!("shorten horizon to {shorter}"),
+            plan.with_horizon(shorter),
+        ));
+    }
+    let healed = plan.net.map_links(reduce_loss);
+    if serde_json::to_string(&healed) != serde_json::to_string(&plan.net) {
+        let mut p = plan.clone();
+        p.net = healed;
+        out.push(("reduce link loss".to_string(), p));
+    }
+    out
+}
+
+/// Halve every loss probability in a link model (clearing probabilities
+/// already below 1%). Dead links stay dead — they model partitions, not
+/// noise.
+fn reduce_loss(model: &LinkModel) -> LinkModel {
+    let halve = |p: f64| if p < 0.01 { 0.0 } else { p / 2.0 };
+    match model {
+        LinkModel::FairLossy { delay, drop } if *drop > 0.0 => LinkModel::FairLossy {
+            delay: *delay,
+            drop: halve(*drop),
+        },
+        LinkModel::EventuallyTimely {
+            gst,
+            bound,
+            pre_delay,
+            pre_drop,
+        } if *pre_drop > 0.0 => LinkModel::EventuallyTimely {
+            gst: *gst,
+            bound: *bound,
+            pre_delay: *pre_delay,
+            pre_drop: halve(*pre_drop),
+        },
+        LinkModel::Phased(sched) => LinkModel::phased(
+            sched
+                .phases()
+                .iter()
+                .map(|(t, m)| (*t, reduce_loss(m)))
+                .collect(),
+        ),
+        other => other.clone(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builtin::BlindScenario;
+    use crate::engine::Campaign;
+    use crate::replay;
+
+    #[test]
+    fn shrinks_blind_counterexample_to_one_crash() {
+        let sc = BlindScenario;
+        let (_, artifact) = Campaign::run_seed(&sc, 1);
+        let artifact = artifact.expect("blind seeds fail");
+        let before = artifact.plan.crashes.len();
+        assert!(before >= 2, "the blind plan schedules several crashes");
+
+        let out = shrink(&sc, &artifact).unwrap();
+        // One unsuspected crash suffices for the violation, so the greedy
+        // pass must have dropped the rest.
+        assert_eq!(out.artifact.plan.crashes.len(), 1);
+        assert!(
+            out.artifact.plan.horizon < artifact.plan.horizon,
+            "horizon shortened"
+        );
+        assert!(!out.applied.is_empty());
+        assert!(out.attempts >= out.applied.len());
+
+        // The minimized artifact still replays to a failure.
+        let replayed = replay(&sc, &out.artifact).unwrap();
+        assert!(replayed.reproduced());
+        assert!(replayed.digest_matches);
+    }
+
+    #[test]
+    fn refuses_to_shrink_a_passing_plan() {
+        let sc = BlindScenario;
+        let (_, artifact) = Campaign::run_seed(&sc, 2);
+        let mut artifact = artifact.unwrap();
+        artifact.plan.crashes.clear();
+        let err = shrink(&sc, &artifact).unwrap_err();
+        assert!(err.contains("does not violate"), "{err}");
+    }
+
+    #[test]
+    fn loss_reduction_touches_lossy_links_only() {
+        use fd_sim::SimDuration;
+        let lossy = LinkModel::fair_lossy(SimDuration(1), SimDuration(2), 0.8);
+        match reduce_loss(&lossy) {
+            LinkModel::FairLossy { drop, .. } => assert!((drop - 0.4).abs() < 1e-12),
+            other => panic!("unexpected {other:?}"),
+        }
+        let faint = LinkModel::fair_lossy(SimDuration(1), SimDuration(2), 0.005);
+        match reduce_loss(&faint) {
+            LinkModel::FairLossy { drop, .. } => assert_eq!(drop, 0.0),
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(reduce_loss(&LinkModel::Dead), LinkModel::Dead);
+        let reliable = LinkModel::reliable_const(SimDuration(3));
+        assert_eq!(reduce_loss(&reliable), reliable);
+    }
+}

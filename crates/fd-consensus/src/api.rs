@@ -67,14 +67,18 @@ impl ProtocolStep {
 
     /// Ask the host to R-broadcast a decision.
     pub fn decide(value: u64, round: u64) -> ProtocolStep {
-        ProtocolStep { broadcast_decision: Some((value, round)) }
+        ProtocolStep {
+            broadcast_decision: Some((value, round)),
+        }
     }
 
     /// Merge two steps (at most one may carry a decision).
     pub fn merge(self, other: ProtocolStep) -> ProtocolStep {
         match (self.broadcast_decision, other.broadcast_decision) {
             (Some(_), Some(_)) => panic!("two decisions in one callback"),
-            (Some(d), None) | (None, Some(d)) => ProtocolStep { broadcast_decision: Some(d) },
+            (Some(d), None) | (None, Some(d)) => ProtocolStep {
+                broadcast_decision: Some(d),
+            },
             (None, None) => ProtocolStep::none(),
         }
     }
@@ -92,7 +96,9 @@ pub struct ConsensusConfig {
 
 impl Default for ConsensusConfig {
     fn default() -> Self {
-        ConsensusConfig { poll_period: SimDuration::from_millis(2) }
+        ConsensusConfig {
+            poll_period: SimDuration::from_millis(2),
+        }
     }
 }
 

@@ -168,11 +168,20 @@ impl CtConsensus {
         let coord = rotating_coordinator(round, self.n);
         // Phase 1: everyone sends its estimate to the coordinator.
         if coord == self.me {
-            self.est_buckets.entry(round).or_default().insert(self.me, self.est);
+            self.est_buckets
+                .entry(round)
+                .or_default()
+                .insert(self.me, self.est);
             self.phase = Phase::AwaitEstimates;
             self.try_complete_estimates(ctx)
         } else {
-            ctx.send(coord, CtMsg::Estimate { round, est: self.est });
+            ctx.send(
+                coord,
+                CtMsg::Estimate {
+                    round,
+                    est: self.est,
+                },
+            );
             self.phase = Phase::AwaitProposition;
             // The proposition may already be buffered if we are lagging.
             if let Some(v) = self.prop_buckets.get(&round).copied() {
@@ -210,7 +219,10 @@ impl CtConsensus {
             }
         }
         let v = best.expect("majority is non-empty").value;
-        self.est = Estimate { value: v, ts: round };
+        self.est = Estimate {
+            value: v,
+            ts: round,
+        };
         self.prop_value = Some(v);
         ctx.send_to_others(CtMsg::Proposition { round, value: v });
         self.phase = Phase::AwaitAcks;
@@ -406,11 +418,17 @@ mod tests {
     }
 
     fn no_fd() -> FdOutput {
-        FdOutput { suspected: ProcessSet::new(), trusted: None }
+        FdOutput {
+            suspected: ProcessSet::new(),
+            trusted: None,
+        }
     }
 
     fn suspects(ids: &[usize]) -> FdOutput {
-        FdOutput { suspected: ids.iter().map(|&i| ProcessId(i)).collect(), trusted: None }
+        FdOutput {
+            suspected: ids.iter().map(|&i| ProcessId(i)).collect(),
+            trusted: None,
+        }
     }
 
     #[test]
@@ -429,7 +447,10 @@ mod tests {
         let ests: Vec<_> = actions
             .iter()
             .filter_map(|a| match a {
-                Action::Send { to, msg: CtMsg::Estimate { round: 1, .. } } => Some(*to),
+                Action::Send {
+                    to,
+                    msg: CtMsg::Estimate { round: 1, .. },
+                } => Some(*to),
                 _ => None,
             })
             .collect();
@@ -444,18 +465,25 @@ mod tests {
         let mut p = CtConsensus::new(ProcessId(0), 5, ConsensusConfig::default());
         drive(0, 5, |ctx| p.on_propose(ctx, 1, no_fd()));
         for q in [1usize, 2] {
-            let est = CtMsg::Estimate { round: 1, est: Estimate::initial(q as u64) };
+            let est = CtMsg::Estimate {
+                round: 1,
+                est: Estimate::initial(q as u64),
+            };
             drive(0, 5, |ctx| p.on_message(ctx, ProcessId(q), est, no_fd()));
         }
         // Coordinator proposed after majority estimates; now replies:
-        drive(0, 5, |ctx| p.on_message(ctx, ProcessId(1), CtMsg::Ack { round: 1 }, no_fd()));
-        let (step, _) =
-            drive(0, 5, |ctx| p.on_message(ctx, ProcessId(2), CtMsg::Nack { round: 1 }, no_fd()));
+        drive(0, 5, |ctx| {
+            p.on_message(ctx, ProcessId(1), CtMsg::Ack { round: 1 }, no_fd())
+        });
+        let (step, _) = drive(0, 5, |ctx| {
+            p.on_message(ctx, ProcessId(2), CtMsg::Nack { round: 1 }, no_fd())
+        });
         assert!(step.broadcast_decision.is_none(), "CT's one-nack rule");
         assert_eq!(p.round(), 2);
         // Late extra acks for the closed round are ignored.
-        let (step, _) =
-            drive(0, 5, |ctx| p.on_message(ctx, ProcessId(3), CtMsg::Ack { round: 1 }, no_fd()));
+        let (step, _) = drive(0, 5, |ctx| {
+            p.on_message(ctx, ProcessId(3), CtMsg::Ack { round: 1 }, no_fd())
+        });
         assert_eq!(step, ProtocolStep::none());
     }
 
@@ -464,12 +492,18 @@ mod tests {
         let mut p = CtConsensus::new(ProcessId(0), 5, ConsensusConfig::default());
         drive(0, 5, |ctx| p.on_propose(ctx, 1, no_fd()));
         for q in [1usize, 2] {
-            let est = CtMsg::Estimate { round: 1, est: Estimate::initial(0) };
+            let est = CtMsg::Estimate {
+                round: 1,
+                est: Estimate::initial(0),
+            };
             drive(0, 5, |ctx| p.on_message(ctx, ProcessId(q), est, no_fd()));
         }
-        drive(0, 5, |ctx| p.on_message(ctx, ProcessId(1), CtMsg::Ack { round: 1 }, no_fd()));
-        let (step, _) =
-            drive(0, 5, |ctx| p.on_message(ctx, ProcessId(2), CtMsg::Ack { round: 1 }, no_fd()));
+        drive(0, 5, |ctx| {
+            p.on_message(ctx, ProcessId(1), CtMsg::Ack { round: 1 }, no_fd())
+        });
+        let (step, _) = drive(0, 5, |ctx| {
+            p.on_message(ctx, ProcessId(2), CtMsg::Ack { round: 1 }, no_fd())
+        });
         assert!(step.broadcast_decision.is_some());
     }
 
@@ -481,7 +515,10 @@ mod tests {
         let nacked: Vec<_> = actions
             .iter()
             .filter_map(|a| match a {
-                Action::Send { to, msg: CtMsg::Nack { round: 1 } } => Some(*to),
+                Action::Send {
+                    to,
+                    msg: CtMsg::Nack { round: 1 },
+                } => Some(*to),
                 _ => None,
             })
             .collect();
@@ -496,14 +533,28 @@ mod tests {
         drive(3, 5, |ctx| p.on_propose(ctx, 9, no_fd()));
         // A proposition for round 2 arrives while we are still in round 1.
         drive(3, 5, |ctx| {
-            p.on_message(ctx, ProcessId(1), CtMsg::Proposition { round: 2, value: 55 }, no_fd())
+            p.on_message(
+                ctx,
+                ProcessId(1),
+                CtMsg::Proposition {
+                    round: 2,
+                    value: 55,
+                },
+                no_fd(),
+            )
         });
         // Round 1's coordinator is suspected → advance to round 2, where
         // the buffered proposition must immediately be adopted + acked.
         let (_, actions) = drive(3, 5, |ctx| p.on_timer(ctx, 0, 0, suspects(&[0])));
-        let acked_round2 = actions
-            .iter()
-            .any(|a| matches!(a, Action::Send { to: ProcessId(1), msg: CtMsg::Ack { round: 2 } }));
+        let acked_round2 = actions.iter().any(|a| {
+            matches!(
+                a,
+                Action::Send {
+                    to: ProcessId(1),
+                    msg: CtMsg::Ack { round: 2 }
+                }
+            )
+        });
         assert!(acked_round2, "buffered proposition consumed on entry");
         assert_eq!(p.round(), 3);
     }

@@ -210,7 +210,9 @@ impl EcConsensus {
     /// The shared wait clause of Phases 2 and 4: every process has either
     /// replied or is suspected by the local ◇C module.
     fn all_unsuspected_replied<T>(&self, replies: &HashMap<ProcessId, T>, fd: &FdOutput) -> bool {
-        (0..self.n).map(ProcessId).all(|q| replies.contains_key(&q) || fd.suspected.contains(q))
+        (0..self.n)
+            .map(ProcessId)
+            .all(|q| replies.contains_key(&q) || fd.suspected.contains(q))
     }
 
     fn try_complete_estimates<N: SimMessage>(
@@ -221,7 +223,8 @@ impl EcConsensus {
         if self.phase != Phase::AwaitEstimates {
             return ProtocolStep::none();
         }
-        if self.est_replies.len() < self.maj() || !self.all_unsuspected_replied(&self.est_replies, &fd)
+        if self.est_replies.len() < self.maj()
+            || !self.all_unsuspected_replied(&self.est_replies, &fd)
         {
             return ProtocolStep::none();
         }
@@ -241,9 +244,15 @@ impl EcConsensus {
         if non_null >= self.maj() {
             let v = best.expect("non_null > 0").value;
             // Propose: adopt our own proposition and count our own ack.
-            self.est = Estimate { value: v, ts: round };
+            self.est = Estimate {
+                value: v,
+                ts: round,
+            };
             self.prop_value = Some(v);
-            ctx.send_to_others(EcMsg::Proposition { round, value: Some(v) });
+            ctx.send_to_others(EcMsg::Proposition {
+                round,
+                value: Some(v),
+            });
             self.phase = Phase::AwaitAcks;
             self.ack_replies.insert(self.me, true);
             self.try_complete_acks(ctx, fd)
@@ -263,7 +272,8 @@ impl EcConsensus {
         if self.phase != Phase::AwaitAcks {
             return ProtocolStep::none();
         }
-        if self.ack_replies.len() < self.maj() || !self.all_unsuspected_replied(&self.ack_replies, &fd)
+        if self.ack_replies.len() < self.maj()
+            || !self.all_unsuspected_replied(&self.ack_replies, &fd)
         {
             return ProtocolStep::none();
         }
@@ -337,14 +347,15 @@ impl RoundProtocol for EcConsensus {
             // with null estimates and propositions with nacks — exactly
             // the Fig. 4 tasks — and let the rounds churn until we join.
             match msg {
-                EcMsg::Coordinator { round }
-                    if self.answered_null.insert((from, round)) => {
-                        ctx.send(from, EcMsg::Estimate { round, est: None });
-                    }
-                EcMsg::Proposition { round, value: Some(_) }
-                    if self.nacked.insert((from, round)) => {
-                        ctx.send(from, EcMsg::Nack { round });
-                    }
+                EcMsg::Coordinator { round } if self.answered_null.insert((from, round)) => {
+                    ctx.send(from, EcMsg::Estimate { round, est: None });
+                }
+                EcMsg::Proposition {
+                    round,
+                    value: Some(_),
+                } if self.nacked.insert((from, round)) => {
+                    ctx.send(from, EcMsg::Nack { round });
+                }
                 _ => {}
             }
             return ProtocolStep::none();
@@ -364,16 +375,25 @@ impl RoundProtocol for EcConsensus {
                     self.prop_value = None;
                     self.coordinator = Some(from);
                     self.phase = Phase::AwaitProposition;
-                    ctx.send(from, EcMsg::Estimate { round, est: Some(self.est) });
+                    ctx.send(
+                        from,
+                        EcMsg::Estimate {
+                            round,
+                            est: Some(self.est),
+                        },
+                    );
                     ProtocolStep::none()
-                } else if !decided
-                    && round == self.round
-                    && self.phase == Phase::AwaitCoordinator
-                {
+                } else if !decided && round == self.round && self.phase == Phase::AwaitCoordinator {
                     // Phase 0 resolution: adopt the announcer.
                     self.coordinator = Some(from);
                     self.phase = Phase::AwaitProposition;
-                    ctx.send(from, EcMsg::Estimate { round, est: Some(self.est) });
+                    ctx.send(
+                        from,
+                        EcMsg::Estimate {
+                            round,
+                            est: Some(self.est),
+                        },
+                    );
                     ProtocolStep::none()
                 } else {
                     // Task 1: any other coordinator of the current or a
@@ -401,7 +421,9 @@ impl RoundProtocol for EcConsensus {
                 let decided = self.phase == Phase::Done;
                 match value {
                     Some(v) => {
-                        if !decided && round >= self.round && self.phase == Phase::AwaitProposition
+                        if !decided
+                            && round >= self.round
+                            && self.phase == Phase::AwaitProposition
                             && (round > self.round || self.coordinator == Some(from))
                         {
                             // Phase 3 success: our coordinator (or a later
@@ -409,7 +431,10 @@ impl RoundProtocol for EcConsensus {
                             self.adopt_and_ack(ctx, from, round, v, fd)
                         } else if !decided
                             && round >= self.round
-                            && matches!(self.phase, Phase::AwaitCoordinator | Phase::AwaitProposition)
+                            && matches!(
+                                self.phase,
+                                Phase::AwaitCoordinator | Phase::AwaitProposition
+                            )
                         {
                             // Non-null proposition from *some other*
                             // coordinator — the Phase 3 escape: adopt it.
@@ -555,7 +580,10 @@ mod tests {
 
     fn fd(trusted: usize, suspects: &[usize]) -> FdOutput {
         FdOutput {
-            suspected: suspects.iter().map(|&i| ProcessId(i)).collect::<ProcessSet>(),
+            suspected: suspects
+                .iter()
+                .map(|&i| ProcessId(i))
+                .collect::<ProcessSet>(),
             trusted: Some(ProcessId(trusted)),
         }
     }
@@ -577,12 +605,20 @@ mod tests {
     fn participant_sends_estimate_to_announcer() {
         let mut p = EcConsensus::new(ProcessId(1), 5, ConsensusConfig::default());
         let (_, _) = drive(1, 5, |ctx| p.on_propose(ctx, 7, fd(0, &[])));
-        let (step, actions) =
-            drive(1, 5, |ctx| p.on_message(ctx, ProcessId(0), EcMsg::Coordinator { round: 1 }, fd(0, &[])));
+        let (step, actions) = drive(1, 5, |ctx| {
+            p.on_message(
+                ctx,
+                ProcessId(0),
+                EcMsg::Coordinator { round: 1 },
+                fd(0, &[]),
+            )
+        });
         assert_eq!(step, ProtocolStep::none());
         let est = sends(&actions);
         assert_eq!(est.len(), 1);
-        assert!(matches!(est[0], (ProcessId(0), EcMsg::Estimate { round: 1, est: Some(e) }) if e.value == 7));
+        assert!(
+            matches!(est[0], (ProcessId(0), EcMsg::Estimate { round: 1, est: Some(e) }) if e.value == 7)
+        );
     }
 
     #[test]
@@ -591,14 +627,40 @@ mod tests {
         drive(1, 5, |ctx| p.on_propose(ctx, 7, fd(0, &[])));
         // First coordinator adopted; a SECOND announcer for the same
         // round is a "late/other coordinator" — answered with one null.
-        drive(1, 5, |ctx| p.on_message(ctx, ProcessId(0), EcMsg::Coordinator { round: 1 }, fd(0, &[])));
-        let (_, a1) =
-            drive(1, 5, |ctx| p.on_message(ctx, ProcessId(2), EcMsg::Coordinator { round: 1 }, fd(0, &[])));
-        let (_, a2) =
-            drive(1, 5, |ctx| p.on_message(ctx, ProcessId(2), EcMsg::Coordinator { round: 1 }, fd(0, &[])));
-        assert_eq!(sends(&a1).len(), 1, "one null estimate to the other coordinator");
+        drive(1, 5, |ctx| {
+            p.on_message(
+                ctx,
+                ProcessId(0),
+                EcMsg::Coordinator { round: 1 },
+                fd(0, &[]),
+            )
+        });
+        let (_, a1) = drive(1, 5, |ctx| {
+            p.on_message(
+                ctx,
+                ProcessId(2),
+                EcMsg::Coordinator { round: 1 },
+                fd(0, &[]),
+            )
+        });
+        let (_, a2) = drive(1, 5, |ctx| {
+            p.on_message(
+                ctx,
+                ProcessId(2),
+                EcMsg::Coordinator { round: 1 },
+                fd(0, &[]),
+            )
+        });
+        assert_eq!(
+            sends(&a1).len(),
+            1,
+            "one null estimate to the other coordinator"
+        );
         assert!(matches!(sends(&a1)[0].1, EcMsg::Estimate { est: None, .. }));
-        assert!(sends(&a2).is_empty(), "duplicate announcements are not re-answered");
+        assert!(
+            sends(&a2).is_empty(),
+            "duplicate announcements are not re-answered"
+        );
     }
 
     #[test]
@@ -606,7 +668,14 @@ mod tests {
         let mut p = EcConsensus::new(ProcessId(1), 5, ConsensusConfig::default());
         drive(1, 5, |ctx| p.on_propose(ctx, 7, fd(0, &[])));
         assert_eq!(p.round(), 1);
-        drive(1, 5, |ctx| p.on_message(ctx, ProcessId(3), EcMsg::Coordinator { round: 9 }, fd(0, &[])));
+        drive(1, 5, |ctx| {
+            p.on_message(
+                ctx,
+                ProcessId(3),
+                EcMsg::Coordinator { round: 9 },
+                fd(0, &[]),
+            )
+        });
         assert_eq!(p.round(), 9, "footnote 2: advance to the announced round");
     }
 
@@ -617,20 +686,35 @@ mod tests {
         let all_visible = fd(0, &[]); // good accuracy: wait for everyone
         drive(0, 5, |ctx| p.on_propose(ctx, 42, all_visible));
         for q in 1..5 {
-            let est = EcMsg::Estimate { round: 1, est: Some(Estimate::initial(10 + q as u64)) };
-            drive(0, 5, |ctx| p.on_message(ctx, ProcessId(q), est, all_visible));
+            let est = EcMsg::Estimate {
+                round: 1,
+                est: Some(Estimate::initial(10 + q as u64)),
+            };
+            drive(0, 5, |ctx| {
+                p.on_message(ctx, ProcessId(q), est, all_visible)
+            });
         }
         // Two acks, then two nacks: no decision until all replied.
         for (q, ack) in [(1usize, true), (2, true), (3, false)] {
-            let msg = if ack { EcMsg::Ack { round: 1 } } else { EcMsg::Nack { round: 1 } };
-            let (step, _) = drive(0, 5, |ctx| p.on_message(ctx, ProcessId(q), msg, all_visible));
+            let msg = if ack {
+                EcMsg::Ack { round: 1 }
+            } else {
+                EcMsg::Nack { round: 1 }
+            };
+            let (step, _) = drive(0, 5, |ctx| {
+                p.on_message(ctx, ProcessId(q), msg, all_visible)
+            });
             assert_eq!(step, ProtocolStep::none(), "must wait for unsuspected p4");
         }
-        let (step, _) =
-            drive(0, 5, |ctx| p.on_message(ctx, ProcessId(4), EcMsg::Nack { round: 1 }, all_visible));
+        let (step, _) = drive(0, 5, |ctx| {
+            p.on_message(ctx, ProcessId(4), EcMsg::Nack { round: 1 }, all_visible)
+        });
         // 3 acks (incl. self) ≥ majority even with 2 nacks — the paper's
         // feature. The decision value is the largest initial estimate.
-        assert!(step.broadcast_decision.is_some(), "majority-positive rule must decide");
+        assert!(
+            step.broadcast_decision.is_some(),
+            "majority-positive rule must decide"
+        );
         assert_eq!(step.broadcast_decision.unwrap().1, 1, "decided in round 1");
     }
 
@@ -640,14 +724,22 @@ mod tests {
         let all_visible = fd(0, &[]);
         drive(0, 5, |ctx| p.on_propose(ctx, 42, all_visible));
         for q in 1..5 {
-            let est = EcMsg::Estimate { round: 1, est: Some(Estimate::initial(5)) };
-            drive(0, 5, |ctx| p.on_message(ctx, ProcessId(q), est, all_visible));
+            let est = EcMsg::Estimate {
+                round: 1,
+                est: Some(Estimate::initial(5)),
+            };
+            drive(0, 5, |ctx| {
+                p.on_message(ctx, ProcessId(q), est, all_visible)
+            });
         }
         for q in 1..4 {
-            drive(0, 5, |ctx| p.on_message(ctx, ProcessId(q), EcMsg::Nack { round: 1 }, all_visible));
+            drive(0, 5, |ctx| {
+                p.on_message(ctx, ProcessId(q), EcMsg::Nack { round: 1 }, all_visible)
+            });
         }
-        let (step, _) =
-            drive(0, 5, |ctx| p.on_message(ctx, ProcessId(4), EcMsg::Nack { round: 1 }, all_visible));
+        let (step, _) = drive(0, 5, |ctx| {
+            p.on_message(ctx, ProcessId(4), EcMsg::Nack { round: 1 }, all_visible)
+        });
         assert!(step.broadcast_decision.is_none());
         assert_eq!(p.round(), 2, "failed round rolls over");
     }
@@ -656,7 +748,14 @@ mod tests {
     fn suspicion_of_coordinator_produces_nack_and_next_round() {
         let mut p = EcConsensus::new(ProcessId(1), 5, ConsensusConfig::default());
         drive(1, 5, |ctx| p.on_propose(ctx, 7, fd(0, &[])));
-        drive(1, 5, |ctx| p.on_message(ctx, ProcessId(0), EcMsg::Coordinator { round: 1 }, fd(0, &[])));
+        drive(1, 5, |ctx| {
+            p.on_message(
+                ctx,
+                ProcessId(0),
+                EcMsg::Coordinator { round: 1 },
+                fd(0, &[]),
+            )
+        });
         // Poll with the coordinator now suspected.
         let (_, actions) = drive(1, 5, |ctx| p.on_timer(ctx, 0, 0, fd(1, &[0])));
         let nacks: Vec<_> = sends(&actions)

@@ -142,7 +142,9 @@ impl EcMergedConsensus {
     }
 
     fn all_unsuspected_replied<T>(&self, replies: &HashMap<ProcessId, T>, fd: &FdOutput) -> bool {
-        (0..self.n).map(ProcessId).all(|q| replies.contains_key(&q) || fd.suspected.contains(q))
+        (0..self.n)
+            .map(ProcessId)
+            .all(|q| replies.contains_key(&q) || fd.suspected.contains(q))
     }
 
     fn enter_round<N: SimMessage>(
@@ -172,8 +174,15 @@ impl EcMergedConsensus {
             ctx.send(q, EcmMsg::Estimate { round, est });
         }
         // Our own contribution to our own bucket (real iff we lead).
-        let self_est = if leader == self.me { Some(self.est) } else { None };
-        self.est_buckets.entry(round).or_default().insert(self.me, self_est);
+        let self_est = if leader == self.me {
+            Some(self.est)
+        } else {
+            None
+        };
+        self.est_buckets
+            .entry(round)
+            .or_default()
+            .insert(self.me, self_est);
         self.try_propose(ctx, fd)
     }
 
@@ -192,7 +201,9 @@ impl EcMergedConsensus {
             return ProtocolStep::none();
         }
         let maj = self.maj();
-        let Some(bucket) = self.est_buckets.get(&round) else { return ProtocolStep::none() };
+        let Some(bucket) = self.est_buckets.get(&round) else {
+            return ProtocolStep::none();
+        };
         if bucket.len() < maj || !self.all_unsuspected_replied(bucket, &fd) {
             return ProtocolStep::none();
         }
@@ -210,9 +221,15 @@ impl EcMergedConsensus {
         self.concluded_phase2.insert(round);
         if non_null >= maj {
             let v = best.expect("non-null exists").value;
-            self.est = Estimate { value: v, ts: round };
+            self.est = Estimate {
+                value: v,
+                ts: round,
+            };
             self.prop_value = Some(v);
-            ctx.send_to_others(EcmMsg::Proposition { round, value: Some(v) });
+            ctx.send_to_others(EcmMsg::Proposition {
+                round,
+                value: Some(v),
+            });
             self.phase = Phase::AwaitAcks;
             self.ack_replies.insert(self.me, true);
             self.try_decide(ctx, fd)
@@ -232,7 +249,8 @@ impl EcMergedConsensus {
         if self.phase != Phase::AwaitAcks {
             return ProtocolStep::none();
         }
-        if self.ack_replies.len() < self.maj() || !self.all_unsuspected_replied(&self.ack_replies, &fd)
+        if self.ack_replies.len() < self.maj()
+            || !self.all_unsuspected_replied(&self.ack_replies, &fd)
         {
             return ProtocolStep::none();
         }
@@ -309,7 +327,9 @@ impl RoundProtocol for EcMergedConsensus {
                         && (round > self.round || from == self.my_leader)
                     {
                         self.adopt_and_ack(ctx, from, round, v, fd)
-                    } else if !decided && self.phase == Phase::AwaitProposition && round == self.round
+                    } else if !decided
+                        && self.phase == Phase::AwaitProposition
+                        && round == self.round
                     {
                         // A non-null proposition from another coordinator
                         // of our round — the Phase 3 escape, as in the

@@ -5,9 +5,7 @@ use crate::api::{DecidePayload, RoundProtocol};
 use crate::node::ConsensusNode;
 use fd_core::Component;
 use fd_core::{LeaderOracle, SuspectOracle};
-use fd_sim::{
-    Metrics, NetworkConfig, ProcessId, Time, Trace, World, WorldBuilder,
-};
+use fd_sim::{Metrics, NetworkConfig, ProcessId, Time, Trace, World, WorldBuilder};
 
 /// A consensus workload description.
 #[derive(Debug, Clone)]
@@ -85,12 +83,23 @@ where
         w.correct().iter().all(|&p| w.actor(p).decision().is_some())
     });
     let decide_time = decided.then(|| world.now());
-    let decisions: Vec<Option<DecidePayload>> =
-        (0..n).map(|i| world.actor(ProcessId(i)).decision()).collect();
-    let final_rounds: Vec<u64> = (0..n).map(|i| world.actor(ProcessId(i)).cons.round()).collect();
+    let decisions: Vec<Option<DecidePayload>> = (0..n)
+        .map(|i| world.actor(ProcessId(i)).decision())
+        .collect();
+    let final_rounds: Vec<u64> = (0..n)
+        .map(|i| world.actor(ProcessId(i)).cons.round())
+        .collect();
     let all_decided = decided;
     let (trace, metrics) = world.into_results();
-    RunResult { trace, metrics, all_decided, decide_time, decisions, final_rounds, n }
+    RunResult {
+        trace,
+        metrics,
+        all_decided,
+        decide_time,
+        decisions,
+        final_rounds,
+        n,
+    }
 }
 
 impl RunResult {
@@ -143,7 +152,6 @@ pub fn default_net(n: usize) -> NetworkConfig {
         SimDuration::from_millis(4),
     ))
 }
-
 
 #[cfg(test)]
 mod tests {

@@ -71,7 +71,10 @@ pub type PaxosNodeLeader = ConsensusNode<LeaderDetector, PaxosConsensus>;
 pub fn ec_node_hb(me: ProcessId, n: usize) -> EcNodeHb {
     ConsensusNode::new(
         me,
-        LeaderByFirstNonSuspected::new(HeartbeatDetector::new(me, n, HeartbeatConfig::default()), n),
+        LeaderByFirstNonSuspected::new(
+            HeartbeatDetector::new(me, n, HeartbeatConfig::default()),
+            n,
+        ),
         EcConsensus::new(me, n, ConsensusConfig::default()),
     )
 }
@@ -89,7 +92,10 @@ pub fn ec_node_leader(me: ProcessId, n: usize) -> EcNodeLeader {
 pub fn ct_node_hb(me: ProcessId, n: usize) -> CtNodeHb {
     ConsensusNode::new(
         me,
-        LeaderByFirstNonSuspected::new(HeartbeatDetector::new(me, n, HeartbeatConfig::default()), n),
+        LeaderByFirstNonSuspected::new(
+            HeartbeatDetector::new(me, n, HeartbeatConfig::default()),
+            n,
+        ),
         CtConsensus::new(me, n, ConsensusConfig::default()),
     )
 }
@@ -113,6 +119,10 @@ pub fn paxos_node_leader(me: ProcessId, n: usize) -> PaxosNodeLeader {
 }
 
 /// Build a node with a scripted detector and any protocol.
-pub fn scripted_node<P: RoundProtocol>(me: ProcessId, fd: ScriptedDetector, cons: P) -> ScriptedNode<P> {
+pub fn scripted_node<P: RoundProtocol>(
+    me: ProcessId,
+    fd: ScriptedDetector,
+    cons: P,
+) -> ScriptedNode<P> {
     ConsensusNode::new(me, fd, cons)
 }

@@ -75,9 +75,9 @@ impl SimMessage for MrMsg {
     }
     fn round(&self) -> Option<u64> {
         Some(match self {
-            MrMsg::Phase1 { round, .. } | MrMsg::Phase2 { round, .. } | MrMsg::Phase3 { round, .. } => {
-                *round
-            }
+            MrMsg::Phase1 { round, .. }
+            | MrMsg::Phase2 { round, .. }
+            | MrMsg::Phase3 { round, .. } => *round,
         })
     }
 }
@@ -167,7 +167,10 @@ impl MrConsensus {
         let leader = fd.trusted.unwrap_or(self.me);
         let est = self.est;
         ctx.send_to_others(MrMsg::Phase1 { round, leader, est });
-        self.p1_buckets.entry(round).or_default().insert(self.me, (leader, est));
+        self.p1_buckets
+            .entry(round)
+            .or_default()
+            .insert(self.me, (leader, est));
         self.try_complete_p1(ctx, fd)
     }
 
@@ -182,7 +185,9 @@ impl MrConsensus {
         }
         let round = self.round;
         let quorum = self.quorum();
-        let Some(bucket) = self.p1_buckets.get(&round) else { return ProtocolStep::none() };
+        let Some(bucket) = self.p1_buckets.get(&round) else {
+            return ProtocolStep::none();
+        };
         if bucket.len() < quorum {
             return ProtocolStep::none();
         }
@@ -204,7 +209,10 @@ impl MrConsensus {
         };
         self.phase = Phase::P2;
         ctx.send_to_others(MrMsg::Phase2 { round, aux });
-        self.p2_buckets.entry(round).or_default().insert(self.me, aux);
+        self.p2_buckets
+            .entry(round)
+            .or_default()
+            .insert(self.me, aux);
         self.try_complete_p2(ctx, fd)
     }
 
@@ -219,7 +227,9 @@ impl MrConsensus {
         }
         let round = self.round;
         let quorum = self.quorum();
-        let Some(bucket) = self.p2_buckets.get(&round) else { return ProtocolStep::none() };
+        let Some(bucket) = self.p2_buckets.get(&round) else {
+            return ProtocolStep::none();
+        };
         if bucket.len() < quorum {
             return ProtocolStep::none();
         }
@@ -228,7 +238,10 @@ impl MrConsensus {
         // All non-⊥ values are identical (majority-intersection argument).
         debug_assert!(non_null.windows(2).all(|w| w[0] == w[1]));
         if let Some(&v) = non_null.first() {
-            self.est = Estimate { value: v, ts: round };
+            self.est = Estimate {
+                value: v,
+                ts: round,
+            };
             // The decide flag requires unanimity: a single ⊥ among the
             // quorum blocks it (the §5.4 criticism).
             self.my_flag = non_null.len() == values.len();
@@ -239,7 +252,10 @@ impl MrConsensus {
         let flag = self.my_flag;
         let value = self.est.value;
         ctx.send_to_others(MrMsg::Phase3 { round, flag, value });
-        self.p3_buckets.entry(round).or_default().insert(self.me, (flag, value));
+        self.p3_buckets
+            .entry(round)
+            .or_default()
+            .insert(self.me, (flag, value));
         self.try_complete_p3(ctx, fd)
     }
 
@@ -254,7 +270,9 @@ impl MrConsensus {
         }
         let round = self.round;
         let quorum = self.quorum();
-        let Some(bucket) = self.p3_buckets.get(&round) else { return ProtocolStep::none() };
+        let Some(bucket) = self.p3_buckets.get(&round) else {
+            return ProtocolStep::none();
+        };
         if bucket.len() < quorum {
             return ProtocolStep::none();
         }
@@ -306,7 +324,10 @@ impl RoundProtocol for MrConsensus {
         match msg {
             MrMsg::Phase1 { round, leader, est } => {
                 if round >= self.round {
-                    self.p1_buckets.entry(round).or_default().insert(from, (leader, est));
+                    self.p1_buckets
+                        .entry(round)
+                        .or_default()
+                        .insert(from, (leader, est));
                     if round == self.round {
                         return self.try_complete_p1(ctx, fd);
                     }
@@ -324,7 +345,10 @@ impl RoundProtocol for MrConsensus {
             }
             MrMsg::Phase3 { round, flag, value } => {
                 if round >= self.round {
-                    self.p3_buckets.entry(round).or_default().insert(from, (flag, value));
+                    self.p3_buckets
+                        .entry(round)
+                        .or_default()
+                        .insert(from, (flag, value));
                     if round == self.round {
                         return self.try_complete_p3(ctx, fd);
                     }
@@ -404,11 +428,18 @@ mod tests {
     }
 
     fn trusts(leader: usize) -> FdOutput {
-        FdOutput { suspected: ProcessSet::new(), trusted: Some(ProcessId(leader)) }
+        FdOutput {
+            suspected: ProcessSet::new(),
+            trusted: Some(ProcessId(leader)),
+        }
     }
 
     fn p1(round: u64, leader: usize, value: u64) -> MrMsg {
-        MrMsg::Phase1 { round, leader: ProcessId(leader), est: Estimate::initial(value) }
+        MrMsg::Phase1 {
+            round,
+            leader: ProcessId(leader),
+            est: Estimate::initial(value),
+        }
     }
 
     #[test]
@@ -433,22 +464,42 @@ mod tests {
         // leader (p0) has not voted yet: Phase 1 must not complete.
         let mut p = MrConsensus::with_unknown_f(ProcessId(4), 5, ConsensusConfig::default());
         drive(4, 5, |ctx| p.on_propose(ctx, 9, trusts(0)));
-        drive(4, 5, |ctx| p.on_message(ctx, ProcessId(3), p1(1, 0, 3), trusts(0)));
-        let (_, actions) = drive(4, 5, |ctx| p.on_message(ctx, ProcessId(2), p1(1, 0, 2), trusts(0)));
-        let sent_p2 = actions.iter().any(|a| matches!(a, Action::Send { msg: MrMsg::Phase2 { .. }, .. }));
+        drive(4, 5, |ctx| {
+            p.on_message(ctx, ProcessId(3), p1(1, 0, 3), trusts(0))
+        });
+        let (_, actions) = drive(4, 5, |ctx| {
+            p.on_message(ctx, ProcessId(2), p1(1, 0, 2), trusts(0))
+        });
+        let sent_p2 = actions.iter().any(|a| {
+            matches!(
+                a,
+                Action::Send {
+                    msg: MrMsg::Phase2 { .. },
+                    ..
+                }
+            )
+        });
         assert!(!sent_p2, "quorum met but leader vote missing");
         // The leader's vote arrives → Phase 2 fires with aux = leader's
         // estimate (everyone named p0: 4 > n/2).
-        let (_, actions) = drive(4, 5, |ctx| p.on_message(ctx, ProcessId(0), p1(1, 0, 77), trusts(0)));
+        let (_, actions) = drive(4, 5, |ctx| {
+            p.on_message(ctx, ProcessId(0), p1(1, 0, 77), trusts(0))
+        });
         let auxes: Vec<Option<u64>> = actions
             .iter()
             .filter_map(|a| match a {
-                Action::Send { msg: MrMsg::Phase2 { aux, .. }, .. } => Some(*aux),
+                Action::Send {
+                    msg: MrMsg::Phase2 { aux, .. },
+                    ..
+                } => Some(*aux),
                 _ => None,
             })
             .collect();
         assert!(!auxes.is_empty());
-        assert!(auxes.iter().all(|a| *a == Some(77)), "aux = the leader's estimate");
+        assert!(
+            auxes.iter().all(|a| *a == Some(77)),
+            "aux = the leader's estimate"
+        );
     }
 
     #[test]
@@ -457,17 +508,29 @@ mod tests {
         // auxiliary value must be ⊥ even though the quorum is met.
         let mut p = MrConsensus::with_unknown_f(ProcessId(4), 5, ConsensusConfig::default());
         drive(4, 5, |ctx| p.on_propose(ctx, 9, trusts(0)));
-        drive(4, 5, |ctx| p.on_message(ctx, ProcessId(3), p1(1, 3, 3), trusts(0)));
-        drive(4, 5, |ctx| p.on_message(ctx, ProcessId(2), p1(1, 2, 2), trusts(0)));
-        let (_, actions) = drive(4, 5, |ctx| p.on_message(ctx, ProcessId(0), p1(1, 0, 77), trusts(0)));
+        drive(4, 5, |ctx| {
+            p.on_message(ctx, ProcessId(3), p1(1, 3, 3), trusts(0))
+        });
+        drive(4, 5, |ctx| {
+            p.on_message(ctx, ProcessId(2), p1(1, 2, 2), trusts(0))
+        });
+        let (_, actions) = drive(4, 5, |ctx| {
+            p.on_message(ctx, ProcessId(0), p1(1, 0, 77), trusts(0))
+        });
         let auxes: Vec<Option<u64>> = actions
             .iter()
             .filter_map(|a| match a {
-                Action::Send { msg: MrMsg::Phase2 { aux, .. }, .. } => Some(*aux),
+                Action::Send {
+                    msg: MrMsg::Phase2 { aux, .. },
+                    ..
+                } => Some(*aux),
                 _ => None,
             })
             .collect();
-        assert!(auxes.iter().all(|a| a.is_none()), "no majority leader ⇒ ⊥, got {auxes:?}");
+        assert!(
+            auxes.iter().all(|a| a.is_none()),
+            "no majority leader ⇒ ⊥, got {auxes:?}"
+        );
     }
 
     #[test]
@@ -476,39 +539,109 @@ mod tests {
         drive(4, 5, |ctx| p.on_propose(ctx, 9, trusts(4)));
         // Reach Phase 2 quickly: self-leader, so own vote satisfies the
         // leader condition once the quorum arrives.
-        drive(4, 5, |ctx| p.on_message(ctx, ProcessId(3), p1(1, 4, 3), trusts(4)));
-        drive(4, 5, |ctx| p.on_message(ctx, ProcessId(2), p1(1, 4, 2), trusts(4)));
+        drive(4, 5, |ctx| {
+            p.on_message(ctx, ProcessId(3), p1(1, 4, 3), trusts(4))
+        });
+        drive(4, 5, |ctx| {
+            p.on_message(ctx, ProcessId(2), p1(1, 4, 2), trusts(4))
+        });
         // Phase 2 replies: one ⊥ among the first quorum.
-        drive(4, 5, |ctx| p.on_message(ctx, ProcessId(3), MrMsg::Phase2 { round: 1, aux: Some(9) }, trusts(4)));
+        drive(4, 5, |ctx| {
+            p.on_message(
+                ctx,
+                ProcessId(3),
+                MrMsg::Phase2 {
+                    round: 1,
+                    aux: Some(9),
+                },
+                trusts(4),
+            )
+        });
         let (_, actions) = drive(4, 5, |ctx| {
-            p.on_message(ctx, ProcessId(2), MrMsg::Phase2 { round: 1, aux: None }, trusts(4))
+            p.on_message(
+                ctx,
+                ProcessId(2),
+                MrMsg::Phase2 {
+                    round: 1,
+                    aux: None,
+                },
+                trusts(4),
+            )
         });
         let flags: Vec<bool> = actions
             .iter()
             .filter_map(|a| match a {
-                Action::Send { msg: MrMsg::Phase3 { flag, .. }, .. } => Some(*flag),
+                Action::Send {
+                    msg: MrMsg::Phase3 { flag, .. },
+                    ..
+                } => Some(*flag),
                 _ => None,
             })
             .collect();
         assert!(!flags.is_empty(), "phase 3 must start");
-        assert!(flags.iter().all(|f| !f), "a single ⊥ blocks the decide flag (§5.4)");
+        assert!(
+            flags.iter().all(|f| !f),
+            "a single ⊥ blocks the decide flag (§5.4)"
+        );
     }
 
     #[test]
     fn any_raised_flag_in_phase3_decides() {
         let mut p = MrConsensus::with_unknown_f(ProcessId(4), 5, ConsensusConfig::default());
         drive(4, 5, |ctx| p.on_propose(ctx, 9, trusts(4)));
-        drive(4, 5, |ctx| p.on_message(ctx, ProcessId(3), p1(1, 4, 3), trusts(4)));
-        drive(4, 5, |ctx| p.on_message(ctx, ProcessId(2), p1(1, 4, 2), trusts(4)));
-        drive(4, 5, |ctx| p.on_message(ctx, ProcessId(3), MrMsg::Phase2 { round: 1, aux: None }, trusts(4)));
-        drive(4, 5, |ctx| p.on_message(ctx, ProcessId(2), MrMsg::Phase2 { round: 1, aux: None }, trusts(4)));
+        drive(4, 5, |ctx| {
+            p.on_message(ctx, ProcessId(3), p1(1, 4, 3), trusts(4))
+        });
+        drive(4, 5, |ctx| {
+            p.on_message(ctx, ProcessId(2), p1(1, 4, 2), trusts(4))
+        });
+        drive(4, 5, |ctx| {
+            p.on_message(
+                ctx,
+                ProcessId(3),
+                MrMsg::Phase2 {
+                    round: 1,
+                    aux: None,
+                },
+                trusts(4),
+            )
+        });
+        drive(4, 5, |ctx| {
+            p.on_message(
+                ctx,
+                ProcessId(2),
+                MrMsg::Phase2 {
+                    round: 1,
+                    aux: None,
+                },
+                trusts(4),
+            )
+        });
         // Our own flag is false (all-⊥), but a flagged Phase 3 from a
         // peer carries the decision.
         drive(4, 5, |ctx| {
-            p.on_message(ctx, ProcessId(3), MrMsg::Phase3 { round: 1, flag: false, value: 9 }, trusts(4))
+            p.on_message(
+                ctx,
+                ProcessId(3),
+                MrMsg::Phase3 {
+                    round: 1,
+                    flag: false,
+                    value: 9,
+                },
+                trusts(4),
+            )
         });
         let (step, _) = drive(4, 5, |ctx| {
-            p.on_message(ctx, ProcessId(2), MrMsg::Phase3 { round: 1, flag: true, value: 55 }, trusts(4))
+            p.on_message(
+                ctx,
+                ProcessId(2),
+                MrMsg::Phase3 {
+                    round: 1,
+                    flag: true,
+                    value: 55,
+                },
+                trusts(4),
+            )
         });
         assert_eq!(step.broadcast_decision, Some((55, 1)));
     }

@@ -37,7 +37,10 @@ pub const MULTI_NS_BASE: u32 = 0x1000_0000;
 pub const MAX_SLOT: u64 = (u32::MAX - MULTI_NS_BASE) as u64;
 
 fn slot_ns(slot: u64) -> u32 {
-    assert!(slot <= MAX_SLOT, "log slot {slot} exceeds the namespace encoding (MAX_SLOT = {MAX_SLOT})");
+    assert!(
+        slot <= MAX_SLOT,
+        "log slot {slot} exceeds the namespace encoding (MAX_SLOT = {MAX_SLOT})"
+    );
     MULTI_NS_BASE + slot as u32
 }
 
@@ -136,7 +139,9 @@ impl MultiEc {
         let me = self.me;
         let n = self.n;
         let cfg = self.cfg.clone();
-        self.instances.entry(slot).or_insert_with(|| EcConsensus::new(me, n, cfg))
+        self.instances
+            .entry(slot)
+            .or_insert_with(|| EcConsensus::new(me, n, cfg))
     }
 }
 
@@ -195,8 +200,15 @@ where
     /// Assemble a replica.
     pub fn new(me: ProcessId, fd: D, multi: MultiEc) -> Self {
         let rb = ReliableBroadcast::new(me);
-        assert_ne!(fd.ns(), rb.ns(), "components must own distinct timer namespaces");
-        assert!(fd.ns() < MULTI_NS_BASE && rb.ns() < MULTI_NS_BASE, "ns clash with slot range");
+        assert_ne!(
+            fd.ns(),
+            rb.ns(),
+            "components must own distinct timer namespaces"
+        );
+        assert!(
+            fd.ns() < MULTI_NS_BASE && rb.ns() < MULTI_NS_BASE,
+            "ns clash with slot range"
+        );
         MultiNode { fd, rb, multi }
     }
 
@@ -281,7 +293,10 @@ where
     ) {
         if let Some((value, round)) = step.broadcast_decision {
             let ns = self.rb.ns();
-            self.rb.broadcast(&mut SubCtx::new(ctx, &MultiNodeMsg::Rb, ns), (slot, value, round));
+            self.rb.broadcast(
+                &mut SubCtx::new(ctx, &MultiNodeMsg::Rb, ns),
+                (slot, value, round),
+            );
         }
         self.drain_deliveries(ctx);
     }
@@ -319,18 +334,21 @@ where
 
     fn on_start(&mut self, ctx: &mut Context<'_, Self::Msg>) {
         let ns = self.fd.ns();
-        self.fd.on_start(&mut SubCtx::new(ctx, &MultiNodeMsg::Fd, ns));
+        self.fd
+            .on_start(&mut SubCtx::new(ctx, &MultiNodeMsg::Fd, ns));
     }
 
     fn on_message(&mut self, ctx: &mut Context<'_, Self::Msg>, from: ProcessId, msg: Self::Msg) {
         match msg {
             MultiNodeMsg::Fd(m) => {
                 let ns = self.fd.ns();
-                self.fd.on_message(&mut SubCtx::new(ctx, &MultiNodeMsg::Fd, ns), from, m);
+                self.fd
+                    .on_message(&mut SubCtx::new(ctx, &MultiNodeMsg::Fd, ns), from, m);
             }
             MultiNodeMsg::Rb(m) => {
                 let ns = self.rb.ns();
-                self.rb.on_message(&mut SubCtx::new(ctx, &MultiNodeMsg::Rb, ns), from, m);
+                self.rb
+                    .on_message(&mut SubCtx::new(ctx, &MultiNodeMsg::Rb, ns), from, m);
                 self.drain_deliveries(ctx);
             }
             MultiNodeMsg::Open { slot } => {
@@ -352,7 +370,11 @@ where
 
     fn on_timer(&mut self, ctx: &mut Context<'_, Self::Msg>, tag: TimerTag) {
         if tag.ns == self.fd.ns() {
-            self.fd.on_timer(&mut SubCtx::new(ctx, &MultiNodeMsg::Fd, tag.ns), tag.kind, tag.data);
+            self.fd.on_timer(
+                &mut SubCtx::new(ctx, &MultiNodeMsg::Fd, tag.ns),
+                tag.kind,
+                tag.data,
+            );
         } else if tag.ns >= MULTI_NS_BASE {
             let slot = (tag.ns - MULTI_NS_BASE) as u64;
             let fd = self.fd.output();
@@ -386,18 +408,25 @@ mod tests {
     fn replica(pid: ProcessId, n: usize) -> Replica {
         MultiNode::new(
             pid,
-            LeaderByFirstNonSuspected::new(HeartbeatDetector::new(pid, n, HeartbeatConfig::default()), n),
+            LeaderByFirstNonSuspected::new(
+                HeartbeatDetector::new(pid, n, HeartbeatConfig::default()),
+                n,
+            ),
             MultiEc::new(pid, n, ConsensusConfig::default()),
         )
     }
 
     fn world(n: usize, seed: u64) -> World<Replica> {
-        WorldBuilder::new(crate::harness::default_net(n)).seed(seed).build(replica)
+        WorldBuilder::new(crate::harness::default_net(n))
+            .seed(seed)
+            .build(replica)
     }
 
     /// All submitted commands, for containment checks.
     fn submitted(n: usize, per: u64) -> Vec<u64> {
-        (0..n).flat_map(|i| (0..per).map(move |k| (i as u64 + 1) * 100 + k)).collect()
+        (0..n)
+            .flat_map(|i| (0..per).map(move |k| (i as u64 + 1) * 100 + k))
+            .collect()
     }
 
     #[test]
@@ -424,7 +453,9 @@ mod tests {
         assert!(
             done,
             "logs did not fill: {:?}",
-            (0..n).map(|i| w.actor(ProcessId(i)).log().len()).collect::<Vec<_>>()
+            (0..n)
+                .map(|i| w.actor(ProcessId(i)).log().len())
+                .collect::<Vec<_>>()
         );
         // Logs agree on every common slot (replicas may be at different
         // lengths, but never disagree).
@@ -454,10 +485,17 @@ mod tests {
         w.schedule_crash(ProcessId(3), Time::from_millis(90));
         // The crashed replicas' commands may be lost, but the surviving
         // replicas' six commands must all eventually be decided.
-        let survivors_cmds: Vec<u64> = (0..3).flat_map(|i| (0..2u64).map(move |k| (i as u64 + 1) * 10 + k)).collect();
+        let survivors_cmds: Vec<u64> = (0..3)
+            .flat_map(|i| (0..2u64).map(move |k| (i as u64 + 1) * 10 + k))
+            .collect();
         let done = w.run_until(Time::from_secs(120), |w| {
             (0..3).all(|i| {
-                let vals: Vec<u64> = w.actor(ProcessId(i)).log().iter().map(|(_, v)| *v).collect();
+                let vals: Vec<u64> = w
+                    .actor(ProcessId(i))
+                    .log()
+                    .iter()
+                    .map(|(_, v)| *v)
+                    .collect();
                 survivors_cmds.iter().all(|c| vals.contains(c))
             })
         });
@@ -477,7 +515,9 @@ mod tests {
         for k in 0..4u64 {
             w.interact(ProcessId(0), move |node, ctx| node.submit(ctx, 1000 + k));
         }
-        let done = w.run_until(Time::from_secs(30), |w| w.actor(ProcessId(0)).log().len() >= 4);
+        let done = w.run_until(Time::from_secs(30), |w| {
+            w.actor(ProcessId(0)).log().len() >= 4
+        });
         assert!(done);
         let log = w.actor(ProcessId(0)).log();
         let slots: Vec<u64> = log.iter().map(|(s, _)| *s).collect();

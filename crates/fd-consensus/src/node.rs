@@ -8,8 +8,8 @@
 
 use crate::api::{DecidePayload, RoundProtocol};
 use fd_broadcast::{RbMsg, ReliableBroadcast};
-use fd_core::{EventuallyConsistentOracle, LeaderOracle, SubCtx, SuspectOracle};
 use fd_core::Component;
+use fd_core::{EventuallyConsistentOracle, LeaderOracle, SubCtx, SuspectOracle};
 use fd_sim::{Actor, Context, ProcessId, SimMessage, TimerTag};
 
 /// Combined message type of a consensus node.
@@ -58,9 +58,21 @@ where
     /// Assemble a node from its modules.
     pub fn new(me: ProcessId, fd: D, cons: P) -> Self {
         let rb = ReliableBroadcast::new(me);
-        assert_ne!(fd.ns(), cons.ns(), "components must own distinct timer namespaces");
-        assert_ne!(fd.ns(), rb.ns(), "components must own distinct timer namespaces");
-        assert_ne!(cons.ns(), rb.ns(), "components must own distinct timer namespaces");
+        assert_ne!(
+            fd.ns(),
+            cons.ns(),
+            "components must own distinct timer namespaces"
+        );
+        assert_ne!(
+            fd.ns(),
+            rb.ns(),
+            "components must own distinct timer namespaces"
+        );
+        assert_ne!(
+            cons.ns(),
+            rb.ns(),
+            "components must own distinct timer namespaces"
+        );
         ConsensusNode { fd, rb, cons }
     }
 
@@ -69,7 +81,9 @@ where
     pub fn propose(&mut self, ctx: &mut Context<'_, NodeMsg<D::Msg, P::Msg>>, value: u64) {
         let fd = self.fd.output();
         let ns = self.cons.ns();
-        let step = self.cons.on_propose(&mut SubCtx::new(ctx, &NodeMsg::Cons, ns), value, fd);
+        let step = self
+            .cons
+            .on_propose(&mut SubCtx::new(ctx, &NodeMsg::Cons, ns), value, fd);
         self.apply_step(ctx, step);
     }
 
@@ -85,7 +99,8 @@ where
     ) {
         if let Some(payload) = step.broadcast_decision {
             let ns = self.rb.ns();
-            self.rb.broadcast(&mut SubCtx::new(ctx, &NodeMsg::Rb, ns), payload);
+            self.rb
+                .broadcast(&mut SubCtx::new(ctx, &NodeMsg::Rb, ns), payload);
         }
         self.drain_deliveries(ctx);
     }
@@ -94,7 +109,8 @@ where
         for d in self.rb.take_delivered() {
             let (value, round) = d.payload;
             let ns = self.cons.ns();
-            self.cons.on_decide_delivered(&mut SubCtx::new(ctx, &NodeMsg::Cons, ns), value, round);
+            self.cons
+                .on_decide_delivered(&mut SubCtx::new(ctx, &NodeMsg::Cons, ns), value, round);
         }
     }
 }
@@ -118,17 +134,21 @@ where
         match msg {
             NodeMsg::Fd(m) => {
                 let ns = self.fd.ns();
-                self.fd.on_message(&mut SubCtx::new(ctx, &NodeMsg::Fd, ns), from, m);
+                self.fd
+                    .on_message(&mut SubCtx::new(ctx, &NodeMsg::Fd, ns), from, m);
             }
             NodeMsg::Rb(m) => {
                 let ns = self.rb.ns();
-                self.rb.on_message(&mut SubCtx::new(ctx, &NodeMsg::Rb, ns), from, m);
+                self.rb
+                    .on_message(&mut SubCtx::new(ctx, &NodeMsg::Rb, ns), from, m);
                 self.drain_deliveries(ctx);
             }
             NodeMsg::Cons(m) => {
                 let fd = self.fd.output();
                 let ns = self.cons.ns();
-                let step = self.cons.on_message(&mut SubCtx::new(ctx, &NodeMsg::Cons, ns), from, m, fd);
+                let step =
+                    self.cons
+                        .on_message(&mut SubCtx::new(ctx, &NodeMsg::Cons, ns), from, m, fd);
                 self.apply_step(ctx, step);
             }
         }
@@ -136,11 +156,19 @@ where
 
     fn on_timer(&mut self, ctx: &mut Context<'_, Self::Msg>, tag: TimerTag) {
         if tag.ns == self.fd.ns() {
-            self.fd.on_timer(&mut SubCtx::new(ctx, &NodeMsg::Fd, tag.ns), tag.kind, tag.data);
+            self.fd.on_timer(
+                &mut SubCtx::new(ctx, &NodeMsg::Fd, tag.ns),
+                tag.kind,
+                tag.data,
+            );
         } else if tag.ns == self.cons.ns() {
             let fd = self.fd.output();
-            let step =
-                self.cons.on_timer(&mut SubCtx::new(ctx, &NodeMsg::Cons, tag.ns), tag.kind, tag.data, fd);
+            let step = self.cons.on_timer(
+                &mut SubCtx::new(ctx, &NodeMsg::Cons, tag.ns),
+                tag.kind,
+                tag.data,
+                fd,
+            );
             self.apply_step(ctx, step);
         } else {
             debug_assert_eq!(tag.ns, self.rb.ns(), "timer for an unknown namespace");

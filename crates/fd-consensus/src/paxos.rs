@@ -198,7 +198,12 @@ impl PaxosConsensus {
         }
         // The synod rule: adopt the value of the highest reported ballot,
         // else be free to propose our own.
-        let inherited = self.promises.values().flatten().max_by_key(|(b, _)| *b).map(|(_, v)| *v);
+        let inherited = self
+            .promises
+            .values()
+            .flatten()
+            .max_by_key(|(b, _)| *b)
+            .map(|(_, v)| *v);
         let value = inherited.unwrap_or_else(|| self.proposal.expect("proposer has a proposal"));
         self.chosen_value = Some(value);
         self.phase = ProposerPhase::AwaitAccepts;
@@ -262,9 +267,21 @@ impl RoundProtocol for PaxosConsensus {
                 self.max_seen = self.max_seen.max(ballot);
                 if ballot > self.promised {
                     self.promised = ballot;
-                    ctx.send(from, PaxosMsg::Promise { ballot, accepted: self.accepted });
+                    ctx.send(
+                        from,
+                        PaxosMsg::Promise {
+                            ballot,
+                            accepted: self.accepted,
+                        },
+                    );
                 } else {
-                    ctx.send(from, PaxosMsg::Reject { ballot, promised: self.promised });
+                    ctx.send(
+                        from,
+                        PaxosMsg::Reject {
+                            ballot,
+                            promised: self.promised,
+                        },
+                    );
                 }
                 ProtocolStep::none()
             }
@@ -282,7 +299,13 @@ impl RoundProtocol for PaxosConsensus {
                     self.accepted = Some((ballot, value));
                     ctx.send(from, PaxosMsg::Accepted { ballot });
                 } else {
-                    ctx.send(from, PaxosMsg::Reject { ballot, promised: self.promised });
+                    ctx.send(
+                        from,
+                        PaxosMsg::Reject {
+                            ballot,
+                            promised: self.promised,
+                        },
+                    );
                 }
                 ProtocolStep::none()
             }
@@ -298,7 +321,10 @@ impl RoundProtocol for PaxosConsensus {
                 // Preempted: abandon the ballot; the poll timer reopens
                 // above the contention if we still trust ourselves.
                 if ballot == self.ballot
-                    && matches!(self.phase, ProposerPhase::AwaitPromises | ProposerPhase::AwaitAccepts)
+                    && matches!(
+                        self.phase,
+                        ProposerPhase::AwaitPromises | ProposerPhase::AwaitAccepts
+                    )
                 {
                     self.phase = ProposerPhase::Idle;
                 }
@@ -392,7 +418,10 @@ mod tests {
     }
 
     fn trusts(l: usize) -> FdOutput {
-        FdOutput { suspected: ProcessSet::new(), trusted: Some(ProcessId(l)) }
+        FdOutput {
+            suspected: ProcessSet::new(),
+            trusted: Some(ProcessId(l)),
+        }
     }
 
     #[test]
@@ -413,7 +442,15 @@ mod tests {
         let (_, actions) = drive(0, 5, |ctx| p.on_propose(ctx, 42, trusts(0)));
         let prepares = actions
             .iter()
-            .filter(|a| matches!(a, Action::Send { msg: PaxosMsg::Prepare { .. }, .. }))
+            .filter(|a| {
+                matches!(
+                    a,
+                    Action::Send {
+                        msg: PaxosMsg::Prepare { .. },
+                        ..
+                    }
+                )
+            })
             .count();
         assert_eq!(prepares, 4);
         assert_eq!(p.ballots_started(), 1);
@@ -429,7 +466,13 @@ mod tests {
         );
         // Ω flips to us: the poll opens a ballot.
         let (_, actions) = drive(1, 5, |ctx| p.on_timer(ctx, 0, 0, trusts(1)));
-        assert!(actions.iter().any(|a| matches!(a, Action::Send { msg: PaxosMsg::Prepare { .. }, .. })));
+        assert!(actions.iter().any(|a| matches!(
+            a,
+            Action::Send {
+                msg: PaxosMsg::Prepare { .. },
+                ..
+            }
+        )));
     }
 
     #[test]
@@ -440,40 +483,93 @@ mod tests {
         let mut p = PaxosConsensus::new(ProcessId(0), 5, ConsensusConfig::default());
         drive(0, 5, |ctx| p.on_propose(ctx, 42, trusts(0)));
         drive(0, 5, |ctx| {
-            p.on_message(ctx, ProcessId(1), PaxosMsg::Promise { ballot: 5, accepted: Some((2, 77)) }, trusts(0))
+            p.on_message(
+                ctx,
+                ProcessId(1),
+                PaxosMsg::Promise {
+                    ballot: 5,
+                    accepted: Some((2, 77)),
+                },
+                trusts(0),
+            )
         });
         let (_, actions) = drive(0, 5, |ctx| {
-            p.on_message(ctx, ProcessId(2), PaxosMsg::Promise { ballot: 5, accepted: Some((1, 66)) }, trusts(0))
+            p.on_message(
+                ctx,
+                ProcessId(2),
+                PaxosMsg::Promise {
+                    ballot: 5,
+                    accepted: Some((1, 66)),
+                },
+                trusts(0),
+            )
         });
         let accepts: Vec<u64> = actions
             .iter()
             .filter_map(|a| match a {
-                Action::Send { msg: PaxosMsg::Accept { value, .. }, .. } => Some(*value),
+                Action::Send {
+                    msg: PaxosMsg::Accept { value, .. },
+                    ..
+                } => Some(*value),
                 _ => None,
             })
             .collect();
         assert!(!accepts.is_empty(), "majority of promises reached");
-        assert!(accepts.iter().all(|v| *v == 77), "highest accepted ballot's value wins");
+        assert!(
+            accepts.iter().all(|v| *v == 77),
+            "highest accepted ballot's value wins"
+        );
     }
 
     #[test]
     fn acceptor_rejects_below_its_promise() {
         let mut p = PaxosConsensus::new(ProcessId(3), 5, ConsensusConfig::default());
         drive(3, 5, |ctx| p.on_propose(ctx, 1, trusts(0)));
-        drive(3, 5, |ctx| p.on_message(ctx, ProcessId(0), PaxosMsg::Prepare { ballot: 10 }, trusts(0)));
-        let (_, actions) =
-            drive(3, 5, |ctx| p.on_message(ctx, ProcessId(1), PaxosMsg::Prepare { ballot: 6 }, trusts(0)));
+        drive(3, 5, |ctx| {
+            p.on_message(
+                ctx,
+                ProcessId(0),
+                PaxosMsg::Prepare { ballot: 10 },
+                trusts(0),
+            )
+        });
+        let (_, actions) = drive(3, 5, |ctx| {
+            p.on_message(
+                ctx,
+                ProcessId(1),
+                PaxosMsg::Prepare { ballot: 6 },
+                trusts(0),
+            )
+        });
         assert!(actions.iter().any(|a| matches!(
             a,
-            Action::Send { to: ProcessId(1), msg: PaxosMsg::Reject { ballot: 6, promised: 10 } }
+            Action::Send {
+                to: ProcessId(1),
+                msg: PaxosMsg::Reject {
+                    ballot: 6,
+                    promised: 10
+                }
+            }
         )));
         // And an Accept below the promise is rejected too.
         let (_, actions) = drive(3, 5, |ctx| {
-            p.on_message(ctx, ProcessId(1), PaxosMsg::Accept { ballot: 6, value: 9 }, trusts(0))
+            p.on_message(
+                ctx,
+                ProcessId(1),
+                PaxosMsg::Accept {
+                    ballot: 6,
+                    value: 9,
+                },
+                trusts(0),
+            )
         });
-        assert!(actions
-            .iter()
-            .any(|a| matches!(a, Action::Send { msg: PaxosMsg::Reject { .. }, .. })));
+        assert!(actions.iter().any(|a| matches!(
+            a,
+            Action::Send {
+                msg: PaxosMsg::Reject { .. },
+                ..
+            }
+        )));
     }
 
     #[test]
@@ -482,17 +578,31 @@ mod tests {
         drive(0, 5, |ctx| p.on_propose(ctx, 1, trusts(0)));
         let b0 = p.ballot;
         drive(0, 5, |ctx| {
-            p.on_message(ctx, ProcessId(2), PaxosMsg::Reject { ballot: b0, promised: 93 }, trusts(0))
+            p.on_message(
+                ctx,
+                ProcessId(2),
+                PaxosMsg::Reject {
+                    ballot: b0,
+                    promised: 93,
+                },
+                trusts(0),
+            )
         });
         // The poll reopens above the rejecting promise.
         let (_, actions) = drive(0, 5, |ctx| p.on_timer(ctx, 0, 0, trusts(0)));
         let new_ballot = actions
             .iter()
             .find_map(|a| match a {
-                Action::Send { msg: PaxosMsg::Prepare { ballot }, .. } => Some(*ballot),
+                Action::Send {
+                    msg: PaxosMsg::Prepare { ballot },
+                    ..
+                } => Some(*ballot),
                 _ => None,
             })
             .expect("reopened");
-        assert!(new_ballot > 93, "new ballot {new_ballot} must clear the contention at 93");
+        assert!(
+            new_ballot > 93,
+            "new ballot {new_ballot} must clear the contention at 93"
+        );
     }
 }

@@ -108,8 +108,10 @@ fn ec_safety_holds_across_many_chaotic_seeds() {
             SimDuration::from_millis(80),
             0.0, // consensus links must stay reliable
         );
-        let sc = Scenario::failure_free(n, seed, Time::from_millis(250))
-            .with_crash(ProcessId(seed as usize % n), Time::from_millis(10 + seed * 7));
+        let sc = Scenario::failure_free(n, seed, Time::from_millis(250)).with_crash(
+            ProcessId(seed as usize % n),
+            Time::from_millis(10 + seed * 7),
+        );
         let r = run_scenario(netcfg, &sc, ec_node_hb);
         check(&r);
     }
@@ -140,7 +142,10 @@ fn ct_rotates_past_crashed_coordinators() {
     assert!(r.all_decided);
     check(&r);
     let round = r.max_decision_round().unwrap();
-    assert!(round >= 3, "rounds 1-2 had crashed coordinators, got {round}");
+    assert!(
+        round >= 3,
+        "rounds 1-2 had crashed coordinators, got {round}"
+    );
 }
 
 #[test]
@@ -148,7 +153,10 @@ fn ct_safety_across_seeds_with_crashes() {
     for seed in 0..15 {
         let n = 5;
         let sc = Scenario::failure_free(n, seed, Time::from_secs(8))
-            .with_crash(ProcessId((seed as usize) % n), Time::from_millis(5 + seed * 11))
+            .with_crash(
+                ProcessId((seed as usize) % n),
+                Time::from_millis(5 + seed * 11),
+            )
             .with_crash(ProcessId((seed as usize + 2) % n), Time::from_millis(40));
         let r = run_scenario(net(n), &sc, ct_node_hb);
         check(&r);
@@ -193,8 +201,10 @@ fn mr_leader_crash_is_survived() {
 fn mr_safety_across_seeds() {
     for seed in 0..15 {
         let n = 7; // assumed f = 3
-        let sc = Scenario::failure_free(n, seed, Time::from_secs(8))
-            .with_crash(ProcessId((seed as usize) % n), Time::from_millis(8 + seed * 9));
+        let sc = Scenario::failure_free(n, seed, Time::from_secs(8)).with_crash(
+            ProcessId((seed as usize) % n),
+            Time::from_millis(8 + seed * 9),
+        );
         let r = run_scenario(net(n), &sc, mr_node_leader);
         check(&r);
         assert!(r.all_decided, "seed {seed}");
@@ -345,7 +355,10 @@ fn ec_merged_with_real_detector_and_crashes() {
     let r = run_scenario(net(n), &sc, |pid, n| {
         fd_consensus::ConsensusNode::new(
             pid,
-            LeaderByFirstNonSuspected::new(HeartbeatDetector::new(pid, n, HeartbeatConfig::default()), n),
+            LeaderByFirstNonSuspected::new(
+                HeartbeatDetector::new(pid, n, HeartbeatConfig::default()),
+                n,
+            ),
             EcMergedConsensus::new(pid, n, ConsensusConfig::default()),
         )
     });
@@ -357,8 +370,10 @@ fn ec_merged_with_real_detector_and_crashes() {
 fn ec_merged_safety_across_seeds() {
     for seed in 0..15 {
         let n = 5;
-        let sc = Scenario::failure_free(n, seed, Time::from_secs(10))
-            .with_crash(ProcessId((seed as usize) % n), Time::from_millis(5 + seed * 13));
+        let sc = Scenario::failure_free(n, seed, Time::from_secs(10)).with_crash(
+            ProcessId((seed as usize) % n),
+            Time::from_millis(5 + seed * 13),
+        );
         let r = run_scenario(net(n), &sc, |pid, n| {
             fd_consensus::ConsensusNode::new(
                 pid,
@@ -400,7 +415,11 @@ fn a_long_enough_stability_window_suffices() {
         ])
     };
     let r = run_scenario(net(n), &sc, |pid, n| {
-        scripted_node(pid, mk_fd(pid, n), EcConsensus::new(pid, n, ConsensusConfig::default()))
+        scripted_node(
+            pid,
+            mk_fd(pid, n),
+            EcConsensus::new(pid, n, ConsensusConfig::default()),
+        )
     });
     assert!(r.all_decided, "a 250ms stability window must suffice");
     check(&r);
@@ -439,7 +458,13 @@ fn node_rejects_component_namespace_collisions() {
             fd_detectors::ns::CONSENSUS // collides with the protocol
         }
         fn on_start<N: SimMessage>(&mut self, _: &mut SubCtx<'_, '_, N, NoMsg2>) {}
-        fn on_message<N: SimMessage>(&mut self, _: &mut SubCtx<'_, '_, N, NoMsg2>, _: ProcessId, _: NoMsg2) {}
+        fn on_message<N: SimMessage>(
+            &mut self,
+            _: &mut SubCtx<'_, '_, N, NoMsg2>,
+            _: ProcessId,
+            _: NoMsg2,
+        ) {
+        }
         fn on_timer<N: SimMessage>(&mut self, _: &mut SubCtx<'_, '_, N, NoMsg2>, _: u32, _: u64) {}
     }
 
@@ -506,7 +531,10 @@ fn paxos_safety_under_dueling_proposers() {
             )
         });
         check(&r);
-        assert!(r.all_decided, "seed {seed}: Paxos must decide after Ω stabilizes");
+        assert!(
+            r.all_decided,
+            "seed {seed}: Paxos must decide after Ω stabilizes"
+        );
     }
 }
 

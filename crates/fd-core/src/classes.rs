@@ -83,9 +83,9 @@ impl FdClass {
     /// class exposes one (Ω exposes only a trusted process).
     pub fn completeness(self) -> Option<Completeness> {
         match self {
-            FdClass::EventuallyPerfect | FdClass::EventuallyStrong | FdClass::EventuallyConsistent => {
-                Some(Completeness::Strong)
-            }
+            FdClass::EventuallyPerfect
+            | FdClass::EventuallyStrong
+            | FdClass::EventuallyConsistent => Some(Completeness::Strong),
             FdClass::EventuallyQuasiPerfect | FdClass::EventuallyWeak => Some(Completeness::Weak),
             FdClass::Omega => None,
         }
@@ -94,7 +94,9 @@ impl FdClass {
     /// The accuracy property of this class's suspect output, if any.
     pub fn accuracy(self) -> Option<Accuracy> {
         match self {
-            FdClass::EventuallyPerfect | FdClass::EventuallyQuasiPerfect => Some(Accuracy::EventualStrong),
+            FdClass::EventuallyPerfect | FdClass::EventuallyQuasiPerfect => {
+                Some(Accuracy::EventualStrong)
+            }
             FdClass::EventuallyStrong | FdClass::EventuallyWeak | FdClass::EventuallyConsistent => {
                 Some(Accuracy::EventualWeak)
             }
@@ -133,7 +135,8 @@ impl FdClass {
             // {◇P, ◇Q} (eventual strong accuracy) on top, and
             // {◇S, ◇W, Ω, ◇C} (all inter-reducible) below.
             SystemModel::Asynchronous => {
-                let strong_acc = |c: FdClass| matches!(c, EventuallyPerfect | EventuallyQuasiPerfect);
+                let strong_acc =
+                    |c: FdClass| matches!(c, EventuallyPerfect | EventuallyQuasiPerfect);
                 if strong_acc(from) {
                     true
                 } else {
@@ -182,8 +185,14 @@ mod tests {
     fn fig1_grid() {
         assert_eq!(EventuallyPerfect.completeness(), Some(Completeness::Strong));
         assert_eq!(EventuallyPerfect.accuracy(), Some(Accuracy::EventualStrong));
-        assert_eq!(EventuallyQuasiPerfect.completeness(), Some(Completeness::Weak));
-        assert_eq!(EventuallyQuasiPerfect.accuracy(), Some(Accuracy::EventualStrong));
+        assert_eq!(
+            EventuallyQuasiPerfect.completeness(),
+            Some(Completeness::Weak)
+        );
+        assert_eq!(
+            EventuallyQuasiPerfect.accuracy(),
+            Some(Accuracy::EventualStrong)
+        );
         assert_eq!(EventuallyStrong.completeness(), Some(Completeness::Strong));
         assert_eq!(EventuallyStrong.accuracy(), Some(Accuracy::EventualWeak));
         assert_eq!(EventuallyWeak.completeness(), Some(Completeness::Weak));
@@ -192,7 +201,10 @@ mod tests {
 
     #[test]
     fn ec_combines_es_and_omega() {
-        assert_eq!(EventuallyConsistent.completeness(), EventuallyStrong.completeness());
+        assert_eq!(
+            EventuallyConsistent.completeness(),
+            EventuallyStrong.completeness()
+        );
         assert_eq!(EventuallyConsistent.accuracy(), EventuallyStrong.accuracy());
         assert!(EventuallyConsistent.has_leader());
         assert!(Omega.has_leader());
@@ -202,7 +214,12 @@ mod tests {
 
     #[test]
     fn async_reducibility_lower_rung_is_an_equivalence() {
-        let lower = [EventuallyStrong, EventuallyWeak, Omega, EventuallyConsistent];
+        let lower = [
+            EventuallyStrong,
+            EventuallyWeak,
+            Omega,
+            EventuallyConsistent,
+        ];
         for a in lower {
             for b in lower {
                 assert!(a.implementable_from(b, Asynchronous), "{a} from {b}");
@@ -212,7 +229,12 @@ mod tests {
 
     #[test]
     fn async_upper_rung_not_reachable_from_below() {
-        for weak in [EventuallyStrong, EventuallyWeak, Omega, EventuallyConsistent] {
+        for weak in [
+            EventuallyStrong,
+            EventuallyWeak,
+            Omega,
+            EventuallyConsistent,
+        ] {
             assert!(!EventuallyPerfect.implementable_from(weak, Asynchronous));
             assert!(!EventuallyQuasiPerfect.implementable_from(weak, Asynchronous));
         }

@@ -13,7 +13,9 @@
 //! [`Standalone`]) and composed (via a hand-written host actor that
 //! matches on its message enum).
 
-use fd_sim::{Actor, Context, Payload, ProcessId, SimDuration, SimMessage, Time, TimerId, TimerTag};
+use fd_sim::{
+    Actor, Context, Payload, ProcessId, SimDuration, SimMessage, Time, TimerId, TimerTag,
+};
 use rand::rngs::SmallRng;
 
 /// A component-scoped view of the kernel context.
@@ -87,7 +89,8 @@ impl<'a, 'w, N, C> SubCtx<'a, 'w, N, C> {
 
     /// Arm a timer in this component's namespace.
     pub fn set_timer(&mut self, after: SimDuration, kind: u32, data: u64) -> TimerId {
-        self.inner.set_timer(after, TimerTag::new(self.ns, kind, data))
+        self.inner
+            .set_timer(after, TimerTag::new(self.ns, kind, data))
     }
 
     /// Cancel a previously armed timer.
@@ -153,18 +156,27 @@ impl<C: Component> Actor for Standalone<C> {
 
     fn on_start(&mut self, ctx: &mut Context<'_, Self::Msg>) {
         let ns = self.0.ns();
-        self.0.on_start(&mut SubCtx::new(ctx, &std::convert::identity, ns));
+        self.0
+            .on_start(&mut SubCtx::new(ctx, &std::convert::identity, ns));
     }
 
     fn on_message(&mut self, ctx: &mut Context<'_, Self::Msg>, from: ProcessId, msg: Self::Msg) {
         let ns = self.0.ns();
-        self.0.on_message(&mut SubCtx::new(ctx, &std::convert::identity, ns), from, msg);
+        self.0.on_message(
+            &mut SubCtx::new(ctx, &std::convert::identity, ns),
+            from,
+            msg,
+        );
     }
 
     fn on_timer(&mut self, ctx: &mut Context<'_, Self::Msg>, tag: TimerTag) {
         let ns = self.0.ns();
         debug_assert_eq!(tag.ns, ns, "timer delivered to the wrong component");
-        self.0.on_timer(&mut SubCtx::new(ctx, &std::convert::identity, ns), tag.kind, tag.data);
+        self.0.on_timer(
+            &mut SubCtx::new(ctx, &std::convert::identity, ns),
+            tag.kind,
+            tag.data,
+        );
     }
 }
 
@@ -208,10 +220,20 @@ mod tests {
         fn on_start<N: SimMessage>(&mut self, ctx: &mut SubCtx<'_, '_, N, Tick>) {
             ctx.set_timer(self.period, 0, 0);
         }
-        fn on_message<N: SimMessage>(&mut self, _: &mut SubCtx<'_, '_, N, Tick>, _: ProcessId, m: Tick) {
+        fn on_message<N: SimMessage>(
+            &mut self,
+            _: &mut SubCtx<'_, '_, N, Tick>,
+            _: ProcessId,
+            m: Tick,
+        ) {
             self.heard += m.0;
         }
-        fn on_timer<N: SimMessage>(&mut self, ctx: &mut SubCtx<'_, '_, N, Tick>, kind: u32, _: u64) {
+        fn on_timer<N: SimMessage>(
+            &mut self,
+            ctx: &mut SubCtx<'_, '_, N, Tick>,
+            kind: u32,
+            _: u64,
+        ) {
             assert_eq!(kind, 0);
             ctx.send_to_others(Tick(1));
             ctx.set_timer(self.period, 0, 0);
@@ -222,7 +244,12 @@ mod tests {
     fn standalone_component_runs_as_actor() {
         let mut w = WorldBuilder::new(NetworkConfig::new(3))
             .seed(5)
-            .build(|_, _| Standalone(Gossip { period: SimDuration::from_millis(10), heard: 0 }));
+            .build(|_, _| {
+                Standalone(Gossip {
+                    period: SimDuration::from_millis(10),
+                    heard: 0,
+                })
+            });
         w.run_until_time(Time::from_millis(100));
         for i in 0..3 {
             let heard = w.actor(ProcessId(i)).heard;
@@ -234,8 +261,12 @@ mod tests {
     fn timers_carry_component_namespace() {
         // Indirectly covered by the debug_assert in Standalone::on_timer;
         // run long enough that timers fire.
-        let mut w = WorldBuilder::new(NetworkConfig::new(2))
-            .build(|_, _| Standalone(Gossip { period: SimDuration::from_millis(1), heard: 0 }));
+        let mut w = WorldBuilder::new(NetworkConfig::new(2)).build(|_, _| {
+            Standalone(Gossip {
+                period: SimDuration::from_millis(1),
+                heard: 0,
+            })
+        });
         w.run_until_time(Time::from_millis(5));
         assert!(w.metrics().sent_of_kind("tick") > 0);
     }

@@ -35,7 +35,10 @@ pub trait LeaderOracle {
 pub trait EventuallyConsistentOracle: SuspectOracle + LeaderOracle {
     /// Snapshot both outputs.
     fn output(&self) -> FdOutput {
-        FdOutput { suspected: self.suspected(), trusted: Some(self.trusted()) }
+        FdOutput {
+            suspected: self.suspected(),
+            trusted: Some(self.trusted()),
+        }
     }
 }
 
@@ -110,7 +113,10 @@ mod tests {
 
     #[test]
     fn blanket_ec_oracle() {
-        let f = Fake { s: ProcessSet::singleton(ProcessId(2)), t: ProcessId(0) };
+        let f = Fake {
+            s: ProcessSet::singleton(ProcessId(2)),
+            t: ProcessId(0),
+        };
         let out = f.output();
         assert_eq!(out.trusted, Some(ProcessId(0)));
         assert!(out.suspected.contains(ProcessId(2)));
@@ -121,13 +127,19 @@ mod tests {
 
     #[test]
     fn inconsistent_snapshot_detected() {
-        let f = Fake { s: ProcessSet::singleton(ProcessId(0)), t: ProcessId(0) };
+        let f = Fake {
+            s: ProcessSet::singleton(ProcessId(0)),
+            t: ProcessId(0),
+        };
         assert!(!f.output().is_consistent());
     }
 
     #[test]
     fn leaderless_snapshot_is_vacuously_consistent() {
-        let out = FdOutput { suspected: ProcessSet::singleton(ProcessId(1)), trusted: None };
+        let out = FdOutput {
+            suspected: ProcessSet::singleton(ProcessId(1)),
+            trusted: None,
+        };
         assert!(out.is_consistent());
     }
 }

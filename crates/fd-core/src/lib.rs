@@ -27,14 +27,16 @@ pub use detector::{
     obs, observe_suspects, observe_trusted, EventuallyConsistentOracle, FdOutput, LeaderOracle,
     SuspectOracle,
 };
-pub use properties::{CheckResult, ConsensusRun, FdRun, Violation};
+pub use properties::{run_named_check, CheckResult, ConsensusRun, FdRun, Violation, NAMED_CHECKS};
 pub use set::{ProcessSet, MAX_PROCESSES};
 
 /// Convenient glob-import for downstream crates and examples.
 pub mod prelude {
     pub use crate::classes::{FdClass, SystemModel};
     pub use crate::component::{Component, Standalone, SubCtx};
-    pub use crate::detector::{obs, EventuallyConsistentOracle, FdOutput, LeaderOracle, SuspectOracle};
+    pub use crate::detector::{
+        obs, EventuallyConsistentOracle, FdOutput, LeaderOracle, SuspectOracle,
+    };
     pub use crate::properties::{ConsensusRun, FdRun, Violation};
     pub use crate::set::ProcessSet;
 }

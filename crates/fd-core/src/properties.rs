@@ -29,7 +29,10 @@ pub struct Violation {
 
 impl Violation {
     fn new(property: &'static str, detail: impl Into<String>) -> Violation {
-        Violation { property, detail: detail.into() }
+        Violation {
+            property,
+            detail: detail.into(),
+        }
     }
 }
 
@@ -79,7 +82,13 @@ impl<'a> FdRun<'a> {
     /// Observations are read from the default [`obs::SUSPECTS`] /
     /// [`obs::TRUSTED`] tags.
     pub fn new(trace: &'a Trace, n: usize, end: Time) -> FdRun<'a> {
-        FdRun { trace, n, end, suspects_tag: obs::SUSPECTS, trusted_tag: obs::TRUSTED }
+        FdRun {
+            trace,
+            n,
+            end,
+            suspects_tag: obs::SUSPECTS,
+            trusted_tag: obs::TRUSTED,
+        }
     }
 
     /// Read suspect sets from a custom observation tag instead — used when
@@ -142,7 +151,9 @@ impl<'a> FdRun<'a> {
 
     /// `p`'s final trusted process, if it ever emitted one.
     pub fn final_trusted(&self, p: ProcessId) -> Option<ProcessId> {
-        self.trace.last_observation_of(p, self.trusted_tag).and_then(|(_, pl)| pl.as_pid())
+        self.trace
+            .last_observation_of(p, self.trusted_tag)
+            .and_then(|(_, pl)| pl.as_pid())
     }
 
     /// The time of the last failure-detector output change at any correct
@@ -169,11 +180,17 @@ impl<'a> FdRun<'a> {
     /// with real slack, not just at the last instant.
     pub fn check_stable_margin(&self, margin: fd_sim::SimDuration) -> CheckResult {
         match self.stabilization_time() {
-            None => Err(Violation::new("stability-margin", "no detector output was ever observed")),
+            None => Err(Violation::new(
+                "stability-margin",
+                "no detector output was ever observed",
+            )),
             Some(t) if t + margin <= self.end => Ok(()),
             Some(t) => Err(Violation::new(
                 "stability-margin",
-                format!("last output change at {t}, horizon {}, margin {margin} not met", self.end),
+                format!(
+                    "last output change at {t}, horizon {}, margin {margin} not met",
+                    self.end
+                ),
             )),
         }
     }
@@ -275,11 +292,17 @@ impl<'a> FdRun<'a> {
                 if correct.is_empty() {
                     Ok(())
                 } else {
-                    Err(Violation::new("omega", "no trusted process was ever observed"))
+                    Err(Violation::new(
+                        "omega",
+                        "no trusted process was ever observed",
+                    ))
                 }
             }
             Some(l) if correct.contains(l) => Ok(()),
-            Some(l) => Err(Violation::new("omega", format!("agreed leader {l} is crashed"))),
+            Some(l) => Err(Violation::new(
+                "omega",
+                format!("agreed leader {l} is crashed"),
+            )),
         }
     }
 
@@ -413,7 +436,10 @@ impl<'a> ConsensusRun<'a> {
 
     /// The decision of `p`, if it decided.
     pub fn decision_of(&self, p: ProcessId) -> Option<(u64, u64)> {
-        self.decisions().into_iter().find(|(q, _, _, _)| *q == p).map(|(_, _, v, r)| (v, r))
+        self.decisions()
+            .into_iter()
+            .find(|(q, _, _, _)| *q == p)
+            .map(|(_, _, v, r)| (v, r))
     }
 
     /// Largest round in which any process decided.
@@ -462,7 +488,10 @@ impl<'a> ConsensusRun<'a> {
         let mut seen = ProcessSet::new();
         for (p, _, _, _) in self.decisions() {
             if !seen.insert(p) {
-                return Err(Violation::new("integrity", format!("{p} decided more than once")));
+                return Err(Violation::new(
+                    "integrity",
+                    format!("{p} decided more than once"),
+                ));
             }
         }
         Ok(())
@@ -474,7 +503,10 @@ impl<'a> ConsensusRun<'a> {
         let deciders: ProcessSet = self.decisions().iter().map(|(p, _, _, _)| *p).collect();
         for p in all_processes(self.n) {
             if !crashed.contains(p) && !deciders.contains(p) {
-                return Err(Violation::new("termination", format!("correct {p} never decided")));
+                return Err(Violation::new(
+                    "termination",
+                    format!("correct {p} never decided"),
+                ));
             }
         }
         Ok(())
@@ -498,17 +530,72 @@ impl<'a> ConsensusRun<'a> {
     }
 }
 
+/// Every named check understood by [`run_named_check`]. Campaign repro
+/// artifacts refer to violated properties by these strings, so replay can
+/// re-run exactly the check that failed.
+pub const NAMED_CHECKS: &[&str] = &[
+    "fd.strong_completeness",
+    "fd.weak_completeness",
+    "fd.eventual_strong_accuracy",
+    "fd.eventual_weak_accuracy",
+    "fd.omega",
+    "fd.trusted_not_suspected",
+    "fd.eventually_consistent",
+    "consensus.agreement",
+    "consensus.validity",
+    "consensus.integrity",
+    "consensus.termination",
+    "consensus.safety",
+    "consensus.all",
+];
+
+/// Run one trace check by its stable name (see [`NAMED_CHECKS`]).
+/// Returns `None` for an unknown name. `end` bounds the run for the
+/// FD-style checks (consensus checks ignore it).
+pub fn run_named_check(name: &str, trace: &Trace, n: usize, end: Time) -> Option<CheckResult> {
+    let fd = FdRun::new(trace, n, end);
+    let cons = ConsensusRun::new(trace, n);
+    Some(match name {
+        "fd.strong_completeness" => fd.check_strong_completeness(),
+        "fd.weak_completeness" => fd.check_weak_completeness(),
+        "fd.eventual_strong_accuracy" => fd.check_eventual_strong_accuracy(),
+        "fd.eventual_weak_accuracy" => fd.check_eventual_weak_accuracy(),
+        "fd.omega" => fd.check_omega(),
+        "fd.trusted_not_suspected" => fd.check_trusted_not_suspected(),
+        "fd.eventually_consistent" => fd.check_eventually_consistent(),
+        "consensus.agreement" => cons.check_uniform_agreement(),
+        "consensus.validity" => cons.check_validity(),
+        "consensus.integrity" => cons.check_integrity(),
+        "consensus.termination" => cons.check_termination(),
+        "consensus.safety" => cons.check_safety(),
+        "consensus.all" => cons.check_all(),
+        _ => return None,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use fd_sim::{Payload, TraceEvent, TraceKind};
 
     fn obs_ev(at: u64, pid: usize, tag: &'static str, payload: Payload) -> TraceEvent {
-        TraceEvent { at: Time(at), kind: TraceKind::Observation { pid: ProcessId(pid), tag, payload } }
+        TraceEvent {
+            at: Time(at),
+            kind: TraceKind::Observation {
+                pid: ProcessId(pid),
+                tag,
+                payload,
+            },
+        }
     }
 
     fn crash_ev(at: u64, pid: usize) -> TraceEvent {
-        TraceEvent { at: Time(at), kind: TraceKind::Crashed { pid: ProcessId(pid) } }
+        TraceEvent {
+            at: Time(at),
+            kind: TraceKind::Crashed {
+                pid: ProcessId(pid),
+            },
+        }
     }
 
     fn pids(ids: &[usize]) -> Payload {
@@ -594,9 +681,12 @@ mod tests {
             crash_ev(1, 1),
             obs_ev(5, 0, obs::TRUSTED, Payload::Pid(ProcessId(1))),
         ]);
-        assert!(FdRun::new(&crashed_leader, 2, Time(10)).check_omega().is_err());
+        assert!(FdRun::new(&crashed_leader, 2, Time(10))
+            .check_omega()
+            .is_err());
 
-        let silent = Trace::from_events(vec![obs_ev(5, 0, obs::TRUSTED, Payload::Pid(ProcessId(0)))]);
+        let silent =
+            Trace::from_events(vec![obs_ev(5, 0, obs::TRUSTED, Payload::Pid(ProcessId(0)))]);
         assert!(FdRun::new(&silent, 2, Time(10)).check_omega().is_err());
     }
 
@@ -606,7 +696,9 @@ mod tests {
             obs_ev(5, 0, obs::TRUSTED, Payload::Pid(ProcessId(1))),
             obs_ev(6, 0, obs::SUSPECTS, pids(&[1])),
         ]);
-        assert!(FdRun::new(&tr, 2, Time(10)).check_trusted_not_suspected().is_err());
+        assert!(FdRun::new(&tr, 2, Time(10))
+            .check_trusted_not_suspected()
+            .is_err());
     }
 
     fn consensus_trace(decisions: &[(usize, u64, u64)]) -> Trace {
@@ -678,13 +770,25 @@ mod analytics_tests {
     use fd_sim::{Payload, SimDuration, TraceEvent, TraceKind};
 
     fn obs_ev(at: u64, pid: usize, tag: &'static str, payload: Payload) -> TraceEvent {
-        TraceEvent { at: Time(at), kind: TraceKind::Observation { pid: ProcessId(pid), tag, payload } }
+        TraceEvent {
+            at: Time(at),
+            kind: TraceKind::Observation {
+                pid: ProcessId(pid),
+                tag,
+                payload,
+            },
+        }
     }
     fn pids(ids: &[usize]) -> Payload {
         Payload::Pids(ids.iter().map(|&i| ProcessId(i)).collect())
     }
     fn crash_ev(at: u64, pid: usize) -> TraceEvent {
-        TraceEvent { at: Time(at), kind: TraceKind::Crashed { pid: ProcessId(pid) } }
+        TraceEvent {
+            at: Time(at),
+            kind: TraceKind::Crashed {
+                pid: ProcessId(pid),
+            },
+        }
     }
 
     #[test]
@@ -760,6 +864,9 @@ mod analytics_tests {
             obs_ev(5, 0, obs::SUSPECTS, pids(&[1])),
         ]);
         let run = FdRun::new(&tr, 2, Time(100)).with_suspects_tag("custom.suspects");
-        assert_eq!(run.first_suspicion_of(ProcessId(0), ProcessId(1)), Some(Time(10)));
+        assert_eq!(
+            run.first_suspicion_of(ProcessId(0), ProcessId(1)),
+            Some(Time(10))
+        );
     }
 }

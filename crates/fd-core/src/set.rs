@@ -40,11 +40,16 @@ impl ProcessSet {
 
     /// The set `{p_0, …, p_{n-1}}` of all processes in an `n`-process system.
     pub fn full(n: usize) -> ProcessSet {
-        assert!(n <= MAX_PROCESSES, "at most {MAX_PROCESSES} processes supported");
+        assert!(
+            n <= MAX_PROCESSES,
+            "at most {MAX_PROCESSES} processes supported"
+        );
         if n == MAX_PROCESSES {
             ProcessSet { bits: u128::MAX }
         } else {
-            ProcessSet { bits: (1u128 << n) - 1 }
+            ProcessSet {
+                bits: (1u128 << n) - 1,
+            }
         }
     }
 
@@ -122,7 +127,9 @@ impl ProcessSet {
 
     /// The complement within an `n`-process system.
     pub fn complement(&self, n: usize) -> ProcessSet {
-        ProcessSet { bits: !self.bits & ProcessSet::full(n).bits }
+        ProcessSet {
+            bits: !self.bits & ProcessSet::full(n).bits,
+        }
     }
 
     /// Members as a sorted `Vec` (for trace payloads).
@@ -134,21 +141,27 @@ impl ProcessSet {
 impl BitOr for ProcessSet {
     type Output = ProcessSet;
     fn bitor(self, rhs: ProcessSet) -> ProcessSet {
-        ProcessSet { bits: self.bits | rhs.bits }
+        ProcessSet {
+            bits: self.bits | rhs.bits,
+        }
     }
 }
 
 impl BitAnd for ProcessSet {
     type Output = ProcessSet;
     fn bitand(self, rhs: ProcessSet) -> ProcessSet {
-        ProcessSet { bits: self.bits & rhs.bits }
+        ProcessSet {
+            bits: self.bits & rhs.bits,
+        }
     }
 }
 
 impl Sub for ProcessSet {
     type Output = ProcessSet;
     fn sub(self, rhs: ProcessSet) -> ProcessSet {
-        ProcessSet { bits: self.bits & !rhs.bits }
+        ProcessSet {
+            bits: self.bits & !rhs.bits,
+        }
     }
 }
 

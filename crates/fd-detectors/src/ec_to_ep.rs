@@ -304,7 +304,11 @@ pub struct EcToEpNode<D: Component> {
 impl<D: Component + LeaderOracle> EcToEpNode<D> {
     /// Build the node from its two modules.
     pub fn new(fd: D, ep: EcToEp) -> Self {
-        assert_ne!(fd.ns(), ep.ns(), "components must own distinct timer namespaces");
+        assert_ne!(
+            fd.ns(),
+            ep.ns(),
+            "components must own distinct timer namespaces"
+        );
         EcToEpNode { fd, ep }
     }
 }
@@ -330,30 +334,42 @@ impl<D: Component + LeaderOracle> Actor for EcToEpNode<D> {
         self.fd.on_start(&mut SubCtx::new(ctx, &StackMsg::Fd, ns));
         let leader = self.fd.trusted();
         let ns = self.ep.ns();
-        self.ep.on_start(&mut SubCtx::new(ctx, &StackMsg::Ep, ns), leader);
+        self.ep
+            .on_start(&mut SubCtx::new(ctx, &StackMsg::Ep, ns), leader);
     }
 
     fn on_message(&mut self, ctx: &mut Context<'_, Self::Msg>, from: ProcessId, msg: Self::Msg) {
         match msg {
             StackMsg::Fd(m) => {
                 let ns = self.fd.ns();
-                self.fd.on_message(&mut SubCtx::new(ctx, &StackMsg::Fd, ns), from, m);
+                self.fd
+                    .on_message(&mut SubCtx::new(ctx, &StackMsg::Fd, ns), from, m);
             }
             StackMsg::Ep(m) => {
                 let leader = self.fd.trusted();
                 let ns = self.ep.ns();
-                self.ep.on_message(&mut SubCtx::new(ctx, &StackMsg::Ep, ns), from, m, leader);
+                self.ep
+                    .on_message(&mut SubCtx::new(ctx, &StackMsg::Ep, ns), from, m, leader);
             }
         }
     }
 
     fn on_timer(&mut self, ctx: &mut Context<'_, Self::Msg>, tag: TimerTag) {
         if tag.ns == self.fd.ns() {
-            self.fd.on_timer(&mut SubCtx::new(ctx, &StackMsg::Fd, tag.ns), tag.kind, tag.data);
+            self.fd.on_timer(
+                &mut SubCtx::new(ctx, &StackMsg::Fd, tag.ns),
+                tag.kind,
+                tag.data,
+            );
         } else {
             debug_assert_eq!(tag.ns, self.ep.ns());
             let leader = self.fd.trusted();
-            self.ep.on_timer(&mut SubCtx::new(ctx, &StackMsg::Ep, tag.ns), tag.kind, tag.data, leader);
+            self.ep.on_timer(
+                &mut SubCtx::new(ctx, &StackMsg::Ep, tag.ns),
+                tag.kind,
+                tag.data,
+                leader,
+            );
         }
     }
 }
@@ -393,7 +409,11 @@ mod tests {
             )
             .with_links_out_of(
                 leader,
-                LinkModel::fair_lossy(SimDuration::from_millis(1), SimDuration::from_millis(4), out_drop),
+                LinkModel::fair_lossy(
+                    SimDuration::from_millis(1),
+                    SimDuration::from_millis(4),
+                    out_drop,
+                ),
             )
     }
 
@@ -473,13 +493,17 @@ mod tests {
         w.run_until_time(Time::from_secs(6));
         let mistakes_6s = w.actor(ProcessId(0)).ep.mistakes();
         // After GST (200ms) + timeout growth, no new mistakes accumulate.
-        assert_eq!(mistakes_2s, mistakes_6s, "mistakes kept growing after stabilization");
+        assert_eq!(
+            mistakes_2s, mistakes_6s,
+            "mistakes kept growing after stabilization"
+        );
     }
 
     #[test]
     fn steady_state_message_cost_is_2_n_minus_1_per_period() {
         let n = 6;
-        let net = NetworkConfig::new(n).with_default(LinkModel::reliable_const(SimDuration::from_millis(2)));
+        let net = NetworkConfig::new(n)
+            .with_default(LinkModel::reliable_const(SimDuration::from_millis(2)));
         let mut w = WorldBuilder::new(net).seed(56).build(build_node);
         // Let it stabilize first, then measure a window.
         w.run_until_time(Time::from_millis(500));
@@ -519,10 +543,20 @@ mod tests {
                 _: Self::Msg,
             ) {
             }
-            fn on_timer<N: SimMessage>(&mut self, _: &mut SubCtx<'_, '_, N, Self::Msg>, _: u32, _: u64) {}
+            fn on_timer<N: SimMessage>(
+                &mut self,
+                _: &mut SubCtx<'_, '_, N, Self::Msg>,
+                _: u32,
+                _: u64,
+            ) {
+            }
         }
         let _ = EcToEpNode::new(
-            BadNs(LeaderDetector::new(ProcessId(0), 3, LeaderConfig::default())),
+            BadNs(LeaderDetector::new(
+                ProcessId(0),
+                3,
+                LeaderConfig::default(),
+            )),
             EcToEp::new(ProcessId(0), 3, EcToEpConfig::default()),
         );
     }

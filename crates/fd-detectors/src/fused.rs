@@ -260,7 +260,8 @@ impl Component for FusedDetector {
                         let q = ProcessId(i);
                         if q != self.me
                             && !self.local_list.contains(q)
-                            && now.since(self.peer_last_heard[q.index()]) > self.peer_timeouts.get(q)
+                            && now.since(self.peer_last_heard[q.index()])
+                                > self.peer_timeouts.get(q)
                         {
                             self.local_list.insert(q);
                         }
@@ -294,7 +295,8 @@ mod tests {
         for &(pid, at) in crashes {
             b = b.crash_at(ProcessId(pid), Time::from_millis(at));
         }
-        let mut w = b.build(|pid, n| Standalone(FusedDetector::new(pid, n, FusedConfig::default())));
+        let mut w =
+            b.build(|pid, n| Standalone(FusedDetector::new(pid, n, FusedConfig::default())));
         let end = Time::from_millis(horizon_ms);
         w.run_until_time(end);
         let (trace, metrics) = w.into_results();
@@ -330,7 +332,8 @@ mod tests {
     #[test]
     fn cost_is_two_n_minus_one_per_period() {
         let n = 8;
-        let net = NetworkConfig::new(n).with_default(LinkModel::reliable_const(SimDuration::from_millis(2)));
+        let net = NetworkConfig::new(n)
+            .with_default(LinkModel::reliable_const(SimDuration::from_millis(2)));
         let mut w = WorldBuilder::new(net)
             .seed(63)
             .build(|pid, n| Standalone(FusedDetector::new(pid, n, FusedConfig::default())));

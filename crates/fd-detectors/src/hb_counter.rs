@@ -38,7 +38,9 @@ pub struct HbCounterConfig {
 
 impl Default for HbCounterConfig {
     fn default() -> Self {
-        HbCounterConfig { period: SimDuration::from_millis(10) }
+        HbCounterConfig {
+            period: SimDuration::from_millis(10),
+        }
     }
 }
 
@@ -64,7 +66,10 @@ pub struct HeartbeatCounter {
 impl HeartbeatCounter {
     /// Create the detector for one process of `n`.
     pub fn new(n: usize, cfg: HbCounterConfig) -> HeartbeatCounter {
-        HeartbeatCounter { cfg, counters: vec![0; n] }
+        HeartbeatCounter {
+            cfg,
+            counters: vec![0; n],
+        }
     }
 
     /// The current counter vector (`HB_p` in \[1\]).
@@ -194,11 +199,19 @@ impl QuiescentChannel {
         self.delivered.drain(..).collect()
     }
 
-    fn transmit<N: SimMessage>(&mut self, ctx: &mut SubCtx<'_, '_, N, QcMsg>, idx: usize, hb: &[u64]) {
+    fn transmit<N: SimMessage>(
+        &mut self,
+        ctx: &mut SubCtx<'_, '_, N, QcMsg>,
+        idx: usize,
+        hb: &[u64],
+    ) {
         let p = &mut self.pending[idx];
         p.sent_at_hb = hb[p.to.index()];
         *self.transmissions.entry((p.to, p.seq)).or_default() += 1;
-        let msg = QcMsg::Data { seq: p.seq, payload: p.payload };
+        let msg = QcMsg::Data {
+            seq: p.seq,
+            payload: p.payload,
+        };
         let to = p.to;
         ctx.send(to, msg);
     }
@@ -213,7 +226,12 @@ impl QuiescentChannel {
     ) -> u64 {
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.pending.push(Pending { to, seq, payload, sent_at_hb: 0 });
+        self.pending.push(Pending {
+            to,
+            seq,
+            payload,
+            sent_at_hb: 0,
+        });
         let idx = self.pending.len() - 1;
         self.transmit(ctx, idx, hb);
         seq
@@ -296,14 +314,18 @@ pub struct QuiescentNode {
 impl QuiescentNode {
     /// Build the node for one process of `n`.
     pub fn new(n: usize, cfg: HbCounterConfig) -> QuiescentNode {
-        QuiescentNode { hb: HeartbeatCounter::new(n, cfg.clone()), qc: QuiescentChannel::new(cfg) }
+        QuiescentNode {
+            hb: HeartbeatCounter::new(n, cfg.clone()),
+            qc: QuiescentChannel::new(cfg),
+        }
     }
 
     /// Reliably send `payload` to `to` (callable via `World::interact`).
     pub fn send(&mut self, ctx: &mut Context<'_, QcNodeMsg>, to: ProcessId, payload: u64) -> u64 {
         let ns = self.qc.ns();
         let hb = self.hb.counters().to_vec();
-        self.qc.send(&mut SubCtx::new(ctx, &QcNodeMsg::Qc, ns), to, payload, &hb)
+        self.qc
+            .send(&mut SubCtx::new(ctx, &QcNodeMsg::Qc, ns), to, payload, &hb)
     }
 }
 
@@ -321,22 +343,33 @@ impl Actor for QuiescentNode {
         match msg {
             QcNodeMsg::Hb(m) => {
                 let ns = self.hb.ns();
-                self.hb.on_message(&mut SubCtx::new(ctx, &QcNodeMsg::Hb, ns), from, m);
+                self.hb
+                    .on_message(&mut SubCtx::new(ctx, &QcNodeMsg::Hb, ns), from, m);
             }
             QcNodeMsg::Qc(m) => {
                 let ns = self.qc.ns();
-                self.qc.on_message(&mut SubCtx::new(ctx, &QcNodeMsg::Qc, ns), from, m);
+                self.qc
+                    .on_message(&mut SubCtx::new(ctx, &QcNodeMsg::Qc, ns), from, m);
             }
         }
     }
 
     fn on_timer(&mut self, ctx: &mut Context<'_, QcNodeMsg>, tag: TimerTag) {
         if tag.ns == self.hb.ns() {
-            self.hb.on_timer(&mut SubCtx::new(ctx, &QcNodeMsg::Hb, tag.ns), tag.kind, tag.data);
+            self.hb.on_timer(
+                &mut SubCtx::new(ctx, &QcNodeMsg::Hb, tag.ns),
+                tag.kind,
+                tag.data,
+            );
         } else {
             debug_assert_eq!(tag.ns, self.qc.ns());
             let hb = self.hb.counters().to_vec();
-            self.qc.on_timer(&mut SubCtx::new(ctx, &QcNodeMsg::Qc, tag.ns), tag.kind, tag.data, &hb);
+            self.qc.on_timer(
+                &mut SubCtx::new(ctx, &QcNodeMsg::Qc, tag.ns),
+                tag.kind,
+                tag.data,
+                &hb,
+            );
         }
     }
 }
@@ -389,7 +422,10 @@ mod tests {
         });
         let got = w.run_until(Time::from_secs(30), |w| {
             // Peek receiver state through the trace-free accessor.
-            w.actor(ProcessId(1)).qc.received.contains(&(ProcessId(0), 0))
+            w.actor(ProcessId(1))
+                .qc
+                .received
+                .contains(&(ProcessId(0), 0))
         });
         assert!(got, "payload must be delivered despite 70% loss");
         // Exactly-once delivery even though Data was retransmitted.
@@ -427,7 +463,11 @@ mod tests {
         w.run_until_time(Time::from_secs(6));
         let tx_at_6s = w.actor(ProcessId(0)).qc.transmissions(ProcessId(1), 0);
         assert_eq!(tx_at_2s, tx_at_6s, "retransmissions must stop (quiescence)");
-        assert_eq!(w.actor(ProcessId(0)).qc.pending_len(), 1, "still unacked, but silent");
+        assert_eq!(
+            w.actor(ProcessId(0)).qc.pending_len(),
+            1,
+            "still unacked, but silent"
+        );
     }
 
     #[test]
@@ -443,10 +483,17 @@ mod tests {
                 node.send(ctx, ProcessId(1), 100 + k);
             });
         }
-        let emptied = w.run_until(Time::from_secs(30), |w| w.actor(ProcessId(0)).qc.pending_len() == 0);
+        let emptied = w.run_until(Time::from_secs(30), |w| {
+            w.actor(ProcessId(0)).qc.pending_len() == 0
+        });
         assert!(emptied, "all five messages must eventually be acked");
-        let mut payloads: Vec<u64> =
-            w.actor(ProcessId(1)).qc.delivered.iter().map(|(_, _, v)| *v).collect();
+        let mut payloads: Vec<u64> = w
+            .actor(ProcessId(1))
+            .qc
+            .delivered
+            .iter()
+            .map(|(_, _, v)| *v)
+            .collect();
         payloads.sort_unstable();
         assert_eq!(payloads, vec![100, 101, 102, 103, 104]);
     }

@@ -234,7 +234,8 @@ mod tests {
         let (trace, end) = run_world(5, &[(2, 100), (4, 150)], 800, 12);
         let run = FdRun::new(&trace, 5, end);
         run.check_class(FdClass::EventuallyPerfect).unwrap();
-        run.check_stable_margin(SimDuration::from_millis(300)).unwrap();
+        run.check_stable_margin(SimDuration::from_millis(300))
+            .unwrap();
         // Exactly the crashed processes are suspected.
         let crashed: ProcessSet = [ProcessId(2), ProcessId(4)].into_iter().collect();
         for p in [0usize, 1, 3] {

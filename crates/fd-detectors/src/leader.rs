@@ -116,7 +116,10 @@ impl LeaderDetector {
 
     fn emit_suspects<N: SimMessage>(&self, ctx: &mut SubCtx<'_, '_, N, LeaderAlive>) {
         let suspects = ProcessSet::singleton(self.candidate).complement(self.n);
-        ctx.observe(fd_core::obs::SUSPECTS, fd_sim::Payload::Pids(suspects.to_vec()));
+        ctx.observe(
+            fd_core::obs::SUSPECTS,
+            fd_sim::Payload::Pids(suspects.to_vec()),
+        );
     }
 
     /// Whether this process currently considers itself the leader.
@@ -224,7 +227,8 @@ mod tests {
         for &(pid, at) in crashes {
             b = b.crash_at(ProcessId(pid), Time::from_millis(at));
         }
-        let mut w = b.build(|pid, n| Standalone(LeaderDetector::new(pid, n, LeaderConfig::default())));
+        let mut w =
+            b.build(|pid, n| Standalone(LeaderDetector::new(pid, n, LeaderConfig::default())));
         let end = Time::from_millis(horizon_ms);
         w.run_until_time(end);
         let (trace, metrics) = w.into_results();

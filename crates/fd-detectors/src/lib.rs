@@ -68,7 +68,10 @@ pub mod ns {
 
 pub use ec_to_ep::{EcToEp, EcToEpConfig, EcToEpNode, EpMsg, StackMsg, EP_SUSPECTS};
 pub use fused::{FusedConfig, FusedDetector, FusedMsg};
-pub use hb_counter::{HbBeat, HbCounterConfig, HeartbeatCounter, QcMsg, QcNodeMsg, QuiescentChannel, QuiescentNode, QC_DELIVERED};
+pub use hb_counter::{
+    HbBeat, HbCounterConfig, HeartbeatCounter, QcMsg, QcNodeMsg, QuiescentChannel, QuiescentNode,
+    QC_DELIVERED,
+};
 pub use heartbeat::{HeartbeatConfig, HeartbeatDetector, HeartbeatMsg};
 pub use leader::{LeaderAlive, LeaderConfig, LeaderDetector};
 pub use omega::{LeaderByFirstNonSuspected, SuspectAllButLeader};
@@ -77,7 +80,9 @@ pub use omega_stable::{StableAlive, StableLeaderConfig, StableLeaderDetector};
 pub use ring::{RingConfig, RingDetector, RingMsg};
 pub use scripted::{NoMsg, ScriptedDetector};
 pub use timeout::{GrowthPolicy, TimeoutTable};
-pub use weak_to_strong::{W2sMsg, WeakToStrong, WeakToStrongConfig, WeakToStrongNode, W2S_SUSPECTS};
+pub use weak_to_strong::{
+    W2sMsg, WeakToStrong, WeakToStrongConfig, WeakToStrongNode, W2S_SUSPECTS,
+};
 
 /// Convenient glob-import for downstream crates and examples.
 pub mod prelude {

@@ -42,7 +42,11 @@ impl<D: SuspectOracle> LeaderByFirstNonSuspected<D> {
         // First process (in the paper's total order) not suspected; if the
         // detector momentarily suspects everyone, fall back to p0 — any
         // deterministic choice preserves the eventual guarantees.
-        inner.suspected().complement(n).first().unwrap_or(ProcessId(0))
+        inner
+            .suspected()
+            .complement(n)
+            .first()
+            .unwrap_or(ProcessId(0))
     }
 
     fn refresh<N: SimMessage>(&mut self, ctx: &mut SubCtx<'_, '_, N, D::Msg>)
@@ -116,7 +120,11 @@ pub struct SuspectAllButLeader<D> {
 impl<D: LeaderOracle> SuspectAllButLeader<D> {
     /// Wrap `inner`, which runs at one process of an `n`-process system.
     pub fn new(inner: D, n: usize) -> Self {
-        SuspectAllButLeader { inner, n, last_emitted: None }
+        SuspectAllButLeader {
+            inner,
+            n,
+            last_emitted: None,
+        }
     }
 
     /// Access the wrapped detector.

@@ -35,7 +35,9 @@ pub struct OmegaGossipConfig {
 
 impl Default for OmegaGossipConfig {
     fn default() -> Self {
-        OmegaGossipConfig { period: SimDuration::from_millis(10) }
+        OmegaGossipConfig {
+            period: SimDuration::from_millis(10),
+        }
     }
 }
 
@@ -66,7 +68,14 @@ pub struct OmegaGossip {
 impl OmegaGossip {
     /// Create the module for process `me` of `n`.
     pub fn new(me: ProcessId, n: usize, cfg: OmegaGossipConfig) -> OmegaGossip {
-        OmegaGossip { me, n, cfg, counters: vec![0; n], leader: ProcessId(0), emitted_initial: false }
+        OmegaGossip {
+            me,
+            n,
+            cfg,
+            counters: vec![0; n],
+            leader: ProcessId(0),
+            emitted_initial: false,
+        }
     }
 
     /// Timer namespace of this component.
@@ -171,7 +180,11 @@ pub struct OmegaGossipNode<D: Component> {
 impl<D: Component + SuspectOracle> OmegaGossipNode<D> {
     /// Build the node from its two modules.
     pub fn new(fd: D, omega: OmegaGossip) -> Self {
-        assert_ne!(fd.ns(), omega.ns(), "components must own distinct timer namespaces");
+        assert_ne!(
+            fd.ns(),
+            omega.ns(),
+            "components must own distinct timer namespaces"
+        );
         OmegaGossipNode { fd, omega }
     }
 }
@@ -195,29 +208,41 @@ impl<D: Component + SuspectOracle> Actor for OmegaGossipNode<D> {
         let ns = self.fd.ns();
         self.fd.on_start(&mut SubCtx::new(ctx, &OgNodeMsg::Fd, ns));
         let ns = self.omega.ns();
-        self.omega.on_start(&mut SubCtx::new(ctx, &OgNodeMsg::Gossip, ns));
+        self.omega
+            .on_start(&mut SubCtx::new(ctx, &OgNodeMsg::Gossip, ns));
     }
 
     fn on_message(&mut self, ctx: &mut Context<'_, Self::Msg>, from: ProcessId, msg: Self::Msg) {
         match msg {
             OgNodeMsg::Fd(m) => {
                 let ns = self.fd.ns();
-                self.fd.on_message(&mut SubCtx::new(ctx, &OgNodeMsg::Fd, ns), from, m);
+                self.fd
+                    .on_message(&mut SubCtx::new(ctx, &OgNodeMsg::Fd, ns), from, m);
             }
             OgNodeMsg::Gossip(m) => {
                 let ns = self.omega.ns();
-                self.omega.on_message(&mut SubCtx::new(ctx, &OgNodeMsg::Gossip, ns), from, m);
+                self.omega
+                    .on_message(&mut SubCtx::new(ctx, &OgNodeMsg::Gossip, ns), from, m);
             }
         }
     }
 
     fn on_timer(&mut self, ctx: &mut Context<'_, Self::Msg>, tag: TimerTag) {
         if tag.ns == self.fd.ns() {
-            self.fd.on_timer(&mut SubCtx::new(ctx, &OgNodeMsg::Fd, tag.ns), tag.kind, tag.data);
+            self.fd.on_timer(
+                &mut SubCtx::new(ctx, &OgNodeMsg::Fd, tag.ns),
+                tag.kind,
+                tag.data,
+            );
         } else {
             debug_assert_eq!(tag.ns, self.omega.ns());
             let local = self.fd.suspected();
-            self.omega.on_timer(&mut SubCtx::new(ctx, &OgNodeMsg::Gossip, tag.ns), tag.kind, tag.data, local);
+            self.omega.on_timer(
+                &mut SubCtx::new(ctx, &OgNodeMsg::Gossip, tag.ns),
+                tag.kind,
+                tag.data,
+                local,
+            );
         }
     }
 }
@@ -315,7 +340,8 @@ mod tests {
     #[test]
     fn gossip_cost_is_quadratic_the_sec3_complaint() {
         let n = 8;
-        let net = NetworkConfig::new(n).with_default(LinkModel::reliable_const(SimDuration::from_millis(2)));
+        let net = NetworkConfig::new(n)
+            .with_default(LinkModel::reliable_const(SimDuration::from_millis(2)));
         let mut w = WorldBuilder::new(net).seed(104).build(ep_node);
         w.run_until_time(Time::from_millis(500));
         let before = w.metrics().sent_of_kind("omega.gossip");

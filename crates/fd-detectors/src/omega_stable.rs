@@ -130,7 +130,10 @@ impl StableLeaderDetector {
     }
 
     fn emit_suspects<N: SimMessage>(&self, ctx: &mut SubCtx<'_, '_, N, StableAlive>) {
-        ctx.observe(fd_core::obs::SUSPECTS, fd_sim::Payload::Pids(self.suspected.to_vec()));
+        ctx.observe(
+            fd_core::obs::SUSPECTS,
+            fd_sim::Payload::Pids(self.suspected.to_vec()),
+        );
     }
 }
 
@@ -161,7 +164,9 @@ impl Component for StableLeaderDetector {
         self.leader = self.compute_leader();
         ctx.observe(fd_core::obs::TRUSTED, fd_sim::Payload::Pid(self.leader));
         self.emit_suspects(ctx);
-        ctx.send_to_others(StableAlive { punish: self.punish.clone() });
+        ctx.send_to_others(StableAlive {
+            punish: self.punish.clone(),
+        });
         ctx.set_timer(self.cfg.period, TIMER_SEND, 0);
         ctx.set_timer(self.cfg.check_period, TIMER_CHECK, 0);
     }
@@ -192,7 +197,9 @@ impl Component for StableLeaderDetector {
     ) {
         match kind {
             TIMER_SEND => {
-                ctx.send_to_others(StableAlive { punish: self.punish.clone() });
+                ctx.send_to_others(StableAlive {
+                    punish: self.punish.clone(),
+                });
                 ctx.set_timer(self.cfg.period, TIMER_SEND, 0);
             }
             TIMER_CHECK => {
@@ -242,7 +249,13 @@ mod tests {
         let mut w = WorldBuilder::new(jitter_net(n))
             .seed(91)
             .crash_at(ProcessId(0), Time::from_millis(200))
-            .build(|pid, n| Standalone(StableLeaderDetector::new(pid, n, StableLeaderConfig::default())));
+            .build(|pid, n| {
+                Standalone(StableLeaderDetector::new(
+                    pid,
+                    n,
+                    StableLeaderConfig::default(),
+                ))
+            });
         let end = Time::from_secs(4);
         w.run_until_time(end);
         let (trace, _) = w.into_results();
@@ -261,14 +274,22 @@ mod tests {
         // stable detector must settle on a leader with healthy links (p1)
         // and NOT flap back to p0.
         let n = 4;
-        let lossy = LinkModel::fair_lossy(SimDuration::from_millis(1), SimDuration::from_millis(3), 0.8);
+        let lossy = LinkModel::fair_lossy(
+            SimDuration::from_millis(1),
+            SimDuration::from_millis(3),
+            0.8,
+        );
         let mut net = jitter_net(n);
         for i in 1..n {
             net = net.with_link(ProcessId(0), ProcessId(i), lossy.clone());
         }
-        let mut w = WorldBuilder::new(net)
-            .seed(92)
-            .build(|pid, n| Standalone(StableLeaderDetector::new(pid, n, StableLeaderConfig::default())));
+        let mut w = WorldBuilder::new(net).seed(92).build(|pid, n| {
+            Standalone(StableLeaderDetector::new(
+                pid,
+                n,
+                StableLeaderConfig::default(),
+            ))
+        });
         w.run_until_time(Time::from_secs(10));
         // Someone punished p0 at least once and gossip spread it.
         let punished = (1..n).all(|i| w.actor(ProcessId(i)).punish_count(ProcessId(0)) >= 1);
@@ -283,7 +304,10 @@ mod tests {
         }
         // Either way the run must end with a common leader.
         let leaders: Vec<ProcessId> = (1..n).map(|i| w.actor(ProcessId(i)).trusted()).collect();
-        assert!(leaders.windows(2).all(|w| w[0] == w[1]), "split leadership: {leaders:?}");
+        assert!(
+            leaders.windows(2).all(|w| w[0] == w[1]),
+            "split leadership: {leaders:?}"
+        );
     }
 
     #[test]
@@ -292,7 +316,13 @@ mod tests {
         let mut w = WorldBuilder::new(jitter_net(n))
             .seed(93)
             .crash_at(ProcessId(2), Time::from_millis(100))
-            .build(|pid, n| Standalone(StableLeaderDetector::new(pid, n, StableLeaderConfig::default())));
+            .build(|pid, n| {
+                Standalone(StableLeaderDetector::new(
+                    pid,
+                    n,
+                    StableLeaderConfig::default(),
+                ))
+            });
         w.run_until_time(Time::from_secs(2));
         // Both survivors punished the crashed p2 and agree via gossip.
         let a = w.actor(ProcessId(0)).punish_count(ProcessId(2));
@@ -308,7 +338,11 @@ mod tests {
         // p0 after every recovery.
         use crate::leader::{LeaderConfig, LeaderDetector};
         let n = 4;
-        let lossy = LinkModel::fair_lossy(SimDuration::from_millis(1), SimDuration::from_millis(3), 0.8);
+        let lossy = LinkModel::fair_lossy(
+            SimDuration::from_millis(1),
+            SimDuration::from_millis(3),
+            0.8,
+        );
         let mk_net = || {
             let mut net = jitter_net(n);
             for i in 1..n {
@@ -318,9 +352,13 @@ mod tests {
         };
         let end = Time::from_secs(30);
 
-        let mut w = WorldBuilder::new(mk_net())
-            .seed(94)
-            .build(|pid, n| Standalone(StableLeaderDetector::new(pid, n, StableLeaderConfig::default())));
+        let mut w = WorldBuilder::new(mk_net()).seed(94).build(|pid, n| {
+            Standalone(StableLeaderDetector::new(
+                pid,
+                n,
+                StableLeaderConfig::default(),
+            ))
+        });
         w.run_until_time(end);
         let (stable_trace, _) = w.into_results();
 
@@ -332,7 +370,11 @@ mod tests {
 
         let changes = |trace: &fd_sim::Trace| -> usize {
             (1..n)
-                .map(|i| FdRun::new(trace, n, end).trusted_history(ProcessId(i)).len())
+                .map(|i| {
+                    FdRun::new(trace, n, end)
+                        .trusted_history(ProcessId(i))
+                        .len()
+                })
                 .sum()
         };
         let stable_changes = changes(&stable_trace);

@@ -131,7 +131,10 @@ impl RingDetector {
     }
 
     fn emit<N: SimMessage>(&self, ctx: &mut SubCtx<'_, '_, N, RingMsg>) {
-        ctx.observe(fd_core::obs::SUSPECTS, fd_sim::Payload::Pids(self.suspected.to_vec()));
+        ctx.observe(
+            fd_core::obs::SUSPECTS,
+            fd_sim::Payload::Pids(self.suspected.to_vec()),
+        );
     }
 
     fn poll_target<N: SimMessage>(&mut self, ctx: &mut SubCtx<'_, '_, N, RingMsg>) {
@@ -192,7 +195,12 @@ impl Component for RingDetector {
     ) {
         match msg {
             RingMsg::Poll => {
-                ctx.send(from, RingMsg::Reply { suspects: self.suspected.to_vec() });
+                ctx.send(
+                    from,
+                    RingMsg::Reply {
+                        suspects: self.suspected.to_vec(),
+                    },
+                );
             }
             RingMsg::Reply { suspects } => {
                 if self.suspected.remove(from) {
@@ -283,7 +291,9 @@ mod tests {
     #[test]
     fn crash_free_run_is_eventually_perfect() {
         let (trace, _, end) = run_ring(5, &[], 1000, 21);
-        FdRun::new(&trace, 5, end).check_class(FdClass::EventuallyPerfect).unwrap();
+        FdRun::new(&trace, 5, end)
+            .check_class(FdClass::EventuallyPerfect)
+            .unwrap();
     }
 
     #[test]
@@ -329,7 +339,8 @@ mod tests {
     #[test]
     fn steady_state_cost_is_2n_per_period() {
         let n = 6;
-        let net = NetworkConfig::new(n).with_default(LinkModel::reliable_const(SimDuration::from_millis(2)));
+        let net = NetworkConfig::new(n)
+            .with_default(LinkModel::reliable_const(SimDuration::from_millis(2)));
         let mut w = WorldBuilder::new(net)
             .seed(25)
             .build(|pid, n| Standalone(RingDetector::new(pid, n, RingConfig::default())));
@@ -355,7 +366,11 @@ mod tests {
             firsts.push(first);
         }
         firsts.dedup();
-        assert_eq!(firsts, vec![ProcessId(1)], "all correct agree on first non-suspected");
+        assert_eq!(
+            firsts,
+            vec![ProcessId(1)],
+            "all correct agree on first non-suspected"
+        );
     }
 
     #[test]
@@ -375,6 +390,8 @@ mod tests {
         let end = Time::from_secs(5);
         w.run_until_time(end);
         let (trace, _) = w.into_results();
-        FdRun::new(&trace, n, end).check_class(FdClass::EventuallyPerfect).unwrap();
+        FdRun::new(&trace, n, end)
+            .check_class(FdClass::EventuallyPerfect)
+            .unwrap();
     }
 }

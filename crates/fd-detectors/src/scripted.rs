@@ -40,11 +40,21 @@ impl ScriptedDetector {
     /// does not start at time zero, or is not strictly increasing.
     pub fn from_schedule(schedule: Vec<(Time, FdOutput)>) -> ScriptedDetector {
         assert!(!schedule.is_empty(), "schedule must have at least one step");
-        assert_eq!(schedule[0].0, Time::ZERO, "schedule must start at time zero");
+        assert_eq!(
+            schedule[0].0,
+            Time::ZERO,
+            "schedule must start at time zero"
+        );
         for w in schedule.windows(2) {
-            assert!(w[0].0 < w[1].0, "schedule times must be strictly increasing");
+            assert!(
+                w[0].0 < w[1].0,
+                "schedule times must be strictly increasing"
+            );
         }
-        ScriptedDetector { schedule, cursor: 0 }
+        ScriptedDetector {
+            schedule,
+            cursor: 0,
+        }
     }
 
     /// The Theorem 3 adversary for a ◇S/◇C detector at process `me`:
@@ -79,7 +89,10 @@ impl ScriptedDetector {
     pub fn stable(leader: ProcessId, suspects: ProcessSet) -> ScriptedDetector {
         ScriptedDetector::from_schedule(vec![(
             Time::ZERO,
-            FdOutput { suspected: suspects, trusted: Some(leader) },
+            FdOutput {
+                suspected: suspects,
+                trusted: Some(leader),
+            },
         )])
     }
 
@@ -90,7 +103,10 @@ impl ScriptedDetector {
 
     fn emit<N: SimMessage>(&self, ctx: &mut SubCtx<'_, '_, N, NoMsg>) {
         let out = self.current();
-        ctx.observe(fd_core::obs::SUSPECTS, fd_sim::Payload::Pids(out.suspected.to_vec()));
+        ctx.observe(
+            fd_core::obs::SUSPECTS,
+            fd_sim::Payload::Pids(out.suspected.to_vec()),
+        );
         if let Some(t) = out.trusted {
             ctx.observe(fd_core::obs::TRUSTED, fd_sim::Payload::Pid(t));
         }
@@ -105,7 +121,9 @@ impl SuspectOracle for ScriptedDetector {
 
 impl LeaderOracle for ScriptedDetector {
     fn trusted(&self) -> ProcessId {
-        self.current().trusted.expect("scripted detector without a trusted output")
+        self.current()
+            .trusted
+            .expect("scripted detector without a trusted output")
     }
 }
 
@@ -133,7 +151,12 @@ impl Component for ScriptedDetector {
         match msg {}
     }
 
-    fn on_timer<N: SimMessage>(&mut self, ctx: &mut SubCtx<'_, '_, N, NoMsg>, kind: u32, data: u64) {
+    fn on_timer<N: SimMessage>(
+        &mut self,
+        ctx: &mut SubCtx<'_, '_, N, NoMsg>,
+        kind: u32,
+        data: u64,
+    ) {
         debug_assert_eq!(kind, TIMER_SWITCH);
         self.cursor = data as usize;
         self.emit(ctx);
@@ -153,8 +176,14 @@ mod tests {
     fn schedule_switches_at_scripted_times() {
         let n = 3;
         let stab = Time::from_millis(50);
-        let mut w = WorldBuilder::new(NetworkConfig::new(n))
-            .build(|pid, n| Standalone(ScriptedDetector::chaos_then_leader(pid, n, stab, ProcessId(1))));
+        let mut w = WorldBuilder::new(NetworkConfig::new(n)).build(|pid, n| {
+            Standalone(ScriptedDetector::chaos_then_leader(
+                pid,
+                n,
+                stab,
+                ProcessId(1),
+            ))
+        });
         w.run_until_time(Time::from_millis(40));
         // Pre-stabilization: everyone trusts itself.
         for i in 0..n {
@@ -171,12 +200,19 @@ mod tests {
     fn stabilized_run_satisfies_ec() {
         let n = 4;
         let mut w = WorldBuilder::new(NetworkConfig::new(n)).build(|pid, n| {
-            Standalone(ScriptedDetector::chaos_then_leader(pid, n, Time::from_millis(30), ProcessId(0)))
+            Standalone(ScriptedDetector::chaos_then_leader(
+                pid,
+                n,
+                Time::from_millis(30),
+                ProcessId(0),
+            ))
         });
         let end = Time::from_millis(500);
         w.run_until_time(end);
         let (trace, _) = w.into_results();
-        FdRun::new(&trace, n, end).check_class(FdClass::EventuallyConsistent).unwrap();
+        FdRun::new(&trace, n, end)
+            .check_class(FdClass::EventuallyConsistent)
+            .unwrap();
     }
 
     #[test]
@@ -188,14 +224,22 @@ mod tests {
     #[test]
     #[should_panic(expected = "strictly increasing")]
     fn bad_schedule_rejected() {
-        let out = FdOutput { suspected: ProcessSet::new(), trusted: Some(ProcessId(0)) };
+        let out = FdOutput {
+            suspected: ProcessSet::new(),
+            trusted: Some(ProcessId(0)),
+        };
         let _ = ScriptedDetector::from_schedule(vec![(Time::ZERO, out), (Time::ZERO, out)]);
     }
 
     #[test]
     fn scripted_detector_sends_no_messages() {
         let mut w = WorldBuilder::new(NetworkConfig::new(3)).build(|pid, n| {
-            Standalone(ScriptedDetector::chaos_then_leader(pid, n, Time::from_millis(10), ProcessId(0)))
+            Standalone(ScriptedDetector::chaos_then_leader(
+                pid,
+                n,
+                Time::from_millis(10),
+                ProcessId(0),
+            ))
         });
         w.run_until_time(Time::from_millis(100));
         assert_eq!(w.metrics().sent_total(), 0);

@@ -31,15 +31,30 @@ pub struct TimeoutTable {
 impl TimeoutTable {
     /// A table for `n` peers, all starting at `initial`, growing per
     /// `policy`, never exceeding `cap`.
-    pub fn new(n: usize, initial: SimDuration, policy: GrowthPolicy, cap: SimDuration) -> TimeoutTable {
+    pub fn new(
+        n: usize,
+        initial: SimDuration,
+        policy: GrowthPolicy,
+        cap: SimDuration,
+    ) -> TimeoutTable {
         assert!(initial > SimDuration::ZERO, "timeouts must be positive");
         assert!(cap >= initial, "cap below initial timeout");
-        TimeoutTable { current: vec![initial; n], policy, cap, increases: vec![0; n] }
+        TimeoutTable {
+            current: vec![initial; n],
+            policy,
+            cap,
+            increases: vec![0; n],
+        }
     }
 
     /// A table with the common additive policy and a generous cap.
     pub fn additive(n: usize, initial: SimDuration, increment: SimDuration) -> TimeoutTable {
-        TimeoutTable::new(n, initial, GrowthPolicy::Additive(increment), SimDuration::from_secs(3600))
+        TimeoutTable::new(
+            n,
+            initial,
+            GrowthPolicy::Additive(increment),
+            SimDuration::from_secs(3600),
+        )
     }
 
     /// The current timeout for `q`.
@@ -79,7 +94,8 @@ mod tests {
 
     #[test]
     fn additive_growth() {
-        let mut t = TimeoutTable::additive(3, SimDuration::from_millis(10), SimDuration::from_millis(5));
+        let mut t =
+            TimeoutTable::additive(3, SimDuration::from_millis(10), SimDuration::from_millis(5));
         assert_eq!(t.get(ProcessId(1)), SimDuration::from_millis(10));
         assert_eq!(t.increase(ProcessId(1)), SimDuration::from_millis(15));
         assert_eq!(t.increase(ProcessId(1)), SimDuration::from_millis(20));
@@ -106,7 +122,8 @@ mod tests {
     fn eventually_exceeds_any_bound() {
         // The property Theorem 1 relies on: finitely many increases push
         // the timeout past 2Φ + Δ for any fixed Φ, Δ.
-        let mut t = TimeoutTable::additive(1, SimDuration::from_millis(1), SimDuration::from_millis(7));
+        let mut t =
+            TimeoutTable::additive(1, SimDuration::from_millis(1), SimDuration::from_millis(7));
         let bound = SimDuration::from_millis(1000);
         let mut steps = 0;
         while t.get(ProcessId(0)) <= bound {

@@ -30,7 +30,9 @@ pub struct WeakToStrongConfig {
 
 impl Default for WeakToStrongConfig {
     fn default() -> Self {
-        WeakToStrongConfig { period: SimDuration::from_millis(10) }
+        WeakToStrongConfig {
+            period: SimDuration::from_millis(10),
+        }
     }
 }
 
@@ -59,7 +61,12 @@ pub struct WeakToStrong {
 impl WeakToStrong {
     /// Create the amplifier for process `me`.
     pub fn new(me: ProcessId, cfg: WeakToStrongConfig) -> WeakToStrong {
-        WeakToStrong { me, cfg, output: ProcessSet::new(), last_emitted: None }
+        WeakToStrong {
+            me,
+            cfg,
+            output: ProcessSet::new(),
+            last_emitted: None,
+        }
     }
 
     /// Timer namespace of this component.
@@ -80,7 +87,11 @@ impl WeakToStrong {
     }
 
     /// Startup: arm the gossip timer.
-    pub fn on_start<N: SimMessage>(&mut self, ctx: &mut SubCtx<'_, '_, N, W2sMsg>, local: ProcessSet) {
+    pub fn on_start<N: SimMessage>(
+        &mut self,
+        ctx: &mut SubCtx<'_, '_, N, W2sMsg>,
+        local: ProcessSet,
+    ) {
         self.absorb_local(local);
         ctx.set_timer(self.cfg.period, TIMER_GOSSIP, 0);
         self.emit_if_changed(ctx);
@@ -156,7 +167,11 @@ pub struct WeakToStrongNode<D: Component> {
 impl<D: Component + SuspectOracle> WeakToStrongNode<D> {
     /// Build the node from its two modules.
     pub fn new(weak: D, amp: WeakToStrong) -> Self {
-        assert_ne!(weak.ns(), amp.ns(), "components must own distinct timer namespaces");
+        assert_ne!(
+            weak.ns(),
+            amp.ns(),
+            "components must own distinct timer namespaces"
+        );
         WeakToStrongNode { weak, amp }
     }
 }
@@ -173,33 +188,50 @@ impl<D: Component + SuspectOracle> Actor for WeakToStrongNode<D> {
 
     fn on_start(&mut self, ctx: &mut Context<'_, Self::Msg>) {
         let ns = self.weak.ns();
-        self.weak.on_start(&mut SubCtx::new(ctx, &W2sNodeMsg::Weak, ns));
+        self.weak
+            .on_start(&mut SubCtx::new(ctx, &W2sNodeMsg::Weak, ns));
         let local = self.weak.suspected();
         let ns = self.amp.ns();
-        self.amp.on_start(&mut SubCtx::new(ctx, &W2sNodeMsg::Gossip, ns), local);
+        self.amp
+            .on_start(&mut SubCtx::new(ctx, &W2sNodeMsg::Gossip, ns), local);
     }
 
     fn on_message(&mut self, ctx: &mut Context<'_, Self::Msg>, from: ProcessId, msg: Self::Msg) {
         match msg {
             W2sNodeMsg::Weak(m) => {
                 let ns = self.weak.ns();
-                self.weak.on_message(&mut SubCtx::new(ctx, &W2sNodeMsg::Weak, ns), from, m);
+                self.weak
+                    .on_message(&mut SubCtx::new(ctx, &W2sNodeMsg::Weak, ns), from, m);
             }
             W2sNodeMsg::Gossip(m) => {
                 let local = self.weak.suspected();
                 let ns = self.amp.ns();
-                self.amp.on_message(&mut SubCtx::new(ctx, &W2sNodeMsg::Gossip, ns), from, m, local);
+                self.amp.on_message(
+                    &mut SubCtx::new(ctx, &W2sNodeMsg::Gossip, ns),
+                    from,
+                    m,
+                    local,
+                );
             }
         }
     }
 
     fn on_timer(&mut self, ctx: &mut Context<'_, Self::Msg>, tag: TimerTag) {
         if tag.ns == self.weak.ns() {
-            self.weak.on_timer(&mut SubCtx::new(ctx, &W2sNodeMsg::Weak, tag.ns), tag.kind, tag.data);
+            self.weak.on_timer(
+                &mut SubCtx::new(ctx, &W2sNodeMsg::Weak, tag.ns),
+                tag.kind,
+                tag.data,
+            );
         } else {
             debug_assert_eq!(tag.ns, self.amp.ns());
             let local = self.weak.suspected();
-            self.amp.on_timer(&mut SubCtx::new(ctx, &W2sNodeMsg::Gossip, tag.ns), tag.kind, tag.data, local);
+            self.amp.on_timer(
+                &mut SubCtx::new(ctx, &W2sNodeMsg::Gossip, tag.ns),
+                tag.kind,
+                tag.data,
+                local,
+            );
         }
     }
 }
@@ -209,7 +241,11 @@ impl<D: Component + SuspectOracle> Actor for WeakToStrongNode<D> {
 impl<D: Component + SuspectOracle> WeakToStrongNode<D> {
     /// The §3 leader recipe applied to the amplified output.
     pub fn first_non_suspected(&self, n: usize) -> ProcessId {
-        self.amp.suspected().complement(n).first().unwrap_or(ProcessId(0))
+        self.amp
+            .suspected()
+            .complement(n)
+            .first()
+            .unwrap_or(ProcessId(0))
     }
 }
 
@@ -248,7 +284,10 @@ mod tests {
     }
 
     fn node(pid: ProcessId, n: usize) -> WeakToStrongNode<HeartbeatDetector> {
-        WeakToStrongNode::new(neighbour_weak(pid, n), WeakToStrong::new(pid, WeakToStrongConfig::default()))
+        WeakToStrongNode::new(
+            neighbour_weak(pid, n),
+            WeakToStrong::new(pid, WeakToStrongConfig::default()),
+        )
     }
 
     #[test]

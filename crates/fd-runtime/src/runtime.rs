@@ -27,7 +27,11 @@ pub struct RuntimeConfig {
 
 impl Default for RuntimeConfig {
     fn default() -> Self {
-        RuntimeConfig { loss_probability: 0.0, delay: None, seed: 0 }
+        RuntimeConfig {
+            loss_probability: 0.0,
+            delay: None,
+            seed: 0,
+        }
     }
 }
 
@@ -164,7 +168,11 @@ where
     A::Msg: Send,
 {
     /// Spawn `n` processes, each running `make(pid, n)`.
-    pub fn spawn(n: usize, cfg: RuntimeConfig, mut make: impl FnMut(ProcessId, usize) -> A) -> Runtime<A> {
+    pub fn spawn(
+        n: usize,
+        cfg: RuntimeConfig,
+        mut make: impl FnMut(ProcessId, usize) -> A,
+    ) -> Runtime<A> {
         let start = Instant::now();
         let observations = Arc::new(Mutex::new(Vec::new()));
         let mut senders = Vec::with_capacity(n);
@@ -178,7 +186,10 @@ where
         let (delayer, delay_tx) = if cfg.delay.is_some() {
             let (tx, rx) = unbounded::<Parked<A>>();
             let peers = senders.clone();
-            (Some(std::thread::spawn(move || delayer_loop(rx, peers))), Some(tx))
+            (
+                Some(std::thread::spawn(move || delayer_loop(rx, peers))),
+                Some(tx),
+            )
         } else {
             (None, None)
         };
@@ -194,7 +205,14 @@ where
                 process_loop(pid, n, actor, rx, peers, obs, start, cfg, delay_tx)
             }));
         }
-        Runtime { senders, handles, delayer, observations, start, n }
+        Runtime {
+            senders,
+            handles,
+            delayer,
+            observations,
+            start,
+            n,
+        }
     }
 
     /// Number of processes.
@@ -248,8 +266,11 @@ where
         for tx in &self.senders {
             let _ = tx.send(Event::Shutdown);
         }
-        let actors: Vec<Option<A>> =
-            self.handles.into_iter().map(|h| h.join().expect("actor thread panicked")).collect();
+        let actors: Vec<Option<A>> = self
+            .handles
+            .into_iter()
+            .map(|h| h.join().expect("actor thread panicked"))
+            .collect();
         // Actor threads held the delayer senders; once they are gone, the
         // delayer drains and exits.
         if let Some(d) = self.delayer {
@@ -275,8 +296,13 @@ where
     A: Actor + Send,
     A::Msg: Send,
 {
-    let mut rng = SmallRng::seed_from_u64(cfg.seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(me.index() as u64));
-    let mut loss_rng = SmallRng::seed_from_u64(cfg.seed ^ (me.index() as u64).wrapping_mul(0xD134_2543_DE82_EF95));
+    let mut rng = SmallRng::seed_from_u64(
+        cfg.seed
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(me.index() as u64),
+    );
+    let mut loss_rng =
+        SmallRng::seed_from_u64(cfg.seed ^ (me.index() as u64).wrapping_mul(0xD134_2543_DE82_EF95));
     let mut actions: Vec<Action<A::Msg>> = Vec::new();
     let mut next_timer_id: u64 = 0;
     let mut timers: BinaryHeap<PendingTimer> = BinaryHeap::new();
@@ -451,7 +477,10 @@ mod tests {
         let actors = rt.shutdown();
         for a in &actors {
             let heard = a.as_ref().unwrap().heard;
-            assert!(heard >= 10, "heard only {heard} ticks in 120ms at 5ms period");
+            assert!(
+                heard >= 10,
+                "heard only {heard} ticks in 120ms at 5ms period"
+            );
         }
     }
 
@@ -461,9 +490,7 @@ mod tests {
         rt.run_for(Duration::from_millis(50));
         rt.crash(ProcessId(1));
         rt.run_for(Duration::from_millis(30));
-        let heard_mid = rt
-            .observations()
-            .len(); // no observations in this actor; just exercise the API
+        let heard_mid = rt.observations().len(); // no observations in this actor; just exercise the API
         let _ = heard_mid;
         let actors = rt.shutdown();
         assert!(actors[0].is_some());
@@ -483,15 +510,27 @@ mod tests {
     fn loss_injection_drops_messages() {
         let lossless = Runtime::spawn(2, RuntimeConfig::default(), |_, _| Counter { heard: 0 });
         lossless.run_for(Duration::from_millis(100));
-        let base: u64 = lossless.shutdown().iter().map(|a| a.as_ref().unwrap().heard).sum();
+        let base: u64 = lossless
+            .shutdown()
+            .iter()
+            .map(|a| a.as_ref().unwrap().heard)
+            .sum();
 
         let lossy = Runtime::spawn(
             2,
-            RuntimeConfig { loss_probability: 0.9, seed: 7, ..RuntimeConfig::default() },
+            RuntimeConfig {
+                loss_probability: 0.9,
+                seed: 7,
+                ..RuntimeConfig::default()
+            },
             |_, _| Counter { heard: 0 },
         );
         lossy.run_for(Duration::from_millis(100));
-        let dropped: u64 = lossy.shutdown().iter().map(|a| a.as_ref().unwrap().heard).sum();
+        let dropped: u64 = lossy
+            .shutdown()
+            .iter()
+            .map(|a| a.as_ref().unwrap().heard)
+            .sum();
         assert!(
             dropped * 3 < base,
             "90% loss should cut throughput hard: lossless={base} lossy={dropped}"
@@ -561,7 +600,10 @@ mod delay_tests {
         rt.run_for(Duration::from_millis(50));
         let obs = rt.last_observation(ProcessId(1), "got").expect("delivered");
         let latency_ms = (obs.at.ticks() - sent_at.ticks()) / 1000;
-        assert!(latency_ms < 30, "direct channel delivery took {latency_ms}ms");
+        assert!(
+            latency_ms < 30,
+            "direct channel delivery took {latency_ms}ms"
+        );
         rt.shutdown();
     }
 }
@@ -579,10 +621,17 @@ pub fn observations_to_trace(
         .iter()
         .map(|o| TraceEvent {
             at: o.at,
-            kind: TraceKind::Observation { pid: o.pid, tag: o.tag, payload: o.payload.clone() },
+            kind: TraceKind::Observation {
+                pid: o.pid,
+                tag: o.tag,
+                payload: o.payload.clone(),
+            },
         })
         .collect();
-    events.extend(crashed.iter().map(|&(pid, at)| TraceEvent { at, kind: TraceKind::Crashed { pid } }));
+    events.extend(crashed.iter().map(|&(pid, at)| TraceEvent {
+        at,
+        kind: TraceKind::Crashed { pid },
+    }));
     events.sort_by_key(|e| e.at);
     fd_sim::Trace::from_events(events)
 }

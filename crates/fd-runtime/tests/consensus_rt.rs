@@ -3,9 +3,9 @@
 //! consensus decides.
 
 use fd_consensus::{ec_node_hb, EcNodeHb};
+use fd_core::Standalone;
 use fd_core::{obs, SuspectOracle};
 use fd_detectors::{HeartbeatConfig, HeartbeatDetector};
-use fd_core::Standalone;
 use fd_runtime::{Runtime, RuntimeConfig};
 use fd_sim::ProcessId;
 use std::time::Duration;
@@ -33,8 +33,7 @@ fn heartbeat_detector_runs_on_threads() {
 #[test]
 fn ec_consensus_decides_on_threads() {
     let n = 5;
-    let rt: Runtime<EcNodeHb> =
-        Runtime::spawn(n, RuntimeConfig::default(), ec_node_hb);
+    let rt: Runtime<EcNodeHb> = Runtime::spawn(n, RuntimeConfig::default(), ec_node_hb);
     // Let detectors settle, then propose everywhere.
     rt.run_for(Duration::from_millis(100));
     for i in 0..n {
@@ -50,7 +49,10 @@ fn ec_consensus_decides_on_threads() {
         if decided == n {
             break;
         }
-        assert!(std::time::Instant::now() < deadline, "only {decided}/{n} decided in 10s");
+        assert!(
+            std::time::Instant::now() < deadline,
+            "only {decided}/{n} decided in 10s"
+        );
         std::thread::sleep(Duration::from_millis(20));
     }
     // All decisions agree and are proposed values.
@@ -68,8 +70,7 @@ fn ec_consensus_decides_on_threads() {
 #[test]
 fn ec_consensus_survives_a_crash_on_threads() {
     let n = 5;
-    let rt: Runtime<EcNodeHb> =
-        Runtime::spawn(n, RuntimeConfig::default(), ec_node_hb);
+    let rt: Runtime<EcNodeHb> = Runtime::spawn(n, RuntimeConfig::default(), ec_node_hb);
     rt.run_for(Duration::from_millis(100));
     for i in 0..n {
         let v = 7;
@@ -85,7 +86,10 @@ fn ec_consensus_survives_a_crash_on_threads() {
         if decided == 4 {
             break;
         }
-        assert!(std::time::Instant::now() < deadline, "only {decided}/4 decided in 10s");
+        assert!(
+            std::time::Instant::now() < deadline,
+            "only {decided}/4 decided in 10s"
+        );
         std::thread::sleep(Duration::from_millis(20));
     }
     let actors = rt.shutdown();
@@ -121,14 +125,23 @@ fn ec_consensus_decides_over_a_slow_jittery_network() {
         if decided == n {
             break;
         }
-        assert!(std::time::Instant::now() < deadline, "only {decided}/{n} decided in 15s");
+        assert!(
+            std::time::Instant::now() < deadline,
+            "only {decided}/{n} decided in 15s"
+        );
         std::thread::sleep(std::time::Duration::from_millis(25));
     }
     let actors = rt.shutdown();
-    let mut values: Vec<u64> =
-        actors.iter().map(|a| a.as_ref().unwrap().decision().unwrap().0).collect();
+    let mut values: Vec<u64> = actors
+        .iter()
+        .map(|a| a.as_ref().unwrap().decision().unwrap().0)
+        .collect();
     values.dedup();
-    assert_eq!(values.len(), 1, "disagreement over the slow network: {values:?}");
+    assert_eq!(
+        values.len(),
+        1,
+        "disagreement over the slow network: {values:?}"
+    );
 }
 
 #[test]
@@ -182,7 +195,10 @@ fn ct_and_mr_also_decide_on_threads() {
     }
     let deadline = std::time::Instant::now() + Duration::from_secs(10);
     while (0..n).any(|i| rt.last_observation(ProcessId(i), obs::DECIDE).is_none()) {
-        assert!(std::time::Instant::now() < deadline, "CT stalled on threads");
+        assert!(
+            std::time::Instant::now() < deadline,
+            "CT stalled on threads"
+        );
         std::thread::sleep(Duration::from_millis(20));
     }
     rt.shutdown();
@@ -195,7 +211,10 @@ fn ct_and_mr_also_decide_on_threads() {
     }
     let deadline = std::time::Instant::now() + Duration::from_secs(10);
     while (0..n).any(|i| rt.last_observation(ProcessId(i), obs::DECIDE).is_none()) {
-        assert!(std::time::Instant::now() < deadline, "MR stalled on threads");
+        assert!(
+            std::time::Instant::now() < deadline,
+            "MR stalled on threads"
+        );
         std::thread::sleep(Duration::from_millis(20));
     }
     rt.shutdown();

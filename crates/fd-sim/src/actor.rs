@@ -123,7 +123,14 @@ impl<'a, M> Context<'a, M> {
         actions: &'a mut Vec<Action<M>>,
         next_timer_id: &'a mut u64,
     ) -> Context<'a, M> {
-        Context { me, n, now, rng, actions, next_timer_id }
+        Context {
+            me,
+            n,
+            now,
+            rng,
+            actions,
+            next_timer_id,
+        }
     }
 
     /// This process's identity.
@@ -159,7 +166,10 @@ impl<'a, M> Context<'a, M> {
         for i in 0..self.n {
             let to = ProcessId(i);
             if to != self.me {
-                self.actions.push(Action::Send { to, msg: msg.clone() });
+                self.actions.push(Action::Send {
+                    to,
+                    msg: msg.clone(),
+                });
             }
         }
     }
@@ -170,7 +180,10 @@ impl<'a, M> Context<'a, M> {
         M: Clone,
     {
         for i in 0..self.n {
-            self.actions.push(Action::Send { to: ProcessId(i), msg: msg.clone() });
+            self.actions.push(Action::Send {
+                to: ProcessId(i),
+                msg: msg.clone(),
+            });
         }
     }
 

@@ -15,9 +15,17 @@ use std::collections::BinaryHeap;
 #[derive(Debug)]
 pub(crate) enum EventKind<M> {
     /// Deliver `msg` from `from` to `to`.
-    Deliver { from: ProcessId, to: ProcessId, msg: M },
+    Deliver {
+        from: ProcessId,
+        to: ProcessId,
+        msg: M,
+    },
     /// Fire timer `id` with `tag` at `pid`.
-    Timer { pid: ProcessId, id: TimerId, tag: TimerTag },
+    Timer {
+        pid: ProcessId,
+        id: TimerId,
+        tag: TimerTag,
+    },
     /// Crash `pid` (crash-stop).
     Crash { pid: ProcessId },
 }
@@ -57,7 +65,10 @@ pub(crate) struct EventQueue<M> {
 
 impl<M> EventQueue<M> {
     pub fn new() -> Self {
-        EventQueue { heap: BinaryHeap::new(), next_seq: 0 }
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+        }
     }
 
     pub fn push(&mut self, at: Time, kind: EventKind<M>) {
@@ -91,7 +102,9 @@ mod tests {
     use super::*;
 
     fn crash(pid: usize) -> EventKind<()> {
-        EventKind::Crash { pid: ProcessId(pid) }
+        EventKind::Crash {
+            pid: ProcessId(pid),
+        }
     }
 
     #[test]

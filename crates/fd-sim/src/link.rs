@@ -56,7 +56,12 @@ impl DelayDist {
                 debug_assert!(min <= max, "uniform delay with min > max");
                 SimDuration(rng.gen_range(min.0..=max.0))
             }
-            DelayDist::Spiky { min, max, spike_prob, spike_max } => {
+            DelayDist::Spiky {
+                min,
+                max,
+                spike_prob,
+                spike_max,
+            } => {
                 if rng.gen_bool(spike_prob.clamp(0.0, 1.0)) {
                     SimDuration(rng.gen_range(max.0..=spike_max.0.max(max.0)))
                 } else {
@@ -137,7 +142,9 @@ impl PhaseSchedule {
             assert!(w[0].0 < w[1].0, "phase times must be strictly increasing");
         }
         assert!(
-            phases.iter().all(|(_, m)| !matches!(m, LinkModel::Phased(_))),
+            phases
+                .iter()
+                .all(|(_, m)| !matches!(m, LinkModel::Phased(_))),
             "phased links cannot nest"
         );
         PhaseSchedule { phases }
@@ -158,12 +165,16 @@ impl PhaseSchedule {
 impl LinkModel {
     /// A reliable link with constant delay `d`.
     pub fn reliable_const(d: SimDuration) -> LinkModel {
-        LinkModel::Reliable { delay: DelayDist::Constant(d) }
+        LinkModel::Reliable {
+            delay: DelayDist::Constant(d),
+        }
     }
 
     /// A reliable link with delay uniform in `[min, max]`.
     pub fn reliable_uniform(min: SimDuration, max: SimDuration) -> LinkModel {
-        LinkModel::Reliable { delay: DelayDist::Uniform { min, max } }
+        LinkModel::Reliable {
+            delay: DelayDist::Uniform { min, max },
+        }
     }
 
     /// An eventually timely link: chaotic (uniform up to `pre_max`, dropped
@@ -177,14 +188,20 @@ impl LinkModel {
         LinkModel::EventuallyTimely {
             gst,
             bound,
-            pre_delay: DelayDist::Uniform { min: SimDuration(1), max: pre_max },
+            pre_delay: DelayDist::Uniform {
+                min: SimDuration(1),
+                max: pre_max,
+            },
             pre_drop,
         }
     }
 
     /// A fair-lossy link with uniform delays.
     pub fn fair_lossy(min: SimDuration, max: SimDuration, drop: f64) -> LinkModel {
-        LinkModel::FairLossy { delay: DelayDist::Uniform { min, max }, drop }
+        LinkModel::FairLossy {
+            delay: DelayDist::Uniform { min, max },
+            drop,
+        }
     }
 
     /// A piecewise-scheduled link (see [`LinkModel::Phased`]).
@@ -210,7 +227,10 @@ impl LinkModel {
     /// assert!(link.deliver_at(Time::from_millis(250), &mut rng).is_some());
     /// ```
     pub fn partitioned_during(healthy: LinkModel, from: Time, until: Time) -> LinkModel {
-        assert!(Time::ZERO < from && from < until, "partition window must be (0, from, until)");
+        assert!(
+            Time::ZERO < from && from < until,
+            "partition window must be (0, from, until)"
+        );
         LinkModel::phased(vec![
             (Time::ZERO, healthy.clone()),
             (from, LinkModel::Dead),
@@ -222,7 +242,12 @@ impl LinkModel {
     pub fn deliver_at(&self, now: Time, rng: &mut SmallRng) -> Option<Time> {
         match *self {
             LinkModel::Reliable { delay } => Some(now + delay.sample(rng)),
-            LinkModel::EventuallyTimely { gst, bound, pre_delay, pre_drop } => {
+            LinkModel::EventuallyTimely {
+                gst,
+                bound,
+                pre_delay,
+                pre_drop,
+            } => {
                 if now >= gst {
                     // Post-GST: uniform within the (unknown) bound, never
                     // dropped. A minimum of one tick keeps causality strict.
@@ -299,7 +324,9 @@ mod tests {
         let mut r = rng();
         for _ in 0..1000 {
             let sent = Time::from_millis(60);
-            let t = m.deliver_at(sent, &mut r).expect("post-GST messages are never dropped");
+            let t = m
+                .deliver_at(sent, &mut r)
+                .expect("post-GST messages are never dropped");
             assert!(t > sent && t <= sent + bound);
         }
     }
@@ -307,7 +334,12 @@ mod tests {
     #[test]
     fn eventually_timely_pre_gst_can_drop_and_lag() {
         let gst = Time::from_millis(50);
-        let m = LinkModel::eventually_timely(gst, SimDuration::from_millis(3), SimDuration::from_millis(500), 0.5);
+        let m = LinkModel::eventually_timely(
+            gst,
+            SimDuration::from_millis(3),
+            SimDuration::from_millis(500),
+            0.5,
+        );
         let mut r = rng();
         let mut drops = 0;
         let mut late = 0;
@@ -319,15 +351,23 @@ mod tests {
             }
         }
         assert!(drops > 500, "expected ~50% pre-GST drops, got {drops}");
-        assert!(late > 500, "expected many pre-GST deliveries beyond the bound, got {late}");
+        assert!(
+            late > 500,
+            "expected many pre-GST deliveries beyond the bound, got {late}"
+        );
     }
 
     #[test]
     fn fair_lossy_delivers_infinitely_often() {
         let m = LinkModel::fair_lossy(SimDuration(1), SimDuration(5), 0.9);
         let mut r = rng();
-        let delivered = (0..10_000).filter(|_| m.deliver_at(Time::ZERO, &mut r).is_some()).count();
-        assert!(delivered > 500, "90% loss still lets ~10% through, got {delivered}");
+        let delivered = (0..10_000)
+            .filter(|_| m.deliver_at(Time::ZERO, &mut r).is_some())
+            .count();
+        assert!(
+            delivered > 500,
+            "90% loss still lets ~10% through, got {delivered}"
+        );
     }
 
     #[test]
@@ -353,7 +393,9 @@ mod tests {
             spike_max: SimDuration(1000),
         };
         let mut r = rng();
-        let spikes = (0..5000).filter(|_| d.sample(&mut r) > SimDuration(10)).count();
+        let spikes = (0..5000)
+            .filter(|_| d.sample(&mut r) > SimDuration(10))
+            .count();
         assert!(spikes > 1000 && spikes < 2000, "spike count {spikes}");
         assert_eq!(d.upper_bound(), SimDuration(1000));
     }
@@ -369,13 +411,25 @@ mod phased_tests {
         let sched = PhaseSchedule::new(vec![
             (Time::ZERO, LinkModel::reliable_const(SimDuration(5))),
             (Time::from_millis(100), LinkModel::Dead),
-            (Time::from_millis(200), LinkModel::reliable_const(SimDuration(9))),
+            (
+                Time::from_millis(200),
+                LinkModel::reliable_const(SimDuration(9)),
+            ),
         ]);
-        assert_eq!(*sched.at(Time::ZERO), LinkModel::reliable_const(SimDuration(5)));
-        assert_eq!(*sched.at(Time::from_millis(99)), LinkModel::reliable_const(SimDuration(5)));
+        assert_eq!(
+            *sched.at(Time::ZERO),
+            LinkModel::reliable_const(SimDuration(5))
+        );
+        assert_eq!(
+            *sched.at(Time::from_millis(99)),
+            LinkModel::reliable_const(SimDuration(5))
+        );
         assert_eq!(*sched.at(Time::from_millis(100)), LinkModel::Dead);
         assert_eq!(*sched.at(Time::from_millis(150)), LinkModel::Dead);
-        assert_eq!(*sched.at(Time::from_millis(500)), LinkModel::reliable_const(SimDuration(9)));
+        assert_eq!(
+            *sched.at(Time::from_millis(500)),
+            LinkModel::reliable_const(SimDuration(9))
+        );
     }
 
     #[test]

@@ -64,7 +64,11 @@ impl Metrics {
 
     /// Messages sent with the given kind label.
     pub fn sent_of_kind(&self, kind: &str) -> u64 {
-        self.sent_by_kind.iter().filter(|(k, _)| **k == kind).map(|(_, v)| *v).sum()
+        self.sent_by_kind
+            .iter()
+            .filter(|(k, _)| **k == kind)
+            .map(|(_, v)| *v)
+            .sum()
     }
 
     /// Messages sent with the given kind label in the given round.
@@ -78,7 +82,11 @@ impl Metrics {
 
     /// Messages sent in the given round, all kinds.
     pub fn sent_in_round(&self, round: u64) -> u64 {
-        self.sent_by_kind_round.iter().filter(|((_, r), _)| *r == round).map(|(_, v)| *v).sum()
+        self.sent_by_kind_round
+            .iter()
+            .filter(|((_, r), _)| *r == round)
+            .map(|(_, v)| *v)
+            .sum()
     }
 
     /// All round numbers that appear in round-tagged sends, sorted.

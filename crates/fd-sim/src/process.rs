@@ -61,7 +61,10 @@ mod tests {
     #[test]
     fn all_processes_is_total_order() {
         let ps: Vec<_> = all_processes(4).collect();
-        assert_eq!(ps, vec![ProcessId(0), ProcessId(1), ProcessId(2), ProcessId(3)]);
+        assert_eq!(
+            ps,
+            vec![ProcessId(0), ProcessId(1), ProcessId(2), ProcessId(3)]
+        );
         let mut sorted = ps.clone();
         sorted.sort();
         assert_eq!(ps, sorted);

@@ -28,7 +28,9 @@ pub fn derive_network_rng(seed: u64) -> SmallRng {
 
 /// Derive the RNG private to process `pid`.
 pub fn derive_process_rng(seed: u64, pid: usize) -> SmallRng {
-    SmallRng::seed_from_u64(splitmix64(splitmix64(seed ^ PROC_STREAM).wrapping_add(pid as u64)))
+    SmallRng::seed_from_u64(splitmix64(
+        splitmix64(seed ^ PROC_STREAM).wrapping_add(pid as u64),
+    ))
 }
 
 #[cfg(test)]

@@ -132,24 +132,43 @@ impl<'a> Timeline<'a> {
                     }
                     let _ = writeln!(out, "{stamp} ✖ {pid} crashed");
                 }
-                TraceKind::Sent { from, to, kind, round } => {
-                    if !self.include_messages || !(self.wants_process(*from) || self.wants_process(*to))
+                TraceKind::Sent {
+                    from,
+                    to,
+                    kind,
+                    round,
+                } => {
+                    if !self.include_messages
+                        || !(self.wants_process(*from) || self.wants_process(*to))
                     {
                         continue;
                     }
                     let r = round.map(|r| format!(" (round {r})")).unwrap_or_default();
                     let _ = writeln!(out, "{stamp} {from} → {to}  {kind}{r}");
                 }
-                TraceKind::Delivered { from, to, kind, round } => {
-                    if !self.include_messages || !(self.wants_process(*from) || self.wants_process(*to))
+                TraceKind::Delivered {
+                    from,
+                    to,
+                    kind,
+                    round,
+                } => {
+                    if !self.include_messages
+                        || !(self.wants_process(*from) || self.wants_process(*to))
                     {
                         continue;
                     }
                     let r = round.map(|r| format!(" (round {r})")).unwrap_or_default();
                     let _ = writeln!(out, "{stamp} {from} ⇒ {to}  {kind}{r} delivered");
                 }
-                TraceKind::Dropped { from, to, kind, reason } => {
-                    if !self.include_drops || !(self.wants_process(*from) || self.wants_process(*to)) {
+                TraceKind::Dropped {
+                    from,
+                    to,
+                    kind,
+                    reason,
+                } => {
+                    if !self.include_drops
+                        || !(self.wants_process(*from) || self.wants_process(*to))
+                    {
                         continue;
                     }
                     let _ = writeln!(out, "{stamp} {from} ⊘ {to}  {kind} dropped ({reason:?})");
@@ -191,7 +210,12 @@ mod tests {
         Trace::from_events(vec![
             TraceEvent {
                 at: Time::from_millis(1),
-                kind: TraceKind::Sent { from: ProcessId(0), to: ProcessId(1), kind: "hb", round: None },
+                kind: TraceKind::Sent {
+                    from: ProcessId(0),
+                    to: ProcessId(1),
+                    kind: "hb",
+                    round: None,
+                },
             },
             TraceEvent {
                 at: Time::from_millis(2),
@@ -202,7 +226,10 @@ mod tests {
                     round: Some(3),
                 },
             },
-            TraceEvent { at: Time::from_millis(5), kind: TraceKind::Crashed { pid: ProcessId(2) } },
+            TraceEvent {
+                at: Time::from_millis(5),
+                kind: TraceKind::Crashed { pid: ProcessId(2) },
+            },
             TraceEvent {
                 at: Time::from_millis(9),
                 kind: TraceKind::Observation {
@@ -252,7 +279,10 @@ mod tests {
             .between(Time::from_millis(4), Time::from_millis(10))
             .render();
         assert!(out.contains("p2 crashed"));
-        assert!(!out.contains("fd.trusted"), "p0's observation filtered out:\n{out}");
+        assert!(
+            !out.contains("fd.trusted"),
+            "p0's observation filtered out:\n{out}"
+        );
     }
 
     #[test]
@@ -266,6 +296,9 @@ mod tests {
     #[test]
     fn summary_counts() {
         let s = summary(&sample());
-        assert_eq!(s, "5 events: 1 sent, 1 delivered, 1 dropped, 1 crashed, 1 observations");
+        assert_eq!(
+            s,
+            "5 events: 1 sent, 1 delivered, 1 dropped, 1 crashed, 1 observations"
+        );
     }
 }

@@ -197,9 +197,11 @@ impl Trace {
         tag: &'a str,
     ) -> impl Iterator<Item = (Time, ProcessId, &'a Payload)> + 'a {
         self.events.iter().filter_map(move |e| match &e.kind {
-            TraceKind::Observation { pid, tag: t, payload } if *t == tag => {
-                Some((e.at, *pid, payload))
-            }
+            TraceKind::Observation {
+                pid,
+                tag: t,
+                payload,
+            } if *t == tag => Some((e.at, *pid, payload)),
             _ => None,
         })
     }
@@ -222,11 +224,109 @@ impl Trace {
         tag: &str,
     ) -> Option<(Time, &'a Payload)> {
         self.events.iter().rev().find_map(|e| match &e.kind {
-            TraceKind::Observation { pid: p, tag: t, payload } if *p == pid && *t == tag => {
-                Some((e.at, payload))
-            }
+            TraceKind::Observation {
+                pid: p,
+                tag: t,
+                payload,
+            } if *p == pid && *t == tag => Some((e.at, payload)),
             _ => None,
         })
+    }
+
+    /// A 64-bit FNV-1a digest over a canonical byte encoding of every
+    /// event. Two traces have equal digests iff they recorded the same
+    /// events in the same order (modulo hash collisions), independent of
+    /// process layout in memory, worker-thread interleaving, or platform
+    /// — the fingerprint campaign artifacts use to certify that a replay
+    /// reproduced the original run exactly.
+    pub fn digest(&self) -> u64 {
+        let mut h = Fnv::new();
+        for e in &self.events {
+            h.u64(e.at.0);
+            match &e.kind {
+                TraceKind::Sent {
+                    from,
+                    to,
+                    kind,
+                    round,
+                } => {
+                    h.u64(0);
+                    h.pid(*from);
+                    h.pid(*to);
+                    h.str(kind);
+                    h.opt_u64(*round);
+                }
+                TraceKind::Delivered {
+                    from,
+                    to,
+                    kind,
+                    round,
+                } => {
+                    h.u64(1);
+                    h.pid(*from);
+                    h.pid(*to);
+                    h.str(kind);
+                    h.opt_u64(*round);
+                }
+                TraceKind::Dropped {
+                    from,
+                    to,
+                    kind,
+                    reason,
+                } => {
+                    h.u64(2);
+                    h.pid(*from);
+                    h.pid(*to);
+                    h.str(kind);
+                    h.u64(match reason {
+                        DropReason::Link => 0,
+                        DropReason::ReceiverCrashed => 1,
+                    });
+                }
+                TraceKind::Crashed { pid } => {
+                    h.u64(3);
+                    h.pid(*pid);
+                }
+                TraceKind::Observation { pid, tag, payload } => {
+                    h.u64(4);
+                    h.pid(*pid);
+                    h.str(tag);
+                    match payload {
+                        Payload::None => h.u64(0),
+                        Payload::U64(x) => {
+                            h.u64(1);
+                            h.u64(*x);
+                        }
+                        Payload::Pid(p) => {
+                            h.u64(2);
+                            h.pid(*p);
+                        }
+                        Payload::Pids(ps) => {
+                            h.u64(3);
+                            h.u64(ps.len() as u64);
+                            for p in ps {
+                                h.pid(*p);
+                            }
+                        }
+                        Payload::PidU64(p, x) => {
+                            h.u64(4);
+                            h.pid(*p);
+                            h.u64(*x);
+                        }
+                        Payload::U64Pair(a, b) => {
+                            h.u64(5);
+                            h.u64(*a);
+                            h.u64(*b);
+                        }
+                        Payload::Text(s) => {
+                            h.u64(6);
+                            h.str(s);
+                        }
+                    }
+                }
+            }
+        }
+        h.finish()
     }
 
     /// Count sent messages matching a predicate on `(kind, round)`.
@@ -241,25 +341,91 @@ impl Trace {
     }
 }
 
+/// Incremental FNV-1a (64-bit) with length-prefixed strings, so the
+/// encoding is unambiguous (no concatenation collisions).
+struct Fnv(u64);
+
+impl Fnv {
+    fn new() -> Fnv {
+        Fnv(0xcbf2_9ce4_8422_2325)
+    }
+
+    fn byte(&mut self, b: u8) {
+        self.0 ^= b as u64;
+        self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+
+    fn u64(&mut self, x: u64) {
+        for b in x.to_le_bytes() {
+            self.byte(b);
+        }
+    }
+
+    fn pid(&mut self, p: ProcessId) {
+        self.u64(p.0 as u64);
+    }
+
+    fn str(&mut self, s: &str) {
+        self.u64(s.len() as u64);
+        for b in s.bytes() {
+            self.byte(b);
+        }
+    }
+
+    fn opt_u64(&mut self, x: Option<u64>) {
+        match x {
+            None => self.u64(0),
+            Some(v) => {
+                self.u64(1);
+                self.u64(v);
+            }
+        }
+    }
+
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     fn sample() -> Trace {
         let mut t = Trace::default();
-        t.push(Time(1), TraceKind::Sent { from: ProcessId(0), to: ProcessId(1), kind: "hb", round: None });
+        t.push(
+            Time(1),
+            TraceKind::Sent {
+                from: ProcessId(0),
+                to: ProcessId(1),
+                kind: "hb",
+                round: None,
+            },
+        );
         t.push(Time(2), TraceKind::Crashed { pid: ProcessId(2) });
         t.push(
             Time(3),
-            TraceKind::Observation { pid: ProcessId(0), tag: "leader", payload: Payload::Pid(ProcessId(1)) },
+            TraceKind::Observation {
+                pid: ProcessId(0),
+                tag: "leader",
+                payload: Payload::Pid(ProcessId(1)),
+            },
         );
         t.push(
             Time(5),
-            TraceKind::Observation { pid: ProcessId(0), tag: "leader", payload: Payload::Pid(ProcessId(0)) },
+            TraceKind::Observation {
+                pid: ProcessId(0),
+                tag: "leader",
+                payload: Payload::Pid(ProcessId(0)),
+            },
         );
         t.push(
             Time(4),
-            TraceKind::Observation { pid: ProcessId(1), tag: "leader", payload: Payload::Pid(ProcessId(0)) },
+            TraceKind::Observation {
+                pid: ProcessId(1),
+                tag: "leader",
+                payload: Payload::Pid(ProcessId(0)),
+            },
         );
         t
     }
@@ -288,10 +454,35 @@ mod tests {
     }
 
     #[test]
+    fn digest_is_stable_and_discriminating() {
+        let t = sample();
+        assert_eq!(t.digest(), t.digest(), "digest must be a pure function");
+        assert_eq!(t.digest(), t.clone().digest());
+
+        // Any change to an event changes the digest.
+        let mut other = sample();
+        other.push(Time(9), TraceKind::Crashed { pid: ProcessId(0) });
+        assert_ne!(t.digest(), other.digest());
+
+        // Event order matters.
+        let mut evs = t.events().to_vec();
+        evs.swap(0, 1);
+        assert_ne!(Trace::from_events(evs).digest(), t.digest());
+
+        assert_eq!(Trace::default().digest(), Trace::default().digest());
+        assert_ne!(Trace::default().digest(), t.digest());
+    }
+
+    #[test]
     fn payload_accessors() {
         assert_eq!(Payload::U64(3).as_u64(), Some(3));
         assert_eq!(Payload::U64Pair(1, 2).as_u64_pair(), Some((1, 2)));
-        assert_eq!(Payload::pids([ProcessId(2), ProcessId(0)]).as_pids().unwrap(), &[ProcessId(0), ProcessId(2)]);
+        assert_eq!(
+            Payload::pids([ProcessId(2), ProcessId(0)])
+                .as_pids()
+                .unwrap(),
+            &[ProcessId(0), ProcessId(2)]
+        );
         assert_eq!(Payload::None.as_pid(), None);
     }
 }

@@ -37,7 +37,13 @@ pub struct WorldBuilder {
 impl WorldBuilder {
     /// Start from a network configuration (which fixes `n`).
     pub fn new(net: NetworkConfig) -> WorldBuilder {
-        WorldBuilder { net, seed: 0, crashes: Vec::new(), record_trace: true, max_events: u64::MAX }
+        WorldBuilder {
+            net,
+            seed: 0,
+            crashes: Vec::new(),
+            record_trace: true,
+            max_events: u64::MAX,
+        }
     }
 
     /// Set the run seed. Identical seeds replay identical runs.
@@ -156,7 +162,10 @@ impl<A: Actor> World<A> {
 
     /// The processes that have not crashed (so far).
     pub fn correct(&self) -> Vec<ProcessId> {
-        (0..self.n).map(ProcessId).filter(|p| !self.is_crashed(*p)).collect()
+        (0..self.n)
+            .map(ProcessId)
+            .filter(|p| !self.is_crashed(*p))
+            .collect()
     }
 
     /// Schedule a crash after construction.
@@ -218,9 +227,21 @@ impl<A: Actor> World<A> {
                 let round = msg.round();
                 self.metrics.record_sent(from, kind, round);
                 if self.record_trace {
-                    self.trace.push(self.now, TraceKind::Sent { from, to, kind, round });
+                    self.trace.push(
+                        self.now,
+                        TraceKind::Sent {
+                            from,
+                            to,
+                            kind,
+                            round,
+                        },
+                    );
                 }
-                match self.net.link(from, to).deliver_at(self.now, &mut self.net_rng) {
+                match self
+                    .net
+                    .link(from, to)
+                    .deliver_at(self.now, &mut self.net_rng)
+                {
                     Some(at) => {
                         // Enforce strict causality: delivery strictly after
                         // the send instant in queue order is already
@@ -233,21 +254,34 @@ impl<A: Actor> World<A> {
                         if self.record_trace {
                             self.trace.push(
                                 self.now,
-                                TraceKind::Dropped { from, to, kind, reason: DropReason::Link },
+                                TraceKind::Dropped {
+                                    from,
+                                    to,
+                                    kind,
+                                    reason: DropReason::Link,
+                                },
                             );
                         }
                     }
                 }
             }
             Action::SetTimer { id, after, tag } => {
-                self.queue.push(self.now + after, EventKind::Timer { pid: from, id, tag });
+                self.queue
+                    .push(self.now + after, EventKind::Timer { pid: from, id, tag });
             }
             Action::CancelTimer { id } => {
                 self.cancelled.insert(id.0);
             }
             Action::Observe { tag, payload } => {
                 if self.record_trace {
-                    self.trace.push(self.now, TraceKind::Observation { pid: from, tag, payload });
+                    self.trace.push(
+                        self.now,
+                        TraceKind::Observation {
+                            pid: from,
+                            tag,
+                            payload,
+                        },
+                    );
                 }
             }
         }
@@ -282,7 +316,12 @@ impl<A: Actor> World<A> {
                 if self.record_trace {
                     self.trace.push(
                         self.now,
-                        TraceKind::Delivered { from, to, kind: msg.kind(), round: msg.round() },
+                        TraceKind::Delivered {
+                            from,
+                            to,
+                            kind: msg.kind(),
+                            round: msg.round(),
+                        },
                     );
                 }
                 self.dispatch(to, |actor, ctx| actor.on_message(ctx, from, msg));
@@ -360,7 +399,14 @@ impl<A: Actor> World<A> {
     /// scenario phases in traces).
     pub fn annotate(&mut self, tag: &'static str, payload: Payload) {
         if self.record_trace {
-            self.trace.push(self.now, TraceKind::Observation { pid: ProcessId(0), tag, payload });
+            self.trace.push(
+                self.now,
+                TraceKind::Observation {
+                    pid: ProcessId(0),
+                    tag,
+                    payload,
+                },
+            );
         }
     }
 }
@@ -419,8 +465,12 @@ mod tests {
     }
 
     fn two_node_world(seed: u64) -> World<PingPong> {
-        let net = NetworkConfig::new(2).with_default(LinkModel::reliable_const(SimDuration::from_millis(1)));
-        WorldBuilder::new(net).seed(seed).build(|_, _| PingPong { pings_seen: 0, pongs_seen: 0 })
+        let net = NetworkConfig::new(2)
+            .with_default(LinkModel::reliable_const(SimDuration::from_millis(1)));
+        WorldBuilder::new(net).seed(seed).build(|_, _| PingPong {
+            pings_seen: 0,
+            pongs_seen: 0,
+        })
     }
 
     #[test]
@@ -433,7 +483,10 @@ mod tests {
         // still be in flight or unanswered.
         let pings = w.metrics().sent_of_kind("ping");
         let pongs = w.metrics().sent_of_kind("pong");
-        assert!(pings >= pongs && pings - pongs <= 2, "pings={pings} pongs={pongs}");
+        assert!(
+            pings >= pongs && pings - pongs <= 2,
+            "pings={pings} pongs={pongs}"
+        );
     }
 
     #[test]
@@ -448,10 +501,14 @@ mod tests {
 
     #[test]
     fn crash_stops_a_process() {
-        let net = NetworkConfig::new(2).with_default(LinkModel::reliable_const(SimDuration::from_millis(1)));
+        let net = NetworkConfig::new(2)
+            .with_default(LinkModel::reliable_const(SimDuration::from_millis(1)));
         let mut w = WorldBuilder::new(net)
             .crash_at(ProcessId(1), Time::from_millis(10))
-            .build(|_, _| PingPong { pings_seen: 0, pongs_seen: 0 });
+            .build(|_, _| PingPong {
+                pings_seen: 0,
+                pongs_seen: 0,
+            });
         w.run_until_time(Time::from_millis(100));
         assert!(w.is_crashed(ProcessId(1)));
         assert!(!w.is_crashed(ProcessId(0)));
@@ -466,7 +523,9 @@ mod tests {
     #[test]
     fn run_until_predicate_stops_early() {
         let mut w = two_node_world(3);
-        let hit = w.run_until(Time::from_secs(10), |w| w.actor(ProcessId(1)).pings_seen >= 3);
+        let hit = w.run_until(Time::from_secs(10), |w| {
+            w.actor(ProcessId(1)).pings_seen >= 3
+        });
         assert!(hit);
         assert!(w.now() < Time::from_secs(1));
         assert!(w.actor(ProcessId(1)).pings_seen >= 3);
@@ -493,7 +552,10 @@ mod tests {
         let net = NetworkConfig::new(2);
         let mut w = WorldBuilder::new(net)
             .crash_at(ProcessId(0), Time::ZERO)
-            .build(|_, _| PingPong { pings_seen: 0, pongs_seen: 0 });
+            .build(|_, _| PingPong {
+                pings_seen: 0,
+                pongs_seen: 0,
+            });
         w.run_until_time(Time::from_millis(1));
         let sent_before = w.metrics().sent_total();
         w.interact(ProcessId(0), |_a, ctx| ctx.send(ProcessId(1), Pp::Ping));
@@ -519,7 +581,8 @@ mod tests {
                 self.fired = true;
             }
         }
-        let mut w = WorldBuilder::new(NetworkConfig::new(1)).build(|_, _| Cancelling { fired: false });
+        let mut w =
+            WorldBuilder::new(NetworkConfig::new(1)).build(|_, _| Cancelling { fired: false });
         w.run_until_time(Time::from_millis(20));
         assert!(!w.actor(ProcessId(0)).fired);
     }
@@ -541,7 +604,9 @@ mod tests {
                 ctx.set_timer(SimDuration::ZERO, TimerTag::new(0, 0, 0));
             }
         }
-        let mut w = WorldBuilder::new(NetworkConfig::new(1)).max_events(1_000).build(|_, _| Looper);
+        let mut w = WorldBuilder::new(NetworkConfig::new(1))
+            .max_events(1_000)
+            .build(|_, _| Looper);
         w.run_until_time(Time::from_millis(1));
     }
 
@@ -549,7 +614,12 @@ mod tests {
     fn trace_can_be_disabled() {
         let mut w = {
             let net = NetworkConfig::new(2);
-            WorldBuilder::new(net).record_trace(false).build(|_, _| PingPong { pings_seen: 0, pongs_seen: 0 })
+            WorldBuilder::new(net)
+                .record_trace(false)
+                .build(|_, _| PingPong {
+                    pings_seen: 0,
+                    pongs_seen: 0,
+                })
         };
         w.run_until_time(Time::from_millis(50));
         assert!(w.trace().is_empty());
@@ -580,7 +650,10 @@ mod annotate_tests {
         w.run_until_time(Time::from_millis(10));
         w.annotate("scenario.phase", Payload::U64(2));
         let (trace, _) = w.into_results();
-        let (at, _, payload) = trace.observations("scenario.phase").next().expect("annotated");
+        let (at, _, payload) = trace
+            .observations("scenario.phase")
+            .next()
+            .expect("annotated");
         assert_eq!(at, Time::from_millis(10));
         assert_eq!(payload.as_u64(), Some(2));
     }

@@ -20,9 +20,7 @@ fn main() {
         .seed(7)
         .crash_at(ProcessId(0), Time::from_millis(300))
         .crash_at(ProcessId(1), Time::from_millis(700))
-        .build(|pid, n| {
-            fd_core::Standalone(LeaderDetector::new(pid, n, LeaderConfig::default()))
-        });
+        .build(|pid, n| fd_core::Standalone(LeaderDetector::new(pid, n, LeaderConfig::default())));
 
     let end = Time::from_millis(1200);
     world.run_until_time(end);
@@ -39,11 +37,18 @@ fn main() {
     }
 
     println!("\nchronological view (fd_sim::Timeline):");
-    print!("{}", fd_sim::Timeline::new(&trace).only_tags(&[obs::TRUSTED]).render());
+    print!(
+        "{}",
+        fd_sim::Timeline::new(&trace)
+            .only_tags(&[obs::TRUSTED])
+            .render()
+    );
 
     let run = FdRun::new(&trace, n, end);
-    run.check_class(FdClass::Omega).expect("Property 1 (Ω) holds");
-    run.check_class(FdClass::EventuallyConsistent).expect("Definition 1 (◇C) holds");
+    run.check_class(FdClass::Omega)
+        .expect("Property 1 (Ω) holds");
+    run.check_class(FdClass::EventuallyConsistent)
+        .expect("Definition 1 (◇C) holds");
     println!("\nΩ property verified: all correct processes trust p2 permanently ✓");
     println!(
         "total leader.alive messages in 1.2s: {} (steady state ≈ (n−1) per 10ms period)",

@@ -13,12 +13,14 @@
 use ecfd::prelude::*;
 use fd_core::Standalone;
 use fd_detectors::{
-    FusedConfig, FusedDetector, HeartbeatDetector, OmegaGossip, OmegaGossipConfig,
-    OmegaGossipNode, RingDetector, StableLeaderConfig, StableLeaderDetector,
+    FusedConfig, FusedDetector, HeartbeatDetector, OmegaGossip, OmegaGossipConfig, OmegaGossipNode,
+    RingDetector, StableLeaderConfig, StableLeaderDetector,
 };
 use fd_sim::Trace;
 
-fn scenario_world<A: fd_sim::Actor>(make: impl FnMut(ProcessId, usize) -> A) -> (Trace, fd_sim::Metrics, Time) {
+fn scenario_world<A: fd_sim::Actor>(
+    make: impl FnMut(ProcessId, usize) -> A,
+) -> (Trace, fd_sim::Metrics, Time) {
     let n = 6;
     let mut w = WorldBuilder::new(default_net(n))
         .seed(0x200)
@@ -51,11 +53,16 @@ fn report(name: &str, trace: &Trace, metrics: &fd_sim::Metrics, end: Time) {
 fn main() {
     println!("Ω constructions on one scenario (n=6; p0 crashes @300ms, p1 @700ms):\n");
 
-    let (t, m, end) = scenario_world(|pid, n| Standalone(LeaderDetector::new(pid, n, LeaderConfig::default())));
+    let (t, m, end) =
+        scenario_world(|pid, n| Standalone(LeaderDetector::new(pid, n, LeaderConfig::default())));
     report("candidate [16]", &t, &m, end);
 
     let (t, m, end) = scenario_world(|pid, n| {
-        Standalone(StableLeaderDetector::new(pid, n, StableLeaderConfig::default()))
+        Standalone(StableLeaderDetector::new(
+            pid,
+            n,
+            StableLeaderConfig::default(),
+        ))
     });
     report("stable punish-ranked [2]", &t, &m, end);
 
@@ -68,7 +75,10 @@ fn main() {
     report("first-unsuspected on ◇P", &t, &m, end);
 
     let (t, m, end) = scenario_world(|pid, n| {
-        Standalone(LeaderByFirstNonSuspected::new(RingDetector::new(pid, n, RingConfig::default()), n))
+        Standalone(LeaderByFirstNonSuspected::new(
+            RingDetector::new(pid, n, RingConfig::default()),
+            n,
+        ))
     });
     report("first-unsuspected on ring ◇S", &t, &m, end);
 

@@ -23,11 +23,20 @@ fn main() {
         ))
         .with_links_into(
             leader,
-            LinkModel::eventually_timely(gst, SimDuration::from_millis(5), SimDuration::from_millis(100), 0.3),
+            LinkModel::eventually_timely(
+                gst,
+                SimDuration::from_millis(5),
+                SimDuration::from_millis(100),
+                0.3,
+            ),
         )
         .with_links_out_of(
             leader,
-            LinkModel::fair_lossy(SimDuration::from_millis(1), SimDuration::from_millis(4), 0.3),
+            LinkModel::fair_lossy(
+                SimDuration::from_millis(1),
+                SimDuration::from_millis(4),
+                0.3,
+            ),
         );
 
     let mut world = WorldBuilder::new(net)
@@ -51,9 +60,13 @@ fn main() {
 
     let run = FdRun::new(&trace, n, end).with_suspects_tag(EP_SUSPECTS);
     for i in [0usize, 1, 3] {
-        println!("  p{i} final ◇P suspect list: {}", run.final_suspects(ProcessId(i)));
+        println!(
+            "  p{i} final ◇P suspect list: {}",
+            run.final_suspects(ProcessId(i))
+        );
     }
-    run.check_class(FdClass::EventuallyPerfect).expect("Theorem 1: the output is ◇P");
+    run.check_class(FdClass::EventuallyPerfect)
+        .expect("Theorem 1: the output is ◇P");
     println!("\nstrong completeness + eventual strong accuracy verified ✓");
     println!("leader's Task-4 timeout increases (mistakes): {mistakes} — finite, as proved");
     println!(

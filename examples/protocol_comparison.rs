@@ -30,22 +30,38 @@ fn main() {
     };
 
     let ec = run_scenario(default_net(n), &sc, |pid, n| {
-        scripted_node(pid, mk_fd(pid, n), EcConsensus::new(pid, n, ConsensusConfig::default()))
+        scripted_node(
+            pid,
+            mk_fd(pid, n),
+            EcConsensus::new(pid, n, ConsensusConfig::default()),
+        )
     });
     report("◇C (paper)", &ec, "ec.");
 
     let ct = run_scenario(default_net(n), &sc, |pid, n| {
-        scripted_node(pid, mk_fd(pid, n), CtConsensus::new(pid, n, ConsensusConfig::default()))
+        scripted_node(
+            pid,
+            mk_fd(pid, n),
+            CtConsensus::new(pid, n, ConsensusConfig::default()),
+        )
     });
     report("CT ◇S", &ct, "ct.");
 
     let mr = run_scenario(default_net(n), &sc, |pid, n| {
-        scripted_node(pid, mk_fd(pid, n), MrConsensus::with_unknown_f(pid, n, ConsensusConfig::default()))
+        scripted_node(
+            pid,
+            mk_fd(pid, n),
+            MrConsensus::with_unknown_f(pid, n, ConsensusConfig::default()),
+        )
     });
     report("MR Ω", &mr, "mr.");
 
     let paxos = run_scenario(default_net(n), &sc, |pid, n| {
-        scripted_node(pid, mk_fd(pid, n), PaxosConsensus::new(pid, n, ConsensusConfig::default()))
+        scripted_node(
+            pid,
+            mk_fd(pid, n),
+            PaxosConsensus::new(pid, n, ConsensusConfig::default()),
+        )
     });
     report("Paxos [13]", &paxos, "paxos.");
 
@@ -56,7 +72,9 @@ fn main() {
 }
 
 fn report(label: &str, r: &RunResult, prefix: &str) {
-    ConsensusRun::new(&r.trace, r.n).check_all().expect("uniform consensus");
+    ConsensusRun::new(&r.trace, r.n)
+        .check_all()
+        .expect("uniform consensus");
     println!(
         "{:<12} {:>9} {:>14} {:>12} {:>16}",
         label,

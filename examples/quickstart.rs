@@ -23,11 +23,20 @@ fn main() {
         horizon: Time::from_secs(10),
     };
 
-    println!("n = {n}, proposals = {:?}, p3 crashes at 25ms", scenario.proposals);
+    println!(
+        "n = {n}, proposals = {:?}, p3 crashes at 25ms",
+        scenario.proposals
+    );
     let result = run_scenario(net, &scenario, ec_node_hb);
 
-    assert!(result.all_decided, "consensus must terminate with f = 1 < n/2");
-    println!("\nall correct processes decided by {}", result.decide_time.unwrap());
+    assert!(
+        result.all_decided,
+        "consensus must terminate with f = 1 < n/2"
+    );
+    println!(
+        "\nall correct processes decided by {}",
+        result.decide_time.unwrap()
+    );
     for (i, d) in result.decisions.iter().enumerate() {
         match d {
             Some((value, round)) => println!("  p{i}: decided {value} in round {round}"),
@@ -37,7 +46,9 @@ fn main() {
 
     // Check the §5.1 Uniform Consensus properties on the recorded trace.
     let check = ConsensusRun::new(&result.trace, n);
-    check.check_all().expect("uniform agreement, validity, integrity, termination");
+    check
+        .check_all()
+        .expect("uniform agreement, validity, integrity, termination");
     println!("\nuniform agreement + validity + integrity + termination: verified ✓");
     println!(
         "protocol messages: {} (plus {} decision-broadcast messages)",

@@ -44,7 +44,11 @@ fn main() {
     }
 
     let p0 = world.actor(ProcessId(0));
-    assert_eq!(p0.qc.pending_len(), 1, "only the message to the crashed p2 stays unacked");
+    assert_eq!(
+        p0.qc.pending_len(),
+        1,
+        "only the message to the crashed p2 stays unacked"
+    );
     println!("\nthe message to p1 was delivered despite the loss;");
     println!("the stream to p2 froze when its heartbeat counter stopped — quiescence ✓");
     println!("(a timeout-based retransmitter must choose: retry forever, or risk giving up");

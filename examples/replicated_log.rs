@@ -21,7 +21,10 @@ type Replica = MultiNode<LeaderByFirstNonSuspected<HeartbeatDetector>>;
 fn replica(pid: ProcessId, n: usize) -> Replica {
     MultiNode::new(
         pid,
-        LeaderByFirstNonSuspected::new(HeartbeatDetector::new(pid, n, HeartbeatConfig::default()), n),
+        LeaderByFirstNonSuspected::new(
+            HeartbeatDetector::new(pid, n, HeartbeatConfig::default()),
+            n,
+        ),
         MultiEc::new(pid, n, ConsensusConfig::default()),
     )
 }
@@ -40,7 +43,11 @@ fn main() {
             world.interact(ProcessId(i), move |node, ctx| node.submit(ctx, cmd));
         }
     }
-    println!("{} replicas, {} concurrent client commands", n, all_commands.len());
+    println!(
+        "{} replicas, {} concurrent client commands",
+        n,
+        all_commands.len()
+    );
 
     // Two replicas die while the log is being built.
     world.schedule_crash(ProcessId(4), Time::from_millis(40));
@@ -49,18 +56,30 @@ fn main() {
 
     // Run until the survivors' logs contain every command the *surviving*
     // replicas submitted (crashed replicas' commands may be lost).
-    let survivor_cmds: Vec<u64> =
-        all_commands.iter().copied().filter(|c| c / 100 <= 3).collect();
+    let survivor_cmds: Vec<u64> = all_commands
+        .iter()
+        .copied()
+        .filter(|c| c / 100 <= 3)
+        .collect();
     let done = world.run_until(Time::from_secs(60), |w| {
         (0..3).all(|i| {
-            let vals: Vec<u64> = w.actor(ProcessId(i)).log().iter().map(|(_, v)| *v).collect();
+            let vals: Vec<u64> = w
+                .actor(ProcessId(i))
+                .log()
+                .iter()
+                .map(|(_, v)| *v)
+                .collect();
             survivor_cmds.iter().all(|c| vals.contains(c))
         })
     });
     assert!(done, "log did not converge");
 
     let reference = world.actor(ProcessId(0)).log();
-    println!("replicated log at p0 ({} slots, decided in {}):", reference.len(), world.now());
+    println!(
+        "replicated log at p0 ({} slots, decided in {}):",
+        reference.len(),
+        world.now()
+    );
     for (slot, v) in &reference {
         if *v == NOOP {
             println!("  [{slot}] (noop)");
@@ -78,10 +97,17 @@ fn main() {
     println!("\nall correct replicas hold identical logs — state-machine replication ✓");
     println!(
         "(messages: {} consensus, {} decision broadcasts, {} detector)",
-        ["ec.coordinator", "ec.estimate", "ec.proposition", "ec.ack", "ec.nack", "multi.open"]
-            .iter()
-            .map(|k| world.metrics().sent_of_kind(k))
-            .sum::<u64>(),
+        [
+            "ec.coordinator",
+            "ec.estimate",
+            "ec.proposition",
+            "ec.ack",
+            "ec.nack",
+            "multi.open"
+        ]
+        .iter()
+        .map(|k| world.metrics().sent_of_kind(k))
+        .sum::<u64>(),
         world.metrics().sent_of_kind("rb.msg"),
         world.metrics().sent_of_kind("hb.alive"),
     );

@@ -1,0 +1,32 @@
+//! Offline subset of `crossbeam`: just the `channel` module, backed by
+//! `std::sync::mpsc`. The workspace uses channels in their MPSC form
+//! (cloned senders, a single receiver per endpoint), which std covers;
+//! the crossbeam niceties (select!, MPMC receivers) are not needed.
+
+/// Multi-producer channels with the crossbeam constructor names.
+pub mod channel {
+    pub use std::sync::mpsc::{Receiver, RecvError, RecvTimeoutError, SendError, Sender};
+
+    /// A channel with unbounded capacity.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        std::sync::mpsc::channel()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel;
+    use std::time::Duration;
+
+    #[test]
+    fn unbounded_round_trip() {
+        let (tx, rx) = channel::unbounded::<u32>();
+        let tx2 = tx.clone();
+        tx.send(1).unwrap();
+        tx2.send(2).unwrap();
+        assert_eq!(rx.recv().unwrap(), 1);
+        assert_eq!(rx.recv_timeout(Duration::from_millis(50)).unwrap(), 2);
+        drop((tx, tx2));
+        assert!(rx.recv().is_err());
+    }
+}

@@ -1,0 +1,463 @@
+//! Offline subset of `proptest`.
+//!
+//! Provides the surface the workspace's property tests use: the
+//! `proptest!` macro with `#![proptest_config(...)]` and `pat in strategy`
+//! bindings, `Strategy` with `prop_map`/`prop_flat_map`, range and tuple
+//! strategies, `any::<T>()`, `prop::collection::vec`, `prop::option::of`,
+//! and the `prop_assert*` macros. Cases are generated deterministically
+//! (seeded from the test name and case index) so failures reproduce;
+//! unlike real proptest there is no shrinking — the failing inputs are
+//! printed instead, and the workspace's own `fd-campaign` crate owns
+//! scenario shrinking.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Per-test configuration.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases to run per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Run `cases` random cases.
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> ProptestConfig {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// Why a test case did not pass.
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// The property was violated.
+    Fail(String),
+    /// The input was rejected (not counted as a failure).
+    Reject(String),
+}
+
+impl TestCaseError {
+    /// A failed case.
+    pub fn fail(msg: impl Into<String>) -> TestCaseError {
+        TestCaseError::Fail(msg.into())
+    }
+
+    /// A rejected (skipped) case.
+    pub fn reject(msg: impl Into<String>) -> TestCaseError {
+        TestCaseError::Reject(msg.into())
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TestCaseError::Fail(m) => write!(f, "{m}"),
+            TestCaseError::Reject(m) => write!(f, "input rejected: {m}"),
+        }
+    }
+}
+
+/// The deterministic generator handed to strategies.
+pub type TestRng = SmallRng;
+
+/// Derive the RNG for one test case. Public for the `proptest!` expansion.
+#[doc(hidden)]
+pub fn __case_rng(test_name: &str, case: u32) -> TestRng {
+    // FNV-1a over the test name, mixed with the case index.
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in test_name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    SmallRng::seed_from_u64(h.wrapping_add(0x9e37_79b9 * case as u64))
+}
+
+/// A generator of values of type `Value`.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draw one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transform generated values.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Generate a value, then a dependent strategy from it.
+    fn prop_flat_map<S, F>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+        S: Strategy,
+        F: Fn(Self::Value) -> S,
+    {
+        FlatMap { inner: self, f }
+    }
+}
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn sample(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.sample(rng))
+    }
+}
+
+/// See [`Strategy::prop_flat_map`].
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, T: Strategy, F: Fn(S::Value) -> T> Strategy for FlatMap<S, F> {
+    type Value = T::Value;
+    fn sample(&self, rng: &mut TestRng) -> T::Value {
+        (self.f)(self.inner.sample(rng)).sample(rng)
+    }
+}
+
+/// A strategy that always yields clones of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn sample(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_tuple_strategy {
+    ($($s:ident . $idx:tt),+) => {
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.sample(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A.0, B.1);
+impl_tuple_strategy!(A.0, B.1, C.2);
+impl_tuple_strategy!(A.0, B.1, C.2, D.3);
+impl_tuple_strategy!(A.0, B.1, C.2, D.3, E.4);
+
+/// Types with a canonical "any value" strategy.
+pub trait Arbitrary: Sized {
+    /// Draw an unconstrained value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+impl Arbitrary for u64 {
+    fn arbitrary(rng: &mut TestRng) -> u64 {
+        rng.gen()
+    }
+}
+
+impl Arbitrary for u32 {
+    fn arbitrary(rng: &mut TestRng) -> u32 {
+        rng.gen()
+    }
+}
+
+impl Arbitrary for usize {
+    fn arbitrary(rng: &mut TestRng) -> usize {
+        rng.gen()
+    }
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.gen()
+    }
+}
+
+/// The `any::<T>()` strategy.
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// A strategy for any value of `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+/// Combinator modules under the `prop::` path.
+pub mod prop {
+    /// Collection strategies.
+    pub mod collection {
+        use crate::{Strategy, TestRng};
+        use rand::Rng;
+
+        /// Inclusive length bounds for generated collections.
+        #[derive(Debug, Clone, Copy)]
+        pub struct SizeRange {
+            lo: usize,
+            hi: usize,
+        }
+
+        impl From<core::ops::Range<usize>> for SizeRange {
+            fn from(r: core::ops::Range<usize>) -> SizeRange {
+                assert!(r.start < r.end, "empty size range");
+                SizeRange {
+                    lo: r.start,
+                    hi: r.end - 1,
+                }
+            }
+        }
+
+        impl From<core::ops::RangeInclusive<usize>> for SizeRange {
+            fn from(r: core::ops::RangeInclusive<usize>) -> SizeRange {
+                SizeRange {
+                    lo: *r.start(),
+                    hi: *r.end(),
+                }
+            }
+        }
+
+        impl From<usize> for SizeRange {
+            fn from(n: usize) -> SizeRange {
+                SizeRange { lo: n, hi: n }
+            }
+        }
+
+        /// Strategy for `Vec<T>` with lengths drawn from a [`SizeRange`].
+        pub struct VecStrategy<S> {
+            element: S,
+            size: SizeRange,
+        }
+
+        /// `vec(element, size)`: a vector of `element` draws.
+        pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+            VecStrategy {
+                element,
+                size: size.into(),
+            }
+        }
+
+        impl<S: Strategy> Strategy for VecStrategy<S> {
+            type Value = Vec<S::Value>;
+            fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+                let len = rng.gen_range(self.size.lo..=self.size.hi);
+                (0..len).map(|_| self.element.sample(rng)).collect()
+            }
+        }
+    }
+
+    /// `Option` strategies.
+    pub mod option {
+        use crate::{Strategy, TestRng};
+        use rand::Rng;
+
+        /// Strategy yielding `None` or `Some(inner)`.
+        pub struct OptionStrategy<S> {
+            inner: S,
+        }
+
+        /// `of(inner)`: `Some` with probability ½, else `None`.
+        pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+            OptionStrategy { inner }
+        }
+
+        impl<S: Strategy> Strategy for OptionStrategy<S> {
+            type Value = Option<S::Value>;
+            fn sample(&self, rng: &mut TestRng) -> Option<S::Value> {
+                if rng.gen_bool(0.5) {
+                    Some(self.inner.sample(rng))
+                } else {
+                    None
+                }
+            }
+        }
+    }
+}
+
+/// The common imports.
+pub mod prelude {
+    pub use crate::{
+        any, prop, prop_assert, prop_assert_eq, prop_assert_ne, proptest, Just, ProptestConfig,
+        Strategy, TestCaseError,
+    };
+}
+
+/// Assert a condition inside a proptest body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)*)));
+        }
+    };
+}
+
+/// Assert equality inside a proptest body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(a == b, "assertion failed: {:?} == {:?}", a, b);
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)*) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(a == b, $($fmt)*);
+    }};
+}
+
+/// Assert inequality inside a proptest body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(a != b, "assertion failed: {:?} != {:?}", a, b);
+    }};
+}
+
+/// Define property tests. Each argument is drawn from its strategy for
+/// every case; the body may use the `prop_assert*` macros and `?` on
+/// `Result<_, TestCaseError>` expressions.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!{ ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!{ ($crate::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ( ($cfg:expr); $( $(#[$meta:meta])* fn $name:ident ( $($arg:pat in $strat:expr),+ $(,)? ) $body:block )* ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $cfg;
+                for __case in 0..config.cases {
+                    let mut __rng = $crate::__case_rng(stringify!($name), __case);
+                    let mut __input_parts: ::std::vec::Vec<::std::string::String> =
+                        ::std::vec::Vec::new();
+                    $(let $arg = {
+                        let __v = $crate::Strategy::sample(&($strat), &mut __rng);
+                        __input_parts
+                            .push(format!(concat!(stringify!($arg), " = {:?}"), &__v));
+                        __v
+                    };)+
+                    let __inputs = __input_parts.join(", ");
+                    let __outcome: ::core::result::Result<(), $crate::TestCaseError> =
+                        (|| { $body ::core::result::Result::Ok(()) })();
+                    match __outcome {
+                        ::core::result::Result::Ok(()) => {}
+                        ::core::result::Result::Err($crate::TestCaseError::Reject(_)) => {}
+                        ::core::result::Result::Err($crate::TestCaseError::Fail(msg)) => {
+                            panic!(
+                                "proptest case {}/{} failed: {}\n  inputs: {}",
+                                __case + 1, config.cases, msg, __inputs
+                            );
+                        }
+                    }
+                }
+            }
+        )*
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_and_tuples(x in 3u64..9, (a, b) in (0usize..4, 1u32..=2)) {
+            prop_assert!((3..9).contains(&x));
+            prop_assert!(a < 4);
+            prop_assert!(b == 1 || b == 2);
+        }
+
+        #[test]
+        fn collections_and_options(v in prop::collection::vec(0u64..10, 2..5), o in prop::option::of(1usize..3)) {
+            prop_assert!(v.len() >= 2 && v.len() < 5, "len {}", v.len());
+            prop_assert!(v.iter().all(|x| *x < 10));
+            if let Some(x) = o {
+                prop_assert_eq!(x.min(2), x);
+            }
+        }
+
+        #[test]
+        fn maps_compose(y in (1u64..5).prop_flat_map(|n| (0..n).prop_map(move |k| (n, k)))) {
+            prop_assert!(y.1 < y.0, "{:?}", y);
+            prop_assert_ne!(y.0, 0);
+        }
+    }
+
+    #[test]
+    fn cases_are_deterministic() {
+        use crate::Strategy;
+        let s = (0u64..1000, 0usize..7);
+        let a: Vec<_> = (0..5)
+            .map(|c| s.sample(&mut crate::__case_rng("t", c)))
+            .collect();
+        let b: Vec<_> = (0..5)
+            .map(|c| s.sample(&mut crate::__case_rng("t", c)))
+            .collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "proptest case")]
+    fn failures_panic_with_inputs() {
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(3))]
+            fn always_fails(x in 0u64..10) {
+                prop_assert!(x > 100, "x was {}", x);
+            }
+        }
+        always_fails();
+    }
+}

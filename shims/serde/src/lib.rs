@@ -1,0 +1,415 @@
+//! Offline subset of `serde`.
+//!
+//! Real serde is visitor-based so formats can stream; this workspace only
+//! ever moves small scenario/trace/table structures through JSON, so the
+//! shim uses the simpler route: every `Serialize` type lowers itself to a
+//! [`Value`] tree and every `Deserialize` type lifts itself back out of
+//! one. `serde_json` then just prints and parses `Value`s. The derive
+//! macros (re-exported from `serde_derive`) generate the same externally
+//! tagged representation real serde uses, so emitted JSON is byte-for-byte
+//! what the registry crates would produce for these types.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// The self-describing data model every type serializes into.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// Non-negative integer (also carries `u128` for `ProcessSet` bits).
+    U128(u128),
+    /// Negative integer.
+    I64(i64),
+    /// Floating point.
+    F64(f64),
+    /// String.
+    Str(String),
+    /// Array.
+    Arr(Vec<Value>),
+    /// Object with field order preserved (matches declaration order, which
+    /// is what real serde emits for derived structs).
+    Obj(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Look up a field of an object. Missing fields read as `Null`, which
+    /// lets `Option` fields deserialize to `None` (serde's behaviour).
+    pub fn field(&self, name: &str) -> &Value {
+        static NULL: Value = Value::Null;
+        match self {
+            Value::Obj(fields) => fields
+                .iter()
+                .find(|(k, _)| k == name)
+                .map(|(_, v)| v)
+                .unwrap_or(&NULL),
+            _ => &NULL,
+        }
+    }
+
+    /// The string inside, if this is a string value.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The integer inside, if this is a non-negative integer that fits.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::U128(x) => u64::try_from(*x).ok(),
+            _ => None,
+        }
+    }
+
+    fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::U128(_) => "integer",
+            Value::I64(_) => "negative integer",
+            Value::F64(_) => "number",
+            Value::Str(_) => "string",
+            Value::Arr(_) => "array",
+            Value::Obj(_) => "object",
+        }
+    }
+}
+
+/// Deserialization failure.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Error(pub String);
+
+impl Error {
+    /// Build an error message.
+    pub fn msg(m: impl Into<String>) -> Error {
+        Error(m.into())
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Types that can lower themselves to a [`Value`].
+pub trait Serialize {
+    /// The value-tree form of `self`.
+    fn to_value(&self) -> Value;
+}
+
+/// Types that can lift themselves out of a [`Value`].
+pub trait Deserialize: Sized {
+    /// Rebuild from a value tree.
+    fn from_value(v: &Value) -> Result<Self, Error>;
+}
+
+fn type_err<T>(expected: &str, got: &Value) -> Result<T, Error> {
+    Err(Error(format!("expected {expected}, got {}", got.kind())))
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Value, Error> {
+        Ok(v.clone())
+    }
+}
+
+macro_rules! impl_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value { Value::U128(*self as u128) }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<$t, Error> {
+                match *v {
+                    Value::U128(x) => <$t>::try_from(x)
+                        .map_err(|_| Error(format!("integer {x} out of range for {}", stringify!($t)))),
+                    ref other => type_err(stringify!($t), other),
+                }
+            }
+        }
+    )*};
+}
+
+impl_unsigned!(u8, u16, u32, u64, u128, usize);
+
+macro_rules! impl_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                if *self < 0 { Value::I64(*self as i64) } else { Value::U128(*self as u128) }
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<$t, Error> {
+                match *v {
+                    Value::U128(x) => u64::try_from(x).ok()
+                        .and_then(|x| <$t>::try_from(x).ok())
+                        .ok_or_else(|| Error(format!("integer {x} out of range for {}", stringify!($t)))),
+                    Value::I64(x) => <$t>::try_from(x)
+                        .map_err(|_| Error(format!("integer {x} out of range for {}", stringify!($t)))),
+                    ref other => type_err(stringify!($t), other),
+                }
+            }
+        }
+    )*};
+}
+
+impl_signed!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::F64(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_value(v: &Value) -> Result<f64, Error> {
+        match *v {
+            Value::F64(x) => Ok(x),
+            Value::U128(x) => Ok(x as f64),
+            Value::I64(x) => Ok(x as f64),
+            ref other => type_err("f64", other),
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::F64(*self as f64)
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_value(v: &Value) -> Result<f32, Error> {
+        f64::from_value(v).map(|x| x as f32)
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<bool, Error> {
+        match *v {
+            Value::Bool(b) => Ok(b),
+            ref other => type_err("bool", other),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<String, Error> {
+        match v {
+            Value::Str(s) => Ok(s.clone()),
+            other => type_err("string", other),
+        }
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            None => Value::Null,
+            Some(x) => x.to_value(),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Option<T>, Error> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Arr(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Arr(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Vec<T>, Error> {
+        match v {
+            Value::Arr(items) => items.iter().map(T::from_value).collect(),
+            other => type_err("array", other),
+        }
+    }
+}
+
+impl<V: Serialize> Serialize for HashMap<String, V> {
+    fn to_value(&self) -> Value {
+        // Deterministic field order: sorted keys.
+        let mut keys: Vec<&String> = self.keys().collect();
+        keys.sort();
+        Value::Obj(
+            keys.into_iter()
+                .map(|k| (k.clone(), self[k].to_value()))
+                .collect(),
+        )
+    }
+}
+
+impl<V: Deserialize> Deserialize for HashMap<String, V> {
+    fn from_value(v: &Value) -> Result<HashMap<String, V>, Error> {
+        match v {
+            Value::Obj(fields) => fields
+                .iter()
+                .map(|(k, val)| Ok((k.clone(), V::from_value(val)?)))
+                .collect(),
+            other => type_err("object", other),
+        }
+    }
+}
+
+macro_rules! impl_tuple {
+    ($len:expr, $($t:ident . $idx:tt),+) => {
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn to_value(&self) -> Value {
+                Value::Arr(vec![$(self.$idx.to_value()),+])
+            }
+        }
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn from_value(v: &Value) -> Result<($($t,)+), Error> {
+                match v {
+                    Value::Arr(items) if items.len() == $len => {
+                        Ok(($($t::from_value(&items[$idx])?,)+))
+                    }
+                    Value::Arr(items) => Err(Error(format!(
+                        "expected array of {}, got {} elements", $len, items.len()
+                    ))),
+                    other => type_err("array", other),
+                }
+            }
+        }
+    };
+}
+
+impl_tuple!(2, A.0, B.1);
+impl_tuple!(3, A.0, B.1, C.2);
+impl_tuple!(4, A.0, B.1, C.2, D.3);
+
+/// Support glue used by the generated derive code. Not a public API.
+pub mod __private {
+    use super::{Error, Value};
+
+    /// Split an externally tagged enum value into `(variant, payload)`.
+    /// A unit variant is a bare string; every other variant is a
+    /// single-entry object `{variant: payload}`.
+    pub fn variant(v: &Value) -> Result<(&str, Option<&Value>), Error> {
+        match v {
+            Value::Str(tag) => Ok((tag, None)),
+            Value::Obj(fields) if fields.len() == 1 => {
+                Ok((fields[0].0.as_str(), Some(&fields[0].1)))
+            }
+            other => Err(Error(format!(
+                "expected enum (string or single-key object), got {}",
+                other.kind()
+            ))),
+        }
+    }
+
+    /// Expect a fixed-arity array (tuple variant / tuple struct payload).
+    pub fn tuple(v: &Value, len: usize) -> Result<&[Value], Error> {
+        match v {
+            Value::Arr(items) if items.len() == len => Ok(items),
+            Value::Arr(items) => Err(Error(format!(
+                "expected {len}-tuple, got {} elements",
+                items.len()
+            ))),
+            other => Err(Error(format!("expected {len}-tuple, got {}", other.kind()))),
+        }
+    }
+
+    /// Unwrap the payload of a non-unit enum variant.
+    pub fn tuple_payload<'a>(
+        payload: Option<&'a Value>,
+        variant: &str,
+    ) -> Result<&'a Value, Error> {
+        payload.ok_or_else(|| Error(format!("variant `{variant}` expects a payload")))
+    }
+
+    /// Error for an unknown enum variant tag.
+    pub fn unknown_variant(ty: &str, tag: &str) -> Error {
+        Error(format!("unknown {ty} variant `{tag}`"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn option_and_missing_fields() {
+        let obj = Value::Obj(vec![("a".into(), Value::U128(3))]);
+        assert_eq!(<Option<u64>>::from_value(obj.field("a")).unwrap(), Some(3));
+        assert_eq!(<Option<u64>>::from_value(obj.field("zzz")).unwrap(), None);
+        assert!(u64::from_value(obj.field("zzz")).is_err());
+    }
+
+    #[test]
+    fn tuples_round_trip() {
+        let v = (1u64, "x".to_string()).to_value();
+        assert_eq!(
+            <(u64, String)>::from_value(&v).unwrap(),
+            (1, "x".to_string())
+        );
+    }
+
+    #[test]
+    fn signed_integers_round_trip() {
+        for x in [-5i64, 0, 5] {
+            assert_eq!(i64::from_value(&x.to_value()).unwrap(), x);
+        }
+    }
+
+    #[test]
+    fn u128_survives() {
+        let big = u128::MAX - 7;
+        assert_eq!(u128::from_value(&big.to_value()).unwrap(), big);
+    }
+}

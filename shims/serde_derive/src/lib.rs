@@ -1,0 +1,395 @@
+//! `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the serde shim.
+//!
+//! Implemented directly on `proc_macro::TokenStream` (the build has no
+//! registry access, so no syn/quote). The derive only needs item, variant,
+//! and field *names* — serialization lowers every field with
+//! `serde::Serialize::to_value(&self.field)` and deserialization leans on
+//! type inference through `serde::Deserialize::from_value`, so types never
+//! have to be parsed, only skipped. Generics are rejected; none of the
+//! workspace's serialized types are generic.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+use std::iter::Peekable;
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, Mode::Serialize)
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, Mode::Deserialize)
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Mode {
+    Serialize,
+    Deserialize,
+}
+
+enum Fields {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+enum Item {
+    Struct {
+        name: String,
+        fields: Fields,
+    },
+    Enum {
+        name: String,
+        variants: Vec<(String, Fields)>,
+    },
+}
+
+fn expand(input: TokenStream, mode: Mode) -> TokenStream {
+    let code = match parse_item(input) {
+        Ok(item) => match mode {
+            Mode::Serialize => gen_serialize(&item),
+            Mode::Deserialize => gen_deserialize(&item),
+        },
+        Err(msg) => format!("compile_error!({msg:?});"),
+    };
+    code.parse().expect("serde_derive generated invalid Rust")
+}
+
+type Tokens = Peekable<proc_macro::token_stream::IntoIter>;
+
+fn is_punct(tt: &TokenTree, c: char) -> bool {
+    matches!(tt, TokenTree::Punct(p) if p.as_char() == c)
+}
+
+/// Consume `#[...]` / `#![...]` attribute tokens at the cursor.
+fn skip_attrs(toks: &mut Tokens) {
+    while toks.peek().map(|t| is_punct(t, '#')).unwrap_or(false) {
+        toks.next();
+        if toks.peek().map(|t| is_punct(t, '!')).unwrap_or(false) {
+            toks.next();
+        }
+        toks.next(); // the [...] group
+    }
+}
+
+/// Consume `pub`, `pub(crate)`, `pub(in ...)` at the cursor.
+fn skip_visibility(toks: &mut Tokens) {
+    if let Some(TokenTree::Ident(id)) = toks.peek() {
+        if id.to_string() == "pub" {
+            toks.next();
+            if let Some(TokenTree::Group(g)) = toks.peek() {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    toks.next();
+                }
+            }
+        }
+    }
+}
+
+/// Consume tokens until a top-level `,` (angle-bracket depth aware),
+/// eating the comma too. Used to skip field types and discriminants.
+fn skip_past_comma(toks: &mut Tokens) {
+    let mut depth = 0i32;
+    for tt in toks.by_ref() {
+        if let TokenTree::Punct(p) = &tt {
+            match p.as_char() {
+                '<' => depth += 1,
+                '>' => depth -= 1,
+                ',' if depth == 0 => return,
+                _ => {}
+            }
+        }
+    }
+}
+
+fn expect_ident(toks: &mut Tokens, what: &str) -> Result<String, String> {
+    match toks.next() {
+        Some(TokenTree::Ident(id)) => Ok(id.to_string()),
+        other => Err(format!("serde derive: expected {what}, found {other:?}")),
+    }
+}
+
+fn parse_named_fields(group: TokenStream) -> Result<Vec<String>, String> {
+    let mut toks: Tokens = group.into_iter().peekable();
+    let mut names = Vec::new();
+    loop {
+        skip_attrs(&mut toks);
+        if toks.peek().is_none() {
+            return Ok(names);
+        }
+        skip_visibility(&mut toks);
+        names.push(expect_ident(&mut toks, "field name")?);
+        match toks.next() {
+            Some(tt) if is_punct(&tt, ':') => {}
+            other => return Err(format!("serde derive: expected `:`, found {other:?}")),
+        }
+        skip_past_comma(&mut toks);
+    }
+}
+
+fn count_tuple_fields(group: TokenStream) -> usize {
+    let mut depth = 0i32;
+    let mut fields = 0usize;
+    let mut in_segment = false;
+    for tt in group {
+        if let TokenTree::Punct(p) = &tt {
+            match p.as_char() {
+                '<' => depth += 1,
+                '>' => depth -= 1,
+                ',' if depth == 0 => {
+                    if in_segment {
+                        fields += 1;
+                    }
+                    in_segment = false;
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        in_segment = true;
+    }
+    if in_segment {
+        fields += 1;
+    }
+    fields
+}
+
+fn parse_variants(group: TokenStream) -> Result<Vec<(String, Fields)>, String> {
+    let mut toks: Tokens = group.into_iter().peekable();
+    let mut variants = Vec::new();
+    loop {
+        skip_attrs(&mut toks);
+        if toks.peek().is_none() {
+            return Ok(variants);
+        }
+        let name = expect_ident(&mut toks, "variant name")?;
+        let fields = match toks.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let n = count_tuple_fields(g.stream());
+                toks.next();
+                Fields::Tuple(n)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let names = parse_named_fields(g.stream())?;
+                toks.next();
+                Fields::Named(names)
+            }
+            _ => Fields::Unit,
+        };
+        skip_past_comma(&mut toks);
+        variants.push((name, fields));
+    }
+}
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let mut toks: Tokens = input.into_iter().peekable();
+    loop {
+        skip_attrs(&mut toks);
+        skip_visibility(&mut toks);
+        match toks.next() {
+            Some(TokenTree::Ident(id)) if id.to_string() == "struct" => {
+                let name = expect_ident(&mut toks, "struct name")?;
+                return match toks.next() {
+                    Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+                        Err(format!("serde derive: generic type `{name}` not supported"))
+                    }
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                        Ok(Item::Struct {
+                            name,
+                            fields: Fields::Named(parse_named_fields(g.stream())?),
+                        })
+                    }
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                        Ok(Item::Struct {
+                            name,
+                            fields: Fields::Tuple(count_tuple_fields(g.stream())),
+                        })
+                    }
+                    Some(tt) if is_punct(&tt, ';') => Ok(Item::Struct {
+                        name,
+                        fields: Fields::Unit,
+                    }),
+                    other => Err(format!(
+                        "serde derive: unexpected token after struct name: {other:?}"
+                    )),
+                };
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "enum" => {
+                let name = expect_ident(&mut toks, "enum name")?;
+                return match toks.next() {
+                    Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+                        Err(format!("serde derive: generic type `{name}` not supported"))
+                    }
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                        Ok(Item::Enum {
+                            name,
+                            variants: parse_variants(g.stream())?,
+                        })
+                    }
+                    other => Err(format!(
+                        "serde derive: unexpected token after enum name: {other:?}"
+                    )),
+                };
+            }
+            Some(TokenTree::Ident(_)) => continue, // `union` would fall through to an error later
+            Some(other) => return Err(format!("serde derive: unexpected token {other:?}")),
+            None => return Err("serde derive: no struct or enum found".to_string()),
+        }
+    }
+}
+
+fn ser_named_body(fields: &[String], accessor: &dyn Fn(&str) -> String) -> String {
+    let entries: Vec<String> = fields
+        .iter()
+        .map(|f| {
+            format!(
+                "(::std::string::String::from({f:?}), serde::Serialize::to_value({})),",
+                accessor(f)
+            )
+        })
+        .collect();
+    format!("serde::Value::Obj(::std::vec![{}])", entries.join(" "))
+}
+
+fn gen_serialize(item: &Item) -> String {
+    match item {
+        Item::Struct { name, fields } => {
+            let body = match fields {
+                Fields::Unit => "serde::Value::Null".to_string(),
+                Fields::Tuple(1) => "serde::Serialize::to_value(&self.0)".to_string(),
+                Fields::Tuple(n) => {
+                    let items: Vec<String> = (0..*n)
+                        .map(|i| format!("serde::Serialize::to_value(&self.{i}),"))
+                        .collect();
+                    format!("serde::Value::Arr(::std::vec![{}])", items.join(" "))
+                }
+                Fields::Named(names) => ser_named_body(names, &|f| format!("&self.{f}")),
+            };
+            format!(
+                "impl serde::Serialize for {name} {{ \
+                   fn to_value(&self) -> serde::Value {{ {body} }} \
+                 }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|(vname, fields)| match fields {
+                    Fields::Unit => format!(
+                        "{name}::{vname} => serde::Value::Str(::std::string::String::from({vname:?})),"
+                    ),
+                    Fields::Tuple(n) => {
+                        let binders: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                        let payload = if *n == 1 {
+                            "serde::Serialize::to_value(__f0)".to_string()
+                        } else {
+                            let items: Vec<String> = binders
+                                .iter()
+                                .map(|b| format!("serde::Serialize::to_value({b}),"))
+                                .collect();
+                            format!("serde::Value::Arr(::std::vec![{}])", items.join(" "))
+                        };
+                        format!(
+                            "{name}::{vname}({}) => serde::Value::Obj(::std::vec![\
+                               (::std::string::String::from({vname:?}), {payload})]),",
+                            binders.join(", ")
+                        )
+                    }
+                    Fields::Named(fnames) => {
+                        let payload = ser_named_body(fnames, &|f| f.to_string());
+                        format!(
+                            "{name}::{vname} {{ {} }} => serde::Value::Obj(::std::vec![\
+                               (::std::string::String::from({vname:?}), {payload})]),",
+                            fnames.join(", ")
+                        )
+                    }
+                })
+                .collect();
+            format!(
+                "impl serde::Serialize for {name} {{ \
+                   fn to_value(&self) -> serde::Value {{ match self {{ {} }} }} \
+                 }}",
+                arms.join(" ")
+            )
+        }
+    }
+}
+
+fn de_named_body(ctor: &str, fields: &[String], source: &str) -> String {
+    let inits: Vec<String> = fields
+        .iter()
+        .map(|f| format!("{f}: serde::Deserialize::from_value({source}.field({f:?}))?,"))
+        .collect();
+    format!(
+        "::std::result::Result::Ok({ctor} {{ {} }})",
+        inits.join(" ")
+    )
+}
+
+fn de_tuple_items(n: usize, slice: &str) -> String {
+    (0..n)
+        .map(|i| format!("serde::Deserialize::from_value(&{slice}[{i}])?,"))
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let body = match item {
+        Item::Struct { name, fields } => match fields {
+            Fields::Unit => format!("::std::result::Result::Ok({name})"),
+            Fields::Tuple(1) => {
+                format!("::std::result::Result::Ok({name}(serde::Deserialize::from_value(v)?))")
+            }
+            Fields::Tuple(n) => format!(
+                "let __t = serde::__private::tuple(v, {n})?; \
+                 ::std::result::Result::Ok({name}({}))",
+                de_tuple_items(*n, "__t")
+            ),
+            Fields::Named(fnames) => format!(
+                "if !matches!(v, serde::Value::Obj(_)) {{ \
+                   return ::std::result::Result::Err(serde::Error::msg(\
+                     ::std::format!(\"expected object for struct {name}\"))); \
+                 }} {}",
+                de_named_body(name, fnames, "v")
+            ),
+        },
+        Item::Enum { name, variants } => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|(vname, fields)| match fields {
+                    Fields::Unit => {
+                        format!("{vname:?} => ::std::result::Result::Ok({name}::{vname}),")
+                    }
+                    Fields::Tuple(1) => format!(
+                        "{vname:?} => {{ let __p = serde::__private::tuple_payload(__payload, {vname:?})?; \
+                         ::std::result::Result::Ok({name}::{vname}(serde::Deserialize::from_value(__p)?)) }},"
+                    ),
+                    Fields::Tuple(n) => format!(
+                        "{vname:?} => {{ let __p = serde::__private::tuple_payload(__payload, {vname:?})?; \
+                         let __t = serde::__private::tuple(__p, {n})?; \
+                         ::std::result::Result::Ok({name}::{vname}({})) }},",
+                        de_tuple_items(*n, "__t")
+                    ),
+                    Fields::Named(fnames) => format!(
+                        "{vname:?} => {{ let __p = serde::__private::tuple_payload(__payload, {vname:?})?; {} }},",
+                        de_named_body(&format!("{name}::{vname}"), fnames, "__p")
+                    ),
+                })
+                .collect();
+            format!(
+                "let (__tag, __payload) = serde::__private::variant(v)?; \
+                 match __tag {{ {} __other => ::std::result::Result::Err(\
+                   serde::__private::unknown_variant({name:?}, __other)), }}",
+                arms.join(" ")
+            )
+        }
+    };
+    let name = match item {
+        Item::Struct { name, .. } | Item::Enum { name, .. } => name,
+    };
+    format!(
+        "impl serde::Deserialize for {name} {{ \
+           fn from_value(v: &serde::Value) -> ::std::result::Result<Self, serde::Error> {{ {body} }} \
+         }}"
+    )
+}

@@ -31,6 +31,8 @@ USAGE:
   ecfd detector  [--kind heartbeat|ring|leader|fused|stable|gossip]
                  [--n N] [--seed S] [--crash P@MS ...] [--run-ms MS] [--timeline]
   ecfd log       [--n N] [--commands K] [--seed S] [--crash P@MS ...]
+  ecfd campaign  --scenario NAME [--seeds A..B] [--jobs N] [--artifact-dir DIR]
+  ecfd campaign  --replay FILE [--shrink]
   ecfd classes
   ecfd help
 
@@ -46,6 +48,14 @@ OPTIONS:
   --run-ms MS       detector run length (default 3000)
   --commands K      commands submitted to the replicated log (default 6)
   --timeline        print the chronological observation timeline
+
+CAMPAIGN OPTIONS:
+  --scenario NAME   campaign scenario (e8, blind)
+  --seeds A..B      seed range to sweep, half-open (default 0..100)
+  --jobs N          worker threads (default: all cores)
+  --artifact-dir D  where failing seeds write repro JSON (default target/campaign)
+  --replay FILE     re-execute a repro artifact instead of sweeping
+  --shrink          after a replay, greedily minimize the counterexample
 ";
 
 #[derive(Debug, Default)]
@@ -59,6 +69,12 @@ struct Args {
     run_ms: u64,
     commands: u64,
     timeline: bool,
+    scenario: String,
+    seeds: (u64, u64),
+    jobs: usize,
+    artifact_dir: String,
+    replay: Option<String>,
+    shrink: bool,
 }
 
 fn parse_args(argv: &[String]) -> Result<Args, String> {
@@ -70,6 +86,11 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         horizon_ms: 10_000,
         run_ms: 3_000,
         commands: 6,
+        seeds: (0, 100),
+        jobs: std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1),
+        artifact_dir: "target/campaign".into(),
         ..Args::default()
     };
     let mut it = argv.iter();
@@ -80,10 +101,35 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
             "--seed" => a.seed = take()?.parse().map_err(|e| format!("--seed: {e}"))?,
             "--protocol" => a.protocol = take()?.clone(),
             "--kind" => a.kind = take()?.clone(),
-            "--horizon-ms" => a.horizon_ms = take()?.parse().map_err(|e| format!("--horizon-ms: {e}"))?,
+            "--horizon-ms" => {
+                a.horizon_ms = take()?.parse().map_err(|e| format!("--horizon-ms: {e}"))?
+            }
             "--run-ms" => a.run_ms = take()?.parse().map_err(|e| format!("--run-ms: {e}"))?,
             "--commands" => a.commands = take()?.parse().map_err(|e| format!("--commands: {e}"))?,
             "--timeline" => a.timeline = true,
+            "--scenario" => a.scenario = take()?.clone(),
+            "--seeds" => {
+                let spec = take()?;
+                let (lo, hi) = spec
+                    .split_once("..")
+                    .ok_or_else(|| format!("--seeds wants A..B (half-open), got {spec}"))?;
+                a.seeds = (
+                    lo.parse().map_err(|e| format!("--seeds start: {e}"))?,
+                    hi.parse().map_err(|e| format!("--seeds end: {e}"))?,
+                );
+                if a.seeds.0 > a.seeds.1 {
+                    return Err(format!("--seeds: empty range {spec}"));
+                }
+            }
+            "--jobs" => {
+                a.jobs = take()?.parse().map_err(|e| format!("--jobs: {e}"))?;
+                if a.jobs == 0 {
+                    return Err("--jobs must be at least 1".into());
+                }
+            }
+            "--artifact-dir" => a.artifact_dir = take()?.clone(),
+            "--replay" => a.replay = Some(take()?.clone()),
+            "--shrink" => a.shrink = true,
             "--crash" => {
                 let spec = take()?;
                 let (p, ms) = spec
@@ -106,7 +152,11 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         }
     }
     if 2 * a.crashes.len() >= a.n {
-        eprintln!("warning: {} crashes with n={} violates f < n/2 — liveness not guaranteed", a.crashes.len(), a.n);
+        eprintln!(
+            "warning: {} crashes with n={} violates f < n/2 — liveness not guaranteed",
+            a.crashes.len(),
+            a.n
+        );
     }
     Ok(a)
 }
@@ -138,14 +188,19 @@ fn cmd_consensus(a: &Args) -> Result<(), String> {
         "ecm" => run_scenario(default_net(a.n), &sc, |pid, n| {
             ConsensusNode::new(
                 pid,
-                LeaderByFirstNonSuspected::new(HeartbeatDetector::new(pid, n, HeartbeatConfig::default()), n),
+                LeaderByFirstNonSuspected::new(
+                    HeartbeatDetector::new(pid, n, HeartbeatConfig::default()),
+                    n,
+                ),
                 EcMergedConsensus::new(pid, n, ConsensusConfig::default()),
             )
         }),
         other => return Err(format!("unknown protocol {other} (ec|ecm|ct|mr|paxos)")),
     };
     if !r.all_decided {
-        return Err("no decision before the horizon (crashed majority, or horizon too small)".into());
+        return Err(
+            "no decision before the horizon (crashed majority, or horizon too small)".into(),
+        );
     }
     let check = ConsensusRun::new(&r.trace, a.n);
     check.check_all().map_err(|v| v.to_string())?;
@@ -164,7 +219,10 @@ fn cmd_consensus(a: &Args) -> Result<(), String> {
 }
 
 fn cmd_detector(a: &Args) -> Result<(), String> {
-    println!("detector: kind={} n={} seed={} crashes={:?}", a.kind, a.n, a.seed, a.crashes);
+    println!(
+        "detector: kind={} n={} seed={} crashes={:?}",
+        a.kind, a.n, a.seed, a.crashes
+    );
     let net = default_net(a.n);
     let mut b = WorldBuilder::new(net).seed(a.seed);
     for &(p, ms) in &a.crashes {
@@ -184,24 +242,33 @@ fn cmd_detector(a: &Args) -> Result<(), String> {
         }
         "ring" => {
             let mut w = b.build(|pid, n| {
-                Standalone(LeaderByFirstNonSuspected::new(RingDetector::new(pid, n, RingConfig::default()), n))
+                Standalone(LeaderByFirstNonSuspected::new(
+                    RingDetector::new(pid, n, RingConfig::default()),
+                    n,
+                ))
             });
             w.run_until_time(end);
             w.into_results()
         }
         "leader" => {
-            let mut w = b.build(|pid, n| Standalone(LeaderDetector::new(pid, n, LeaderConfig::default())));
+            let mut w =
+                b.build(|pid, n| Standalone(LeaderDetector::new(pid, n, LeaderConfig::default())));
             w.run_until_time(end);
             w.into_results()
         }
         "fused" => {
-            let mut w = b.build(|pid, n| Standalone(FusedDetector::new(pid, n, FusedConfig::default())));
+            let mut w =
+                b.build(|pid, n| Standalone(FusedDetector::new(pid, n, FusedConfig::default())));
             w.run_until_time(end);
             w.into_results()
         }
         "stable" => {
             let mut w = b.build(|pid, n| {
-                Standalone(StableLeaderDetector::new(pid, n, StableLeaderConfig::default()))
+                Standalone(StableLeaderDetector::new(
+                    pid,
+                    n,
+                    StableLeaderConfig::default(),
+                ))
             });
             w.run_until_time(end);
             w.into_results()
@@ -224,10 +291,15 @@ fn cmd_detector(a: &Args) -> Result<(), String> {
         println!(
             "  {p}: suspects {}  trusts {}",
             run.final_suspects(p),
-            run.final_trusted(p).map_or("-".to_string(), |q| q.to_string()),
+            run.final_trusted(p)
+                .map_or("-".to_string(), |q| q.to_string()),
         );
     }
-    for class in [FdClass::EventuallyConsistent, FdClass::EventuallyPerfect, FdClass::Omega] {
+    for class in [
+        FdClass::EventuallyConsistent,
+        FdClass::EventuallyPerfect,
+        FdClass::Omega,
+    ] {
         match run.check_class(class) {
             Ok(()) => println!("  {class}: holds ✓"),
             Err(v) => println!("  {class}: {v}"),
@@ -241,7 +313,10 @@ fn cmd_detector(a: &Args) -> Result<(), String> {
 }
 
 fn cmd_log(a: &Args) -> Result<(), String> {
-    println!("replicated log: n={} commands={} seed={} crashes={:?}", a.n, a.commands, a.seed, a.crashes);
+    println!(
+        "replicated log: n={} commands={} seed={} crashes={:?}",
+        a.n, a.commands, a.seed, a.crashes
+    );
     let mut b = WorldBuilder::new(default_net(a.n)).seed(a.seed);
     for &(p, ms) in &a.crashes {
         b = b.crash_at(ProcessId(p), Time::from_millis(ms));
@@ -249,7 +324,10 @@ fn cmd_log(a: &Args) -> Result<(), String> {
     let mut w = b.build(|pid, n| {
         MultiNode::new(
             pid,
-            LeaderByFirstNonSuspected::new(HeartbeatDetector::new(pid, n, HeartbeatConfig::default()), n),
+            LeaderByFirstNonSuspected::new(
+                HeartbeatDetector::new(pid, n, HeartbeatConfig::default()),
+                n,
+            ),
             MultiEc::new(pid, n, ConsensusConfig::default()),
         )
     });
@@ -285,10 +363,108 @@ fn cmd_log(a: &Args) -> Result<(), String> {
     Ok(())
 }
 
+fn cmd_campaign(a: &Args) -> Result<(), String> {
+    use fd_bench::campaign::{scenario_by_name, scenario_names};
+
+    if let Some(path) = &a.replay {
+        let path = std::path::Path::new(path);
+        let artifact = fd_campaign::Artifact::load(path)?;
+        let scenario = scenario_by_name(&artifact.scenario)
+            .ok_or_else(|| format!("artifact names unknown scenario {:?}", artifact.scenario))?;
+        println!(
+            "replaying {}: scenario {} seed {} property {}",
+            path.display(),
+            artifact.scenario,
+            artifact.seed,
+            artifact.property
+        );
+        let r = fd_campaign::replay(scenario.as_ref(), &artifact)?;
+        match &r.violation {
+            Some(detail) => println!("violation reproduced ✓  {detail}"),
+            None => println!("violation did NOT reproduce"),
+        }
+        println!(
+            "trace digest {:#018x} ({})",
+            r.digest,
+            if r.digest_matches {
+                "matches artifact"
+            } else {
+                "DIFFERS from artifact"
+            }
+        );
+        if a.shrink {
+            if !r.reproduced() {
+                return Err("refusing to shrink: the violation did not reproduce".into());
+            }
+            let out = fd_campaign::shrink(scenario.as_ref(), &artifact)?;
+            println!(
+                "shrunk in {} accepted steps ({} attempts):",
+                out.applied.len(),
+                out.attempts
+            );
+            for step in &out.applied {
+                println!("  - {step}");
+            }
+            let min = artifact_sibling(path, &out.artifact)?;
+            println!("minimal counterexample: {}", min.display());
+        }
+        return if r.reproduced() {
+            Ok(())
+        } else {
+            Err("artifact is stale".into())
+        };
+    }
+
+    if a.scenario.is_empty() {
+        return Err(format!(
+            "--scenario is required (known: {})",
+            scenario_names().join(", ")
+        ));
+    }
+    let scenario = scenario_by_name(&a.scenario).ok_or_else(|| {
+        format!(
+            "unknown scenario {:?} (known: {})",
+            a.scenario,
+            scenario_names().join(", ")
+        )
+    })?;
+    let report = fd_campaign::Campaign::new(scenario.as_ref(), a.seeds.0..a.seeds.1)
+        .jobs(a.jobs)
+        .artifact_dir(&a.artifact_dir)
+        .run();
+    print!("{}", report.render());
+    if report.failed() > 0 {
+        Err(format!(
+            "{} of {} seeds violated a property",
+            report.failed(),
+            report.results.len()
+        ))
+    } else {
+        Ok(())
+    }
+}
+
+/// Write a shrunk artifact next to the one it came from, `-min` suffixed.
+fn artifact_sibling(
+    original: &std::path::Path,
+    artifact: &fd_campaign::Artifact,
+) -> Result<std::path::PathBuf, String> {
+    let stem = original
+        .file_stem()
+        .and_then(|s| s.to_str())
+        .unwrap_or("artifact");
+    let path = original.with_file_name(format!("{stem}-min.json"));
+    let json = serde_json::to_string_pretty(artifact).map_err(|e| e.to_string())?;
+    std::fs::write(&path, json).map_err(|e| format!("{}: {e}", path.display()))?;
+    Ok(path)
+}
+
 fn cmd_classes() {
     println!("failure-detector classes (Fig. 1 + Ω + the paper's ◇C):\n");
     for class in FdClass::ALL {
-        let comp = class.completeness().map_or("-".into(), |c| format!("{c:?}"));
+        let comp = class
+            .completeness()
+            .map_or("-".into(), |c| format!("{c:?}"));
         let acc = class.accuracy().map_or("-".into(), |a| format!("{a:?}"));
         let leader = if class.has_leader() { "yes" } else { "no" };
         println!("  {class:<3}  completeness={comp:<7} accuracy={acc:<14} leader-output={leader}");
@@ -328,6 +504,7 @@ fn main() -> ExitCode {
         "consensus" => cmd_consensus(&args),
         "detector" => cmd_detector(&args),
         "log" => cmd_log(&args),
+        "campaign" => cmd_campaign(&args),
         other => Err(format!("unknown command {other}")),
     };
     match result {
@@ -365,6 +542,27 @@ mod tests {
         assert_eq!(a.seed, 9);
         assert_eq!(a.crashes, vec![(2, 50), (3, 75)]);
         assert!(a.timeline);
+    }
+
+    #[test]
+    fn campaign_flags() {
+        let a = parse("--scenario e8 --seeds 10..1000 --jobs 4 --artifact-dir /tmp/art").unwrap();
+        assert_eq!(a.scenario, "e8");
+        assert_eq!(a.seeds, (10, 1000));
+        assert_eq!(a.jobs, 4);
+        assert_eq!(a.artifact_dir, "/tmp/art");
+        assert!(a.replay.is_none());
+        let a = parse("--replay target/campaign/x.json --shrink").unwrap();
+        assert_eq!(a.replay.as_deref(), Some("target/campaign/x.json"));
+        assert!(a.shrink);
+    }
+
+    #[test]
+    fn bad_campaign_flags_rejected() {
+        assert!(parse("--seeds 5").is_err(), "not a range");
+        assert!(parse("--seeds 9..2").is_err(), "reversed range");
+        assert!(parse("--jobs 0").is_err());
+        assert!(parse("--jobs many").is_err());
     }
 
     #[test]

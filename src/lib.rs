@@ -39,10 +39,14 @@
 //! | [`broadcast`] | Reliable / Uniform Reliable Broadcast |
 //! | [`consensus`] | ◇C consensus + CT ◇S + MR Ω protocols, nodes, scenario harness |
 //! | [`runtime`] | threaded wall-clock executor for the same actors |
+//! | [`campaign`] | parallel seed sweeps, property monitors, repro artifacts, shrinking |
+//! | [`bench`] | experiment harness regenerating the paper's tables (incl. campaign scenarios) |
 
 #![warn(missing_docs)]
 
+pub use fd_bench as bench;
 pub use fd_broadcast as broadcast;
+pub use fd_campaign as campaign;
 pub use fd_consensus as consensus;
 pub use fd_core as core;
 pub use fd_detectors as detectors;
@@ -51,6 +55,7 @@ pub use fd_sim as sim;
 
 /// One-stop imports for examples and applications.
 pub mod prelude {
+    pub use fd_campaign::{Campaign, CampaignReport, RunPlan};
     pub use fd_consensus::{
         ct_node_hb, default_net, ec_node_hb, ec_node_leader, mr_node_leader, run_scenario,
         scripted_node, ConsensusConfig, ConsensusNode, CtConsensus, EcConsensus, MrConsensus,

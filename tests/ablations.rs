@@ -51,7 +51,10 @@ fn adaptive_timeouts_are_load_bearing() {
         run.check_stable_margin(SimDuration::from_secs(2)).is_err(),
         "a frozen timeout must keep flapping under heavy-tailed delays"
     );
-    assert!(mistakes_fixed > 50, "expected persistent false suspicions, got {mistakes_fixed}");
+    assert!(
+        mistakes_fixed > 50,
+        "expected persistent false suspicions, got {mistakes_fixed}"
+    );
 
     // Intact: the same initial timeout with real additive adaptation.
     let adaptive = HeartbeatConfig {
@@ -90,7 +93,9 @@ fn run_length_matters_for_eventual_properties() {
     w.run_until_time(early);
     let (trace, _) = w.into_results();
     assert!(
-        FdRun::new(&trace, n, early).check_strong_completeness().is_err(),
+        FdRun::new(&trace, n, early)
+            .check_strong_completeness()
+            .is_err(),
         "too-short horizons must be detectably inconclusive"
     );
 

@@ -43,14 +43,18 @@ fn heartbeat_is_ep_hence_everything_below() {
     let run = FdRun::new(&trace, N, end);
     // ◇P ⟹ ◇Q, ◇S, ◇W, and (with the §3 leader recipe) Ω and ◇C.
     for class in fd_core::FdClass::ALL {
-        run.check_class(class).unwrap_or_else(|v| panic!("{class}: {v}"));
+        run.check_class(class)
+            .unwrap_or_else(|v| panic!("{class}: {v}"));
     }
 }
 
 #[test]
 fn ring_is_ep_quality_and_a_good_ec_base() {
     let (trace, end) = run_detector(&[(0, 150)], 2, |pid, n| {
-        Standalone(LeaderByFirstNonSuspected::new(RingDetector::new(pid, n, RingConfig::default()), n))
+        Standalone(LeaderByFirstNonSuspected::new(
+            RingDetector::new(pid, n, RingConfig::default()),
+            n,
+        ))
     });
     let run = FdRun::new(&trace, N, end);
     run.check_class(FdClass::EventuallyPerfect).unwrap();
@@ -97,7 +101,11 @@ fn suspect_all_but_leader_matches_the_omega_to_ec_construction() {
     let run = FdRun::new(&trace, N, end);
     run.check_class(FdClass::EventuallyConsistent).unwrap();
     for p in run.correct().iter() {
-        assert_eq!(run.final_suspects(p).len(), N - 1, "Ω→◇C suspects all but the leader");
+        assert_eq!(
+            run.final_suspects(p).len(),
+            N - 1,
+            "Ω→◇C suspects all but the leader"
+        );
     }
 }
 
@@ -109,7 +117,8 @@ fn reducibility_table_matches_what_the_implementations_exhibit() {
     assert!(EventuallyConsistent.implementable_from(EventuallyPerfect, Asynchronous)); // heartbeat → ◇C
     assert!(EventuallyConsistent.implementable_from(Omega, Asynchronous)); // suspect-all-but-leader
     assert!(EventuallyPerfect.implementable_from(EventuallyConsistent, PartiallySynchronous)); // Fig. 2
-    assert!(!EventuallyPerfect.implementable_from(EventuallyConsistent, Asynchronous)); // needs GST
+    assert!(!EventuallyPerfect.implementable_from(EventuallyConsistent, Asynchronous));
+    // needs GST
 }
 
 #[test]
@@ -120,7 +129,8 @@ fn detectors_recover_from_a_healed_partition() {
     // (b) fully recover — eventual strong accuracy is about exactly this.
     use fd_detectors::{HeartbeatConfig, HeartbeatDetector};
     let n = 4;
-    let healthy = LinkModel::reliable_uniform(SimDuration::from_millis(1), SimDuration::from_millis(3));
+    let healthy =
+        LinkModel::reliable_uniform(SimDuration::from_millis(1), SimDuration::from_millis(3));
     let cut = LinkModel::partitioned_during(
         healthy.clone(),
         Time::from_millis(300),
@@ -143,7 +153,11 @@ fn detectors_recover_from_a_healed_partition() {
             "p{i} must suspect the partitioned p0"
         );
     }
-    assert_eq!(w.actor(ProcessId(0)).suspected().len(), n - 1, "p0 suspects everyone");
+    assert_eq!(
+        w.actor(ProcessId(0)).suspected().len(),
+        n - 1,
+        "p0 suspects everyone"
+    );
     // After healing + timeout growth: full recovery, ◇P holds.
     let end = Time::from_secs(4);
     w.run_until_time(end);
@@ -151,7 +165,10 @@ fn detectors_recover_from_a_healed_partition() {
     let run = FdRun::new(&trace, n, end);
     run.check_class(FdClass::EventuallyPerfect).unwrap();
     for i in 0..n {
-        assert!(run.final_suspects(ProcessId(i)).is_empty(), "p{i} must fully recover");
+        assert!(
+            run.final_suspects(ProcessId(i)).is_empty(),
+            "p{i} must fully recover"
+        );
     }
 }
 
@@ -174,6 +191,9 @@ fn restricted_heartbeat_is_quasi_perfect() {
     let run = FdRun::new(&trace, N, end);
     run.check_class(FdClass::EventuallyQuasiPerfect).unwrap();
     run.check_class(FdClass::EventuallyWeak).unwrap();
-    assert!(run.check_class(FdClass::EventuallyPerfect).is_err(), "not strongly complete");
+    assert!(
+        run.check_class(FdClass::EventuallyPerfect).is_err(),
+        "not strongly complete"
+    );
     assert!(run.check_class(FdClass::EventuallyStrong).is_err());
 }

@@ -59,7 +59,9 @@ fn staggered_proposals_still_terminate() {
     builder = builder.max_events(50_000_000);
     let mut world = builder.build(ec_node_hb);
     for i in 0..4 {
-        world.interact(ProcessId(i), move |node, ctx| node.propose(ctx, 10 + i as u64));
+        world.interact(ProcessId(i), move |node, ctx| {
+            node.propose(ctx, 10 + i as u64)
+        });
     }
     world.run_until_time(Time::from_millis(200));
     world.interact(ProcessId(4), |node, ctx| node.propose(ctx, 14));
@@ -123,7 +125,8 @@ fn consensus_survives_a_burst_partition_of_the_leader() {
     // mid-round-1. Leadership must move (or be re-established after the
     // heal) and consensus still terminate and agree.
     let n = 5;
-    let healthy = LinkModel::reliable_uniform(SimDuration::from_millis(1), SimDuration::from_millis(4));
+    let healthy =
+        LinkModel::reliable_uniform(SimDuration::from_millis(1), SimDuration::from_millis(4));
     let cut = LinkModel::partitioned_during(
         healthy.clone(),
         Time::from_millis(20),
@@ -137,10 +140,16 @@ fn consensus_survives_a_burst_partition_of_the_leader() {
     }
     let sc = Scenario::failure_free(n, 78, Time::from_secs(30));
     let r = run_scenario(net, &sc, ec_node_hb);
-    assert!(r.all_decided, "partition must not prevent termination after healing");
+    assert!(
+        r.all_decided,
+        "partition must not prevent termination after healing"
+    );
     check_all(&r);
     // p0 was only partitioned, never crashed: it must decide too.
-    assert!(r.decisions[0].is_some(), "the partitioned leader catches up after the heal");
+    assert!(
+        r.decisions[0].is_some(),
+        "the partitioned leader catches up after the heal"
+    );
 }
 
 #[test]
@@ -182,8 +191,8 @@ fn coordinator_crash_exactly_between_proposition_and_acks() {
     // before any ack returns (acks land at 3Δ). Participants adopted the
     // proposition (ts = 1) — the locking mechanism of Lemma 2 — and the
     // next coordinator must carry that value forward.
-    use fd_detectors::ScriptedDetector;
     use fd_consensus::EcConsensus;
+    use fd_detectors::ScriptedDetector;
     let n = 5;
     let delta = SimDuration::from_millis(5);
     let netc = NetworkConfig::new(n).with_default(LinkModel::reliable_const(delta));
@@ -212,13 +221,21 @@ fn coordinator_crash_exactly_between_proposition_and_acks() {
                 },
             ),
         ]);
-        scripted_node(pid, schedule, EcConsensus::new(pid, n, ConsensusConfig::default()))
+        scripted_node(
+            pid,
+            schedule,
+            EcConsensus::new(pid, n, ConsensusConfig::default()),
+        )
     });
     assert!(r.all_decided);
     check_all(&r);
     // The dead coordinator's proposition had the largest (ts, value)
     // estimate: with all ts = 0, the lattice picks 55. Round 2's
     // coordinator gathers at least one ts = 1 estimate carrying it.
-    assert_eq!(r.decided_value(), 55, "the locked round-1 value must survive the crash");
+    assert_eq!(
+        r.decided_value(),
+        55,
+        "the locked round-1 value must survive the crash"
+    );
     assert!(r.max_decision_round().unwrap() >= 2);
 }

@@ -15,7 +15,11 @@ fn run(seed: u64) -> RunResult {
 fn same_seed_same_everything() {
     let a = run(12345);
     let b = run(12345);
-    assert_eq!(a.trace.events(), b.trace.events(), "traces must be identical");
+    assert_eq!(
+        a.trace.events(),
+        b.trace.events(),
+        "traces must be identical"
+    );
     assert_eq!(a.decisions, b.decisions);
     assert_eq!(a.decide_time, b.decide_time);
     assert_eq!(a.metrics.sent_total(), b.metrics.sent_total());

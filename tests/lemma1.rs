@@ -13,7 +13,13 @@ use std::collections::{HashMap, HashSet};
 fn assert_lemma1(trace: &fd_sim::Trace, kind_label: &str) {
     let mut proposers: HashMap<u64, HashSet<ProcessId>> = HashMap::new();
     for ev in trace.events() {
-        if let TraceKind::Sent { from, kind, round: Some(r), .. } = ev.kind {
+        if let TraceKind::Sent {
+            from,
+            kind,
+            round: Some(r),
+            ..
+        } = ev.kind
+        {
             if kind == kind_label {
                 proposers.entry(r).or_default().insert(from);
             }
@@ -73,8 +79,10 @@ fn lemma1_holds_for_the_merged_variant_too() {
 fn lemma1_holds_with_real_detectors_and_crashes() {
     for seed in 0..10 {
         let n = 5;
-        let sc = Scenario::failure_free(n, seed, Time::from_secs(10))
-            .with_crash(ProcessId((seed as usize) % n), Time::from_millis(5 + seed * 9));
+        let sc = Scenario::failure_free(n, seed, Time::from_secs(10)).with_crash(
+            ProcessId((seed as usize) % n),
+            Time::from_millis(5 + seed * 9),
+        );
         let r = run_scenario(default_net(n), &sc, ec_node_hb);
         assert!(r.all_decided, "seed {seed}");
         assert_lemma1(&r.trace, "ec.proposition");

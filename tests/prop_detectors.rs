@@ -24,7 +24,12 @@ fn arb_plan() -> impl Strategy<Value = FdPlan> {
         prop::collection::vec((0..n, 50u64..400), 0..=f_max).prop_map(move |mut crashes| {
             crashes.sort();
             crashes.dedup_by_key(|c| c.0);
-            FdPlan { n, seed, crashes, jitter_max_ms: jitter }
+            FdPlan {
+                n,
+                seed,
+                crashes,
+                jitter_max_ms: jitter,
+            }
         })
     })
 }
@@ -50,7 +55,12 @@ fn run_plan<A: fd_sim::Actor>(
     (trace, end)
 }
 
-fn class_or_fail(trace: &fd_sim::Trace, n: usize, end: Time, class: FdClass) -> Result<(), TestCaseError> {
+fn class_or_fail(
+    trace: &fd_sim::Trace,
+    n: usize,
+    end: Time,
+    class: FdClass,
+) -> Result<(), TestCaseError> {
     FdRun::new(trace, n, end)
         .check_class(class)
         .map_err(|v| TestCaseError::fail(format!("{v}")))

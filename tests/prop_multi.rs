@@ -13,7 +13,10 @@ type Replica = MultiNode<LeaderByFirstNonSuspected<HeartbeatDetector>>;
 fn replica(pid: ProcessId, n: usize) -> Replica {
     MultiNode::new(
         pid,
-        LeaderByFirstNonSuspected::new(HeartbeatDetector::new(pid, n, HeartbeatConfig::default()), n),
+        LeaderByFirstNonSuspected::new(
+            HeartbeatDetector::new(pid, n, HeartbeatConfig::default()),
+            n,
+        ),
         MultiEc::new(pid, n, ConsensusConfig::default()),
     )
 }
@@ -33,7 +36,12 @@ fn arb_plan() -> impl Strategy<Value = LogPlan> {
             prop::collection::vec(0..n, 1..8),
             prop::option::of((1..n, 20u64..150)),
         )
-            .prop_map(move |(submissions, crash)| LogPlan { n, seed, submissions, crash })
+            .prop_map(move |(submissions, crash)| LogPlan {
+                n,
+                seed,
+                submissions,
+                crash,
+            })
     })
 }
 

@@ -18,21 +18,23 @@ struct Plan {
 }
 
 fn arb_plan() -> impl Strategy<Value = Plan> {
-    (3usize..8, any::<u64>(), 0u64..300, 1u64..8).prop_flat_map(|(n, seed, horizon_extra, jitter)| {
-        let f_max = (n - 1) / 2;
-        prop::collection::vec((0..n, 0u64..200), 0..=f_max).prop_map(move |mut crashes| {
-            // Distinct victims only.
-            crashes.sort();
-            crashes.dedup_by_key(|c| c.0);
-            Plan {
-                n,
-                seed,
-                crashes,
-                horizon_ms: 150 + horizon_extra,
-                jitter_max_ms: jitter,
-            }
-        })
-    })
+    (3usize..8, any::<u64>(), 0u64..300, 1u64..8).prop_flat_map(
+        |(n, seed, horizon_extra, jitter)| {
+            let f_max = (n - 1) / 2;
+            prop::collection::vec((0..n, 0u64..200), 0..=f_max).prop_map(move |mut crashes| {
+                // Distinct victims only.
+                crashes.sort();
+                crashes.dedup_by_key(|c| c.0);
+                Plan {
+                    n,
+                    seed,
+                    crashes,
+                    horizon_ms: 150 + horizon_extra,
+                    jitter_max_ms: jitter,
+                }
+            })
+        },
+    )
 }
 
 fn net_for(plan: &Plan) -> NetworkConfig {

@@ -81,8 +81,15 @@ fn fig2_output_beats_the_poor_accuracy_of_its_own_base() {
     let transformed = FdRun::new(&trace, n, end).with_suspects_tag(EP_SUSPECTS);
     for p in 0..n {
         let p = ProcessId(p);
-        assert_eq!(base.final_suspects(p).len(), n - 1, "base suspects all but leader");
-        assert!(transformed.final_suspects(p).is_empty(), "transformed output is accurate");
+        assert_eq!(
+            base.final_suspects(p).len(),
+            n - 1,
+            "base suspects all but leader"
+        );
+        assert!(
+            transformed.final_suspects(p).is_empty(),
+            "transformed output is accurate"
+        );
     }
 }
 
@@ -128,7 +135,10 @@ fn eventually_only_the_leaders_links_carry_messages() {
             }
         }
     }
-    assert_eq!(off_leader, 0, "non-leader links must fall silent after stabilization");
+    assert_eq!(
+        off_leader, 0,
+        "non-leader links must fall silent after stabilization"
+    );
 }
 
 #[test]
