@@ -1,6 +1,19 @@
-//! Run every experiment (E1–E8) and print all tables.
+//! Run every experiment (E1–E8), print all tables, and refresh the
+//! kernel throughput benchmark (`BENCH_kernel.json`).
 fn main() {
     for table in fd_bench::experiments::run_all() {
         table.emit();
+    }
+    let bench = fd_bench::campaign::kernel_bench(1000);
+    let json = serde_json::to_string_pretty(&bench).expect("serialize");
+    let path = "BENCH_kernel.json";
+    match std::fs::write(path, json + "\n") {
+        Ok(()) => println!(
+            "kernel bench: {} events in {:.2}s ({:.0} events/sec) → {path}",
+            bench.field("events").as_u64().unwrap_or(0),
+            bench.field("wall_ns").as_u64().unwrap_or(0) as f64 / 1e9,
+            bench.field("events_per_sec").as_f64().unwrap_or(0.0),
+        ),
+        Err(e) => eprintln!("({path} export failed: {e})"),
     }
 }

@@ -8,7 +8,7 @@
 
 use crate::scenarios::{jitter_net, Protocol};
 use fd_campaign::{Monitor, NamedMonitor, RunOutcome, RunPlan, Scenario};
-use fd_consensus::{ct_node_hb, ec_node_hb, mr_node_leader, run_scenario};
+use fd_consensus::{ct_node_hb, ec_node_hb, mr_node_leader, run_scenario_observed};
 use fd_sim::{ProcessId, Time};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -75,6 +75,10 @@ impl Scenario for E8Scenario {
     }
 
     fn execute(&self, plan: &RunPlan) -> RunOutcome {
+        self.execute_observed(plan, None)
+    }
+
+    fn execute_observed(&self, plan: &RunPlan, obs: Option<&fd_obs::Registry>) -> RunOutcome {
         let n = plan.n();
         let sc = fd_consensus::Scenario {
             seed: plan.seed,
@@ -84,16 +88,17 @@ impl Scenario for E8Scenario {
         };
         let net = plan.net.clone();
         let r = match plan.params.field("proto").as_str() {
-            Some("ct") => run_scenario(net, &sc, ct_node_hb),
-            Some("mr") => run_scenario(net, &sc, mr_node_leader),
+            Some("ct") => run_scenario_observed(net, &sc, ct_node_hb, obs),
+            Some("mr") => run_scenario_observed(net, &sc, mr_node_leader, obs),
             // The paper's ◇C algorithm is the default (and "ec").
-            _ => run_scenario(net, &sc, ec_node_hb),
+            _ => run_scenario_observed(net, &sc, ec_node_hb, obs),
         };
         RunOutcome {
             n: r.n,
             end: plan.horizon,
             decision_latency: r.decide_time.map(|t| t.since(Time::ZERO)),
             messages: r.metrics.sent_total(),
+            events: r.metrics.events_processed(),
             trace: r.trace,
         }
     }
@@ -104,6 +109,67 @@ impl Scenario for E8Scenario {
             NamedMonitor::boxed("consensus.termination"),
         ]
     }
+}
+
+/// Run the kernel throughput benchmark — an instrumented E8 sweep —
+/// and return the JSON object `all_experiments` writes to
+/// `BENCH_kernel.json`: sweep wall time, total kernel events, and
+/// events/second, plus per-seed wall and worker-utilization summaries.
+///
+/// Absolute numbers are machine-dependent; the committed file is a
+/// reference point for spotting order-of-magnitude kernel regressions,
+/// not a CI gate.
+pub fn kernel_bench(seeds: u64) -> serde::Value {
+    let sc = E8Scenario;
+    let registry = fd_obs::Registry::new();
+    let report = fd_campaign::Campaign::new(&sc, 0..seeds)
+        .observe(&registry)
+        .run();
+    let wall_ns = u64::try_from(report.wall.as_nanos()).unwrap_or(u64::MAX);
+    let events = report.total_events();
+    let events_per_sec = if wall_ns == 0 {
+        0.0
+    } else {
+        events as f64 / (wall_ns as f64 / 1e9)
+    };
+    let mut fields = vec![
+        ("bench".to_string(), serde::Value::Str("kernel".into())),
+        ("scenario".to_string(), serde::Value::Str(E8.into())),
+        ("seeds".to_string(), serde::Value::U128(seeds.into())),
+        ("jobs".to_string(), serde::Value::U128(report.jobs as u128)),
+        ("wall_ns".to_string(), serde::Value::U128(wall_ns.into())),
+        ("events".to_string(), serde::Value::U128(events.into())),
+        (
+            "events_per_sec".to_string(),
+            serde::Value::F64(events_per_sec),
+        ),
+        (
+            "messages".to_string(),
+            serde::Value::U128(report.results.iter().map(|r| r.messages as u128).sum()),
+        ),
+        (
+            "passed".to_string(),
+            serde::Value::U128(report.passed().into()),
+        ),
+        (
+            "failed".to_string(),
+            serde::Value::U128(report.failed().into()),
+        ),
+    ];
+    if let Some(s) = report.seed_wall_stats() {
+        fields.push((
+            "seed_wall_p50_ns".to_string(),
+            serde::Value::U128(s.p50.into()),
+        ));
+        fields.push((
+            "seed_wall_p99_ns".to_string(),
+            serde::Value::U128(s.p99.into()),
+        ));
+    }
+    if let Some(u) = report.worker_utilization() {
+        fields.push(("worker_utilization".to_string(), serde::Value::F64(u)));
+    }
+    serde::Value::Obj(fields)
 }
 
 /// Look up a campaign scenario by registry name: the experiment

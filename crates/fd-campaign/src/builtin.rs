@@ -70,7 +70,14 @@ impl Scenario for BlindScenario {
     }
 
     fn execute(&self, plan: &RunPlan) -> RunOutcome {
+        self.execute_observed(plan, None)
+    }
+
+    fn execute_observed(&self, plan: &RunPlan, obs: Option<&fd_obs::Registry>) -> RunOutcome {
         let mut builder = WorldBuilder::new(plan.net.clone()).seed(plan.seed);
+        if let Some(registry) = obs {
+            builder = builder.observe(fd_sim::WorldObs::new(registry));
+        }
         for &(pid, at) in &plan.crashes {
             builder = builder.crash_at(pid, at);
         }
@@ -84,6 +91,7 @@ impl Scenario for BlindScenario {
             end: plan.horizon,
             decision_latency: None,
             messages: metrics.sent_total(),
+            events: metrics.events_processed(),
         }
     }
 

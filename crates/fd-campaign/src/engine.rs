@@ -27,6 +27,10 @@ pub struct SeedResult {
     pub digest: u64,
     /// Messages sent during the run.
     pub messages: u64,
+    /// Kernel events processed during the run (deterministic per seed,
+    /// so it participates in cross-worker equality checks like the rest
+    /// of this struct).
+    pub events: u64,
     /// Decision latency in ticks, for scenarios that measure decisions.
     pub latency_ticks: Option<u64>,
     /// The first violated property, if any: `(property, detail)`.
@@ -66,7 +70,12 @@ impl Stats {
         samples.sort_unstable();
         let count = samples.len();
         let sum: u128 = samples.iter().map(|&x| x as u128).sum();
-        let pct = |p: usize| samples[(count - 1) * p / 100];
+        // Nearest-rank percentile: the p-th percentile of n sorted
+        // samples is the one at rank ceil(p/100 · n), 1-based. The
+        // previous `(count - 1) * p / 100` truncated the rank, which
+        // underestimated high percentiles on small sample sets (for
+        // n = 2 it returned the *minimum* as p99).
+        let pct = |p: usize| samples[(p * count).div_ceil(100).max(1) - 1];
         Some(Stats {
             count,
             min: samples[0],
@@ -76,6 +85,32 @@ impl Stats {
             max: samples[count - 1],
         })
     }
+}
+
+/// Wall-clock cost of one seed's run, and which worker executed it.
+///
+/// Kept apart from [`SeedResult`] on purpose: results are compared for
+/// byte-identity across worker counts and instrumentation settings,
+/// while timings are inherently nondeterministic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SeedTiming {
+    /// The seed.
+    pub seed: u64,
+    /// Wall-clock nanoseconds spent planning, executing, and checking.
+    pub wall_ns: u64,
+    /// Index of the worker thread that ran it (0-based).
+    pub worker: usize,
+}
+
+/// Aggregate load of one worker thread across the sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WorkerStat {
+    /// Worker index (0-based).
+    pub worker: usize,
+    /// Seeds this worker executed.
+    pub seeds: u64,
+    /// Nanoseconds the worker spent inside seed runs.
+    pub busy_ns: u64,
 }
 
 /// The merged result of a campaign.
@@ -89,6 +124,11 @@ pub struct CampaignReport {
     pub jobs: usize,
     /// Per-seed verdicts, sorted by seed.
     pub results: Vec<SeedResult>,
+    /// Per-seed wall-clock timings, sorted by seed (nondeterministic —
+    /// excluded from the determinism contract on `results`).
+    pub timings: Vec<SeedTiming>,
+    /// Per-worker load, indexed by worker.
+    pub workers: Vec<WorkerStat>,
     /// Repro artifacts written for failing seeds.
     pub artifacts: Vec<PathBuf>,
     /// Wall-clock time of the sweep.
@@ -125,6 +165,28 @@ impl CampaignReport {
     /// Message-count statistics over all runs.
     pub fn message_stats(&self) -> Option<Stats> {
         Stats::from_samples(self.results.iter().map(|r| r.messages).collect())
+    }
+
+    /// Total kernel events processed across all runs.
+    pub fn total_events(&self) -> u64 {
+        self.results.iter().map(|r| r.events).sum()
+    }
+
+    /// Per-seed wall-clock statistics (nanoseconds).
+    pub fn seed_wall_stats(&self) -> Option<Stats> {
+        Stats::from_samples(self.timings.iter().map(|t| t.wall_ns).collect())
+    }
+
+    /// Pool utilization in `[0, 1]`: the fraction of `jobs × wall` the
+    /// workers spent inside seed runs. Low values mean stragglers or an
+    /// undersized seed range; `None` for an empty or instant sweep.
+    pub fn worker_utilization(&self) -> Option<f64> {
+        let capacity = self.wall.as_nanos() * self.jobs as u128;
+        if capacity == 0 {
+            return None;
+        }
+        let busy: u128 = self.workers.iter().map(|w| w.busy_ns as u128).sum();
+        Some((busy as f64 / capacity as f64).min(1.0))
     }
 
     /// Human-readable summary (what `ecfd campaign` prints).
@@ -169,6 +231,7 @@ pub struct Campaign<'s> {
     seeds: Range<u64>,
     jobs: usize,
     artifact_dir: Option<PathBuf>,
+    obs: Option<&'s fd_obs::Registry>,
 }
 
 impl<'s> Campaign<'s> {
@@ -182,6 +245,7 @@ impl<'s> Campaign<'s> {
             seeds,
             jobs,
             artifact_dir: None,
+            obs: None,
         }
     }
 
@@ -197,10 +261,28 @@ impl<'s> Campaign<'s> {
         self
     }
 
+    /// Record kernel instrumentation for every run into `registry`
+    /// (shared across workers; all metrics are atomics). Off by default.
+    /// Per-seed verdicts are byte-identical with or without a registry —
+    /// the `campaign_e2e` suite enforces this.
+    pub fn observe(mut self, registry: &'s fd_obs::Registry) -> Self {
+        self.obs = Some(registry);
+        self
+    }
+
     /// Execute one seed: plan, run, check. Also used by replay paths.
     pub fn run_seed(scenario: &dyn Scenario, seed: u64) -> (SeedResult, Option<Artifact>) {
+        Self::run_seed_observed(scenario, seed, None)
+    }
+
+    /// [`Campaign::run_seed`] with optional kernel instrumentation.
+    pub fn run_seed_observed(
+        scenario: &dyn Scenario,
+        seed: u64,
+        obs: Option<&fd_obs::Registry>,
+    ) -> (SeedResult, Option<Artifact>) {
         let plan = scenario.plan(seed);
-        let outcome = scenario.execute(&plan);
+        let outcome = scenario.execute_observed(&plan, obs);
         let digest = outcome.trace.digest();
         let violation = first_violation(scenario, &outcome);
         let artifact = violation.as_ref().map(|(property, detail)| Artifact {
@@ -215,6 +297,7 @@ impl<'s> Campaign<'s> {
             seed,
             digest,
             messages: outcome.messages,
+            events: outcome.events,
             latency_ticks: outcome.decision_latency.map(|d| d.ticks()),
             violation,
         };
@@ -226,32 +309,58 @@ impl<'s> Campaign<'s> {
         let started = Instant::now();
         let next = AtomicU64::new(self.seeds.start);
         let results: Mutex<Vec<SeedResult>> = Mutex::new(Vec::new());
+        let timings: Mutex<Vec<SeedTiming>> = Mutex::new(Vec::new());
+        let worker_stats: Mutex<Vec<WorkerStat>> = Mutex::new(Vec::new());
         let artifacts: Mutex<Vec<PathBuf>> = Mutex::new(Vec::new());
-        let worker = || loop {
-            let seed = next.fetch_add(1, Ordering::Relaxed);
-            if seed >= self.seeds.end {
-                break;
-            }
-            let (result, artifact) = Self::run_seed(self.scenario, seed);
-            if let (Some(a), Some(dir)) = (artifact, &self.artifact_dir) {
-                match a.save(dir) {
-                    Ok(path) => artifacts.lock().unwrap().push(path),
-                    Err(e) => eprintln!("campaign: could not write artifact for seed {seed}: {e}"),
+        let worker = |index: usize| {
+            let mut stat = WorkerStat {
+                worker: index,
+                seeds: 0,
+                busy_ns: 0,
+            };
+            loop {
+                let seed = next.fetch_add(1, Ordering::Relaxed);
+                if seed >= self.seeds.end {
+                    break;
                 }
+                let seed_started = Instant::now();
+                let (result, artifact) = Self::run_seed_observed(self.scenario, seed, self.obs);
+                let wall_ns = u64::try_from(seed_started.elapsed().as_nanos()).unwrap_or(u64::MAX);
+                stat.seeds += 1;
+                stat.busy_ns = stat.busy_ns.saturating_add(wall_ns);
+                if let (Some(a), Some(dir)) = (artifact, &self.artifact_dir) {
+                    match a.save(dir) {
+                        Ok(path) => artifacts.lock().unwrap().push(path),
+                        Err(e) => {
+                            eprintln!("campaign: could not write artifact for seed {seed}: {e}")
+                        }
+                    }
+                }
+                timings.lock().unwrap().push(SeedTiming {
+                    seed,
+                    wall_ns,
+                    worker: index,
+                });
+                results.lock().unwrap().push(result);
             }
-            results.lock().unwrap().push(result);
+            worker_stats.lock().unwrap().push(stat);
         };
         if self.jobs == 1 {
-            worker();
+            worker(0);
         } else {
             std::thread::scope(|s| {
-                for _ in 0..self.jobs {
-                    s.spawn(worker);
+                for index in 0..self.jobs {
+                    let worker = &worker;
+                    s.spawn(move || worker(index));
                 }
             });
         }
         let mut results = results.into_inner().unwrap();
         results.sort_by_key(|r| r.seed);
+        let mut timings = timings.into_inner().unwrap();
+        timings.sort_by_key(|t| t.seed);
+        let mut workers = worker_stats.into_inner().unwrap();
+        workers.sort_by_key(|w| w.worker);
         let mut artifacts = artifacts.into_inner().unwrap();
         artifacts.sort();
         CampaignReport {
@@ -259,6 +368,8 @@ impl<'s> Campaign<'s> {
             seeds: (self.seeds.start, self.seeds.end),
             jobs: self.jobs,
             results,
+            timings,
+            workers,
             artifacts,
             wall: started.elapsed(),
         }
@@ -293,6 +404,26 @@ mod tests {
         assert_eq!(s.p99, 99);
         assert!((s.mean - 50.5).abs() < 1e-9);
         assert_eq!(Stats::from_samples(Vec::new()), None);
+    }
+
+    /// Regression: nearest-rank indices for sample counts that do not
+    /// divide 100 evenly. The old `(count - 1) * p / 100` formula
+    /// truncated toward the minimum — for two samples it reported the
+    /// *smaller* one as the 99th percentile.
+    #[test]
+    fn stats_tiny_sample_sets_use_nearest_rank() {
+        let s = Stats::from_samples(vec![7]).unwrap();
+        assert_eq!((s.min, s.p50, s.p99, s.max), (7, 7, 7, 7));
+
+        let s = Stats::from_samples(vec![10, 20]).unwrap();
+        // rank(p50) = ceil(0.50 * 2) = 1 → 10; rank(p99) = ceil(1.98) = 2 → 20.
+        assert_eq!(s.p50, 10);
+        assert_eq!(s.p99, 20, "p99 of two samples is the larger one");
+
+        let s = Stats::from_samples((1..=99).collect()).unwrap();
+        // rank(p50) = ceil(49.5) = 50; rank(p99) = ceil(98.01) = 99.
+        assert_eq!(s.p50, 50);
+        assert_eq!(s.p99, 99, "p99 of 99 samples is the maximum");
     }
 
     #[test]

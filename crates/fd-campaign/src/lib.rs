@@ -33,14 +33,16 @@ pub mod artifact;
 pub mod builtin;
 pub mod engine;
 pub mod monitor;
+pub mod obs_report;
 pub mod plan;
 pub mod scenario;
 pub mod shrink;
 
 pub use artifact::{replay, Artifact, ReplayResult};
 pub use builtin::{builtin_names, builtin_scenario, BlindScenario};
-pub use engine::{Campaign, CampaignReport, SeedResult, Stats};
+pub use engine::{Campaign, CampaignReport, SeedResult, SeedTiming, Stats, WorkerStat};
 pub use monitor::{Monitor, NamedMonitor};
+pub use obs_report::{metrics_rows, render_metrics, write_metrics_file};
 pub use plan::{RunOutcome, RunPlan};
 pub use scenario::Scenario;
 pub use shrink::{shrink, ShrinkOutcome};

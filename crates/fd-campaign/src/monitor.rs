@@ -80,6 +80,7 @@ mod tests {
             end: Time::from_secs(1),
             decision_latency: None,
             messages: 0,
+            events: 0,
         }
     }
 

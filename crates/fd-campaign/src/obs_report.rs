@@ -1,0 +1,283 @@
+//! Metrics export and rendering for observed campaigns.
+//!
+//! A sweep run with `--metrics-out FILE` writes one JSON object per line
+//! (JSONL). The schema, by the `"type"` discriminator of each row:
+//!
+//! * `"meta"` — one row: `scenario`, `seed_start`, `seed_end`, `jobs`,
+//!   `wall_ns`, `passed`, `failed`, `events` (total kernel events) and
+//!   `events_per_sec`.
+//! * `"seed"` — one row per seed: `seed`, `passed`, `digest`, `messages`,
+//!   `events`, `latency_ticks` (null when the scenario measures no
+//!   decision), `wall_ns`, `worker`.
+//! * `"worker"` — one row per worker thread: `worker`, `seeds`,
+//!   `busy_ns`, `utilization` (busy ÷ sweep wall).
+//! * `"counter"` / `"gauge"` / `"histogram"` — one row per registry
+//!   metric, as produced by [`fd_obs::Registry::snapshot`] (kernel
+//!   instrumentation such as `sim.events`, `sim.queue_depth_hwm`,
+//!   `sim.callback_ns`, and the replay path's `campaign.shrink_*`).
+//!
+//! Only the timing fields vary run to run; `seed` rows' verdict fields
+//! are as deterministic as [`crate::SeedResult`] itself.
+
+use crate::engine::{CampaignReport, Stats};
+use serde::Value;
+use std::io;
+use std::path::Path;
+
+fn obj(fields: Vec<(&str, Value)>) -> Value {
+    Value::Obj(
+        fields
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect(),
+    )
+}
+
+fn u(v: u64) -> Value {
+    Value::U128(v.into())
+}
+
+/// Lower a finished campaign (plus the registry its runs recorded into)
+/// to JSONL rows following the schema documented at module level.
+pub fn metrics_rows(report: &CampaignReport, registry: &fd_obs::Registry) -> Vec<Value> {
+    let wall_ns = u64::try_from(report.wall.as_nanos()).unwrap_or(u64::MAX);
+    let events = report.total_events();
+    let events_per_sec = if wall_ns == 0 {
+        0.0
+    } else {
+        events as f64 / (wall_ns as f64 / 1e9)
+    };
+    let mut rows = vec![obj(vec![
+        ("type", Value::Str("meta".into())),
+        ("scenario", Value::Str(report.scenario.clone())),
+        ("seed_start", u(report.seeds.0)),
+        ("seed_end", u(report.seeds.1)),
+        ("jobs", u(report.jobs as u64)),
+        ("wall_ns", u(wall_ns)),
+        ("passed", u(report.passed())),
+        ("failed", u(report.failed())),
+        ("events", u(events)),
+        ("events_per_sec", Value::F64(events_per_sec)),
+    ])];
+    for (result, timing) in report.results.iter().zip(&report.timings) {
+        debug_assert_eq!(result.seed, timing.seed, "both vectors are seed-sorted");
+        rows.push(obj(vec![
+            ("type", Value::Str("seed".into())),
+            ("seed", u(result.seed)),
+            ("passed", Value::Bool(result.passed())),
+            ("digest", u(result.digest)),
+            ("messages", u(result.messages)),
+            ("events", u(result.events)),
+            ("latency_ticks", result.latency_ticks.map_or(Value::Null, u)),
+            ("wall_ns", u(timing.wall_ns)),
+            ("worker", u(timing.worker as u64)),
+        ]));
+    }
+    for w in &report.workers {
+        let utilization = if wall_ns == 0 {
+            0.0
+        } else {
+            (w.busy_ns as f64 / wall_ns as f64).min(1.0)
+        };
+        rows.push(obj(vec![
+            ("type", Value::Str("worker".into())),
+            ("worker", u(w.worker as u64)),
+            ("seeds", u(w.seeds)),
+            ("busy_ns", u(w.busy_ns)),
+            ("utilization", Value::F64(utilization)),
+        ]));
+    }
+    rows.extend(registry.snapshot());
+    rows
+}
+
+/// Write a campaign's metrics as a JSONL file (created or truncated).
+pub fn write_metrics_file(
+    path: &Path,
+    report: &CampaignReport,
+    registry: &fd_obs::Registry,
+) -> io::Result<()> {
+    fd_obs::write_jsonl_file(path, &metrics_rows(report, registry))
+}
+
+fn ms(ns: u64) -> f64 {
+    ns as f64 / 1e6
+}
+
+/// Render a metrics JSONL file's rows as the human-readable report
+/// printed by `ecfd obs-report`. Errors on rows missing required fields.
+pub fn render_metrics(rows: &[Value]) -> Result<String, String> {
+    use std::fmt::Write;
+    let mut out = String::new();
+    let need_u64 = |row: &Value, field: &str| {
+        row.field(field)
+            .as_u64()
+            .ok_or_else(|| format!("row is missing integer field {field:?}"))
+    };
+
+    for row in rows
+        .iter()
+        .filter(|r| r.field("type").as_str() == Some("meta"))
+    {
+        let wall_ns = need_u64(row, "wall_ns")?;
+        let _ = writeln!(
+            out,
+            "campaign {}: seeds {}..{} jobs={} wall={:.1}ms",
+            row.field("scenario").as_str().unwrap_or("?"),
+            need_u64(row, "seed_start")?,
+            need_u64(row, "seed_end")?,
+            need_u64(row, "jobs")?,
+            ms(wall_ns),
+        );
+        let _ = writeln!(
+            out,
+            "  passed {} / failed {} — {} kernel events, {:.0} events/sec",
+            need_u64(row, "passed")?,
+            need_u64(row, "failed")?,
+            need_u64(row, "events")?,
+            row.field("events_per_sec").as_f64().unwrap_or(0.0),
+        );
+    }
+
+    let seeds: Vec<&Value> = rows
+        .iter()
+        .filter(|r| r.field("type").as_str() == Some("seed"))
+        .collect();
+    if !seeds.is_empty() {
+        let walls = seeds
+            .iter()
+            .map(|r| need_u64(r, "wall_ns"))
+            .collect::<Result<Vec<_>, _>>()?;
+        if let Some(s) = Stats::from_samples(walls) {
+            let _ = writeln!(
+                out,
+                "  seed wall: min {:.3} mean {:.3} p50 {:.3} p99 {:.3} max {:.3} ms ({} seeds)",
+                ms(s.min),
+                s.mean / 1e6,
+                ms(s.p50),
+                ms(s.p99),
+                ms(s.max),
+                s.count,
+            );
+        }
+        let mut slowest: Vec<(u64, u64)> = seeds
+            .iter()
+            .map(|r| Ok::<_, String>((need_u64(r, "wall_ns")?, need_u64(r, "seed")?)))
+            .collect::<Result<_, _>>()?;
+        slowest.sort_unstable_by(|a, b| b.cmp(a));
+        let list = slowest
+            .iter()
+            .take(3)
+            .map(|&(w, s)| format!("{s} ({:.3}ms)", ms(w)))
+            .collect::<Vec<_>>()
+            .join(", ");
+        let _ = writeln!(out, "  slowest seeds: {list}");
+    }
+
+    for row in rows
+        .iter()
+        .filter(|r| r.field("type").as_str() == Some("worker"))
+    {
+        let _ = writeln!(
+            out,
+            "  worker {}: {} seeds, busy {:.1}ms, utilization {:.0}%",
+            need_u64(row, "worker")?,
+            need_u64(row, "seeds")?,
+            ms(need_u64(row, "busy_ns")?),
+            row.field("utilization").as_f64().unwrap_or(0.0) * 100.0,
+        );
+    }
+
+    for row in rows {
+        match row.field("type").as_str() {
+            Some("counter") | Some("gauge") => {
+                let _ = writeln!(
+                    out,
+                    "  {} {} = {}",
+                    row.field("type").as_str().unwrap_or("?"),
+                    row.field("name").as_str().unwrap_or("?"),
+                    need_u64(row, "value")?,
+                );
+            }
+            Some("histogram") => {
+                let _ = writeln!(
+                    out,
+                    "  histogram {}: count {} min {} mean {:.0} p50 {} p90 {} p99 {} max {}",
+                    row.field("name").as_str().unwrap_or("?"),
+                    need_u64(row, "count")?,
+                    need_u64(row, "min")?,
+                    row.field("mean").as_f64().unwrap_or(0.0),
+                    need_u64(row, "p50")?,
+                    need_u64(row, "p90")?,
+                    need_u64(row, "p99")?,
+                    need_u64(row, "max")?,
+                );
+            }
+            _ => {}
+        }
+    }
+
+    if out.is_empty() {
+        return Err("no recognizable metrics rows (expected JSONL with \"type\" fields)".into());
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builtin::BlindScenario;
+    use crate::engine::Campaign;
+
+    #[test]
+    fn rows_follow_the_documented_schema() {
+        let sc = BlindScenario;
+        let registry = fd_obs::Registry::new();
+        let report = Campaign::new(&sc, 0..5).jobs(2).observe(&registry).run();
+        let rows = metrics_rows(&report, &registry);
+
+        let of = |t: &str| {
+            rows.iter()
+                .filter(|r| r.field("type").as_str() == Some(t))
+                .count()
+        };
+        assert_eq!(of("meta"), 1);
+        assert_eq!(of("seed"), 5);
+        assert_eq!(of("worker"), 2);
+        assert_eq!(of("counter"), 1, "sim.events");
+        assert_eq!(of("gauge"), 1, "sim.queue_depth_hwm");
+        assert_eq!(of("histogram"), 1, "sim.callback_ns");
+
+        // The registry's kernel event counter agrees with the summed
+        // per-seed deterministic counts.
+        let meta_events = rows[0].field("events").as_u64().unwrap();
+        assert_eq!(meta_events, report.total_events());
+        assert_eq!(registry.counter("sim.events").get(), meta_events);
+
+        // Seed rows carry the verdict and the worker that ran them.
+        let seed0 = &rows[1];
+        assert_eq!(seed0.field("seed").as_u64(), Some(0));
+        assert_eq!(seed0.field("passed").as_bool(), Some(false));
+        assert!(seed0.field("wall_ns").as_u64().is_some());
+        assert!(seed0.field("worker").as_u64().unwrap() < 2);
+    }
+
+    #[test]
+    fn render_roundtrips_through_jsonl() {
+        let sc = BlindScenario;
+        let registry = fd_obs::Registry::new();
+        let report = Campaign::new(&sc, 0..3).jobs(1).observe(&registry).run();
+
+        let dir = std::env::temp_dir().join("fd-campaign-obs-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("metrics.jsonl");
+        write_metrics_file(&path, &report, &registry).unwrap();
+
+        let rows = fd_obs::read_jsonl_file(&path).unwrap();
+        let text = render_metrics(&rows).unwrap();
+        assert!(text.contains("campaign blind: seeds 0..3"), "{text}");
+        assert!(text.contains("worker 0: 3 seeds"), "{text}");
+        assert!(text.contains("histogram sim.callback_ns"), "{text}");
+        assert!(render_metrics(&[]).is_err(), "empty input is an error");
+    }
+}

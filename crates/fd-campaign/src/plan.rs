@@ -93,6 +93,10 @@ pub struct RunOutcome {
     pub decision_latency: Option<SimDuration>,
     /// Total messages sent.
     pub messages: u64,
+    /// Kernel events processed. Deterministic per plan (the kernel loop
+    /// is a pure function of the plan), so it is safe to compare across
+    /// worker counts and instrumentation settings.
+    pub events: u64,
 }
 
 #[cfg(test)]

@@ -26,6 +26,23 @@ pub trait Scenario: Send + Sync {
     /// Execute a plan to completion.
     fn execute(&self, plan: &RunPlan) -> RunOutcome;
 
+    /// Execute a plan with optional kernel instrumentation recording
+    /// into `obs` (events processed, queue depth high-water mark,
+    /// per-callback timing — see `fd_sim::WorldObs`).
+    ///
+    /// The provided implementation ignores `obs` and runs [`execute`];
+    /// scenarios that build worlds should override it and pass the
+    /// registry to `WorldBuilder::observe`. Either way the contract is
+    /// strict: the outcome must be **byte-identical** to an unobserved
+    /// execution of the same plan — instrumentation may read clocks but
+    /// must never touch simulation state.
+    ///
+    /// [`execute`]: Scenario::execute
+    fn execute_observed(&self, plan: &RunPlan, obs: Option<&fd_obs::Registry>) -> RunOutcome {
+        let _ = obs;
+        self.execute(plan)
+    }
+
     /// The properties checked against every run, in order; the first
     /// violation fails the seed.
     fn monitors(&self) -> Vec<Box<dyn Monitor>>;

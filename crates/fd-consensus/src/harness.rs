@@ -67,9 +67,29 @@ where
     D: Component + SuspectOracle + LeaderOracle,
     P: RoundProtocol,
 {
+    run_scenario_observed(net, sc, mk_node, None)
+}
+
+/// [`run_scenario`] with optional kernel instrumentation: when `obs` is
+/// given, the world records events processed, queue depth high-water
+/// mark, and per-callback timing into it. The run itself is unaffected —
+/// traces and metrics are byte-identical with or without a registry.
+pub fn run_scenario_observed<D, P>(
+    net: NetworkConfig,
+    sc: &Scenario,
+    mk_node: impl FnMut(ProcessId, usize) -> ConsensusNode<D, P>,
+    obs: Option<&fd_obs::Registry>,
+) -> RunResult
+where
+    D: Component + SuspectOracle + LeaderOracle,
+    P: RoundProtocol,
+{
     let n = net.n();
     assert_eq!(sc.proposals.len(), n, "one proposal per process");
     let mut builder = WorldBuilder::new(net).seed(sc.seed);
+    if let Some(registry) = obs {
+        builder = builder.observe(fd_sim::WorldObs::new(registry));
+    }
     for &(pid, at) in &sc.crashes {
         builder = builder.crash_at(pid, at);
     }

@@ -86,7 +86,6 @@ impl<M> EventQueue<M> {
         self.heap.peek().map(|e| e.at)
     }
 
-    #[allow(dead_code)] // used by unit tests and debugging helpers
     pub fn len(&self) -> usize {
         self.heap.len()
     }

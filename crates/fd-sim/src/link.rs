@@ -272,6 +272,12 @@ impl LinkModel {
     }
 
     /// Whether this link can ever drop a message.
+    ///
+    /// Note that lossiness says nothing about *fairness*: a
+    /// [`LinkModel::Dead`] link is lossy but drops everything, while a
+    /// fair-lossy link with `drop < 1` is lossy yet still delivers
+    /// infinitely often. Use [`LinkModel::is_fair`] for the paper's §4
+    /// fairness condition.
     pub fn is_lossy(&self) -> bool {
         match *self {
             LinkModel::Reliable { .. } => false,
@@ -279,6 +285,36 @@ impl LinkModel {
             LinkModel::FairLossy { drop, .. } => drop > 0.0,
             LinkModel::Dead => true,
             LinkModel::Phased(ref sched) => sched.phases.iter().any(|(_, m)| m.is_lossy()),
+        }
+    }
+
+    /// Whether this link satisfies the paper's §4 fairness condition: if
+    /// infinitely many messages are sent, infinitely many are delivered.
+    ///
+    /// This is the property the ◇C transformations assume of leader
+    /// output links; an earlier revision classified [`LinkModel::Dead`]
+    /// together with fair-lossy links via [`LinkModel::is_lossy`], which
+    /// conflates "may drop" with "drops everything". Fairness is decided
+    /// by *eventual* behaviour:
+    ///
+    /// * Reliable and eventually-timely links are fair (post-GST every
+    ///   message is delivered, whatever happened before GST).
+    /// * Fair-lossy links are fair iff `drop < 1` — independent drops
+    ///   then deliver infinitely often almost surely.
+    /// * Dead links are not fair.
+    /// * Phased links inherit the fairness of their final phase, which
+    ///   governs all sends from its start onward (a partition that heals
+    ///   is fair; a link that eventually dies is not).
+    pub fn is_fair(&self) -> bool {
+        match *self {
+            LinkModel::Reliable { .. } => true,
+            LinkModel::EventuallyTimely { .. } => true,
+            LinkModel::FairLossy { drop, .. } => drop < 1.0,
+            LinkModel::Dead => false,
+            LinkModel::Phased(ref sched) => {
+                let (_, last) = sched.phases.last().expect("schedules are non-empty");
+                last.is_fair()
+            }
         }
     }
 }
@@ -384,6 +420,37 @@ mod tests {
         assert!(!LinkModel::fair_lossy(SimDuration(1), SimDuration(2), 0.0).is_lossy());
     }
 
+    /// Regression: `Dead` used to be classified only via `is_lossy`,
+    /// which also returns `true` for genuinely fair-lossy links — a dead
+    /// link is lossy but must never count as fair (§4 fairness demands
+    /// infinitely many deliveries from infinitely many sends).
+    #[test]
+    fn fairness_classification_separates_dead_from_fair_lossy() {
+        assert!(LinkModel::default().is_fair());
+        assert!(LinkModel::reliable_const(SimDuration(1)).is_fair());
+        assert!(
+            LinkModel::eventually_timely(
+                Time::from_millis(50),
+                SimDuration(3),
+                SimDuration(500),
+                1.0
+            )
+            .is_fair(),
+            "pre-GST chaos does not break fairness; post-GST delivers everything"
+        );
+        let lossy = LinkModel::fair_lossy(SimDuration(1), SimDuration(2), 0.9);
+        assert!(lossy.is_lossy() && lossy.is_fair(), "fair-lossy is both");
+        assert!(
+            !LinkModel::fair_lossy(SimDuration(1), SimDuration(2), 1.0).is_fair(),
+            "drop probability 1.0 degenerates to a dead link"
+        );
+        let dead = LinkModel::Dead;
+        assert!(
+            dead.is_lossy() && !dead.is_fair(),
+            "dead is lossy but not fair"
+        );
+    }
+
     #[test]
     fn spiky_delay_spikes() {
         let d = DelayDist::Spiky {
@@ -457,6 +524,30 @@ mod phased_tests {
         .is_lossy());
         let m = LinkModel::phased(vec![(Time::ZERO, healthy)]);
         assert!(!m.is_lossy());
+    }
+
+    /// Fairness of a phased link follows its *final* phase — the one
+    /// governing all sends from some point on.
+    #[test]
+    fn phased_fairness_follows_the_final_phase() {
+        let healthy = LinkModel::reliable_const(SimDuration(1));
+        let heals = LinkModel::partitioned_during(
+            healthy.clone(),
+            Time::from_millis(1),
+            Time::from_millis(2),
+        );
+        assert!(
+            heals.is_lossy() && heals.is_fair(),
+            "a partition that heals is fair despite the dead window"
+        );
+        let dies = LinkModel::phased(vec![
+            (Time::ZERO, healthy),
+            (Time::from_millis(1), LinkModel::Dead),
+        ]);
+        assert!(
+            !dies.is_fair(),
+            "a link that eventually dies forever is not fair"
+        );
     }
 
     #[test]

@@ -18,11 +18,106 @@ use crate::topology::NetworkConfig;
 use crate::trace::{DropReason, Payload, Trace, TraceKind};
 use rand::rngs::SmallRng;
 use std::collections::HashSet;
+use std::sync::Arc;
+use std::time::Instant;
 
 struct Slot<A> {
     actor: A,
     rng: SmallRng,
     crashed: bool,
+}
+
+/// Pre-resolved instrumentation handles for the kernel loop.
+///
+/// Built once from an [`fd_obs::Registry`] so the hot loop touches only
+/// atomics, never the registry lock. Instrumentation is read-only with
+/// respect to simulation state — it observes wall clocks and queue
+/// depths but never the RNG streams — so a run's trace is byte-identical
+/// with observability on or off.
+#[derive(Debug)]
+pub struct WorldObs {
+    /// `sim.events`: kernel events processed.
+    events: Arc<fd_obs::Counter>,
+    /// Events recorded by this world but not yet flushed to the shared
+    /// counter. Flushed on drop (a world's runs end before its metrics
+    /// are read), keeping the per-event cost free of atomics.
+    pending_events: std::cell::Cell<u64>,
+    /// `sim.queue_depth_hwm`: high-water mark of the event queue depth,
+    /// sampled at every pop (including the popped event).
+    queue_depth_hwm: Arc<fd_obs::Gauge>,
+    /// `sim.callback_ns`: wall-clock nanoseconds per actor callback
+    /// (`on_start` / `on_message` / `on_timer` / `interact`), including
+    /// applying the actions it queued. Sampled 1-in-[`CALLBACK_SAMPLE`]
+    /// to keep the sweep overhead within budget (the two `Instant::now`
+    /// reads dominate the instrumentation cost); the sampling counter is
+    /// deterministic, so which callbacks get timed never depends on wall
+    /// time.
+    callback_ns: Arc<fd_obs::Histogram>,
+    /// Callbacks dispatched so far, for the sampling decision. Lives in
+    /// the per-world handle (not the shared histogram) so worlds sample
+    /// independently of each other.
+    callback_tick: std::cell::Cell<u64>,
+    /// This world's own queue-depth high-water mark. The shared gauge is
+    /// only touched when this rises, so the steady-state per-event cost
+    /// is a comparison, not an atomic RMW.
+    local_hwm: std::cell::Cell<u64>,
+}
+
+/// Every how-many-th callback `sim.callback_ns` times (a power of two).
+pub const CALLBACK_SAMPLE: u64 = 32;
+
+impl WorldObs {
+    /// Resolve the kernel metrics in `registry`.
+    pub fn new(registry: &fd_obs::Registry) -> WorldObs {
+        WorldObs {
+            events: registry.counter("sim.events"),
+            pending_events: std::cell::Cell::new(0),
+            queue_depth_hwm: registry.gauge("sim.queue_depth_hwm"),
+            callback_ns: registry.histogram("sim.callback_ns"),
+            callback_tick: std::cell::Cell::new(0),
+            local_hwm: std::cell::Cell::new(0),
+        }
+    }
+
+    /// Deterministic 1-in-[`CALLBACK_SAMPLE`] decision.
+    fn sample_callback(&self) -> bool {
+        let tick = self.callback_tick.get();
+        self.callback_tick.set(tick.wrapping_add(1));
+        tick & (CALLBACK_SAMPLE - 1) == 0
+    }
+
+    /// Record one processed event at queue depth `depth`.
+    fn record_event(&self, depth: u64) {
+        self.pending_events.set(self.pending_events.get() + 1);
+        if depth > self.local_hwm.get() {
+            self.local_hwm.set(depth);
+            self.queue_depth_hwm.record_max(depth);
+        }
+    }
+}
+
+impl Clone for WorldObs {
+    /// A clone shares the registry handles but starts with fresh local
+    /// state — zero pending events and its own HWM/sampling counters.
+    fn clone(&self) -> WorldObs {
+        WorldObs {
+            events: Arc::clone(&self.events),
+            pending_events: std::cell::Cell::new(0),
+            queue_depth_hwm: Arc::clone(&self.queue_depth_hwm),
+            callback_ns: Arc::clone(&self.callback_ns),
+            callback_tick: std::cell::Cell::new(0),
+            local_hwm: std::cell::Cell::new(0),
+        }
+    }
+}
+
+impl Drop for WorldObs {
+    fn drop(&mut self) {
+        let pending = self.pending_events.replace(0);
+        if pending > 0 {
+            self.events.add(pending);
+        }
+    }
 }
 
 /// Configures and constructs a [`World`].
@@ -32,6 +127,7 @@ pub struct WorldBuilder {
     crashes: Vec<(ProcessId, Time)>,
     record_trace: bool,
     max_events: u64,
+    obs: Option<WorldObs>,
 }
 
 impl WorldBuilder {
@@ -43,6 +139,7 @@ impl WorldBuilder {
             crashes: Vec::new(),
             record_trace: true,
             max_events: u64::MAX,
+            obs: None,
         }
     }
 
@@ -69,6 +166,15 @@ impl WorldBuilder {
     /// a guard against accidental zero-delay timer loops.
     pub fn max_events(mut self, max: u64) -> Self {
         self.max_events = max;
+        self
+    }
+
+    /// Attach kernel instrumentation (see [`WorldObs`]). Off by default;
+    /// when on, the kernel records events processed, the event-queue
+    /// high-water mark, and per-callback wall time. Never affects the
+    /// run itself: traces and metrics are identical either way.
+    pub fn observe(mut self, obs: WorldObs) -> Self {
+        self.obs = Some(obs);
         self
     }
 
@@ -100,6 +206,7 @@ impl WorldBuilder {
             metrics: Metrics::default(),
             record_trace: self.record_trace,
             max_events: self.max_events,
+            obs: self.obs,
             started: false,
             scratch: Vec::new(),
         };
@@ -124,6 +231,7 @@ pub struct World<A: Actor> {
     metrics: Metrics,
     record_trace: bool,
     max_events: u64,
+    obs: Option<WorldObs>,
     started: bool,
     scratch: Vec<Action<A::Msg>>,
 }
@@ -198,6 +306,12 @@ impl<A: Actor> World<A> {
     }
 
     fn dispatch(&mut self, pid: ProcessId, f: impl FnOnce(&mut A, &mut Context<'_, A::Msg>)) {
+        // Owned clone of the histogram handle: a borrowing span would
+        // hold `&self.obs` across the mutable kernel work below.
+        let timing = match &self.obs {
+            Some(o) if o.sample_callback() => Some((Arc::clone(&o.callback_ns), Instant::now())),
+            _ => None,
+        };
         let now = self.now;
         let n = self.n;
         let mut actions = std::mem::take(&mut self.scratch);
@@ -218,6 +332,10 @@ impl<A: Actor> World<A> {
             self.apply(pid, action);
         }
         self.scratch = actions;
+        if let Some((hist, started)) = timing {
+            let ns = started.elapsed().as_nanos();
+            hist.record(u64::try_from(ns).unwrap_or(u64::MAX));
+        }
     }
 
     fn apply(&mut self, from: ProcessId, action: Action<A::Msg>) {
@@ -290,6 +408,10 @@ impl<A: Actor> World<A> {
     fn process(&mut self, ev: QueuedEvent<A::Msg>) {
         self.now = ev.at;
         self.metrics.record_event();
+        if let Some(obs) = &self.obs {
+            // Depth at pop time, counting the event being processed.
+            obs.record_event(self.queue.len() as u64 + 1);
+        }
         assert!(
             self.metrics.events_processed() <= self.max_events,
             "event budget exceeded ({}): possible zero-delay loop",
@@ -608,6 +730,38 @@ mod tests {
             .max_events(1_000)
             .build(|_, _| Looper);
         w.run_until_time(Time::from_millis(1));
+    }
+
+    /// Determinism guard for the observability layer: an instrumented
+    /// run must produce exactly the trace and counters of a bare run,
+    /// while the registry fills with kernel telemetry on the side.
+    #[test]
+    fn observed_runs_are_byte_identical_to_bare_runs() {
+        let registry = fd_obs::Registry::new();
+        let net = NetworkConfig::new(2)
+            .with_default(LinkModel::reliable_const(SimDuration::from_millis(1)));
+        let mut observed = WorldBuilder::new(net)
+            .seed(9)
+            .observe(WorldObs::new(&registry))
+            .build(|_, _| PingPong {
+                pings_seen: 0,
+                pongs_seen: 0,
+            });
+        let mut bare = two_node_world(9);
+        observed.run_until_time(Time::from_millis(60));
+        bare.run_until_time(Time::from_millis(60));
+        assert_eq!(observed.trace().digest(), bare.trace().digest());
+        assert_eq!(
+            observed.metrics().events_processed(),
+            bare.metrics().events_processed()
+        );
+        // The event count is batched per world and flushed when the
+        // world (and its `WorldObs`) drops.
+        drop(observed);
+        let events = registry.counter("sim.events");
+        assert_eq!(events.get(), bare.metrics().events_processed());
+        assert!(registry.gauge("sim.queue_depth_hwm").get() >= 1);
+        assert!(registry.histogram("sim.callback_ns").count() > 0);
     }
 
     #[test]

@@ -67,6 +67,24 @@ impl Value {
         }
     }
 
+    /// The number inside as `f64`, if this is any numeric value.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::F64(x) => Some(*x),
+            Value::U128(x) => Some(*x as f64),
+            Value::I64(x) => Some(*x as f64),
+            _ => None,
+        }
+    }
+
+    /// The boolean inside, if this is a boolean value.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
     fn kind(&self) -> &'static str {
         match self {
             Value::Null => "null",

@@ -32,7 +32,9 @@ USAGE:
                  [--n N] [--seed S] [--crash P@MS ...] [--run-ms MS] [--timeline]
   ecfd log       [--n N] [--commands K] [--seed S] [--crash P@MS ...]
   ecfd campaign  --scenario NAME [--seeds A..B] [--jobs N] [--artifact-dir DIR]
-  ecfd campaign  --replay FILE [--shrink]
+                 [--metrics-out FILE]
+  ecfd campaign  --replay FILE [--shrink] [--metrics-out FILE]
+  ecfd obs-report FILE
   ecfd classes
   ecfd help
 
@@ -56,6 +58,9 @@ CAMPAIGN OPTIONS:
   --artifact-dir D  where failing seeds write repro JSON (default target/campaign)
   --replay FILE     re-execute a repro artifact instead of sweeping
   --shrink          after a replay, greedily minimize the counterexample
+  --metrics-out F   write kernel/campaign metrics as JSON Lines to F
+                    (render later with `ecfd obs-report F`); per-seed
+                    verdicts and digests are identical with or without it
 ";
 
 #[derive(Debug, Default)]
@@ -75,6 +80,7 @@ struct Args {
     artifact_dir: String,
     replay: Option<String>,
     shrink: bool,
+    metrics_out: Option<String>,
 }
 
 fn parse_args(argv: &[String]) -> Result<Args, String> {
@@ -117,8 +123,10 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
                     lo.parse().map_err(|e| format!("--seeds start: {e}"))?,
                     hi.parse().map_err(|e| format!("--seeds end: {e}"))?,
                 );
-                if a.seeds.0 > a.seeds.1 {
-                    return Err(format!("--seeds: empty range {spec}"));
+                if a.seeds.0 >= a.seeds.1 {
+                    return Err(format!(
+                        "--seeds: empty range {spec} (half-open A..B needs B > A)"
+                    ));
                 }
             }
             "--jobs" => {
@@ -130,6 +138,7 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
             "--artifact-dir" => a.artifact_dir = take()?.clone(),
             "--replay" => a.replay = Some(take()?.clone()),
             "--shrink" => a.shrink = true,
+            "--metrics-out" => a.metrics_out = Some(take()?.clone()),
             "--crash" => {
                 let spec = take()?;
                 let (p, ms) = spec
@@ -405,6 +414,19 @@ fn cmd_campaign(a: &Args) -> Result<(), String> {
             for step in &out.applied {
                 println!("  - {step}");
             }
+            if let Some(metrics_path) = &a.metrics_out {
+                let registry = fd_obs::Registry::new();
+                registry
+                    .counter("campaign.shrink_steps")
+                    .add(out.applied.len() as u64);
+                registry
+                    .counter("campaign.shrink_attempts")
+                    .add(out.attempts as u64);
+                let metrics_path = std::path::Path::new(metrics_path);
+                fd_obs::write_jsonl_file(metrics_path, &registry.snapshot())
+                    .map_err(|e| format!("{}: {e}", metrics_path.display()))?;
+                println!("metrics: {}", metrics_path.display());
+            }
             let min = artifact_sibling(path, &out.artifact)?;
             println!("minimal counterexample: {}", min.display());
         }
@@ -428,11 +450,21 @@ fn cmd_campaign(a: &Args) -> Result<(), String> {
             scenario_names().join(", ")
         )
     })?;
-    let report = fd_campaign::Campaign::new(scenario.as_ref(), a.seeds.0..a.seeds.1)
+    let registry = fd_obs::Registry::new();
+    let mut campaign = fd_campaign::Campaign::new(scenario.as_ref(), a.seeds.0..a.seeds.1)
         .jobs(a.jobs)
-        .artifact_dir(&a.artifact_dir)
-        .run();
+        .artifact_dir(&a.artifact_dir);
+    if a.metrics_out.is_some() {
+        campaign = campaign.observe(&registry);
+    }
+    let report = campaign.run();
     print!("{}", report.render());
+    if let Some(metrics_path) = &a.metrics_out {
+        let metrics_path = std::path::Path::new(metrics_path);
+        fd_campaign::write_metrics_file(metrics_path, &report, &registry)
+            .map_err(|e| format!("{}: {e}", metrics_path.display()))?;
+        println!("metrics: {}", metrics_path.display());
+    }
     if report.failed() > 0 {
         Err(format!(
             "{} of {} seeds violated a property",
@@ -457,6 +489,19 @@ fn artifact_sibling(
     let json = serde_json::to_string_pretty(artifact).map_err(|e| e.to_string())?;
     std::fs::write(&path, json).map_err(|e| format!("{}: {e}", path.display()))?;
     Ok(path)
+}
+
+/// Render a metrics JSONL file written by `campaign --metrics-out`.
+fn cmd_obs_report(rest: &[String]) -> Result<(), String> {
+    let [path] = rest else {
+        return Err("obs-report wants exactly one argument: the metrics JSONL file".into());
+    };
+    let path = std::path::Path::new(path);
+    let rows = fd_obs::read_jsonl_file(path).map_err(|e| format!("{}: {e}", path.display()))?;
+    let text =
+        fd_campaign::render_metrics(&rows).map_err(|e| format!("{}: {e}", path.display()))?;
+    print!("{text}");
+    Ok(())
 }
 
 fn cmd_classes() {
@@ -491,6 +536,15 @@ fn main() -> ExitCode {
     if cmd == "classes" {
         cmd_classes();
         return ExitCode::SUCCESS;
+    }
+    if cmd == "obs-report" {
+        return match cmd_obs_report(rest) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::FAILURE
+            }
+        };
     }
     let args = match parse_args(rest) {
         Ok(a) => a,
@@ -560,9 +614,22 @@ mod tests {
     #[test]
     fn bad_campaign_flags_rejected() {
         assert!(parse("--seeds 5").is_err(), "not a range");
+        assert!(parse("--seeds a..b").is_err(), "not numbers");
         assert!(parse("--seeds 9..2").is_err(), "reversed range");
+        let e = parse("--seeds 3..3").unwrap_err();
+        assert!(
+            e.contains("empty range") && e.contains("B > A"),
+            "empty half-open range must be rejected with a clear message, got: {e}"
+        );
         assert!(parse("--jobs 0").is_err());
         assert!(parse("--jobs many").is_err());
+    }
+
+    #[test]
+    fn metrics_out_flag_parses() {
+        let a = parse("--scenario e8 --seeds 0..8 --metrics-out /tmp/m.jsonl").unwrap();
+        assert_eq!(a.metrics_out.as_deref(), Some("/tmp/m.jsonl"));
+        assert!(parse("--metrics-out").is_err(), "needs a value");
     }
 
     #[test]

@@ -40,6 +40,7 @@
 //! | [`consensus`] | ◇C consensus + CT ◇S + MR Ω protocols, nodes, scenario harness |
 //! | [`runtime`] | threaded wall-clock executor for the same actors |
 //! | [`campaign`] | parallel seed sweeps, property monitors, repro artifacts, shrinking |
+//! | [`obs`] | counters/gauges/histograms, scoped spans, JSONL metrics export |
 //! | [`bench`] | experiment harness regenerating the paper's tables (incl. campaign scenarios) |
 
 #![warn(missing_docs)]
@@ -50,6 +51,7 @@ pub use fd_campaign as campaign;
 pub use fd_consensus as consensus;
 pub use fd_core as core;
 pub use fd_detectors as detectors;
+pub use fd_obs as obs;
 pub use fd_runtime as runtime;
 pub use fd_sim as sim;
 

@@ -29,6 +29,34 @@ fn e8_seed_results_are_independent_of_job_count() {
 }
 
 #[test]
+fn e8_seed_results_are_independent_of_instrumentation() {
+    // The fd-obs contract: metrics collection reads wall clocks, never
+    // simulation state, so per-seed verdicts — including trace digests
+    // and deterministic event counts — are byte-identical with the
+    // registry on or off.
+    let scenario = scenario_by_name("e8").expect("e8 is registered");
+    let bare = Campaign::new(scenario.as_ref(), 0..6).jobs(2).run();
+    let registry = ecfd::obs::Registry::new();
+    let observed = Campaign::new(scenario.as_ref(), 0..6)
+        .jobs(2)
+        .observe(&registry)
+        .run();
+    assert_eq!(bare.results, observed.results);
+
+    // The instrumented sweep actually recorded kernel activity, and the
+    // lock-free counter agrees with the deterministic per-seed sum.
+    assert_eq!(
+        registry.counter("sim.events").get(),
+        observed.total_events(),
+        "registry event counter vs summed RunOutcome events"
+    );
+    assert!(registry.histogram("sim.callback_ns").count() > 0);
+    assert_eq!(observed.timings.len(), 6, "one timing row per seed");
+    let util = observed.worker_utilization().expect("non-empty sweep");
+    assert!((0.0..=1.0).contains(&util));
+}
+
+#[test]
 fn known_bad_scenario_artifact_replays_and_shrinks() {
     let scenario = scenario_by_name("blind").expect("blind is registered");
     let dir = scratch_dir("blind-artifacts");

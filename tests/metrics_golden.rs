@@ -1,0 +1,89 @@
+//! Golden cross-check: the kernel's [`fd_sim::Metrics`] counters must
+//! agree *exactly* with counts derived independently from the recorded
+//! [`fd_sim::Trace`] — the two are maintained by separate code paths in
+//! the world loop, so any drift means one of them is lying.
+
+use ecfd::prelude::*;
+use fd_core::Standalone;
+use fd_detectors::HeartbeatDetector;
+use fd_sim::{TraceEvent, TraceKind};
+
+struct TraceCounts {
+    sent: u64,
+    delivered: u64,
+    dropped: u64,
+    sent_hb: u64,
+    sent_by: Vec<u64>,
+}
+
+fn count(events: &[TraceEvent], n: usize) -> TraceCounts {
+    let mut c = TraceCounts {
+        sent: 0,
+        delivered: 0,
+        dropped: 0,
+        sent_hb: 0,
+        sent_by: vec![0; n],
+    };
+    for e in events {
+        match e.kind {
+            TraceKind::Sent { from, kind, .. } => {
+                c.sent += 1;
+                c.sent_by[from.index()] += 1;
+                if kind == "hb.alive" {
+                    c.sent_hb += 1;
+                }
+            }
+            TraceKind::Delivered { .. } => c.delivered += 1,
+            TraceKind::Dropped { .. } => c.dropped += 1,
+            _ => {}
+        }
+    }
+    c
+}
+
+#[test]
+fn metrics_counters_match_trace_derived_counts() {
+    // A seeded multi-detector run with crashes and a lossy link, so all
+    // three counter families (sent / delivered / dropped) are non-trivial.
+    let n = 5;
+    let net = NetworkConfig::new(n).with_link(
+        ProcessId(0),
+        ProcessId(1),
+        LinkModel::FairLossy {
+            drop: 0.3,
+            delay: DelayDist::Constant(SimDuration::from_millis(2)),
+        },
+    );
+    let mut world = WorldBuilder::new(net)
+        .seed(20260807)
+        .crash_at(ProcessId(3), Time::from_millis(400))
+        .crash_at(ProcessId(4), Time::from_millis(900))
+        .build(|pid, n| {
+            Standalone(LeaderByFirstNonSuspected::new(
+                HeartbeatDetector::new(pid, n, HeartbeatConfig::default()),
+                n,
+            ))
+        });
+    world.run_until_time(Time::from_secs(3));
+    let (trace, metrics) = world.into_results();
+    let c = count(trace.events(), n);
+
+    assert!(
+        c.sent > 0 && c.delivered > 0 && c.dropped > 0,
+        "exercise all families"
+    );
+    assert_eq!(metrics.sent_total(), c.sent);
+    assert_eq!(metrics.delivered_total(), c.delivered);
+    assert_eq!(metrics.dropped_total(), c.dropped);
+    assert_eq!(metrics.sent_of_kind("hb.alive"), c.sent_hb);
+    for pid in 0..n {
+        assert_eq!(
+            metrics.sent_by(ProcessId(pid)),
+            c.sent_by[pid],
+            "per-process sent count for p{pid}"
+        );
+    }
+    // Conservation: everything sent is eventually delivered, dropped, or
+    // still in flight at the horizon — so sent bounds the other two.
+    assert!(c.delivered + c.dropped <= c.sent);
+}

@@ -1,0 +1,39 @@
+//! Property-based tests of the campaign report's order statistics
+//! against a straightforward reference implementation.
+
+use ecfd::campaign::Stats;
+use proptest::prelude::*;
+
+/// Textbook nearest-rank percentile: the p-th percentile of n sorted
+/// samples is the sample at 1-based rank ⌈(p/100)·n⌉. Written with
+/// floating-point math on purpose, so it shares no code (and no
+/// rounding shortcuts) with the integer formula under test.
+fn reference_percentile(sorted: &[u64], p: usize) -> u64 {
+    let n = sorted.len();
+    assert!(n > 0);
+    let rank = ((p as f64 / 100.0) * n as f64).ceil().max(1.0) as usize;
+    sorted[rank.min(n) - 1]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn stats_match_reference_nearest_rank(
+        samples in prop::collection::vec(any::<u64>(), 1..200)
+    ) {
+        let stats = Stats::from_samples(samples.clone()).unwrap();
+        let mut sorted = samples;
+        sorted.sort_unstable();
+
+        prop_assert_eq!(stats.count, sorted.len());
+        prop_assert_eq!(stats.min, sorted[0]);
+        prop_assert_eq!(stats.max, *sorted.last().unwrap());
+        prop_assert_eq!(stats.p50, reference_percentile(&sorted, 50));
+        prop_assert_eq!(stats.p99, reference_percentile(&sorted, 99));
+        // Percentiles are order statistics: monotone and within range.
+        prop_assert!(stats.min <= stats.p50);
+        prop_assert!(stats.p50 <= stats.p99);
+        prop_assert!(stats.p99 <= stats.max);
+    }
+}
