@@ -10,6 +10,7 @@
 
 pub mod campaign;
 pub mod experiments;
+pub mod micro;
 pub mod scenarios;
 pub mod table;
 

@@ -236,7 +236,12 @@ mod tests {
         do_broadcast(&mut w, 1, 5);
         do_broadcast(&mut w, 1, 5);
         w.run_until_time(Time::from_millis(100));
-        let got = delivered_of(w.actor(ProcessId(0)));
+        // Both same-instant broadcasts race over jittered links, so the
+        // arrival order at p0 is seed-dependent; what RB guarantees is
+        // that both are delivered exactly once, told apart by sequence
+        // number despite carrying identical payloads.
+        let mut got = delivered_of(w.actor(ProcessId(0)));
+        got.sort_unstable();
         assert_eq!(got, vec![(ProcessId(1), 0, 5), (ProcessId(1), 1, 5)]);
     }
 }

@@ -8,9 +8,10 @@
 
 use crate::monitor::{Monitor, NamedMonitor};
 use crate::plan::{RunOutcome, RunPlan};
-use crate::scenario::Scenario;
+use crate::scenario::{Scenario, SeedExecutor};
 use fd_core::{observe_suspects, observe_trusted, ProcessSet};
 use fd_sim::prelude::*;
+use fd_sim::World;
 
 /// A detector module that is blind to failures: it reports an empty
 /// suspect set forever, while heartbeating so runs still move messages.
@@ -74,17 +75,54 @@ impl Scenario for BlindScenario {
     }
 
     fn execute_observed(&self, plan: &RunPlan, obs: Option<&fd_obs::Registry>) -> RunOutcome {
-        let mut builder = WorldBuilder::new(plan.net.clone()).seed(plan.seed);
-        if let Some(registry) = obs {
-            builder = builder.observe(fd_sim::WorldObs::new(registry));
+        // One-shot path: a fresh executor builds a fresh world.
+        BlindExecutor::default().execute(plan, obs)
+    }
+
+    fn monitors(&self) -> Vec<Box<dyn Monitor>> {
+        vec![NamedMonitor::boxed("fd.strong_completeness")]
+    }
+
+    fn make_executor(&self) -> Box<dyn SeedExecutor + '_> {
+        Box::new(BlindExecutor::default())
+    }
+}
+
+/// Per-worker executor for [`BlindScenario`]: keeps one world of blind
+/// actors alive and re-arms it with [`World::reset`] between seeds, so
+/// a sweep pays for the queue, actor, and trace allocations once per
+/// worker rather than once per seed.
+#[derive(Default)]
+struct BlindExecutor {
+    /// The cached world plus the identity of the registry it was built
+    /// to report into (`0` = unobserved). A different registry forces a
+    /// rebuild; `None` vs `Some` also differ, so toggling observation
+    /// never reuses a mismatched world.
+    world: Option<(World<BlindActor>, usize)>,
+}
+
+impl SeedExecutor for BlindExecutor {
+    fn execute(&mut self, plan: &RunPlan, obs: Option<&fd_obs::Registry>) -> RunOutcome {
+        let key = obs.map_or(0usize, |r| r as *const fd_obs::Registry as usize);
+        match &mut self.world {
+            Some((world, k)) if *k == key => {
+                world.reset(plan.net.clone(), plan.seed, |_, _| BlindActor);
+            }
+            slot => {
+                let mut builder = WorldBuilder::new(plan.net.clone()).seed(plan.seed);
+                if let Some(registry) = obs {
+                    builder = builder.observe(fd_sim::WorldObs::new(registry));
+                }
+                *slot = Some((builder.build(|_, _| BlindActor), key));
+            }
         }
+        let (world, _) = self.world.as_mut().expect("world just ensured");
         for &(pid, at) in &plan.crashes {
-            builder = builder.crash_at(pid, at);
+            world.schedule_crash(pid, at);
         }
-        let mut world = builder.build(|_, _| BlindActor);
         world.run_until_time(plan.horizon);
         let n = world.n();
-        let (trace, metrics) = world.into_results();
+        let (trace, metrics) = world.take_results();
         RunOutcome {
             trace,
             n,
@@ -93,10 +131,6 @@ impl Scenario for BlindScenario {
             messages: metrics.sent_total(),
             events: metrics.events_processed(),
         }
-    }
-
-    fn monitors(&self) -> Vec<Box<dyn Monitor>> {
-        vec![NamedMonitor::boxed("fd.strong_completeness")]
     }
 }
 
@@ -143,6 +177,28 @@ mod tests {
             let err = m.check(&outcome).unwrap_err();
             assert_eq!(err.property, "strong-completeness");
             assert!(outcome.messages > 0, "heartbeats must flow");
+        }
+    }
+
+    /// World reuse is invisible in the results: one executor fed many
+    /// seeds (with `n` changing between them) must produce outcomes
+    /// byte-identical to fresh-world execution of each plan.
+    #[test]
+    fn reused_executor_matches_fresh_worlds() {
+        let sc = BlindScenario;
+        let mut ex = sc.make_executor();
+        for seed in 0..24 {
+            let plan = sc.plan(seed);
+            let reused = ex.execute(&plan, None);
+            let fresh = sc.execute(&plan);
+            assert_eq!(
+                reused.trace.digest(),
+                fresh.trace.digest(),
+                "trace diverged on seed {seed}"
+            );
+            assert_eq!(reused.messages, fresh.messages, "seed {seed}");
+            assert_eq!(reused.events, fresh.events, "seed {seed}");
+            assert_eq!(reused.n, fresh.n, "seed {seed}");
         }
     }
 

@@ -11,7 +11,7 @@
 
 use crate::artifact::Artifact;
 use crate::plan::RunOutcome;
-use crate::scenario::Scenario;
+use crate::scenario::{Scenario, SeedExecutor};
 use std::ops::Range;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -276,15 +276,40 @@ impl<'s> Campaign<'s> {
     }
 
     /// [`Campaign::run_seed`] with optional kernel instrumentation.
+    ///
+    /// Builds a throwaway executor and monitor set for this one seed —
+    /// the right shape for replay paths. The sweep loop in
+    /// [`Campaign::run`] instead amortizes both across a worker's whole
+    /// seed stream via [`Campaign::run_seed_with`].
     pub fn run_seed_observed(
         scenario: &dyn Scenario,
         seed: u64,
         obs: Option<&fd_obs::Registry>,
     ) -> (SeedResult, Option<Artifact>) {
+        let mut executor = scenario.make_executor();
+        let monitors = scenario.monitors();
+        Self::run_seed_with(scenario, &mut *executor, &monitors, seed, obs)
+    }
+
+    /// Execute one seed through a caller-owned executor and monitor set.
+    ///
+    /// The worker loop creates the executor and monitors once per worker
+    /// and routes every claimed seed through them, so scenario state
+    /// (cached worlds, boxed monitors) is built `jobs` times per sweep
+    /// instead of once per seed. Verdicts are identical either way —
+    /// the `campaign_e2e` suite compares this path against fresh
+    /// per-seed execution.
+    pub fn run_seed_with(
+        scenario: &dyn Scenario,
+        executor: &mut dyn SeedExecutor,
+        monitors: &[Box<dyn crate::monitor::Monitor>],
+        seed: u64,
+        obs: Option<&fd_obs::Registry>,
+    ) -> (SeedResult, Option<Artifact>) {
         let plan = scenario.plan(seed);
-        let outcome = scenario.execute_observed(&plan, obs);
+        let outcome = executor.execute(&plan, obs);
         let digest = outcome.trace.digest();
-        let violation = first_violation(scenario, &outcome);
+        let violation = first_violation(monitors, &outcome);
         let artifact = violation.as_ref().map(|(property, detail)| Artifact {
             scenario: scenario.name().to_string(),
             seed,
@@ -318,13 +343,18 @@ impl<'s> Campaign<'s> {
                 seeds: 0,
                 busy_ns: 0,
             };
+            // One executor and one monitor set per worker, amortized over
+            // every seed this worker claims.
+            let mut executor = self.scenario.make_executor();
+            let monitors = self.scenario.monitors();
             loop {
                 let seed = next.fetch_add(1, Ordering::Relaxed);
                 if seed >= self.seeds.end {
                     break;
                 }
                 let seed_started = Instant::now();
-                let (result, artifact) = Self::run_seed_observed(self.scenario, seed, self.obs);
+                let (result, artifact) =
+                    Self::run_seed_with(self.scenario, &mut *executor, &monitors, seed, self.obs);
                 let wall_ns = u64::try_from(seed_started.elapsed().as_nanos()).unwrap_or(u64::MAX);
                 stat.seeds += 1;
                 stat.busy_ns = stat.busy_ns.saturating_add(wall_ns);
@@ -378,10 +408,10 @@ impl<'s> Campaign<'s> {
 
 /// The first monitor violation of a run, as owned strings.
 pub(crate) fn first_violation(
-    scenario: &dyn Scenario,
+    monitors: &[Box<dyn crate::monitor::Monitor>],
     outcome: &RunOutcome,
 ) -> Option<(String, String)> {
-    for m in scenario.monitors() {
+    for m in monitors {
         if let Err(v) = m.check(outcome) {
             return Some((m.property().to_string(), v.to_string()));
         }

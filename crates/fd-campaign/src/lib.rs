@@ -44,5 +44,5 @@ pub use engine::{Campaign, CampaignReport, SeedResult, SeedTiming, Stats, Worker
 pub use monitor::{Monitor, NamedMonitor};
 pub use obs_report::{metrics_rows, render_metrics, write_metrics_file};
 pub use plan::{RunOutcome, RunPlan};
-pub use scenario::Scenario;
+pub use scenario::{Scenario, SeedExecutor};
 pub use shrink::{shrink, ShrinkOutcome};

@@ -46,4 +46,44 @@ pub trait Scenario: Send + Sync {
     /// The properties checked against every run, in order; the first
     /// violation fails the seed.
     fn monitors(&self) -> Vec<Box<dyn Monitor>>;
+
+    /// Build a reusable per-worker execution engine.
+    ///
+    /// Campaign workers call this once each and feed the executor every
+    /// seed they claim, so implementations can cache expensive state
+    /// across runs — typically a fully built [`fd_sim::World`] whose
+    /// allocations are re-armed between seeds with `World::reset`. The
+    /// default wraps [`execute_observed`] and caches nothing.
+    ///
+    /// The determinism contract carries over unchanged: for any plan,
+    /// the executor's outcome must be byte-identical to a fresh-world
+    /// [`execute_observed`] of that plan, regardless of what the
+    /// executor ran before.
+    ///
+    /// [`execute_observed`]: Scenario::execute_observed
+    fn make_executor(&self) -> Box<dyn SeedExecutor + '_> {
+        Box::new(PlanExecutor(self))
+    }
+}
+
+/// A reusable, stateful plan runner owned by one campaign worker.
+///
+/// Unlike [`Scenario::execute_observed`] this takes `&mut self`, which
+/// is what allows a cached `World` to live inside and be reset instead
+/// of rebuilt for every seed. Executors never cross threads: each
+/// worker makes its own.
+pub trait SeedExecutor {
+    /// Execute a plan to completion, optionally instrumented.
+    fn execute(&mut self, plan: &RunPlan, obs: Option<&fd_obs::Registry>) -> RunOutcome;
+}
+
+/// The cache-nothing executor behind the default
+/// [`Scenario::make_executor`]: delegates every plan straight to
+/// [`Scenario::execute_observed`].
+struct PlanExecutor<'s, S: ?Sized>(&'s S);
+
+impl<S: Scenario + ?Sized> SeedExecutor for PlanExecutor<'_, S> {
+    fn execute(&mut self, plan: &RunPlan, obs: Option<&fd_obs::Registry>) -> RunOutcome {
+        self.0.execute_observed(plan, obs)
+    }
 }

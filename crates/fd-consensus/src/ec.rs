@@ -568,14 +568,8 @@ mod tests {
         (r, actions)
     }
 
-    fn sends(actions: &[Action<EcMsg>]) -> Vec<(ProcessId, &EcMsg)> {
-        actions
-            .iter()
-            .filter_map(|a| match a {
-                Action::Send { to, msg } => Some((*to, msg)),
-                _ => None,
-            })
-            .collect()
+    fn sends(me: usize, n: usize, actions: &[Action<EcMsg>]) -> Vec<(ProcessId, EcMsg)> {
+        fd_sim::expand_sends(ProcessId(me), n, actions)
     }
 
     fn fd(trusted: usize, suspects: &[usize]) -> FdOutput {
@@ -593,7 +587,7 @@ mod tests {
         let mut p = EcConsensus::new(ProcessId(0), 5, ConsensusConfig::default());
         let (step, actions) = drive(0, 5, |ctx| p.on_propose(ctx, 42, fd(0, &[])));
         assert_eq!(step, ProtocolStep::none());
-        let coords: Vec<_> = sends(&actions)
+        let coords: Vec<_> = sends(0, 5, &actions)
             .into_iter()
             .filter(|(_, m)| matches!(m, EcMsg::Coordinator { round: 1 }))
             .collect();
@@ -614,7 +608,7 @@ mod tests {
             )
         });
         assert_eq!(step, ProtocolStep::none());
-        let est = sends(&actions);
+        let est = sends(1, 5, &actions);
         assert_eq!(est.len(), 1);
         assert!(
             matches!(est[0], (ProcessId(0), EcMsg::Estimate { round: 1, est: Some(e) }) if e.value == 7)
@@ -652,13 +646,16 @@ mod tests {
             )
         });
         assert_eq!(
-            sends(&a1).len(),
+            sends(1, 5, &a1).len(),
             1,
             "one null estimate to the other coordinator"
         );
-        assert!(matches!(sends(&a1)[0].1, EcMsg::Estimate { est: None, .. }));
+        assert!(matches!(
+            sends(1, 5, &a1)[0].1,
+            EcMsg::Estimate { est: None, .. }
+        ));
         assert!(
-            sends(&a2).is_empty(),
+            sends(1, 5, &a2).is_empty(),
             "duplicate announcements are not re-answered"
         );
     }
@@ -758,7 +755,7 @@ mod tests {
         });
         // Poll with the coordinator now suspected.
         let (_, actions) = drive(1, 5, |ctx| p.on_timer(ctx, 0, 0, fd(1, &[0])));
-        let nacks: Vec<_> = sends(&actions)
+        let nacks: Vec<_> = sends(1, 5, &actions)
             .into_iter()
             .filter(|(_, m)| matches!(m, EcMsg::Nack { round: 1 }))
             .collect();

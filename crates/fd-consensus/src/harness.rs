@@ -5,7 +5,7 @@ use crate::api::{DecidePayload, RoundProtocol};
 use crate::node::ConsensusNode;
 use fd_core::Component;
 use fd_core::{LeaderOracle, SuspectOracle};
-use fd_sim::{Metrics, NetworkConfig, ProcessId, Time, Trace, World, WorldBuilder};
+use fd_sim::{Metrics, NetworkConfig, ProcessId, QueueImpl, Time, Trace, World, WorldBuilder};
 
 /// A consensus workload description.
 #[derive(Debug, Clone)]
@@ -84,41 +84,127 @@ where
     D: Component + SuspectOracle + LeaderOracle,
     P: RoundProtocol,
 {
-    let n = net.n();
-    assert_eq!(sc.proposals.len(), n, "one proposal per process");
-    let mut builder = WorldBuilder::new(net).seed(sc.seed);
-    if let Some(registry) = obs {
-        builder = builder.observe(fd_sim::WorldObs::new(registry));
-    }
-    for &(pid, at) in &sc.crashes {
-        builder = builder.crash_at(pid, at);
-    }
-    let mut world: World<ConsensusNode<D, P>> = builder.build(mk_node);
+    ConsensusRunner::new().run(net, sc, mk_node, obs)
+}
 
-    for (i, &v) in sc.proposals.iter().enumerate() {
-        world.interact(ProcessId(i), |node, ctx| node.propose(ctx, v));
+/// [`run_scenario`] on an explicitly chosen event-queue implementation.
+/// Exists for the golden-digest suite, which proves the timer wheel and
+/// the classic binary heap schedule byte-identical runs.
+pub fn run_scenario_with_queue<D, P>(
+    net: NetworkConfig,
+    sc: &Scenario,
+    mk_node: impl FnMut(ProcessId, usize) -> ConsensusNode<D, P>,
+    queue: QueueImpl,
+) -> RunResult
+where
+    D: Component + SuspectOracle + LeaderOracle,
+    P: RoundProtocol,
+{
+    ConsensusRunner::with_queue_impl(queue).run(net, sc, mk_node, None)
+}
+
+/// A reusable consensus-scenario runner.
+///
+/// Keeps one [`World`] of `ConsensusNode<D, P>` alive across runs and
+/// re-arms it with [`World::reset`] between scenarios, so a seed sweep
+/// pays the queue/actor/trace allocations once instead of once per
+/// seed. Runs through a reused runner are byte-identical to fresh-world
+/// runs (`run_result_accessors` plus the campaign e2e digests enforce
+/// this end to end).
+pub struct ConsensusRunner<D, P>
+where
+    D: Component + SuspectOracle + LeaderOracle,
+    P: RoundProtocol,
+{
+    /// Cached world plus the identity of the registry it reports into
+    /// (`0` = unobserved): a different registry forces a rebuild.
+    world: Option<(World<ConsensusNode<D, P>>, usize)>,
+    queue: QueueImpl,
+}
+
+impl<D, P> Default for ConsensusRunner<D, P>
+where
+    D: Component + SuspectOracle + LeaderOracle,
+    P: RoundProtocol,
+{
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<D, P> ConsensusRunner<D, P>
+where
+    D: Component + SuspectOracle + LeaderOracle,
+    P: RoundProtocol,
+{
+    /// A runner on the default event-queue implementation.
+    pub fn new() -> Self {
+        Self::with_queue_impl(QueueImpl::default())
     }
 
-    let decided = world.run_until(sc.horizon, |w| {
-        w.correct().iter().all(|&p| w.actor(p).decision().is_some())
-    });
-    let decide_time = decided.then(|| world.now());
-    let decisions: Vec<Option<DecidePayload>> = (0..n)
-        .map(|i| world.actor(ProcessId(i)).decision())
-        .collect();
-    let final_rounds: Vec<u64> = (0..n)
-        .map(|i| world.actor(ProcessId(i)).cons.round())
-        .collect();
-    let all_decided = decided;
-    let (trace, metrics) = world.into_results();
-    RunResult {
-        trace,
-        metrics,
-        all_decided,
-        decide_time,
-        decisions,
-        final_rounds,
-        n,
+    /// A runner on an explicit event-queue implementation.
+    pub fn with_queue_impl(queue: QueueImpl) -> Self {
+        ConsensusRunner { world: None, queue }
+    }
+
+    /// Run one scenario, reusing the cached world when possible.
+    pub fn run(
+        &mut self,
+        net: NetworkConfig,
+        sc: &Scenario,
+        mk_node: impl FnMut(ProcessId, usize) -> ConsensusNode<D, P>,
+        obs: Option<&fd_obs::Registry>,
+    ) -> RunResult {
+        let n = net.n();
+        assert_eq!(sc.proposals.len(), n, "one proposal per process");
+        let key = obs.map_or(0usize, |r| r as *const fd_obs::Registry as usize);
+        match &mut self.world {
+            Some((world, k)) if *k == key => {
+                world.reset(net, sc.seed, mk_node);
+            }
+            slot => {
+                let mut builder = WorldBuilder::new(net).seed(sc.seed).queue_impl(self.queue);
+                if let Some(registry) = obs {
+                    builder = builder.observe(fd_sim::WorldObs::new(registry));
+                }
+                *slot = Some((builder.build(mk_node), key));
+            }
+        }
+        let (world, _) = self.world.as_mut().expect("world just ensured");
+        for &(pid, at) in &sc.crashes {
+            world.schedule_crash(pid, at);
+        }
+
+        for (i, &v) in sc.proposals.iter().enumerate() {
+            world.interact(ProcessId(i), |node, ctx| node.propose(ctx, v));
+        }
+
+        // The predicate runs after every event, so it must not allocate:
+        // scan processes in place instead of materializing `correct()`.
+        let decided = world.run_until(sc.horizon, |w| {
+            (0..w.n()).all(|i| {
+                let p = ProcessId(i);
+                w.is_crashed(p) || w.actor(p).decision().is_some()
+            })
+        });
+        let decide_time = decided.then(|| world.now());
+        let decisions: Vec<Option<DecidePayload>> = (0..n)
+            .map(|i| world.actor(ProcessId(i)).decision())
+            .collect();
+        let final_rounds: Vec<u64> = (0..n)
+            .map(|i| world.actor(ProcessId(i)).cons.round())
+            .collect();
+        let all_decided = decided;
+        let (trace, metrics) = world.take_results();
+        RunResult {
+            trace,
+            metrics,
+            all_decided,
+            decide_time,
+            decisions,
+            final_rounds,
+            n,
+        }
     }
 }
 

@@ -36,7 +36,10 @@ pub use api::{majority, ConsensusConfig, DecidePayload, Estimate, ProtocolStep, 
 pub use ct::{rotating_coordinator, CtConsensus, CtMsg};
 pub use ec::{EcConsensus, EcMsg};
 pub use ec_merged::{EcMergedConsensus, EcmMsg};
-pub use harness::{default_net, run_scenario, run_scenario_observed, RunResult, Scenario};
+pub use harness::{
+    default_net, run_scenario, run_scenario_observed, run_scenario_with_queue, ConsensusRunner,
+    RunResult, Scenario,
+};
 pub use mr::{MrConsensus, MrMsg};
 pub use multi::{MultiEc, MultiMsg, MultiNode, MultiNodeMsg, SlotDecide, LOG_APPEND, NOOP};
 pub use node::{ConsensusNode, NodeMsg};
@@ -66,6 +69,15 @@ pub type ScriptedNode<P> = ConsensusNode<ScriptedDetector, P>;
 
 /// Single-decree Paxos over the candidate-based Ω detector.
 pub type PaxosNodeLeader = ConsensusNode<LeaderDetector, PaxosConsensus>;
+
+/// A world-reusing [`ConsensusRunner`] for [`EcNodeHb`] scenarios.
+pub type EcHbRunner = ConsensusRunner<LeaderByFirstNonSuspected<HeartbeatDetector>, EcConsensus>;
+
+/// A world-reusing [`ConsensusRunner`] for [`CtNodeHb`] scenarios.
+pub type CtHbRunner = ConsensusRunner<LeaderByFirstNonSuspected<HeartbeatDetector>, CtConsensus>;
+
+/// A world-reusing [`ConsensusRunner`] for [`MrNodeLeader`] scenarios.
+pub type MrLeaderRunner = ConsensusRunner<LeaderDetector, MrConsensus>;
 
 /// Build an [`EcNodeHb`].
 pub fn ec_node_hb(me: ProcessId, n: usize) -> EcNodeHb {

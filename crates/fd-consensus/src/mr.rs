@@ -434,6 +434,15 @@ mod tests {
         }
     }
 
+    /// All outgoing messages, broadcasts expanded (me = p4, n = 5 in
+    /// these tests).
+    fn msgs(actions: &[Action<MrMsg>]) -> Vec<MrMsg> {
+        fd_sim::expand_sends(ProcessId(4), 5, actions)
+            .into_iter()
+            .map(|(_, m)| m)
+            .collect()
+    }
+
     fn p1(round: u64, leader: usize, value: u64) -> MrMsg {
         MrMsg::Phase1 {
             round,
@@ -470,28 +479,19 @@ mod tests {
         let (_, actions) = drive(4, 5, |ctx| {
             p.on_message(ctx, ProcessId(2), p1(1, 0, 2), trusts(0))
         });
-        let sent_p2 = actions.iter().any(|a| {
-            matches!(
-                a,
-                Action::Send {
-                    msg: MrMsg::Phase2 { .. },
-                    ..
-                }
-            )
-        });
+        let sent_p2 = msgs(&actions)
+            .iter()
+            .any(|m| matches!(m, MrMsg::Phase2 { .. }));
         assert!(!sent_p2, "quorum met but leader vote missing");
         // The leader's vote arrives → Phase 2 fires with aux = leader's
         // estimate (everyone named p0: 4 > n/2).
         let (_, actions) = drive(4, 5, |ctx| {
             p.on_message(ctx, ProcessId(0), p1(1, 0, 77), trusts(0))
         });
-        let auxes: Vec<Option<u64>> = actions
+        let auxes: Vec<Option<u64>> = msgs(&actions)
             .iter()
-            .filter_map(|a| match a {
-                Action::Send {
-                    msg: MrMsg::Phase2 { aux, .. },
-                    ..
-                } => Some(*aux),
+            .filter_map(|m| match m {
+                MrMsg::Phase2 { aux, .. } => Some(*aux),
                 _ => None,
             })
             .collect();
@@ -517,13 +517,10 @@ mod tests {
         let (_, actions) = drive(4, 5, |ctx| {
             p.on_message(ctx, ProcessId(0), p1(1, 0, 77), trusts(0))
         });
-        let auxes: Vec<Option<u64>> = actions
+        let auxes: Vec<Option<u64>> = msgs(&actions)
             .iter()
-            .filter_map(|a| match a {
-                Action::Send {
-                    msg: MrMsg::Phase2 { aux, .. },
-                    ..
-                } => Some(*aux),
+            .filter_map(|m| match m {
+                MrMsg::Phase2 { aux, .. } => Some(*aux),
                 _ => None,
             })
             .collect();
@@ -568,13 +565,10 @@ mod tests {
                 trusts(4),
             )
         });
-        let flags: Vec<bool> = actions
+        let flags: Vec<bool> = msgs(&actions)
             .iter()
-            .filter_map(|a| match a {
-                Action::Send {
-                    msg: MrMsg::Phase3 { flag, .. },
-                    ..
-                } => Some(*flag),
+            .filter_map(|m| match m {
+                MrMsg::Phase3 { flag, .. } => Some(*flag),
                 _ => None,
             })
             .collect();

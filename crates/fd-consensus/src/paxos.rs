@@ -417,6 +417,14 @@ mod tests {
         (r, actions)
     }
 
+    /// Outgoing messages of `me` (n = 5), broadcasts expanded.
+    fn msgs(me: usize, actions: &[Action<PaxosMsg>]) -> Vec<PaxosMsg> {
+        fd_sim::expand_sends(ProcessId(me), 5, actions)
+            .into_iter()
+            .map(|(_, m)| m)
+            .collect()
+    }
+
     fn trusts(l: usize) -> FdOutput {
         FdOutput {
             suspected: ProcessSet::new(),
@@ -440,17 +448,9 @@ mod tests {
     fn leader_opens_a_ballot_on_propose() {
         let mut p = PaxosConsensus::new(ProcessId(0), 5, ConsensusConfig::default());
         let (_, actions) = drive(0, 5, |ctx| p.on_propose(ctx, 42, trusts(0)));
-        let prepares = actions
+        let prepares = msgs(0, &actions)
             .iter()
-            .filter(|a| {
-                matches!(
-                    a,
-                    Action::Send {
-                        msg: PaxosMsg::Prepare { .. },
-                        ..
-                    }
-                )
-            })
+            .filter(|m| matches!(m, PaxosMsg::Prepare { .. }))
             .count();
         assert_eq!(prepares, 4);
         assert_eq!(p.ballots_started(), 1);
@@ -461,18 +461,14 @@ mod tests {
         let mut p = PaxosConsensus::new(ProcessId(1), 5, ConsensusConfig::default());
         let (_, actions) = drive(1, 5, |ctx| p.on_propose(ctx, 42, trusts(0)));
         assert!(
-            !actions.iter().any(|a| matches!(a, Action::Send { .. })),
+            msgs(1, &actions).is_empty(),
             "only the trusted process proposes"
         );
         // Ω flips to us: the poll opens a ballot.
         let (_, actions) = drive(1, 5, |ctx| p.on_timer(ctx, 0, 0, trusts(1)));
-        assert!(actions.iter().any(|a| matches!(
-            a,
-            Action::Send {
-                msg: PaxosMsg::Prepare { .. },
-                ..
-            }
-        )));
+        assert!(msgs(1, &actions)
+            .iter()
+            .any(|m| matches!(m, PaxosMsg::Prepare { .. })));
     }
 
     #[test]
@@ -504,13 +500,10 @@ mod tests {
                 trusts(0),
             )
         });
-        let accepts: Vec<u64> = actions
+        let accepts: Vec<u64> = msgs(0, &actions)
             .iter()
-            .filter_map(|a| match a {
-                Action::Send {
-                    msg: PaxosMsg::Accept { value, .. },
-                    ..
-                } => Some(*value),
+            .filter_map(|m| match m {
+                PaxosMsg::Accept { value, .. } => Some(*value),
                 _ => None,
             })
             .collect();
@@ -590,13 +583,10 @@ mod tests {
         });
         // The poll reopens above the rejecting promise.
         let (_, actions) = drive(0, 5, |ctx| p.on_timer(ctx, 0, 0, trusts(0)));
-        let new_ballot = actions
+        let new_ballot = msgs(0, &actions)
             .iter()
-            .find_map(|a| match a {
-                Action::Send {
-                    msg: PaxosMsg::Prepare { ballot },
-                    ..
-                } => Some(*ballot),
+            .find_map(|m| match m {
+                PaxosMsg::Prepare { ballot } => Some(*ballot),
                 _ => None,
             })
             .expect("reopened");

@@ -65,26 +65,27 @@ impl<'a, 'w, N, C> SubCtx<'a, 'w, N, C> {
     }
 
     /// Send a component message to every other process, in identity order.
+    ///
+    /// Wraps the message once and queues a single broadcast action; the
+    /// kernel fans it out sharing one payload allocation, instead of
+    /// this method cloning and wrapping per destination.
     pub fn send_to_others(&mut self, msg: C)
     where
         C: Clone,
+        N: Clone,
     {
-        for i in 0..self.n() {
-            let to = ProcessId(i);
-            if to != self.me() {
-                self.send(to, msg.clone());
-            }
-        }
+        let wrapped = (self.wrap)(msg);
+        self.inner.send_to_others(wrapped);
     }
 
     /// Send a component message to every process including this one.
     pub fn send_to_all(&mut self, msg: C)
     where
         C: Clone,
+        N: Clone,
     {
-        for i in 0..self.n() {
-            self.send(ProcessId(i), msg.clone());
-        }
+        let wrapped = (self.wrap)(msg);
+        self.inner.send_to_all(wrapped);
     }
 
     /// Arm a timer in this component's namespace.

@@ -404,6 +404,53 @@ where
                             o.send_ns.record(as_ns(send_started.elapsed()));
                         }
                     }
+                    Action::Broadcast { include_self, msg } => {
+                        // Expand in identity order with the same per-destination
+                        // transport, delay, and loss sampling as `Send`, so a
+                        // broadcast is indistinguishable on the wire from the
+                        // per-peer sends it replaces.
+                        for dest in 0..n {
+                            if dest == me.index() && !include_self {
+                                continue;
+                            }
+                            if cfg.loss_probability > 0.0
+                                && loss_rng.gen_bool(cfg.loss_probability.clamp(0.0, 1.0))
+                            {
+                                continue;
+                            }
+                            let send_started = Instant::now();
+                            let ev = Event::Deliver {
+                                from: me,
+                                msg: msg.clone(),
+                                sent: send_started,
+                            };
+                            match (&delay_tx, cfg.delay) {
+                                (Some(tx), Some((min, max))) => {
+                                    let span = max.saturating_sub(min);
+                                    let extra = if span.is_zero() {
+                                        Duration::ZERO
+                                    } else {
+                                        Duration::from_micros(
+                                            loss_rng.gen_range(0..=span.as_micros() as u64),
+                                        )
+                                    };
+                                    delay_seq += 1;
+                                    let _ = tx.send(Parked {
+                                        due: send_started + min + extra,
+                                        seq: delay_seq,
+                                        to: dest,
+                                        ev,
+                                    });
+                                }
+                                _ => {
+                                    let _ = peers[dest].send(ev);
+                                }
+                            }
+                            if let Some(o) = &obs {
+                                o.send_ns.record(as_ns(send_started.elapsed()));
+                            }
+                        }
+                    }
                     Action::SetTimer { id, after, tag } => {
                         timer_seq += 1;
                         timers.push(PendingTimer {

@@ -77,6 +77,18 @@ pub enum Action<M> {
         /// The message.
         msg: M,
     },
+    /// Send one `msg` to every process in identity order — the
+    /// allocation-free form of all-to-all: the kernel fans the single
+    /// payload out behind a reference count instead of the sender
+    /// cloning it per destination. Trace, metrics, and delivery order
+    /// are exactly as if the sender had queued one [`Action::Send`] per
+    /// destination.
+    Broadcast {
+        /// Also deliver to the sender itself (over its loopback link).
+        include_self: bool,
+        /// The shared message.
+        msg: M,
+    },
     /// Arm one-shot timer `id` to fire `after` from now with `tag`.
     SetTimer {
         /// Cancellation handle.
@@ -98,6 +110,37 @@ pub enum Action<M> {
         /// Structured payload.
         payload: Payload,
     },
+}
+
+/// Flatten a drained action list into the concrete `(destination,
+/// message)` pairs the kernel would route: [`Action::Send`] passes
+/// through, [`Action::Broadcast`] expands in identity order (skipping
+/// `me` unless `include_self`), everything else is ignored.
+///
+/// Intended for unit tests that assert on a component's outgoing
+/// traffic without caring whether it was queued as unicasts or as one
+/// broadcast.
+pub fn expand_sends<M: Clone>(
+    me: ProcessId,
+    n: usize,
+    actions: &[Action<M>],
+) -> Vec<(ProcessId, M)> {
+    let mut out = Vec::new();
+    for a in actions {
+        match a {
+            Action::Send { to, msg } => out.push((*to, msg.clone())),
+            Action::Broadcast { include_self, msg } => {
+                for i in 0..n {
+                    if i == me.index() && !include_self {
+                        continue;
+                    }
+                    out.push((ProcessId(i), msg.clone()));
+                }
+            }
+            _ => {}
+        }
+    }
+    out
 }
 
 /// The execution context handed to actor callbacks.
@@ -159,19 +202,17 @@ impl<'a, M> Context<'a, M> {
     }
 
     /// Send `msg` to every process except this one, in identity order.
+    ///
+    /// Queues a single [`Action::Broadcast`]; the kernel shares the one
+    /// payload across all deliveries instead of cloning per destination.
     pub fn send_to_others(&mut self, msg: M)
     where
         M: Clone,
     {
-        for i in 0..self.n {
-            let to = ProcessId(i);
-            if to != self.me {
-                self.actions.push(Action::Send {
-                    to,
-                    msg: msg.clone(),
-                });
-            }
-        }
+        self.actions.push(Action::Broadcast {
+            include_self: false,
+            msg,
+        });
     }
 
     /// Send `msg` to every process including this one, in identity order.
@@ -179,12 +220,10 @@ impl<'a, M> Context<'a, M> {
     where
         M: Clone,
     {
-        for i in 0..self.n {
-            self.actions.push(Action::Send {
-                to: ProcessId(i),
-                msg: msg.clone(),
-            });
-        }
+        self.actions.push(Action::Broadcast {
+            include_self: true,
+            msg,
+        });
     }
 
     /// Arm a one-shot timer that fires `after` from now, carrying `tag`.
@@ -254,22 +293,29 @@ mod tests {
     }
 
     #[test]
-    fn send_to_others_skips_self() {
+    fn send_to_others_queues_one_broadcast_without_self() {
         let (_, actions) = with_ctx(|ctx| ctx.send_to_others(Ping));
-        let targets: Vec<_> = actions
-            .iter()
-            .map(|a| match a {
-                Action::Send { to, .. } => *to,
-                _ => panic!("unexpected action"),
-            })
-            .collect();
-        assert_eq!(targets, vec![ProcessId(0), ProcessId(2), ProcessId(3)]);
+        assert_eq!(actions.len(), 1, "one action regardless of n");
+        assert!(matches!(
+            actions[0],
+            Action::Broadcast {
+                include_self: false,
+                ..
+            }
+        ));
     }
 
     #[test]
-    fn send_to_all_includes_self() {
+    fn send_to_all_queues_one_broadcast_with_self() {
         let (_, actions) = with_ctx(|ctx| ctx.send_to_all(Ping));
-        assert_eq!(actions.len(), 4);
+        assert_eq!(actions.len(), 1);
+        assert!(matches!(
+            actions[0],
+            Action::Broadcast {
+                include_self: true,
+                ..
+            }
+        ));
     }
 
     #[test]

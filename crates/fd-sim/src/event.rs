@@ -1,15 +1,63 @@
 //! The kernel event queue.
 //!
-//! A binary min-heap ordered by `(time, sequence)`. The monotonically
-//! increasing sequence number breaks ties deterministically: two events
-//! scheduled for the same instant fire in scheduling order, so identical
-//! seeds always replay identical runs.
+//! Two interchangeable implementations live behind [`EventQueue`], both
+//! delivering events in strict `(time, sequence)` order — the
+//! monotonically increasing sequence number breaks ties
+//! deterministically, so two events scheduled for the same instant fire
+//! in scheduling order and identical seeds always replay identical runs.
+//!
+//! * [`QueueImpl::Wheel`] (the default) is a timer wheel tuned for the
+//!   workload heartbeat protocols generate: almost every event lands
+//!   within a few milliseconds of *now*. Events are bucketed by coarse
+//!   time spans; the active span is kept sorted and consumed in place,
+//!   future spans stay unsorted until activated, and events beyond the
+//!   wheel horizon overflow into a binary heap that is migrated back as
+//!   the wheel turns.
+//! * [`QueueImpl::Classic`] is the original `BinaryHeap` — kept so the
+//!   golden-digest tests can prove the wheel produces byte-identical
+//!   traces, and as a fallback for pathological schedules.
 
 use crate::actor::{TimerId, TimerTag};
 use crate::process::ProcessId;
 use crate::time::Time;
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
+use std::rc::Rc;
+
+/// A delivery payload: owned for unicast sends, reference-counted for
+/// broadcast fan-out so an all-to-all send shares one message allocation
+/// instead of cloning per destination.
+#[derive(Debug)]
+pub(crate) enum MsgSlot<M> {
+    /// The queue owns the only copy.
+    Inline(M),
+    /// One of several deliveries sharing the same broadcast payload.
+    /// `Rc` (not `Arc`) is deliberate: a `World` is single-threaded;
+    /// campaign workers each own their worlds outright.
+    Shared(Rc<M>),
+}
+
+impl<M> MsgSlot<M> {
+    /// Borrow the payload (for metrics/trace labels).
+    pub fn get(&self) -> &M {
+        match self {
+            MsgSlot::Inline(m) => m,
+            MsgSlot::Shared(m) => m,
+        }
+    }
+
+    /// Take the payload, cloning only if other deliveries still share it
+    /// (the last delivery of a broadcast moves the message out).
+    pub fn take(self) -> M
+    where
+        M: Clone,
+    {
+        match self {
+            MsgSlot::Inline(m) => m,
+            MsgSlot::Shared(rc) => Rc::try_unwrap(rc).unwrap_or_else(|rc| (*rc).clone()),
+        }
+    }
+}
 
 /// What a scheduled event does when it fires.
 #[derive(Debug)]
@@ -18,7 +66,7 @@ pub(crate) enum EventKind<M> {
     Deliver {
         from: ProcessId,
         to: ProcessId,
-        msg: M,
+        msg: MsgSlot<M>,
     },
     /// Fire timer `id` with `tag` at `pid`.
     Timer {
@@ -56,43 +104,288 @@ impl<M> PartialOrd for QueuedEvent<M> {
     }
 }
 
-/// Deterministic event queue.
-#[derive(Debug)]
-pub(crate) struct EventQueue<M> {
-    heap: BinaryHeap<QueuedEvent<M>>,
+/// Which event-queue implementation a world runs on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum QueueImpl {
+    /// Timer wheel with overflow heap (the default).
+    #[default]
+    Wheel,
+    /// The original binary heap, for golden-digest comparison runs.
+    Classic,
+}
+
+impl QueueImpl {
+    /// Stable label for benchmark JSON.
+    pub fn label(self) -> &'static str {
+        match self {
+            QueueImpl::Wheel => "wheel",
+            QueueImpl::Classic => "classic",
+        }
+    }
+}
+
+/// Ticks per bucket, as a shift: 2^10 = 1024 ticks ≈ 1ms per span.
+const BUCKET_SHIFT: u32 = 10;
+/// Number of wheel slots (power of two). Horizon = 256 × 1024 ticks
+/// ≈ 262ms, comfortably past the heartbeat periods and link delays the
+/// protocols schedule; only far-future timers and late crash plans
+/// overflow.
+const BUCKET_COUNT: usize = 256;
+const BUCKET_MASK: usize = BUCKET_COUNT - 1;
+const WORDS: usize = BUCKET_COUNT / 64;
+
+fn bucket_of(at: Time) -> u64 {
+    at.0 >> BUCKET_SHIFT
+}
+
+/// The timer-wheel implementation.
+///
+/// Ordering invariants (what makes pops come out in exact `(at, seq)`
+/// order, matching the classic heap event for event):
+///
+/// * `current` holds the active span sorted ascending by `(at, seq)`;
+///   `cur_head` is the consumption point. Pushes that land at or before
+///   the active span are binary-inserted among the *unconsumed* tail —
+///   and the kernel never schedules into the past, so such inserts can
+///   only land at or after the consumption point.
+/// * `buckets[b & MASK]` holds the events of absolute bucket `b` for
+///   `cur_bucket < b < cur_bucket + BUCKET_COUNT`, unsorted; a bucket is
+///   sorted once, when it becomes the active span. Sequence numbers are
+///   unique, so the sort order is total and deterministic.
+/// * `overflow` holds everything at or beyond the horizon in a min-heap.
+///   Overflow times are always at or beyond every wheel time, so the
+///   wheel is exhausted first; on each span advance, overflow events
+///   that fell inside the new horizon migrate into their buckets.
+pub(crate) struct TimerWheel<M> {
+    current: Vec<QueuedEvent<M>>,
+    cur_head: usize,
+    cur_bucket: u64,
+    buckets: Vec<Vec<QueuedEvent<M>>>,
+    occupied: [u64; WORDS],
+    overflow: BinaryHeap<QueuedEvent<M>>,
+    len: usize,
     next_seq: u64,
 }
 
-impl<M> EventQueue<M> {
-    pub fn new() -> Self {
-        EventQueue {
-            heap: BinaryHeap::new(),
+impl<M> TimerWheel<M> {
+    fn new() -> Self {
+        TimerWheel {
+            current: Vec::new(),
+            cur_head: 0,
+            cur_bucket: 0,
+            buckets: (0..BUCKET_COUNT).map(|_| Vec::new()).collect(),
+            occupied: [0; WORDS],
+            overflow: BinaryHeap::new(),
+            len: 0,
             next_seq: 0,
         }
     }
 
-    pub fn push(&mut self, at: Time, kind: EventKind<M>) {
+    fn push(&mut self, at: Time, kind: EventKind<M>) {
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.heap.push(QueuedEvent { at, seq, kind });
+        self.len += 1;
+        let ev = QueuedEvent { at, seq, kind };
+        let b = bucket_of(at);
+        if b <= self.cur_bucket {
+            // Into (or before) the active span: keep `current` sorted.
+            // `seq` is the largest so far, so among equal times the new
+            // event sorts last — exactly scheduling order.
+            let key = (at, seq);
+            let pos = self.current[self.cur_head..].partition_point(|e| (e.at, e.seq) < key);
+            self.current.insert(self.cur_head + pos, ev);
+        } else if b - self.cur_bucket < BUCKET_COUNT as u64 {
+            let slot = (b as usize) & BUCKET_MASK;
+            self.buckets[slot].push(ev);
+            self.occupied[slot >> 6] |= 1u64 << (slot & 63);
+        } else {
+            self.overflow.push(ev);
+        }
+    }
+
+    fn pop(&mut self) -> Option<QueuedEvent<M>> {
+        if !self.ensure_current() {
+            return None;
+        }
+        self.len -= 1;
+        let dummy = QueuedEvent {
+            at: Time(0),
+            seq: 0,
+            kind: EventKind::Crash { pid: ProcessId(0) },
+        };
+        let ev = std::mem::replace(&mut self.current[self.cur_head], dummy);
+        self.cur_head += 1;
+        if self.cur_head == self.current.len() {
+            self.current.clear();
+            self.cur_head = 0;
+        }
+        Some(ev)
+    }
+
+    fn peek_time(&mut self) -> Option<Time> {
+        if self.ensure_current() {
+            Some(self.current[self.cur_head].at)
+        } else {
+            None
+        }
+    }
+
+    /// Advance spans until the active one is non-empty. Returns `false`
+    /// iff the queue is empty.
+    fn ensure_current(&mut self) -> bool {
+        loop {
+            if self.cur_head < self.current.len() {
+                return true;
+            }
+            if self.len == 0 {
+                return false;
+            }
+            self.current.clear();
+            self.cur_head = 0;
+            match self.next_occupied_bucket() {
+                Some(abs) => self.activate(abs),
+                None => {
+                    // Everything pending lives beyond the horizon.
+                    let at = self.overflow.peek().expect("len > 0 but wheel empty").at;
+                    self.activate(bucket_of(at));
+                }
+            }
+        }
+    }
+
+    /// Make absolute bucket `abs` the active span: migrate overflow
+    /// events that fell inside the new horizon, then sort the bucket's
+    /// events into `current`.
+    fn activate(&mut self, abs: u64) {
+        self.cur_bucket = abs;
+        while let Some(e) = self.overflow.peek() {
+            let b = bucket_of(e.at);
+            debug_assert!(b >= abs, "overflow behind the wheel");
+            if b - abs >= BUCKET_COUNT as u64 {
+                break;
+            }
+            let e = self.overflow.pop().expect("peeked");
+            let slot = (b as usize) & BUCKET_MASK;
+            self.buckets[slot].push(e);
+            self.occupied[slot >> 6] |= 1u64 << (slot & 63);
+        }
+        let slot = (abs as usize) & BUCKET_MASK;
+        self.occupied[slot >> 6] &= !(1u64 << (slot & 63));
+        std::mem::swap(&mut self.current, &mut self.buckets[slot]);
+        self.current.sort_unstable_by_key(|e| (e.at, e.seq));
+        self.cur_head = 0;
+    }
+
+    /// The nearest occupied bucket strictly after `cur_bucket`, as an
+    /// absolute bucket index, via a circular bitmap scan.
+    fn next_occupied_bucket(&self) -> Option<u64> {
+        let start = ((self.cur_bucket as usize) + 1) & BUCKET_MASK;
+        let first_word = start >> 6;
+        for k in 0..=WORDS {
+            let wi = (first_word + k) % WORDS;
+            let mut w = self.occupied[wi];
+            if k == 0 {
+                w &= !0u64 << (start & 63);
+            }
+            if k == WORDS {
+                w &= !(!0u64 << (start & 63));
+            }
+            if w != 0 {
+                let slot = (wi << 6) | w.trailing_zeros() as usize;
+                let delta = (slot + BUCKET_COUNT - start) & BUCKET_MASK;
+                return Some(self.cur_bucket + 1 + delta as u64);
+            }
+        }
+        None
+    }
+
+    fn clear(&mut self) {
+        self.current.clear();
+        self.cur_head = 0;
+        self.cur_bucket = 0;
+        for (wi, word) in self.occupied.iter_mut().enumerate() {
+            let mut w = *word;
+            while w != 0 {
+                let bit = w.trailing_zeros() as usize;
+                self.buckets[(wi << 6) | bit].clear();
+                w &= w - 1;
+            }
+            *word = 0;
+        }
+        self.overflow.clear();
+        self.len = 0;
+        self.next_seq = 0;
+    }
+}
+
+/// Deterministic event queue (see module docs for the two variants).
+pub(crate) enum EventQueue<M> {
+    Wheel(TimerWheel<M>),
+    Classic {
+        heap: BinaryHeap<QueuedEvent<M>>,
+        next_seq: u64,
+    },
+}
+
+impl<M> EventQueue<M> {
+    pub fn with_impl(imp: QueueImpl) -> Self {
+        match imp {
+            QueueImpl::Wheel => EventQueue::Wheel(TimerWheel::new()),
+            QueueImpl::Classic => EventQueue::Classic {
+                heap: BinaryHeap::new(),
+                next_seq: 0,
+            },
+        }
+    }
+
+    pub fn push(&mut self, at: Time, kind: EventKind<M>) {
+        match self {
+            EventQueue::Wheel(w) => w.push(at, kind),
+            EventQueue::Classic { heap, next_seq } => {
+                let seq = *next_seq;
+                *next_seq += 1;
+                heap.push(QueuedEvent { at, seq, kind });
+            }
+        }
     }
 
     pub fn pop(&mut self) -> Option<QueuedEvent<M>> {
-        self.heap.pop()
+        match self {
+            EventQueue::Wheel(w) => w.pop(),
+            EventQueue::Classic { heap, .. } => heap.pop(),
+        }
     }
 
-    /// The time of the next event without removing it.
-    pub fn peek_time(&self) -> Option<Time> {
-        self.heap.peek().map(|e| e.at)
+    /// The time of the next event without removing it. Takes `&mut self`
+    /// because the wheel advances to the next occupied span to answer.
+    pub fn peek_time(&mut self) -> Option<Time> {
+        match self {
+            EventQueue::Wheel(w) => w.peek_time(),
+            EventQueue::Classic { heap, .. } => heap.peek().map(|e| e.at),
+        }
     }
 
     pub fn len(&self) -> usize {
-        self.heap.len()
+        match self {
+            EventQueue::Wheel(w) => w.len,
+            EventQueue::Classic { heap, .. } => heap.len(),
+        }
     }
 
-    #[allow(dead_code)] // used by unit tests and debugging helpers
     pub fn is_empty(&self) -> bool {
-        self.heap.is_empty()
+        self.len() == 0
+    }
+
+    /// Empty the queue and restart sequence numbering, keeping span,
+    /// bucket, and heap capacity warm for the next run.
+    pub fn reset(&mut self) {
+        match self {
+            EventQueue::Wheel(w) => w.clear(),
+            EventQueue::Classic { heap, next_seq } => {
+                heap.clear();
+                *next_seq = 0;
+            }
+        }
     }
 }
 
@@ -106,43 +399,196 @@ mod tests {
         }
     }
 
+    fn both() -> [EventQueue<()>; 2] {
+        [
+            EventQueue::with_impl(QueueImpl::Wheel),
+            EventQueue::with_impl(QueueImpl::Classic),
+        ]
+    }
+
+    fn drain_pids(q: &mut EventQueue<()>) -> Vec<(Time, usize)> {
+        std::iter::from_fn(|| {
+            q.pop().map(|e| match e.kind {
+                EventKind::Crash { pid } => (e.at, pid.index()),
+                _ => unreachable!(),
+            })
+        })
+        .collect()
+    }
+
     #[test]
     fn pops_in_time_order() {
-        let mut q: EventQueue<()> = EventQueue::new();
-        q.push(Time(30), crash(0));
-        q.push(Time(10), crash(1));
-        q.push(Time(20), crash(2));
-        let order: Vec<Time> = std::iter::from_fn(|| q.pop().map(|e| e.at)).collect();
-        assert_eq!(order, vec![Time(10), Time(20), Time(30)]);
+        for mut q in both() {
+            q.push(Time(30), crash(0));
+            q.push(Time(10), crash(1));
+            q.push(Time(20), crash(2));
+            let order: Vec<Time> = std::iter::from_fn(|| q.pop().map(|e| e.at)).collect();
+            assert_eq!(order, vec![Time(10), Time(20), Time(30)]);
+        }
     }
 
     #[test]
     fn ties_break_by_insertion_order() {
-        let mut q: EventQueue<()> = EventQueue::new();
-        for i in 0..5 {
-            q.push(Time(7), crash(i));
+        for mut q in both() {
+            for i in 0..5 {
+                q.push(Time(7), crash(i));
+            }
+            let pids: Vec<usize> = drain_pids(&mut q).into_iter().map(|(_, p)| p).collect();
+            assert_eq!(pids, vec![0, 1, 2, 3, 4]);
         }
-        let pids: Vec<usize> = std::iter::from_fn(|| {
-            q.pop().map(|e| match e.kind {
-                EventKind::Crash { pid } => pid.index(),
-                _ => unreachable!(),
-            })
-        })
-        .collect();
-        assert_eq!(pids, vec![0, 1, 2, 3, 4]);
     }
 
     #[test]
     fn peek_matches_pop() {
-        let mut q: EventQueue<()> = EventQueue::new();
-        assert_eq!(q.peek_time(), None);
-        q.push(Time(5), crash(0));
-        q.push(Time(3), crash(1));
-        assert_eq!(q.peek_time(), Some(Time(3)));
-        assert_eq!(q.len(), 2);
-        q.pop();
-        assert_eq!(q.peek_time(), Some(Time(5)));
-        q.pop();
-        assert!(q.is_empty());
+        for mut q in both() {
+            assert_eq!(q.peek_time(), None);
+            q.push(Time(5), crash(0));
+            q.push(Time(3), crash(1));
+            assert_eq!(q.peek_time(), Some(Time(3)));
+            assert_eq!(q.len(), 2);
+            q.pop();
+            assert_eq!(q.peek_time(), Some(Time(5)));
+            q.pop();
+            assert!(q.is_empty());
+        }
+    }
+
+    /// Interleaved push/pop with ties at span boundaries, across the
+    /// wheel/overflow horizon: the wheel must agree with the classic
+    /// heap event for event.
+    #[test]
+    fn interleaved_push_pop_matches_classic() {
+        let horizon = (BUCKET_COUNT as u64) << BUCKET_SHIFT;
+        // A deterministic but irregular schedule touching every regime:
+        // same-tick ties, same-span inserts, far-future overflow events,
+        // and pops interleaved with pushes.
+        let mut wheel = EventQueue::with_impl(QueueImpl::Wheel);
+        let mut classic = EventQueue::with_impl(QueueImpl::Classic);
+        let mut pid = 0usize;
+        let mut x = 0x243f_6a88_85a3_08d3u64; // deterministic LCG-ish stream
+        let mut nextx = move || {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            x
+        };
+        let mut now = 0u64;
+        let mut log_wheel = Vec::new();
+        let mut log_classic = Vec::new();
+        for round in 0..2000 {
+            let r = nextx();
+            let burst = (r % 4) as usize;
+            for _ in 0..=burst {
+                let delta = match nextx() % 10 {
+                    0 => 0,                           // same-tick tie
+                    1..=5 => 1 + nextx() % 4096,      // near future (in-wheel)
+                    6..=8 => nextx() % (horizon / 2), // mid wheel
+                    _ => horizon + nextx() % horizon, // beyond the horizon
+                };
+                wheel.push(Time(now + delta), crash(pid));
+                classic.push(Time(now + delta), crash(pid));
+                pid += 1;
+            }
+            if round % 3 != 0 {
+                let a = wheel.pop();
+                let b = classic.pop();
+                match (a, b) {
+                    (Some(ea), Some(eb)) => {
+                        assert_eq!((ea.at, ea.seq), (eb.at, eb.seq), "round {round}");
+                        now = ea.at.0;
+                        log_wheel.push((ea.at, ea.seq));
+                        log_classic.push((eb.at, eb.seq));
+                    }
+                    (None, None) => {}
+                    other => panic!("one queue empty, the other not: {other:?}"),
+                }
+            }
+            assert_eq!(wheel.len(), classic.len(), "round {round}");
+        }
+        // Drain the rest.
+        loop {
+            match (wheel.pop(), classic.pop()) {
+                (Some(ea), Some(eb)) => assert_eq!((ea.at, ea.seq), (eb.at, eb.seq)),
+                (None, None) => break,
+                other => panic!("length mismatch at drain: {other:?}"),
+            }
+        }
+        assert_eq!(log_wheel, log_classic);
+    }
+
+    /// Seq tie-breaks survive crossing the wheel/overflow boundary: two
+    /// events at the same far-future tick, pushed in order, must pop in
+    /// order after migrating from the overflow heap into the wheel.
+    #[test]
+    fn overflow_migration_preserves_seq_ties() {
+        let horizon = (BUCKET_COUNT as u64) << BUCKET_SHIFT;
+        let far = Time(horizon * 3 + 17);
+        for mut q in both() {
+            for i in 0..8 {
+                q.push(far, crash(i));
+            }
+            // A near event first, so the wheel turns before the far ones.
+            q.push(Time(1), crash(100));
+            let order = drain_pids(&mut q);
+            assert_eq!(order[0], (Time(1), 100));
+            let far_order: Vec<usize> = order[1..].iter().map(|&(_, p)| p).collect();
+            assert_eq!(far_order, vec![0, 1, 2, 3, 4, 5, 6, 7]);
+        }
+    }
+
+    /// Pushing into the already-active span (e.g. a loopback delivery
+    /// one tick from now) keeps order against events already there.
+    #[test]
+    fn same_span_insert_keeps_order() {
+        for mut q in both() {
+            q.push(Time(10), crash(0));
+            q.push(Time(30), crash(1));
+            assert_eq!(q.peek_time(), Some(Time(10)));
+            let first = q.pop().unwrap();
+            assert_eq!(first.at, Time(10));
+            // Now push between the popped event and the pending one,
+            // plus a tie with the pending one (must lose by seq).
+            q.push(Time(20), crash(2));
+            q.push(Time(30), crash(3));
+            let order = drain_pids(&mut q);
+            assert_eq!(order, vec![(Time(20), 2), (Time(30), 1), (Time(30), 3)]);
+        }
+    }
+
+    #[test]
+    fn reset_restarts_sequence_numbering() {
+        for mut q in both() {
+            q.push(Time(5), crash(0));
+            q.push(Time(900_000_000), crash(1)); // deep overflow
+            q.pop();
+            q.reset();
+            assert!(q.is_empty());
+            assert_eq!(q.peek_time(), None);
+            // Ties after reset break exactly as in a fresh queue.
+            q.push(Time(7), crash(10));
+            q.push(Time(7), crash(11));
+            let order = drain_pids(&mut q);
+            assert_eq!(order, vec![(Time(7), 10), (Time(7), 11)]);
+        }
+    }
+
+    #[test]
+    fn msg_slot_shares_and_takes() {
+        let slot: MsgSlot<String> = MsgSlot::Inline("a".into());
+        assert_eq!(slot.get(), "a");
+        assert_eq!(slot.take(), "a");
+        let rc = Rc::new("b".to_string());
+        let s1 = MsgSlot::Shared(Rc::clone(&rc));
+        let s2 = MsgSlot::Shared(rc);
+        assert_eq!(s1.get(), "b");
+        assert_eq!(s1.take(), "b"); // clones: s2 still shares
+        assert_eq!(s2.take(), "b"); // last holder: moves out
+    }
+
+    #[test]
+    fn queue_impl_labels() {
+        assert_eq!(QueueImpl::Wheel.label(), "wheel");
+        assert_eq!(QueueImpl::Classic.label(), "classic");
+        assert_eq!(QueueImpl::default(), QueueImpl::Wheel);
     }
 }

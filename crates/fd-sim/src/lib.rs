@@ -49,6 +49,7 @@
 #![warn(missing_docs)]
 
 pub mod actor;
+pub mod bench;
 pub mod event;
 pub mod link;
 pub mod metrics;
@@ -60,7 +61,8 @@ pub mod topology;
 pub mod trace;
 pub mod world;
 
-pub use actor::{Action, Actor, Context, SimMessage, TimerId, TimerTag};
+pub use actor::{expand_sends, Action, Actor, Context, SimMessage, TimerId, TimerTag};
+pub use event::QueueImpl;
 pub use link::{DelayDist, LinkModel};
 pub use metrics::Metrics;
 pub use process::{all_processes, ProcessId};

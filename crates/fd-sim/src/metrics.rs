@@ -4,9 +4,78 @@
 //! drive the paper's message-complexity experiments: messages per round
 //! per protocol (§5.4) and periodic messages per interval for the failure
 //! detectors and the Fig. 2 transformation (§4).
+//!
+//! `record_sent` runs once per message on the kernel hot path, so the
+//! backing structures are chosen for that path: per-kind counts live in
+//! a small vector scanned with a pointer-equality fast path (a run sees
+//! a handful of distinct `&'static str` labels), per-process counts are
+//! a plain index, and only the sparse per-round table is a hash map —
+//! with a multiply-xor hasher instead of the default SipHash.
 
 use crate::process::ProcessId;
 use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// A fast, non-cryptographic multiply-xor hasher (FxHash-style) for the
+/// kernel's internal tables. Not DoS-resistant — keys are protocol
+/// labels and round numbers, never attacker-controlled.
+#[derive(Default)]
+pub(crate) struct FxHasher(u64);
+
+const FX_SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+impl FxHasher {
+    #[inline]
+    fn add(&mut self, x: u64) {
+        self.0 = (self.0.rotate_left(5) ^ x).wrapping_mul(FX_SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for c in &mut chunks {
+            self.add(u64::from_le_bytes(c.try_into().expect("8-byte chunk")));
+        }
+        let mut last = 0u64;
+        for &b in chunks.remainder() {
+            last = (last << 8) | b as u64;
+        }
+        self.add(last ^ ((bytes.len() as u64) << 56));
+    }
+
+    #[inline]
+    fn write_u8(&mut self, x: u8) {
+        self.add(x as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, x: u64) {
+        self.add(x);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, x: usize) {
+        self.add(x as u64);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+pub(crate) type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// Label equality with a pointer fast path: kind labels are `&'static
+/// str` literals, so repeat sends of the same kind compare in two
+/// integer comparisons; content equality is the correctness fallback
+/// for distinct instantiations of the same literal.
+#[inline]
+fn label_eq(a: &'static str, b: &'static str) -> bool {
+    (std::ptr::eq(a.as_ptr(), b.as_ptr()) && a.len() == b.len()) || a == b
+}
 
 /// Counters accumulated over one run.
 #[derive(Debug, Clone, Default)]
@@ -15,16 +84,29 @@ pub struct Metrics {
     delivered_total: u64,
     dropped_total: u64,
     events_processed: u64,
-    sent_by_kind: HashMap<&'static str, u64>,
-    sent_by_kind_round: HashMap<(&'static str, u64), u64>,
-    sent_by_process: HashMap<ProcessId, u64>,
+    /// `(kind, count)`, insertion-ordered; a run sees few distinct kinds.
+    sent_by_kind: Vec<(&'static str, u64)>,
+    sent_by_kind_round: HashMap<(&'static str, u64), u64, FxBuildHasher>,
+    /// Indexed by process id.
+    sent_by_process: Vec<u64>,
 }
 
 impl Metrics {
     pub(crate) fn record_sent(&mut self, from: ProcessId, kind: &'static str, round: Option<u64>) {
         self.sent_total += 1;
-        *self.sent_by_kind.entry(kind).or_default() += 1;
-        *self.sent_by_process.entry(from).or_default() += 1;
+        match self
+            .sent_by_kind
+            .iter_mut()
+            .find(|(k, _)| label_eq(k, kind))
+        {
+            Some(slot) => slot.1 += 1,
+            None => self.sent_by_kind.push((kind, 1)),
+        }
+        let idx = from.index();
+        if idx >= self.sent_by_process.len() {
+            self.sent_by_process.resize(idx + 1, 0);
+        }
+        self.sent_by_process[idx] += 1;
         if let Some(r) = round {
             *self.sent_by_kind_round.entry((kind, r)).or_default() += 1;
         }
@@ -66,7 +148,7 @@ impl Metrics {
     pub fn sent_of_kind(&self, kind: &str) -> u64 {
         self.sent_by_kind
             .iter()
-            .filter(|(k, _)| **k == kind)
+            .filter(|(k, _)| *k == kind)
             .map(|(_, v)| *v)
             .sum()
     }
@@ -99,13 +181,14 @@ impl Metrics {
 
     /// Messages sent by one process.
     pub fn sent_by(&self, pid: ProcessId) -> u64 {
-        self.sent_by_process.get(&pid).copied().unwrap_or(0)
+        self.sent_by_process.get(pid.index()).copied().unwrap_or(0)
     }
 
     /// All message kinds seen, sorted by label.
     pub fn kinds(&self) -> Vec<&'static str> {
-        let mut ks: Vec<&'static str> = self.sent_by_kind.keys().copied().collect();
+        let mut ks: Vec<&'static str> = self.sent_by_kind.iter().map(|(k, _)| *k).collect();
         ks.sort_unstable();
+        ks.dedup();
         ks
     }
 }
@@ -137,5 +220,35 @@ mod tests {
         assert_eq!(m.sent_by(ProcessId(1)), 2);
         assert_eq!(m.sent_by(ProcessId(9)), 0);
         assert_eq!(m.kinds(), vec!["est", "hb"]);
+    }
+
+    /// Kind labels with equal content but (potentially) distinct static
+    /// addresses must aggregate into one counter — the pointer compare
+    /// is a fast path, never the semantics.
+    #[test]
+    fn kind_labels_compare_by_content() {
+        let a: &'static str = "same";
+        // Force a second str with identical bytes via a leaked box, so
+        // the addresses genuinely differ.
+        let b: &'static str = Box::leak("same".to_string().into_boxed_str());
+        assert!(!std::ptr::eq(a.as_ptr(), b.as_ptr()));
+        let mut m = Metrics::default();
+        m.record_sent(ProcessId(0), a, None);
+        m.record_sent(ProcessId(0), b, None);
+        assert_eq!(m.sent_of_kind("same"), 2);
+        assert_eq!(m.kinds(), vec!["same"]);
+    }
+
+    #[test]
+    fn fx_hasher_is_deterministic_and_spreads() {
+        let h = |bytes: &[u8]| {
+            let mut hasher = FxHasher::default();
+            hasher.write(bytes);
+            hasher.finish()
+        };
+        assert_eq!(h(b"ec.estimate"), h(b"ec.estimate"));
+        assert_ne!(h(b"ec.estimate"), h(b"ec.ack"));
+        assert_ne!(h(b"a"), h(b"aa"));
+        assert_ne!(h(b""), h(b"\0"));
     }
 }

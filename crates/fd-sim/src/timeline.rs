@@ -113,7 +113,9 @@ impl<'a> Timeline<'a> {
             if ev.at < self.from || ev.at > self.until {
                 continue;
             }
-            let stamp = format!("[{:>10.3}ms]", ev.at.ticks() as f64 / 1000.0);
+            // Formatted lazily: most events are filtered out below, and
+            // formatting the stamp for them is wasted work.
+            let stamp = || format!("[{:>10.3}ms]", ev.at.ticks() as f64 / 1000.0);
             match &ev.kind {
                 TraceKind::Observation { pid, tag, payload } => {
                     if !self.wants_process(*pid) {
@@ -124,13 +126,18 @@ impl<'a> Timeline<'a> {
                             continue;
                         }
                     }
-                    let _ = writeln!(out, "{stamp} {pid}  {tag} → {}", Self::fmt_payload(payload));
+                    let _ = writeln!(
+                        out,
+                        "{} {pid}  {tag} → {}",
+                        stamp(),
+                        Self::fmt_payload(payload)
+                    );
                 }
                 TraceKind::Crashed { pid } => {
                     if !self.wants_process(*pid) {
                         continue;
                     }
-                    let _ = writeln!(out, "{stamp} ✖ {pid} crashed");
+                    let _ = writeln!(out, "{} ✖ {pid} crashed", stamp());
                 }
                 TraceKind::Sent {
                     from,
@@ -144,7 +151,7 @@ impl<'a> Timeline<'a> {
                         continue;
                     }
                     let r = round.map(|r| format!(" (round {r})")).unwrap_or_default();
-                    let _ = writeln!(out, "{stamp} {from} → {to}  {kind}{r}");
+                    let _ = writeln!(out, "{} {from} → {to}  {kind}{r}", stamp());
                 }
                 TraceKind::Delivered {
                     from,
@@ -158,7 +165,7 @@ impl<'a> Timeline<'a> {
                         continue;
                     }
                     let r = round.map(|r| format!(" (round {r})")).unwrap_or_default();
-                    let _ = writeln!(out, "{stamp} {from} ⇒ {to}  {kind}{r} delivered");
+                    let _ = writeln!(out, "{} {from} ⇒ {to}  {kind}{r} delivered", stamp());
                 }
                 TraceKind::Dropped {
                     from,
@@ -171,7 +178,11 @@ impl<'a> Timeline<'a> {
                     {
                         continue;
                     }
-                    let _ = writeln!(out, "{stamp} {from} ⊘ {to}  {kind} dropped ({reason:?})");
+                    let _ = writeln!(
+                        out,
+                        "{} {from} ⊘ {to}  {kind} dropped ({reason:?})",
+                        stamp()
+                    );
                 }
             }
         }
@@ -248,6 +259,23 @@ mod tests {
                 },
             },
         ])
+    }
+
+    /// A filter combination that rejects every event must render *no*
+    /// output at all — zero lines, empty string. (Regression: the stamp
+    /// used to be formatted before the filters ran; laziness is only
+    /// safe because nothing of the stamp can leak for filtered events.)
+    #[test]
+    fn fully_filtered_trace_renders_zero_lines() {
+        let tr = sample();
+        // p9 appears nowhere in the sample trace.
+        let out = Timeline::new(&tr)
+            .with_messages()
+            .with_drops()
+            .only_processes(&[ProcessId(9)])
+            .render();
+        assert_eq!(out.lines().count(), 0);
+        assert_eq!(out, "");
     }
 
     #[test]

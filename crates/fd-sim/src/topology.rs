@@ -91,9 +91,15 @@ impl NetworkConfig {
     }
 
     /// The model governing the directed link `from → to`.
+    #[inline]
     pub fn link(&self, from: ProcessId, to: ProcessId) -> &LinkModel {
         if from == to {
             return &self.loopback;
+        }
+        // Most runs configure no per-link overrides; skip the map probe
+        // entirely on that (per-send hot) path.
+        if self.overrides.is_empty() {
+            return &self.default;
         }
         self.overrides.get(&(from, to)).unwrap_or(&self.default)
     }

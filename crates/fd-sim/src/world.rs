@@ -9,7 +9,7 @@
 //! (crashes are permanent, no recovery).
 
 use crate::actor::{Action, Actor, Context, SimMessage};
-use crate::event::{EventKind, EventQueue, QueuedEvent};
+use crate::event::{EventKind, EventQueue, MsgSlot, QueueImpl, QueuedEvent};
 use crate::metrics::Metrics;
 use crate::process::ProcessId;
 use crate::rng::{derive_network_rng, derive_process_rng};
@@ -18,6 +18,7 @@ use crate::topology::NetworkConfig;
 use crate::trace::{DropReason, Payload, Trace, TraceKind};
 use rand::rngs::SmallRng;
 use std::collections::HashSet;
+use std::rc::Rc;
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -128,6 +129,7 @@ pub struct WorldBuilder {
     record_trace: bool,
     max_events: u64,
     obs: Option<WorldObs>,
+    queue: QueueImpl,
 }
 
 impl WorldBuilder {
@@ -140,7 +142,16 @@ impl WorldBuilder {
             record_trace: true,
             max_events: u64::MAX,
             obs: None,
+            queue: QueueImpl::default(),
         }
+    }
+
+    /// Select the event-queue implementation (default: the timer wheel).
+    /// Both produce byte-identical runs; the classic heap exists for the
+    /// golden-digest equivalence tests and as a fallback.
+    pub fn queue_impl(mut self, imp: QueueImpl) -> Self {
+        self.queue = imp;
+        self
     }
 
     /// Set the run seed. Identical seeds replay identical runs.
@@ -196,7 +207,7 @@ impl WorldBuilder {
         let mut world = World {
             n,
             now: Time::ZERO,
-            queue: EventQueue::new(),
+            queue: EventQueue::with_impl(self.queue),
             actors,
             net: self.net,
             net_rng: derive_network_rng(self.seed),
@@ -209,6 +220,7 @@ impl WorldBuilder {
             obs: self.obs,
             started: false,
             scratch: Vec::new(),
+            trace_hwm: 0,
         };
         for (pid, at) in self.crashes {
             world.queue.push(at, EventKind::Crash { pid });
@@ -234,6 +246,9 @@ pub struct World<A: Actor> {
     obs: Option<WorldObs>,
     started: bool,
     scratch: Vec<Action<A::Msg>>,
+    /// Largest trace length seen across resets — the reserve hint that
+    /// turns per-seed trace growth into one up-front arena allocation.
+    trace_hwm: usize,
 }
 
 impl<A: Actor> World<A> {
@@ -338,49 +353,80 @@ impl<A: Actor> World<A> {
         }
     }
 
+    /// Route one message over the `from → to` link: record the send,
+    /// sample the link model, and either enqueue the delivery or record
+    /// the drop. The shared tail of [`Action::Send`] and each
+    /// destination of [`Action::Broadcast`].
+    fn route(
+        &mut self,
+        from: ProcessId,
+        to: ProcessId,
+        kind: &'static str,
+        round: Option<u64>,
+        msg: MsgSlot<A::Msg>,
+    ) {
+        self.metrics.record_sent(from, kind, round);
+        if self.record_trace {
+            self.trace.push(
+                self.now,
+                TraceKind::Sent {
+                    from,
+                    to,
+                    kind,
+                    round,
+                },
+            );
+        }
+        match self
+            .net
+            .link(from, to)
+            .deliver_at(self.now, &mut self.net_rng)
+        {
+            Some(at) => {
+                // Enforce strict causality: delivery strictly after
+                // the send instant in queue order is already
+                // guaranteed by the sequence number; a zero sampled
+                // delay is therefore fine.
+                self.queue.push(at, EventKind::Deliver { from, to, msg });
+            }
+            None => {
+                self.metrics.record_dropped();
+                if self.record_trace {
+                    self.trace.push(
+                        self.now,
+                        TraceKind::Dropped {
+                            from,
+                            to,
+                            kind,
+                            reason: DropReason::Link,
+                        },
+                    );
+                }
+            }
+        }
+    }
+
     fn apply(&mut self, from: ProcessId, action: Action<A::Msg>) {
         match action {
             Action::Send { to, msg } => {
                 let kind = msg.kind();
                 let round = msg.round();
-                self.metrics.record_sent(from, kind, round);
-                if self.record_trace {
-                    self.trace.push(
-                        self.now,
-                        TraceKind::Sent {
-                            from,
-                            to,
-                            kind,
-                            round,
-                        },
-                    );
-                }
-                match self
-                    .net
-                    .link(from, to)
-                    .deliver_at(self.now, &mut self.net_rng)
-                {
-                    Some(at) => {
-                        // Enforce strict causality: delivery strictly after
-                        // the send instant in queue order is already
-                        // guaranteed by the sequence number; a zero sampled
-                        // delay is therefore fine.
-                        self.queue.push(at, EventKind::Deliver { from, to, msg });
+                self.route(from, to, kind, round, MsgSlot::Inline(msg));
+            }
+            Action::Broadcast { include_self, msg } => {
+                // Fan out in identity order — the same per-destination
+                // metric, trace, link-sampling, and enqueue sequence the
+                // sender's own per-destination Send loop used to
+                // produce, but with one shared payload allocation.
+                let kind = msg.kind();
+                let round = msg.round();
+                let shared = Rc::new(msg);
+                for i in 0..self.n {
+                    let to = ProcessId(i);
+                    if !include_self && to == from {
+                        continue;
                     }
-                    None => {
-                        self.metrics.record_dropped();
-                        if self.record_trace {
-                            self.trace.push(
-                                self.now,
-                                TraceKind::Dropped {
-                                    from,
-                                    to,
-                                    kind,
-                                    reason: DropReason::Link,
-                                },
-                            );
-                        }
-                    }
+                    self.route(from, to, kind, round, MsgSlot::Shared(Rc::clone(&shared)));
                 }
             }
             Action::SetTimer { id, after, tag } => {
@@ -427,7 +473,7 @@ impl<A: Actor> World<A> {
                             TraceKind::Dropped {
                                 from,
                                 to,
-                                kind: msg.kind(),
+                                kind: msg.get().kind(),
                                 reason: DropReason::ReceiverCrashed,
                             },
                         );
@@ -441,12 +487,12 @@ impl<A: Actor> World<A> {
                         TraceKind::Delivered {
                             from,
                             to,
-                            kind: msg.kind(),
-                            round: msg.round(),
+                            kind: msg.get().kind(),
+                            round: msg.get().round(),
                         },
                     );
                 }
-                self.dispatch(to, |actor, ctx| actor.on_message(ctx, from, msg));
+                self.dispatch(to, |actor, ctx| actor.on_message(ctx, from, msg.take()));
             }
             EventKind::Timer { pid, id, tag } => {
                 if self.cancelled.remove(&id.0) || self.actors[pid.index()].crashed {
@@ -511,9 +557,69 @@ impl<A: Actor> World<A> {
         false
     }
 
+    /// Run until no events remain at all — quiescence — or the event
+    /// budget trips. Returns the time of the last processed event.
+    /// Protocols with self-rearming timers never quiesce; use
+    /// [`run_until_time`](World::run_until_time) for those.
+    pub fn run_to_quiescence(&mut self) -> Time {
+        self.ensure_started();
+        while !self.queue.is_empty() {
+            let ev = self.queue.pop().expect("non-empty queue");
+            self.process(ev);
+        }
+        self.now
+    }
+
     /// Consume the world, returning its trace and metrics.
     pub fn into_results(self) -> (Trace, Metrics) {
         (self.trace, self.metrics)
+    }
+
+    /// Take the trace and metrics out of a world that is about to be
+    /// [`reset`](World::reset) — the reuse-path twin of
+    /// [`into_results`](World::into_results).
+    pub fn take_results(&mut self) -> (Trace, Metrics) {
+        self.trace_hwm = self.trace_hwm.max(self.trace.len());
+        (
+            std::mem::take(&mut self.trace),
+            std::mem::take(&mut self.metrics),
+        )
+    }
+
+    /// Re-arm this world for a fresh run of `seed` over `net`, reusing
+    /// every allocation the previous run warmed up: the event queue's
+    /// spans and buckets, the actors vector, the action scratch buffer,
+    /// and (via a high-water-mark `reserve`) the trace arena. `n` may
+    /// change between runs. Equivalent to building a new world with the
+    /// same `record_trace` / `max_events` / instrumentation settings —
+    /// runs after a reset are byte-identical to runs in a fresh world.
+    ///
+    /// Crashes are not carried over; schedule them with
+    /// [`schedule_crash`](World::schedule_crash) after the reset.
+    pub fn reset<F>(&mut self, net: NetworkConfig, seed: u64, mut make: F)
+    where
+        F: FnMut(ProcessId, usize) -> A,
+    {
+        let n = net.n();
+        assert!(n > 0, "a world needs at least one process");
+        self.trace_hwm = self.trace_hwm.max(self.trace.len());
+        self.n = n;
+        self.now = Time::ZERO;
+        self.queue.reset();
+        self.actors.clear();
+        self.actors.extend((0..n).map(|i| Slot {
+            actor: make(ProcessId(i), n),
+            rng: derive_process_rng(seed, i),
+            crashed: false,
+        }));
+        self.net = net;
+        self.net_rng = derive_network_rng(seed);
+        self.cancelled.clear();
+        self.next_timer_id = 0;
+        self.trace
+            .reset_with_capacity(if self.record_trace { self.trace_hwm } else { 0 });
+        self.metrics = Metrics::default();
+        self.started = false;
     }
 
     /// Record an observation on behalf of the harness itself (pid-less

@@ -22,6 +22,12 @@ use fd_detectors::{
 };
 use std::process::ExitCode;
 
+/// Count heap allocations so `bench-kernel` can report allocs/event.
+/// One relaxed atomic increment per allocation; free for every other
+/// subcommand in practice.
+#[global_allocator]
+static ALLOC: fd_obs::CountingAllocator = fd_obs::CountingAllocator;
+
 const HELP: &str = "\
 ecfd — eventually consistent failure detectors, runnable
 
@@ -34,6 +40,8 @@ USAGE:
   ecfd campaign  --scenario NAME [--seeds A..B] [--jobs N] [--artifact-dir DIR]
                  [--metrics-out FILE]
   ecfd campaign  --replay FILE [--shrink] [--metrics-out FILE]
+  ecfd bench-kernel [--seeds N] [--out FILE] [--micro-out FILE]
+                 [--check BASELINE] [--threshold PCT]
   ecfd obs-report FILE
   ecfd classes
   ecfd help
@@ -61,6 +69,17 @@ CAMPAIGN OPTIONS:
   --metrics-out F   write kernel/campaign metrics as JSON Lines to F
                     (render later with `ecfd obs-report F`); per-seed
                     verdicts and digests are identical with or without it
+
+BENCH-KERNEL OPTIONS:
+  --seeds N         seeds in the E8 throughput sweep (default 1000)
+  --out FILE        write the kernel benchmark JSON to FILE
+                    (same shape as the committed BENCH_kernel.json)
+  --micro-out FILE  write the microbenchmark suite JSON to FILE
+                    (default: BENCH_micro.json next to --out)
+  --check BASELINE  compare events_per_sec against a baseline
+                    BENCH_kernel.json; exit nonzero on regression
+  --threshold PCT   allowed events_per_sec drop vs baseline, percent
+                    (default 25)
 ";
 
 #[derive(Debug, Default)]
@@ -504,6 +523,129 @@ fn cmd_obs_report(rest: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// Flags of `ecfd bench-kernel` (parsed separately from [`Args`]:
+/// `--seeds` is a count here, not a range).
+#[derive(Debug)]
+struct BenchArgs {
+    seeds: u64,
+    out: Option<String>,
+    micro_out: Option<String>,
+    check: Option<String>,
+    threshold: f64,
+}
+
+fn parse_bench_args(argv: &[String]) -> Result<BenchArgs, String> {
+    let mut a = BenchArgs {
+        seeds: 1000,
+        out: None,
+        micro_out: None,
+        check: None,
+        threshold: 25.0,
+    };
+    let mut it = argv.iter();
+    while let Some(flag) = it.next() {
+        let mut take = || it.next().ok_or_else(|| format!("{flag} needs a value"));
+        match flag.as_str() {
+            "--seeds" => {
+                a.seeds = take()?.parse().map_err(|e| format!("--seeds: {e}"))?;
+                if a.seeds == 0 {
+                    return Err("--seeds must be at least 1".into());
+                }
+            }
+            "--out" => a.out = Some(take()?.clone()),
+            "--micro-out" => a.micro_out = Some(take()?.clone()),
+            "--check" => a.check = Some(take()?.clone()),
+            "--threshold" => {
+                a.threshold = take()?.parse().map_err(|e| format!("--threshold: {e}"))?;
+                if !(0.0..=100.0).contains(&a.threshold) {
+                    return Err("--threshold must be a percentage in 0..=100".into());
+                }
+            }
+            other => return Err(format!("unknown bench-kernel flag {other}")),
+        }
+    }
+    Ok(a)
+}
+
+/// Run the kernel throughput benchmark plus the microbenchmark suite,
+/// optionally writing both JSON files and gating against a committed
+/// baseline (the CI perf-smoke job runs this with `--check`).
+fn cmd_bench_kernel(rest: &[String]) -> Result<(), String> {
+    let a = parse_bench_args(rest)?;
+    println!("bench-kernel: e8 sweep over {} seeds …", a.seeds);
+    let bench = fd_bench::campaign::kernel_bench(a.seeds);
+    let eps = bench
+        .field("events_per_sec")
+        .as_f64()
+        .ok_or("kernel bench produced no events_per_sec")?;
+    println!(
+        "kernel: {} events in {:.3}s — {:.0} events/s (queue {}, jobs 1; p50 {}ns p99 {}ns per seed)",
+        bench.field("events").as_u64().unwrap_or(0),
+        bench.field("wall_ns").as_u64().unwrap_or(0) as f64 / 1e9,
+        eps,
+        bench.field("queue_impl").as_str().unwrap_or("?"),
+        bench.field("seed_wall_p50_ns").as_u64().unwrap_or(0),
+        bench.field("seed_wall_p99_ns").as_u64().unwrap_or(0),
+    );
+    if let Some(ape) = bench.field("allocs_per_event").as_f64() {
+        println!("kernel: {ape:.2} heap allocations per event");
+    }
+    let micro = fd_bench::micro::micro_bench();
+    if let serde::Value::Arr(rows) = micro.field("entries") {
+        for row in rows {
+            println!(
+                "micro: {:<28} {:>8.1} ns/op  ({:.0} ops/s)",
+                row.field("id").as_str().unwrap_or("?"),
+                row.field("ns_per_op").as_f64().unwrap_or(0.0),
+                row.field("ops_per_sec").as_f64().unwrap_or(0.0),
+            );
+        }
+    }
+    if let Some(path) = &a.out {
+        write_json(path, &bench)?;
+        println!("kernel json: {path}");
+        let micro_path = a.micro_out.clone().unwrap_or_else(|| {
+            std::path::Path::new(path)
+                .with_file_name("BENCH_micro.json")
+                .display()
+                .to_string()
+        });
+        write_json(&micro_path, &micro)?;
+        println!("micro json: {micro_path}");
+    } else if let Some(micro_path) = &a.micro_out {
+        write_json(micro_path, &micro)?;
+        println!("micro json: {micro_path}");
+    }
+    if let Some(baseline_path) = &a.check {
+        let text =
+            std::fs::read_to_string(baseline_path).map_err(|e| format!("{baseline_path}: {e}"))?;
+        let baseline: serde::Value =
+            serde_json::from_str(&text).map_err(|e| format!("{baseline_path}: {e}"))?;
+        let base_eps = baseline
+            .field("events_per_sec")
+            .as_f64()
+            .ok_or_else(|| format!("{baseline_path}: no events_per_sec field"))?;
+        let floor = base_eps * (1.0 - a.threshold / 100.0);
+        if eps < floor {
+            return Err(format!(
+                "kernel regression: {eps:.0} events/s is more than {}% below the \
+                 baseline {base_eps:.0} (floor {floor:.0}) from {baseline_path}",
+                a.threshold
+            ));
+        }
+        println!(
+            "check: {eps:.0} events/s vs baseline {base_eps:.0} — within {}% ✓",
+            a.threshold
+        );
+    }
+    Ok(())
+}
+
+fn write_json(path: &str, v: &serde::Value) -> Result<(), String> {
+    let json = serde_json::to_string_pretty(v).map_err(|e| e.to_string())?;
+    std::fs::write(path, json + "\n").map_err(|e| format!("{path}: {e}"))
+}
+
 fn cmd_classes() {
     println!("failure-detector classes (Fig. 1 + Ω + the paper's ◇C):\n");
     for class in FdClass::ALL {
@@ -536,6 +678,15 @@ fn main() -> ExitCode {
     if cmd == "classes" {
         cmd_classes();
         return ExitCode::SUCCESS;
+    }
+    if cmd == "bench-kernel" {
+        return match cmd_bench_kernel(rest) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::FAILURE
+            }
+        };
     }
     if cmd == "obs-report" {
         return match cmd_obs_report(rest) {
