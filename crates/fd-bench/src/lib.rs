@@ -7,6 +7,7 @@
 //! the Criterion benches). `all_experiments` runs the lot.
 
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
 
 pub mod campaign;
 pub mod experiments;

@@ -6,6 +6,7 @@
 //! hosted on a node next to a failure detector and a consensus module.
 
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
 
 pub mod reliable;
 pub mod uniform;

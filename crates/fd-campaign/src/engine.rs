@@ -331,6 +331,7 @@ impl<'s> Campaign<'s> {
 
     /// Run the sweep.
     pub fn run(&self) -> CampaignReport {
+        // fd-lint: allow(ND002, reason = "wall-clock throughput metric for the sweep report; per-seed verdicts and digests never read it")
         let started = Instant::now();
         let next = AtomicU64::new(self.seeds.start);
         let results: Mutex<Vec<SeedResult>> = Mutex::new(Vec::new());
@@ -352,6 +353,7 @@ impl<'s> Campaign<'s> {
                 if seed >= self.seeds.end {
                     break;
                 }
+                // fd-lint: allow(ND002, reason = "wall-clock throughput metric for the sweep report; per-seed verdicts and digests never read it")
                 let seed_started = Instant::now();
                 let (result, artifact) =
                     Self::run_seed_with(self.scenario, &mut *executor, &monitors, seed, self.obs);

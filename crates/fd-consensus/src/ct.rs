@@ -23,7 +23,7 @@
 use crate::api::{majority, ConsensusConfig, DecidePayload, Estimate, ProtocolStep, RoundProtocol};
 use fd_core::{obs, FdOutput, SubCtx};
 use fd_sim::{Payload, ProcessId, SimMessage};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Wire messages of the Chandra–Toueg consensus.
 #[derive(Debug, Clone)]
@@ -104,11 +104,11 @@ pub struct CtConsensus {
     /// Estimates buffered per round (processes run rounds at their own
     /// pace, so a coordinator can receive estimates for rounds it has not
     /// reached yet).
-    est_buckets: HashMap<u64, HashMap<ProcessId, Estimate>>,
+    est_buckets: BTreeMap<u64, BTreeMap<ProcessId, Estimate>>,
     /// Propositions buffered per round.
-    prop_buckets: HashMap<u64, u64>,
+    prop_buckets: BTreeMap<u64, u64>,
     /// Phase 4 replies for the round currently coordinated; `true` = ack.
-    ack_replies: HashMap<ProcessId, bool>,
+    ack_replies: BTreeMap<ProcessId, bool>,
     /// Whether the Phase 4 decision was already evaluated (first-majority
     /// semantics: later replies are ignored).
     acks_closed: bool,
@@ -127,9 +127,9 @@ impl CtConsensus {
             est: Estimate::initial(0),
             round: 0,
             phase: Phase::Idle,
-            est_buckets: HashMap::new(),
-            prop_buckets: HashMap::new(),
-            ack_replies: HashMap::new(),
+            est_buckets: BTreeMap::new(),
+            prop_buckets: BTreeMap::new(),
+            ack_replies: BTreeMap::new(),
             acks_closed: false,
             prop_value: None,
             decision: None,

@@ -31,7 +31,7 @@
 use crate::api::{majority, ConsensusConfig, DecidePayload, Estimate, ProtocolStep, RoundProtocol};
 use fd_core::{obs, FdOutput, SubCtx};
 use fd_sim::{Payload, ProcessId, SimMessage};
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet};
 
 /// Wire messages of the ◇C consensus.
 #[derive(Debug, Clone)]
@@ -119,15 +119,15 @@ pub struct EcConsensus {
     phase: Phase,
     coordinator: Option<ProcessId>,
     /// Phase 2 replies (coordinator role), this round.
-    est_replies: HashMap<ProcessId, Option<Estimate>>,
+    est_replies: BTreeMap<ProcessId, Option<Estimate>>,
     /// The non-null proposition sent this round (coordinator role).
     prop_value: Option<u64>,
     /// Phase 4 replies: `true` = ack.
-    ack_replies: HashMap<ProcessId, bool>,
+    ack_replies: BTreeMap<ProcessId, bool>,
     /// Task 1 dedup: (coordinator, round) pairs already answered null.
-    answered_null: HashSet<(ProcessId, u64)>,
+    answered_null: BTreeSet<(ProcessId, u64)>,
     /// Task 2 dedup: (coordinator, round) pairs already nacked.
-    nacked: HashSet<(ProcessId, u64)>,
+    nacked: BTreeSet<(ProcessId, u64)>,
     decision: Option<DecidePayload>,
     /// How many rounds this process has *started* (instrumentation).
     rounds_started: u64,
@@ -144,11 +144,11 @@ impl EcConsensus {
             round: 0,
             phase: Phase::Idle,
             coordinator: None,
-            est_replies: HashMap::new(),
+            est_replies: BTreeMap::new(),
             prop_value: None,
-            ack_replies: HashMap::new(),
-            answered_null: HashSet::new(),
-            nacked: HashSet::new(),
+            ack_replies: BTreeMap::new(),
+            answered_null: BTreeSet::new(),
+            nacked: BTreeSet::new(),
             decision: None,
             rounds_started: 0,
         }
@@ -209,7 +209,7 @@ impl EcConsensus {
 
     /// The shared wait clause of Phases 2 and 4: every process has either
     /// replied or is suspected by the local ◇C module.
-    fn all_unsuspected_replied<T>(&self, replies: &HashMap<ProcessId, T>, fd: &FdOutput) -> bool {
+    fn all_unsuspected_replied<T>(&self, replies: &BTreeMap<ProcessId, T>, fd: &FdOutput) -> bool {
         (0..self.n)
             .map(ProcessId)
             .all(|q| replies.contains_key(&q) || fd.suspected.contains(q))

@@ -20,7 +20,7 @@
 use crate::api::{majority, ConsensusConfig, DecidePayload, Estimate, ProtocolStep, RoundProtocol};
 use fd_core::{obs, FdOutput, SubCtx};
 use fd_sim::{Payload, ProcessId, SimMessage};
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet};
 
 /// Wire messages of the merged variant.
 #[derive(Debug, Clone)]
@@ -101,12 +101,12 @@ pub struct EcMergedConsensus {
     my_leader: ProcessId,
     /// Estimates addressed to us, per round (we may be a coordinator
     /// without knowing it yet).
-    est_buckets: HashMap<u64, HashMap<ProcessId, Option<Estimate>>>,
+    est_buckets: BTreeMap<u64, BTreeMap<ProcessId, Option<Estimate>>>,
     /// Whether we already proposed (or passed) for a given round.
-    concluded_phase2: HashSet<u64>,
+    concluded_phase2: BTreeSet<u64>,
     prop_value: Option<u64>,
-    ack_replies: HashMap<ProcessId, bool>,
-    nacked: HashSet<(ProcessId, u64)>,
+    ack_replies: BTreeMap<ProcessId, bool>,
+    nacked: BTreeSet<(ProcessId, u64)>,
     decision: Option<DecidePayload>,
     rounds_started: u64,
 }
@@ -122,11 +122,11 @@ impl EcMergedConsensus {
             round: 0,
             phase: Phase::Idle,
             my_leader: ProcessId(0),
-            est_buckets: HashMap::new(),
-            concluded_phase2: HashSet::new(),
+            est_buckets: BTreeMap::new(),
+            concluded_phase2: BTreeSet::new(),
             prop_value: None,
-            ack_replies: HashMap::new(),
-            nacked: HashSet::new(),
+            ack_replies: BTreeMap::new(),
+            nacked: BTreeSet::new(),
             decision: None,
             rounds_started: 0,
         }
@@ -141,7 +141,7 @@ impl EcMergedConsensus {
         majority(self.n)
     }
 
-    fn all_unsuspected_replied<T>(&self, replies: &HashMap<ProcessId, T>, fd: &FdOutput) -> bool {
+    fn all_unsuspected_replied<T>(&self, replies: &BTreeMap<ProcessId, T>, fd: &FdOutput) -> bool {
         (0..self.n)
             .map(ProcessId)
             .all(|q| replies.contains_key(&q) || fd.suspected.contains(q))

@@ -21,6 +21,7 @@
 //! comparison table falls out of [`harness::RunResult`]'s metrics.
 
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
 
 pub mod api;
 pub mod ct;

@@ -33,7 +33,7 @@
 use crate::api::{ConsensusConfig, DecidePayload, Estimate, ProtocolStep, RoundProtocol};
 use fd_core::{obs, FdOutput, SubCtx};
 use fd_sim::{Payload, ProcessId, SimMessage};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Wire messages of the MR-style consensus.
 #[derive(Debug, Clone)]
@@ -104,9 +104,9 @@ pub struct MrConsensus {
     est: Estimate,
     round: u64,
     phase: Phase,
-    p1_buckets: HashMap<u64, HashMap<ProcessId, (ProcessId, Estimate)>>,
-    p2_buckets: HashMap<u64, HashMap<ProcessId, Option<u64>>>,
-    p3_buckets: HashMap<u64, HashMap<ProcessId, (bool, u64)>>,
+    p1_buckets: BTreeMap<u64, BTreeMap<ProcessId, (ProcessId, Estimate)>>,
+    p2_buckets: BTreeMap<u64, BTreeMap<ProcessId, Option<u64>>>,
+    p3_buckets: BTreeMap<u64, BTreeMap<ProcessId, (bool, u64)>>,
     my_flag: bool,
     decision: Option<DecidePayload>,
     rounds_started: u64,
@@ -125,9 +125,9 @@ impl MrConsensus {
             est: Estimate::initial(0),
             round: 0,
             phase: Phase::Idle,
-            p1_buckets: HashMap::new(),
-            p2_buckets: HashMap::new(),
-            p3_buckets: HashMap::new(),
+            p1_buckets: BTreeMap::new(),
+            p2_buckets: BTreeMap::new(),
+            p3_buckets: BTreeMap::new(),
             my_flag: false,
             decision: None,
             rounds_started: 0,

@@ -32,7 +32,7 @@
 use crate::api::{majority, ConsensusConfig, DecidePayload, ProtocolStep, RoundProtocol};
 use fd_core::{obs, FdOutput, SubCtx};
 use fd_sim::{Payload, ProcessId, SimMessage};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Wire messages of the synod.
 #[derive(Debug, Clone)]
@@ -121,7 +121,7 @@ pub struct PaxosConsensus {
     proposal: Option<u64>,
     phase: ProposerPhase,
     ballot: u64,
-    promises: HashMap<ProcessId, Option<(u64, u64)>>,
+    promises: BTreeMap<ProcessId, Option<(u64, u64)>>,
     accepts: usize,
     chosen_value: Option<u64>,
     /// Polls since the current ballot last made progress.
@@ -144,7 +144,7 @@ impl PaxosConsensus {
             proposal: None,
             phase: ProposerPhase::Idle,
             ballot: 0,
-            promises: HashMap::new(),
+            promises: BTreeMap::new(),
             accepts: 0,
             chosen_value: None,
             stalled_polls: 0,

@@ -14,6 +14,7 @@
 //!   accuracy, leadership, and consensus property in the paper.
 
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
 
 pub mod classes;
 pub mod component;

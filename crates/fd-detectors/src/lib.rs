@@ -21,6 +21,7 @@
 //! worlds) or composed with broadcast/consensus modules on one node.
 
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
 
 pub mod ec_to_ep;
 pub mod fused;

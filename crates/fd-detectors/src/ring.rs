@@ -139,8 +139,20 @@ impl RingDetector {
 
     fn poll_target<N: SimMessage>(&mut self, ctx: &mut SubCtx<'_, '_, N, RingMsg>) {
         let target = self.monitored_predecessor();
-        if target != self.me {
-            ctx.send(target, RingMsg::Poll);
+        if target == self.me {
+            return;
+        }
+        ctx.send(target, RingMsg::Poll);
+        // Reintegration retry: also poll the suspected processes this
+        // detector skipped over on its way back to `target`. A falsely
+        // suspected process proves itself alive by answering, but any
+        // single Poll or Reply can be lost pre-GST — without a retry on
+        // every poll tick, one dropped repair message leaves the false
+        // suspicion in place forever and ◇-accuracy fails. Crash-free
+        // steady state has an empty skipped segment, so the paper's
+        // 2n-messages-per-period cost is unchanged.
+        for q in self.between(target).iter() {
+            ctx.send(q, RingMsg::Poll);
         }
     }
 
@@ -393,5 +405,36 @@ mod tests {
         FdRun::new(&trace, n, end)
             .check_class(FdClass::EventuallyPerfect)
             .unwrap();
+    }
+
+    /// Regression for the post-GST reintegration liveness bug: a false
+    /// suspicion is revoked by a Reply from the suspect, but pre-GST the
+    /// network may drop that Reply (or the Poll that would elicit it).
+    /// `poll_target` must therefore re-poll the skipped segment every
+    /// period — with only a single repair attempt, one lost message
+    /// leaves the false suspicion in place forever and strong accuracy
+    /// never becomes permanent.
+    #[test]
+    fn reintegration_retries_after_dropped_repair() {
+        for seed in [7u64, 26, 91, 123, 4096] {
+            let n = 4;
+            let net = NetworkConfig::partially_synchronous(
+                n,
+                Time::from_millis(400),
+                SimDuration::from_millis(4),
+                SimDuration::from_millis(150),
+                0.4,
+            );
+            let mut w = WorldBuilder::new(net)
+                .seed(seed)
+                .crash_at(ProcessId(1), Time::from_millis(700))
+                .build(|pid, n| Standalone(RingDetector::new(pid, n, RingConfig::default())));
+            let end = Time::from_secs(5);
+            w.run_until_time(end);
+            let (trace, _) = w.into_results();
+            FdRun::new(&trace, n, end)
+                .check_class(FdClass::EventuallyPerfect)
+                .unwrap_or_else(|e| panic!("seed {seed}: {e:?}"));
+        }
     }
 }

@@ -1,0 +1,366 @@
+//! # fd-lint — workspace determinism analyzer
+//!
+//! Statically enforces the simulator's byte-identical-replay contract.
+//! Every result this workspace produces (campaign sweeps, golden
+//! wheel-vs-classic digests, artifact→replay→shrink) rests on one
+//! property: *the same seed replays the same bytes*. PR 1–3 enforce that
+//! dynamically, with trace digests — which catch a nondeterminism bug
+//! only after a seed happens to trip it. This crate brings the contract
+//! forward to build time: a dependency-light, token/line-level scanner
+//! (no `syn`; it must build offline against the vendored shims) that
+//! walks the whole workspace and flags the hazard patterns that break
+//! replay — unordered iteration, wall-clock reads, ambient randomness,
+//! pointer-identity keys — plus the hygiene rules (`unsafe`, hot-path
+//! unwraps, undocumented public API) the burn-down anchored.
+//!
+//! The scanner is *not* a type checker. It knows `use` renames,
+//! `#[cfg(test)]` and `#[cfg(feature = …)]` item scopes, module paths,
+//! and which identifiers were declared with unordered container types in
+//! the same file; it does not resolve types across files. The policy for
+//! false positives is a per-site suppression that **requires a reason**:
+//!
+//! ```text
+//! // fd-lint: allow(ND001, reason = "u64 sum — iteration order cannot affect the result")
+//! let total: u64 = self.sent_by_kind.values().sum();
+//! ```
+//!
+//! A reasonless allow is itself an error (`SUP001`). The rule table
+//! lives in `crates/fd-lint/RULES.md`; the policy it encodes is
+//! `DESIGN.md` §"Determinism contract".
+//!
+//! Run it as `ecfd lint [--format json] [--deny-warnings] [--rule ID]`,
+//! or use [`lint_workspace`] / [`lint_source`] as a library (the engine
+//! tests and the CI job do both).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod report;
+mod rules;
+mod scan;
+mod tokens;
+
+pub use report::{Finding, Report, Severity};
+pub use rules::{rule_by_id, Rule, RULES};
+
+use rules::FileCtx;
+use std::collections::BTreeSet;
+use std::path::{Path, PathBuf};
+
+/// Engine options.
+#[derive(Debug, Default, Clone)]
+pub struct Options {
+    /// Restrict the run to these rule IDs (must exist in [`RULES`]).
+    /// Empty means all rules. `SUP001` always runs: suppression hygiene
+    /// is not optional.
+    pub rules: Vec<String>,
+}
+
+/// Lint error (I/O, bad configuration). Maps to exit code 2.
+#[derive(Debug)]
+pub struct LintError(pub String);
+
+impl std::fmt::Display for LintError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for LintError {}
+
+/// Validate a `--rule` filter against the registry; the error lists the
+/// valid IDs.
+pub fn validate_rule_ids(ids: &[String]) -> Result<(), LintError> {
+    for id in ids {
+        if rule_by_id(id).is_none() {
+            let valid: Vec<&str> = RULES.iter().map(|r| r.id).collect();
+            return Err(LintError(format!(
+                "unknown rule ID {id:?} (valid: {})",
+                valid.join(", ")
+            )));
+        }
+    }
+    Ok(())
+}
+
+/// The active rule set for the given options.
+fn active_rules(opts: &Options) -> Vec<&'static Rule> {
+    if opts.rules.is_empty() {
+        RULES.iter().collect()
+    } else {
+        RULES
+            .iter()
+            .filter(|r| r.id == "SUP001" || opts.rules.iter().any(|id| id == r.id))
+            .collect()
+    }
+}
+
+/// Lint one source file given its workspace-relative path. Public so the
+/// engine tests (and the seeded-hazard acceptance check) can lint
+/// in-memory sources without a file tree.
+pub fn lint_source(rel_path: &str, src: &str, opts: &Options) -> Vec<Finding> {
+    let (toks, comments) = tokens::lex(src);
+    let uses = scan::UseMap::from_tokens(&toks);
+    let scopes = scan::find_scopes(&toks);
+    let tracked = scan::tracked_idents(&toks, &uses, rules::UNORDERED);
+
+    // Lines holding at least one token, for attaching own-line allows.
+    let mut code_lines: Vec<u32> = toks.iter().map(|t| t.line).collect();
+    code_lines.dedup();
+    let suppressions = scan::find_suppressions(&comments, &code_lines);
+
+    // Lines directly below the end of a doc comment.
+    let mut doc_lines: BTreeSet<u32> = BTreeSet::new();
+    for c in comments.iter().filter(|c| c.doc) {
+        let end = c.line + c.text.matches('\n').count() as u32;
+        doc_lines.insert(end + 1);
+    }
+
+    let crate_name = crate_of(rel_path);
+    let module = module_of(rel_path);
+    let ctx = FileCtx {
+        rel_path,
+        crate_name: &crate_name,
+        module: &module,
+        path_is_test: path_is_test(rel_path),
+        toks: &toks,
+        uses: &uses,
+        scopes: &scopes,
+        tracked_unordered: &tracked,
+        doc_lines: &doc_lines,
+    };
+
+    let active = active_rules(opts);
+    let mut findings = rules::run_rules(&ctx, &active);
+
+    // Suppression pass: a reasoned allow naming the rule silences the
+    // finding; a reasonless or unknown-rule allow is itself an error.
+    let sup_rule = rule_by_id("SUP001").expect("SUP001 is registered");
+    let mut sup_findings = Vec::new();
+    for sup in &suppressions {
+        if sup.reason.is_none() {
+            sup_findings.push(Finding {
+                rule: sup_rule.id.to_string(),
+                name: sup_rule.name.to_string(),
+                severity: sup_rule.severity,
+                file: rel_path.to_string(),
+                line: sup.line,
+                col: sup.col,
+                module: module.clone(),
+                feature: None,
+                message: format!(
+                    "fd-lint allow({}) without a reason: every suppression must carry \
+                     `reason = \"…\"` explaining why the site is safe",
+                    sup.rules.join(", ")
+                ),
+                suppressed: false,
+                reason: None,
+            });
+        }
+        for r in &sup.rules {
+            if rule_by_id(r).is_none() {
+                sup_findings.push(Finding {
+                    rule: sup_rule.id.to_string(),
+                    name: sup_rule.name.to_string(),
+                    severity: sup_rule.severity,
+                    file: rel_path.to_string(),
+                    line: sup.line,
+                    col: sup.col,
+                    module: module.clone(),
+                    feature: None,
+                    message: format!(
+                        "fd-lint allow names unknown rule {r:?} (valid: {})",
+                        RULES.iter().map(|r| r.id).collect::<Vec<_>>().join(", ")
+                    ),
+                    suppressed: false,
+                    reason: None,
+                });
+            }
+        }
+    }
+    for f in &mut findings {
+        if let Some(sup) = suppressions
+            .iter()
+            .find(|s| s.target_line == f.line && s.reason.is_some() && s.rules.contains(&f.rule))
+        {
+            f.suppressed = true;
+            f.reason = sup.reason.clone();
+        }
+    }
+    findings.extend(sup_findings);
+    findings.sort_by(|a, b| {
+        (a.file.as_str(), a.line, a.col, a.rule.as_str()).cmp(&(
+            b.file.as_str(),
+            b.line,
+            b.col,
+            b.rule.as_str(),
+        ))
+    });
+    findings
+}
+
+/// Lint every first-party `.rs` file under `root` (a workspace
+/// checkout). Scans `crates/`, `src/`, `tests/`, and `examples/`;
+/// skips `target/` and the vendored `shims/` (third-party API subsets,
+/// anchored by their own `#![forbid(unsafe_code)]`).
+pub fn lint_workspace(root: &Path, opts: &Options) -> Result<Report, LintError> {
+    validate_rule_ids(&opts.rules)?;
+    let mut files = Vec::new();
+    for top in ["crates", "src", "tests", "examples"] {
+        let dir = root.join(top);
+        if dir.is_dir() {
+            collect_rs(&dir, &mut files)
+                .map_err(|e| LintError(format!("walking {}: {e}", dir.display())))?;
+        }
+    }
+    files.sort();
+
+    let mut report = Report {
+        rules_run: active_rules(opts)
+            .iter()
+            .map(|r| r.id.to_string())
+            .collect(),
+        ..Report::default()
+    };
+    for path in files {
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(&path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        let src = std::fs::read_to_string(&path)
+            .map_err(|e| LintError(format!("{}: {e}", path.display())))?;
+        report.findings.extend(lint_source(&rel, &src, opts));
+        report.files_scanned += 1;
+    }
+    report.findings.sort_by(|a, b| {
+        (a.file.as_str(), a.line, a.col, a.rule.as_str()).cmp(&(
+            b.file.as_str(),
+            b.line,
+            b.col,
+            b.rule.as_str(),
+        ))
+    });
+    Ok(report)
+}
+
+/// Walk up from `start` to the directory whose `Cargo.toml` declares
+/// `[workspace]` — the root `ecfd lint` analyzes by default.
+pub fn find_workspace_root(start: &Path) -> Result<PathBuf, LintError> {
+    let mut dir = start
+        .canonicalize()
+        .map_err(|e| LintError(format!("{}: {e}", start.display())))?;
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if manifest.is_file() {
+            let text = std::fs::read_to_string(&manifest)
+                .map_err(|e| LintError(format!("{}: {e}", manifest.display())))?;
+            if text.contains("[workspace]") {
+                return Ok(dir);
+            }
+        }
+        match dir.parent() {
+            Some(p) => dir = p.to_path_buf(),
+            None => {
+                return Err(LintError(format!(
+                    "no workspace Cargo.toml above {}",
+                    start.display()
+                )))
+            }
+        }
+    }
+}
+
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if name == "target" || name == ".git" || name == "shims" {
+                continue;
+            }
+            collect_rs(&path, out)?;
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// The crate a workspace-relative path belongs to.
+fn crate_of(rel: &str) -> String {
+    let mut parts = rel.split('/');
+    match parts.next() {
+        Some("crates") => parts.next().unwrap_or("unknown").to_string(),
+        Some("shims") => format!("shim-{}", parts.next().unwrap_or("unknown")),
+        _ => String::from("ecfd"),
+    }
+}
+
+/// Whole-file test scope: integration tests, benches, and examples are
+/// not simulation code.
+fn path_is_test(rel: &str) -> bool {
+    rel.split('/')
+        .any(|c| c == "tests" || c == "benches" || c == "examples")
+}
+
+/// A rust-ish module path derived from the file location
+/// (`crates/fd-sim/src/event.rs` → `fd_sim::event`).
+fn module_of(rel: &str) -> String {
+    let crate_name = crate_of(rel).replace('-', "_");
+    let mut comps: Vec<&str> = rel.split('/').collect();
+    // Drop the crates/<name> prefix and the src dir.
+    if comps.first() == Some(&"crates") {
+        comps.drain(..2);
+    }
+    if comps.first() == Some(&"src") {
+        comps.remove(0);
+    }
+    let mut mods: Vec<String> = comps
+        .iter()
+        .map(|c| c.trim_end_matches(".rs").replace('-', "_"))
+        .filter(|c| c != "lib" && c != "main" && c != "mod" && !c.is_empty())
+        .collect();
+    mods.insert(0, crate_name);
+    mods.join("::")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn module_paths_from_locations() {
+        assert_eq!(module_of("crates/fd-sim/src/event.rs"), "fd_sim::event");
+        assert_eq!(module_of("crates/fd-sim/src/lib.rs"), "fd_sim");
+        assert_eq!(module_of("src/bin/ecfd.rs"), "ecfd::bin::ecfd");
+        assert_eq!(
+            module_of("tests/campaign_e2e.rs"),
+            "ecfd::tests::campaign_e2e"
+        );
+        assert_eq!(
+            module_of("crates/fd-bench/src/experiments/e8.rs"),
+            "fd_bench::experiments::e8"
+        );
+    }
+
+    #[test]
+    fn crate_and_test_classification() {
+        assert_eq!(crate_of("crates/fd-core/src/set.rs"), "fd-core");
+        assert_eq!(crate_of("src/lib.rs"), "ecfd");
+        assert!(path_is_test("crates/fd-sim/benches/kernel.rs"));
+        assert!(path_is_test("tests/prop_kernel.rs"));
+        assert!(!path_is_test("crates/fd-sim/src/world.rs"));
+    }
+
+    #[test]
+    fn unknown_rule_filter_is_rejected_with_the_valid_list() {
+        let err = validate_rule_ids(&[String::from("ND999")]).unwrap_err();
+        assert!(err.0.contains("ND999"));
+        for r in RULES {
+            assert!(err.0.contains(r.id), "error must list {}", r.id);
+        }
+    }
+}

@@ -1,0 +1,181 @@
+//! Findings and reporters.
+//!
+//! Two formats: a rustc-style human rendering, and a stable JSON shape
+//! (`version: 1`) pinned by a golden test so downstream tooling (the CI
+//! artifact upload, dashboards) can rely on it.
+
+use serde::{Serialize, Value};
+
+/// How a finding counts toward the exit code.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Severity {
+    /// Always an error.
+    Deny,
+    /// Error only under `--deny-warnings`.
+    Warn,
+}
+
+impl Severity {
+    /// Lowercase label used in both report formats.
+    pub fn label(self) -> &'static str {
+        match self {
+            Severity::Deny => "deny",
+            Severity::Warn => "warn",
+        }
+    }
+}
+
+/// One diagnostic produced by a rule.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    /// Rule ID (`ND001`, …).
+    pub rule: String,
+    /// Rule kebab-case name.
+    pub name: String,
+    /// Severity the rule carries.
+    pub severity: Severity,
+    /// Workspace-relative file path.
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+    /// Module path derived from the file location.
+    pub module: String,
+    /// Feature gate covering the site, if any.
+    pub feature: Option<String>,
+    /// Human explanation.
+    pub message: String,
+    /// Site carries a reasoned `fd-lint: allow` for this rule.
+    pub suppressed: bool,
+    /// The suppression's reason, when suppressed.
+    pub reason: Option<String>,
+}
+
+impl Serialize for Finding {
+    fn to_value(&self) -> Value {
+        let mut fields = vec![
+            ("rule".to_string(), self.rule.to_value()),
+            ("name".to_string(), self.name.to_value()),
+            (
+                "severity".to_string(),
+                self.severity.label().to_string().to_value(),
+            ),
+            ("file".to_string(), self.file.to_value()),
+            ("line".to_string(), (self.line as u64).to_value()),
+            ("col".to_string(), (self.col as u64).to_value()),
+            ("module".to_string(), self.module.to_value()),
+            ("message".to_string(), self.message.to_value()),
+            ("suppressed".to_string(), self.suppressed.to_value()),
+        ];
+        if let Some(f) = &self.feature {
+            fields.push(("feature".to_string(), f.to_value()));
+        }
+        if let Some(r) = &self.reason {
+            fields.push(("reason".to_string(), r.to_value()));
+        }
+        Value::Obj(fields)
+    }
+}
+
+/// The outcome of linting a file tree.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// All findings, sorted by (file, line, col, rule); suppressed ones
+    /// included (reporters and exit codes skip them).
+    pub findings: Vec<Finding>,
+    /// Rule IDs that ran.
+    pub rules_run: Vec<String>,
+    /// Number of files scanned.
+    pub files_scanned: usize,
+}
+
+impl Report {
+    /// Unsuppressed findings with deny severity.
+    pub fn errors(&self) -> usize {
+        self.findings
+            .iter()
+            .filter(|f| !f.suppressed && f.severity == Severity::Deny)
+            .count()
+    }
+
+    /// Unsuppressed findings with warn severity.
+    pub fn warnings(&self) -> usize {
+        self.findings
+            .iter()
+            .filter(|f| !f.suppressed && f.severity == Severity::Warn)
+            .count()
+    }
+
+    /// Findings silenced by a reasoned allow.
+    pub fn suppressed(&self) -> usize {
+        self.findings.iter().filter(|f| f.suppressed).count()
+    }
+
+    /// Process exit code: 0 clean, 1 findings. (Internal errors — bad
+    /// arguments, unreadable tree — are the caller's 2.)
+    pub fn exit_code(&self, deny_warnings: bool) -> u8 {
+        if self.errors() > 0 || (deny_warnings && self.warnings() > 0) {
+            1
+        } else {
+            0
+        }
+    }
+
+    /// Rustc-style human rendering.
+    pub fn render_human(&self) -> String {
+        let mut out = String::new();
+        for f in self.findings.iter().filter(|f| !f.suppressed) {
+            let kind = match f.severity {
+                Severity::Deny => "error",
+                Severity::Warn => "warning",
+            };
+            out.push_str(&format!(
+                "{kind}[{}]: {} ({})\n  --> {}:{}:{}\n   = {}\n",
+                f.rule, f.name, f.module, f.file, f.line, f.col, f.message
+            ));
+            if let Some(feat) = &f.feature {
+                out.push_str(&format!("   = note: behind #[cfg(feature = \"{feat}\")]\n"));
+            }
+        }
+        out.push_str(&format!(
+            "fd-lint: {} files scanned, {} errors, {} warnings, {} suppressed\n",
+            self.files_scanned,
+            self.errors(),
+            self.warnings(),
+            self.suppressed()
+        ));
+        out
+    }
+
+    /// The stable JSON rendering (`--format json`).
+    pub fn render_json(&self) -> String {
+        let value = Value::Obj(vec![
+            ("version".to_string(), 1u64.to_value()),
+            (
+                "rules".to_string(),
+                Value::Arr(self.rules_run.iter().map(|r| r.to_value()).collect()),
+            ),
+            (
+                "findings".to_string(),
+                Value::Arr(self.findings.iter().map(|f| f.to_value()).collect()),
+            ),
+            (
+                "summary".to_string(),
+                Value::Obj(vec![
+                    (
+                        "files_scanned".to_string(),
+                        (self.files_scanned as u64).to_value(),
+                    ),
+                    ("errors".to_string(), (self.errors() as u64).to_value()),
+                    ("warnings".to_string(), (self.warnings() as u64).to_value()),
+                    (
+                        "suppressed".to_string(),
+                        (self.suppressed() as u64).to_value(),
+                    ),
+                ]),
+            ),
+        ]);
+        serde_json::to_string_pretty(&value).unwrap_or_else(|_| String::from("{}"))
+    }
+}

@@ -1,0 +1,540 @@
+//! Structural passes over the token stream: `use`-rename resolution,
+//! `#[cfg(test)]` / `#[cfg(feature = …)]` item scopes, suppression
+//! directives, and tracking of identifiers declared with unordered
+//! container types. Everything here is best-effort and panic-free: the
+//! passes must survive arbitrary token soup (see the proptest in
+//! `tests/engine.rs`).
+
+use crate::tokens::{Comment, Tok, TokKind};
+use std::collections::BTreeMap;
+
+/// Resolution of local names to the canonical (pre-rename) final path
+/// segment, built from the file's `use` declarations.
+///
+/// `use std::collections::HashMap as Map;` maps `Map → HashMap`, so rules
+/// that watch for `HashMap` also fire on `Map`. Names that are not
+/// renamed resolve to themselves. Glob imports (`use foo::*`) cannot be
+/// resolved without type information and are ignored — a documented
+/// limitation of the line-level analysis.
+#[derive(Debug, Default)]
+pub struct UseMap {
+    renames: BTreeMap<String, String>,
+}
+
+impl UseMap {
+    /// Build the map from a token stream. Never panics.
+    pub fn from_tokens(toks: &[Tok]) -> UseMap {
+        let mut renames = BTreeMap::new();
+        let mut i = 0usize;
+        while i < toks.len() {
+            if toks[i].is_ident("use") {
+                i = parse_use_tree(toks, i + 1, &mut Vec::new(), &mut renames);
+            } else {
+                i += 1;
+            }
+        }
+        UseMap { renames }
+    }
+
+    /// The canonical name behind a local identifier: the original final
+    /// segment if `name` was introduced by an `as` rename, else `name`
+    /// itself.
+    pub fn canonical<'a>(&'a self, name: &'a str) -> &'a str {
+        self.renames.get(name).map(String::as_str).unwrap_or(name)
+    }
+}
+
+/// Parse one `use` tree starting at token index `i` (just past `use`),
+/// recording `alias → original` pairs. Returns the index just past the
+/// tree. Handles `a::b`, `{x, y as z, w::*}` nesting, and bails politely
+/// on anything unexpected.
+fn parse_use_tree(
+    toks: &[Tok],
+    mut i: usize,
+    path: &mut Vec<String>,
+    renames: &mut BTreeMap<String, String>,
+) -> usize {
+    let depth_at_entry = path.len();
+    let mut last_segment: Option<String> = None;
+    while i < toks.len() {
+        let t = &toks[i];
+        if t.kind == TokKind::Ident {
+            if t.text == "as" {
+                // `original as alias`
+                if let (Some(orig), Some(alias)) = (last_segment.clone(), toks.get(i + 1)) {
+                    if alias.kind == TokKind::Ident {
+                        renames.insert(alias.text.clone(), orig);
+                    }
+                }
+                i += 2;
+                continue;
+            }
+            last_segment = Some(t.text.clone());
+            i += 1;
+        } else if t.is_punct(':') {
+            i += 1; // path separator halves
+        } else if t.is_punct('{') {
+            // Group: recurse per element.
+            if let Some(seg) = last_segment.take() {
+                path.push(seg);
+            }
+            i += 1;
+            loop {
+                i = parse_use_tree(toks, i, path, renames);
+                match toks.get(i) {
+                    Some(t) if t.is_punct(',') => i += 1,
+                    Some(t) if t.is_punct('}') => {
+                        i += 1;
+                        break;
+                    }
+                    _ => break, // EOF or soup
+                }
+            }
+            path.truncate(depth_at_entry);
+            return i;
+        } else if t.is_punct(',') || t.is_punct('}') || t.is_punct(';') {
+            // End of this element: a plain terminal keeps its own name
+            // (identity mapping is implicit — nothing to record).
+            path.truncate(depth_at_entry);
+            if t.is_punct(';') {
+                i += 1;
+            }
+            return i;
+        } else {
+            i += 1; // `*`, stray tokens
+        }
+    }
+    path.truncate(depth_at_entry);
+    i
+}
+
+/// Token-index ranges (half-open) plus the attribute that created them.
+#[derive(Debug, Clone)]
+pub struct ScopedRange {
+    /// First token index covered.
+    pub start: usize,
+    /// One past the last token index covered.
+    pub end: usize,
+    /// For feature scopes, the feature name; empty for test scopes.
+    pub label: String,
+}
+
+/// Item scopes created by attributes: `#[cfg(test)]` / `#[test]` /
+/// `#[bench]` items in `test`, `#[cfg(feature = "x")]` items in
+/// `features`.
+#[derive(Debug, Default)]
+pub struct Scopes {
+    /// Ranges of tokens inside test-only items.
+    pub test: Vec<ScopedRange>,
+    /// Ranges of tokens inside feature-gated items.
+    pub features: Vec<ScopedRange>,
+}
+
+impl Scopes {
+    /// Is token index `idx` inside a test-only item?
+    pub fn in_test(&self, idx: usize) -> bool {
+        self.test.iter().any(|r| r.start <= idx && idx < r.end)
+    }
+
+    /// The innermost feature gate covering token index `idx`, if any.
+    pub fn feature_at(&self, idx: usize) -> Option<&str> {
+        self.features
+            .iter()
+            .filter(|r| r.start <= idx && idx < r.end)
+            .min_by_key(|r| r.end - r.start)
+            .map(|r| r.label.as_str())
+    }
+}
+
+/// Find test/feature item scopes. One forward pass: at each `#[…]`
+/// attribute, classify it, then (for interesting ones) extend the scope
+/// over the item the attribute is attached to.
+pub fn find_scopes(toks: &[Tok]) -> Scopes {
+    let mut scopes = Scopes::default();
+    let mut i = 0usize;
+    while i < toks.len() {
+        if toks[i].is_punct('#') && toks.get(i + 1).is_some_and(|t| t.is_punct('[')) {
+            let attr_start = i;
+            let attr_end = matching_bracket(toks, i + 1, '[', ']');
+            let attr = &toks[attr_start..attr_end.min(toks.len())];
+            let is_test_attr = attr_is_test(attr);
+            let feature = attr_feature(attr);
+            i = attr_end;
+            if is_test_attr || feature.is_some() {
+                // Skip any further attributes, then find the item extent.
+                let mut j = i;
+                while j < toks.len()
+                    && toks[j].is_punct('#')
+                    && toks.get(j + 1).is_some_and(|t| t.is_punct('['))
+                {
+                    j = matching_bracket(toks, j + 1, '[', ']');
+                }
+                let end = item_end(toks, j);
+                let range = ScopedRange {
+                    start: attr_start,
+                    end,
+                    label: feature.clone().unwrap_or_default(),
+                };
+                if is_test_attr {
+                    scopes.test.push(range);
+                } else {
+                    scopes.features.push(range);
+                }
+            }
+        } else {
+            i += 1;
+        }
+    }
+    scopes
+}
+
+/// Does the attribute mark test-only code? True for `#[test]`,
+/// `#[bench]`, and any `#[cfg(…)]` whose predicate mentions `test`.
+fn attr_is_test(attr: &[Tok]) -> bool {
+    let idents: Vec<&str> = attr
+        .iter()
+        .filter(|t| t.kind == TokKind::Ident)
+        .map(|t| t.text.as_str())
+        .collect();
+    match idents.first() {
+        Some(&"test") | Some(&"bench") if idents.len() == 1 => true,
+        Some(&"cfg") => idents.contains(&"test"),
+        _ => false,
+    }
+}
+
+/// The feature name of a `#[cfg(feature = "…")]` attribute, read from
+/// the string literal after `feature =`.
+fn attr_feature(attr: &[Tok]) -> Option<String> {
+    if !attr.iter().any(|t| t.is_ident("cfg")) {
+        return None;
+    }
+    for (k, t) in attr.iter().enumerate() {
+        if t.is_ident("feature") {
+            let lit = attr
+                .get(k + 1)
+                .filter(|t| t.is_punct('='))
+                .and_then(|_| attr.get(k + 2))
+                .filter(|t| t.kind == TokKind::Str);
+            let name = lit
+                .map(|t| t.text.trim_matches('"').to_string())
+                .unwrap_or_else(|| String::from("feature"));
+            return Some(name);
+        }
+    }
+    None
+}
+
+/// Index just past the bracket matching the opener at `open_idx`
+/// (which must hold `open`). On soup, returns `toks.len()`.
+fn matching_bracket(toks: &[Tok], open_idx: usize, open: char, close: char) -> usize {
+    let mut depth = 0i64;
+    let mut i = open_idx;
+    while i < toks.len() {
+        if toks[i].is_punct(open) {
+            depth += 1;
+        } else if toks[i].is_punct(close) {
+            depth -= 1;
+            if depth == 0 {
+                return i + 1;
+            }
+        }
+        i += 1;
+    }
+    toks.len()
+}
+
+/// One past the end of the item starting at token index `start`: the
+/// matching `}` of the first top-level `{`, or the first top-level `;`.
+fn item_end(toks: &[Tok], start: usize) -> usize {
+    let mut i = start;
+    let mut paren = 0i64;
+    let mut bracket = 0i64;
+    while i < toks.len() {
+        let t = &toks[i];
+        if t.is_punct('(') {
+            paren += 1;
+        } else if t.is_punct(')') {
+            paren -= 1;
+        } else if t.is_punct('[') {
+            bracket += 1;
+        } else if t.is_punct(']') {
+            bracket -= 1;
+        } else if t.is_punct('{') && paren <= 0 && bracket <= 0 {
+            return matching_bracket(toks, i, '{', '}');
+        } else if t.is_punct(';') && paren <= 0 && bracket <= 0 {
+            return i + 1;
+        }
+        i += 1;
+    }
+    toks.len()
+}
+
+/// A parsed `// fd-lint: allow(ID, …, reason = "…")` directive.
+#[derive(Debug, Clone)]
+pub struct Suppression {
+    /// Rule IDs the directive allows.
+    pub rules: Vec<String>,
+    /// The mandatory justification, if present.
+    pub reason: Option<String>,
+    /// Source line of the directive comment.
+    pub line: u32,
+    /// Source column of the directive comment.
+    pub col: u32,
+    /// The line the directive applies to: its own line for trailing
+    /// comments, the next code line for own-line comments.
+    pub target_line: u32,
+}
+
+/// Parse suppression directives out of the comment list. `code_lines`
+/// must be the sorted list of lines that contain at least one token, so
+/// own-line directives can be attached to the next code line.
+pub fn find_suppressions(comments: &[Comment], code_lines: &[u32]) -> Vec<Suppression> {
+    let mut out = Vec::new();
+    for c in comments {
+        let body = c
+            .text
+            .trim_start_matches('/')
+            .trim_start_matches('*')
+            .trim();
+        let Some(rest) = body.strip_prefix("fd-lint:") else {
+            continue;
+        };
+        let rest = rest.trim();
+        let Some(rest) = rest.strip_prefix("allow") else {
+            continue;
+        };
+        let rest = rest.trim();
+        let Some(rest) = rest.strip_prefix('(') else {
+            continue;
+        };
+        // Everything up to the matching `)`, quote-aware: the reason
+        // string may contain commas and parens.
+        let mut inner = String::new();
+        let mut in_str = false;
+        let mut esc = false;
+        for ch in rest.chars() {
+            if in_str {
+                if esc {
+                    esc = false;
+                } else if ch == '\\' {
+                    esc = true;
+                } else if ch == '"' {
+                    in_str = false;
+                }
+            } else if ch == '"' {
+                in_str = true;
+            } else if ch == ')' {
+                break;
+            }
+            inner.push(ch);
+        }
+        // Rule IDs precede the `reason` keyword; the reason value is a
+        // quoted string (escapes honored), or bare text as a fallback.
+        let (ids_part, reason_part) = match inner.find("reason") {
+            Some(pos) => (&inner[..pos], Some(&inner[pos + "reason".len()..])),
+            None => (inner.as_str(), None),
+        };
+        let rules: Vec<String> = ids_part
+            .split(',')
+            .map(str::trim)
+            .filter(|p| !p.is_empty())
+            .map(String::from)
+            .collect();
+        let mut reason = None;
+        if let Some(r) = reason_part {
+            let r = r.trim().strip_prefix('=').unwrap_or(r).trim();
+            let val = if let Some(quoted) = r.strip_prefix('"') {
+                let mut val = String::new();
+                let mut esc = false;
+                for ch in quoted.chars() {
+                    if esc {
+                        val.push(ch);
+                        esc = false;
+                    } else if ch == '\\' {
+                        esc = true;
+                    } else if ch == '"' {
+                        break;
+                    } else {
+                        val.push(ch);
+                    }
+                }
+                val
+            } else {
+                r.to_string()
+            };
+            let val = val.trim().to_string();
+            if !val.is_empty() {
+                reason = Some(val);
+            }
+        }
+        let target_line = if c.own_line {
+            code_lines
+                .iter()
+                .copied()
+                .find(|&l| l > c.line)
+                .unwrap_or(c.line)
+        } else {
+            c.line
+        };
+        out.push(Suppression {
+            rules,
+            reason,
+            line: c.line,
+            col: c.col,
+            target_line,
+        });
+    }
+    out
+}
+
+/// Mask of tokens lying inside `use …;` items. Imports are
+/// declarations, not hazard sites — rules that match bare identifiers
+/// (wall-clock types, ambient-RNG functions) skip masked tokens so the
+/// diagnostic lands on the call site, not the import.
+pub fn use_stmt_mask(toks: &[Tok]) -> Vec<bool> {
+    let mut mask = vec![false; toks.len()];
+    let mut i = 0;
+    while i < toks.len() {
+        if toks[i].is_ident("use") {
+            while i < toks.len() && !toks[i].is_punct(';') {
+                mask[i] = true;
+                i += 1;
+            }
+            if i < toks.len() {
+                mask[i] = true;
+            }
+        }
+        i += 1;
+    }
+    mask
+}
+
+/// Identifiers declared (in this file) with one of the watched container
+/// types — e.g. every `name` in `name: HashMap<…>`, `let name =
+/// HashSet::new()`, `let name: Map<…> = …` where `Map` renames `HashMap`.
+pub fn tracked_idents(toks: &[Tok], uses: &UseMap, watched: &[&str]) -> Vec<String> {
+    let is_watched =
+        |t: &Tok| t.kind == TokKind::Ident && watched.contains(&uses.canonical(&t.text));
+    let mut found: Vec<String> = Vec::new();
+    for i in 0..toks.len() {
+        if !is_watched(&toks[i]) {
+            continue;
+        }
+        // Walk back over the path prefix (`std :: collections ::`).
+        let mut j = i;
+        while j >= 2 && toks[j - 1].is_punct(':') && toks[j - 2].is_punct(':') {
+            if j >= 3 && toks[j - 3].kind == TokKind::Ident {
+                j -= 3;
+            } else {
+                j -= 2;
+            }
+        }
+        // `name : [&  [mut]] Path<…>` (field, binding, or parameter
+        // with type, by value or by reference).
+        let mut k = j;
+        while k >= 1 && (toks[k - 1].is_punct('&') || toks[k - 1].is_ident("mut")) {
+            k -= 1;
+        }
+        if k >= 2
+            && toks[k - 1].is_punct(':')
+            && !toks.get(k.wrapping_sub(2)).is_some_and(|t| t.is_punct(':'))
+        {
+            if let Some(name) = toks.get(k - 2).filter(|t| t.kind == TokKind::Ident) {
+                found.push(name.text.clone());
+                continue;
+            }
+        }
+        // `name = Path::new(…)` / `name = Path::from(…)`.
+        if j >= 2 && toks[j - 1].is_punct('=') {
+            if let Some(name) = toks.get(j - 2).filter(|t| t.kind == TokKind::Ident) {
+                if name.text != "=" {
+                    found.push(name.text.clone());
+                    continue;
+                }
+            }
+        }
+    }
+    found.sort();
+    found.dedup();
+    found
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tokens::lex;
+
+    #[test]
+    fn use_renames_resolve() {
+        let (toks, _) = lex("use std::collections::HashMap as Map;\nuse std::collections::{HashSet, BTreeMap as Ordered};");
+        let u = UseMap::from_tokens(&toks);
+        assert_eq!(u.canonical("Map"), "HashMap");
+        assert_eq!(u.canonical("Ordered"), "BTreeMap");
+        assert_eq!(u.canonical("HashSet"), "HashSet");
+        assert_eq!(u.canonical("HashMap"), "HashMap");
+    }
+
+    #[test]
+    fn cfg_test_mod_is_scoped() {
+        let src = "fn live() {}\n#[cfg(test)]\nmod tests {\n  fn inner() { hazard(); }\n}\nfn also_live() {}";
+        let (toks, _) = lex(src);
+        let scopes = find_scopes(&toks);
+        let hazard_idx = toks.iter().position(|t| t.is_ident("hazard")).unwrap();
+        let live_idx = toks.iter().position(|t| t.is_ident("also_live")).unwrap();
+        assert!(scopes.in_test(hazard_idx));
+        assert!(!scopes.in_test(live_idx));
+    }
+
+    #[test]
+    fn test_attr_fn_is_scoped() {
+        let src = "#[test]\nfn a_case() { inside(); }\nfn outside() {}";
+        let (toks, _) = lex(src);
+        let scopes = find_scopes(&toks);
+        let inside = toks.iter().position(|t| t.is_ident("inside")).unwrap();
+        let outside = toks.iter().position(|t| t.is_ident("outside")).unwrap();
+        assert!(scopes.in_test(inside));
+        assert!(!scopes.in_test(outside));
+    }
+
+    #[test]
+    fn feature_scope_is_labelled() {
+        let src = "#[cfg(feature = \"fast\")]\nfn gated() { body(); }";
+        let (toks, _) = lex(src);
+        let scopes = find_scopes(&toks);
+        let body = toks.iter().position(|t| t.is_ident("body")).unwrap();
+        assert_eq!(scopes.feature_at(body), Some("fast"));
+    }
+
+    #[test]
+    fn suppression_parsing() {
+        let src = "// fd-lint: allow(ND001, reason = \"sorted right after\")\nlet x = 1;\ncall(); // fd-lint: allow(UH002)\n";
+        let (toks, comments) = lex(src);
+        let mut lines: Vec<u32> = toks.iter().map(|t| t.line).collect();
+        lines.dedup();
+        let sups = find_suppressions(&comments, &lines);
+        assert_eq!(sups.len(), 2);
+        assert_eq!(sups[0].rules, vec!["ND001"]);
+        assert_eq!(sups[0].reason.as_deref(), Some("sorted right after"));
+        assert_eq!(sups[0].target_line, 2);
+        assert_eq!(sups[1].rules, vec!["UH002"]);
+        assert!(sups[1].reason.is_none());
+        assert_eq!(sups[1].target_line, 3);
+    }
+
+    #[test]
+    fn tracked_decl_forms() {
+        let src = "
+            use std::collections::HashMap as Map;
+            struct S { field_map: Map<u32, u32>, other: Vec<u32> }
+            fn f() {
+                let local: std::collections::HashSet<u8> = Default::default();
+                let inferred = Map::new();
+            }
+        ";
+        let (toks, _) = lex(src);
+        let uses = UseMap::from_tokens(&toks);
+        let tracked = tracked_idents(&toks, &uses, &["HashMap", "HashSet"]);
+        assert_eq!(tracked, vec!["field_map", "inferred", "local"]);
+    }
+}

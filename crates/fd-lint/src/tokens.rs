@@ -1,0 +1,441 @@
+//! A panic-free lexer for the subset of Rust the analyzer needs.
+//!
+//! The rules in this crate work on a token stream, not an AST: enough to
+//! tell identifiers from the insides of strings and comments, to pair
+//! brackets, and to attribute every token to a `line:col`. The lexer must
+//! accept *arbitrary* input — scanned files may be mid-edit garbage, and
+//! a linter that panics on its input is worse than no linter — so every
+//! branch here degrades gracefully instead of asserting.
+
+/// What a [`Tok`] is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`HashMap`, `use`, `unsafe`, …).
+    Ident,
+    /// A single punctuation character (`{`, `<`, `.`, `#`, …).
+    Punct,
+    /// A lifetime (`'a`, `'static`).
+    Lifetime,
+    /// Numeric literal.
+    Num,
+    /// String, raw-string, byte-string, or char literal (contents opaque).
+    Str,
+}
+
+/// One token with its source position (1-based line and column).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Tok {
+    /// Token class.
+    pub kind: TokKind,
+    /// The token text. For [`TokKind::Str`] this includes the delimiters;
+    /// rule patterns must match on [`TokKind::Ident`] tokens only, never
+    /// on literal contents.
+    pub text: String,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column (in chars).
+    pub col: u32,
+}
+
+impl Tok {
+    /// Is this the punctuation character `c`?
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokKind::Punct && self.text.as_bytes().first() == Some(&(c as u8))
+    }
+
+    /// Is this the identifier `s`?
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == s
+    }
+}
+
+/// A comment with its source position, kept out of the token stream
+/// (suppression directives and doc-comment detection read these).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Comment {
+    /// Comment text including the delimiters (`// …` or `/* … */`).
+    pub text: String,
+    /// 1-based line where the comment starts.
+    pub line: u32,
+    /// 1-based column where the comment starts.
+    pub col: u32,
+    /// `///`, `//!`, `/**`, or `/*!`.
+    pub doc: bool,
+    /// Nothing but whitespace precedes the comment on its line.
+    pub own_line: bool,
+}
+
+/// Lex `src` into tokens and comments. Never panics; unrecognized bytes
+/// become single-char punctuation tokens.
+pub fn lex(src: &str) -> (Vec<Tok>, Vec<Comment>) {
+    let chars: Vec<char> = src.chars().collect();
+    let mut toks = Vec::new();
+    let mut comments = Vec::new();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    let mut col = 1u32;
+    // End line of the last token or comment pushed — a comment whose
+    // start line differs from it has nothing before it on its line.
+    let mut content_line = 0u32;
+
+    macro_rules! advance {
+        ($ch:expr) => {
+            if $ch == '\n' {
+                line += 1;
+                col = 1;
+            } else {
+                col += 1;
+            }
+        };
+    }
+
+    while i < chars.len() {
+        let c = chars[i];
+        let (tline, tcol) = (line, col);
+
+        // Whitespace.
+        if c.is_whitespace() {
+            advance!(c);
+            i += 1;
+            continue;
+        }
+
+        // Comments.
+        if c == '/' && chars.get(i + 1) == Some(&'/') {
+            let start = i;
+            while i < chars.len() && chars[i] != '\n' {
+                i += 1;
+            }
+            let text: String = chars[start..i].iter().collect();
+            let doc =
+                text.starts_with("///") && !text.starts_with("////") || text.starts_with("//!");
+            comments.push(Comment {
+                text,
+                line: tline,
+                col: tcol,
+                doc,
+                own_line: tline != content_line,
+            });
+            // Position: still on the same line; the newline is consumed by
+            // the whitespace branch next iteration.
+            col += (i - start) as u32;
+            content_line = line;
+            continue;
+        }
+        if c == '/' && chars.get(i + 1) == Some(&'*') {
+            let start = i;
+            let mut depth = 1u32;
+            let mut j = i + 2;
+            while j < chars.len() && depth > 0 {
+                if chars[j] == '/' && chars.get(j + 1) == Some(&'*') {
+                    depth += 1;
+                    j += 2;
+                } else if chars[j] == '*' && chars.get(j + 1) == Some(&'/') {
+                    depth -= 1;
+                    j += 2;
+                } else {
+                    j += 1;
+                }
+            }
+            let text: String = chars[start..j.min(chars.len())].iter().collect();
+            let doc =
+                text.starts_with("/**") && !text.starts_with("/***") || text.starts_with("/*!");
+            comments.push(Comment {
+                text: text.clone(),
+                line: tline,
+                col: tcol,
+                doc,
+                own_line: tline != content_line,
+            });
+            for &ch in &chars[i..j.min(chars.len())] {
+                advance!(ch);
+            }
+            content_line = line;
+            i = j;
+            continue;
+        }
+
+        // Raw strings: r"…", r#"…"#, br##"…"##, …
+        if (c == 'r' || c == 'b') && is_raw_string_start(&chars, i) {
+            let mut j = i;
+            if chars[j] == 'b' {
+                j += 1;
+            }
+            if chars.get(j) == Some(&'r') {
+                j += 1;
+            }
+            let mut hashes = 0usize;
+            while chars.get(j) == Some(&'#') {
+                hashes += 1;
+                j += 1;
+            }
+            // chars[j] is the opening quote.
+            j += 1;
+            // Scan for `"` followed by `hashes` hash marks.
+            while j < chars.len() {
+                if chars[j] == '"' {
+                    let mut ok = true;
+                    for k in 0..hashes {
+                        if chars.get(j + 1 + k) != Some(&'#') {
+                            ok = false;
+                            break;
+                        }
+                    }
+                    if ok {
+                        j += 1 + hashes;
+                        break;
+                    }
+                }
+                j += 1;
+            }
+            let text: String = chars[i..j.min(chars.len())].iter().collect();
+            for &ch in &chars[i..j.min(chars.len())] {
+                advance!(ch);
+            }
+            toks.push(Tok {
+                kind: TokKind::Str,
+                text,
+                line: tline,
+                col: tcol,
+            });
+            content_line = line;
+            i = j;
+            continue;
+        }
+
+        // Plain and byte strings.
+        if c == '"' || (c == 'b' && chars.get(i + 1) == Some(&'"')) {
+            let mut j = if c == 'b' { i + 2 } else { i + 1 };
+            while j < chars.len() {
+                match chars[j] {
+                    '\\' => j += 2,
+                    '"' => {
+                        j += 1;
+                        break;
+                    }
+                    _ => j += 1,
+                }
+            }
+            let text: String = chars[i..j.min(chars.len())].iter().collect();
+            for &ch in &chars[i..j.min(chars.len())] {
+                advance!(ch);
+            }
+            toks.push(Tok {
+                kind: TokKind::Str,
+                text,
+                line: tline,
+                col: tcol,
+            });
+            content_line = line;
+            i = j;
+            continue;
+        }
+
+        // Char literal vs lifetime.
+        if c == '\'' {
+            let next = chars.get(i + 1).copied();
+            let after = chars.get(i + 2).copied();
+            let is_char = match next {
+                Some('\\') => true,
+                Some(n) if (n.is_alphanumeric() || n == '_') && after == Some('\'') => true,
+                Some(n) if !(n.is_alphanumeric() || n == '_') => true,
+                _ => false,
+            };
+            if is_char {
+                let mut j = i + 1;
+                while j < chars.len() {
+                    match chars[j] {
+                        '\\' => j += 2,
+                        '\'' => {
+                            j += 1;
+                            break;
+                        }
+                        '\n' => break, // unterminated; don't swallow the file
+                        _ => j += 1,
+                    }
+                }
+                let text: String = chars[i..j.min(chars.len())].iter().collect();
+                for &ch in &chars[i..j.min(chars.len())] {
+                    advance!(ch);
+                }
+                toks.push(Tok {
+                    kind: TokKind::Str,
+                    text,
+                    line: tline,
+                    col: tcol,
+                });
+                content_line = line;
+                i = j;
+            } else {
+                let mut j = i + 1;
+                while j < chars.len() && (chars[j].is_alphanumeric() || chars[j] == '_') {
+                    j += 1;
+                }
+                let text: String = chars[i..j].iter().collect();
+                for &ch in &chars[i..j] {
+                    advance!(ch);
+                }
+                toks.push(Tok {
+                    kind: TokKind::Lifetime,
+                    text,
+                    line: tline,
+                    col: tcol,
+                });
+                content_line = line;
+                i = j;
+            }
+            continue;
+        }
+
+        // Identifiers and keywords.
+        if c.is_alphabetic() || c == '_' {
+            let mut j = i;
+            while j < chars.len() && (chars[j].is_alphanumeric() || chars[j] == '_') {
+                j += 1;
+            }
+            let text: String = chars[i..j].iter().collect();
+            for &ch in &chars[i..j] {
+                advance!(ch);
+            }
+            toks.push(Tok {
+                kind: TokKind::Ident,
+                text,
+                line: tline,
+                col: tcol,
+            });
+            content_line = line;
+            i = j;
+            continue;
+        }
+
+        // Numbers (digits plus the usual suffixes/underscores/dots).
+        if c.is_ascii_digit() {
+            let mut j = i;
+            while j < chars.len()
+                && (chars[j].is_alphanumeric() || chars[j] == '_' || chars[j] == '.')
+            {
+                // `0..10` range: stop before the second dot of `..`.
+                if chars[j] == '.' && chars.get(j + 1) == Some(&'.') {
+                    break;
+                }
+                j += 1;
+            }
+            let text: String = chars[i..j].iter().collect();
+            for &ch in &chars[i..j] {
+                advance!(ch);
+            }
+            toks.push(Tok {
+                kind: TokKind::Num,
+                text,
+                line: tline,
+                col: tcol,
+            });
+            content_line = line;
+            i = j;
+            continue;
+        }
+
+        // Everything else: one punctuation char.
+        toks.push(Tok {
+            kind: TokKind::Punct,
+            text: c.to_string(),
+            line: tline,
+            col: tcol,
+        });
+        content_line = line;
+        advance!(c);
+        i += 1;
+    }
+
+    (toks, comments)
+}
+
+/// Is position `i` the start of a raw (or raw-byte) string literal?
+fn is_raw_string_start(chars: &[char], i: usize) -> bool {
+    let mut j = i;
+    if chars.get(j) == Some(&'b') {
+        j += 1;
+    }
+    if chars.get(j) != Some(&'r') {
+        return false;
+    }
+    j += 1;
+    while chars.get(j) == Some(&'#') {
+        j += 1;
+    }
+    chars.get(j) == Some(&'"')
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .0
+            .into_iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn strings_and_comments_are_opaque() {
+        let src = r##"
+            // thread_rng in a comment
+            /* HashMap /* nested */ still comment */
+            let s = "thread_rng()";
+            let r = r#"HashMap"#;
+            let c = 'x';
+            real_ident();
+        "##;
+        let ids = idents(src);
+        assert!(ids.contains(&"real_ident".to_string()));
+        assert!(!ids.contains(&"thread_rng".to_string()));
+        assert!(!ids.contains(&"HashMap".to_string()));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let (toks, _) = lex("fn f<'a>(x: &'a str) { let c = 'b'; }");
+        let lifetimes: Vec<_> = toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Lifetime)
+            .map(|t| t.text.clone())
+            .collect();
+        assert_eq!(lifetimes, vec!["'a", "'a"]);
+        assert_eq!(
+            toks.iter().filter(|t| t.kind == TokKind::Str).count(),
+            1,
+            "exactly the 'b' char literal"
+        );
+    }
+
+    #[test]
+    fn positions_are_one_based_lines_and_cols() {
+        let (toks, _) = lex("ab\n  cd");
+        assert_eq!((toks[0].line, toks[0].col), (1, 1));
+        assert_eq!((toks[1].line, toks[1].col), (2, 3));
+    }
+
+    #[test]
+    fn doc_comments_are_classified() {
+        let (_, comments) = lex("/// doc\n// plain\n//! inner\ncode();");
+        let docs: Vec<bool> = comments.iter().map(|c| c.doc).collect();
+        assert_eq!(docs, vec![true, false, true]);
+        assert!(comments.iter().all(|c| c.own_line));
+    }
+
+    #[test]
+    fn trailing_comment_is_not_own_line() {
+        let (_, comments) = lex("code(); // trailing");
+        assert!(!comments[0].own_line);
+    }
+
+    #[test]
+    fn unterminated_everything_is_survivable() {
+        for src in ["\"abc", "r#\"abc", "/* abc", "'", "b\"x", "r###"] {
+            let _ = lex(src); // must not panic
+        }
+    }
+}

@@ -1,0 +1,102 @@
+//! Golden test for the JSON reporter: the `--format json` output is a
+//! stable machine-readable interface (CI uploads it as an artifact), so
+//! its exact shape is pinned here. Changing the format deliberately
+//! means updating this golden string and bumping `version`.
+
+use fd_lint::{lint_source, Options, Report};
+
+const SRC: &str = "\
+use std::collections::HashMap;
+use std::time::Instant;
+
+// fd-lint: allow(ND002, reason = \"golden suppression\")
+fn timed() -> Instant { Instant::now() }
+
+fn order(m: &HashMap<u32, u32>) -> Vec<u32> {
+    m.keys().copied().collect()
+}
+";
+
+#[test]
+fn json_report_matches_golden() {
+    let opts = Options::default();
+    let mut report = Report {
+        rules_run: vec!["ND001".into(), "ND002".into(), "SUP001".into()],
+        ..Report::default()
+    };
+    report
+        .findings
+        .extend(lint_source("crates/fd-sim/src/golden.rs", SRC, &opts));
+    report.findings.retain(|f| f.rule != "UH003");
+    report.files_scanned = 1;
+
+    let expected = r#"{
+  "version": 1,
+  "rules": [
+    "ND001",
+    "ND002",
+    "SUP001"
+  ],
+  "findings": [
+    {
+      "rule": "ND002",
+      "name": "wall-clock",
+      "severity": "deny",
+      "file": "crates/fd-sim/src/golden.rs",
+      "line": 5,
+      "col": 25,
+      "module": "fd_sim::golden",
+      "message": "`Instant::now()` reads the wall clock; simulated components must use `ctx.now()` (wall-clock observability lives in fd-obs)",
+      "suppressed": true,
+      "reason": "golden suppression"
+    },
+    {
+      "rule": "ND001",
+      "name": "hashmap-iter-in-sim-code",
+      "severity": "deny",
+      "file": "crates/fd-sim/src/golden.rs",
+      "line": 8,
+      "col": 7,
+      "module": "fd_sim::golden",
+      "message": "`m.keys()` observes unordered iteration (m is a HashMap/HashSet); switch to BTreeMap/BTreeSet or iterate over sorted keys",
+      "suppressed": false
+    }
+  ],
+  "summary": {
+    "files_scanned": 1,
+    "errors": 1,
+    "warnings": 0,
+    "suppressed": 1
+  }
+}"#;
+    assert_eq!(report.render_json(), expected);
+}
+
+#[test]
+fn exit_codes_follow_the_contract() {
+    let clean = Report::default();
+    assert_eq!(clean.exit_code(false), 0);
+    assert_eq!(clean.exit_code(true), 0);
+
+    let mut errors = Report::default();
+    errors.findings.extend(lint_source(
+        "crates/fd-sim/src/golden.rs",
+        "use std::time::Instant;\nfn f() -> Instant { Instant::now() }\n",
+        &Options::default(),
+    ));
+    assert_eq!(errors.exit_code(false), 1);
+
+    let mut warn_only = Report::default();
+    warn_only.findings.extend(lint_source(
+        "crates/fd-sim/src/world.rs",
+        "fn f(v: Option<u32>) -> u32 { v.unwrap() }\n",
+        &Options::default(),
+    ));
+    warn_only.findings.retain(|f| f.rule == "UH002");
+    assert_eq!(warn_only.exit_code(false), 0, "warnings pass by default");
+    assert_eq!(
+        warn_only.exit_code(true),
+        1,
+        "--deny-warnings promotes them"
+    );
+}

@@ -1,0 +1,81 @@
+//! Robustness: the lexer, the use-rename resolver, and the whole
+//! single-file pipeline must never panic, whatever bytes they are fed —
+//! scanned files may be mid-edit garbage.
+
+use fd_lint::{lint_source, Options};
+use proptest::prelude::*;
+
+/// Fragments the generator stitches together: Rust-ish material biased
+/// toward the constructs the scanner actually parses (use trees,
+/// renames, nesting, attributes, directives) plus raw noise.
+const FRAGMENTS: &[&str] = &[
+    "use ",
+    "std",
+    "::",
+    "collections",
+    "HashMap",
+    "as ",
+    "{",
+    "}",
+    ",",
+    ";",
+    "<",
+    ">",
+    "(",
+    ")",
+    "#[cfg(test)]",
+    "#[cfg(feature = \"x\")]",
+    "mod ",
+    "fn ",
+    "pub ",
+    "struct ",
+    "impl ",
+    "for ",
+    "in ",
+    ".iter()",
+    "unsafe ",
+    "Instant::now()",
+    "thread_rng()",
+    "r#\"",
+    "\"#",
+    "\"",
+    "'",
+    "'a",
+    "\\",
+    "//",
+    "/*",
+    "*/",
+    "///",
+    "//!",
+    "// fd-lint: allow(",
+    "reason = \"",
+    "\n",
+    " ",
+    "\t",
+    "0x2e",
+    "1.5e3",
+    "..",
+    "é",
+    "🦀",
+    "\u{0}",
+];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn pipeline_never_panics_on_fragment_soup(picks in prop::collection::vec(0usize..FRAGMENTS.len(), 0..120)) {
+        let src: String = picks.iter().map(|&i| FRAGMENTS[i]).collect();
+        // Must not panic; findings themselves are unconstrained.
+        let _ = lint_source("crates/fd-sim/src/soup.rs", &src, &Options::default());
+    }
+
+    #[test]
+    fn pipeline_never_panics_on_arbitrary_chars(codes in prop::collection::vec(any::<u32>(), 0..200)) {
+        let src: String = codes
+            .iter()
+            .filter_map(|&c| char::from_u32(c % 0x11_0000))
+            .collect();
+        let _ = lint_source("crates/fd-sim/src/soup.rs", &src, &Options::default());
+    }
+}

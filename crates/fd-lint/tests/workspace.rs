@@ -1,0 +1,77 @@
+//! The linter's own acceptance gate, run as a test: the workspace must
+//! be clean under `--deny-warnings` semantics (zero unsuppressed
+//! findings, every suppression reasoned), and a seeded hazard must be
+//! caught at the right file and line.
+
+use fd_lint::{lint_source, lint_workspace, Options};
+use std::path::Path;
+
+fn workspace_root() -> &'static Path {
+    // crates/fd-lint -> crates -> workspace root
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("fd-lint lives two levels under the workspace root")
+}
+
+#[test]
+fn workspace_is_clean_under_deny_warnings() {
+    let report = lint_workspace(workspace_root(), &Options::default()).expect("lint runs");
+    assert!(
+        report.files_scanned > 50,
+        "scanned {}",
+        report.files_scanned
+    );
+    let loud: Vec<_> = report.findings.iter().filter(|f| !f.suppressed).collect();
+    assert!(
+        loud.is_empty(),
+        "unsuppressed findings:\n{}",
+        loud.iter()
+            .map(|f| format!(
+                "  {}[{}] {}:{}:{}",
+                f.severity.label(),
+                f.rule,
+                f.file,
+                f.line,
+                f.col
+            ))
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+    assert_eq!(report.exit_code(true), 0);
+    for f in report.findings.iter().filter(|f| f.suppressed) {
+        assert!(
+            f.reason.as_deref().is_some_and(|r| !r.trim().is_empty()),
+            "suppression without a reason at {}:{}",
+            f.file,
+            f.line
+        );
+    }
+}
+
+#[test]
+fn seeded_thread_rng_in_fd_sim_fails_with_nd003_at_site() {
+    let path = workspace_root().join("crates/fd-sim/src/world.rs");
+    let src = std::fs::read_to_string(&path).expect("world.rs is readable");
+    // Seed an ambient-RNG call near the end of the file (inside a new
+    // fn so the token context is realistic).
+    let mut lines: Vec<&str> = src.lines().collect();
+    let seeded_line = "fn seeded_hazard() -> u64 { rand::thread_rng().gen() }";
+    lines.push(seeded_line);
+    let seeded = lines.join("\n");
+    let findings = lint_source("crates/fd-sim/src/world.rs", &seeded, &Options::default());
+    let nd003: Vec<_> = findings
+        .iter()
+        .filter(|f| f.rule == "ND003" && !f.suppressed)
+        .collect();
+    assert_eq!(nd003.len(), 1, "{nd003:?}");
+    let f = nd003[0];
+    assert_eq!(f.file, "crates/fd-sim/src/world.rs");
+    assert_eq!(f.line as usize, lines.len(), "fires on the seeded line");
+    let col = f.col as usize;
+    assert_eq!(
+        &seeded_line[col - 1..col - 1 + "thread_rng".len()],
+        "thread_rng",
+        "column points at the call"
+    );
+}

@@ -1,0 +1,67 @@
+//! The one `unsafe` island in the workspace: a counting global
+//! allocator. Everything else builds under `#![forbid(unsafe_code)]`;
+//! this module is the single scoped `#[allow(unsafe_code)]` exception
+//! (fd-lint rule UH001 pins the allowlist to this file).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A [`GlobalAlloc`](std::alloc::GlobalAlloc) wrapper over the system
+/// allocator that counts heap allocations.
+///
+/// Binaries that want allocation telemetry (the benchmark runners)
+/// install it once:
+///
+/// ```ignore
+/// #[global_allocator]
+/// static ALLOC: fd_obs::CountingAllocator = fd_obs::CountingAllocator;
+/// ```
+///
+/// and read deltas of [`CountingAllocator::count`] around the region of
+/// interest. The counter is a single relaxed atomic increment per
+/// `alloc`/`realloc`/`alloc_zeroed` call — cheap enough to leave in
+/// release benchmark builds — and stays at zero in binaries that never
+/// install the allocator, which is how callers can tell whether a
+/// reading is meaningful (see [`CountingAllocator::is_installed`]).
+pub struct CountingAllocator;
+
+static ALLOC_COUNT: AtomicU64 = AtomicU64::new(0);
+
+// SAFETY: every method defers to `System`; the only addition is a
+// relaxed counter bump, which has no effect on the returned memory.
+unsafe impl std::alloc::GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: std::alloc::Layout) -> *mut u8 {
+        ALLOC_COUNT.fetch_add(1, Ordering::Relaxed);
+        std::alloc::System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: std::alloc::Layout) {
+        std::alloc::System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: std::alloc::Layout, new_size: usize) -> *mut u8 {
+        ALLOC_COUNT.fetch_add(1, Ordering::Relaxed);
+        std::alloc::System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: std::alloc::Layout) -> *mut u8 {
+        ALLOC_COUNT.fetch_add(1, Ordering::Relaxed);
+        std::alloc::System.alloc_zeroed(layout)
+    }
+}
+
+impl CountingAllocator {
+    /// Total allocation calls observed since process start (zero unless
+    /// the allocator is installed as `#[global_allocator]`).
+    pub fn count() -> u64 {
+        ALLOC_COUNT.load(Ordering::Relaxed)
+    }
+
+    /// Whether the counting allocator is actually the global allocator,
+    /// probed by making an allocation and checking the counter moved.
+    pub fn is_installed() -> bool {
+        let before = Self::count();
+        let probe: Vec<u8> = Vec::with_capacity(1);
+        std::hint::black_box(&probe);
+        Self::count() != before
+    }
+}

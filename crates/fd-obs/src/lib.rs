@@ -23,6 +23,16 @@
 //! trace digests are byte-identical with metrics on or off (the
 //! `campaign_e2e` suite asserts this).
 #![warn(missing_docs)]
+// The workspace-wide `forbid(unsafe_code)` contract relaxes to `deny`
+// here only so the allocator module below can opt back in with a scoped
+// allow; fd-lint rule UH001 keeps the exception pinned to that file.
+#![deny(unsafe_code)]
+
+/// The counting global allocator (the workspace's only `unsafe` code).
+#[allow(unsafe_code)]
+mod alloc;
+
+pub use alloc::CountingAllocator;
 
 use std::collections::BTreeMap;
 use std::fs::File;
@@ -342,67 +352,6 @@ pub fn write_jsonl_file(path: &Path, rows: &[serde::Value]) -> io::Result<()> {
     let mut out = BufWriter::new(File::create(path)?);
     write_jsonl(&mut out, rows)?;
     out.flush()
-}
-
-/// A [`GlobalAlloc`](std::alloc::GlobalAlloc) wrapper over the system
-/// allocator that counts heap allocations.
-///
-/// Binaries that want allocation telemetry (the benchmark runners)
-/// install it once:
-///
-/// ```ignore
-/// #[global_allocator]
-/// static ALLOC: fd_obs::CountingAllocator = fd_obs::CountingAllocator;
-/// ```
-///
-/// and read deltas of [`CountingAllocator::count`] around the region of
-/// interest. The counter is a single relaxed atomic increment per
-/// `alloc`/`realloc`/`alloc_zeroed` call — cheap enough to leave in
-/// release benchmark builds — and stays at zero in binaries that never
-/// install the allocator, which is how callers can tell whether a
-/// reading is meaningful (see [`CountingAllocator::is_installed`]).
-pub struct CountingAllocator;
-
-static ALLOC_COUNT: AtomicU64 = AtomicU64::new(0);
-
-// SAFETY: every method defers to `System`; the only addition is a
-// relaxed counter bump, which has no effect on the returned memory.
-unsafe impl std::alloc::GlobalAlloc for CountingAllocator {
-    unsafe fn alloc(&self, layout: std::alloc::Layout) -> *mut u8 {
-        ALLOC_COUNT.fetch_add(1, Ordering::Relaxed);
-        std::alloc::System.alloc(layout)
-    }
-
-    unsafe fn dealloc(&self, ptr: *mut u8, layout: std::alloc::Layout) {
-        std::alloc::System.dealloc(ptr, layout)
-    }
-
-    unsafe fn realloc(&self, ptr: *mut u8, layout: std::alloc::Layout, new_size: usize) -> *mut u8 {
-        ALLOC_COUNT.fetch_add(1, Ordering::Relaxed);
-        std::alloc::System.realloc(ptr, layout, new_size)
-    }
-
-    unsafe fn alloc_zeroed(&self, layout: std::alloc::Layout) -> *mut u8 {
-        ALLOC_COUNT.fetch_add(1, Ordering::Relaxed);
-        std::alloc::System.alloc_zeroed(layout)
-    }
-}
-
-impl CountingAllocator {
-    /// Total allocation calls observed since process start (zero unless
-    /// the allocator is installed as `#[global_allocator]`).
-    pub fn count() -> u64 {
-        ALLOC_COUNT.load(Ordering::Relaxed)
-    }
-
-    /// Whether the counting allocator is actually the global allocator,
-    /// probed by making an allocation and checking the counter moved.
-    pub fn is_installed() -> bool {
-        let before = Self::count();
-        let probe: Vec<u8> = Vec::with_capacity(1);
-        std::hint::black_box(&probe);
-        Self::count() != before
-    }
 }
 
 /// Read a JSON Lines file back into one [`serde::Value`] per non-empty

@@ -13,6 +13,7 @@
 //! which is exactly the "asynchronous system" reading of real hardware.
 
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
 
 pub mod runtime;
 

@@ -78,10 +78,15 @@ pub(crate) enum EventKind<M> {
     Crash { pid: ProcessId },
 }
 
+/// One scheduled event: its due time, a tie-breaking sequence number
+/// (FIFO among events at the same instant), and the payload.
 #[derive(Debug)]
 pub(crate) struct QueuedEvent<M> {
+    /// Simulated due time.
     pub at: Time,
+    /// Insertion order, for deterministic same-time ordering.
     pub seq: u64,
+    /// What happens when the event fires.
     pub kind: EventKind<M>,
 }
 
@@ -246,6 +251,7 @@ impl<M> TimerWheel<M> {
                 Some(abs) => self.activate(abs),
                 None => {
                     // Everything pending lives beyond the horizon.
+                    // fd-lint: allow(UH002, reason = "ensure_current checked len > 0, so an empty wheel implies a non-empty overflow heap; a panic here is a broken queue invariant, not an input")
                     let at = self.overflow.peek().expect("len > 0 but wheel empty").at;
                     self.activate(bucket_of(at));
                 }
@@ -264,7 +270,7 @@ impl<M> TimerWheel<M> {
             if b - abs >= BUCKET_COUNT as u64 {
                 break;
             }
-            let e = self.overflow.pop().expect("peeked");
+            let Some(e) = self.overflow.pop() else { break };
             let slot = (b as usize) & BUCKET_MASK;
             self.buckets[slot].push(e);
             self.occupied[slot >> 6] |= 1u64 << (slot & 63);
@@ -328,6 +334,7 @@ pub(crate) enum EventQueue<M> {
 }
 
 impl<M> EventQueue<M> {
+    /// An empty queue backed by the chosen implementation.
     pub fn with_impl(imp: QueueImpl) -> Self {
         match imp {
             QueueImpl::Wheel => EventQueue::Wheel(TimerWheel::new()),
@@ -338,6 +345,8 @@ impl<M> EventQueue<M> {
         }
     }
 
+    /// Schedule `kind` at time `at`, after everything already scheduled
+    /// at that instant.
     pub fn push(&mut self, at: Time, kind: EventKind<M>) {
         match self {
             EventQueue::Wheel(w) => w.push(at, kind),
@@ -349,6 +358,7 @@ impl<M> EventQueue<M> {
         }
     }
 
+    /// Remove and return the earliest event, FIFO among ties.
     pub fn pop(&mut self) -> Option<QueuedEvent<M>> {
         match self {
             EventQueue::Wheel(w) => w.pop(),
@@ -365,6 +375,7 @@ impl<M> EventQueue<M> {
         }
     }
 
+    /// Events currently scheduled.
     pub fn len(&self) -> usize {
         match self {
             EventQueue::Wheel(w) => w.len,
@@ -372,8 +383,20 @@ impl<M> EventQueue<M> {
         }
     }
 
+    /// Whether no events are scheduled.
+    /// Whether no events are scheduled.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+
+    /// Pop the earliest event only if it is due at or before `bound`.
+    /// The peek-then-pop pair lives here so callers never need a
+    /// "peeked therefore non-empty" unwrap.
+    pub fn pop_due(&mut self, bound: Time) -> Option<QueuedEvent<M>> {
+        match self.peek_time() {
+            Some(t) if t <= bound => self.pop(),
+            _ => None,
+        }
     }
 
     /// Empty the queue and restart sequence numbering, keeping span,

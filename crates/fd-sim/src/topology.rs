@@ -9,7 +9,7 @@ use crate::link::LinkModel;
 use crate::process::ProcessId;
 use crate::time::{SimDuration, Time};
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// The link configuration of an `n`-process system.
 #[derive(Debug, Clone)]
@@ -17,7 +17,7 @@ pub struct NetworkConfig {
     n: usize,
     default: LinkModel,
     loopback: LinkModel,
-    overrides: HashMap<(ProcessId, ProcessId), LinkModel>,
+    overrides: BTreeMap<(ProcessId, ProcessId), LinkModel>,
 }
 
 impl NetworkConfig {
@@ -28,7 +28,7 @@ impl NetworkConfig {
             n,
             default: LinkModel::default(),
             loopback: LinkModel::reliable_const(SimDuration(1)),
-            overrides: HashMap::new(),
+            overrides: BTreeMap::new(),
         }
     }
 
@@ -210,7 +210,7 @@ impl Deserialize for NetworkConfig {
             return Err(serde::Error::msg("NetworkConfig: n must be positive"));
         }
         let triples = <Vec<(ProcessId, ProcessId, LinkModel)>>::from_value(v.field("overrides"))?;
-        let mut overrides = HashMap::with_capacity(triples.len());
+        let mut overrides = BTreeMap::new();
         for (from, to, model) in triples {
             if from.index() >= n || to.index() >= n {
                 return Err(serde::Error::msg(format!(

@@ -324,6 +324,7 @@ impl<A: Actor> World<A> {
         // Owned clone of the histogram handle: a borrowing span would
         // hold `&self.obs` across the mutable kernel work below.
         let timing = match &self.obs {
+            // fd-lint: allow(ND002, reason = "observability-only span timing; feeds histograms, never simulation state or RNG, so digests are identical with metrics on or off")
             Some(o) if o.sample_callback() => Some((Arc::clone(&o.callback_ns), Instant::now())),
             _ => None,
         };
@@ -525,11 +526,7 @@ impl<A: Actor> World<A> {
     /// clock to `until`.
     pub fn run_until_time(&mut self, until: Time) {
         self.ensure_started();
-        while let Some(t) = self.queue.peek_time() {
-            if t > until {
-                break;
-            }
-            let ev = self.queue.pop().expect("peeked");
+        while let Some(ev) = self.queue.pop_due(until) {
             self.process(ev);
         }
         self.now = self.now.max(until);
@@ -543,11 +540,7 @@ impl<A: Actor> World<A> {
         if pred(self) {
             return true;
         }
-        while let Some(t) = self.queue.peek_time() {
-            if t > deadline {
-                break;
-            }
-            let ev = self.queue.pop().expect("peeked");
+        while let Some(ev) = self.queue.pop_due(deadline) {
             self.process(ev);
             if pred(self) {
                 return true;
@@ -563,8 +556,7 @@ impl<A: Actor> World<A> {
     /// [`run_until_time`](World::run_until_time) for those.
     pub fn run_to_quiescence(&mut self) -> Time {
         self.ensure_started();
-        while !self.queue.is_empty() {
-            let ev = self.queue.pop().expect("non-empty queue");
+        while let Some(ev) = self.queue.pop() {
             self.process(ev);
         }
         self.now

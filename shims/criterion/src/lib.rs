@@ -7,6 +7,7 @@
 //! baselines. Bench *identifiers and structure* match the real crate, so
 //! swapping the registry version back in needs no source changes.
 
+#![forbid(unsafe_code)]
 use std::time::{Duration, Instant};
 
 /// Re-export of [`std::hint::black_box`], criterion-style.

@@ -3,6 +3,7 @@
 //! (cloned senders, a single receiver per endpoint), which std covers;
 //! the crossbeam niceties (select!, MPMC receivers) are not needed.
 
+#![forbid(unsafe_code)]
 /// Multi-producer channels with the crossbeam constructor names.
 pub mod channel {
     pub use std::sync::mpsc::{Receiver, RecvError, RecvTimeoutError, SendError, Sender};

@@ -3,6 +3,7 @@
 //! is recovered rather than propagated — parking_lot has no poisoning,
 //! so that matches the API contract callers rely on.
 
+#![forbid(unsafe_code)]
 use std::sync::MutexGuard;
 
 /// A mutual-exclusion lock whose `lock` never returns a poison error.

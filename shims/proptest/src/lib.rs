@@ -10,6 +10,7 @@
 //! printed instead, and the workspace's own `fd-campaign` crate owns
 //! scenario shrinking.
 
+#![forbid(unsafe_code)]
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 

@@ -7,6 +7,7 @@
 //! through SplitMix64 — the same construction the real `SmallRng` uses on
 //! 64-bit targets, so statistical-quality expectations in tests hold.
 
+#![forbid(unsafe_code)]
 /// Core generator interface: a source of uniformly distributed `u64`s.
 pub trait RngCore {
     /// The next 64 uniformly random bits.

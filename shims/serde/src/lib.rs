@@ -9,6 +9,7 @@
 //! tagged representation real serde uses, so emitted JSON is byte-for-byte
 //! what the registry crates would produce for these types.
 
+#![forbid(unsafe_code)]
 pub use serde_derive::{Deserialize, Serialize};
 
 use std::collections::HashMap;

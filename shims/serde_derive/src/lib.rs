@@ -8,6 +8,7 @@
 //! have to be parsed, only skipped. Generics are rejected; none of the
 //! workspace's serialized types are generic.
 
+#![forbid(unsafe_code)]
 use proc_macro::{Delimiter, TokenStream, TokenTree};
 use std::iter::Peekable;
 

@@ -4,6 +4,7 @@
 //! 2-space-indented pretty printing — so downstream JSON consumers and
 //! golden assertions behave identically against the registry crate.
 
+#![forbid(unsafe_code)]
 use serde::{Deserialize, Serialize, Value};
 use std::fmt;
 

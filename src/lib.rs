@@ -44,6 +44,7 @@
 //! | [`bench`] | experiment harness regenerating the paper's tables (incl. campaign scenarios) |
 
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
 
 pub use fd_bench as bench;
 pub use fd_broadcast as broadcast;
