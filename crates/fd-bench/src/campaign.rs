@@ -262,13 +262,14 @@ pub fn kernel_bench(seeds: u64) -> serde::Value {
 pub fn scenario_by_name(name: &str) -> Option<Box<dyn Scenario>> {
     match name {
         E8 => Some(Box::new(E8Scenario)),
+        fd_chaos::CHAOS => Some(Box::new(fd_chaos::ChaosScenario::generated())),
         _ => fd_campaign::builtin_scenario(name),
     }
 }
 
 /// Every scenario name [`scenario_by_name`] resolves.
 pub fn scenario_names() -> Vec<&'static str> {
-    let mut names = vec![E8];
+    let mut names = vec![E8, fd_chaos::CHAOS];
     names.extend(fd_campaign::builtin_names());
     names
 }
@@ -306,8 +307,9 @@ mod tests {
     #[test]
     fn registry_resolves_experiment_and_builtin_names() {
         assert!(scenario_by_name("e8").is_some());
+        assert!(scenario_by_name("chaos").is_some());
         assert!(scenario_by_name("blind").is_some());
         assert!(scenario_by_name("nope").is_none());
-        assert_eq!(scenario_names(), vec!["e8", "blind"]);
+        assert_eq!(scenario_names(), vec!["e8", "chaos", "blind"]);
     }
 }

@@ -14,7 +14,9 @@
 //! * `"counter"` / `"gauge"` / `"histogram"` — one row per registry
 //!   metric, as produced by [`fd_obs::Registry::snapshot`] (kernel
 //!   instrumentation such as `sim.events`, `sim.queue_depth_hwm`,
-//!   `sim.callback_ns`, and the replay path's `campaign.shrink_*`).
+//!   `sim.callback_ns`, the chaos adversary's `chaos.msgs_*` /
+//!   `chaos.partitions_active`, and the replay path's
+//!   `campaign.shrink_*`).
 //!
 //! Only the timing fields vary run to run; `seed` rows' verdict fields
 //! are as deterministic as [`crate::SeedResult`] itself.
@@ -244,8 +246,29 @@ mod tests {
         assert_eq!(of("meta"), 1);
         assert_eq!(of("seed"), 5);
         assert_eq!(of("worker"), 2);
-        assert_eq!(of("counter"), 1, "sim.events");
-        assert_eq!(of("gauge"), 1, "sim.queue_depth_hwm");
+        // Every observed world registers the kernel counters plus the
+        // chaos adversary's drop/duplicate/reorder tallies and the
+        // partition high-water gauge, even for fault-free scenarios.
+        let names = |t: &str| {
+            rows.iter()
+                .filter(|r| r.field("type").as_str() == Some(t))
+                .filter_map(|r| r.field("name").as_str().map(str::to_string))
+                .collect::<Vec<_>>()
+        };
+        let counters = names("counter");
+        assert_eq!(counters.len(), 4, "{counters:?}");
+        for want in [
+            "sim.events",
+            "chaos.msgs_dropped",
+            "chaos.msgs_duplicated",
+            "chaos.msgs_reordered",
+        ] {
+            assert!(counters.iter().any(|n| n == want), "missing {want}");
+        }
+        let gauges = names("gauge");
+        assert_eq!(gauges.len(), 2, "{gauges:?}");
+        assert!(gauges.iter().any(|n| n == "sim.queue_depth_hwm"));
+        assert!(gauges.iter().any(|n| n == "chaos.partitions_active"));
         assert_eq!(of("histogram"), 1, "sim.callback_ns");
 
         // The registry's kernel event counter agrees with the summed

@@ -47,6 +47,20 @@ pub trait Scenario: Send + Sync {
     /// violation fails the seed.
     fn monitors(&self) -> Vec<Box<dyn Monitor>>;
 
+    /// Scenario-specific shrinker moves: single-step simplifications of
+    /// `plan` beyond the generic ones (drop a crash, shorten the
+    /// horizon, …) that the shrinker tries in addition. Implement this
+    /// when the interesting structure lives in [`RunPlan::params`] — the
+    /// generic moves never touch params, so without this hook a
+    /// params-driven counterexample cannot shrink. Each entry is a
+    /// human-readable label plus the candidate plan; candidates must be
+    /// *valid* plans (the shrinker executes them verbatim). The default
+    /// returns nothing.
+    fn shrink_plan(&self, plan: &RunPlan) -> Vec<(String, RunPlan)> {
+        let _ = plan;
+        Vec::new()
+    }
+
     /// Build a reusable per-worker execution engine.
     ///
     /// Campaign workers call this once each and feed the executor every

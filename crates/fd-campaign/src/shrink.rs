@@ -2,9 +2,10 @@
 //!
 //! Given an artifact whose plan violates a property, repeatedly try
 //! simpler plans — drop a crash, shorten the horizon, remove a process,
-//! reduce link loss — keeping any mutation under which the same property
-//! still fails. The result is a locally minimal counterexample: no single
-//! remaining simplification preserves the failure.
+//! reduce link loss, plus any scenario-specific moves contributed via
+//! [`Scenario::shrink_plan`] — keeping any mutation under which the same
+//! property still fails. The result is a locally minimal counterexample:
+//! no single remaining simplification preserves the failure.
 
 use crate::artifact::Artifact;
 use crate::monitor::check_property;
@@ -32,31 +33,43 @@ pub struct ShrinkOutcome {
 /// Errors if the original plan does not actually violate the property
 /// (a stale or hand-edited artifact).
 pub fn shrink(scenario: &dyn Scenario, artifact: &Artifact) -> Result<ShrinkOutcome, String> {
-    let still_fails = |plan: &RunPlan| -> Result<Option<(String, u64)>, String> {
+    let still_fails = |plan: &RunPlan| -> Result<Option<(fd_core::Violation, u64)>, String> {
         let outcome = scenario.execute(plan);
         let check = check_property(&scenario.monitors(), &artifact.property, &outcome)?;
-        Ok(check.err().map(|v| (v.to_string(), outcome.trace.digest())))
+        Ok(check.err().map(|v| (v, outcome.trace.digest())))
     };
 
-    let (mut detail, mut digest) = still_fails(&artifact.plan)?.ok_or_else(|| {
+    let (first, mut digest) = still_fails(&artifact.plan)?.ok_or_else(|| {
         format!(
             "plan does not violate {:?} — nothing to shrink",
             artifact.property
         )
     })?;
+    // A candidate must reproduce the *same* violation, not merely any
+    // failure of the check: composite checks (class membership, the
+    // chaos vacuity guard) can fail for unrelated reasons, and a
+    // "shrink" that swaps one bug for another is not a minimization.
+    let wanted = first.property;
+    let mut detail = first.to_string();
 
     let mut current = artifact.plan.clone();
     let mut applied = Vec::new();
     let mut attempts = 0usize;
     'progress: loop {
-        for (label, candidate) in candidates(&current) {
+        let moves = candidates(&current)
+            .into_iter()
+            .chain(scenario.shrink_plan(&current));
+        for (label, candidate) in moves {
             if attempts >= MAX_ATTEMPTS {
                 break 'progress;
             }
             attempts += 1;
-            if let Some((d, g)) = still_fails(&candidate)? {
+            if let Some((v, g)) = still_fails(&candidate)? {
+                if v.property != wanted {
+                    continue;
+                }
                 current = candidate;
-                detail = d;
+                detail = v.to_string();
                 digest = g;
                 applied.push(label);
                 continue 'progress;

@@ -1,0 +1,264 @@
+//! Compilation of declarative [`ChaosPlan`]s into kernel interventions.
+//!
+//! Compilation is pure: the same plan against the same base network
+//! always yields the same intervention sequence, so a plan shipped in a
+//! JSON artifact re-executes byte-identically anywhere. The non-trivial
+//! part is *healing*: a [`ChaosKind::Heal`] must restore each cut link
+//! to the model it had in the **base** network (not merely "reliable"),
+//! which requires tracking the cut-set across events here, at compile
+//! time — the kernel only ever sees absolute `SetLinks` assignments.
+
+use crate::plan::{ChaosKind, ChaosPlan};
+use fd_sim::chaos::{self, Intervention, NetChange};
+use fd_sim::{LinkModel, NetworkConfig, Payload, ProcessId, Time};
+
+/// Compile `plan` against the base network the run starts from.
+///
+/// Returns `(fire_time, intervention)` pairs in schedule order, starting
+/// with a `chaos.expect_class` annotation at time zero (so every chaos
+/// trace carries its detector's claimed class). Errors if the plan fails
+/// [`ChaosPlan::validate`] or its size disagrees with `base`.
+pub fn compile(
+    plan: &ChaosPlan,
+    base: &NetworkConfig,
+) -> Result<Vec<(Time, Intervention)>, String> {
+    plan.validate()?;
+    if plan.n != base.n() {
+        return Err(format!(
+            "plan is for n = {} but the base network has n = {}",
+            plan.n,
+            base.n()
+        ));
+    }
+
+    let mut out = vec![(
+        Time::ZERO,
+        Intervention::annotate(
+            chaos::EXPECT_CLASS,
+            Payload::U64(plan.detector.class_index()),
+        ),
+    )];
+    // Directed links currently dead, in cut order (deduplicated).
+    let mut cut: Vec<(ProcessId, ProcessId)> = Vec::new();
+
+    for ev in plan.sorted_events() {
+        let iv = match &ev.kind {
+            ChaosKind::Partition { groups } => {
+                let mut links = Vec::new();
+                for (i, ga) in groups.iter().enumerate() {
+                    for gb in groups.iter().skip(i + 1) {
+                        for &a in ga {
+                            for &b in gb {
+                                links.push((a, b));
+                                links.push((b, a));
+                            }
+                        }
+                    }
+                }
+                cut_intervention(links, &mut cut)
+            }
+            ChaosKind::CutLinks { links } => cut_intervention(links.clone(), &mut cut),
+            ChaosKind::Heal => {
+                let restored: Vec<(ProcessId, ProcessId, LinkModel)> = cut
+                    .drain(..)
+                    .map(|(a, b)| (a, b, base.link(a, b).clone()))
+                    .collect();
+                let payload = endpoints_payload(restored.iter().map(|(a, b, _)| (*a, *b)));
+                Intervention {
+                    tag: chaos::HEAL,
+                    payload,
+                    change: if restored.is_empty() {
+                        NetChange::Annotate
+                    } else {
+                        NetChange::SetLinks(restored)
+                    },
+                }
+            }
+            ChaosKind::Mangle(m) => Intervention {
+                tag: chaos::MANGLE,
+                payload: Payload::None,
+                change: NetChange::SetMangler(Some(*m)),
+            },
+            ChaosKind::Unmangle => Intervention {
+                tag: chaos::UNMANGLE,
+                payload: Payload::None,
+                change: NetChange::SetMangler(None),
+            },
+            ChaosKind::Crash { pid } => Intervention {
+                tag: chaos::CRASH,
+                payload: Payload::Pid(*pid),
+                change: NetChange::Crash(*pid),
+            },
+            ChaosKind::Restart { pid } => Intervention {
+                tag: chaos::RESTART,
+                payload: Payload::Pid(*pid),
+                change: NetChange::Restart(*pid),
+            },
+            ChaosKind::GstMarker => Intervention::annotate(chaos::GST, Payload::None),
+        };
+        out.push((ev.at, iv));
+    }
+    Ok(out)
+}
+
+/// Build the partition intervention for `links`, folding them into the
+/// running cut-set (already-cut links are not cut twice — a heal must
+/// restore each link exactly once).
+fn cut_intervention(
+    links: Vec<(ProcessId, ProcessId)>,
+    cut: &mut Vec<(ProcessId, ProcessId)>,
+) -> Intervention {
+    let mut dead = Vec::new();
+    for (a, b) in links {
+        if !cut.contains(&(a, b)) {
+            cut.push((a, b));
+            dead.push((a, b, LinkModel::Dead));
+        }
+    }
+    let payload = endpoints_payload(dead.iter().map(|(a, b, _)| (*a, *b)));
+    Intervention {
+        tag: chaos::PARTITION,
+        payload,
+        change: if dead.is_empty() {
+            NetChange::Annotate
+        } else {
+            NetChange::SetLinks(dead)
+        },
+    }
+}
+
+/// The sorted, deduplicated set of processes touched by a link list —
+/// what partition/heal bands show in timelines and artifacts.
+fn endpoints_payload(links: impl Iterator<Item = (ProcessId, ProcessId)>) -> Payload {
+    let mut pids: Vec<ProcessId> = links.flat_map(|(a, b)| [a, b]).collect();
+    pids.sort_unstable();
+    pids.dedup();
+    Payload::Pids(pids)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::DetectorKind;
+    use fd_sim::SimDuration;
+
+    fn net(n: usize) -> NetworkConfig {
+        NetworkConfig::new(n).with_default(LinkModel::reliable_const(SimDuration::from_millis(2)))
+    }
+
+    fn plan() -> ChaosPlan {
+        ChaosPlan::new(4, DetectorKind::Heartbeat, Time::from_secs(5))
+    }
+
+    #[test]
+    fn expect_class_annotation_always_leads() {
+        let compiled = compile(&plan(), &net(4)).unwrap();
+        let (at, iv) = &compiled[0];
+        assert_eq!(*at, Time::ZERO);
+        assert_eq!(iv.tag, chaos::EXPECT_CLASS);
+        assert_eq!(
+            iv.payload,
+            Payload::U64(DetectorKind::Heartbeat.class_index())
+        );
+        assert_eq!(iv.change, NetChange::Annotate);
+    }
+
+    #[test]
+    fn partition_cuts_cross_group_links_both_ways() {
+        let p = plan().push(
+            Time(100),
+            ChaosKind::Partition {
+                groups: vec![vec![ProcessId(0)], vec![ProcessId(1), ProcessId(2)]],
+            },
+        );
+        let compiled = compile(&p, &net(4)).unwrap();
+        let (_, iv) = &compiled[1];
+        assert_eq!(iv.tag, chaos::PARTITION);
+        let NetChange::SetLinks(links) = &iv.change else {
+            panic!("expected SetLinks, got {:?}", iv.change);
+        };
+        let mut pairs: Vec<(usize, usize)> = links
+            .iter()
+            .map(|(a, b, m)| {
+                assert_eq!(*m, LinkModel::Dead);
+                (a.index(), b.index())
+            })
+            .collect();
+        pairs.sort_unstable();
+        assert_eq!(pairs, vec![(0, 1), (0, 2), (1, 0), (2, 0)]);
+        // p3 is in no group and keeps every link.
+        assert!(!pairs.iter().any(|&(a, b)| a == 3 || b == 3));
+        assert_eq!(
+            iv.payload,
+            Payload::Pids(vec![ProcessId(0), ProcessId(1), ProcessId(2)])
+        );
+    }
+
+    #[test]
+    fn heal_restores_the_base_model_of_each_cut_link() {
+        let base = net(3);
+        let p = plan();
+        let p = ChaosPlan { n: 3, ..p }
+            .push(
+                Time(100),
+                ChaosKind::CutLinks {
+                    links: vec![(ProcessId(0), ProcessId(1))],
+                },
+            )
+            .push(Time(200), ChaosKind::Heal);
+        let compiled = compile(&p, &base).unwrap();
+        let (_, heal) = &compiled[2];
+        assert_eq!(heal.tag, chaos::HEAL);
+        let NetChange::SetLinks(links) = &heal.change else {
+            panic!("expected SetLinks, got {:?}", heal.change);
+        };
+        assert_eq!(links.len(), 1);
+        let (a, b, model) = &links[0];
+        assert_eq!((a.index(), b.index()), (0, 1));
+        assert_eq!(model, base.link(ProcessId(0), ProcessId(1)));
+    }
+
+    #[test]
+    fn overlapping_cuts_heal_each_link_once() {
+        let p = plan()
+            .push(
+                Time(100),
+                ChaosKind::CutLinks {
+                    links: vec![(ProcessId(0), ProcessId(1))],
+                },
+            )
+            .push(
+                Time(150),
+                ChaosKind::Partition {
+                    groups: vec![vec![ProcessId(0)], vec![ProcessId(1)]],
+                },
+            )
+            .push(Time(200), ChaosKind::Heal);
+        let compiled = compile(&p, &net(4)).unwrap();
+        // The second cut only adds the 1->0 direction.
+        let NetChange::SetLinks(second) = &compiled[2].1.change else {
+            panic!("expected SetLinks");
+        };
+        assert_eq!(second.len(), 1);
+        assert_eq!((second[0].0.index(), second[0].1.index()), (1, 0));
+        // The heal restores both directions, each exactly once.
+        let NetChange::SetLinks(healed) = &compiled[3].1.change else {
+            panic!("expected SetLinks");
+        };
+        assert_eq!(healed.len(), 2);
+    }
+
+    #[test]
+    fn heal_with_nothing_cut_is_annotation_only() {
+        let p = plan().push(Time(100), ChaosKind::Heal);
+        let compiled = compile(&p, &net(4)).unwrap();
+        assert_eq!(compiled[1].1.tag, chaos::HEAL);
+        assert_eq!(compiled[1].1.change, NetChange::Annotate);
+    }
+
+    #[test]
+    fn size_mismatch_is_rejected() {
+        let err = compile(&plan(), &net(5)).unwrap_err();
+        assert!(err.contains("n = 4"), "{err}");
+    }
+}

@@ -1,0 +1,394 @@
+//! The `chaos` campaign scenario: seed-indexed fault schedules over the
+//! workspace's real detectors, checked relative to the schedule.
+//!
+//! Two modes share one implementation:
+//!
+//! * **Generated** ([`ChaosScenario::generated`], the registry default):
+//!   each seed expands into a random-but-deterministic [`ChaosPlan`] —
+//!   system size, detector, partition window, mangler window, and churn
+//!   all derived from the seed. Every generated plan is *model-legal*
+//!   (partitions heal, manglers uninstall, at most a minority crashes),
+//!   so every seed must satisfy its detector's class after the quiet
+//!   point; a failing seed is a real finding.
+//! * **Fixed** ([`ChaosScenario::fixed`], `ecfd campaign --plan FILE`):
+//!   every seed runs the same hand-written plan, with only the RNG
+//!   streams varying. Fixed plans may be deliberately model-*illegal*
+//!   (e.g. a partition that never heals) to demonstrate which paper
+//!   assumption a violation traces back to.
+
+use crate::compile::compile;
+use crate::plan::{ChaosKind, ChaosPlan, DetectorKind};
+use fd_campaign::scenario::SeedExecutor;
+use fd_campaign::{Monitor, NamedMonitor, RunOutcome, RunPlan, Scenario};
+use fd_core::Standalone;
+use fd_detectors::{
+    HeartbeatConfig, HeartbeatDetector, RingConfig, RingDetector, StableLeaderConfig,
+    StableLeaderDetector,
+};
+use fd_sim::chaos::Intervention;
+use fd_sim::{
+    Actor, LinkMangler, LinkModel, NetworkConfig, ProcessId, SimDuration, Time, World, WorldBuilder,
+};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Registry name of [`ChaosScenario`].
+pub const CHAOS: &str = "chaos";
+
+/// The canonical base network of every chaos run: eventually timely
+/// links with GST at 300 ms and a post-GST bound of 4 ms; before GST,
+/// delays are uniform up to 50 ms and 5% of messages are lost. The
+/// chaos schedule perturbs *this* network, and heals restore links to
+/// exactly these models.
+pub fn base_net(n: usize) -> NetworkConfig {
+    NetworkConfig::new(n).with_default(LinkModel::eventually_timely(
+        Time::from_millis(300),
+        SimDuration::from_millis(4),
+        SimDuration::from_millis(50),
+        0.05,
+    ))
+}
+
+/// Horizon of generated plans: the latest generated intervention lands
+/// before 1.7 s, leaving > 4 s of calm network for the detectors to
+/// stabilize in — comfortably more than the adaptive timeouts can grow
+/// to under the bounded windows generated here.
+const GENERATED_HORIZON: Time = Time::from_secs(6);
+
+/// Expand `seed` into a model-legal chaos plan (pure function of the
+/// seed; see the module docs for the legality rules).
+pub fn generate_plan(seed: u64) -> ChaosPlan {
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0xc4a0_5bad_f00d);
+    let n = rng.gen_range(4..=7);
+    let detector = DetectorKind::ALL[(seed % 3) as usize];
+    let mut plan = ChaosPlan::new(n, detector, GENERATED_HORIZON)
+        .push(Time::from_millis(300), ChaosKind::GstMarker);
+
+    if rng.gen_bool(0.75) {
+        // Isolate a strict minority for a bounded window, then heal.
+        let k = rng.gen_range(1..=(n - 1) / 2);
+        let mut pids: Vec<usize> = (0..n).collect();
+        let mut island = Vec::new();
+        for _ in 0..k {
+            island.push(ProcessId(pids.swap_remove(rng.gen_range(0..pids.len()))));
+        }
+        let mainland: Vec<ProcessId> = pids.into_iter().map(ProcessId).collect();
+        let from = Time::from_millis(rng.gen_range(100..=500));
+        let until = from + SimDuration::from_millis(rng.gen_range(100..=400));
+        plan = plan
+            .push(
+                from,
+                ChaosKind::Partition {
+                    groups: vec![island, mainland],
+                },
+            )
+            .push(until, ChaosKind::Heal);
+    }
+
+    if rng.gen_bool(0.6) {
+        // A bounded window of message mangling.
+        let mangler = LinkMangler {
+            drop: rng.gen_range(0.0..0.2),
+            duplicate: rng.gen_range(0.0..0.15),
+            reorder: rng.gen_range(0.0..0.5),
+            skew: SimDuration::from_millis(rng.gen_range(1..=4)),
+        };
+        let from = Time::from_millis(rng.gen_range(50..=600));
+        let until = from + SimDuration::from_millis(rng.gen_range(100..=400));
+        plan = plan
+            .push(from, ChaosKind::Mangle(mangler))
+            .push(until, ChaosKind::Unmangle);
+    }
+
+    if rng.gen_bool(0.5) {
+        // Crash one process; half the time it recovers (warm restart).
+        let pid = ProcessId(rng.gen_range(0..n));
+        let at = Time::from_millis(rng.gen_range(100..=900));
+        plan = plan.push(at, ChaosKind::Crash { pid });
+        if rng.gen_bool(0.5) {
+            let back = at + SimDuration::from_millis(rng.gen_range(300..=700));
+            plan = plan.push(back, ChaosKind::Restart { pid });
+        }
+    }
+
+    debug_assert!(plan.validate().is_ok(), "generated plan must be legal");
+    plan
+}
+
+/// The chaos scenario (registry name `"chaos"`).
+pub struct ChaosScenario {
+    fixed: Option<ChaosPlan>,
+}
+
+impl ChaosScenario {
+    /// Seed-generated plans (the registry default).
+    pub fn generated() -> ChaosScenario {
+        ChaosScenario { fixed: None }
+    }
+
+    /// Run `plan` for every seed (`--plan FILE`). Errors if the plan is
+    /// internally inconsistent.
+    pub fn fixed(plan: ChaosPlan) -> Result<ChaosScenario, String> {
+        plan.validate()?;
+        Ok(ChaosScenario { fixed: Some(plan) })
+    }
+
+    fn chaos_plan(&self, seed: u64) -> ChaosPlan {
+        match &self.fixed {
+            Some(p) => p.clone(),
+            None => generate_plan(seed),
+        }
+    }
+}
+
+/// Recover the embedded [`ChaosPlan`] from a run plan's params.
+pub fn chaos_plan_of(plan: &RunPlan) -> Result<ChaosPlan, String> {
+    serde_json::from_value(plan.params.field("chaos"))
+        .map_err(|e| format!("run plan carries no valid chaos plan: {e}"))
+}
+
+impl Scenario for ChaosScenario {
+    fn name(&self) -> &str {
+        CHAOS
+    }
+
+    fn plan(&self, seed: u64) -> RunPlan {
+        let chaos = self.chaos_plan(seed);
+        RunPlan::new(seed, chaos.horizon, base_net(chaos.n)).with_params(serde::Value::Obj(vec![(
+            "chaos".to_string(),
+            serde_json::to_value(&chaos),
+        )]))
+    }
+
+    fn execute(&self, plan: &RunPlan) -> RunOutcome {
+        self.execute_observed(plan, None)
+    }
+
+    fn execute_observed(&self, plan: &RunPlan, obs: Option<&fd_obs::Registry>) -> RunOutcome {
+        ChaosExecutor::default().execute(plan, obs)
+    }
+
+    fn monitors(&self) -> Vec<Box<dyn Monitor>> {
+        vec![NamedMonitor::boxed("chaos.class_after_faults")]
+    }
+
+    fn shrink_plan(&self, plan: &RunPlan) -> Vec<(String, RunPlan)> {
+        let Ok(chaos) = chaos_plan_of(plan) else {
+            return Vec::new();
+        };
+        let mut out = Vec::new();
+        for (i, ev) in chaos.events.iter().enumerate() {
+            let mut shrunk = chaos.clone();
+            shrunk.events.remove(i);
+            // A crash's later restart would be orphaned — drop the pair.
+            if let ChaosKind::Crash { pid } = ev.kind {
+                shrunk
+                    .events
+                    .retain(|e| !(e.at >= ev.at && e.kind == (ChaosKind::Restart { pid })));
+            }
+            if shrunk.validate().is_err() {
+                continue;
+            }
+            let mut candidate = plan.clone();
+            candidate.params =
+                serde::Value::Obj(vec![("chaos".to_string(), serde_json::to_value(&shrunk))]);
+            out.push((
+                format!("drop chaos {}@{}", ev.kind.label(), ev.at),
+                candidate,
+            ));
+        }
+        out
+    }
+
+    fn make_executor(&self) -> Box<dyn SeedExecutor + '_> {
+        Box::new(ChaosExecutor::default())
+    }
+}
+
+/// Per-worker executor: one cached, reusable world per detector family
+/// (each is a distinct generic `World` instantiation), re-armed with
+/// `World::reset` between seeds. Reset restores the base network and
+/// clears all chaos state (mangler, partition count), so reuse is
+/// invisible in the results — the determinism tests compare against
+/// fresh worlds to prove it.
+#[derive(Default)]
+struct ChaosExecutor {
+    hb: Option<(World<Standalone<HeartbeatDetector>>, usize)>,
+    ring: Option<(World<Standalone<RingDetector>>, usize)>,
+    leader: Option<(World<Standalone<StableLeaderDetector>>, usize)>,
+}
+
+impl SeedExecutor for ChaosExecutor {
+    fn execute(&mut self, plan: &RunPlan, obs: Option<&fd_obs::Registry>) -> RunOutcome {
+        let chaos = chaos_plan_of(plan).expect("chaos scenario run plan");
+        // A generic shrink move (e.g. "shrink n") can desync the run
+        // plan from the embedded chaos plan; compiling then fails. Run
+        // such candidates with no interventions at all — the missing
+        // `chaos.expect_class` annotation makes the monitor report a
+        // `chaos-expect-class` violation, which the shrinker's
+        // same-property guard rejects, so the candidate is discarded
+        // instead of panicking a worker.
+        let interventions = compile(&chaos, &plan.net).unwrap_or_default();
+        let n = plan.n();
+        match chaos.detector {
+            DetectorKind::Heartbeat => {
+                run_detector(&mut self.hb, plan, &interventions, obs, |pid, _| {
+                    Standalone(HeartbeatDetector::new(pid, n, HeartbeatConfig::default()))
+                })
+            }
+            DetectorKind::Ring => {
+                run_detector(&mut self.ring, plan, &interventions, obs, |pid, _| {
+                    Standalone(RingDetector::new(pid, n, RingConfig::default()))
+                })
+            }
+            DetectorKind::StableLeader => {
+                run_detector(&mut self.leader, plan, &interventions, obs, |pid, _| {
+                    Standalone(StableLeaderDetector::new(
+                        pid,
+                        n,
+                        StableLeaderConfig::default(),
+                    ))
+                })
+            }
+        }
+    }
+}
+
+/// Run one plan in the cached world for detector type `A`, building or
+/// resetting as needed (same world-reuse pattern as the other campaign
+/// executors: the cache key is the observation registry's identity, so
+/// toggling instrumentation never reuses a mismatched world).
+fn run_detector<A, F>(
+    slot: &mut Option<(World<A>, usize)>,
+    plan: &RunPlan,
+    interventions: &[(Time, Intervention)],
+    obs: Option<&fd_obs::Registry>,
+    mut make: F,
+) -> RunOutcome
+where
+    A: Actor,
+    F: FnMut(ProcessId, usize) -> A,
+{
+    let key = obs.map_or(0usize, |r| r as *const fd_obs::Registry as usize);
+    match &mut *slot {
+        Some((world, k)) if *k == key => {
+            world.reset(plan.net.clone(), plan.seed, &mut make);
+        }
+        s => {
+            let mut builder = WorldBuilder::new(plan.net.clone()).seed(plan.seed);
+            if let Some(registry) = obs {
+                builder = builder.observe(fd_sim::WorldObs::new(registry));
+            }
+            *s = Some((builder.build(&mut make), key));
+        }
+    }
+    let (world, _) = slot.as_mut().expect("world just ensured");
+    for &(pid, at) in &plan.crashes {
+        world.schedule_crash(pid, at);
+    }
+    for (at, iv) in interventions {
+        world.schedule_intervention(*at, iv.clone());
+    }
+    world.run_until_time(plan.horizon);
+    let n = world.n();
+    let (trace, metrics) = world.take_results();
+    RunOutcome {
+        trace,
+        n,
+        end: plan.horizon,
+        decision_latency: None,
+        messages: metrics.sent_total(),
+        events: metrics.events_processed(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generated_plans_are_pure_functions_of_the_seed() {
+        for seed in 0..50 {
+            let a = generate_plan(seed);
+            let b = generate_plan(seed);
+            assert_eq!(a, b);
+            a.validate().unwrap();
+            assert!(a.quiet_point().unwrap() < a.horizon);
+        }
+    }
+
+    #[test]
+    fn seed_layout_cycles_all_detectors() {
+        let kinds: Vec<DetectorKind> = (0..3).map(|s| generate_plan(s).detector).collect();
+        assert_eq!(kinds, DetectorKind::ALL.to_vec());
+    }
+
+    #[test]
+    fn every_generated_seed_upholds_its_class_after_faults() {
+        let sc = ChaosScenario::generated();
+        let monitors = sc.monitors();
+        for seed in 0..30 {
+            let plan = sc.plan(seed);
+            let outcome = sc.execute(&plan);
+            for m in &monitors {
+                m.check(&outcome).unwrap_or_else(|v| {
+                    panic!("seed {seed} ({:?}): {v}", generate_plan(seed).detector)
+                });
+            }
+            assert!(outcome.messages > 0, "seed {seed} moved no messages");
+        }
+    }
+
+    #[test]
+    fn reused_executor_matches_fresh_worlds() {
+        let sc = ChaosScenario::generated();
+        let mut ex = sc.make_executor();
+        for seed in 0..12 {
+            let plan = sc.plan(seed);
+            let reused = ex.execute(&plan, None);
+            let fresh = sc.execute(&plan);
+            assert_eq!(
+                reused.trace.digest(),
+                fresh.trace.digest(),
+                "trace diverged on seed {seed}"
+            );
+            assert_eq!(reused.events, fresh.events, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn fixed_plans_reject_invalid_input() {
+        let bad = ChaosPlan::new(1, DetectorKind::Ring, Time::from_secs(1));
+        assert!(ChaosScenario::fixed(bad).is_err());
+    }
+
+    #[test]
+    fn shrink_moves_drop_single_events_and_crash_restart_pairs() {
+        let chaos = ChaosPlan::new(4, DetectorKind::Heartbeat, Time::from_secs(5))
+            .push(Time::from_millis(100), ChaosKind::GstMarker)
+            .push(
+                Time::from_millis(200),
+                ChaosKind::Crash { pid: ProcessId(1) },
+            )
+            .push(
+                Time::from_millis(600),
+                ChaosKind::Restart { pid: ProcessId(1) },
+            );
+        let sc = ChaosScenario::fixed(chaos).unwrap();
+        let plan = sc.plan(0);
+        let moves = sc.shrink_plan(&plan);
+        assert_eq!(moves.len(), 3, "one candidate per event");
+        for (label, candidate) in &moves {
+            let shrunk = chaos_plan_of(candidate).unwrap();
+            shrunk
+                .validate()
+                .unwrap_or_else(|e| panic!("candidate {label:?} is invalid: {e}"));
+            if label.contains("crash") {
+                // The dependent restart went with it.
+                assert_eq!(shrunk.events.len(), 1);
+            } else {
+                assert_eq!(shrunk.events.len(), 2);
+            }
+        }
+    }
+}

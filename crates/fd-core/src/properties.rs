@@ -115,9 +115,30 @@ impl<'a> FdRun<'a> {
         self.trace.crashes()
     }
 
-    /// The set of crashed processes.
+    /// The set of processes that are crashed *at the horizon*.
+    ///
+    /// A crash is undone by a later `chaos.restart` intervention for the
+    /// same process (recorded in the trace as a [`fd_sim::chaos::RESTART`]
+    /// observation with a `Pid` payload): a restarted process is alive at
+    /// the horizon, so the "eventually" properties hold it to the same
+    /// standard as a never-crashed one. Traces without chaos
+    /// interventions behave exactly as before.
     pub fn crashed(&self) -> ProcessSet {
-        self.trace.crashes().iter().map(|(p, _)| *p).collect()
+        let mut set = ProcessSet::new();
+        // `crashes()` is in time order, so for a crash/restart/crash
+        // history the final insert/remove reflects the last transition.
+        for (p, at) in self.trace.crashes() {
+            let revived = self
+                .trace
+                .observations(fd_sim::chaos::RESTART)
+                .any(|(t, _, pl)| t >= at && pl.as_pid() == Some(p));
+            if revived {
+                set.remove(p);
+            } else {
+                set.insert(p);
+            }
+        }
+        set
     }
 
     /// The set of correct (never-crashed) processes.
@@ -381,6 +402,74 @@ impl<'a> FdRun<'a> {
         self.trusted_history(observer).len().saturating_sub(1)
     }
 
+    /// The run's *quiet point*: the time of the last chaos intervention
+    /// recorded in the trace, after which the network obeys its base
+    /// model again. `None` if the run had no interventions.
+    ///
+    /// The "there is a time after which …" clauses of the paper's
+    /// properties are only falsifiable on the post-quiet suffix: during
+    /// an open partition or an active mangler the adversary may legally
+    /// violate accuracy, so chaos-aware checks demand the horizon extend
+    /// strictly past this point.
+    pub fn chaos_quiet_point(&self) -> Option<Time> {
+        let mut last = None;
+        for tag in fd_sim::chaos::ALL_TAGS {
+            for (t, _, _) in self.trace.observations(tag) {
+                last = Some(last.map_or(t, |l: Time| l.max(t)));
+            }
+        }
+        last
+    }
+
+    /// The detector class this run advertises via a
+    /// [`fd_sim::chaos::EXPECT_CLASS`] annotation (a `U64` index into
+    /// [`FdClass::ALL`]), if any. Chaos scenarios stamp this at `t = 0`
+    /// so replay can re-check the right property without out-of-band
+    /// state.
+    pub fn expected_class(&self) -> Option<FdClass> {
+        self.trace
+            .observations(fd_sim::chaos::EXPECT_CLASS)
+            .filter_map(|(_, _, pl)| pl.as_u64())
+            .last()
+            .and_then(|i| FdClass::ALL.get(i as usize).copied())
+    }
+
+    /// Check class membership *relative to the fault schedule*: the run
+    /// must extend strictly past the last intervention (otherwise the
+    /// eventual clauses are vacuously untestable and the check fails
+    /// loudly rather than passing silently), and the final outputs must
+    /// satisfy the class on the post-quiet suffix.
+    pub fn check_class_after_faults(&self, class: FdClass) -> CheckResult {
+        if let Some(q) = self.chaos_quiet_point() {
+            if q >= self.end {
+                return Err(Violation::new(
+                    "chaos-quiet-runway",
+                    format!(
+                        "horizon {} does not extend past the last intervention at {q}; \
+                         the eventual properties were never observable",
+                        self.end
+                    ),
+                ));
+            }
+        }
+        self.check_class(class)
+    }
+
+    /// [`check_class_after_faults`](FdRun::check_class_after_faults)
+    /// against the class the trace itself advertises via
+    /// `chaos.expect_class`. Fails if the annotation is missing — a
+    /// chaos run that forgot to declare its detector class is a harness
+    /// bug, not a pass.
+    pub fn check_expected_class_after_faults(&self) -> CheckResult {
+        match self.expected_class() {
+            Some(class) => self.check_class_after_faults(class),
+            None => Err(Violation::new(
+                "chaos-expect-class",
+                "trace carries no chaos.expect_class annotation",
+            )),
+        }
+    }
+
     /// Check membership of the run's detector outputs in a class.
     pub fn check_class(&self, class: FdClass) -> CheckResult {
         match class {
@@ -547,6 +636,10 @@ pub const NAMED_CHECKS: &[&str] = &[
     "consensus.termination",
     "consensus.safety",
     "consensus.all",
+    "chaos.ep_after_faults",
+    "chaos.es_after_faults",
+    "chaos.omega_after_faults",
+    "chaos.class_after_faults",
 ];
 
 /// Run one trace check by its stable name (see [`NAMED_CHECKS`]).
@@ -569,6 +662,10 @@ pub fn run_named_check(name: &str, trace: &Trace, n: usize, end: Time) -> Option
         "consensus.termination" => cons.check_termination(),
         "consensus.safety" => cons.check_safety(),
         "consensus.all" => cons.check_all(),
+        "chaos.ep_after_faults" => fd.check_class_after_faults(FdClass::EventuallyPerfect),
+        "chaos.es_after_faults" => fd.check_class_after_faults(FdClass::EventuallyStrong),
+        "chaos.omega_after_faults" => fd.check_class_after_faults(FdClass::Omega),
+        "chaos.class_after_faults" => fd.check_expected_class_after_faults(),
         _ => return None,
     })
 }
@@ -761,6 +858,140 @@ mod tests {
     fn safety_subset_ignores_termination() {
         let tr = consensus_trace(&[(0, 9, 1)]);
         ConsensusRun::new(&tr, 3).check_safety().unwrap();
+    }
+}
+
+#[cfg(test)]
+mod chaos_tests {
+    use super::*;
+    use fd_sim::{chaos, Payload, TraceEvent, TraceKind};
+
+    fn obs_ev(at: u64, pid: usize, tag: &'static str, payload: Payload) -> TraceEvent {
+        TraceEvent {
+            at: Time(at),
+            kind: TraceKind::Observation {
+                pid: ProcessId(pid),
+                tag,
+                payload,
+            },
+        }
+    }
+    fn crash_ev(at: u64, pid: usize) -> TraceEvent {
+        TraceEvent {
+            at: Time(at),
+            kind: TraceKind::Crashed {
+                pid: ProcessId(pid),
+            },
+        }
+    }
+    fn pids(ids: &[usize]) -> Payload {
+        Payload::Pids(ids.iter().map(|&i| ProcessId(i)).collect())
+    }
+
+    #[test]
+    fn restart_revives_a_crashed_process() {
+        let tr = Trace::from_events(vec![
+            crash_ev(10, 1),
+            obs_ev(30, 0, chaos::RESTART, Payload::Pid(ProcessId(1))),
+            // Neither process suspects the other after the restart.
+            obs_ev(80, 0, obs::SUSPECTS, pids(&[])),
+            obs_ev(80, 1, obs::SUSPECTS, pids(&[])),
+        ]);
+        let run = FdRun::new(&tr, 2, Time(1000));
+        assert!(run.crashed().is_empty());
+        assert_eq!(run.correct().len(), 2);
+        // p1 is correct again, so nobody has to suspect it — ◇P holds.
+        run.check_class_after_faults(FdClass::EventuallyPerfect)
+            .unwrap();
+    }
+
+    #[test]
+    fn a_second_crash_after_restart_sticks() {
+        let tr = Trace::from_events(vec![
+            crash_ev(10, 1),
+            obs_ev(30, 0, chaos::RESTART, Payload::Pid(ProcessId(1))),
+            crash_ev(50, 1),
+            obs_ev(80, 0, obs::SUSPECTS, pids(&[1])),
+        ]);
+        let run = FdRun::new(&tr, 2, Time(1000));
+        assert_eq!(run.crashed(), ProcessSet::singleton(ProcessId(1)));
+        run.check_class_after_faults(FdClass::EventuallyPerfect)
+            .unwrap();
+    }
+
+    #[test]
+    fn quiet_point_is_the_last_intervention() {
+        let tr = Trace::from_events(vec![
+            obs_ev(10, 0, chaos::PARTITION, Payload::None),
+            obs_ev(40, 0, chaos::HEAL, Payload::None),
+            obs_ev(25, 0, chaos::GST, Payload::None),
+        ]);
+        let run = FdRun::new(&tr, 2, Time(1000));
+        assert_eq!(run.chaos_quiet_point(), Some(Time(40)));
+        assert_eq!(
+            FdRun::new(&Trace::from_events(vec![]), 2, Time(10)).chaos_quiet_point(),
+            None
+        );
+    }
+
+    #[test]
+    fn vacuous_horizon_fails_loudly() {
+        // The last intervention lands on the horizon itself: there is no
+        // post-quiet suffix, so the check must fail rather than pass.
+        let tr = Trace::from_events(vec![
+            obs_ev(0, 0, obs::SUSPECTS, pids(&[])),
+            obs_ev(100, 0, chaos::PARTITION, Payload::None),
+        ]);
+        let run = FdRun::new(&tr, 1, Time(100));
+        let err = run
+            .check_class_after_faults(FdClass::EventuallyPerfect)
+            .unwrap_err();
+        assert_eq!(err.property, "chaos-quiet-runway");
+    }
+
+    #[test]
+    fn expected_class_reads_the_annotation() {
+        let tr = Trace::from_events(vec![
+            obs_ev(0, 0, chaos::EXPECT_CLASS, Payload::U64(2)),
+            obs_ev(50, 0, obs::SUSPECTS, pids(&[])),
+            obs_ev(50, 1, obs::SUSPECTS, pids(&[])),
+        ]);
+        let run = FdRun::new(&tr, 2, Time(1000));
+        assert_eq!(run.expected_class(), Some(FdClass::ALL[2]));
+        run.check_expected_class_after_faults().unwrap();
+
+        let bare = Trace::from_events(vec![obs_ev(50, 0, obs::SUSPECTS, pids(&[]))]);
+        let err = FdRun::new(&bare, 1, Time(1000))
+            .check_expected_class_after_faults()
+            .unwrap_err();
+        assert_eq!(err.property, "chaos-expect-class");
+
+        let bogus = Trace::from_events(vec![obs_ev(0, 0, chaos::EXPECT_CLASS, Payload::U64(99))]);
+        assert_eq!(FdRun::new(&bogus, 1, Time(1000)).expected_class(), None);
+    }
+
+    #[test]
+    fn chaos_checks_are_named() {
+        let tr = Trace::from_events(vec![
+            obs_ev(0, 0, chaos::EXPECT_CLASS, Payload::U64(0)),
+            obs_ev(10, 0, chaos::PARTITION, Payload::None),
+            obs_ev(40, 0, chaos::HEAL, Payload::None),
+            obs_ev(80, 0, obs::SUSPECTS, pids(&[])),
+            obs_ev(80, 1, obs::SUSPECTS, pids(&[])),
+            obs_ev(80, 0, obs::TRUSTED, Payload::Pid(ProcessId(0))),
+            obs_ev(80, 1, obs::TRUSTED, Payload::Pid(ProcessId(0))),
+        ]);
+        for name in [
+            "chaos.ep_after_faults",
+            "chaos.es_after_faults",
+            "chaos.omega_after_faults",
+            "chaos.class_after_faults",
+        ] {
+            assert!(NAMED_CHECKS.contains(&name));
+            run_named_check(name, &tr, 2, Time(1000))
+                .expect("known name")
+                .unwrap();
+        }
     }
 }
 

@@ -139,10 +139,9 @@ impl RingDetector {
 
     fn poll_target<N: SimMessage>(&mut self, ctx: &mut SubCtx<'_, '_, N, RingMsg>) {
         let target = self.monitored_predecessor();
-        if target == self.me {
-            return;
+        if target != self.me {
+            ctx.send(target, RingMsg::Poll);
         }
-        ctx.send(target, RingMsg::Poll);
         // Reintegration retry: also poll the suspected processes this
         // detector skipped over on its way back to `target`. A falsely
         // suspected process proves itself alive by answering, but any
@@ -151,6 +150,15 @@ impl RingDetector {
         // suspicion in place forever and ◇-accuracy fails. Crash-free
         // steady state has an empty skipped segment, so the paper's
         // 2n-messages-per-period cost is unchanged.
+        //
+        // When `target == me` the detector suspects *every* other
+        // process (e.g. it just sat out a total partition); the skipped
+        // segment is then everyone, and polling them is the only way
+        // out — only a Reply revokes a suspicion, and Replies only
+        // answer Polls. Bailing out here instead deadlocks the view
+        // permanently, and worse, the wedged list then recirculates to
+        // downstream adopters. Found by the chaos campaign (see
+        // fd-chaos CATALOG.md, "minority partition" entry).
         for q in self.between(target).iter() {
             ctx.send(q, RingMsg::Poll);
         }
@@ -405,6 +413,77 @@ mod tests {
         FdRun::new(&trace, n, end)
             .check_class(FdClass::EventuallyPerfect)
             .unwrap();
+    }
+
+    /// Regression for the total-isolation deadlock found by the chaos
+    /// campaign: a process cut off from everyone comes to suspect the
+    /// whole ring, at which point `monitored_predecessor() == me`. If
+    /// the poller bails out in that state it sends no Polls, receives
+    /// no Replies, and can never revoke a suspicion again — its wedged
+    /// list then recirculates via `adopt_list` to its downstream
+    /// monitor, which re-suspects correct processes forever.
+    #[test]
+    fn total_isolation_heals_after_partition() {
+        use fd_sim::chaos::{self, Intervention, NetChange};
+        let n = 4;
+        let isolated = ProcessId(3);
+        let net = NetworkConfig::new(n).with_default(LinkModel::reliable_uniform(
+            SimDuration::from_millis(1),
+            SimDuration::from_millis(3),
+        ));
+        let cut: Vec<_> = (0..n)
+            .filter(|&p| p != isolated.index())
+            .flat_map(|p| {
+                [
+                    (ProcessId(p), isolated, LinkModel::Dead),
+                    (isolated, ProcessId(p), LinkModel::Dead),
+                ]
+            })
+            .collect();
+        let heal: Vec<_> = cut
+            .iter()
+            .map(|&(a, b, _)| {
+                (
+                    a,
+                    b,
+                    LinkModel::reliable_uniform(
+                        SimDuration::from_millis(1),
+                        SimDuration::from_millis(3),
+                    ),
+                )
+            })
+            .collect();
+        let mut w = WorldBuilder::new(net)
+            .seed(27)
+            .build(|pid, n| Standalone(RingDetector::new(pid, n, RingConfig::default())));
+        w.schedule_intervention(
+            Time::from_millis(200),
+            Intervention {
+                tag: chaos::PARTITION,
+                payload: fd_sim::Payload::None,
+                change: NetChange::SetLinks(cut),
+            },
+        );
+        w.schedule_intervention(
+            Time::from_millis(600),
+            Intervention {
+                tag: chaos::HEAL,
+                payload: fd_sim::Payload::None,
+                change: NetChange::SetLinks(heal),
+            },
+        );
+        let end = Time::from_secs(4);
+        w.run_until_time(end);
+        let (trace, _) = w.into_results();
+        let run = FdRun::new(&trace, n, end);
+        run.check_class(FdClass::EventuallyPerfect).unwrap();
+        for p in 0..n {
+            assert!(
+                run.final_suspects(ProcessId(p)).is_empty(),
+                "p{p} still suspects {:?} long after the heal",
+                run.final_suspects(ProcessId(p))
+            );
+        }
     }
 
     /// Regression for the post-GST reintegration liveness bug: a false

@@ -91,7 +91,13 @@ pub fn rule_by_id(id: &str) -> Option<&'static Rule> {
 
 /// The crates whose non-test code runs inside a deterministic `World`
 /// and therefore must not observe unordered iteration.
-const DET_CRATES: &[&str] = &["fd-sim", "fd-consensus", "fd-detectors", "fd-broadcast"];
+const DET_CRATES: &[&str] = &[
+    "fd-sim",
+    "fd-consensus",
+    "fd-detectors",
+    "fd-broadcast",
+    "fd-chaos",
+];
 
 /// Crates allowed to read the wall clock: the observability layer owns
 /// it, the real-time runtime bridges simulated time to it by design, and
@@ -109,6 +115,12 @@ const HOT_PATH_FILES: &[&str] = &["crates/fd-sim/src/world.rs", "crates/fd-sim/s
 
 /// Crates whose public API surface the docs rule covers.
 const DOCS_CRATES: &[&str] = &["fd-core", "fd-sim"];
+
+/// Files where UH003 escalates from warn to deny: every public knob in
+/// the link and topology modules is an adversary knob of the chaos
+/// layer, so its doc line is part of the fault-injection contract
+/// (`crates/fd-chaos/CATALOG.md`), not just API hygiene.
+const UH003_DENY_FILES: &[&str] = &["crates/fd-sim/src/link.rs", "crates/fd-sim/src/topology.rs"];
 
 /// Methods that observe a container's iteration order.
 const ITER_METHODS: &[&str] = &[
@@ -573,7 +585,7 @@ fn uh003(ctx: &FileCtx<'_>, rule: &'static Rule, out: &mut Vec<Finding>) {
         if ctx.doc_lines.contains(&head_line(ctx, i)) {
             continue;
         }
-        out.push(ctx.finding(
+        let mut f = ctx.finding(
             rule,
             i,
             format!(
@@ -585,7 +597,15 @@ fn uh003(ctx: &FileCtx<'_>, rule: &'static Rule, out: &mut Vec<Finding>) {
                 },
                 ctx.crate_name
             ),
-        ));
+        );
+        if UH003_DENY_FILES.contains(&ctx.rel_path) {
+            f.severity = Severity::Deny;
+            f.message.push_str(
+                " (deny in this file: link/topology knobs are the chaos layer's \
+                 documented adversary surface)",
+            );
+        }
+        out.push(f);
     }
 }
 

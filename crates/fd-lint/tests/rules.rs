@@ -193,6 +193,33 @@ fn uh003_quiet_when_documented_or_outside_docs_crates() {
     assert!(hits(&lint("crates/fd-campaign/src/demo.rs", bare), "UH003").is_empty());
 }
 
+#[test]
+fn uh003_escalates_to_deny_on_the_adversary_surface_files() {
+    let bare = "pub fn f() {}\n";
+    for file in ["crates/fd-sim/src/link.rs", "crates/fd-sim/src/topology.rs"] {
+        let f = lint(file, bare);
+        let h = hits(&f, "UH003");
+        assert_eq!(h.len(), 1, "{file}");
+        assert_eq!(h[0].severity, Severity::Deny, "{file}");
+        assert!(h[0].message.contains("adversary surface"), "{file}");
+    }
+    // Elsewhere in fd-sim the rule stays a warning.
+    assert_eq!(
+        hits(&lint(SIM_FILE, bare), "UH003")[0].severity,
+        Severity::Warn
+    );
+}
+
+#[test]
+fn nd001_covers_the_chaos_crate() {
+    let src = "use std::collections::HashMap;\n\
+               fn f(m: HashMap<u32, u32>) -> Vec<u32> { m.keys().copied().collect() }\n";
+    assert_eq!(
+        hits(&lint("crates/fd-chaos/src/demo.rs", src), "ND001").len(),
+        1
+    );
+}
+
 // ---------------------------------------------------------- suppressions
 
 #[test]

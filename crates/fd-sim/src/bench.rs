@@ -65,6 +65,7 @@ pub fn queue_churn(imp: QueueImpl, events: u64) -> u64 {
                     pid: ProcessId((r % 7) as usize),
                     id: crate::actor::TimerId(pushed),
                     tag: TimerTag::new(0, 0, pushed),
+                    epoch: 0,
                 },
             );
             pushed += 1;

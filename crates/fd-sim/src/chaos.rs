@@ -1,0 +1,115 @@
+//! Scheduled fault injection: kernel-side interventions.
+//!
+//! An [`Intervention`] is a timed mutation of the world's *environment*
+//! — the network configuration, the message mangler, or a process's
+//! crash state — dispatched through the ordinary event queue, so it
+//! obeys the same strict `(time, sequence)` ordering as every message
+//! and timer and preserves byte-identical replay. Each intervention also
+//! records a trace [`Observation`](crate::trace::TraceKind::Observation)
+//! with its `tag` and `payload`, which makes the fault schedule part of
+//! the trace itself: digests cover it, [`Timeline`](crate::Timeline)
+//! renders it as band annotations, and the `fd-core` chaos checkers
+//! derive the post-fault "quiet point" from it without a side channel.
+//!
+//! The declarative plan layer (crate `fd-chaos`) compiles serializable
+//! `ChaosPlan`s down to these interventions; this module is deliberately
+//! minimal — just the state changes the kernel can apply and the shared
+//! tag vocabulary.
+
+use crate::link::{LinkMangler, LinkModel};
+use crate::process::ProcessId;
+use crate::trace::Payload;
+
+/// Trace tag of an intervention that cuts one or more links. The kernel
+/// increments its active-partition count (and the `chaos.partitions_active`
+/// gauge, when instrumented) whenever an intervention carries this tag.
+pub const PARTITION: &str = "chaos.partition";
+/// Trace tag of an intervention that restores previously cut links; the
+/// kernel decrements its active-partition count on this tag.
+pub const HEAL: &str = "chaos.heal";
+/// Trace tag of an intervention installing a [`LinkMangler`].
+pub const MANGLE: &str = "chaos.mangle";
+/// Trace tag of an intervention removing the installed [`LinkMangler`].
+pub const UNMANGLE: &str = "chaos.unmangle";
+/// Trace tag marking the (scenario-chosen) global stabilization time.
+/// Chaos checkers treat it as part of the fault schedule: liveness is
+/// only demanded after the last chaos tag in the trace.
+pub const GST: &str = "chaos.gst";
+/// Trace tag of a scheduled crash intervention (the `Crashed` trace
+/// event is still recorded; this annotation attributes it to the plan).
+pub const CRASH: &str = "chaos.crash";
+/// Trace tag of a warm restart of a previously crashed process.
+pub const RESTART: &str = "chaos.restart";
+/// Trace tag announcing which detector class the run's scenario expects
+/// its checker to uphold (payload: index into `fd-core`'s class list).
+pub const EXPECT_CLASS: &str = "chaos.expect_class";
+
+/// Every tag this module defines, for tooling that filters chaos bands.
+pub const ALL_TAGS: [&str; 8] = [
+    PARTITION,
+    HEAL,
+    MANGLE,
+    UNMANGLE,
+    GST,
+    CRASH,
+    RESTART,
+    EXPECT_CLASS,
+];
+
+/// The state change an [`Intervention`] applies when it fires.
+#[derive(Debug, Clone, PartialEq)]
+pub enum NetChange {
+    /// No state change — the intervention only annotates the trace
+    /// (e.g. a GST marker or an expected-class declaration).
+    Annotate,
+    /// Set the model of each listed directed link. One variant covers
+    /// both cuts (every triple maps to [`LinkModel::Dead`]) and heals
+    /// (every triple restores its pre-cut model), so a whole partition
+    /// is one atomic intervention event.
+    SetLinks(Vec<(ProcessId, ProcessId, LinkModel)>),
+    /// Replace the network's default link model (links without explicit
+    /// overrides), e.g. to move every link into its post-GST regime.
+    SetDefault(LinkModel),
+    /// Install (`Some`) or remove (`None`) the global message mangler.
+    SetMangler(Option<LinkMangler>),
+    /// Crash a process — equivalent to
+    /// [`World::schedule_crash`](crate::World::schedule_crash), but
+    /// attributable to the fault plan via the intervention's tag.
+    Crash(ProcessId),
+    /// Warm-restart a crashed process: clear its crashed flag, advance
+    /// its timer epoch (pending pre-crash timers die silently), and
+    /// re-run `on_start`. The actor keeps its in-memory state and its
+    /// RNG stream — a recovery, not a rebirth. A no-op if the process
+    /// has not crashed.
+    Restart(ProcessId),
+}
+
+/// A timed mutation of the world's environment plus its trace footprint.
+///
+/// Schedule with [`World::schedule_intervention`](crate::World::schedule_intervention);
+/// when the event fires the kernel records
+/// `Observation { pid: p0, tag, payload }` (harness observations are
+/// attributed to process 0, like [`World::annotate`](crate::World::annotate))
+/// and then applies `change`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Intervention {
+    /// Trace tag recorded when the intervention fires — normally one of
+    /// this module's constants, so downstream tooling recognizes it.
+    pub tag: &'static str,
+    /// Structured payload recorded with the tag (e.g. the affected
+    /// processes of a partition).
+    pub payload: Payload,
+    /// The state change to apply.
+    pub change: NetChange,
+}
+
+impl Intervention {
+    /// An annotation-only intervention (no state change).
+    pub fn annotate(tag: &'static str, payload: Payload) -> Intervention {
+        Intervention {
+            tag,
+            payload,
+            change: NetChange::Annotate,
+        }
+    }
+}

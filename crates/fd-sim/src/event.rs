@@ -68,14 +68,22 @@ pub(crate) enum EventKind<M> {
         to: ProcessId,
         msg: MsgSlot<M>,
     },
-    /// Fire timer `id` with `tag` at `pid`.
+    /// Fire timer `id` with `tag` at `pid` — but only if the process is
+    /// still in the timer's `epoch`. A warm restart advances the
+    /// process's epoch, so timer chains armed before a crash die
+    /// silently instead of resurrecting alongside the restarted actor.
     Timer {
         pid: ProcessId,
         id: TimerId,
         tag: TimerTag,
+        epoch: u32,
     },
     /// Crash `pid` (crash-stop).
     Crash { pid: ProcessId },
+    /// Apply a scheduled fault-injection intervention (see
+    /// [`crate::chaos`]). Boxed: interventions are rare and can carry
+    /// link-model vectors, so they should not widen the hot variants.
+    Intervention(Box<crate::chaos::Intervention>),
 }
 
 /// One scheduled event: its due time, a tie-breaking sequence number

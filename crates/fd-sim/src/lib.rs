@@ -51,6 +51,7 @@
 
 pub mod actor;
 pub mod bench;
+pub mod chaos;
 pub mod event;
 pub mod link;
 pub mod metrics;
@@ -63,8 +64,9 @@ pub mod trace;
 pub mod world;
 
 pub use actor::{expand_sends, Action, Actor, Context, SimMessage, TimerId, TimerTag};
+pub use chaos::{Intervention, NetChange};
 pub use event::QueueImpl;
-pub use link::{DelayDist, LinkModel};
+pub use link::{DelayDist, LinkMangler, LinkModel};
 pub use metrics::Metrics;
 pub use process::{all_processes, ProcessId};
 pub use time::{SimDuration, Time};

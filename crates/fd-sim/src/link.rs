@@ -326,6 +326,53 @@ impl Default for LinkModel {
     }
 }
 
+/// Link-layer message mangling, applied on top of every non-loopback
+/// link's base model while installed (see
+/// [`NetChange::SetMangler`](crate::chaos::NetChange::SetMangler)).
+///
+/// A mangler models a misbehaving network layer rather than a link
+/// *regime*: the base [`LinkModel`] first decides whether and when a
+/// message would arrive, and the mangler then perturbs that verdict —
+/// dropping the message outright, skewing its delivery time (bounded
+/// reordering: a skewed message can overtake or be overtaken by its
+/// neighbours within `skew`), or duplicating it. All randomness is drawn
+/// from the network RNG stream in a fixed order (drop, then reorder,
+/// then duplicate), so runs remain byte-identical for a given seed and
+/// schedule. Loopback sends (`from == to`) are never mangled — protocol
+/// components rely on self-delivery for internal scheduling.
+///
+/// Probabilities are clamped to `[0, 1]` at draw time; a probability of
+/// zero skips its RNG draw entirely.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LinkMangler {
+    /// Per-message drop probability (in addition to base-model loss).
+    pub drop: f64,
+    /// Probability of enqueueing a second delivery of the message.
+    pub duplicate: f64,
+    /// Probability of skewing the delivery time by up to `skew`.
+    pub reorder: f64,
+    /// Largest extra delay a reorder or duplicate offset can add; draws
+    /// are uniform in `[1, skew]` ticks (a zero `skew` acts as one tick).
+    pub skew: SimDuration,
+}
+
+impl LinkMangler {
+    /// A mangler that perturbs nothing (all probabilities zero).
+    pub fn noop() -> LinkMangler {
+        LinkMangler {
+            drop: 0.0,
+            duplicate: 0.0,
+            reorder: 0.0,
+            skew: SimDuration(1),
+        }
+    }
+
+    /// Whether this mangler can ever alter a delivery.
+    pub fn is_noop(&self) -> bool {
+        self.drop <= 0.0 && self.duplicate <= 0.0 && self.reorder <= 0.0
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -84,6 +84,9 @@ pub struct Metrics {
     delivered_total: u64,
     dropped_total: u64,
     events_processed: u64,
+    mangled_dropped: u64,
+    duplicated: u64,
+    reordered: u64,
     /// `(kind, count)`, insertion-ordered; a run sees few distinct kinds.
     sent_by_kind: Vec<(&'static str, u64)>,
     sent_by_kind_round: HashMap<(&'static str, u64), u64, FxBuildHasher>,
@@ -124,6 +127,19 @@ impl Metrics {
         self.events_processed += 1;
     }
 
+    pub(crate) fn record_mangled_dropped(&mut self) {
+        self.dropped_total += 1;
+        self.mangled_dropped += 1;
+    }
+
+    pub(crate) fn record_duplicated(&mut self) {
+        self.duplicated += 1;
+    }
+
+    pub(crate) fn record_reordered(&mut self) {
+        self.reordered += 1;
+    }
+
     /// Total messages sent.
     pub fn sent_total(&self) -> u64 {
         self.sent_total
@@ -142,6 +158,22 @@ impl Metrics {
     /// Total kernel events processed.
     pub fn events_processed(&self) -> u64 {
         self.events_processed
+    }
+
+    /// Messages dropped by the installed message mangler (a subset of
+    /// [`dropped_total`](Metrics::dropped_total)).
+    pub fn mangled_dropped_total(&self) -> u64 {
+        self.mangled_dropped
+    }
+
+    /// Extra deliveries enqueued by the mangler's duplication.
+    pub fn duplicated_total(&self) -> u64 {
+        self.duplicated
+    }
+
+    /// Deliveries whose arrival time the mangler skewed.
+    pub fn reordered_total(&self) -> u64 {
+        self.reordered
     }
 
     /// Messages sent with the given kind label.

@@ -118,13 +118,28 @@ impl<'a> Timeline<'a> {
             let stamp = || format!("[{:>10.3}ms]", ev.at.ticks() as f64 / 1000.0);
             match &ev.kind {
                 TraceKind::Observation { pid, tag, payload } => {
-                    if !self.wants_process(*pid) {
-                        continue;
-                    }
                     if let Some(tags) = &self.tags {
                         if !tags.contains(tag) {
                             continue;
                         }
+                    }
+                    // Chaos interventions (partition cuts, heals, GST
+                    // markers, …) are environment-wide bands, not
+                    // per-process output: they render as full-width
+                    // annotations and ignore the process filter (the
+                    // `p0` attribution is a harness artifact).
+                    if tag.starts_with("chaos.") {
+                        let p = Self::fmt_payload(payload);
+                        let body = if p.is_empty() {
+                            (*tag).to_string()
+                        } else {
+                            format!("{tag} {p}")
+                        };
+                        let _ = writeln!(out, "{} ══ {body} ══", stamp());
+                        continue;
+                    }
+                    if !self.wants_process(*pid) {
+                        continue;
                     }
                     let _ = writeln!(
                         out,
@@ -319,6 +334,72 @@ mod tests {
         let out = Timeline::new(&tr).only_tags(&["nope"]).render();
         assert!(!out.contains("fd.trusted"));
         assert!(out.contains("crashed"), "crashes are not tag-filtered");
+    }
+
+    /// A two-cut chaos plan renders partition and heal bands in order,
+    /// and the bands survive a process filter that would hide ordinary
+    /// `p0` observations (the attribution pid is a harness artifact).
+    #[test]
+    fn chaos_bands_render_for_a_two_cut_plan() {
+        let tr = Trace::from_events(vec![
+            TraceEvent {
+                at: Time::from_millis(10),
+                kind: TraceKind::Observation {
+                    pid: ProcessId(0),
+                    tag: "chaos.partition",
+                    payload: Payload::pids([ProcessId(0), ProcessId(1)]),
+                },
+            },
+            TraceEvent {
+                at: Time::from_millis(20),
+                kind: TraceKind::Observation {
+                    pid: ProcessId(0),
+                    tag: "chaos.heal",
+                    payload: Payload::pids([ProcessId(0), ProcessId(1)]),
+                },
+            },
+            TraceEvent {
+                at: Time::from_millis(30),
+                kind: TraceKind::Observation {
+                    pid: ProcessId(0),
+                    tag: "chaos.partition",
+                    payload: Payload::pids([ProcessId(2), ProcessId(3)]),
+                },
+            },
+            TraceEvent {
+                at: Time::from_millis(40),
+                kind: TraceKind::Observation {
+                    pid: ProcessId(0),
+                    tag: "chaos.heal",
+                    payload: Payload::pids([ProcessId(2), ProcessId(3)]),
+                },
+            },
+            TraceEvent {
+                at: Time::from_millis(45),
+                kind: TraceKind::Observation {
+                    pid: ProcessId(0),
+                    tag: "chaos.gst",
+                    payload: Payload::None,
+                },
+            },
+        ]);
+        let out = Timeline::new(&tr).render();
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 5, "{out}");
+        assert!(lines[0].contains("══ chaos.partition {p0,p1} ══"), "{out}");
+        assert!(lines[1].contains("══ chaos.heal {p0,p1} ══"), "{out}");
+        assert!(lines[2].contains("══ chaos.partition {p2,p3} ══"), "{out}");
+        assert!(lines[3].contains("══ chaos.heal {p2,p3} ══"), "{out}");
+        assert!(
+            lines[4].contains("══ chaos.gst ══"),
+            "empty payload renders without a gap: {out}"
+        );
+        // Bands are environment-wide: a filter to p9 keeps them.
+        let filtered = Timeline::new(&tr).only_processes(&[ProcessId(9)]).render();
+        assert_eq!(filtered.lines().count(), 5, "{filtered}");
+        // But an explicit tag filter still applies.
+        let tagged = Timeline::new(&tr).only_tags(&["chaos.gst"]).render();
+        assert_eq!(tagged.lines().count(), 1, "{tagged}");
     }
 
     #[test]

@@ -90,6 +90,36 @@ impl NetworkConfig {
             .with_default(LinkModel::eventually_timely(gst, bound, pre_max, pre_drop))
     }
 
+    /// Replace the default link model in place — the mutating twin of
+    /// [`NetworkConfig::with_default`], used by scheduled interventions
+    /// (see [`crate::chaos`]) that change the whole network's regime
+    /// mid-run (e.g. a movable GST sweep). Existing per-link overrides
+    /// are untouched.
+    pub fn set_default(&mut self, model: LinkModel) {
+        self.default = model;
+    }
+
+    /// Override one directed link in place — the mutating twin of
+    /// [`NetworkConfig::with_link`], used by scheduled interventions to
+    /// cut (`LinkModel::Dead`) or heal (restore the original model) a
+    /// link while a run is executing. Panics if either endpoint is out
+    /// of range.
+    pub fn set_link(&mut self, from: ProcessId, to: ProcessId, model: LinkModel) {
+        assert!(
+            from.index() < self.n && to.index() < self.n,
+            "link endpoints out of range"
+        );
+        self.overrides.insert((from, to), model);
+    }
+
+    /// Remove the override on one directed link, restoring it to the
+    /// default model. A no-op if the link has no override. Used by heal
+    /// interventions when the original configuration had no per-link
+    /// override to restore.
+    pub fn clear_link(&mut self, from: ProcessId, to: ProcessId) {
+        self.overrides.remove(&(from, to));
+    }
+
     /// The model governing the directed link `from → to`.
     #[inline]
     pub fn link(&self, from: ProcessId, to: ProcessId) -> &LinkModel {

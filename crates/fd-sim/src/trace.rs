@@ -79,6 +79,9 @@ pub enum DropReason {
     Link,
     /// The destination had crashed by delivery time.
     ReceiverCrashed,
+    /// An installed [`LinkMangler`](crate::link::LinkMangler) dropped it
+    /// on top of the base link model's verdict.
+    Mangled,
 }
 
 /// One event in a run trace.
@@ -291,6 +294,7 @@ impl Trace {
                     h.u64(match reason {
                         DropReason::Link => 0,
                         DropReason::ReceiverCrashed => 1,
+                        DropReason::Mangled => 2,
                     });
                 }
                 TraceKind::Crashed { pid } => {

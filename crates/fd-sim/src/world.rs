@@ -9,7 +9,9 @@
 //! (crashes are permanent, no recovery).
 
 use crate::actor::{Action, Actor, Context, SimMessage};
+use crate::chaos::{self, Intervention, NetChange};
 use crate::event::{EventKind, EventQueue, MsgSlot, QueueImpl, QueuedEvent};
+use crate::link::LinkMangler;
 use crate::metrics::Metrics;
 use crate::process::ProcessId;
 use crate::rng::{derive_network_rng, derive_process_rng};
@@ -17,6 +19,7 @@ use crate::time::Time;
 use crate::topology::NetworkConfig;
 use crate::trace::{DropReason, Payload, Trace, TraceKind};
 use rand::rngs::SmallRng;
+use rand::Rng;
 use std::collections::HashSet;
 use std::rc::Rc;
 use std::sync::Arc;
@@ -26,6 +29,11 @@ struct Slot<A> {
     actor: A,
     rng: SmallRng,
     crashed: bool,
+    /// Timer-validity epoch: timers armed in epoch `e` fire only while
+    /// the slot is still in epoch `e`. A warm restart (see
+    /// [`crate::chaos::NetChange::Restart`]) advances the epoch so
+    /// pre-crash timer chains cannot resurrect.
+    epoch: u32,
 }
 
 /// Pre-resolved instrumentation handles for the kernel loop.
@@ -62,6 +70,16 @@ pub struct WorldObs {
     /// only touched when this rises, so the steady-state per-event cost
     /// is a comparison, not an atomic RMW.
     local_hwm: std::cell::Cell<u64>,
+    /// `chaos.msgs_dropped`: messages dropped by the installed mangler.
+    chaos_dropped: Arc<fd_obs::Counter>,
+    /// `chaos.msgs_duplicated`: extra deliveries enqueued by the mangler.
+    chaos_duplicated: Arc<fd_obs::Counter>,
+    /// `chaos.msgs_reordered`: deliveries whose time the mangler skewed.
+    chaos_reordered: Arc<fd_obs::Counter>,
+    /// `chaos.partitions_active`: high-water mark of concurrently open
+    /// partitions (interventions tagged [`crate::chaos::PARTITION`] open
+    /// one; [`crate::chaos::HEAL`] closes one).
+    partitions_active: Arc<fd_obs::Gauge>,
 }
 
 /// Every how-many-th callback `sim.callback_ns` times (a power of two).
@@ -77,6 +95,10 @@ impl WorldObs {
             callback_ns: registry.histogram("sim.callback_ns"),
             callback_tick: std::cell::Cell::new(0),
             local_hwm: std::cell::Cell::new(0),
+            chaos_dropped: registry.counter("chaos.msgs_dropped"),
+            chaos_duplicated: registry.counter("chaos.msgs_duplicated"),
+            chaos_reordered: registry.counter("chaos.msgs_reordered"),
+            partitions_active: registry.gauge("chaos.partitions_active"),
         }
     }
 
@@ -108,6 +130,10 @@ impl Clone for WorldObs {
             callback_ns: Arc::clone(&self.callback_ns),
             callback_tick: std::cell::Cell::new(0),
             local_hwm: std::cell::Cell::new(0),
+            chaos_dropped: Arc::clone(&self.chaos_dropped),
+            chaos_duplicated: Arc::clone(&self.chaos_duplicated),
+            chaos_reordered: Arc::clone(&self.chaos_reordered),
+            partitions_active: Arc::clone(&self.partitions_active),
         }
     }
 }
@@ -202,6 +228,7 @@ impl WorldBuilder {
                 actor: make(ProcessId(i), n),
                 rng: derive_process_rng(self.seed, i),
                 crashed: false,
+                epoch: 0,
             })
             .collect();
         let mut world = World {
@@ -221,6 +248,8 @@ impl WorldBuilder {
             started: false,
             scratch: Vec::new(),
             trace_hwm: 0,
+            mangler: None,
+            partitions_open: 0,
         };
         for (pid, at) in self.crashes {
             world.queue.push(at, EventKind::Crash { pid });
@@ -249,6 +278,14 @@ pub struct World<A: Actor> {
     /// Largest trace length seen across resets — the reserve hint that
     /// turns per-seed trace growth into one up-front arena allocation.
     trace_hwm: usize,
+    /// The installed message mangler, if any (see
+    /// [`crate::chaos::NetChange::SetMangler`]). Applied in `route` on
+    /// top of each non-loopback link's base verdict.
+    mangler: Option<LinkMangler>,
+    /// Partitions currently open, counted by intervention tags
+    /// ([`chaos::PARTITION`] opens, [`chaos::HEAL`] closes); feeds the
+    /// `chaos.partitions_active` gauge when instrumented.
+    partitions_open: u64,
 }
 
 impl<A: Actor> World<A> {
@@ -295,6 +332,31 @@ impl<A: Actor> World<A> {
     pub fn schedule_crash(&mut self, pid: ProcessId, at: Time) {
         assert!(at >= self.now, "cannot schedule a crash in the past");
         self.queue.push(at, EventKind::Crash { pid });
+    }
+
+    /// Schedule a fault-injection [`Intervention`] to fire at `at`. The
+    /// intervention flows through the ordinary event queue (strict
+    /// `(time, sequence)` order, byte-identical replay) and records an
+    /// observation with its tag and payload when it fires — the fault
+    /// schedule is part of the trace, not a side channel.
+    pub fn schedule_intervention(&mut self, at: Time, intervention: Intervention) {
+        assert!(
+            at >= self.now,
+            "cannot schedule an intervention in the past"
+        );
+        if let NetChange::SetLinks(links) = &intervention.change {
+            for (from, to, _) in links {
+                assert!(
+                    from.index() < self.n && to.index() < self.n,
+                    "intervention link endpoints out of range"
+                );
+            }
+        }
+        if let NetChange::Crash(pid) | NetChange::Restart(pid) = intervention.change {
+            assert!(pid.index() < self.n, "intervention target out of range");
+        }
+        self.queue
+            .push(at, EventKind::Intervention(Box::new(intervention)));
     }
 
     /// Interact with a live actor outside of message/timer dispatch —
@@ -383,7 +445,73 @@ impl<A: Actor> World<A> {
             .link(from, to)
             .deliver_at(self.now, &mut self.net_rng)
         {
-            Some(at) => {
+            Some(mut at) => {
+                // The mangler perturbs the base model's verdict. RNG
+                // draws happen in a fixed order (drop, reorder,
+                // duplicate) and only for non-zero probabilities, so a
+                // given plan+seed always consumes the same stream.
+                // Loopback is exempt: self-delivery is internal
+                // scheduling, not a network hop.
+                if let (Some(m), false) = (self.mangler, from == to) {
+                    if m.drop > 0.0 && self.net_rng.gen_bool(m.drop.clamp(0.0, 1.0)) {
+                        self.metrics.record_mangled_dropped();
+                        if let Some(obs) = &self.obs {
+                            obs.chaos_dropped.inc();
+                        }
+                        if self.record_trace {
+                            self.trace.push(
+                                self.now,
+                                TraceKind::Dropped {
+                                    from,
+                                    to,
+                                    kind,
+                                    reason: DropReason::Mangled,
+                                },
+                            );
+                        }
+                        return;
+                    }
+                    let skew = m.skew.0.max(1);
+                    if m.reorder > 0.0 && self.net_rng.gen_bool(m.reorder.clamp(0.0, 1.0)) {
+                        at += crate::time::SimDuration(self.net_rng.gen_range(1..=skew));
+                        self.metrics.record_reordered();
+                        if let Some(obs) = &self.obs {
+                            obs.chaos_reordered.inc();
+                        }
+                    }
+                    if m.duplicate > 0.0 && self.net_rng.gen_bool(m.duplicate.clamp(0.0, 1.0)) {
+                        let dup_at =
+                            at + crate::time::SimDuration(self.net_rng.gen_range(1..=skew));
+                        self.metrics.record_duplicated();
+                        if let Some(obs) = &self.obs {
+                            obs.chaos_duplicated.inc();
+                        }
+                        // Both copies share one allocation; the original
+                        // is enqueued first so equal delivery instants
+                        // keep the original ahead of its duplicate.
+                        let rc = match msg {
+                            MsgSlot::Inline(m) => Rc::new(m),
+                            MsgSlot::Shared(rc) => rc,
+                        };
+                        self.queue.push(
+                            at,
+                            EventKind::Deliver {
+                                from,
+                                to,
+                                msg: MsgSlot::Shared(Rc::clone(&rc)),
+                            },
+                        );
+                        self.queue.push(
+                            dup_at,
+                            EventKind::Deliver {
+                                from,
+                                to,
+                                msg: MsgSlot::Shared(rc),
+                            },
+                        );
+                        return;
+                    }
+                }
                 // Enforce strict causality: delivery strictly after
                 // the send instant in queue order is already
                 // guaranteed by the sequence number; a zero sampled
@@ -431,8 +559,16 @@ impl<A: Actor> World<A> {
                 }
             }
             Action::SetTimer { id, after, tag } => {
-                self.queue
-                    .push(self.now + after, EventKind::Timer { pid: from, id, tag });
+                let epoch = self.actors[from.index()].epoch;
+                self.queue.push(
+                    self.now + after,
+                    EventKind::Timer {
+                        pid: from,
+                        id,
+                        tag,
+                        epoch,
+                    },
+                );
             }
             Action::CancelTimer { id } => {
                 self.cancelled.insert(id.0);
@@ -495,19 +631,76 @@ impl<A: Actor> World<A> {
                 }
                 self.dispatch(to, |actor, ctx| actor.on_message(ctx, from, msg.take()));
             }
-            EventKind::Timer { pid, id, tag } => {
-                if self.cancelled.remove(&id.0) || self.actors[pid.index()].crashed {
+            EventKind::Timer {
+                pid,
+                id,
+                tag,
+                epoch,
+            } => {
+                let slot = &self.actors[pid.index()];
+                if self.cancelled.remove(&id.0) || slot.crashed || slot.epoch != epoch {
                     return;
                 }
                 self.dispatch(pid, |actor, ctx| actor.on_timer(ctx, tag));
             }
-            EventKind::Crash { pid } => {
+            EventKind::Crash { pid } => self.crash_now(pid),
+            EventKind::Intervention(iv) => self.apply_intervention(*iv),
+        }
+    }
+
+    /// Mark `pid` crashed (idempotent) and record the trace event.
+    fn crash_now(&mut self, pid: ProcessId) {
+        let slot = &mut self.actors[pid.index()];
+        if !slot.crashed {
+            slot.crashed = true;
+            if self.record_trace {
+                self.trace.push(self.now, TraceKind::Crashed { pid });
+            }
+        }
+    }
+
+    /// Apply a fired intervention: record its trace annotation, keep the
+    /// partition gauge honest, then mutate the environment.
+    fn apply_intervention(&mut self, iv: Intervention) {
+        let Intervention {
+            tag,
+            payload,
+            change,
+        } = iv;
+        if self.record_trace {
+            self.trace.push(
+                self.now,
+                TraceKind::Observation {
+                    pid: ProcessId(0),
+                    tag,
+                    payload,
+                },
+            );
+        }
+        if tag == chaos::PARTITION {
+            self.partitions_open += 1;
+            if let Some(obs) = &self.obs {
+                obs.partitions_active.record_max(self.partitions_open);
+            }
+        } else if tag == chaos::HEAL {
+            self.partitions_open = self.partitions_open.saturating_sub(1);
+        }
+        match change {
+            NetChange::Annotate => {}
+            NetChange::SetLinks(links) => {
+                for (from, to, model) in links {
+                    self.net.set_link(from, to, model);
+                }
+            }
+            NetChange::SetDefault(model) => self.net.set_default(model),
+            NetChange::SetMangler(m) => self.mangler = m,
+            NetChange::Crash(pid) => self.crash_now(pid),
+            NetChange::Restart(pid) => {
                 let slot = &mut self.actors[pid.index()];
-                if !slot.crashed {
-                    slot.crashed = true;
-                    if self.record_trace {
-                        self.trace.push(self.now, TraceKind::Crashed { pid });
-                    }
+                if slot.crashed {
+                    slot.crashed = false;
+                    slot.epoch += 1;
+                    self.dispatch(pid, |actor, ctx| actor.on_start(ctx));
                 }
             }
         }
@@ -587,7 +780,10 @@ impl<A: Actor> World<A> {
     /// runs after a reset are byte-identical to runs in a fresh world.
     ///
     /// Crashes are not carried over; schedule them with
-    /// [`schedule_crash`](World::schedule_crash) after the reset.
+    /// [`schedule_crash`](World::schedule_crash) after the reset. The
+    /// same goes for fault injection: pending interventions die with the
+    /// queue, the installed mangler (if any) is removed, and the
+    /// partition count returns to zero.
     pub fn reset<F>(&mut self, net: NetworkConfig, seed: u64, mut make: F)
     where
         F: FnMut(ProcessId, usize) -> A,
@@ -603,11 +799,14 @@ impl<A: Actor> World<A> {
             actor: make(ProcessId(i), n),
             rng: derive_process_rng(seed, i),
             crashed: false,
+            epoch: 0,
         }));
         self.net = net;
         self.net_rng = derive_network_rng(seed);
         self.cancelled.clear();
         self.next_timer_id = 0;
+        self.mangler = None;
+        self.partitions_open = 0;
         self.trace
             .reset_with_capacity(if self.record_trace { self.trace_hwm } else { 0 });
         self.metrics = Metrics::default();
@@ -876,6 +1075,313 @@ mod tests {
         w.run_until_time(Time::from_millis(50));
         assert!(w.trace().is_empty());
         assert!(w.metrics().sent_total() > 0, "metrics stay on");
+    }
+}
+
+#[cfg(test)]
+mod chaos_tests {
+    use super::*;
+    use crate::actor::TimerTag;
+    use crate::link::{LinkMangler, LinkModel};
+    use crate::time::SimDuration;
+
+    /// Heartbeat-ish actor: every 2 ms each process sends `Beat` to its
+    /// successor and counts what it receives. `on_start` re-arms the
+    /// timer chain, so a warm restart resumes beating.
+    struct Beater {
+        seen: u64,
+        starts: u64,
+    }
+
+    #[derive(Clone, Debug)]
+    struct Beat;
+    impl SimMessage for Beat {
+        fn kind(&self) -> &'static str {
+            "beat"
+        }
+    }
+
+    const T_BEAT: TimerTag = TimerTag::new(0, 0, 0);
+
+    impl Actor for Beater {
+        type Msg = Beat;
+        fn on_start(&mut self, ctx: &mut Context<'_, Beat>) {
+            self.starts += 1;
+            ctx.set_timer(SimDuration::from_millis(2), T_BEAT);
+        }
+        fn on_message(&mut self, _ctx: &mut Context<'_, Beat>, _from: ProcessId, _m: Beat) {
+            self.seen += 1;
+        }
+        fn on_timer(&mut self, ctx: &mut Context<'_, Beat>, _tag: TimerTag) {
+            let next = ctx.me().successor(ctx.n());
+            ctx.send(next, Beat);
+            ctx.set_timer(SimDuration::from_millis(2), T_BEAT);
+        }
+    }
+
+    fn beat_world(seed: u64) -> World<Beater> {
+        let net = NetworkConfig::new(2)
+            .with_default(LinkModel::reliable_const(SimDuration::from_millis(1)));
+        WorldBuilder::new(net)
+            .seed(seed)
+            .build(|_, _| Beater { seen: 0, starts: 0 })
+    }
+
+    fn cut_both() -> crate::chaos::Intervention {
+        crate::chaos::Intervention {
+            tag: crate::chaos::PARTITION,
+            payload: Payload::pids([ProcessId(0), ProcessId(1)]),
+            change: crate::chaos::NetChange::SetLinks(vec![
+                (ProcessId(0), ProcessId(1), LinkModel::Dead),
+                (ProcessId(1), ProcessId(0), LinkModel::Dead),
+            ]),
+        }
+    }
+
+    #[test]
+    fn partition_cut_drops_and_heal_restores() {
+        let mut w = beat_world(7);
+        w.schedule_intervention(Time::from_millis(10), cut_both());
+        let heal = crate::chaos::Intervention {
+            tag: crate::chaos::HEAL,
+            payload: Payload::pids([ProcessId(0), ProcessId(1)]),
+            change: crate::chaos::NetChange::SetLinks(vec![
+                (
+                    ProcessId(0),
+                    ProcessId(1),
+                    LinkModel::reliable_const(SimDuration::from_millis(1)),
+                ),
+                (
+                    ProcessId(1),
+                    ProcessId(0),
+                    LinkModel::reliable_const(SimDuration::from_millis(1)),
+                ),
+            ]),
+        };
+        w.schedule_intervention(Time::from_millis(30), heal);
+        w.run_until_time(Time::from_millis(60));
+        // During [10, 30) every beat is dropped at the link.
+        let dropped = w.metrics().dropped_total();
+        assert!(dropped >= 8, "cut window should drop ~10 beats: {dropped}");
+        // After the heal, beats flow again: the last delivery is late.
+        let last_delivery = w
+            .trace()
+            .events()
+            .iter()
+            .rev()
+            .find(|e| matches!(e.kind, TraceKind::Delivered { .. }))
+            .expect("deliveries resume")
+            .at;
+        assert!(last_delivery > Time::from_millis(30), "{last_delivery}");
+        // The fault schedule is in the trace.
+        assert_eq!(w.trace().observations(chaos::PARTITION).count(), 1);
+        assert_eq!(w.trace().observations(chaos::HEAL).count(), 1);
+    }
+
+    #[test]
+    fn interventions_replay_byte_identically() {
+        let run = || {
+            let mut w = beat_world(11);
+            w.schedule_intervention(Time::from_millis(5), cut_both());
+            w.schedule_intervention(
+                Time::from_millis(12),
+                crate::chaos::Intervention {
+                    tag: crate::chaos::MANGLE,
+                    payload: Payload::None,
+                    change: crate::chaos::NetChange::SetMangler(Some(LinkMangler {
+                        drop: 0.2,
+                        duplicate: 0.3,
+                        reorder: 0.4,
+                        skew: SimDuration::from_millis(3),
+                    })),
+                },
+            );
+            w.run_until_time(Time::from_millis(80));
+            w.trace().digest()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn restart_revives_a_crashed_process_without_stale_timers() {
+        let mut w = beat_world(3);
+        w.schedule_crash(ProcessId(1), Time::from_millis(10));
+        w.schedule_intervention(
+            Time::from_millis(30),
+            crate::chaos::Intervention {
+                tag: crate::chaos::RESTART,
+                payload: Payload::Pid(ProcessId(1)),
+                change: crate::chaos::NetChange::Restart(ProcessId(1)),
+            },
+        );
+        w.run_until_time(Time::from_millis(60));
+        assert!(!w.is_crashed(ProcessId(1)));
+        assert_eq!(w.actor(ProcessId(1)).starts, 2, "on_start ran again");
+        // p0 saw beats before the crash and after the restart, with a
+        // silent gap in between; the beat cadence stays one per 2 ms
+        // (stale pre-crash timers must not double the rate).
+        let p1_sends = w.metrics().sent_by(ProcessId(1));
+        // ~5 beats before the 10ms crash, ~15 after the 30ms restart.
+        assert!(
+            (15..=23).contains(&p1_sends),
+            "epoch guard should keep the cadence: {p1_sends}"
+        );
+        assert_eq!(w.trace().observations(chaos::RESTART).count(), 1);
+        // The Crashed event is still in the trace — restart-awareness is
+        // the checkers' job, not the kernel's.
+        assert_eq!(w.trace().crashes().len(), 1);
+    }
+
+    #[test]
+    fn restart_of_a_live_process_is_a_noop() {
+        let mut w = beat_world(4);
+        w.schedule_intervention(
+            Time::from_millis(10),
+            crate::chaos::Intervention {
+                tag: crate::chaos::RESTART,
+                payload: Payload::Pid(ProcessId(0)),
+                change: crate::chaos::NetChange::Restart(ProcessId(0)),
+            },
+        );
+        w.run_until_time(Time::from_millis(30));
+        assert_eq!(w.actor(ProcessId(0)).starts, 1, "no spurious re-start");
+    }
+
+    #[test]
+    fn mangler_duplicates_and_drops_deterministically() {
+        let run = |mangle: bool| {
+            let mut w = beat_world(9);
+            if mangle {
+                w.schedule_intervention(
+                    Time::ZERO,
+                    crate::chaos::Intervention {
+                        tag: crate::chaos::MANGLE,
+                        payload: Payload::None,
+                        change: crate::chaos::NetChange::SetMangler(Some(LinkMangler {
+                            drop: 0.25,
+                            duplicate: 0.25,
+                            reorder: 0.25,
+                            skew: SimDuration::from_millis(2),
+                        })),
+                    },
+                );
+            }
+            w.run_until_time(Time::from_millis(100));
+            w
+        };
+        let mangled = run(true);
+        assert!(mangled.metrics().mangled_dropped_total() > 0);
+        assert!(mangled.metrics().duplicated_total() > 0);
+        assert!(mangled.metrics().reordered_total() > 0);
+        // Duplicates surface as extra Delivered events: deliveries plus
+        // drops exceed sends (exactly by duplicated minus the handful of
+        // messages still in flight at the horizon).
+        assert!(
+            mangled.metrics().delivered_total() + mangled.metrics().dropped_total()
+                > mangled.metrics().sent_total(),
+            "delivered {} + dropped {} vs sent {}",
+            mangled.metrics().delivered_total(),
+            mangled.metrics().dropped_total(),
+            mangled.metrics().sent_total(),
+        );
+        let baseline = run(false);
+        assert_eq!(baseline.metrics().mangled_dropped_total(), 0);
+        assert_ne!(baseline.trace().digest(), mangled.trace().digest());
+    }
+
+    #[test]
+    fn unmangle_stops_the_perturbation() {
+        let mut w = beat_world(13);
+        w.schedule_intervention(
+            Time::ZERO,
+            crate::chaos::Intervention {
+                tag: crate::chaos::MANGLE,
+                payload: Payload::None,
+                change: crate::chaos::NetChange::SetMangler(Some(LinkMangler {
+                    drop: 0.5,
+                    duplicate: 0.0,
+                    reorder: 0.0,
+                    skew: SimDuration(1),
+                })),
+            },
+        );
+        w.schedule_intervention(
+            Time::from_millis(20),
+            crate::chaos::Intervention {
+                tag: crate::chaos::UNMANGLE,
+                payload: Payload::None,
+                change: crate::chaos::NetChange::SetMangler(None),
+            },
+        );
+        w.run_until_time(Time::from_millis(40));
+        let dropped_at_20 = w.metrics().mangled_dropped_total();
+        assert!(dropped_at_20 > 0);
+        w.run_until_time(Time::from_millis(100));
+        assert_eq!(
+            w.metrics().mangled_dropped_total(),
+            dropped_at_20,
+            "no mangled drops after the unmangle"
+        );
+    }
+
+    #[test]
+    fn reset_clears_chaos_state() {
+        let net = || {
+            NetworkConfig::new(2)
+                .with_default(LinkModel::reliable_const(SimDuration::from_millis(1)))
+        };
+        let mut w = beat_world(21);
+        w.schedule_intervention(
+            Time::ZERO,
+            crate::chaos::Intervention {
+                tag: crate::chaos::MANGLE,
+                payload: Payload::None,
+                change: crate::chaos::NetChange::SetMangler(Some(LinkMangler {
+                    drop: 0.9,
+                    duplicate: 0.0,
+                    reorder: 0.0,
+                    skew: SimDuration(1),
+                })),
+            },
+        );
+        w.run_until_time(Time::from_millis(30));
+        assert!(w.metrics().mangled_dropped_total() > 0);
+        w.take_results();
+        w.reset(net(), 21, |_, _| Beater { seen: 0, starts: 0 });
+        w.run_until_time(Time::from_millis(30));
+        assert_eq!(
+            w.metrics().mangled_dropped_total(),
+            0,
+            "reset must uninstall the mangler"
+        );
+        // And the reset run matches a fresh unmangled world byte for byte.
+        let mut fresh = beat_world(21);
+        fresh.run_until_time(Time::from_millis(30));
+        assert_eq!(w.trace().digest(), fresh.trace().digest());
+    }
+
+    /// The partitions gauge tracks the high-water mark of open cuts.
+    #[test]
+    fn partition_gauge_records_high_water_mark() {
+        let registry = fd_obs::Registry::new();
+        let net = NetworkConfig::new(3)
+            .with_default(LinkModel::reliable_const(SimDuration::from_millis(1)));
+        let mut w = WorldBuilder::new(net)
+            .observe(WorldObs::new(&registry))
+            .build(|_, _| Beater { seen: 0, starts: 0 });
+        for (at, tag) in [
+            (5, chaos::PARTITION),
+            (10, chaos::PARTITION),
+            (15, chaos::HEAL),
+            (20, chaos::HEAL),
+        ] {
+            w.schedule_intervention(
+                Time::from_millis(at),
+                Intervention::annotate(tag, Payload::None),
+            );
+        }
+        w.run_until_time(Time::from_millis(30));
+        assert_eq!(registry.gauge("chaos.partitions_active").get(), 2);
     }
 }
 

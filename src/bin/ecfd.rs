@@ -39,6 +39,7 @@ USAGE:
   ecfd log       [--n N] [--commands K] [--seed S] [--crash P@MS ...]
   ecfd campaign  --scenario NAME [--seeds A..B] [--jobs N] [--artifact-dir DIR]
                  [--metrics-out FILE]
+  ecfd campaign  --plan FILE [--seeds A..B] [--jobs N] [--artifact-dir DIR]
   ecfd campaign  --replay FILE [--shrink] [--metrics-out FILE]
   ecfd bench-kernel [--seeds N] [--out FILE] [--micro-out FILE]
                  [--check BASELINE] [--threshold PCT]
@@ -62,7 +63,9 @@ OPTIONS:
   --timeline        print the chronological observation timeline
 
 CAMPAIGN OPTIONS:
-  --scenario NAME   campaign scenario (e8, blind)
+  --scenario NAME   campaign scenario (e8, chaos, blind)
+  --plan FILE       run a fixed chaos plan (JSON, see crates/fd-chaos/CATALOG.md)
+                    for every seed; implies --scenario chaos
   --seeds A..B      seed range to sweep, half-open (default 0..100)
   --jobs N          worker threads (default: all cores)
   --artifact-dir D  where failing seeds write repro JSON (default target/campaign)
@@ -111,6 +114,7 @@ struct Args {
     jobs: usize,
     artifact_dir: String,
     replay: Option<String>,
+    plan: Option<String>,
     shrink: bool,
     metrics_out: Option<String>,
 }
@@ -169,6 +173,7 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
             }
             "--artifact-dir" => a.artifact_dir = take()?.clone(),
             "--replay" => a.replay = Some(take()?.clone()),
+            "--plan" => a.plan = Some(take()?.clone()),
             "--shrink" => a.shrink = true,
             "--metrics-out" => a.metrics_out = Some(take()?.clone()),
             "--crash" => {
@@ -469,19 +474,39 @@ fn cmd_campaign(a: &Args) -> Result<(), String> {
         };
     }
 
-    if a.scenario.is_empty() {
-        return Err(format!(
-            "--scenario is required (known: {})",
-            scenario_names().join(", ")
-        ));
-    }
-    let scenario = scenario_by_name(&a.scenario).ok_or_else(|| {
-        format!(
-            "unknown scenario {:?} (known: {})",
-            a.scenario,
-            scenario_names().join(", ")
-        )
-    })?;
+    let scenario: Box<dyn fd_campaign::Scenario> = if let Some(path) = &a.plan {
+        if !a.scenario.is_empty() && a.scenario != fd_chaos::CHAOS {
+            return Err(format!(
+                "--plan runs the chaos scenario; it cannot combine with --scenario {:?}",
+                a.scenario
+            ));
+        }
+        let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+        let plan: fd_chaos::ChaosPlan =
+            serde_json::from_str(&text).map_err(|e| format!("{path}: not a chaos plan: {e}"))?;
+        println!(
+            "fixed chaos plan {path}: n={} detector={:?} horizon={} events={}",
+            plan.n,
+            plan.detector,
+            plan.horizon,
+            plan.events.len()
+        );
+        Box::new(fd_chaos::ChaosScenario::fixed(plan).map_err(|e| format!("{path}: {e}"))?)
+    } else {
+        if a.scenario.is_empty() {
+            return Err(format!(
+                "--scenario is required (known: {})",
+                scenario_names().join(", ")
+            ));
+        }
+        scenario_by_name(&a.scenario).ok_or_else(|| {
+            format!(
+                "unknown scenario {:?} (known: {})",
+                a.scenario,
+                scenario_names().join(", ")
+            )
+        })?
+    };
     let registry = fd_obs::Registry::new();
     let mut campaign = fd_campaign::Campaign::new(scenario.as_ref(), a.seeds.0..a.seeds.1)
         .jobs(a.jobs)
