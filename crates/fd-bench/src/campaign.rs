@@ -263,13 +263,14 @@ pub fn scenario_by_name(name: &str) -> Option<Box<dyn Scenario>> {
     match name {
         E8 => Some(Box::new(E8Scenario)),
         fd_chaos::CHAOS => Some(Box::new(fd_chaos::ChaosScenario::generated())),
+        fd_kv::KV => Some(Box::new(fd_kv::KvScenario::generated())),
         _ => fd_campaign::builtin_scenario(name),
     }
 }
 
 /// Every scenario name [`scenario_by_name`] resolves.
 pub fn scenario_names() -> Vec<&'static str> {
-    let mut names = vec![E8, fd_chaos::CHAOS];
+    let mut names = vec![E8, fd_chaos::CHAOS, fd_kv::KV];
     names.extend(fd_campaign::builtin_names());
     names
 }
@@ -308,8 +309,9 @@ mod tests {
     fn registry_resolves_experiment_and_builtin_names() {
         assert!(scenario_by_name("e8").is_some());
         assert!(scenario_by_name("chaos").is_some());
+        assert!(scenario_by_name("kv").is_some());
         assert!(scenario_by_name("blind").is_some());
         assert!(scenario_by_name("nope").is_none());
-        assert_eq!(scenario_names(), vec!["e8", "chaos", "blind"]);
+        assert_eq!(scenario_names(), vec!["e8", "chaos", "kv", "blind"]);
     }
 }

@@ -57,6 +57,8 @@ pub struct Stats {
     pub p50: u64,
     /// 99th percentile (nearest-rank).
     pub p99: u64,
+    /// 99.9th percentile (nearest-rank, per-mille resolution).
+    pub p999: u64,
     /// Largest sample.
     pub max: u64,
 }
@@ -74,14 +76,17 @@ impl Stats {
         // samples is the one at rank ceil(p/100 · n), 1-based. The
         // previous `(count - 1) * p / 100` truncated the rank, which
         // underestimated high percentiles on small sample sets (for
-        // n = 2 it returned the *minimum* as p99).
-        let pct = |p: usize| samples[(p * count).div_ceil(100).max(1) - 1];
+        // n = 2 it returned the *minimum* as p99). Ranks are computed
+        // per-mille so p99.9 is exact rather than rounded through a
+        // percent grid.
+        let pml = |p: usize| samples[(p * count).div_ceil(1000).max(1) - 1];
         Some(Stats {
             count,
             min: samples[0],
             mean: sum as f64 / count as f64,
-            p50: pct(50),
-            p99: pct(99),
+            p50: pml(500),
+            p99: pml(990),
+            p999: pml(999),
             max: samples[count - 1],
         })
     }
@@ -201,8 +206,8 @@ impl CampaignReport {
         let _ = writeln!(out, "  passed {} / failed {}", self.passed(), self.failed());
         let fmt_stats = |label: &str, s: Stats, unit: &str| {
             format!(
-                "  {label}: min {} mean {:.1} p50 {} p99 {} max {} {unit} ({} runs)",
-                s.min, s.mean, s.p50, s.p99, s.max, s.count
+                "  {label}: min {} mean {:.1} p50 {} p99 {} p99.9 {} max {} {unit} ({} runs)",
+                s.min, s.mean, s.p50, s.p99, s.p999, s.max, s.count
             )
         };
         if let Some(s) = self.latency_stats() {
@@ -434,6 +439,8 @@ mod tests {
         assert_eq!(s.max, 100);
         assert_eq!(s.p50, 50);
         assert_eq!(s.p99, 99);
+        // rank(p99.9) = ceil(0.999 * 100) = 100 → the maximum.
+        assert_eq!(s.p999, 100);
         assert!((s.mean - 50.5).abs() < 1e-9);
         assert_eq!(Stats::from_samples(Vec::new()), None);
     }
@@ -445,17 +452,45 @@ mod tests {
     #[test]
     fn stats_tiny_sample_sets_use_nearest_rank() {
         let s = Stats::from_samples(vec![7]).unwrap();
-        assert_eq!((s.min, s.p50, s.p99, s.max), (7, 7, 7, 7));
+        assert_eq!((s.min, s.p50, s.p99, s.p999, s.max), (7, 7, 7, 7, 7));
 
         let s = Stats::from_samples(vec![10, 20]).unwrap();
         // rank(p50) = ceil(0.50 * 2) = 1 → 10; rank(p99) = ceil(1.98) = 2 → 20.
         assert_eq!(s.p50, 10);
         assert_eq!(s.p99, 20, "p99 of two samples is the larger one");
+        assert_eq!(s.p999, 20, "p99.9 of two samples is the larger one");
 
         let s = Stats::from_samples((1..=99).collect()).unwrap();
         // rank(p50) = ceil(49.5) = 50; rank(p99) = ceil(98.01) = 99.
         assert_eq!(s.p50, 50);
         assert_eq!(s.p99, 99, "p99 of 99 samples is the maximum");
+        assert_eq!(s.p999, 99, "p99.9 of 99 samples is the maximum");
+    }
+
+    /// p99.9 at the sample counts the issue calls out: n ∈ {1, 2, 10,
+    /// 1000}. Only at n = 1000 does the 99.9th percentile separate from
+    /// the maximum's neighborhood — rank ceil(0.999 · 1000) = 999.
+    #[test]
+    fn stats_p999_nearest_rank_at_documented_sizes() {
+        let s = Stats::from_samples(vec![42]).unwrap();
+        assert_eq!((s.p50, s.p99, s.p999), (42, 42, 42), "n = 1");
+
+        let s = Stats::from_samples(vec![3, 9]).unwrap();
+        // rank(p99.9) = ceil(0.999 * 2) = 2 → 9.
+        assert_eq!(s.p999, 9, "n = 2");
+
+        let s = Stats::from_samples((1..=10).collect()).unwrap();
+        // rank(p50) = 5, rank(p99) = ceil(9.9) = 10, rank(p99.9) = 10.
+        assert_eq!((s.p50, s.p99, s.p999), (5, 10, 10), "n = 10");
+
+        let s = Stats::from_samples((1..=1000).rev().collect()).unwrap();
+        // rank(p50) = 500, rank(p99) = 990, rank(p99.9) = 999: the three
+        // percentiles are distinct order statistics at this size.
+        assert_eq!(
+            (s.p50, s.p99, s.p999, s.max),
+            (500, 990, 999, 1000),
+            "n = 1000"
+        );
     }
 
     #[test]

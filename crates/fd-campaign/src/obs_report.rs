@@ -153,11 +153,12 @@ pub fn render_metrics(rows: &[Value]) -> Result<String, String> {
         if let Some(s) = Stats::from_samples(walls) {
             let _ = writeln!(
                 out,
-                "  seed wall: min {:.3} mean {:.3} p50 {:.3} p99 {:.3} max {:.3} ms ({} seeds)",
+                "  seed wall: min {:.3} mean {:.3} p50 {:.3} p99 {:.3} p99.9 {:.3} max {:.3} ms ({} seeds)",
                 ms(s.min),
                 s.mean / 1e6,
                 ms(s.p50),
                 ms(s.p99),
+                ms(s.p999),
                 ms(s.max),
                 s.count,
             );

@@ -166,6 +166,29 @@ impl ChaosPlan {
         self.events.iter().map(|e| e.at).max()
     }
 
+    /// Every `(pid, crash time, restart time)` crash/restart pair, in
+    /// restart order — the processes that exercise recovery. A crash
+    /// with no later restart is not listed (the process stays down).
+    /// Recovery-aware monitors (the `fd-kv` catch-up gate) use this to
+    /// know exactly which processes must re-sync, and when.
+    pub fn restarted(&self) -> Vec<(ProcessId, Time, Time)> {
+        let mut down: Vec<(ProcessId, Time)> = Vec::new();
+        let mut out = Vec::new();
+        for ev in self.sorted_events() {
+            match ev.kind {
+                ChaosKind::Crash { pid } => down.push((pid, ev.at)),
+                ChaosKind::Restart { pid } => {
+                    if let Some(i) = down.iter().position(|&(p, _)| p == pid) {
+                        let (_, crashed_at) = down.remove(i);
+                        out.push((pid, crashed_at, ev.at));
+                    }
+                }
+                _ => {}
+            }
+        }
+        out
+    }
+
     /// The plan's events ordered by `(at, original index)` — the exact
     /// order compilation schedules them in.
     pub fn sorted_events(&self) -> Vec<&ChaosEvent> {
@@ -409,6 +432,20 @@ mod tests {
             let err = plan.validate().unwrap_err();
             assert!(err.contains(needle), "{err:?} should mention {needle:?}");
         }
+    }
+
+    #[test]
+    fn restarted_lists_crash_restart_pairs_only() {
+        let plan = base()
+            .push(Time(10), ChaosKind::Crash { pid: ProcessId(1) })
+            .push(Time(50), ChaosKind::Restart { pid: ProcessId(1) })
+            .push(Time(60), ChaosKind::Crash { pid: ProcessId(2) }); // never restarts
+        assert_eq!(
+            plan.restarted(),
+            vec![(ProcessId(1), Time(10), Time(50))],
+            "only the pid that actually comes back is listed"
+        );
+        assert!(base().restarted().is_empty());
     }
 
     #[test]

@@ -31,7 +31,7 @@
 use crate::api::{majority, ConsensusConfig, DecidePayload, Estimate, ProtocolStep, RoundProtocol};
 use fd_core::{obs, FdOutput, SubCtx};
 use fd_sim::{Payload, ProcessId, SimMessage};
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::BTreeMap;
 
 /// Wire messages of the ◇C consensus.
 #[derive(Debug, Clone)]
@@ -124,10 +124,6 @@ pub struct EcConsensus {
     prop_value: Option<u64>,
     /// Phase 4 replies: `true` = ack.
     ack_replies: BTreeMap<ProcessId, bool>,
-    /// Task 1 dedup: (coordinator, round) pairs already answered null.
-    answered_null: BTreeSet<(ProcessId, u64)>,
-    /// Task 2 dedup: (coordinator, round) pairs already nacked.
-    nacked: BTreeSet<(ProcessId, u64)>,
     decision: Option<DecidePayload>,
     /// How many rounds this process has *started* (instrumentation).
     rounds_started: u64,
@@ -147,8 +143,6 @@ impl EcConsensus {
             est_replies: BTreeMap::new(),
             prop_value: None,
             ack_replies: BTreeMap::new(),
-            answered_null: BTreeSet::new(),
-            nacked: BTreeSet::new(),
             decision: None,
             rounds_started: 0,
         }
@@ -176,16 +170,6 @@ impl EcConsensus {
         self.est_replies.clear();
         self.ack_replies.clear();
         self.prop_value = None;
-        // Bound the Task-1/2 dedup memory: entries far behind the current
-        // round can be dropped — a duplicate null-estimate or nack to a
-        // very late coordinator is harmless (reply bookkeeping at the
-        // receiver is per-process idempotent), while the sets would
-        // otherwise grow with every pre-stabilization churn round.
-        if round > 64 {
-            let floor = round - 64;
-            self.answered_null.retain(|(_, r)| *r >= floor);
-            self.nacked.retain(|(_, r)| *r >= floor);
-        }
         self.try_become_coordinator(ctx, fd)
     }
 
@@ -290,6 +274,63 @@ impl EcConsensus {
         }
     }
 
+    /// Re-send this process's outstanding message of the current phase
+    /// to every peer whose reply is still missing.
+    ///
+    /// The round protocol assumes reliable channels (the paper's model);
+    /// under message loss or partitions a single lost message wedges a
+    /// round forever — the wait clauses block on an alive, unsuspected
+    /// process that will never answer, and nothing in Fig. 4 re-sends.
+    /// A host running over a lossy transport calls this periodically for
+    /// stalled instances. Every re-sent message is a byte-identical
+    /// duplicate of one already sent this round, and every receiver path
+    /// tolerates duplicates (per-process reply maps; Task 1/2 answers
+    /// are repeatable), so retransmission cannot affect safety — only
+    /// un-wedge liveness.
+    pub fn retransmit<N: SimMessage>(&mut self, ctx: &mut SubCtx<'_, '_, N, EcMsg>, fd: &FdOutput) {
+        let round = self.round;
+        match self.phase {
+            Phase::AwaitEstimates if self.coordinator == Some(self.me) => {
+                for q in (0..self.n).map(ProcessId) {
+                    if q != self.me
+                        && !self.est_replies.contains_key(&q)
+                        && !fd.suspected.contains(q)
+                    {
+                        ctx.send(q, EcMsg::Coordinator { round });
+                    }
+                }
+            }
+            Phase::AwaitAcks => {
+                let value = self.prop_value;
+                for q in (0..self.n).map(ProcessId) {
+                    if q != self.me
+                        && !self.ack_replies.contains_key(&q)
+                        && !fd.suspected.contains(q)
+                    {
+                        ctx.send(q, EcMsg::Proposition { round, value });
+                    }
+                }
+            }
+            Phase::AwaitProposition => {
+                // Our estimate may be the reply the coordinator is
+                // missing: offer it again.
+                if let Some(c) = self.coordinator {
+                    ctx.send(
+                        c,
+                        EcMsg::Estimate {
+                            round,
+                            est: Some(self.est),
+                        },
+                    );
+                }
+            }
+            // AwaitCoordinator re-evaluates on the poll timer; Idle and
+            // Done are purely message-driven. (AwaitEstimates with a
+            // coordinator other than us cannot happen, but falls here.)
+            _ => {}
+        }
+    }
+
     /// Adopt a non-null proposition (Phase 3 success path, also used for
     /// propositions from coordinators of later rounds).
     fn adopt_and_ack<N: SimMessage>(
@@ -346,14 +387,18 @@ impl RoundProtocol for EcConsensus {
             // suspect a correct process forever). Answer announcements
             // with null estimates and propositions with nacks — exactly
             // the Fig. 4 tasks — and let the rounds churn until we join.
+            // Duplicates (a coordinator retransmitting over lossy links)
+            // are answered again: the reply bookkeeping at the receiver
+            // is per-process idempotent, and a coordinator re-sends only
+            // because it believes our reply never arrived.
             match msg {
-                EcMsg::Coordinator { round } if self.answered_null.insert((from, round)) => {
+                EcMsg::Coordinator { round } => {
                     ctx.send(from, EcMsg::Estimate { round, est: None });
                 }
                 EcMsg::Proposition {
                     round,
                     value: Some(_),
-                } if self.nacked.insert((from, round)) => {
+                } => {
                     ctx.send(from, EcMsg::Nack { round });
                 }
                 _ => {}
@@ -397,10 +442,10 @@ impl RoundProtocol for EcConsensus {
                     ProtocolStep::none()
                 } else {
                     // Task 1: any other coordinator of the current or a
-                    // previous round gets a null estimate, once.
-                    if self.answered_null.insert((from, round)) {
-                        ctx.send(from, EcMsg::Estimate { round, est: None });
-                    }
+                    // previous round gets a null estimate (again, if it
+                    // retransmits — it only does so when our reply was
+                    // lost, and nulls never introduce values).
+                    ctx.send(from, EcMsg::Estimate { round, est: None });
                     ProtocolStep::none()
                 }
             }
@@ -440,10 +485,10 @@ impl RoundProtocol for EcConsensus {
                             // coordinator — the Phase 3 escape: adopt it.
                             self.adopt_and_ack(ctx, from, round, v, fd)
                         } else {
-                            // Task 2: late coordinator — nack, once.
-                            if self.nacked.insert((from, round)) {
-                                ctx.send(from, EcMsg::Nack { round });
-                            }
+                            // Task 2: late coordinator — nack (every
+                            // time it asks; a nack never causes a
+                            // decision, so duplicates are harmless).
+                            ctx.send(from, EcMsg::Nack { round });
                             ProtocolStep::none()
                         }
                     }

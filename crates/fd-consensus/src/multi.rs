@@ -36,7 +36,11 @@ pub const MULTI_NS_BASE: u32 = 0x1000_0000;
 /// Largest slot representable in the timer-namespace encoding.
 pub const MAX_SLOT: u64 = (u32::MAX - MULTI_NS_BASE) as u64;
 
-fn slot_ns(slot: u64) -> u32 {
+/// The timer namespace of log slot `slot` (`MULTI_NS_BASE + slot`).
+/// Public so hosts other than [`MultiNode`] — e.g. the `fd-kv` replica,
+/// which multiplexes the same per-slot instances next to its own sync
+/// protocol — route slot timers identically.
+pub fn slot_ns(slot: u64) -> u32 {
     assert!(
         slot <= MAX_SLOT,
         "log slot {slot} exceeds the namespace encoding (MAX_SLOT = {MAX_SLOT})"
@@ -87,6 +91,10 @@ pub struct MultiEc {
     log: BTreeMap<u64, DecidePayload>,
     /// Client commands waiting for a slot.
     pending: VecDeque<u64>,
+    /// First slot this node tracks. Slots below `base` were decided
+    /// before its horizon — learned wholesale via snapshot catch-up —
+    /// so it neither stores nor proposes in them.
+    base: u64,
 }
 
 impl MultiEc {
@@ -100,14 +108,15 @@ impl MultiEc {
             proposed: BTreeMap::new(),
             log: BTreeMap::new(),
             pending: VecDeque::new(),
+            base: 0,
         }
     }
 
-    /// The decided log so far: contiguous from slot 0 up to the first
-    /// undecided slot.
+    /// The decided log so far: contiguous from [`base`](MultiEc::base)
+    /// up to the first undecided slot.
     pub fn log(&self) -> Vec<(u64, u64)> {
         let mut out = Vec::new();
-        for slot in 0.. {
+        for slot in self.base.. {
             match self.log.get(&slot) {
                 Some((v, _)) => out.push((slot, *v)),
                 None => break,
@@ -126,16 +135,82 @@ impl MultiEc {
         self.pending.len()
     }
 
-    fn next_unproposed_slot(&self) -> u64 {
-        // Propose for the first slot we neither decided nor proposed in.
-        let mut slot = 0;
+    /// First slot this node tracks (0 unless raised by catch-up).
+    pub fn base(&self) -> u64 {
+        self.base
+    }
+
+    /// Raise the tracking base to `base` (never lowers it): every slot
+    /// below is treated as decided-elsewhere. A recovering replica calls
+    /// this with `applied + 1` after snapshot catch-up so it re-enters
+    /// the proposer rotation at the log frontier instead of re-opening
+    /// slots whose decisions it learned wholesale.
+    pub fn raise_base(&mut self, base: u64) {
+        if base > self.base {
+            self.base = base;
+        }
+    }
+
+    /// Queue a client command for the next free slot.
+    pub fn push_pending(&mut self, command: u64) {
+        assert_ne!(command, NOOP, "NOOP is reserved");
+        self.pending.push_back(command);
+    }
+
+    /// Take the head-of-queue command, if any.
+    pub fn pop_pending(&mut self) -> Option<u64> {
+        self.pending.pop_front()
+    }
+
+    /// Put a command back at the *head* of the queue — the re-queue path
+    /// for a command that lost its slot to another replica's.
+    pub fn requeue_front(&mut self, command: u64) {
+        self.pending.push_front(command);
+    }
+
+    /// Whether this node has proposed in `slot`, and with which command.
+    pub fn proposed_in(&self, slot: u64) -> Option<u64> {
+        self.proposed.get(&slot).copied()
+    }
+
+    /// Record that this node proposed `command` in `slot`.
+    pub fn mark_proposed(&mut self, slot: u64, command: u64) {
+        self.proposed.insert(slot, command);
+    }
+
+    /// Record the decision of `slot`. Returns `true` if it is news
+    /// (not below [`base`](MultiEc::base), not already recorded) — the
+    /// caller appends to its application log exactly when this is true,
+    /// which makes duplicate `SlotDecide` deliveries idempotent.
+    pub fn record_decision(&mut self, slot: u64, value: u64, round: u64) -> bool {
+        if slot < self.base || self.log.contains_key(&slot) {
+            return false;
+        }
+        self.log.insert(slot, (value, round));
+        true
+    }
+
+    /// The first slot at or above [`base`](MultiEc::base) with no
+    /// recorded decision — the log frontier.
+    pub fn first_undecided(&self) -> u64 {
+        let mut slot = self.base;
+        while self.log.contains_key(&slot) {
+            slot += 1;
+        }
+        slot
+    }
+
+    /// The first slot this node neither decided nor proposed in.
+    pub fn next_unproposed_slot(&self) -> u64 {
+        let mut slot = self.base;
         while self.log.contains_key(&slot) || self.proposed.contains_key(&slot) {
             slot += 1;
         }
         slot
     }
 
-    fn instance(&mut self, slot: u64) -> &mut EcConsensus {
+    /// The consensus instance of `slot`, created on first touch.
+    pub fn instance(&mut self, slot: u64) -> &mut EcConsensus {
         let me = self.me;
         let n = self.n;
         let cfg = self.cfg.clone();
@@ -217,8 +292,7 @@ where
     /// re-queued, so every submitted command is eventually decided
     /// (at-least-once; deduplication is the application's concern).
     pub fn submit(&mut self, ctx: &mut Context<'_, MultiNodeMsg<D::Msg>>, command: u64) {
-        assert_ne!(command, NOOP, "NOOP is reserved");
-        self.multi.pending.push_back(command);
+        self.multi.push_pending(command);
         self.drive(ctx);
     }
 
@@ -235,8 +309,8 @@ where
         }
         let slot = self.multi.next_unproposed_slot();
         // Depth-1 pipeline: only propose for `slot` if every earlier slot
-        // is decided.
-        if slot > 0 && !self.multi.log.contains_key(&(slot - 1)) {
+        // (down to the tracking base) is decided.
+        if slot > self.multi.base && !self.multi.log.contains_key(&(slot - 1)) {
             return;
         }
         let command = self.multi.pending.pop_front().expect("checked");
@@ -305,15 +379,14 @@ where
         let deliveries = self.rb.take_delivered();
         for d in deliveries {
             let (slot, value, round) = d.payload;
-            if self.multi.log.contains_key(&slot) {
+            if !self.multi.record_decision(slot, value, round) {
                 continue;
             }
-            self.multi.log.insert(slot, (value, round));
             ctx.observe(LOG_APPEND, Payload::U64Pair(slot, value));
             // Our command lost this slot: re-queue it for the next one.
-            if let Some(&mine) = self.multi.proposed.get(&slot) {
+            if let Some(mine) = self.multi.proposed_in(slot) {
                 if mine != value && mine != NOOP {
-                    self.multi.pending.push_front(mine);
+                    self.multi.requeue_front(mine);
                 }
             }
             let ns = slot_ns(slot);
@@ -505,6 +578,116 @@ mod tests {
             let log = w.actor(ProcessId(i)).log();
             let common = reference.len().min(log.len());
             assert_eq!(&log[..common], &reference[..common], "p{i} prefix diverged");
+        }
+    }
+
+    #[test]
+    fn record_decision_tolerates_out_of_order_and_duplicates() {
+        let mut m = MultiEc::new(ProcessId(0), 4, ConsensusConfig::default());
+        // Slot 2 arrives first: known, but not part of the contiguous log.
+        assert!(m.record_decision(2, 22, 1));
+        assert_eq!(m.first_undecided(), 0);
+        assert!(m.log().is_empty(), "no contiguous prefix yet");
+        assert!(m.record_decision(0, 20, 1));
+        assert_eq!(m.first_undecided(), 1);
+        assert_eq!(m.log(), vec![(0, 20)]);
+        // A duplicate delivery of slot 0 — even claiming a different
+        // value — is rejected and the original decision stands.
+        assert!(!m.record_decision(0, 99, 2));
+        assert_eq!(m.decided(0), Some((20, 1)));
+        assert!(m.record_decision(1, 21, 3));
+        assert_eq!(m.first_undecided(), 3);
+        assert_eq!(m.log(), vec![(0, 20), (1, 21), (2, 22)]);
+    }
+
+    #[test]
+    fn raised_base_excludes_caught_up_slots() {
+        let mut m = MultiEc::new(ProcessId(1), 4, ConsensusConfig::default());
+        m.raise_base(5);
+        assert!(
+            !m.record_decision(3, 33, 1),
+            "below-base slots are not news"
+        );
+        assert_eq!(m.next_unproposed_slot(), 5);
+        assert_eq!(m.first_undecided(), 5);
+        assert!(m.record_decision(5, 55, 1));
+        assert_eq!(m.log(), vec![(5, 55)]);
+        m.raise_base(2);
+        assert_eq!(m.base(), 5, "raise_base never lowers the base");
+    }
+
+    /// NOOP gap fill: a replica with an empty command queue that learns
+    /// of an opened slot must still join it (with NOOP), or the slot's
+    /// coordinator could starve waiting for a majority of estimates.
+    #[test]
+    fn bystander_joins_opened_slot_with_noop() {
+        let n = 4;
+        let mut w = world(n, 204);
+        w.run_until_time(Time::from_millis(20));
+        w.interact(ProcessId(2), |node, ctx| {
+            node.on_message(ctx, ProcessId(0), MultiNodeMsg::Open { slot: 0 });
+        });
+        assert_eq!(
+            w.actor(ProcessId(2)).multi.proposed_in(0),
+            Some(NOOP),
+            "bystander must gap-fill the opened slot with NOOP"
+        );
+    }
+
+    /// Duplicate `SlotDecide` deliveries and reordered decision traffic
+    /// (a mangler that duplicates 40% and reorders 50% of messages) must
+    /// not corrupt the log: decisions are recorded once, in slot order.
+    #[test]
+    fn log_agrees_under_duplicating_reordering_mangler() {
+        use fd_sim::{chaos, Intervention, LinkMangler, NetChange, Payload, SimDuration};
+        let n = 4;
+        let mut w = world(n, 205);
+        w.schedule_intervention(
+            Time::from_millis(1),
+            Intervention {
+                tag: chaos::MANGLE,
+                payload: Payload::None,
+                change: NetChange::SetMangler(Some(LinkMangler {
+                    drop: 0.0,
+                    duplicate: 0.4,
+                    reorder: 0.5,
+                    skew: SimDuration::from_millis(2),
+                })),
+            },
+        );
+        for i in 0..2 {
+            for k in 0..3u64 {
+                let cmd = (i as u64 + 1) * 100 + k;
+                w.interact(ProcessId(i), move |node, ctx| node.submit(ctx, cmd));
+            }
+        }
+        let all = submitted(2, 3);
+        let done = w.run_until(Time::from_secs(120), |w| {
+            (0..n).all(|i| {
+                let vals: Vec<u64> = w
+                    .actor(ProcessId(i))
+                    .log()
+                    .iter()
+                    .map(|(_, v)| *v)
+                    .collect();
+                all.iter().all(|c| vals.contains(c))
+            })
+        });
+        assert!(done, "logs did not converge under the mangler");
+        let reference = w.actor(ProcessId(0)).log();
+        for i in 1..n {
+            let log = w.actor(ProcessId(i)).log();
+            let common = reference.len().min(log.len());
+            assert_eq!(&log[..common], &reference[..common], "p{i} log diverged");
+        }
+        // Duplicated deliveries never duplicate a decided command.
+        for i in 0..n {
+            let mut seen = std::collections::HashSet::new();
+            for (_, v) in w.actor(ProcessId(i)).log() {
+                if v != NOOP {
+                    assert!(seen.insert(v), "command {v} decided twice at p{i}");
+                }
+            }
         }
     }
 

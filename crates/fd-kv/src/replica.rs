@@ -1,0 +1,864 @@
+//! The replicated KV node: consensus log + durability + catch-up.
+//!
+//! [`KvReplica`] is a host actor in the [`MultiNode`](fd_consensus::MultiNode)
+//! mold — detector, Reliable Broadcast, and the per-slot consensus
+//! multiplexer — extended with the serving stack the paper's §1
+//! motivates but never builds:
+//!
+//! * **Apply pipeline.** Slot decisions land in `entries` and are
+//!   applied to the [`KvStore`] strictly in slot order; every applied
+//!   slot appends a CRC-framed record to the WAL and folds into a
+//!   running digest (`kv.apply` observations carry it, so a cross-
+//!   replica state divergence is visible in the trace).
+//! * **Group-commit durability.** WAL appends are volatile until the
+//!   fsync timer fires ([`StorageConfig::fsync_interval`] after the
+//!   first dirty write, plus [`StorageConfig::fsync_cost`]); an op
+//!   submitted here is acknowledged (`kv.commit`) only once its record
+//!   is durable, so commit latency includes the consensus round-trips
+//!   *and* the disk.
+//! * **Snapshots + compaction.** Every [`KvConfig::snapshot_every`]
+//!   applied slots the replica writes an atomic snapshot and rewrites
+//!   the WAL to just the in-flight `Join` markers, bounding recovery
+//!   replay.
+//! * **Crash recovery + catch-up.** A warm restart with `starts > 0` is
+//!   treated as a real crash: volatile state is discarded, the disks
+//!   get crash-truncation applied (a seed-deterministic torn tail), the
+//!   store is rebuilt from snapshot + WAL replay, and the replica
+//!   broadcasts `SyncReq` until a peer's snapshot/log tail brings it to
+//!   the frontier (`kv.sync_done`). Slots it may have voted in before
+//!   the crash (WAL `Join` records) are quarantined — it never votes in
+//!   them again, so a recovered replica cannot equivocate.
+
+use crate::command::{decode, uid_of};
+use crate::store::{fnv_step, KvStore, DIGEST_SEED};
+use crate::wal::{self, WalRecord};
+use fd_broadcast::{RbMsg, ReliableBroadcast};
+use fd_consensus::multi::{slot_ns, MULTI_NS_BASE};
+use fd_consensus::{
+    ConsensusConfig, EcMsg, MultiEc, MultiMsg, ProtocolStep, RoundProtocol, SlotDecide, LOG_APPEND,
+    NOOP,
+};
+use fd_core::{Component, EventuallyConsistentOracle, LeaderOracle, SubCtx, SuspectOracle};
+use fd_sim::{
+    Actor, Context, Payload, ProcessId, SimDisk, SimMessage, StorageConfig, Time, TimerTag,
+};
+use rand::Rng;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Timer namespace of the KV layer (distinct from every detector, the
+/// broadcast module, and the per-slot range at [`MULTI_NS_BASE`]).
+pub const KV_NS: u32 = 16;
+
+const TIMER_ARRIVAL: u32 = 1;
+const TIMER_FSYNC: u32 = 2;
+const TIMER_SYNC_RETRY: u32 = 3;
+const TIMER_REPAIR: u32 = 4;
+
+/// Observation tags of the KV layer.
+pub mod obs {
+    /// A client op arrived at its replica: `U64Pair(uid, cmd)`.
+    pub const SUBMIT: &str = "kv.submit";
+    /// A slot was applied to the store: `U64Pair(slot, digest)` where
+    /// `digest` is the running apply digest *after* this slot.
+    pub const APPLY: &str = "kv.apply";
+    /// An op submitted here is decided *and* durable: `U64Pair(uid, slot)`.
+    pub const COMMIT: &str = "kv.commit";
+    /// Crash recovery finished its local replay:
+    /// `U64Pair(wal_records_replayed, applied_after_replay)`.
+    pub const RECOVERY: &str = "kv.recovery";
+    /// Catch-up reached a peer's frontier:
+    /// `U64Pair(applied, entries_fetched)`.
+    pub const SYNC_DONE: &str = "kv.sync_done";
+}
+
+/// Tuning knobs of one replica's serving stack.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct KvConfig {
+    /// Disk timing model.
+    pub storage: StorageConfig,
+    /// Applied slots between snapshots (bounds WAL replay on recovery).
+    pub snapshot_every: u64,
+    /// Re-broadcast cadence of `SyncReq` while catching up.
+    pub sync_retry: fd_sim::SimDuration,
+}
+
+impl Default for KvConfig {
+    fn default() -> KvConfig {
+        KvConfig {
+            storage: StorageConfig::default(),
+            snapshot_every: 8,
+            sync_retry: fd_sim::SimDuration::from_millis(100),
+        }
+    }
+}
+
+/// Combined node message of a [`KvReplica`].
+#[derive(Debug, Clone)]
+pub enum KvMsg<F> {
+    /// Failure-detector traffic.
+    Fd(F),
+    /// Slot-decision broadcasts.
+    Rb(RbMsg<SlotDecide>),
+    /// Slot-tagged consensus traffic.
+    Cons(MultiMsg),
+    /// "Slot `s` is open" (see [`fd_consensus::MultiNodeMsg::Open`]).
+    Open {
+        /// The opened slot.
+        slot: u64,
+    },
+    /// A recovering replica asks for the log from `from_slot` on.
+    SyncReq {
+        /// First slot the requester is missing.
+        from_slot: u64,
+    },
+    /// Catch-up payload: an optional snapshot image, then the decided
+    /// log tail, then the responder's frontier.
+    SyncResp {
+        /// Snapshot bytes, when `from_slot` predates the responder's
+        /// retained log.
+        snap: Option<Vec<u8>>,
+        /// Contiguous decided `(slot, cmd)` tail.
+        entries: Vec<(u64, u64)>,
+        /// The responder's applied frontier (first slot it has *not*
+        /// applied).
+        frontier: u64,
+    },
+}
+
+impl<F: SimMessage> SimMessage for KvMsg<F> {
+    fn kind(&self) -> &'static str {
+        match self {
+            KvMsg::Fd(m) => m.kind(),
+            KvMsg::Rb(m) => m.kind(),
+            KvMsg::Cons(m) => m.kind(),
+            KvMsg::Open { .. } => "multi.open",
+            KvMsg::SyncReq { .. } => "kv.sync_req",
+            KvMsg::SyncResp { .. } => "kv.sync_resp",
+        }
+    }
+    fn round(&self) -> Option<u64> {
+        match self {
+            KvMsg::Fd(m) => m.round(),
+            KvMsg::Cons(m) => m.round(),
+            _ => None,
+        }
+    }
+}
+
+/// One replica of the KV service. Generic over the failure detector
+/// exactly like [`MultiNode`](fd_consensus::MultiNode).
+pub struct KvReplica<D: Component> {
+    me: ProcessId,
+    fd: D,
+    rb: ReliableBroadcast<SlotDecide>,
+    multi: MultiEc,
+    cfg: KvConfig,
+    /// This replica's open-loop arrival schedule: `(at, encoded cmd)`,
+    /// armed as timers at start (and re-armed for the future on
+    /// recovery).
+    schedule: Vec<(Time, u64)>,
+
+    // --- volatile service state (lost on crash) ---
+    store: KvStore,
+    /// Decided commands by slot: the apply source and the sync-serving
+    /// window. Pruned below the snapshot point at compaction.
+    entries: BTreeMap<u64, u64>,
+    /// First unapplied slot (slots `[0, applied)` are in the store).
+    applied: u64,
+    /// Running apply digest after slot `applied - 1`.
+    digest: u64,
+    /// Slots this replica has sent consensus messages in (WAL-backed).
+    joined: BTreeSet<u64>,
+    /// Pre-crash `joined` slots a recovered replica must never vote in
+    /// again.
+    quarantined: BTreeSet<u64>,
+    /// uids submitted here and not yet decided.
+    submitted: BTreeSet<u64>,
+    /// Decided own ops awaiting durability: `(uid, slot)`.
+    unacked: Vec<(u64, u64)>,
+    /// Whether the group-commit timer is armed.
+    fsync_armed: bool,
+    /// Whether the gap-repair timer is armed.
+    repair_armed: bool,
+    /// Catching up after a restart; proposing is gated off.
+    syncing: bool,
+    /// Log entries fetched through catch-up (reporting).
+    fetched: u64,
+    /// `on_start` invocations; > 0 means warm restart = crash recovery.
+    starts: u32,
+
+    // --- durable state (survives crashes, modulo torn tails) ---
+    wal_disk: SimDisk,
+    snap_disk: SimDisk,
+    /// Applied frontier of the last durable snapshot.
+    snap_applied: u64,
+}
+
+impl<D> KvReplica<D>
+where
+    D: Component + SuspectOracle + LeaderOracle,
+{
+    /// Assemble a replica with its per-seed arrival schedule.
+    pub fn new(me: ProcessId, n: usize, fd: D, cfg: KvConfig, schedule: Vec<(Time, u64)>) -> Self {
+        let rb = ReliableBroadcast::new(me);
+        assert!(
+            fd.ns() < MULTI_NS_BASE && rb.ns() < MULTI_NS_BASE && KV_NS < MULTI_NS_BASE,
+            "ns clash with slot range"
+        );
+        assert!(
+            fd.ns() != rb.ns() && fd.ns() != KV_NS && rb.ns() != KV_NS,
+            "components must own distinct timer namespaces"
+        );
+        KvReplica {
+            me,
+            fd,
+            rb,
+            multi: MultiEc::new(me, n, ConsensusConfig::default()),
+            cfg,
+            schedule,
+            store: KvStore::new(),
+            entries: BTreeMap::new(),
+            applied: 0,
+            digest: DIGEST_SEED,
+            joined: BTreeSet::new(),
+            quarantined: BTreeSet::new(),
+            submitted: BTreeSet::new(),
+            unacked: Vec::new(),
+            fsync_armed: false,
+            repair_armed: false,
+            syncing: false,
+            fetched: 0,
+            starts: 0,
+            wal_disk: SimDisk::new(),
+            snap_disk: SimDisk::new(),
+            snap_applied: 0,
+        }
+    }
+
+    /// The replica's current store (tests and reporting).
+    pub fn store(&self) -> &KvStore {
+        &self.store
+    }
+
+    /// First unapplied slot.
+    pub fn applied(&self) -> u64 {
+        self.applied
+    }
+
+    /// Whether the replica is still catching up after a restart.
+    pub fn syncing(&self) -> bool {
+        self.syncing
+    }
+
+    /// Applied frontier of the last durable snapshot.
+    pub fn snap_applied(&self) -> u64 {
+        self.snap_applied
+    }
+
+    /// The underlying consensus multiplexer (tests and reporting).
+    pub fn multi(&self) -> &MultiEc {
+        &self.multi
+    }
+
+    // ---- submission & proposing ------------------------------------
+
+    fn submit(&mut self, ctx: &mut Context<'_, KvMsg<D::Msg>>, cmd: u64) {
+        let uid = uid_of(cmd);
+        self.submitted.insert(uid);
+        ctx.observe(obs::SUBMIT, Payload::U64Pair(uid, cmd));
+        self.multi.push_pending(cmd);
+        self.drive(ctx);
+    }
+
+    /// Propose the head-of-queue command for the next free slot (the
+    /// depth-1 pipeline of [`MultiNode`](fd_consensus::MultiNode)),
+    /// unless catch-up has proposing gated off.
+    fn drive(&mut self, ctx: &mut Context<'_, KvMsg<D::Msg>>) {
+        if self.syncing || self.multi.pending_len() == 0 {
+            return;
+        }
+        let slot = self.multi.next_unproposed_slot();
+        if slot > self.multi.base() && self.multi.decided(slot - 1).is_none() {
+            return;
+        }
+        let command = self.multi.pop_pending().expect("checked pending_len");
+        self.propose_in_slot(ctx, slot, command, true);
+    }
+
+    fn ensure_proposed(&mut self, ctx: &mut Context<'_, KvMsg<D::Msg>>, slot: u64) {
+        if self.syncing
+            || self.quarantined.contains(&slot)
+            || self.multi.proposed_in(slot).is_some()
+            || self.multi.decided(slot).is_some()
+        {
+            return;
+        }
+        let command = self.multi.pop_pending().unwrap_or(NOOP);
+        self.propose_in_slot(ctx, slot, command, false);
+    }
+
+    fn propose_in_slot(
+        &mut self,
+        ctx: &mut Context<'_, KvMsg<D::Msg>>,
+        slot: u64,
+        command: u64,
+        announce: bool,
+    ) {
+        // Durable participation marker *before* the first message of
+        // this slot leaves (sends are queued actions, applied after
+        // this callback returns, so the fsync strictly precedes them).
+        if self.joined.insert(slot) {
+            wal::append(&mut self.wal_disk, WalRecord::Join(slot));
+            self.wal_disk.fsync();
+        }
+        if announce {
+            for i in 0..ctx.n() {
+                let q = ProcessId(i);
+                if q != ctx.me() {
+                    ctx.send(q, KvMsg::Open { slot });
+                }
+            }
+        }
+        self.multi.mark_proposed(slot, command);
+        let fd = self.fd.output();
+        let ns = slot_ns(slot);
+        let wrap = move |m: EcMsg| KvMsg::Cons(MultiMsg { slot, inner: m });
+        let step = {
+            let inst = self.multi.instance(slot);
+            inst.on_propose(&mut SubCtx::new(ctx, &wrap, ns), command, fd)
+        };
+        self.apply_step(ctx, slot, step);
+        // Watchdog from the very first proposal: a slot can wedge before
+        // any decision ever reaches try_apply's arm_repair.
+        self.arm_repair(ctx);
+    }
+
+    fn apply_step(&mut self, ctx: &mut Context<'_, KvMsg<D::Msg>>, slot: u64, step: ProtocolStep) {
+        if let Some((value, round)) = step.broadcast_decision {
+            let ns = self.rb.ns();
+            self.rb
+                .broadcast(&mut SubCtx::new(ctx, &KvMsg::Rb, ns), (slot, value, round));
+        }
+        self.drain_deliveries(ctx);
+    }
+
+    // ---- decisions & the apply pipeline -----------------------------
+
+    fn drain_deliveries(&mut self, ctx: &mut Context<'_, KvMsg<D::Msg>>) {
+        let deliveries = self.rb.take_delivered();
+        for d in deliveries {
+            let (slot, value, round) = d.payload;
+            if !self.multi.record_decision(slot, value, round) {
+                continue;
+            }
+            ctx.observe(LOG_APPEND, Payload::U64Pair(slot, value));
+            // Our command lost this slot: re-queue it.
+            if let Some(mine) = self.multi.proposed_in(slot) {
+                if mine != value && mine != NOOP {
+                    self.multi.requeue_front(mine);
+                }
+            }
+            if slot >= self.applied {
+                self.entries.insert(slot, value);
+            }
+            if !self.quarantined.contains(&slot) && self.joined.contains(&slot) {
+                let ns = slot_ns(slot);
+                let wrap = move |m: EcMsg| KvMsg::Cons(MultiMsg { slot, inner: m });
+                let inst = self.multi.instance(slot);
+                inst.on_decide_delivered(&mut SubCtx::new(ctx, &wrap, ns), value, round);
+            }
+        }
+        self.try_apply(ctx);
+        self.drive(ctx);
+    }
+
+    /// Apply every contiguously decided slot, WAL-logging each, then
+    /// snapshot if due.
+    fn try_apply(&mut self, ctx: &mut Context<'_, KvMsg<D::Msg>>) {
+        let mut progressed = false;
+        while let Some(&cmd) = self.entries.get(&self.applied) {
+            let slot = self.applied;
+            wal::append(&mut self.wal_disk, WalRecord::Apply(slot, cmd));
+            self.apply_to_state(slot, cmd);
+            ctx.observe(obs::APPLY, Payload::U64Pair(slot, self.digest));
+            if cmd != NOOP {
+                let uid = uid_of(cmd);
+                if self.submitted.remove(&uid) {
+                    self.unacked.push((uid, slot));
+                }
+            }
+            progressed = true;
+        }
+        if progressed {
+            self.arm_fsync(ctx);
+            if self.applied - self.snap_applied >= self.cfg.snapshot_every {
+                self.take_snapshot();
+            }
+        }
+        self.arm_repair(ctx);
+    }
+
+    /// Fold `(slot, cmd)` into the store and the digest chain and
+    /// advance the cursor — shared by live apply and recovery replay.
+    fn apply_to_state(&mut self, slot: u64, cmd: u64) {
+        self.digest = fnv_step(self.digest, slot);
+        self.digest = fnv_step(self.digest, cmd);
+        if let Some((_, op)) = decode(cmd) {
+            let result = self.store.apply(op);
+            self.digest = fnv_step(self.digest, result as u64);
+        }
+        self.applied = slot + 1;
+    }
+
+    fn arm_fsync(&mut self, ctx: &mut Context<'_, KvMsg<D::Msg>>) {
+        if self.fsync_armed || !self.wal_disk.dirty() {
+            return;
+        }
+        self.fsync_armed = true;
+        ctx.set_timer(
+            self.cfg.storage.fsync_interval + self.cfg.storage.fsync_cost,
+            TimerTag::new(KV_NS, TIMER_FSYNC, 0),
+        );
+    }
+
+    fn on_fsync(&mut self, ctx: &mut Context<'_, KvMsg<D::Msg>>) {
+        self.fsync_armed = false;
+        self.wal_disk.fsync();
+        for (uid, slot) in std::mem::take(&mut self.unacked) {
+            ctx.observe(obs::COMMIT, Payload::U64Pair(uid, slot));
+        }
+        // Appends may have landed after the timer was armed.
+        self.arm_fsync(ctx);
+    }
+
+    /// Write an atomic snapshot and compact the WAL down to the
+    /// in-flight `Join` markers.
+    fn take_snapshot(&mut self) {
+        let image = self.store.encode_snapshot(self.applied, self.digest);
+        self.snap_disk.replace(image);
+        self.snap_disk.fsync();
+        self.snap_applied = self.applied;
+        // Flush data records (acks still wait for the group-commit
+        // timer), then rewrite the WAL: only Join markers of slots at
+        // or past the snapshot remain.
+        self.wal_disk.fsync();
+        let applied = self.applied;
+        self.joined.retain(|&s| s >= applied);
+        self.quarantined.retain(|&s| s >= applied);
+        self.entries.retain(|&s, _| s >= applied);
+        let keep: Vec<WalRecord> = self.joined.iter().map(|&s| WalRecord::Join(s)).collect();
+        self.wal_disk.replace(wal::encode_log(&keep));
+        self.wal_disk.fsync();
+    }
+
+    // ---- catch-up ----------------------------------------------------
+
+    /// If `slot` is already decided here, answer `from` with the
+    /// decision (as a tiny `SyncResp`) and report `true`. `SyncResp`
+    /// never generates consensus traffic, so this cannot loop.
+    fn reply_if_decided(
+        &mut self,
+        ctx: &mut Context<'_, KvMsg<D::Msg>>,
+        from: ProcessId,
+        slot: u64,
+    ) -> bool {
+        if let Some((value, _round)) = self.multi.decided(slot) {
+            ctx.send(
+                from,
+                KvMsg::SyncResp {
+                    snap: None,
+                    entries: vec![(slot, value)],
+                    frontier: self.applied,
+                },
+            );
+            return true;
+        }
+        false
+    }
+
+    /// A decision above the apply cursor with no entry *at* the cursor
+    /// means some slot's decision broadcast was lost (e.g. during a
+    /// partition) — the apply pipeline is stalled on a hole.
+    fn has_gap(&self) -> bool {
+        self.entries
+            .keys()
+            .next_back()
+            .is_some_and(|&max| max >= self.applied)
+    }
+
+    /// Slots this replica actively participates in whose round protocol
+    /// is still running — the ones a lost message could have wedged.
+    fn stalled_slots(&self) -> Vec<u64> {
+        self.joined
+            .iter()
+            .copied()
+            .filter(|s| {
+                !self.quarantined.contains(s)
+                    && self.multi.decided(*s).is_none()
+                    && self.multi.proposed_in(*s).is_some()
+            })
+            .collect()
+    }
+
+    fn arm_repair(&mut self, ctx: &mut Context<'_, KvMsg<D::Msg>>) {
+        if self.syncing || self.repair_armed || (!self.has_gap() && self.stalled_slots().is_empty())
+        {
+            return;
+        }
+        self.repair_armed = true;
+        ctx.set_timer(self.cfg.sync_retry, TimerTag::new(KV_NS, TIMER_REPAIR, 0));
+    }
+
+    /// The liveness watchdog over lossy links: re-request decisions the
+    /// apply pipeline is missing, and retransmit the outstanding phase
+    /// message of every still-undecided slot this replica votes in (the
+    /// round protocol itself never re-sends).
+    fn on_repair(&mut self, ctx: &mut Context<'_, KvMsg<D::Msg>>) {
+        self.repair_armed = false;
+        if self.syncing {
+            return;
+        }
+        if self.has_gap() {
+            ctx.send_to_others(KvMsg::SyncReq {
+                from_slot: self.applied,
+            });
+        }
+        let fd = self.fd.output();
+        for slot in self.stalled_slots() {
+            // Re-announce the slot: if the original Open broadcast was
+            // lost, a peer — possibly the very coordinator the round is
+            // waiting on — may never have joined at all. Idempotent at
+            // peers that already proposed (ensure_proposed no-ops) or
+            // decided (they answer with the decision).
+            ctx.send_to_others(KvMsg::Open { slot });
+            let ns = slot_ns(slot);
+            let wrap = move |m: EcMsg| KvMsg::Cons(MultiMsg { slot, inner: m });
+            let inst = self.multi.instance(slot);
+            inst.retransmit(&mut SubCtx::new(ctx, &wrap, ns), &fd);
+        }
+        self.arm_repair(ctx);
+    }
+
+    fn serve_sync(
+        &mut self,
+        ctx: &mut Context<'_, KvMsg<D::Msg>>,
+        from: ProcessId,
+        from_slot: u64,
+    ) {
+        let lowest_retained = self.entries.keys().next().copied().unwrap_or(self.applied);
+        let (snap, tail_from) = if from_slot < lowest_retained && self.snap_applied > from_slot {
+            // The requester predates our retained log: ship the
+            // snapshot, then the tail from its frontier on.
+            (Some(self.snap_disk.durable().to_vec()), self.snap_applied)
+        } else {
+            (None, from_slot)
+        };
+        let mut entries = Vec::new();
+        let mut slot = tail_from;
+        while let Some(&cmd) = self.entries.get(&slot) {
+            if slot >= self.applied {
+                break; // only ship the applied (stable) prefix
+            }
+            entries.push((slot, cmd));
+            slot += 1;
+        }
+        ctx.send(
+            from,
+            KvMsg::SyncResp {
+                snap,
+                entries,
+                frontier: self.applied,
+            },
+        );
+    }
+
+    fn on_sync_resp(
+        &mut self,
+        ctx: &mut Context<'_, KvMsg<D::Msg>>,
+        snap: Option<Vec<u8>>,
+        entries: Vec<(u64, u64)>,
+        frontier: u64,
+    ) {
+        if let Some(bytes) = snap {
+            if let Some((store, applied, digest)) = KvStore::decode_snapshot(&bytes) {
+                if applied > self.applied {
+                    // Persist the learned snapshot, then fast-forward.
+                    self.snap_disk.replace(bytes);
+                    self.snap_disk.fsync();
+                    self.snap_applied = applied;
+                    self.store = store;
+                    self.applied = applied;
+                    self.digest = digest;
+                    self.multi.raise_base(applied);
+                    self.entries.retain(|&s, _| s >= applied);
+                    self.joined.retain(|&s| s >= applied);
+                    self.quarantined.retain(|&s| s >= applied);
+                    let keep: Vec<WalRecord> =
+                        self.joined.iter().map(|&s| WalRecord::Join(s)).collect();
+                    self.wal_disk.replace(wal::encode_log(&keep));
+                    self.wal_disk.fsync();
+                }
+            }
+        }
+        for (slot, cmd) in entries {
+            if slot < self.applied {
+                continue;
+            }
+            // record_decision keeps the consensus log in step (so
+            // next_unproposed_slot is right) and dedupes for us.
+            if self.multi.record_decision(slot, cmd, 0) {
+                ctx.observe(LOG_APPEND, Payload::U64Pair(slot, cmd));
+                if let Some(mine) = self.multi.proposed_in(slot) {
+                    if mine != cmd && mine != NOOP {
+                        self.multi.requeue_front(mine);
+                    }
+                }
+                if !self.quarantined.contains(&slot) && self.joined.contains(&slot) {
+                    let ns = slot_ns(slot);
+                    let wrap = move |m: EcMsg| KvMsg::Cons(MultiMsg { slot, inner: m });
+                    let inst = self.multi.instance(slot);
+                    inst.on_decide_delivered(&mut SubCtx::new(ctx, &wrap, ns), cmd, 0);
+                }
+                self.fetched += 1;
+            }
+            self.entries.insert(slot, cmd);
+        }
+        self.try_apply(ctx);
+        if self.syncing && self.applied >= frontier {
+            self.finish_sync(ctx);
+        }
+        self.drive(ctx);
+    }
+
+    fn finish_sync(&mut self, ctx: &mut Context<'_, KvMsg<D::Msg>>) {
+        self.syncing = false;
+        self.multi.raise_base(self.applied);
+        // Quarantined slots re-enter the bookkeeping as "already
+        // proposed" so the proposer rotation skips them without ever
+        // voting in them again.
+        for &slot in &self.quarantined {
+            if self.multi.decided(slot).is_none() {
+                self.multi.mark_proposed(slot, NOOP);
+            }
+        }
+        ctx.observe(obs::SYNC_DONE, Payload::U64Pair(self.applied, self.fetched));
+        self.drive(ctx);
+        self.arm_repair(ctx);
+    }
+
+    // ---- start & recovery -------------------------------------------
+
+    fn arm_arrivals(&mut self, ctx: &mut Context<'_, KvMsg<D::Msg>>) {
+        let now = ctx.now();
+        for (idx, &(at, _)) in self.schedule.iter().enumerate() {
+            if at > now {
+                ctx.set_timer(at - now, TimerTag::new(KV_NS, TIMER_ARRIVAL, idx as u64));
+            }
+        }
+    }
+
+    /// Crash recovery: truncate the disks the way a real crash would,
+    /// rebuild the store from snapshot + WAL, quarantine pre-crash
+    /// votes, and start catch-up.
+    fn recover(&mut self, ctx: &mut Context<'_, KvMsg<D::Msg>>) {
+        // The crash tears the unsynced WAL tail at a seed-deterministic
+        // point; a staged snapshot rename that never fsynced is gone.
+        let torn = {
+            let pending = self.wal_disk.pending_len();
+            ctx.rng().gen_range(0..=pending)
+        };
+        self.wal_disk.crash(torn);
+        self.snap_disk.crash(0);
+
+        // Everything volatile is lost.
+        self.store = KvStore::new();
+        self.entries.clear();
+        self.applied = 0;
+        self.digest = DIGEST_SEED;
+        self.joined.clear();
+        self.quarantined.clear();
+        self.submitted.clear();
+        self.unacked.clear();
+        self.fsync_armed = false;
+        self.repair_armed = false;
+        self.fetched = 0;
+        let n = ctx.n();
+        self.multi = MultiEc::new(self.me, n, ConsensusConfig::default());
+
+        // Durable state back in: snapshot first, then WAL replay.
+        if let Some((store, applied, digest)) = KvStore::decode_snapshot(self.snap_disk.durable()) {
+            self.store = store;
+            self.applied = applied;
+            self.digest = digest;
+            self.snap_applied = applied;
+        } else {
+            self.snap_applied = 0;
+        }
+        let (records, _valid) = wal::recover(self.wal_disk.durable());
+        let mut replayed = 0u64;
+        for r in records {
+            match r {
+                WalRecord::Apply(slot, cmd) => {
+                    if slot == self.applied {
+                        self.entries.insert(slot, cmd);
+                        self.apply_to_state(slot, cmd);
+                        replayed += 1;
+                    }
+                }
+                WalRecord::Join(slot) => {
+                    self.joined.insert(slot);
+                }
+            }
+        }
+        // Slots we may have voted in but that we have not applied are
+        // quarantined: this replica stays passive in them forever.
+        self.quarantined = self.joined.split_off(&self.applied);
+        self.joined.clear();
+        self.joined.extend(self.quarantined.iter().copied());
+        ctx.observe(obs::RECOVERY, Payload::U64Pair(replayed, self.applied));
+
+        // Catch up from the peers before proposing anything.
+        self.syncing = true;
+        self.multi.raise_base(self.applied);
+        ctx.send_to_others(KvMsg::SyncReq {
+            from_slot: self.applied,
+        });
+        ctx.set_timer(
+            self.cfg.sync_retry,
+            TimerTag::new(KV_NS, TIMER_SYNC_RETRY, 0),
+        );
+    }
+}
+
+impl<D> Actor for KvReplica<D>
+where
+    D: Component + SuspectOracle + LeaderOracle,
+{
+    type Msg = KvMsg<D::Msg>;
+
+    fn on_start(&mut self, ctx: &mut Context<'_, Self::Msg>) {
+        let recovery = self.starts > 0;
+        self.starts += 1;
+        if recovery {
+            self.recover(ctx);
+        } else {
+            let ns = self.fd.ns();
+            self.fd.on_start(&mut SubCtx::new(ctx, &KvMsg::Fd, ns));
+        }
+        self.arm_arrivals(ctx);
+        if recovery {
+            // The detector's soft state survived the pause (it re-adapts
+            // on its own), but its timers died with the epoch: restart
+            // its heartbeat machinery.
+            let ns = self.fd.ns();
+            self.fd.on_start(&mut SubCtx::new(ctx, &KvMsg::Fd, ns));
+        }
+    }
+
+    fn on_message(&mut self, ctx: &mut Context<'_, Self::Msg>, from: ProcessId, msg: Self::Msg) {
+        match msg {
+            KvMsg::Fd(m) => {
+                let ns = self.fd.ns();
+                self.fd
+                    .on_message(&mut SubCtx::new(ctx, &KvMsg::Fd, ns), from, m);
+            }
+            KvMsg::Rb(m) => {
+                let ns = self.rb.ns();
+                self.rb
+                    .on_message(&mut SubCtx::new(ctx, &KvMsg::Rb, ns), from, m);
+                self.drain_deliveries(ctx);
+            }
+            KvMsg::Open { slot } => {
+                if self.reply_if_decided(ctx, from, slot) {
+                    return;
+                }
+                self.ensure_proposed(ctx, slot);
+            }
+            KvMsg::Cons(MultiMsg { slot, inner }) => {
+                // A peer still working a slot we know is decided missed
+                // the (one-shot) decision broadcast: hand it the
+                // decision directly instead of letting it churn rounds
+                // against Done instances, which never re-decide.
+                if self.reply_if_decided(ctx, from, slot) {
+                    return;
+                }
+                // While syncing, and forever in quarantined slots, this
+                // replica must not vote — but staying *silent* would
+                // wedge the round protocol: its wait clause needs every
+                // alive unsuspected process to reply, and nobody ever
+                // re-sends to a mute one. So route the message into the
+                // instance WITHOUT proposing: an Idle instance answers
+                // announcements with null estimates and propositions
+                // with nacks (the Fig. 4 tasks), unblocking peers
+                // without contributing an estimate a recovered replica
+                // could no longer stand behind.
+                if !self.syncing && !self.quarantined.contains(&slot) {
+                    self.ensure_proposed(ctx, slot);
+                }
+                let fd = self.fd.output();
+                let ns = slot_ns(slot);
+                let wrap = move |m: EcMsg| KvMsg::Cons(MultiMsg { slot, inner: m });
+                let step = {
+                    let inst = self.multi.instance(slot);
+                    inst.on_message(&mut SubCtx::new(ctx, &wrap, ns), from, inner, fd)
+                };
+                self.apply_step(ctx, slot, step);
+            }
+            KvMsg::SyncReq { from_slot } => {
+                self.serve_sync(ctx, from, from_slot);
+            }
+            KvMsg::SyncResp {
+                snap,
+                entries,
+                frontier,
+            } => {
+                self.on_sync_resp(ctx, snap, entries, frontier);
+            }
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Context<'_, Self::Msg>, tag: TimerTag) {
+        if tag.ns == self.fd.ns() {
+            self.fd.on_timer(
+                &mut SubCtx::new(ctx, &KvMsg::Fd, tag.ns),
+                tag.kind,
+                tag.data,
+            );
+        } else if tag.ns == KV_NS {
+            match tag.kind {
+                TIMER_ARRIVAL => {
+                    let cmd = self.schedule[tag.data as usize].1;
+                    self.submit(ctx, cmd);
+                }
+                TIMER_FSYNC => self.on_fsync(ctx),
+                TIMER_REPAIR => self.on_repair(ctx),
+                TIMER_SYNC_RETRY => {
+                    if self.syncing {
+                        ctx.send_to_others(KvMsg::SyncReq {
+                            from_slot: self.applied,
+                        });
+                        ctx.set_timer(
+                            self.cfg.sync_retry,
+                            TimerTag::new(KV_NS, TIMER_SYNC_RETRY, 0),
+                        );
+                    }
+                }
+                _ => debug_assert!(false, "unknown kv timer kind {}", tag.kind),
+            }
+        } else if tag.ns >= MULTI_NS_BASE {
+            let slot = (tag.ns - MULTI_NS_BASE) as u64;
+            if self.syncing || self.quarantined.contains(&slot) {
+                return;
+            }
+            let fd = self.fd.output();
+            let wrap = move |m: EcMsg| KvMsg::Cons(MultiMsg { slot, inner: m });
+            let step = {
+                let inst = self.multi.instance(slot);
+                inst.on_timer(&mut SubCtx::new(ctx, &wrap, tag.ns), tag.kind, tag.data, fd)
+            };
+            self.apply_step(ctx, slot, step);
+        } else {
+            debug_assert_eq!(tag.ns, self.rb.ns(), "timer for an unknown namespace");
+        }
+    }
+}

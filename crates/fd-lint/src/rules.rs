@@ -97,6 +97,7 @@ const DET_CRATES: &[&str] = &[
     "fd-detectors",
     "fd-broadcast",
     "fd-chaos",
+    "fd-kv",
 ];
 
 /// Crates allowed to read the wall clock: the observability layer owns

@@ -57,6 +57,7 @@ pub mod link;
 pub mod metrics;
 pub mod process;
 pub mod rng;
+pub mod storage;
 pub mod time;
 pub mod timeline;
 pub mod topology;
@@ -69,6 +70,7 @@ pub use event::QueueImpl;
 pub use link::{DelayDist, LinkMangler, LinkModel};
 pub use metrics::Metrics;
 pub use process::{all_processes, ProcessId};
+pub use storage::{SimDisk, StorageConfig};
 pub use time::{SimDuration, Time};
 pub use timeline::{summary as trace_summary, Timeline};
 pub use topology::NetworkConfig;

@@ -39,10 +39,12 @@ USAGE:
   ecfd log       [--n N] [--commands K] [--seed S] [--crash P@MS ...]
   ecfd campaign  --scenario NAME [--seeds A..B] [--jobs N] [--artifact-dir DIR]
                  [--metrics-out FILE]
-  ecfd campaign  --plan FILE [--seeds A..B] [--jobs N] [--artifact-dir DIR]
+  ecfd campaign  --plan FILE [--scenario chaos|kv] [--seeds A..B] [--jobs N]
+                 [--artifact-dir DIR]
   ecfd campaign  --replay FILE [--shrink] [--metrics-out FILE]
   ecfd bench-kernel [--seeds N] [--out FILE] [--micro-out FILE]
                  [--check BASELINE] [--threshold PCT]
+  ecfd kv-bench  [--seeds N] [--out FILE]
   ecfd obs-report FILE
   ecfd lint      [--format human|json] [--deny-warnings] [--rule ID ...]
                  [--root DIR]
@@ -63,9 +65,12 @@ OPTIONS:
   --timeline        print the chronological observation timeline
 
 CAMPAIGN OPTIONS:
-  --scenario NAME   campaign scenario (e8, chaos, blind)
+  --scenario NAME   campaign scenario (e8, chaos, kv, blind)
   --plan FILE       run a fixed chaos plan (JSON, see crates/fd-chaos/CATALOG.md)
-                    for every seed; implies --scenario chaos
+                    for every seed; defaults to --scenario chaos, combine
+                    with --scenario kv to drive the replicated KV service
+                    under the plan. A missing or malformed plan file
+                    exits with code 2 and a file/parse diagnostic.
   --seeds A..B      seed range to sweep, half-open (default 0..100)
   --jobs N          worker threads (default: all cores)
   --artifact-dir D  where failing seeds write repro JSON (default target/campaign)
@@ -85,6 +90,12 @@ BENCH-KERNEL OPTIONS:
                     BENCH_kernel.json; exit nonzero on regression
   --threshold PCT   allowed events_per_sec drop vs baseline, percent
                     (default 25)
+
+KV-BENCH OPTIONS:
+  --seeds N         seeds per detector class in the standard
+                    crash/restart plan (default 200)
+  --out FILE        write the serving-stack benchmark JSON to FILE
+                    (same shape as the committed BENCH_kv.json)
 
 LINT OPTIONS:
   --format F        report format: human (default) or json
@@ -409,14 +420,75 @@ fn cmd_log(a: &Args) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_campaign(a: &Args) -> Result<(), String> {
+/// Campaign failures that must map to distinct process exit codes:
+/// "a seed violated a property" (1) and "the sweep never started —
+/// bad plan file, unknown scenario" (2) mean different things to CI.
+enum CampaignError {
+    /// Setup never completed: unreadable/unparseable plan file, unknown
+    /// scenario name, contradictory flags. Exit code 2.
+    Setup(String),
+    /// The sweep (or replay) ran and found failures. Exit code 1.
+    Run(String),
+}
+
+fn cmd_campaign(a: &Args) -> ExitCode {
+    match run_campaign(a) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(CampaignError::Run(e)) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+        Err(CampaignError::Setup(e)) => {
+            eprintln!("error: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+/// Load the fixed plan behind `--plan` and wrap it in the scenario
+/// `--scenario` picked (chaos by default, `kv` for the KV service).
+/// Every failure here is a [`CampaignError::Setup`]: the file is
+/// missing, unreadable, not JSON, not a chaos plan, or illegal.
+fn plan_scenario(a: &Args, path: &str) -> Result<Box<dyn fd_campaign::Scenario>, CampaignError> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| CampaignError::Setup(format!("--plan {path}: {e}")))?;
+    let plan: fd_chaos::ChaosPlan = serde_json::from_str(&text)
+        .map_err(|e| CampaignError::Setup(format!("--plan {path}: not a chaos plan: {e}")))?;
+    println!(
+        "fixed chaos plan {path}: n={} detector={:?} horizon={} events={}",
+        plan.n,
+        plan.detector,
+        plan.horizon,
+        plan.events.len()
+    );
+    match a.scenario.as_str() {
+        "" | fd_chaos::CHAOS => Ok(Box::new(
+            fd_chaos::ChaosScenario::fixed(plan)
+                .map_err(|e| CampaignError::Setup(format!("--plan {path}: {e}")))?,
+        )),
+        fd_kv::KV => {
+            Ok(Box::new(fd_kv::KvScenario::fixed(plan).map_err(|e| {
+                CampaignError::Setup(format!("--plan {path}: {e}"))
+            })?))
+        }
+        other => Err(CampaignError::Setup(format!(
+            "--plan drives the chaos or kv scenario; it cannot combine with --scenario {other:?}"
+        ))),
+    }
+}
+
+fn run_campaign(a: &Args) -> Result<(), CampaignError> {
     use fd_bench::campaign::{scenario_by_name, scenario_names};
 
     if let Some(path) = &a.replay {
         let path = std::path::Path::new(path);
-        let artifact = fd_campaign::Artifact::load(path)?;
-        let scenario = scenario_by_name(&artifact.scenario)
-            .ok_or_else(|| format!("artifact names unknown scenario {:?}", artifact.scenario))?;
+        let artifact = fd_campaign::Artifact::load(path).map_err(CampaignError::Setup)?;
+        let scenario = scenario_by_name(&artifact.scenario).ok_or_else(|| {
+            CampaignError::Setup(format!(
+                "artifact names unknown scenario {:?}",
+                artifact.scenario
+            ))
+        })?;
         println!(
             "replaying {}: scenario {} seed {} property {}",
             path.display(),
@@ -424,7 +496,7 @@ fn cmd_campaign(a: &Args) -> Result<(), String> {
             artifact.seed,
             artifact.property
         );
-        let r = fd_campaign::replay(scenario.as_ref(), &artifact)?;
+        let r = fd_campaign::replay(scenario.as_ref(), &artifact).map_err(CampaignError::Run)?;
         match &r.violation {
             Some(detail) => println!("violation reproduced ✓  {detail}"),
             None => println!("violation did NOT reproduce"),
@@ -440,9 +512,12 @@ fn cmd_campaign(a: &Args) -> Result<(), String> {
         );
         if a.shrink {
             if !r.reproduced() {
-                return Err("refusing to shrink: the violation did not reproduce".into());
+                return Err(CampaignError::Run(
+                    "refusing to shrink: the violation did not reproduce".into(),
+                ));
             }
-            let out = fd_campaign::shrink(scenario.as_ref(), &artifact)?;
+            let out =
+                fd_campaign::shrink(scenario.as_ref(), &artifact).map_err(CampaignError::Run)?;
             println!(
                 "shrunk in {} accepted steps ({} attempts):",
                 out.applied.len(),
@@ -461,50 +536,34 @@ fn cmd_campaign(a: &Args) -> Result<(), String> {
                     .add(out.attempts as u64);
                 let metrics_path = std::path::Path::new(metrics_path);
                 fd_obs::write_jsonl_file(metrics_path, &registry.snapshot())
-                    .map_err(|e| format!("{}: {e}", metrics_path.display()))?;
+                    .map_err(|e| CampaignError::Run(format!("{}: {e}", metrics_path.display())))?;
                 println!("metrics: {}", metrics_path.display());
             }
-            let min = artifact_sibling(path, &out.artifact)?;
+            let min = artifact_sibling(path, &out.artifact).map_err(CampaignError::Run)?;
             println!("minimal counterexample: {}", min.display());
         }
         return if r.reproduced() {
             Ok(())
         } else {
-            Err("artifact is stale".into())
+            Err(CampaignError::Run("artifact is stale".into()))
         };
     }
 
     let scenario: Box<dyn fd_campaign::Scenario> = if let Some(path) = &a.plan {
-        if !a.scenario.is_empty() && a.scenario != fd_chaos::CHAOS {
-            return Err(format!(
-                "--plan runs the chaos scenario; it cannot combine with --scenario {:?}",
-                a.scenario
-            ));
-        }
-        let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
-        let plan: fd_chaos::ChaosPlan =
-            serde_json::from_str(&text).map_err(|e| format!("{path}: not a chaos plan: {e}"))?;
-        println!(
-            "fixed chaos plan {path}: n={} detector={:?} horizon={} events={}",
-            plan.n,
-            plan.detector,
-            plan.horizon,
-            plan.events.len()
-        );
-        Box::new(fd_chaos::ChaosScenario::fixed(plan).map_err(|e| format!("{path}: {e}"))?)
+        plan_scenario(a, path)?
     } else {
         if a.scenario.is_empty() {
-            return Err(format!(
+            return Err(CampaignError::Setup(format!(
                 "--scenario is required (known: {})",
                 scenario_names().join(", ")
-            ));
+            )));
         }
         scenario_by_name(&a.scenario).ok_or_else(|| {
-            format!(
+            CampaignError::Setup(format!(
                 "unknown scenario {:?} (known: {})",
                 a.scenario,
                 scenario_names().join(", ")
-            )
+            ))
         })?
     };
     let registry = fd_obs::Registry::new();
@@ -519,15 +578,15 @@ fn cmd_campaign(a: &Args) -> Result<(), String> {
     if let Some(metrics_path) = &a.metrics_out {
         let metrics_path = std::path::Path::new(metrics_path);
         fd_campaign::write_metrics_file(metrics_path, &report, &registry)
-            .map_err(|e| format!("{}: {e}", metrics_path.display()))?;
+            .map_err(|e| CampaignError::Run(format!("{}: {e}", metrics_path.display())))?;
         println!("metrics: {}", metrics_path.display());
     }
     if report.failed() > 0 {
-        Err(format!(
+        Err(CampaignError::Run(format!(
             "{} of {} seeds violated a property",
             report.failed(),
             report.results.len()
-        ))
+        )))
     } else {
         Ok(())
     }
@@ -679,6 +738,50 @@ fn cmd_bench_kernel(rest: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// Run the replicated-KV serving-stack benchmark: every detector class
+/// over N seeds of the standard crash/restart plan, reporting commit
+/// latency, failover blackout, and catch-up volume (`BENCH_kv.json`).
+fn cmd_kv_bench(rest: &[String]) -> Result<(), String> {
+    let mut seeds = 200u64;
+    let mut out: Option<String> = None;
+    let mut it = rest.iter();
+    while let Some(flag) = it.next() {
+        let mut take = || it.next().ok_or_else(|| format!("{flag} needs a value"));
+        match flag.as_str() {
+            "--seeds" => {
+                seeds = take()?.parse().map_err(|e| format!("--seeds: {e}"))?;
+                if seeds == 0 {
+                    return Err("--seeds must be at least 1".into());
+                }
+            }
+            "--out" => out = Some(take()?.clone()),
+            other => return Err(format!("unknown kv-bench flag {other}")),
+        }
+    }
+    println!("kv-bench: standard crash/restart plan, {seeds} seeds per detector class …");
+    let bench = fd_kv::kv_bench(seeds);
+    if let serde::Value::Obj(detectors) = bench.field("detectors") {
+        for (key, d) in detectors {
+            let commit = d.field("commit_us");
+            let blackout = d.field("blackout_us");
+            println!(
+                "{key:<14} commit p50 {:>7}us p99 {:>7}us p99.9 {:>7}us | blackout p50 {:>7}us p99 {:>7}us | violations {}",
+                commit.field("p50").as_u64().unwrap_or(0),
+                commit.field("p99").as_u64().unwrap_or(0),
+                commit.field("p999").as_u64().unwrap_or(0),
+                blackout.field("p50").as_u64().unwrap_or(0),
+                blackout.field("p99").as_u64().unwrap_or(0),
+                d.field("violations").as_u64().unwrap_or(0),
+            );
+        }
+    }
+    if let Some(path) = &out {
+        write_json(path, &bench)?;
+        println!("kv json: {path}");
+    }
+    Ok(())
+}
+
 /// Flags of `ecfd lint` (parsed separately from [`Args`]).
 #[derive(Debug, PartialEq)]
 struct LintArgs {
@@ -807,6 +910,15 @@ fn main() -> ExitCode {
             }
         };
     }
+    if cmd == "kv-bench" {
+        return match cmd_kv_bench(rest) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
     if cmd == "lint" {
         return cmd_lint(rest);
     }
@@ -827,11 +939,13 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    if cmd == "campaign" {
+        return cmd_campaign(&args);
+    }
     let result = match cmd.as_str() {
         "consensus" => cmd_consensus(&args),
         "detector" => cmd_detector(&args),
         "log" => cmd_log(&args),
-        "campaign" => cmd_campaign(&args),
         other => Err(format!("unknown command {other}")),
     };
     match result {

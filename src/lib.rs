@@ -40,6 +40,8 @@
 //! | [`consensus`] | ◇C consensus + CT ◇S + MR Ω protocols, nodes, scenario harness |
 //! | [`runtime`] | threaded wall-clock executor for the same actors |
 //! | [`campaign`] | parallel seed sweeps, property monitors, repro artifacts, shrinking |
+//! | [`chaos`] | declarative fault schedules (partitions, churn, mangling) compiled to kernel interventions |
+//! | [`kv`] | durable replicated KV service on the consensus log: WAL, snapshots, crash catch-up |
 //! | [`obs`] | counters/gauges/histograms, scoped spans, JSONL metrics export |
 //! | [`bench`] | experiment harness regenerating the paper's tables (incl. campaign scenarios) |
 
@@ -49,9 +51,11 @@
 pub use fd_bench as bench;
 pub use fd_broadcast as broadcast;
 pub use fd_campaign as campaign;
+pub use fd_chaos as chaos;
 pub use fd_consensus as consensus;
 pub use fd_core as core;
 pub use fd_detectors as detectors;
+pub use fd_kv as kv;
 pub use fd_obs as obs;
 pub use fd_runtime as runtime;
 pub use fd_sim as sim;

@@ -1,0 +1,93 @@
+//! End-to-end tests of the `kv` campaign scenario through the public
+//! registry: parallel determinism, instrumentation invariance, and
+//! crash-restart recovery under a fixed fault plan — the same contract
+//! the `e8` and `chaos` scenarios honour, now over the full serving
+//! stack (consensus + WAL + snapshot catch-up).
+
+use ecfd::bench::campaign::scenario_by_name;
+use ecfd::campaign::Campaign;
+
+#[test]
+fn kv_seed_results_are_independent_of_job_count() {
+    let scenario = scenario_by_name("kv").expect("kv is registered");
+    let serial = Campaign::new(scenario.as_ref(), 0..24).jobs(1).run();
+    let parallel = Campaign::new(scenario.as_ref(), 0..24).jobs(4).run();
+    // Same per-seed verdicts AND byte-identical traces (same digests),
+    // whatever the worker count — even though most seeds crash and
+    // restart a replica mid-workload.
+    assert_eq!(serial.results, parallel.results);
+    assert_eq!(
+        serial.failed(),
+        0,
+        "kv sweep must be clean: {:?}",
+        serial
+            .results
+            .iter()
+            .filter(|r| r.violation.is_some())
+            .collect::<Vec<_>>()
+    );
+    assert!(
+        serial.latency_stats().is_some(),
+        "kv runs report commit latency as decision latency"
+    );
+}
+
+#[test]
+fn kv_seed_results_are_independent_of_instrumentation() {
+    let scenario = scenario_by_name("kv").expect("kv is registered");
+    let bare = Campaign::new(scenario.as_ref(), 0..12).jobs(2).run();
+    let registry = ecfd::obs::Registry::new();
+    let observed = Campaign::new(scenario.as_ref(), 0..12)
+        .jobs(2)
+        .observe(&registry)
+        .run();
+    assert_eq!(bare.results, observed.results);
+    assert_eq!(
+        registry.counter("sim.events").get(),
+        observed.total_events(),
+        "registry event counter vs summed RunOutcome events"
+    );
+}
+
+#[test]
+fn fixed_crash_restart_plan_recovers_on_every_seed() {
+    // The CI smoke plan: crash a replica mid-workload, restart it, and
+    // demand (via the scenario's RecoveryMonitor) that catch-up
+    // completes on every seed. The workload still varies per seed.
+    let plan = fd_kv::standard_plan(fd_chaos::DetectorKind::Heartbeat);
+    let scenario = fd_kv::KvScenario::fixed(plan).expect("standard plan is legal");
+    let serial = Campaign::new(&scenario, 0..8).jobs(1).run();
+    let parallel = Campaign::new(&scenario, 0..8).jobs(4).run();
+    assert_eq!(serial.results, parallel.results);
+    assert_eq!(
+        serial.failed(),
+        0,
+        "every seed must catch up after restart: {:?}",
+        serial
+            .results
+            .iter()
+            .filter(|r| r.violation.is_some())
+            .collect::<Vec<_>>()
+    );
+}
+
+/// The acceptance sweep: 1000 seeds, byte-identical across `--jobs
+/// {1,4}`, metrics on, generated chaos (crash/restart + partitions)
+/// included. Minutes of work — run with `cargo test -- --ignored`.
+#[test]
+#[ignore]
+fn kv_thousand_seed_sweep_is_deterministic() {
+    let scenario = scenario_by_name("kv").expect("kv is registered");
+    let serial = Campaign::new(scenario.as_ref(), 0..1000).jobs(1).run();
+    let registry = ecfd::obs::Registry::new();
+    let parallel = Campaign::new(scenario.as_ref(), 0..1000)
+        .jobs(4)
+        .observe(&registry)
+        .run();
+    assert_eq!(serial.results, parallel.results);
+    assert_eq!(serial.failed(), 0, "1000-seed kv sweep must be clean");
+    assert_eq!(
+        registry.counter("sim.events").get(),
+        parallel.total_events()
+    );
+}

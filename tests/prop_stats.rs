@@ -4,14 +4,15 @@
 use ecfd::campaign::Stats;
 use proptest::prelude::*;
 
-/// Textbook nearest-rank percentile: the p-th percentile of n sorted
-/// samples is the sample at 1-based rank ⌈(p/100)·n⌉. Written with
-/// floating-point math on purpose, so it shares no code (and no
-/// rounding shortcuts) with the integer formula under test.
-fn reference_percentile(sorted: &[u64], p: usize) -> u64 {
+/// Textbook nearest-rank percentile at per-mille resolution: the
+/// (p/10)-th percentile of n sorted samples is the sample at 1-based
+/// rank ⌈(p/1000)·n⌉. Written with floating-point math on purpose, so
+/// it shares no code (and no rounding shortcuts) with the integer
+/// formula under test.
+fn reference_permille(sorted: &[u64], p: usize) -> u64 {
     let n = sorted.len();
     assert!(n > 0);
-    let rank = ((p as f64 / 100.0) * n as f64).ceil().max(1.0) as usize;
+    let rank = ((p as f64 / 1000.0) * n as f64).ceil().max(1.0) as usize;
     sorted[rank.min(n) - 1]
 }
 
@@ -29,11 +30,13 @@ proptest! {
         prop_assert_eq!(stats.count, sorted.len());
         prop_assert_eq!(stats.min, sorted[0]);
         prop_assert_eq!(stats.max, *sorted.last().unwrap());
-        prop_assert_eq!(stats.p50, reference_percentile(&sorted, 50));
-        prop_assert_eq!(stats.p99, reference_percentile(&sorted, 99));
+        prop_assert_eq!(stats.p50, reference_permille(&sorted, 500));
+        prop_assert_eq!(stats.p99, reference_permille(&sorted, 990));
+        prop_assert_eq!(stats.p999, reference_permille(&sorted, 999));
         // Percentiles are order statistics: monotone and within range.
         prop_assert!(stats.min <= stats.p50);
         prop_assert!(stats.p50 <= stats.p99);
-        prop_assert!(stats.p99 <= stats.max);
+        prop_assert!(stats.p99 <= stats.p999);
+        prop_assert!(stats.p999 <= stats.max);
     }
 }
