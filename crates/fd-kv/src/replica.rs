@@ -69,6 +69,11 @@ pub mod obs {
     /// Catch-up reached a peer's frontier:
     /// `U64Pair(applied, entries_fetched)`.
     pub const SYNC_DONE: &str = "kv.sync_done";
+    /// An op submitted here was proposed in a slot an adopted snapshot
+    /// covers, and its decision was never observed locally: the ack is
+    /// abandoned (the op may or may not have won its slot; the store
+    /// image hides which). `U64Pair(uid, proposed_slot)`.
+    pub const ABANDON: &str = "kv.abandon";
 }
 
 /// Tuning knobs of one replica's serving stack.
@@ -122,6 +127,12 @@ pub enum KvMsg<F> {
         /// The responder's applied frontier (first slot it has *not*
         /// applied).
         frontier: u64,
+        /// Whether the responder had itself finished catch-up when it
+        /// answered. Entries and snapshots are decided data either way,
+        /// but only an authoritative `frontier` may end the requester's
+        /// catch-up — two concurrently recovering replicas answering
+        /// each other must not talk one another out of syncing.
+        authoritative: bool,
     },
 }
 
@@ -182,6 +193,11 @@ pub struct KvReplica<D: Component> {
     repair_armed: bool,
     /// Catching up after a restart; proposing is gated off.
     syncing: bool,
+    /// While syncing: latest *non-authoritative* frontier claim per
+    /// responding peer. If every peer is itself recovering, catch-up
+    /// ends once all of them have answered and none is ahead — the
+    /// escape hatch that keeps a whole-cluster restart live.
+    sync_claims: BTreeMap<ProcessId, u64>,
     /// Log entries fetched through catch-up (reporting).
     fetched: u64,
     /// `on_start` invocations; > 0 means warm restart = crash recovery.
@@ -227,6 +243,7 @@ where
             fsync_armed: false,
             repair_armed: false,
             syncing: false,
+            sync_claims: BTreeMap::new(),
             fetched: 0,
             starts: 0,
             wal_disk: SimDisk::new(),
@@ -286,7 +303,12 @@ where
     }
 
     fn ensure_proposed(&mut self, ctx: &mut Context<'_, KvMsg<D::Msg>>, slot: u64) {
+        // Below-base slots are decided-elsewhere: a snapshot adoption
+        // compacted their decisions *and* this replica's Join markers
+        // away, so joining a fresh instance here could re-decide a
+        // globally decided slot with no memory of the locked value.
         if self.syncing
+            || slot < self.multi.base()
             || self.quarantined.contains(&slot)
             || self.multi.proposed_in(slot).is_some()
             || self.multi.decided(slot).is_some()
@@ -453,9 +475,11 @@ where
 
     // ---- catch-up ----------------------------------------------------
 
-    /// If `slot` is already decided here, answer `from` with the
-    /// decision (as a tiny `SyncResp`) and report `true`. `SyncResp`
-    /// never generates consensus traffic, so this cannot loop.
+    /// If `slot` is resolved here — decided in this replica's log, or
+    /// below its base (decided-elsewhere, compacted into an adopted
+    /// snapshot) — answer `from` with the decision (as a `SyncResp`)
+    /// and report `true`. `SyncResp` never generates consensus traffic,
+    /// so this cannot loop.
     fn reply_if_decided(
         &mut self,
         ctx: &mut Context<'_, KvMsg<D::Msg>>,
@@ -469,8 +493,17 @@ where
                     snap: None,
                     entries: vec![(slot, value)],
                     frontier: self.applied,
+                    authoritative: !self.syncing,
                 },
             );
+            return true;
+        }
+        if slot < self.multi.base() {
+            // The individual decision is gone (snapshot catch-up raised
+            // the base past it), but the slot is covered by durable
+            // state: ship snapshot + tail instead of ever routing
+            // consensus traffic into a fresh instance for it.
+            self.serve_sync(ctx, from, slot);
             return true;
         }
         false
@@ -568,6 +601,7 @@ where
                 snap,
                 entries,
                 frontier: self.applied,
+                authoritative: !self.syncing,
             },
         );
     }
@@ -575,9 +609,11 @@ where
     fn on_sync_resp(
         &mut self,
         ctx: &mut Context<'_, KvMsg<D::Msg>>,
+        from: ProcessId,
         snap: Option<Vec<u8>>,
         entries: Vec<(u64, u64)>,
         frontier: u64,
+        authoritative: bool,
     ) {
         if let Some(bytes) = snap {
             if let Some((store, applied, digest)) = KvStore::decode_snapshot(&bytes) {
@@ -590,6 +626,34 @@ where
                     self.applied = applied;
                     self.digest = digest;
                     self.multi.raise_base(applied);
+                    // The adopted snapshot is durable, which is exactly
+                    // what decided-and-applied ops were waiting on: ack
+                    // them now instead of leaving them to a group-commit
+                    // fsync of WAL records this rewrite discards.
+                    for (uid, slot) in std::mem::take(&mut self.unacked) {
+                        ctx.observe(obs::COMMIT, Payload::U64Pair(uid, slot));
+                    }
+                    // Own ops proposed in slots the snapshot covers whose
+                    // decisions never arrived: the store image hides
+                    // whether they won or lost. Re-proposing risks a
+                    // double apply, so drop the ack with an explicit
+                    // trace record (at-most-once, visibly).
+                    let joined_below: Vec<u64> = self
+                        .joined
+                        .iter()
+                        .copied()
+                        .take_while(|&s| s < applied)
+                        .collect();
+                    for slot in joined_below {
+                        if self.multi.decided(slot).is_some() {
+                            continue;
+                        }
+                        if let Some(cmd) = self.multi.proposed_in(slot) {
+                            if cmd != NOOP && self.submitted.remove(&uid_of(cmd)) {
+                                ctx.observe(obs::ABANDON, Payload::U64Pair(uid_of(cmd), slot));
+                            }
+                        }
+                    }
                     self.entries.retain(|&s, _| s >= applied);
                     self.joined.retain(|&s| s >= applied);
                     self.quarantined.retain(|&s| s >= applied);
@@ -624,14 +688,31 @@ where
             self.entries.insert(slot, cmd);
         }
         self.try_apply(ctx);
-        if self.syncing && self.applied >= frontier {
-            self.finish_sync(ctx);
+        if self.syncing {
+            let done = if authoritative {
+                self.applied >= frontier
+            } else {
+                // A peer that is itself recovering cannot vouch for the
+                // global frontier — two concurrent recoveries answering
+                // each other with empty logs must not both exit at slot
+                // 0. Its claim only counts through the escape hatch:
+                // when *every* peer has answered non-authoritatively and
+                // none is ahead, the whole cluster restarted and there
+                // is no more durable state anywhere to fetch.
+                self.sync_claims.insert(from, frontier);
+                self.sync_claims.len() == ctx.n() - 1
+                    && self.sync_claims.values().all(|&f| f <= self.applied)
+            };
+            if done {
+                self.finish_sync(ctx);
+            }
         }
         self.drive(ctx);
     }
 
     fn finish_sync(&mut self, ctx: &mut Context<'_, KvMsg<D::Msg>>) {
         self.syncing = false;
+        self.sync_claims.clear();
         self.multi.raise_base(self.applied);
         // Quarantined slots re-enter the bookkeeping as "already
         // proposed" so the proposer rotation skips them without ever
@@ -681,6 +762,7 @@ where
         self.unacked.clear();
         self.fsync_armed = false;
         self.repair_armed = false;
+        self.sync_claims.clear();
         self.fetched = 0;
         let n = ctx.n();
         self.multi = MultiEc::new(self.me, n, ConsensusConfig::default());
@@ -811,8 +893,9 @@ where
                 snap,
                 entries,
                 frontier,
+                authoritative,
             } => {
-                self.on_sync_resp(ctx, snap, entries, frontier);
+                self.on_sync_resp(ctx, from, snap, entries, frontier, authoritative);
             }
         }
     }
@@ -847,7 +930,7 @@ where
             }
         } else if tag.ns >= MULTI_NS_BASE {
             let slot = (tag.ns - MULTI_NS_BASE) as u64;
-            if self.syncing || self.quarantined.contains(&slot) {
+            if self.syncing || slot < self.multi.base() || self.quarantined.contains(&slot) {
                 return;
             }
             let fd = self.fd.output();
@@ -860,5 +943,148 @@ where
         } else {
             debug_assert_eq!(tag.ns, self.rb.ns(), "timer for an unknown namespace");
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::command::{encode, KvOp};
+    use fd_chaos::{base_net, compile, ChaosKind, ChaosPlan, DetectorKind};
+    use fd_detectors::{HeartbeatConfig, HeartbeatDetector, LeaderByFirstNonSuspected};
+    use fd_sim::{World, WorldBuilder};
+
+    type TestReplica = KvReplica<LeaderByFirstNonSuspected<HeartbeatDetector>>;
+
+    fn make_world(n: usize, schedules: Vec<Vec<(Time, u64)>>) -> World<TestReplica> {
+        WorldBuilder::new(base_net(n)).seed(7).build(&mut |pid, n| {
+            KvReplica::new(
+                pid,
+                n,
+                LeaderByFirstNonSuspected::new(
+                    HeartbeatDetector::new(pid, n, HeartbeatConfig::default()),
+                    n,
+                ),
+                KvConfig::default(),
+                schedules[pid.index()].clone(),
+            )
+        })
+    }
+
+    /// A valid snapshot image claiming `applied` slots.
+    fn snapshot_at(applied: u64) -> Vec<u8> {
+        let mut store = KvStore::new();
+        store.apply(KvOp::Put { key: 1, value: 9 });
+        store.encode_snapshot(applied, 0x1234)
+    }
+
+    /// Fast-forward replica 0 to slot 10 via an adopted snapshot.
+    fn adopt_snapshot(world: &mut World<TestReplica>) {
+        world.interact(ProcessId(0), |r, ctx| {
+            r.on_message(
+                ctx,
+                ProcessId(1),
+                KvMsg::SyncResp {
+                    snap: Some(snapshot_at(10)),
+                    entries: Vec::new(),
+                    frontier: 10,
+                    authoritative: true,
+                },
+            );
+        });
+        let (mut applied, mut base) = (0, 0);
+        world.interact(ProcessId(0), |r, _| {
+            applied = r.applied();
+            base = r.multi().base();
+        });
+        assert_eq!(applied, 10);
+        assert_eq!(base, 10, "snapshot adoption raises the base");
+    }
+
+    #[test]
+    fn below_base_open_is_answered_with_sync_not_a_fresh_instance() {
+        let mut world = make_world(3, vec![Vec::new(); 3]);
+        adopt_snapshot(&mut world);
+        // A lagging peer re-opens a slot the snapshot already covers:
+        // the caught-up replica has no decision *and* no quarantine
+        // marker for it, so joining a fresh instance could re-decide a
+        // globally decided slot. It must answer with sync data instead.
+        world.interact(ProcessId(0), |r, ctx| {
+            r.on_message(ctx, ProcessId(1), KvMsg::Open { slot: 3 });
+        });
+        let mut proposed = None;
+        world.interact(ProcessId(0), |r, _| proposed = r.multi().proposed_in(3));
+        assert_eq!(proposed, None, "below-base slot must never be proposed in");
+        // The reply fast-forwards the requester instead.
+        world.run_until_time(Time::from_millis(500));
+        let mut p1_applied = 0;
+        world.interact(ProcessId(1), |r, _| p1_applied = r.applied());
+        assert_eq!(
+            p1_applied, 10,
+            "the Open sender is caught up via the snapshot"
+        );
+    }
+
+    #[test]
+    fn below_base_consensus_traffic_is_never_routed_into_an_instance() {
+        let mut world = make_world(3, vec![Vec::new(); 3]);
+        adopt_snapshot(&mut world);
+        world.interact(ProcessId(0), |r, ctx| {
+            r.on_message(
+                ctx,
+                ProcessId(1),
+                KvMsg::Cons(MultiMsg {
+                    slot: 3,
+                    inner: EcMsg::Coordinator { round: 1 },
+                }),
+            );
+        });
+        let mut proposed = None;
+        world.interact(ProcessId(0), |r, _| proposed = r.multi().proposed_in(3));
+        assert_eq!(
+            proposed, None,
+            "a Cons message for a below-base slot must not revive it"
+        );
+    }
+
+    #[test]
+    fn snapshot_adoption_abandons_unresolved_own_ops_visibly() {
+        // Replica 0 is partitioned off alone from t = 1 ms; its op
+        // arrives at 100 ms and is proposed in slot 0 but cannot decide.
+        let plan = ChaosPlan::new(3, DetectorKind::Heartbeat, Time::from_secs(2)).push(
+            Time::from_millis(1),
+            ChaosKind::Partition {
+                groups: vec![vec![ProcessId(0)], vec![ProcessId(1), ProcessId(2)]],
+            },
+        );
+        let net = base_net(3);
+        let interventions = compile(&plan, &net).unwrap();
+        let cmd = encode(5, KvOp::Put { key: 2, value: 7 });
+        let schedules = vec![vec![(Time::from_millis(100), cmd)], Vec::new(), Vec::new()];
+        let mut world = make_world(3, schedules);
+        for (at, iv) in interventions {
+            world.schedule_intervention(at, iv);
+        }
+        world.run_until_time(Time::from_millis(300));
+        let mut proposed = None;
+        world.interact(ProcessId(0), |r, _| proposed = r.multi().proposed_in(0));
+        assert_eq!(proposed, Some(cmd), "the op is stuck proposed in slot 0");
+        // A snapshot far past slot 0 arrives: the op's fate is hidden
+        // inside the image. The ack must be dropped *visibly*, not
+        // leaked in `submitted` forever.
+        adopt_snapshot(&mut world);
+        world.run_until_time(Time::from_secs(2));
+        let (trace, _) = world.take_results();
+        let mut abandoned = Vec::new();
+        for (_, pid, payload) in trace.observations(obs::ABANDON) {
+            if pid == ProcessId(0) {
+                abandoned.push(payload.as_u64_pair().unwrap());
+            }
+        }
+        assert_eq!(
+            abandoned,
+            vec![(5, 0)],
+            "uid 5 abandoned at its proposal slot"
+        );
     }
 }

@@ -437,9 +437,12 @@ impl Monitor for LogAgreementMonitor {
     }
 }
 
-/// Every op submitted at a replica that never crashed commits there
-/// before the horizon (liveness of the full stack: consensus decides,
-/// the WAL fsyncs, the ack fires).
+/// Every op submitted at a replica that never crashed either commits
+/// there before the horizon (liveness of the full stack: consensus
+/// decides, the WAL fsyncs, the ack fires) or is *explicitly* abandoned
+/// (`kv.abandon`: the replica fell behind a snapshot horizon and the
+/// op's fate is hidden inside the adopted image). Silent loss is the
+/// violation; abandonment is a visible, at-most-once outcome.
 struct CommittedMonitor;
 
 impl Monitor for CommittedMonitor {
@@ -454,10 +457,12 @@ impl Monitor for CommittedMonitor {
             .into_iter()
             .map(|(p, _)| p)
             .collect();
-        let mut committed: BTreeMap<(usize, u64), bool> = BTreeMap::new();
-        for (_, pid, payload) in outcome.trace.observations(obs::COMMIT) {
-            if let Some((uid, _)) = payload.as_u64_pair() {
-                committed.insert((pid.index(), uid), true);
+        let mut resolved: BTreeMap<(usize, u64), bool> = BTreeMap::new();
+        for tag in [obs::COMMIT, obs::ABANDON] {
+            for (_, pid, payload) in outcome.trace.observations(tag) {
+                if let Some((uid, _)) = payload.as_u64_pair() {
+                    resolved.insert((pid.index(), uid), true);
+                }
             }
         }
         for (_, pid, payload) in outcome.trace.observations(obs::SUBMIT) {
@@ -467,10 +472,10 @@ impl Monitor for CommittedMonitor {
             let Some((uid, _)) = payload.as_u64_pair() else {
                 continue;
             };
-            if !committed.contains_key(&(pid.index(), uid)) {
+            if !resolved.contains_key(&(pid.index(), uid)) {
                 return Err(Violation {
                     property: "kv.committed",
-                    detail: format!("op uid {uid} submitted at {pid} never committed"),
+                    detail: format!("op uid {uid} submitted at {pid} never committed or abandoned"),
                 });
             }
         }
@@ -598,6 +603,112 @@ mod tests {
             checked += 1;
         }
         assert!(checked >= 5, "only {checked} crash/restart seeds in range");
+    }
+
+    #[test]
+    fn overlapping_recoveries_wait_for_an_authoritative_peer() {
+        // p1 and p2 crash, then restart together behind a partition
+        // that hides the only replica which kept serving: until the
+        // heal, each can only hear the *other recovering* replica's
+        // frontier claim — which must not end its catch-up (two blank
+        // recoveries talking each other out of syncing is how globally
+        // decided slots get re-opened).
+        let heal = Time::from_millis(2000);
+        let plan = ChaosPlan::new(3, DetectorKind::Heartbeat, Time::from_secs(8))
+            .push(Time::from_millis(300), ChaosKind::GstMarker)
+            .push(
+                Time::from_millis(600),
+                ChaosKind::Crash { pid: ProcessId(1) },
+            )
+            .push(
+                Time::from_millis(700),
+                ChaosKind::Crash { pid: ProcessId(2) },
+            )
+            .push(
+                Time::from_millis(1100),
+                ChaosKind::Partition {
+                    groups: vec![vec![ProcessId(0)], vec![ProcessId(1), ProcessId(2)]],
+                },
+            )
+            .push(
+                Time::from_millis(1200),
+                ChaosKind::Restart { pid: ProcessId(1) },
+            )
+            .push(
+                Time::from_millis(1300),
+                ChaosKind::Restart { pid: ProcessId(2) },
+            )
+            .push(heal, ChaosKind::Heal);
+        let sc = KvScenario::fixed(plan).unwrap();
+        let monitors = sc.monitors();
+        for seed in 0..6 {
+            let plan = sc.plan(seed);
+            let outcome = sc.execute(&plan);
+            for m in &monitors {
+                m.check(&outcome)
+                    .unwrap_or_else(|v| panic!("seed {seed}: {v}"));
+            }
+            for pid in [ProcessId(1), ProcessId(2)] {
+                let done: Vec<Time> = outcome
+                    .trace
+                    .observations_of(pid, obs::SYNC_DONE)
+                    .map(|(t, _)| t)
+                    .collect();
+                assert!(
+                    !done.is_empty(),
+                    "seed {seed}: {pid} never finished catch-up"
+                );
+                assert!(
+                    done.iter().all(|&t| t >= heal),
+                    "seed {seed}: {pid} finished catch-up at {done:?}, \
+                     before the heal exposed an authoritative peer"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn whole_cluster_restart_escapes_catchup_deadlock() {
+        // Every replica crashes and recovers: no authoritative peer
+        // will ever answer, so catch-up must end through the all-peers-
+        // lagging escape hatch instead of wedging the cluster forever.
+        // The recovery monitor demands a `kv.sync_done` per restart.
+        let plan = ChaosPlan::new(3, DetectorKind::Heartbeat, Time::from_secs(8))
+            .push(Time::from_millis(300), ChaosKind::GstMarker)
+            .push(
+                Time::from_millis(500),
+                ChaosKind::Crash { pid: ProcessId(0) },
+            )
+            .push(
+                Time::from_millis(600),
+                ChaosKind::Crash { pid: ProcessId(1) },
+            )
+            .push(
+                Time::from_millis(700),
+                ChaosKind::Crash { pid: ProcessId(2) },
+            )
+            .push(
+                Time::from_millis(1400),
+                ChaosKind::Restart { pid: ProcessId(0) },
+            )
+            .push(
+                Time::from_millis(1500),
+                ChaosKind::Restart { pid: ProcessId(1) },
+            )
+            .push(
+                Time::from_millis(1600),
+                ChaosKind::Restart { pid: ProcessId(2) },
+            );
+        let sc = KvScenario::fixed(plan).unwrap();
+        let monitors = sc.monitors();
+        for seed in 0..6 {
+            let plan = sc.plan(seed);
+            let outcome = sc.execute(&plan);
+            for m in &monitors {
+                m.check(&outcome)
+                    .unwrap_or_else(|v| panic!("seed {seed}: {v}"));
+            }
+        }
     }
 
     #[test]
