@@ -262,6 +262,7 @@ pub fn kernel_bench(seeds: u64) -> serde::Value {
 pub fn scenario_by_name(name: &str) -> Option<Box<dyn Scenario>> {
     match name {
         E8 => Some(Box::new(E8Scenario)),
+        crate::scale::SCALE => Some(Box::new(crate::scale::ScaleScenario)),
         fd_chaos::CHAOS => Some(Box::new(fd_chaos::ChaosScenario::generated())),
         fd_kv::KV => Some(Box::new(fd_kv::KvScenario::generated())),
         _ => fd_campaign::builtin_scenario(name),
@@ -270,7 +271,7 @@ pub fn scenario_by_name(name: &str) -> Option<Box<dyn Scenario>> {
 
 /// Every scenario name [`scenario_by_name`] resolves.
 pub fn scenario_names() -> Vec<&'static str> {
-    let mut names = vec![E8, fd_chaos::CHAOS, fd_kv::KV];
+    let mut names = vec![E8, crate::scale::SCALE, fd_chaos::CHAOS, fd_kv::KV];
     names.extend(fd_campaign::builtin_names());
     names
 }
@@ -308,10 +309,14 @@ mod tests {
     #[test]
     fn registry_resolves_experiment_and_builtin_names() {
         assert!(scenario_by_name("e8").is_some());
+        assert!(scenario_by_name("scale").is_some());
         assert!(scenario_by_name("chaos").is_some());
         assert!(scenario_by_name("kv").is_some());
         assert!(scenario_by_name("blind").is_some());
         assert!(scenario_by_name("nope").is_none());
-        assert_eq!(scenario_names(), vec!["e8", "chaos", "kv", "blind"]);
+        assert_eq!(
+            scenario_names(),
+            vec!["e8", "scale", "chaos", "kv", "blind"]
+        );
     }
 }

@@ -84,6 +84,7 @@ pub fn run() -> Vec<Table> {
             let mut round1 = 0u64;
             let mut round_sum = 0u64;
             for seed in 0..seeds {
+                let nackers = nackers.clone();
                 let r = run_scripted(
                     proto,
                     n,

@@ -12,6 +12,7 @@
 pub mod campaign;
 pub mod experiments;
 pub mod micro;
+pub mod scale;
 pub mod scenarios;
 pub mod table;
 

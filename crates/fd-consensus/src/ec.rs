@@ -726,14 +726,14 @@ mod tests {
         // n = 5, majority = 3: the coordinator plus two acks beat two nacks.
         let mut p = EcConsensus::new(ProcessId(0), 5, ConsensusConfig::default());
         let all_visible = fd(0, &[]); // good accuracy: wait for everyone
-        drive(0, 5, |ctx| p.on_propose(ctx, 42, all_visible));
+        drive(0, 5, |ctx| p.on_propose(ctx, 42, all_visible.clone()));
         for q in 1..5 {
             let est = EcMsg::Estimate {
                 round: 1,
                 est: Some(Estimate::initial(10 + q as u64)),
             };
             drive(0, 5, |ctx| {
-                p.on_message(ctx, ProcessId(q), est, all_visible)
+                p.on_message(ctx, ProcessId(q), est.clone(), all_visible.clone())
             });
         }
         // Two acks, then two nacks: no decision until all replied.
@@ -744,12 +744,17 @@ mod tests {
                 EcMsg::Nack { round: 1 }
             };
             let (step, _) = drive(0, 5, |ctx| {
-                p.on_message(ctx, ProcessId(q), msg, all_visible)
+                p.on_message(ctx, ProcessId(q), msg.clone(), all_visible.clone())
             });
             assert_eq!(step, ProtocolStep::none(), "must wait for unsuspected p4");
         }
         let (step, _) = drive(0, 5, |ctx| {
-            p.on_message(ctx, ProcessId(4), EcMsg::Nack { round: 1 }, all_visible)
+            p.on_message(
+                ctx,
+                ProcessId(4),
+                EcMsg::Nack { round: 1 },
+                all_visible.clone(),
+            )
         });
         // 3 acks (incl. self) ≥ majority even with 2 nacks — the paper's
         // feature. The decision value is the largest initial estimate.
@@ -764,23 +769,33 @@ mod tests {
     fn coordinator_fails_round_when_acks_below_majority() {
         let mut p = EcConsensus::new(ProcessId(0), 5, ConsensusConfig::default());
         let all_visible = fd(0, &[]);
-        drive(0, 5, |ctx| p.on_propose(ctx, 42, all_visible));
+        drive(0, 5, |ctx| p.on_propose(ctx, 42, all_visible.clone()));
         for q in 1..5 {
             let est = EcMsg::Estimate {
                 round: 1,
                 est: Some(Estimate::initial(5)),
             };
             drive(0, 5, |ctx| {
-                p.on_message(ctx, ProcessId(q), est, all_visible)
+                p.on_message(ctx, ProcessId(q), est.clone(), all_visible.clone())
             });
         }
         for q in 1..4 {
             drive(0, 5, |ctx| {
-                p.on_message(ctx, ProcessId(q), EcMsg::Nack { round: 1 }, all_visible)
+                p.on_message(
+                    ctx,
+                    ProcessId(q),
+                    EcMsg::Nack { round: 1 },
+                    all_visible.clone(),
+                )
             });
         }
         let (step, _) = drive(0, 5, |ctx| {
-            p.on_message(ctx, ProcessId(4), EcMsg::Nack { round: 1 }, all_visible)
+            p.on_message(
+                ctx,
+                ProcessId(4),
+                EcMsg::Nack { round: 1 },
+                all_visible.clone(),
+            )
         });
         assert!(step.broadcast_decision.is_none());
         assert_eq!(p.round(), 2, "failed round rolls over");

@@ -409,7 +409,7 @@ fn a_long_enough_stability_window_suffices() {
             trusted: Some(ProcessId(1)),
         };
         ScriptedDetector::from_schedule(vec![
-            (Time::ZERO, selfish),
+            (Time::ZERO, selfish.clone()),
             (Time::from_millis(100), stable),
             (Time::from_millis(350), selfish),
         ])

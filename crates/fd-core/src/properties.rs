@@ -256,7 +256,7 @@ impl<'a> FdRun<'a> {
     pub fn check_eventual_strong_accuracy(&self) -> CheckResult {
         let correct = self.correct();
         for p in correct.iter() {
-            let wrong = self.final_suspects(p) & correct;
+            let wrong = self.final_suspects(p) & &correct;
             if !wrong.is_empty() {
                 return Err(Violation::new(
                     "eventual-strong-accuracy",

@@ -130,9 +130,9 @@ impl EcToEp {
 
     fn output(&self) -> ProcessSet {
         if self.was_leader {
-            self.local_list
+            self.local_list.clone()
         } else {
-            self.adopted
+            self.adopted.clone()
         }
     }
 
@@ -155,9 +155,9 @@ impl EcToEp {
 
     fn emit_if_changed<N: SimMessage>(&mut self, ctx: &mut SubCtx<'_, '_, N, EpMsg>) {
         let out = self.output();
-        if self.last_emitted != Some(out) {
-            self.last_emitted = Some(out);
+        if self.last_emitted.as_ref() != Some(&out) {
             ctx.observe(EP_SUSPECTS, fd_sim::Payload::Pids(out.to_vec()));
+            self.last_emitted = Some(out);
         }
     }
 

@@ -141,9 +141,9 @@ impl FusedDetector {
 
     fn emit_suspects_if_changed<N: SimMessage>(&mut self, ctx: &mut SubCtx<'_, '_, N, FusedMsg>) {
         let out = self.suspected();
-        if self.last_emitted_suspects != Some(out) {
-            self.last_emitted_suspects = Some(out);
+        if self.last_emitted_suspects.as_ref() != Some(&out) {
             ctx.observe(fd_core::obs::SUSPECTS, fd_sim::Payload::Pids(out.to_vec()));
+            self.last_emitted_suspects = Some(out);
         }
     }
 }
@@ -157,9 +157,9 @@ impl LeaderOracle for FusedDetector {
 impl SuspectOracle for FusedDetector {
     fn suspected(&self) -> ProcessSet {
         if self.was_leader {
-            self.local_list
+            self.local_list.clone()
         } else {
-            self.adopted
+            self.adopted.clone()
         }
     }
 }

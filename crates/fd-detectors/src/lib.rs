@@ -15,6 +15,7 @@
 //! | [`omega_stable`] | stable leader election (Aguilera et al. \[2\]) | Ω + ◇P, flap-resistant | `n(n−1)` |
 //! | [`omega_gossip`] | accusation-counter Ω reduction (\[5\]/\[7\]) | ◇W/◇S → Ω | `n(n−1)` gossip |
 //! | [`hb_counter`] | timeout-free Heartbeat + quiescent channel (\[1\]) | counter evidence | `n(n−1)` beats |
+//! | [`vcube`] | hierarchical hypercube testing (VCube/adaptive-DSD lineage) | ◇P | `≤ 2n·⌈log₂ n⌉` |
 //! | [`scripted`] | oracle detectors for adversarial runs | any (by construction) | `0` |
 //!
 //! All are [`fd_core::Component`]s; they run standalone (detector-only
@@ -34,6 +35,7 @@ pub mod omega_stable;
 pub mod ring;
 pub mod scripted;
 pub mod timeout;
+pub mod vcube;
 pub mod weak_to_strong;
 
 /// Timer-namespace registry: every component class in the workspace owns
@@ -63,6 +65,8 @@ pub mod ns {
     pub const HB_COUNTER: u32 = 13;
     /// [`crate::hb_counter::QuiescentChannel`].
     pub const QUIESCENT: u32 = 14;
+    /// [`crate::vcube::VCubeDetector`].
+    pub const VCUBE: u32 = 15;
     /// Reserved for `fd-consensus`.
     pub const CONSENSUS: u32 = 9;
 }
@@ -81,6 +85,7 @@ pub use omega_stable::{StableAlive, StableLeaderConfig, StableLeaderDetector};
 pub use ring::{RingConfig, RingDetector, RingMsg};
 pub use scripted::{NoMsg, ScriptedDetector};
 pub use timeout::{GrowthPolicy, TimeoutTable};
+pub use vcube::{VCubeConfig, VCubeDetector, VCubeMsg};
 pub use weak_to_strong::{
     W2sMsg, WeakToStrong, WeakToStrongConfig, WeakToStrongNode, W2S_SUSPECTS,
 };
@@ -94,4 +99,5 @@ pub mod prelude {
     pub use crate::omega::{LeaderByFirstNonSuspected, SuspectAllButLeader};
     pub use crate::ring::{RingConfig, RingDetector};
     pub use crate::scripted::ScriptedDetector;
+    pub use crate::vcube::{VCubeConfig, VCubeDetector};
 }

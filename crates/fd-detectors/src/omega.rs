@@ -137,9 +137,9 @@ impl<D: LeaderOracle> SuspectAllButLeader<D> {
         D: Component,
     {
         let set = self.suspected();
-        if self.last_emitted != Some(set) {
-            self.last_emitted = Some(set);
+        if self.last_emitted.as_ref() != Some(&set) {
             ctx.observe(fd_core::obs::SUSPECTS, fd_sim::Payload::Pids(set.to_vec()));
+            self.last_emitted = Some(set);
         }
     }
 }

@@ -139,7 +139,7 @@ impl StableLeaderDetector {
 
 impl SuspectOracle for StableLeaderDetector {
     fn suspected(&self) -> ProcessSet {
-        self.suspected
+        self.suspected.clone()
     }
 }
 

@@ -176,7 +176,7 @@ impl RingDetector {
         // (evidently alive) responder.
         let upstream: ProcessSet = list.iter().collect();
         let local_segment = self.between(from);
-        let mut next = (upstream - local_segment) | (self.suspected & local_segment);
+        let mut next = (upstream - &local_segment) | (&self.suspected & &local_segment);
         next.remove(self.me);
         next.remove(from);
         if next != self.suspected {
@@ -188,7 +188,7 @@ impl RingDetector {
 
 impl SuspectOracle for RingDetector {
     fn suspected(&self) -> ProcessSet {
-        self.suspected
+        self.suspected.clone()
     }
 }
 

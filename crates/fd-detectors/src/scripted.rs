@@ -98,7 +98,7 @@ impl ScriptedDetector {
 
     /// The current scripted output.
     pub fn current(&self) -> FdOutput {
-        self.schedule[self.cursor].1
+        self.schedule[self.cursor].1.clone()
     }
 
     fn emit<N: SimMessage>(&self, ctx: &mut SubCtx<'_, '_, N, NoMsg>) {
@@ -228,7 +228,7 @@ mod tests {
             suspected: ProcessSet::new(),
             trusted: Some(ProcessId(0)),
         };
-        let _ = ScriptedDetector::from_schedule(vec![(Time::ZERO, out), (Time::ZERO, out)]);
+        let _ = ScriptedDetector::from_schedule(vec![(Time::ZERO, out.clone()), (Time::ZERO, out)]);
     }
 
     #[test]

@@ -20,12 +20,22 @@ pub enum GrowthPolicy {
 }
 
 /// A table of per-peer timeout intervals (`Δ_p(q)` in Fig. 2).
+///
+/// Stored sparsely: every peer sits at `initial` until its first false
+/// suspicion, and Theorem 1 bounds how many peers ever grow past it, so
+/// only the grown entries are materialised. The obvious dense layout
+/// (`vec![initial; n]` per actor) costs O(n²) memory across a world and
+/// turns every steady-state `get` into a cold-cache load at large n —
+/// measurably so at n ≥ 1024.
 #[derive(Debug, Clone)]
 pub struct TimeoutTable {
-    current: Vec<SimDuration>,
+    n: usize,
+    initial: SimDuration,
     policy: GrowthPolicy,
     cap: SimDuration,
-    increases: Vec<u32>,
+    /// `(peer index, current timeout, increase count)` for peers whose
+    /// timeout has been increased at least once.
+    grown: Vec<(u32, SimDuration, u32)>,
 }
 
 impl TimeoutTable {
@@ -40,10 +50,11 @@ impl TimeoutTable {
         assert!(initial > SimDuration::ZERO, "timeouts must be positive");
         assert!(cap >= initial, "cap below initial timeout");
         TimeoutTable {
-            current: vec![initial; n],
+            n,
+            initial,
             policy,
             cap,
-            increases: vec![0; n],
+            grown: Vec::new(),
         }
     }
 
@@ -59,19 +70,36 @@ impl TimeoutTable {
 
     /// The current timeout for `q`.
     pub fn get(&self, q: ProcessId) -> SimDuration {
-        self.current[q.index()]
+        debug_assert!(q.index() < self.n, "peer index out of range");
+        if self.grown.is_empty() {
+            return self.initial;
+        }
+        let idx = q.index() as u32;
+        self.grown
+            .iter()
+            .find(|e| e.0 == idx)
+            .map_or(self.initial, |e| e.1)
     }
 
     /// Grow `q`'s timeout after a false suspicion. Returns the new value.
     pub fn increase(&mut self, q: ProcessId) -> SimDuration {
-        let cur = self.current[q.index()];
+        debug_assert!(q.index() < self.n, "peer index out of range");
+        let idx = q.index() as u32;
+        let pos = match self.grown.iter().position(|e| e.0 == idx) {
+            Some(p) => p,
+            None => {
+                self.grown.push((idx, self.initial, 0));
+                self.grown.len() - 1
+            }
+        };
+        let (_, cur, count) = &mut self.grown[pos];
         let next = match self.policy {
-            GrowthPolicy::Additive(inc) => cur + inc,
+            GrowthPolicy::Additive(inc) => *cur + inc,
             GrowthPolicy::Exponential => cur.saturating_mul(2),
         };
         let next = next.min(self.cap);
-        self.current[q.index()] = next;
-        self.increases[q.index()] += 1;
+        *cur = next;
+        *count += 1;
         next
     }
 
@@ -79,12 +107,13 @@ impl TimeoutTable {
     /// mistakes the detector made about `q`. Theorem 1's argument predicts
     /// this is bounded under partial synchrony.
     pub fn increases(&self, q: ProcessId) -> u32 {
-        self.increases[q.index()]
+        let idx = q.index() as u32;
+        self.grown.iter().find(|e| e.0 == idx).map_or(0, |e| e.2)
     }
 
     /// Total mistakes across all peers.
     pub fn total_increases(&self) -> u64 {
-        self.increases.iter().map(|&x| x as u64).sum()
+        self.grown.iter().map(|e| e.2 as u64).sum()
     }
 }
 

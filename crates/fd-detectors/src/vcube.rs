@@ -1,0 +1,504 @@
+//! vCube hierarchical failure detector — log₂ n testing rounds over
+//! hypercube clustering.
+//!
+//! The all-to-all heartbeat detector costs `n(n−1)` messages per period;
+//! the ring costs `O(n)` but pays `O(n)` rounds of detection latency.
+//! The vCube family (system-level diagnosis in the VCube virtual
+//! topology, à la Duarte/Nanya's adaptive-DSD lineage) sits between
+//! them: each process runs at most `log₂ n` *tests* per round against a
+//! hierarchy of clusters, and event news disseminates along the test
+//! graph in at most `log₂ n` rounds — `O(n·log n)` messages per period
+//! with `O(log n · period + timeout)` detection latency.
+//!
+//! ## Clusters
+//!
+//! For a process `i`, cluster `s` (`1 ≤ s ≤ ⌈log₂ n⌉`) is the ordered
+//! candidate list `c_{i,s}[k] = i ⊕ 2^{s−1} ⊕ k` for `k < 2^{s−1}`
+//! (identifiers ≥ n are skipped, so any n works, not just powers of
+//! two). Each round, `i` tests the *first non-suspected* candidate of
+//! every cluster — in the fault-free case exactly its `log₂ n` hypercube
+//! neighbours, and every process is tested by exactly its `log₂ n`
+//! neighbours. When faults shrink a cluster, the next candidate in the
+//! deterministic order takes over, so every correct process keeps being
+//! tested. `i` additionally re-tests the first *suspected* candidate of
+//! each cluster, which is what lets a falsely-suspected process be
+//! noticed alive again (eventual accuracy).
+//!
+//! ## Dissemination
+//!
+//! Each process keeps a per-peer event timestamp: even = up, odd = down
+//! (the classic diagnosis parity encoding). Detecting a timeout bumps
+//! the target's timestamp to odd; an ack from a suspected process bumps
+//! it back to even and grows that peer's adaptive timeout (the same
+//! ◇-accuracy mechanism the heartbeat detector uses). Fresh events ride
+//! in test *replies* for `log₂ n + 2` rounds: a tester pulls its
+//! testee's recent news, merges anything newer than its own view
+//! (max-merge by timestamp), and re-shares it. News thus crosses the
+//! test graph — whose fault-free form is the hypercube, diameter
+//! `log₂ n` — in at most `log₂ n` rounds.
+
+use crate::timeout::TimeoutTable;
+use fd_core::{Component, ProcessSet, SubCtx, SuspectOracle};
+use fd_sim::{Payload, ProcessId, SimDuration, SimMessage, Time};
+
+/// Configuration of a [`VCubeDetector`].
+#[derive(Debug, Clone)]
+pub struct VCubeConfig {
+    /// Testing-round period.
+    pub period: SimDuration,
+    /// Initial per-peer test timeout.
+    pub initial_timeout: SimDuration,
+    /// Additive timeout increment applied after each false suspicion.
+    pub timeout_increment: SimDuration,
+}
+
+impl Default for VCubeConfig {
+    fn default() -> Self {
+        VCubeConfig {
+            period: SimDuration::from_millis(10),
+            initial_timeout: SimDuration::from_millis(30),
+            timeout_increment: SimDuration::from_millis(20),
+        }
+    }
+}
+
+/// vCube protocol messages.
+#[derive(Debug, Clone)]
+pub enum VCubeMsg {
+    /// "Are you alive?" — sent to at most `2·log₂ n` cluster candidates
+    /// per round.
+    Test,
+    /// Test reply, carrying the responder's recent event news as
+    /// `(process, timestamp)` pairs (empty — and allocation-free — in
+    /// the steady state).
+    Ack {
+        /// Recent `(process, event-timestamp)` news entries.
+        news: Vec<(ProcessId, u64)>,
+    },
+}
+
+impl SimMessage for VCubeMsg {
+    fn kind(&self) -> &'static str {
+        match self {
+            VCubeMsg::Test => "vc.test",
+            VCubeMsg::Ack { .. } => "vc.ack",
+        }
+    }
+}
+
+const TIMER_ROUND: u32 = 0;
+
+/// The hierarchical detector (see module docs).
+#[derive(Debug)]
+pub struct VCubeDetector {
+    me: ProcessId,
+    n: usize,
+    /// `⌈log₂ n⌉` — clusters per process, hypercube dimensions.
+    dim: usize,
+    cfg: VCubeConfig,
+    /// Per-peer event timestamps: even = up, odd = down. Index = pid.
+    ts: Vec<u64>,
+    suspected: ProcessSet,
+    timeouts: TimeoutTable,
+    /// Outstanding tests: `(target, deadline)`. At most `2·dim` entries —
+    /// scanned, not indexed, so the per-round cost stays `O(log n)`.
+    outstanding: Vec<(ProcessId, Time)>,
+    /// Recent news to share in acks: `(pid, ts, round_added)`. Entries
+    /// retire after `dim + 2` rounds; receivers re-share what they learn,
+    /// so retention only needs to cover one dissemination hop.
+    news: Vec<(ProcessId, u64, u64)>,
+    /// Testing rounds completed (drives news retirement).
+    round: u64,
+    /// Suspect-set changed since the last observation was emitted.
+    dirty: bool,
+}
+
+impl VCubeDetector {
+    /// Build the detector for process `me` of `n`.
+    pub fn new(me: ProcessId, n: usize, cfg: VCubeConfig) -> VCubeDetector {
+        let dim = if n <= 1 {
+            0
+        } else {
+            (n - 1).ilog2() as usize + 1
+        };
+        let timeouts = TimeoutTable::additive(n, cfg.initial_timeout, cfg.timeout_increment);
+        VCubeDetector {
+            me,
+            n,
+            dim,
+            cfg,
+            ts: vec![0; n],
+            suspected: ProcessSet::new(),
+            timeouts,
+            outstanding: Vec::new(),
+            news: Vec::new(),
+            round: 0,
+            dirty: false,
+        }
+    }
+
+    /// Total timeout increases — the number of mistakes made so far.
+    pub fn mistakes(&self) -> u64 {
+        self.timeouts.total_increases()
+    }
+
+    /// The `k`-th candidate of cluster `s` (`1 ≤ s ≤ dim`), or `None`
+    /// when the identifier falls outside `0..n`.
+    fn candidate(&self, s: usize, k: usize) -> Option<ProcessId> {
+        let id = self.me.index() ^ (1usize << (s - 1)) ^ k;
+        (id < self.n).then_some(ProcessId(id))
+    }
+
+    /// The first candidate of cluster `s` matching `want_suspected`.
+    fn first_candidate(&self, s: usize, want_suspected: bool) -> Option<ProcessId> {
+        (0..1usize << (s - 1)).find_map(|k| {
+            self.candidate(s, k)
+                .filter(|&q| self.suspected.contains(q) == want_suspected)
+        })
+    }
+
+    /// Record the `down` event for `j` (local timeout detection).
+    fn mark_down(&mut self, j: ProcessId) {
+        if self.ts[j.index()].is_multiple_of(2) {
+            self.ts[j.index()] += 1;
+            self.push_news(j);
+        }
+        if self.suspected.insert(j) {
+            self.dirty = true;
+        }
+    }
+
+    /// Record direct evidence that `j` is alive. `mistake` grows `j`'s
+    /// timeout (ack from a suspected peer = false suspicion).
+    fn mark_up(&mut self, j: ProcessId) {
+        if self.ts[j.index()] % 2 == 1 {
+            self.ts[j.index()] += 1;
+            self.timeouts.increase(j);
+            self.push_news(j);
+        }
+        if self.suspected.remove(j) {
+            self.dirty = true;
+        }
+    }
+
+    /// Hard cap on news entries: retention bounds *age*, this bounds
+    /// *churn*. Under heavy pre-GST loss every peer can generate events
+    /// every round; without a cap the buffer grows `O(n)`, every ack
+    /// carries it, and every `push_news` scan makes receipt `O(n²)` —
+    /// measured as a ~100× event-rate collapse at n = 1024 lossy.
+    /// Dropping the stalest entries is safe: dissemination is a
+    /// gossip *optimization* over re-sharing; anything dropped is
+    /// re-learned by direct testing or a later ack.
+    fn news_cap(&self) -> usize {
+        4 * self.dim + 8
+    }
+
+    /// (Re-)share `j`'s current timestamp in upcoming acks.
+    fn push_news(&mut self, j: ProcessId) {
+        let t = self.ts[j.index()];
+        match self.news.iter_mut().find(|(p, _, _)| *p == j) {
+            Some(entry) => {
+                entry.1 = t;
+                entry.2 = self.round;
+            }
+            None => {
+                if self.news.len() >= self.news_cap() {
+                    // Evict the stalest entry (oldest round, then lowest
+                    // pid for determinism) to stay within the cap.
+                    if let Some(idx) = (0..self.news.len())
+                        .min_by_key(|&i| (self.news[i].2, self.news[i].0.index()))
+                    {
+                        self.news.swap_remove(idx);
+                    }
+                }
+                self.news.push((j, t, self.round));
+            }
+        }
+    }
+
+    /// Merge one news entry `(p, t)` learned from a peer's ack.
+    fn merge_news(&mut self, p: ProcessId, t: u64) {
+        if p == self.me {
+            // Someone believes we are down: defend with a fresher
+            // (even) timestamp so the rumor dies in ≤ log n rounds.
+            if t % 2 == 1 && t >= self.ts[self.me.index()] {
+                self.ts[self.me.index()] = t + 1;
+                self.push_news(p);
+            }
+            return;
+        }
+        if t > self.ts[p.index()] {
+            self.ts[p.index()] = t;
+            let down = t % 2 == 1;
+            let changed = if down {
+                self.suspected.insert(p)
+            } else {
+                self.suspected.remove(p)
+            };
+            if changed {
+                self.dirty = true;
+            }
+            self.push_news(p);
+        }
+    }
+
+    /// One testing round: expire overdue tests, test the first
+    /// non-suspected (and first suspected) candidate of every cluster,
+    /// retire stale news.
+    fn run_round<N: SimMessage>(&mut self, ctx: &mut SubCtx<'_, '_, N, VCubeMsg>) {
+        let now = ctx.now();
+        // Expire overdue tests: a silent testee is declared down.
+        let mut i = 0;
+        while i < self.outstanding.len() {
+            let (target, deadline) = self.outstanding[i];
+            if now >= deadline {
+                self.outstanding.remove(i);
+                self.mark_down(target);
+            } else {
+                i += 1;
+            }
+        }
+        for s in 1..=self.dim {
+            for want_suspected in [false, true] {
+                let Some(q) = self.first_candidate(s, want_suspected) else {
+                    continue;
+                };
+                if self.outstanding.iter().any(|&(t, _)| t == q) {
+                    continue; // one in-flight test per target
+                }
+                ctx.send(q, VCubeMsg::Test);
+                self.outstanding.push((q, now + self.timeouts.get(q)));
+            }
+        }
+        self.round += 1;
+        let retention = self.dim as u64 + 2;
+        let round = self.round;
+        self.news
+            .retain(|&(_, _, added)| round - added <= retention);
+    }
+
+    fn emit_if_dirty<N: SimMessage>(&mut self, ctx: &mut SubCtx<'_, '_, N, VCubeMsg>) {
+        if self.dirty {
+            self.dirty = false;
+            ctx.observe(
+                fd_core::obs::SUSPECTS,
+                Payload::Pids(self.suspected.to_vec()),
+            );
+        }
+    }
+}
+
+impl SuspectOracle for VCubeDetector {
+    fn suspected(&self) -> ProcessSet {
+        self.suspected.clone()
+    }
+}
+
+impl Component for VCubeDetector {
+    type Msg = VCubeMsg;
+
+    fn ns(&self) -> u32 {
+        crate::ns::VCUBE
+    }
+
+    fn on_start<N: SimMessage>(&mut self, ctx: &mut SubCtx<'_, '_, N, VCubeMsg>) {
+        ctx.observe(fd_core::obs::SUSPECTS, Payload::Pids(Vec::new()));
+        self.run_round(ctx);
+        ctx.set_timer(self.cfg.period, TIMER_ROUND, 0);
+    }
+
+    fn on_message<N: SimMessage>(
+        &mut self,
+        ctx: &mut SubCtx<'_, '_, N, VCubeMsg>,
+        from: ProcessId,
+        msg: VCubeMsg,
+    ) {
+        match msg {
+            VCubeMsg::Test => {
+                // A test is proof of life; answer with our recent news.
+                self.mark_up(from);
+                let news: Vec<(ProcessId, u64)> =
+                    self.news.iter().map(|&(p, t, _)| (p, t)).collect();
+                ctx.send(from, VCubeMsg::Ack { news });
+            }
+            VCubeMsg::Ack { news } => {
+                self.outstanding.retain(|&(t, _)| t != from);
+                self.mark_up(from);
+                for (p, t) in news {
+                    if p.index() < self.n {
+                        self.merge_news(p, t);
+                    }
+                }
+            }
+        }
+        self.emit_if_dirty(ctx);
+    }
+
+    fn on_timer<N: SimMessage>(
+        &mut self,
+        ctx: &mut SubCtx<'_, '_, N, VCubeMsg>,
+        kind: u32,
+        _data: u64,
+    ) {
+        debug_assert_eq!(kind, TIMER_ROUND);
+        self.run_round(ctx);
+        ctx.set_timer(self.cfg.period, TIMER_ROUND, 0);
+        self.emit_if_dirty(ctx);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fd_core::{FdClass, FdRun, Standalone};
+    use fd_sim::{LinkModel, NetworkConfig, WorldBuilder};
+
+    fn run_world(
+        n: usize,
+        crashes: &[(usize, u64)],
+        horizon_ms: u64,
+        seed: u64,
+    ) -> (fd_sim::Trace, Time) {
+        let net = NetworkConfig::new(n).with_default(LinkModel::reliable_uniform(
+            SimDuration::from_millis(1),
+            SimDuration::from_millis(4),
+        ));
+        let mut builder = WorldBuilder::new(net).seed(seed);
+        for &(pid, at) in crashes {
+            builder = builder.crash_at(ProcessId(pid), Time::from_millis(at));
+        }
+        let mut w =
+            builder.build(|pid, n| Standalone(VCubeDetector::new(pid, n, VCubeConfig::default())));
+        let end = Time::from_millis(horizon_ms);
+        w.run_until_time(end);
+        let (trace, _) = w.into_results();
+        (trace, end)
+    }
+
+    #[test]
+    fn cluster_candidates_follow_the_vcube_order() {
+        let d = VCubeDetector::new(ProcessId(0), 8, VCubeConfig::default());
+        // c_{0,1} = (1); c_{0,2} = (2,3); c_{0,3} = (4,5,6,7).
+        assert_eq!(d.candidate(1, 0), Some(ProcessId(1)));
+        assert_eq!(d.candidate(2, 0), Some(ProcessId(2)));
+        assert_eq!(d.candidate(2, 1), Some(ProcessId(3)));
+        let c3: Vec<_> = (0..4).filter_map(|k| d.candidate(3, k)).collect();
+        assert_eq!(
+            c3,
+            vec![ProcessId(4), ProcessId(5), ProcessId(6), ProcessId(7)]
+        );
+        // Non-power-of-two n: out-of-range candidates vanish.
+        let d6 = VCubeDetector::new(ProcessId(5), 6, VCubeConfig::default());
+        assert_eq!(d6.dim, 3);
+        let c3: Vec<_> = (0..4).filter_map(|k| d6.candidate(3, k)).collect();
+        assert_eq!(
+            c3,
+            vec![ProcessId(1), ProcessId(0), ProcessId(3), ProcessId(2)]
+        );
+    }
+
+    #[test]
+    fn crash_free_run_is_eventually_accurate() {
+        let (trace, end) = run_world(8, &[], 500, 21);
+        FdRun::new(&trace, 8, end)
+            .check_class(FdClass::EventuallyPerfect)
+            .unwrap();
+    }
+
+    #[test]
+    fn crashes_are_detected_by_everyone() {
+        let (trace, end) = run_world(8, &[(3, 100), (6, 150)], 1500, 22);
+        let run = FdRun::new(&trace, 8, end);
+        run.check_class(FdClass::EventuallyPerfect).unwrap();
+        let crashed: ProcessSet = [ProcessId(3), ProcessId(6)].into_iter().collect();
+        for p in [0usize, 1, 2, 4, 5, 7] {
+            assert_eq!(run.final_suspects(ProcessId(p)), crashed, "at p{p}");
+        }
+    }
+
+    #[test]
+    fn works_for_non_power_of_two_n() {
+        let (trace, end) = run_world(6, &[(4, 80)], 1200, 23);
+        let run = FdRun::new(&trace, 6, end);
+        run.check_class(FdClass::EventuallyPerfect).unwrap();
+        for p in [0usize, 1, 2, 3, 5] {
+            assert_eq!(
+                run.final_suspects(ProcessId(p)),
+                ProcessSet::singleton(ProcessId(4))
+            );
+        }
+    }
+
+    #[test]
+    fn survives_pre_gst_chaos() {
+        let n = 8;
+        let net = NetworkConfig::partially_synchronous(
+            n,
+            Time::from_millis(300),
+            SimDuration::from_millis(5),
+            SimDuration::from_millis(120),
+            0.4,
+        );
+        let mut w = WorldBuilder::new(net)
+            .seed(24)
+            .crash_at(ProcessId(5), Time::from_millis(600))
+            .build(|pid, n| Standalone(VCubeDetector::new(pid, n, VCubeConfig::default())));
+        let end = Time::from_secs(4);
+        w.run_until_time(end);
+        let mistakes: u64 = (0..n).map(|i| w.actor(ProcessId(i)).mistakes()).sum();
+        let (trace, _) = w.into_results();
+        FdRun::new(&trace, n, end)
+            .check_class(FdClass::EventuallyPerfect)
+            .unwrap();
+        assert!(mistakes > 0, "expected pre-GST false suspicions");
+    }
+
+    /// The §4-style cost comparison: a fault-free vCube round costs
+    /// `2·n·⌈log₂ n⌉` messages (test + ack per hypercube edge endpoint)
+    /// versus the heartbeat's `n(n−1)`.
+    #[test]
+    fn message_cost_is_n_log_n_per_period() {
+        let n = 16;
+        let net = NetworkConfig::new(n)
+            .with_default(LinkModel::reliable_const(SimDuration::from_millis(1)));
+        let mut w = WorldBuilder::new(net)
+            .seed(25)
+            .build(|pid, n| Standalone(VCubeDetector::new(pid, n, VCubeConfig::default())));
+        // 100ms horizon, 10ms period → ~10 testing rounds per process.
+        w.run_until_time(Time::from_millis(100));
+        let tests = w.metrics().sent_of_kind("vc.test") as f64;
+        let expected = (n as f64) * 4.0 * 10.0; // n · log₂16 · rounds
+        assert!(
+            (tests - expected).abs() <= expected * 0.25,
+            "measured {tests} tests, expected ≈{expected}"
+        );
+        let acks = w.metrics().sent_of_kind("vc.ack");
+        assert!(acks > 0);
+        let total = tests as u64 + acks;
+        let heartbeat_equiv = (n * (n - 1) * 10) as u64;
+        assert!(
+            total < heartbeat_equiv,
+            "vCube {total} ≥ heartbeat {heartbeat_equiv}"
+        );
+    }
+
+    /// Dissemination, not just direct testing: with n = 32 only the 5
+    /// hypercube neighbours of a crashed process test it directly, yet
+    /// every correct process must learn of the crash through ack news.
+    #[test]
+    fn news_disseminates_beyond_direct_testers() {
+        let (trace, end) = run_world(32, &[(13, 100)], 2000, 26);
+        let run = FdRun::new(&trace, 32, end);
+        run.check_class(FdClass::EventuallyPerfect).unwrap();
+        for p in 0..32usize {
+            if p == 13 {
+                continue;
+            }
+            assert_eq!(
+                run.final_suspects(ProcessId(p)),
+                ProcessSet::singleton(ProcessId(13)),
+                "p{p} never learned of the crash"
+            );
+        }
+    }
+}

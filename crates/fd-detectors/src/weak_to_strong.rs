@@ -75,14 +75,14 @@ impl WeakToStrong {
     }
 
     fn absorb_local(&mut self, local: ProcessSet) {
-        self.output = self.output | local;
+        self.output = &self.output | &local;
         self.output.remove(self.me);
     }
 
     fn emit_if_changed<N: SimMessage>(&mut self, ctx: &mut SubCtx<'_, '_, N, W2sMsg>) {
-        if self.last_emitted != Some(self.output) {
-            self.last_emitted = Some(self.output);
+        if self.last_emitted.as_ref() != Some(&self.output) {
             ctx.observe(W2S_SUSPECTS, fd_sim::Payload::Pids(self.output.to_vec()));
+            self.last_emitted = Some(self.output.clone());
         }
     }
 
@@ -106,7 +106,7 @@ impl WeakToStrong {
         local: ProcessSet,
     ) {
         let theirs: ProcessSet = msg.0.iter().collect();
-        self.output = self.output | theirs;
+        self.output = &self.output | &theirs;
         // The message itself is evidence `from` is alive; and the local
         // (weak) detector's current view re-enters so revoked local
         // suspicions don't linger via our own earlier gossip.
@@ -134,7 +134,7 @@ impl WeakToStrong {
 
 impl SuspectOracle for WeakToStrong {
     fn suspected(&self) -> ProcessSet {
-        self.output
+        self.output.clone()
     }
 }
 

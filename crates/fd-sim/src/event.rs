@@ -158,9 +158,12 @@ fn bucket_of(at: Time) -> u64 {
 ///
 /// * `current` holds the active span sorted ascending by `(at, seq)`;
 ///   `cur_head` is the consumption point. Pushes that land at or before
-///   the active span are binary-inserted among the *unconsumed* tail —
-///   and the kernel never schedules into the past, so such inserts can
-///   only land at or after the consumption point.
+///   the active span go into the `inserts` min-heap instead of being
+///   spliced into `current` — a large-n broadcast scheduling thousands
+///   of same-span deliveries would otherwise pay O(span) per push via
+///   `Vec::insert`. Pops merge the two sorted sources by `(at, seq)`.
+///   The kernel never schedules into the past, so inserted keys are
+///   always at or after the consumption point.
 /// * `buckets[b & MASK]` holds the events of absolute bucket `b` for
 ///   `cur_bucket < b < cur_bucket + BUCKET_COUNT`, unsorted; a bucket is
 ///   sorted once, when it becomes the active span. Sequence numbers are
@@ -169,12 +172,15 @@ fn bucket_of(at: Time) -> u64 {
 ///   Overflow times are always at or beyond every wheel time, so the
 ///   wheel is exhausted first; on each span advance, overflow events
 ///   that fell inside the new horizon migrate into their buckets.
+///   Span advance happens only when `current` *and* `inserts` are both
+///   exhausted, so `inserts` is empty at every `activate`.
 pub(crate) struct TimerWheel<M> {
     current: Vec<QueuedEvent<M>>,
     cur_head: usize,
     cur_bucket: u64,
     buckets: Vec<Vec<QueuedEvent<M>>>,
     occupied: [u64; WORDS],
+    inserts: BinaryHeap<QueuedEvent<M>>,
     overflow: BinaryHeap<QueuedEvent<M>>,
     len: usize,
     next_seq: u64,
@@ -188,6 +194,7 @@ impl<M> TimerWheel<M> {
             cur_bucket: 0,
             buckets: (0..BUCKET_COUNT).map(|_| Vec::new()).collect(),
             occupied: [0; WORDS],
+            inserts: BinaryHeap::new(),
             overflow: BinaryHeap::new(),
             len: 0,
             next_seq: 0,
@@ -201,12 +208,11 @@ impl<M> TimerWheel<M> {
         let ev = QueuedEvent { at, seq, kind };
         let b = bucket_of(at);
         if b <= self.cur_bucket {
-            // Into (or before) the active span: keep `current` sorted.
-            // `seq` is the largest so far, so among equal times the new
-            // event sorts last — exactly scheduling order.
-            let key = (at, seq);
-            let pos = self.current[self.cur_head..].partition_point(|e| (e.at, e.seq) < key);
-            self.current.insert(self.cur_head + pos, ev);
+            // Into (or before) the active span: heap-ordered side table,
+            // merged against `current` at pop time. O(log inserts) beats
+            // the old O(span) `Vec::insert` when a broadcast lands
+            // thousands of deliveries in the active span.
+            self.inserts.push(ev);
         } else if b - self.cur_bucket < BUCKET_COUNT as u64 {
             let slot = (b as usize) & BUCKET_MASK;
             self.buckets[slot].push(ev);
@@ -216,11 +222,18 @@ impl<M> TimerWheel<M> {
         }
     }
 
-    fn pop(&mut self) -> Option<QueuedEvent<M>> {
-        if !self.ensure_current() {
-            return None;
+    /// Whether the next event comes from `inserts` rather than `current`.
+    /// Caller guarantees at least one of the two is non-empty.
+    fn next_is_insert(&self) -> bool {
+        match (self.current.get(self.cur_head), self.inserts.peek()) {
+            (Some(c), Some(i)) => (i.at, i.seq) < (c.at, c.seq),
+            (Some(_), None) => false,
+            (None, _) => true,
         }
-        self.len -= 1;
+    }
+
+    /// Take the head of `current`, advancing the consumption point.
+    fn take_current_head(&mut self) -> QueuedEvent<M> {
         let dummy = QueuedEvent {
             at: Time(0),
             seq: 0,
@@ -232,14 +245,79 @@ impl<M> TimerWheel<M> {
             self.current.clear();
             self.cur_head = 0;
         }
-        Some(ev)
+        ev
+    }
+
+    fn pop(&mut self) -> Option<QueuedEvent<M>> {
+        if !self.ensure_current() {
+            return None;
+        }
+        self.len -= 1;
+        if self.next_is_insert() {
+            let ev = self
+                .inserts
+                .pop()
+                // fd-lint: allow(UH002, reason = "next_is_insert returned true, so the inserts heap is non-empty")
+                .expect("next_is_insert implies non-empty");
+            return Some(ev);
+        }
+        Some(self.take_current_head())
+    }
+
+    /// Drain every event due at the earliest pending timestamp into
+    /// `out`, provided that timestamp is at or before `bound`. Returns
+    /// the number of events appended. One span/heap resolution serves
+    /// the whole same-instant batch — the kernel's per-timestamp
+    /// processing loop calls this instead of `pop_due` per event.
+    fn pop_due_batch(&mut self, bound: Time, out: &mut Vec<QueuedEvent<M>>) -> usize {
+        if !self.ensure_current() {
+            return 0;
+        }
+        let t = match (self.current.get(self.cur_head), self.inserts.peek()) {
+            (Some(c), Some(i)) => c.at.min(i.at),
+            (Some(c), None) => c.at,
+            (None, Some(i)) => i.at,
+            (None, None) => unreachable!("ensure_current returned true"),
+        };
+        if t > bound {
+            return 0;
+        }
+        let start = out.len();
+        loop {
+            let cur_due = self.current.get(self.cur_head).is_some_and(|e| e.at == t);
+            let ins_due = self.inserts.peek().is_some_and(|e| e.at == t);
+            let ev = match (cur_due, ins_due) {
+                (true, false) => self.take_current_head(),
+                (false, true) => {
+                    // fd-lint: allow(UH002, reason = "ins_due peeked a non-empty heap")
+                    self.inserts.pop().expect("ins_due implies non-empty")
+                }
+                (true, true) => {
+                    if self.next_is_insert() {
+                        // fd-lint: allow(UH002, reason = "ins_due peeked a non-empty heap")
+                        self.inserts.pop().expect("ins_due implies non-empty")
+                    } else {
+                        self.take_current_head()
+                    }
+                }
+                (false, false) => break,
+            };
+            out.push(ev);
+        }
+        let drained = out.len() - start;
+        self.len -= drained;
+        drained
     }
 
     fn peek_time(&mut self) -> Option<Time> {
-        if self.ensure_current() {
-            Some(self.current[self.cur_head].at)
-        } else {
-            None
+        if !self.ensure_current() {
+            return None;
+        }
+        let cur = self.current.get(self.cur_head).map(|e| e.at);
+        let ins = self.inserts.peek().map(|e| e.at);
+        match (cur, ins) {
+            (Some(c), Some(i)) => Some(c.min(i)),
+            (c, i) => c.or(i),
         }
     }
 
@@ -247,7 +325,7 @@ impl<M> TimerWheel<M> {
     /// iff the queue is empty.
     fn ensure_current(&mut self) -> bool {
         loop {
-            if self.cur_head < self.current.len() {
+            if self.cur_head < self.current.len() || !self.inserts.is_empty() {
                 return true;
             }
             if self.len == 0 {
@@ -326,6 +404,7 @@ impl<M> TimerWheel<M> {
             }
             *word = 0;
         }
+        self.inserts.clear();
         self.overflow.clear();
         self.len = 0;
         self.next_seq = 0;
@@ -392,7 +471,6 @@ impl<M> EventQueue<M> {
     }
 
     /// Whether no events are scheduled.
-    /// Whether no events are scheduled.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }
@@ -404,6 +482,35 @@ impl<M> EventQueue<M> {
         match self.peek_time() {
             Some(t) if t <= bound => self.pop(),
             _ => None,
+        }
+    }
+
+    /// Drain every event due at the earliest pending timestamp (if that
+    /// timestamp is at or before `bound`) into `out`, preserving strict
+    /// `(at, seq)` order. Returns the number of events appended — 0 means
+    /// nothing is due. The kernel's `run_until_time` loop uses this to
+    /// amortize queue bookkeeping over a whole same-instant batch: at
+    /// large n a single broadcast makes thousands of deliveries share one
+    /// timestamp.
+    pub fn pop_due_batch(&mut self, bound: Time, out: &mut Vec<QueuedEvent<M>>) -> usize {
+        match self {
+            EventQueue::Wheel(w) => w.pop_due_batch(bound, out),
+            EventQueue::Classic { heap, .. } => {
+                let Some(first) = heap.peek() else { return 0 };
+                if first.at > bound {
+                    return 0;
+                }
+                let t = first.at;
+                let start = out.len();
+                while let Some(e) = heap.peek() {
+                    if e.at != t {
+                        break;
+                    }
+                    // fd-lint: allow(UH002, reason = "peek just returned Some on the same heap")
+                    out.push(heap.pop().expect("peeked non-empty"));
+                }
+                out.len() - start
+            }
         }
     }
 
@@ -601,6 +708,159 @@ mod tests {
             let order = drain_pids(&mut q);
             assert_eq!(order, vec![(Time(7), 10), (Time(7), 11)]);
         }
+    }
+
+    /// Events landing at exactly the horizon boundary (`now + 256×1024`
+    /// ticks) must overflow, events one tick inside must bucket, and the
+    /// three groups must still pop in strict `(at, seq)` order. This is
+    /// the off-by-one regime a `<` vs `<=` slip in `push` would corrupt.
+    #[test]
+    fn horizon_boundary_is_exact() {
+        let horizon = (BUCKET_COUNT as u64) << BUCKET_SHIFT;
+        for mut q in both() {
+            // just inside (last in-wheel bucket), exactly at, just past
+            q.push(Time(horizon - 1), crash(0));
+            q.push(Time(horizon), crash(1));
+            q.push(Time(horizon + 1), crash(2));
+            // ties straddling the boundary, pushed out of time order
+            q.push(Time(horizon), crash(3));
+            q.push(Time(horizon - 1), crash(4));
+            let order = drain_pids(&mut q);
+            assert_eq!(
+                order,
+                vec![
+                    (Time(horizon - 1), 0),
+                    (Time(horizon - 1), 4),
+                    (Time(horizon), 1),
+                    (Time(horizon), 3),
+                    (Time(horizon + 1), 2),
+                ]
+            );
+        }
+    }
+
+    /// Large-n regime: thousands of same-instant events (one broadcast's
+    /// deliveries) pushed while the target span is already active, with
+    /// a tail beyond the horizon. Wheel must match classic exactly.
+    #[test]
+    fn large_n_same_instant_burst_matches_classic() {
+        let horizon = (BUCKET_COUNT as u64) << BUCKET_SHIFT;
+        let mut wheel = EventQueue::with_impl(QueueImpl::Wheel);
+        let mut classic = EventQueue::with_impl(QueueImpl::Classic);
+        for q in [&mut wheel, &mut classic] {
+            q.push(Time(5), crash(9999));
+            q.pop(); // activate span 0
+            for i in 0..4096 {
+                q.push(Time(7), crash(i)); // same-span burst (the old O(span) path)
+            }
+            for i in 0..64 {
+                q.push(Time(horizon + 7), crash(10000 + i)); // overflow ties
+            }
+            q.push(Time(6), crash(8888)); // lands before the burst
+        }
+        let a = drain_pids(&mut wheel);
+        let b = drain_pids(&mut classic);
+        assert_eq!(a, b);
+        assert_eq!(a[0], (Time(6), 8888));
+        assert_eq!(a[1], (Time(7), 0));
+        assert_eq!(a[4096], (Time(7), 4095));
+        assert_eq!(a[4097], (Time(horizon + 7), 10000));
+    }
+
+    /// `pop_due_batch` drains exactly the earliest timestamp's events, in
+    /// seq order, and agrees between the two implementations — including
+    /// when the batch is split across `current` and `inserts`.
+    #[test]
+    fn pop_due_batch_matches_pop_due() {
+        for mut q in both() {
+            q.push(Time(10), crash(0));
+            q.push(Time(10), crash(1));
+            q.push(Time(20), crash(2));
+            // Activate the span, then land more ties at t=10 (these go
+            // through the wheel's insert path).
+            q.pop(); // (10, 0)
+            q.push(Time(10), crash(3));
+            q.push(Time(10), crash(4));
+            let mut out = Vec::new();
+            assert_eq!(q.pop_due_batch(Time(15), &mut out), 3);
+            let pids: Vec<usize> = out
+                .iter()
+                .map(|e| match e.kind {
+                    EventKind::Crash { pid } => pid.index(),
+                    _ => unreachable!(),
+                })
+                .collect();
+            assert_eq!(pids, vec![1, 3, 4]);
+            // t=20 is beyond the bound: nothing more drains.
+            out.clear();
+            assert_eq!(q.pop_due_batch(Time(15), &mut out), 0);
+            assert_eq!(q.len(), 1);
+            assert_eq!(q.pop_due_batch(Time(20), &mut out), 1);
+            assert!(q.is_empty());
+        }
+    }
+
+    /// A randomized cross-check: a long interleaved schedule drained
+    /// entirely through `pop_due_batch` must equal the classic heap's
+    /// event order.
+    #[test]
+    fn batch_drain_matches_classic_order() {
+        let horizon = (BUCKET_COUNT as u64) << BUCKET_SHIFT;
+        let mut wheel = EventQueue::with_impl(QueueImpl::Wheel);
+        let mut classic = EventQueue::with_impl(QueueImpl::Classic);
+        let mut x = 0x9e37_79b9_7f4a_7c15u64;
+        let mut nextx = move || {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            x
+        };
+        let mut now = 0u64;
+        let mut pid = 0usize;
+        for _ in 0..500 {
+            for _ in 0..(nextx() % 6) {
+                let delta = match nextx() % 8 {
+                    0 => 0,
+                    1..=4 => nextx() % 2048,
+                    5..=6 => nextx() % horizon,
+                    _ => horizon + nextx() % (horizon / 4),
+                };
+                let at = Time(now + delta);
+                wheel.push(at, crash(pid));
+                classic.push(at, crash(pid));
+                pid += 1;
+            }
+            let mut wa = Vec::new();
+            let mut ca = Vec::new();
+            let bound = Time(now + nextx() % 4096);
+            wheel.pop_due_batch(bound, &mut wa);
+            classic.pop_due_batch(bound, &mut ca);
+            let keys =
+                |v: &Vec<QueuedEvent<()>>| v.iter().map(|e| (e.at, e.seq)).collect::<Vec<_>>();
+            assert_eq!(keys(&wa), keys(&ca));
+            if let Some(e) = wa.last() {
+                now = e.at.0;
+            } else {
+                now += 1024;
+            }
+            assert_eq!(wheel.len(), classic.len());
+        }
+    }
+
+    /// Reset must drop pending active-span inserts too — a stale insert
+    /// surviving into the next run would corrupt replay determinism.
+    #[test]
+    fn reset_clears_active_span_inserts() {
+        let mut q = EventQueue::with_impl(QueueImpl::Wheel);
+        q.push(Time(5), crash(0));
+        q.pop(); // span 0 active
+        q.push(Time(6), crash(1)); // goes to the inserts heap
+        q.reset();
+        assert!(q.is_empty());
+        assert_eq!(q.peek_time(), None);
+        q.push(Time(7), crash(2));
+        let order = drain_pids(&mut q);
+        assert_eq!(order, vec![(Time(7), 2)]);
     }
 
     #[test]

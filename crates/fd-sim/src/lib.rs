@@ -75,7 +75,7 @@ pub use time::{SimDuration, Time};
 pub use timeline::{summary as trace_summary, Timeline};
 pub use topology::NetworkConfig;
 pub use trace::{DropReason, Payload, Trace, TraceEvent, TraceKind};
-pub use world::{World, WorldBuilder, WorldObs};
+pub use world::{TraceMode, World, WorldBuilder, WorldObs};
 
 /// Convenient glob-import for downstream crates and examples.
 pub mod prelude {
@@ -85,5 +85,5 @@ pub mod prelude {
     pub use crate::time::{SimDuration, Time};
     pub use crate::topology::NetworkConfig;
     pub use crate::trace::{Payload, Trace, TraceKind};
-    pub use crate::world::{World, WorldBuilder, WorldObs};
+    pub use crate::world::{TraceMode, World, WorldBuilder, WorldObs};
 }

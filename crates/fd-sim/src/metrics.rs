@@ -95,6 +95,16 @@ pub struct Metrics {
 }
 
 impl Metrics {
+    /// Pre-size the per-process counters for an `n`-process world, so
+    /// the hot path never resizes mid-run. Safe to skip — `record_sent`
+    /// still grows on demand — but at n = 4096 the demand-growth would
+    /// land in the first heartbeat burst.
+    pub(crate) fn presize(&mut self, n: usize) {
+        if self.sent_by_process.len() < n {
+            self.sent_by_process.resize(n, 0);
+        }
+    }
+
     pub(crate) fn record_sent(&mut self, from: ProcessId, kind: &'static str, round: Option<u64>) {
         self.sent_total += 1;
         match self

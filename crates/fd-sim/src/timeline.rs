@@ -39,6 +39,7 @@ pub struct Timeline<'a> {
     include_drops: bool,
     tags: Option<Vec<&'a str>>,
     processes: Option<Vec<ProcessId>>,
+    max_processes: Option<usize>,
 }
 
 impl<'a> Timeline<'a> {
@@ -53,6 +54,7 @@ impl<'a> Timeline<'a> {
             include_drops: false,
             tags: None,
             processes: None,
+            max_processes: None,
         }
     }
 
@@ -87,6 +89,59 @@ impl<'a> Timeline<'a> {
         self
     }
 
+    /// Degrade to the one-line [`summary`] when the (post-filter) trace
+    /// involves more than `max` distinct processes. A per-process
+    /// listing of an n = 4096 world is unreadable and can run to
+    /// hundreds of megabytes; above the threshold a summary is the
+    /// honest rendering. An explicit `only_processes` filter counts
+    /// only the selected processes, so zooming into a few processes of
+    /// a huge world still renders fully.
+    pub fn max_processes(mut self, max: usize) -> Self {
+        self.max_processes = Some(max);
+        self
+    }
+
+    /// Distinct processes the (filtered) rendering would touch.
+    fn distinct_processes(&self) -> usize {
+        let mut seen = std::collections::BTreeSet::new();
+        for ev in self.trace.events() {
+            if ev.at < self.from || ev.at > self.until {
+                continue;
+            }
+            match &ev.kind {
+                TraceKind::Observation { pid, tag, .. } => {
+                    if !tag.starts_with("chaos.") && self.wants_process(*pid) {
+                        seen.insert(*pid);
+                    }
+                }
+                TraceKind::Crashed { pid } => {
+                    if self.wants_process(*pid) {
+                        seen.insert(*pid);
+                    }
+                }
+                TraceKind::Sent { from, to, .. } | TraceKind::Delivered { from, to, .. } => {
+                    if self.include_messages {
+                        for p in [*from, *to] {
+                            if self.wants_process(p) {
+                                seen.insert(p);
+                            }
+                        }
+                    }
+                }
+                TraceKind::Dropped { from, to, .. } => {
+                    if self.include_drops {
+                        for p in [*from, *to] {
+                            if self.wants_process(p) {
+                                seen.insert(p);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        seen.len()
+    }
+
     fn wants_process(&self, p: ProcessId) -> bool {
         self.processes.as_ref().is_none_or(|ps| ps.contains(&p))
     }
@@ -106,8 +161,23 @@ impl<'a> Timeline<'a> {
         }
     }
 
-    /// Produce the listing.
+    /// Produce the listing (or, above the
+    /// [`max_processes`](Timeline::max_processes) threshold, the
+    /// one-line summary).
     pub fn render(&self) -> String {
+        if let Some(max) = self.max_processes {
+            let distinct = self.distinct_processes();
+            if distinct > max {
+                return format!(
+                    "{} distinct processes exceed the {} per-process listing \
+                     limit; showing the summary instead (narrow with a \
+                     process filter for a full listing)\n{}\n",
+                    distinct,
+                    max,
+                    summary(self.trace)
+                );
+            }
+        }
         let mut out = String::new();
         for ev in self.trace.events() {
             if ev.at < self.from || ev.at > self.until {
@@ -400,6 +470,40 @@ mod tests {
         // But an explicit tag filter still applies.
         let tagged = Timeline::new(&tr).only_tags(&["chaos.gst"]).render();
         assert_eq!(tagged.lines().count(), 1, "{tagged}");
+    }
+
+    /// Above the `max_processes` threshold the renderer degrades to the
+    /// one-line summary; an explicit process filter re-enables the full
+    /// listing (zooming in is exactly what the filter is for).
+    #[test]
+    fn max_processes_degrades_to_summary() {
+        let tr = Trace::from_events(
+            (0..100)
+                .map(|i| TraceEvent {
+                    at: Time::from_millis(i as u64),
+                    kind: TraceKind::Observation {
+                        pid: ProcessId(i),
+                        tag: "fd.suspects",
+                        payload: Payload::None,
+                    },
+                })
+                .collect(),
+        );
+        // 100 distinct processes > 10: summary.
+        let out = Timeline::new(&tr).max_processes(10).render();
+        assert!(out.contains("100 distinct processes"), "{out}");
+        assert!(out.contains("100 events"), "{out}");
+        assert!(!out.contains("fd.suspects →"), "{out}");
+        // Under the limit: full listing.
+        let full = Timeline::new(&tr).max_processes(100).render();
+        assert_eq!(full.lines().count(), 100);
+        // A process filter narrows the distinct count below the limit.
+        let zoomed = Timeline::new(&tr)
+            .max_processes(10)
+            .only_processes(&[ProcessId(3), ProcessId(7)])
+            .render();
+        assert_eq!(zoomed.lines().count(), 2, "{zoomed}");
+        assert!(zoomed.contains("p3"), "{zoomed}");
     }
 
     #[test]

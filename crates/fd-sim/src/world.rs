@@ -12,7 +12,7 @@ use crate::actor::{Action, Actor, Context, SimMessage};
 use crate::chaos::{self, Intervention, NetChange};
 use crate::event::{EventKind, EventQueue, MsgSlot, QueueImpl, QueuedEvent};
 use crate::link::LinkMangler;
-use crate::metrics::Metrics;
+use crate::metrics::{FxBuildHasher, Metrics};
 use crate::process::ProcessId;
 use crate::rng::{derive_network_rng, derive_process_rng};
 use crate::time::Time;
@@ -25,15 +25,23 @@ use std::rc::Rc;
 use std::sync::Arc;
 use std::time::Instant;
 
-struct Slot<A> {
-    actor: A,
-    rng: SmallRng,
-    crashed: bool,
-    /// Timer-validity epoch: timers armed in epoch `e` fire only while
-    /// the slot is still in epoch `e`. A warm restart (see
-    /// [`crate::chaos::NetChange::Restart`]) advances the epoch so
-    /// pre-crash timer chains cannot resurrect.
-    epoch: u32,
+/// How much of a run the kernel records in its [`Trace`].
+///
+/// Large-n worlds generate O(n²) messages per heartbeat period; recording
+/// each Sent/Delivered pair makes the trace — not the kernel — the
+/// scalability wall. `ObsOnly` keeps exactly what the `fd-core` checkers
+/// consume (observations and crashes) so detector-class verification
+/// stays viable at n = 4096 without an O(messages) trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TraceMode {
+    /// Record everything: sends, deliveries, drops, observations, crashes.
+    #[default]
+    Full,
+    /// Record only observations, interventions, and crashes — the subset
+    /// `FdRun` checkers and timelines of protocol-visible state need.
+    ObsOnly,
+    /// Record nothing (metrics stay on).
+    Off,
 }
 
 /// Pre-resolved instrumentation handles for the kernel loop.
@@ -152,7 +160,7 @@ pub struct WorldBuilder {
     net: NetworkConfig,
     seed: u64,
     crashes: Vec<(ProcessId, Time)>,
-    record_trace: bool,
+    trace_mode: TraceMode,
     max_events: u64,
     obs: Option<WorldObs>,
     queue: QueueImpl,
@@ -165,7 +173,7 @@ impl WorldBuilder {
             net,
             seed: 0,
             crashes: Vec::new(),
-            record_trace: true,
+            trace_mode: TraceMode::Full,
             max_events: u64::MAX,
             obs: None,
             queue: QueueImpl::default(),
@@ -194,8 +202,16 @@ impl WorldBuilder {
     }
 
     /// Enable or disable full trace recording (metrics are always on).
+    /// Shorthand for [`trace_mode`](WorldBuilder::trace_mode) with
+    /// [`TraceMode::Full`] / [`TraceMode::Off`].
     pub fn record_trace(mut self, on: bool) -> Self {
-        self.record_trace = on;
+        self.trace_mode = if on { TraceMode::Full } else { TraceMode::Off };
+        self
+    }
+
+    /// Select how much of the run the trace records (default: full).
+    pub fn trace_mode(mut self, mode: TraceMode) -> Self {
+        self.trace_mode = mode;
         self
     }
 
@@ -223,30 +239,29 @@ impl WorldBuilder {
     {
         let n = self.net.n();
         assert!(n > 0, "a world needs at least one process");
-        let actors = (0..n)
-            .map(|i| Slot {
-                actor: make(ProcessId(i), n),
-                rng: derive_process_rng(self.seed, i),
-                crashed: false,
-                epoch: 0,
-            })
-            .collect();
+        let mut metrics = Metrics::default();
+        metrics.presize(n);
         let mut world = World {
             n,
             now: Time::ZERO,
             queue: EventQueue::with_impl(self.queue),
-            actors,
+            actors: (0..n).map(|i| make(ProcessId(i), n)).collect(),
+            rngs: (0..n).map(|i| derive_process_rng(self.seed, i)).collect(),
+            crashed: vec![false; n],
+            epochs: vec![0; n],
             net: self.net,
             net_rng: derive_network_rng(self.seed),
-            cancelled: HashSet::new(),
+            cancelled: HashSet::default(),
             next_timer_id: 0,
             trace: Trace::default(),
-            metrics: Metrics::default(),
-            record_trace: self.record_trace,
+            metrics,
+            trace_mode: self.trace_mode,
             max_events: self.max_events,
             obs: self.obs,
             started: false,
             scratch: Vec::new(),
+            batch: Vec::new(),
+            batch_pending: 0,
             trace_hwm: 0,
             mangler: None,
             partitions_open: 0,
@@ -259,22 +274,45 @@ impl WorldBuilder {
 }
 
 /// A running simulation of `n` processes.
+///
+/// Per-process state lives in parallel struct-of-arrays vectors rather
+/// than one `Vec<Slot>`: the kernel's hottest checks (is the delivery
+/// target crashed? is the timer's epoch current?) then scan dense
+/// `Vec<bool>` / `Vec<u32>` instead of striding actor-sized structs —
+/// at n = 4096 the actor payload would evict the flags from cache.
 pub struct World<A: Actor> {
     n: usize,
     now: Time,
     queue: EventQueue<A::Msg>,
-    actors: Vec<Slot<A>>,
+    actors: Vec<A>,
+    rngs: Vec<SmallRng>,
+    crashed: Vec<bool>,
+    /// Timer-validity epochs: timers armed in epoch `e` fire only while
+    /// the process is still in epoch `e`. A warm restart (see
+    /// [`crate::chaos::NetChange::Restart`]) advances the epoch so
+    /// pre-crash timer chains cannot resurrect.
+    epochs: Vec<u32>,
     net: NetworkConfig,
     net_rng: SmallRng,
-    cancelled: HashSet<u64>,
+    /// Cancelled timer ids, consumed when the dead timer fires. Fx-hashed
+    /// and guarded by an `is_empty` fast path: most protocols never cancel
+    /// a timer, and the probe sits on the per-timer-event hot path.
+    cancelled: HashSet<u64, FxBuildHasher>,
     next_timer_id: u64,
     trace: Trace,
     metrics: Metrics,
-    record_trace: bool,
+    trace_mode: TraceMode,
     max_events: u64,
     obs: Option<WorldObs>,
     started: bool,
     scratch: Vec<Action<A::Msg>>,
+    /// Same-instant event batch drained from the queue by
+    /// [`run_until_time`](World::run_until_time); reused across batches.
+    batch: Vec<QueuedEvent<A::Msg>>,
+    /// Events of the current batch not yet processed — added to the
+    /// queue length so the `sim.queue_depth_hwm` gauge stays honest
+    /// while a batch is in flight.
+    batch_pending: u64,
     /// Largest trace length seen across resets — the reserve hint that
     /// turns per-seed trace growth into one up-front arena allocation.
     trace_hwm: usize,
@@ -312,12 +350,12 @@ impl<A: Actor> World<A> {
     /// Read access to an actor's state (e.g. to query its failure
     /// detector output from experiment code).
     pub fn actor(&self, pid: ProcessId) -> &A {
-        &self.actors[pid.index()].actor
+        &self.actors[pid.index()]
     }
 
     /// Whether `pid` has crashed.
     pub fn is_crashed(&self, pid: ProcessId) -> bool {
-        self.actors[pid.index()].crashed
+        self.crashed[pid.index()]
     }
 
     /// The processes that have not crashed (so far).
@@ -365,7 +403,7 @@ impl<A: Actor> World<A> {
     /// Interactions with crashed processes are ignored.
     pub fn interact(&mut self, pid: ProcessId, f: impl FnOnce(&mut A, &mut Context<'_, A::Msg>)) {
         self.ensure_started();
-        if self.actors[pid.index()].crashed {
+        if self.crashed[pid.index()] {
             return;
         }
         self.dispatch(pid, f);
@@ -395,16 +433,15 @@ impl<A: Actor> World<A> {
         let mut actions = std::mem::take(&mut self.scratch);
         actions.clear();
         {
-            let slot = &mut self.actors[pid.index()];
             let mut ctx = Context {
                 me: pid,
                 n,
                 now,
-                rng: &mut slot.rng,
+                rng: &mut self.rngs[pid.index()],
                 actions: &mut actions,
                 next_timer_id: &mut self.next_timer_id,
             };
-            f(&mut slot.actor, &mut ctx);
+            f(&mut self.actors[pid.index()], &mut ctx);
         }
         for action in actions.drain(..) {
             self.apply(pid, action);
@@ -414,6 +451,19 @@ impl<A: Actor> World<A> {
             let ns = started.elapsed().as_nanos();
             hist.record(u64::try_from(ns).unwrap_or(u64::MAX));
         }
+    }
+
+    /// Whether message-level events (sent/delivered/dropped) are traced.
+    #[inline]
+    fn trace_full(&self) -> bool {
+        self.trace_mode == TraceMode::Full
+    }
+
+    /// Whether observation-level events (observations, interventions,
+    /// crashes) are traced.
+    #[inline]
+    fn trace_obs(&self) -> bool {
+        self.trace_mode != TraceMode::Off
     }
 
     /// Route one message over the `from → to` link: record the send,
@@ -429,7 +479,7 @@ impl<A: Actor> World<A> {
         msg: MsgSlot<A::Msg>,
     ) {
         self.metrics.record_sent(from, kind, round);
-        if self.record_trace {
+        if self.trace_full() {
             self.trace.push(
                 self.now,
                 TraceKind::Sent {
@@ -458,7 +508,7 @@ impl<A: Actor> World<A> {
                         if let Some(obs) = &self.obs {
                             obs.chaos_dropped.inc();
                         }
-                        if self.record_trace {
+                        if self.trace_full() {
                             self.trace.push(
                                 self.now,
                                 TraceKind::Dropped {
@@ -520,7 +570,7 @@ impl<A: Actor> World<A> {
             }
             None => {
                 self.metrics.record_dropped();
-                if self.record_trace {
+                if self.trace_full() {
                     self.trace.push(
                         self.now,
                         TraceKind::Dropped {
@@ -546,20 +596,33 @@ impl<A: Actor> World<A> {
                 // Fan out in identity order — the same per-destination
                 // metric, trace, link-sampling, and enqueue sequence the
                 // sender's own per-destination Send loop used to
-                // produce, but with one shared payload allocation.
+                // produce. Small drop-free payloads (heartbeats and other
+                // plain-data messages) are cloned per destination: no
+                // shared allocation, no pointer chase at delivery time.
+                // Anything bigger or owning heap data shares one `Rc`.
                 let kind = msg.kind();
                 let round = msg.round();
-                let shared = Rc::new(msg);
-                for i in 0..self.n {
-                    let to = ProcessId(i);
-                    if !include_self && to == from {
-                        continue;
+                if std::mem::size_of::<A::Msg>() <= 16 && !std::mem::needs_drop::<A::Msg>() {
+                    for i in 0..self.n {
+                        let to = ProcessId(i);
+                        if !include_self && to == from {
+                            continue;
+                        }
+                        self.route(from, to, kind, round, MsgSlot::Inline(msg.clone()));
                     }
-                    self.route(from, to, kind, round, MsgSlot::Shared(Rc::clone(&shared)));
+                } else {
+                    let shared = Rc::new(msg);
+                    for i in 0..self.n {
+                        let to = ProcessId(i);
+                        if !include_self && to == from {
+                            continue;
+                        }
+                        self.route(from, to, kind, round, MsgSlot::Shared(Rc::clone(&shared)));
+                    }
                 }
             }
             Action::SetTimer { id, after, tag } => {
-                let epoch = self.actors[from.index()].epoch;
+                let epoch = self.epochs[from.index()];
                 self.queue.push(
                     self.now + after,
                     EventKind::Timer {
@@ -574,7 +637,7 @@ impl<A: Actor> World<A> {
                 self.cancelled.insert(id.0);
             }
             Action::Observe { tag, payload } => {
-                if self.record_trace {
+                if self.trace_obs() {
                     self.trace.push(
                         self.now,
                         TraceKind::Observation {
@@ -593,7 +656,7 @@ impl<A: Actor> World<A> {
         self.metrics.record_event();
         if let Some(obs) = &self.obs {
             // Depth at pop time, counting the event being processed.
-            obs.record_event(self.queue.len() as u64 + 1);
+            obs.record_event(self.queue.len() as u64 + 1 + self.batch_pending);
         }
         assert!(
             self.metrics.events_processed() <= self.max_events,
@@ -602,9 +665,9 @@ impl<A: Actor> World<A> {
         );
         match ev.kind {
             EventKind::Deliver { from, to, msg } => {
-                if self.actors[to.index()].crashed {
+                if self.crashed[to.index()] {
                     self.metrics.record_dropped();
-                    if self.record_trace {
+                    if self.trace_full() {
                         self.trace.push(
                             self.now,
                             TraceKind::Dropped {
@@ -618,7 +681,7 @@ impl<A: Actor> World<A> {
                     return;
                 }
                 self.metrics.record_delivered();
-                if self.record_trace {
+                if self.trace_full() {
                     self.trace.push(
                         self.now,
                         TraceKind::Delivered {
@@ -637,8 +700,11 @@ impl<A: Actor> World<A> {
                 tag,
                 epoch,
             } => {
-                let slot = &self.actors[pid.index()];
-                if self.cancelled.remove(&id.0) || slot.crashed || slot.epoch != epoch {
+                let i = pid.index();
+                if (!self.cancelled.is_empty() && self.cancelled.remove(&id.0))
+                    || self.crashed[i]
+                    || self.epochs[i] != epoch
+                {
                     return;
                 }
                 self.dispatch(pid, |actor, ctx| actor.on_timer(ctx, tag));
@@ -650,10 +716,9 @@ impl<A: Actor> World<A> {
 
     /// Mark `pid` crashed (idempotent) and record the trace event.
     fn crash_now(&mut self, pid: ProcessId) {
-        let slot = &mut self.actors[pid.index()];
-        if !slot.crashed {
-            slot.crashed = true;
-            if self.record_trace {
+        if !self.crashed[pid.index()] {
+            self.crashed[pid.index()] = true;
+            if self.trace_obs() {
                 self.trace.push(self.now, TraceKind::Crashed { pid });
             }
         }
@@ -667,7 +732,7 @@ impl<A: Actor> World<A> {
             payload,
             change,
         } = iv;
-        if self.record_trace {
+        if self.trace_obs() {
             self.trace.push(
                 self.now,
                 TraceKind::Observation {
@@ -696,10 +761,10 @@ impl<A: Actor> World<A> {
             NetChange::SetMangler(m) => self.mangler = m,
             NetChange::Crash(pid) => self.crash_now(pid),
             NetChange::Restart(pid) => {
-                let slot = &mut self.actors[pid.index()];
-                if slot.crashed {
-                    slot.crashed = false;
-                    slot.epoch += 1;
+                let i = pid.index();
+                if self.crashed[i] {
+                    self.crashed[i] = false;
+                    self.epochs[i] += 1;
                     self.dispatch(pid, |actor, ctx| actor.on_start(ctx));
                 }
             }
@@ -717,11 +782,30 @@ impl<A: Actor> World<A> {
 
     /// Run every event scheduled at or before `until`, then advance the
     /// clock to `until`.
+    ///
+    /// Events are drained one *timestamp* at a time: everything due at
+    /// the earliest pending instant comes out of the queue in a single
+    /// batch, then is processed in `(time, seq)` order. This is safe —
+    /// anything an event at time `t` schedules for time `t` gets a
+    /// sequence number above every queued `t`-event, so it lands in the
+    /// next batch in exactly the order a one-at-a-time loop would see —
+    /// and it amortizes queue bookkeeping over whole broadcast fan-ins,
+    /// which at large n share one delivery instant thousands of ways.
     pub fn run_until_time(&mut self, until: Time) {
         self.ensure_started();
-        while let Some(ev) = self.queue.pop_due(until) {
-            self.process(ev);
+        let mut batch = std::mem::take(&mut self.batch);
+        loop {
+            let drained = self.queue.pop_due_batch(until, &mut batch);
+            if drained == 0 {
+                break;
+            }
+            for (i, ev) in batch.drain(..).enumerate() {
+                self.batch_pending = (drained - 1 - i) as u64;
+                self.process(ev);
+            }
         }
+        self.batch_pending = 0;
+        self.batch = batch;
         self.now = self.now.max(until);
     }
 
@@ -795,12 +879,14 @@ impl<A: Actor> World<A> {
         self.now = Time::ZERO;
         self.queue.reset();
         self.actors.clear();
-        self.actors.extend((0..n).map(|i| Slot {
-            actor: make(ProcessId(i), n),
-            rng: derive_process_rng(seed, i),
-            crashed: false,
-            epoch: 0,
-        }));
+        self.actors.extend((0..n).map(|i| make(ProcessId(i), n)));
+        self.rngs.clear();
+        self.rngs
+            .extend((0..n).map(|i| derive_process_rng(seed, i)));
+        self.crashed.clear();
+        self.crashed.resize(n, false);
+        self.epochs.clear();
+        self.epochs.resize(n, 0);
         self.net = net;
         self.net_rng = derive_network_rng(seed);
         self.cancelled.clear();
@@ -808,8 +894,9 @@ impl<A: Actor> World<A> {
         self.mangler = None;
         self.partitions_open = 0;
         self.trace
-            .reset_with_capacity(if self.record_trace { self.trace_hwm } else { 0 });
+            .reset_with_capacity(if self.trace_obs() { self.trace_hwm } else { 0 });
         self.metrics = Metrics::default();
+        self.metrics.presize(n);
         self.started = false;
     }
 
@@ -817,7 +904,7 @@ impl<A: Actor> World<A> {
     /// events are attributed to process 0; used rarely, e.g. to mark
     /// scenario phases in traces).
     pub fn annotate(&mut self, tag: &'static str, payload: Payload) {
-        if self.record_trace {
+        if self.trace_obs() {
             self.trace.push(
                 self.now,
                 TraceKind::Observation {
@@ -1059,6 +1146,64 @@ mod tests {
         assert_eq!(events.get(), bare.metrics().events_processed());
         assert!(registry.gauge("sim.queue_depth_hwm").get() >= 1);
         assert!(registry.histogram("sim.callback_ns").count() > 0);
+    }
+
+    /// The batched `run_until_time` loop must be indistinguishable from
+    /// a one-event-at-a-time `step` loop: same trace bytes, same
+    /// metrics, same final clock.
+    #[test]
+    fn batched_run_matches_step_loop() {
+        let mut batched = two_node_world(17);
+        let mut stepped = two_node_world(17);
+        let until = Time::from_millis(80);
+        batched.run_until_time(until);
+        stepped.ensure_started();
+        loop {
+            match stepped.queue.peek_time() {
+                Some(t) if t <= until => {
+                    stepped.step();
+                }
+                _ => break,
+            }
+        }
+        stepped.now = stepped.now.max(until);
+        assert_eq!(batched.trace().digest(), stepped.trace().digest());
+        assert_eq!(
+            batched.metrics().events_processed(),
+            stepped.metrics().events_processed()
+        );
+        assert_eq!(batched.now(), stepped.now());
+    }
+
+    /// `ObsOnly` keeps observations and crashes — everything the class
+    /// checkers consume — while dropping the O(messages) stream.
+    #[test]
+    fn obs_only_trace_keeps_checker_events() {
+        let net = NetworkConfig::new(2)
+            .with_default(LinkModel::reliable_const(SimDuration::from_millis(1)));
+        let mut w = WorldBuilder::new(net)
+            .trace_mode(TraceMode::ObsOnly)
+            .crash_at(ProcessId(1), Time::from_millis(10))
+            .build(|_, _| PingPong {
+                pings_seen: 0,
+                pongs_seen: 0,
+            });
+        w.run_until_time(Time::from_millis(50));
+        w.annotate("phase", Payload::U64(1));
+        assert!(w.metrics().sent_total() > 0, "metrics stay on");
+        let trace = w.trace();
+        assert!(!trace.is_empty());
+        assert_eq!(trace.crashes().len(), 1);
+        assert_eq!(trace.observations("phase").count(), 1);
+        for e in trace.events() {
+            assert!(
+                matches!(
+                    e.kind,
+                    TraceKind::Observation { .. } | TraceKind::Crashed { .. }
+                ),
+                "message-level event leaked into ObsOnly trace: {e:?}"
+            );
+        }
     }
 
     #[test]

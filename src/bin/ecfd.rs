@@ -18,7 +18,7 @@ use fd_consensus::{ConsensusNode, EcMergedConsensus, MultiEc, MultiNode};
 use fd_core::Standalone;
 use fd_detectors::{
     FusedConfig, FusedDetector, HeartbeatDetector, OmegaGossip, OmegaGossipConfig, OmegaGossipNode,
-    RingDetector, StableLeaderConfig, StableLeaderDetector,
+    RingDetector, StableLeaderConfig, StableLeaderDetector, VCubeConfig, VCubeDetector,
 };
 use std::process::ExitCode;
 
@@ -34,7 +34,7 @@ ecfd — eventually consistent failure detectors, runnable
 USAGE:
   ecfd consensus [--n N] [--protocol ec|ecm|ct|mr|paxos] [--seed S]
                  [--crash P@MS ...] [--horizon-ms MS] [--timeline]
-  ecfd detector  [--kind heartbeat|ring|leader|fused|stable|gossip]
+  ecfd detector  [--kind heartbeat|ring|leader|fused|stable|gossip|vcube]
                  [--n N] [--seed S] [--crash P@MS ...] [--run-ms MS] [--timeline]
   ecfd log       [--n N] [--commands K] [--seed S] [--crash P@MS ...]
   ecfd campaign  --scenario NAME [--seeds A..B] [--jobs N] [--artifact-dir DIR]
@@ -43,6 +43,8 @@ USAGE:
                  [--artifact-dir DIR]
   ecfd campaign  --replay FILE [--shrink] [--metrics-out FILE]
   ecfd bench-kernel [--seeds N] [--out FILE] [--micro-out FILE]
+                 [--check BASELINE] [--threshold PCT]
+  ecfd bench-scale [--n N ...] [--seeds N] [--out FILE]
                  [--check BASELINE] [--threshold PCT]
   ecfd kv-bench  [--seeds N] [--out FILE]
   ecfd obs-report FILE
@@ -63,6 +65,9 @@ OPTIONS:
   --run-ms MS       detector run length (default 3000)
   --commands K      commands submitted to the replicated log (default 6)
   --timeline        print the chronological observation timeline
+  --max-processes N cap on distinct processes in a --timeline listing
+                    (default 64): larger casts degrade to the one-line
+                    summary instead of flooding the terminal
 
 CAMPAIGN OPTIONS:
   --scenario NAME   campaign scenario (e8, chaos, kv, blind)
@@ -79,6 +84,17 @@ CAMPAIGN OPTIONS:
   --metrics-out F   write kernel/campaign metrics as JSON Lines to F
                     (render later with `ecfd obs-report F`); per-seed
                     verdicts and digests are identical with or without it
+
+BENCH-SCALE OPTIONS:
+  --n N             restrict the sweep to world size N (repeatable;
+                    default 64, 256, 1024 and 4096)
+  --seeds N         seeds per cell (default 4)
+  --out FILE        write the scale benchmark JSON to FILE
+                    (same shape as the committed BENCH_scale.json)
+  --check BASELINE  compare per-cell events_per_sec against a baseline
+                    BENCH_scale.json; exit nonzero on regression
+  --threshold PCT   allowed events_per_sec drop vs baseline, percent
+                    (default 25)
 
 BENCH-KERNEL OPTIONS:
   --seeds N         seeds in the E8 throughput sweep (default 1000)
@@ -128,6 +144,7 @@ struct Args {
     plan: Option<String>,
     shrink: bool,
     metrics_out: Option<String>,
+    max_processes: usize,
 }
 
 fn parse_args(argv: &[String]) -> Result<Args, String> {
@@ -144,6 +161,7 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
             .map(|p| p.get())
             .unwrap_or(1),
         artifact_dir: "target/campaign".into(),
+        max_processes: 64,
         ..Args::default()
     };
     let mut it = argv.iter();
@@ -160,6 +178,14 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
             "--run-ms" => a.run_ms = take()?.parse().map_err(|e| format!("--run-ms: {e}"))?,
             "--commands" => a.commands = take()?.parse().map_err(|e| format!("--commands: {e}"))?,
             "--timeline" => a.timeline = true,
+            "--max-processes" => {
+                a.max_processes = take()?
+                    .parse()
+                    .map_err(|e| format!("--max-processes: {e}"))?;
+                if a.max_processes == 0 {
+                    return Err("--max-processes must be at least 1".into());
+                }
+            }
             "--scenario" => a.scenario = take()?.clone(),
             "--seeds" => {
                 let spec = take()?;
@@ -226,9 +252,14 @@ fn scenario_of(a: &Args) -> Scenario {
     sc
 }
 
-fn print_timeline(trace: &fd_sim::Trace) {
+fn print_timeline(trace: &fd_sim::Trace, max_processes: usize) {
     println!("\ntimeline:");
-    print!("{}", fd_sim::Timeline::new(trace).render());
+    print!(
+        "{}",
+        fd_sim::Timeline::new(trace)
+            .max_processes(max_processes)
+            .render()
+    );
 }
 
 fn cmd_consensus(a: &Args) -> Result<(), String> {
@@ -270,7 +301,7 @@ fn cmd_consensus(a: &Args) -> Result<(), String> {
     );
     println!("uniform agreement + validity + integrity + termination verified ✓");
     if a.timeline {
-        print_timeline(&r.trace);
+        print_timeline(&r.trace, a.max_processes);
     }
     Ok(())
 }
@@ -340,6 +371,16 @@ fn cmd_detector(a: &Args) -> Result<(), String> {
             w.run_until_time(end);
             w.into_results()
         }
+        "vcube" => {
+            let mut w = b.build(|pid, n| {
+                Standalone(LeaderByFirstNonSuspected::new(
+                    VCubeDetector::new(pid, n, VCubeConfig::default()),
+                    n,
+                ))
+            });
+            w.run_until_time(end);
+            w.into_results()
+        }
         other => return Err(format!("unknown detector {other}")),
     };
     let run = FdRun::new(&trace, a.n, end);
@@ -364,7 +405,7 @@ fn cmd_detector(a: &Args) -> Result<(), String> {
     }
     println!("  total messages: {}", metrics.sent_total());
     if a.timeline {
-        print_timeline(&trace);
+        print_timeline(&trace, a.max_processes);
     }
     Ok(())
 }
@@ -738,6 +779,159 @@ fn cmd_bench_kernel(rest: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// Flags of `ecfd bench-scale`.
+#[derive(Debug)]
+struct ScaleArgs {
+    sizes: Vec<usize>,
+    seeds: u64,
+    out: Option<String>,
+    check: Option<String>,
+    threshold: f64,
+}
+
+fn parse_scale_args(argv: &[String]) -> Result<ScaleArgs, String> {
+    let mut a = ScaleArgs {
+        sizes: Vec::new(),
+        seeds: 4,
+        out: None,
+        check: None,
+        threshold: 25.0,
+    };
+    let mut it = argv.iter();
+    while let Some(flag) = it.next() {
+        let mut take = || it.next().ok_or_else(|| format!("{flag} needs a value"));
+        match flag.as_str() {
+            "--n" => {
+                let n: usize = take()?.parse().map_err(|e| format!("--n: {e}"))?;
+                if n == 0 || n > fd_core::MAX_PROCESSES {
+                    return Err(format!("--n must be in 1..={}", fd_core::MAX_PROCESSES));
+                }
+                a.sizes.push(n);
+            }
+            "--seeds" => {
+                a.seeds = take()?.parse().map_err(|e| format!("--seeds: {e}"))?;
+                if a.seeds == 0 {
+                    return Err("--seeds must be at least 1".into());
+                }
+            }
+            "--out" => a.out = Some(take()?.clone()),
+            "--check" => a.check = Some(take()?.clone()),
+            "--threshold" => {
+                a.threshold = take()?.parse().map_err(|e| format!("--threshold: {e}"))?;
+                if !(0.0..=100.0).contains(&a.threshold) {
+                    return Err("--threshold must be a percentage in 0..=100".into());
+                }
+            }
+            other => return Err(format!("unknown bench-scale flag {other}")),
+        }
+    }
+    if a.sizes.is_empty() {
+        a.sizes = fd_bench::scale::SCALE_SIZES.to_vec();
+    }
+    Ok(a)
+}
+
+/// Run the large-n scale benchmark (heartbeat / ring / vCube at
+/// n = 64…4096, stable and lossy nets), optionally writing
+/// `BENCH_scale.json` and gating against a committed baseline. The gate
+/// checks per-cell throughput within `--threshold` percent *and* — for
+/// cells run with the baseline's seed count — exact observation-digest
+/// equality, so behavioral drift at scale fails even when it is fast.
+fn cmd_bench_scale(rest: &[String]) -> Result<(), String> {
+    let a = parse_scale_args(rest)?;
+    println!(
+        "bench-scale: sizes {:?}, {} base seeds per cell …",
+        a.sizes, a.seeds
+    );
+    let bench = fd_bench::scale::scale_bench(&a.sizes, a.seeds);
+    let serde::Value::Arr(cells) = bench.field("cells") else {
+        return Err("scale bench produced no cells".into());
+    };
+    for c in cells {
+        println!(
+            "{:<10} n={:<5} {:<7} {:>12} events in {:>7.3}s — {:>9.0} events/s ({} msgs, digest {})",
+            c.field("class").as_str().unwrap_or("?"),
+            c.field("n").as_u64().unwrap_or(0),
+            c.field("net").as_str().unwrap_or("?"),
+            c.field("events").as_u64().unwrap_or(0),
+            c.field("wall_ns").as_u64().unwrap_or(0) as f64 / 1e9,
+            c.field("events_per_sec").as_f64().unwrap_or(0.0),
+            c.field("messages").as_u64().unwrap_or(0),
+            c.field("digest").as_str().unwrap_or("?"),
+        );
+        if let Some(ape) = c.field("allocs_per_event").as_f64() {
+            println!("{:<10} {ape:.2} heap allocations per event", "");
+        }
+    }
+    if let Some(path) = &a.out {
+        write_json(path, &bench)?;
+        println!("scale json: {path}");
+    }
+    if let Some(baseline_path) = &a.check {
+        let text =
+            std::fs::read_to_string(baseline_path).map_err(|e| format!("{baseline_path}: {e}"))?;
+        let baseline: serde::Value =
+            serde_json::from_str(&text).map_err(|e| format!("{baseline_path}: {e}"))?;
+        let serde::Value::Arr(base_cells) = baseline.field("cells") else {
+            return Err(format!("{baseline_path}: no cells array"));
+        };
+        let mut compared = 0usize;
+        let mut failures = Vec::new();
+        for c in cells {
+            let key = |v: &serde::Value| {
+                (
+                    v.field("class").as_str().unwrap_or("?").to_string(),
+                    v.field("n").as_u64().unwrap_or(0),
+                    v.field("net").as_str().unwrap_or("?").to_string(),
+                )
+            };
+            let Some(b) = base_cells.iter().find(|b| key(b) == key(c)) else {
+                continue; // cell not in the baseline (different --n set)
+            };
+            compared += 1;
+            let (class, n, net) = key(c);
+            let eps = c.field("events_per_sec").as_f64().unwrap_or(0.0);
+            let base_eps = b.field("events_per_sec").as_f64().unwrap_or(0.0);
+            let floor = base_eps * (1.0 - a.threshold / 100.0);
+            if eps < floor {
+                failures.push(format!(
+                    "{class} n={n} {net}: {eps:.0} events/s is more than {}% below the \
+                     baseline {base_eps:.0} (floor {floor:.0})",
+                    a.threshold
+                ));
+            }
+            if c.field("seeds").as_u64() == b.field("seeds").as_u64()
+                && c.field("digest").as_str() != b.field("digest").as_str()
+            {
+                failures.push(format!(
+                    "{class} n={n} {net}: digest {} differs from baseline {} — \
+                     nondeterminism or an unrecorded behavior change (regenerate \
+                     with --out {baseline_path} if intentional)",
+                    c.field("digest").as_str().unwrap_or("?"),
+                    b.field("digest").as_str().unwrap_or("?"),
+                ));
+            }
+        }
+        if compared == 0 {
+            return Err(format!(
+                "{baseline_path}: no overlapping cells with this sweep — nothing checked"
+            ));
+        }
+        if !failures.is_empty() {
+            return Err(format!(
+                "scale regression ({} of {compared} cells):\n  {}",
+                failures.len(),
+                failures.join("\n  ")
+            ));
+        }
+        println!(
+            "check: {compared} cells within {}% of {baseline_path}, digests match ✓",
+            a.threshold
+        );
+    }
+    Ok(())
+}
+
 /// Run the replicated-KV serving-stack benchmark: every detector class
 /// over N seeds of the standard crash/restart plan, reporting commit
 /// latency, failover blackout, and catch-up volume (`BENCH_kv.json`).
@@ -903,6 +1097,15 @@ fn main() -> ExitCode {
     }
     if cmd == "bench-kernel" {
         return match cmd_bench_kernel(rest) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+    if cmd == "bench-scale" {
+        return match cmd_bench_scale(rest) {
             Ok(()) => ExitCode::SUCCESS,
             Err(e) => {
                 eprintln!("error: {e}");

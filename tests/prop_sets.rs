@@ -14,25 +14,25 @@ fn arb_set() -> impl Strategy<Value = ProcessSet> {
 proptest! {
     #[test]
     fn union_is_commutative_and_idempotent(a in arb_set(), b in arb_set()) {
-        prop_assert_eq!(a | b, b | a);
-        prop_assert_eq!(a | a, a);
+        prop_assert_eq!(&a | &b, &b | &a);
+        prop_assert_eq!(&a | &a, a);
     }
 
     #[test]
     fn intersection_distributes_over_union(a in arb_set(), b in arb_set(), c in arb_set()) {
-        prop_assert_eq!(a & (b | c), (a & b) | (a & c));
+        prop_assert_eq!(&a & &(&b | &c), &(&a & &b) | &(&a & &c));
     }
 
     #[test]
     fn de_morgan(a in arb_set(), b in arb_set()) {
         let n = MAX_PROCESSES;
-        prop_assert_eq!((a | b).complement(n), a.complement(n) & b.complement(n));
-        prop_assert_eq!((a & b).complement(n), a.complement(n) | b.complement(n));
+        prop_assert_eq!((&a | &b).complement(n), a.complement(n) & b.complement(n));
+        prop_assert_eq!((&a & &b).complement(n), a.complement(n) | b.complement(n));
     }
 
     #[test]
     fn difference_is_intersection_with_complement(a in arb_set(), b in arb_set()) {
-        prop_assert_eq!(a - b, a & b.complement(MAX_PROCESSES));
+        prop_assert_eq!(&a - &b, &a & &b.complement(MAX_PROCESSES));
     }
 
     #[test]
@@ -43,7 +43,7 @@ proptest! {
     #[test]
     fn insert_remove_roundtrip(a in arb_set(), id in 0usize..MAX_PROCESSES) {
         let p = ProcessId(id);
-        let mut s = a;
+        let mut s = a.clone();
         let was_in = s.contains(p);
         s.insert(p);
         prop_assert!(s.contains(p));
@@ -75,9 +75,9 @@ proptest! {
 
     #[test]
     fn subset_relation_consistent(a in arb_set(), b in arb_set()) {
-        prop_assert_eq!(a.is_subset_of(&(a | b)), true);
-        prop_assert_eq!((a & b).is_subset_of(&a), true);
-        prop_assert_eq!(a.is_subset_of(&b), (a - b).is_empty());
+        prop_assert_eq!(a.is_subset_of(&(&a | &b)), true);
+        prop_assert_eq!((&a & &b).is_subset_of(&a), true);
+        prop_assert_eq!(a.is_subset_of(&b), (&a - &b).is_empty());
     }
 
     #[test]

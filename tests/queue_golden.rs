@@ -15,6 +15,62 @@ use ecfd::campaign::Scenario as CampaignScenario;
 use ecfd::consensus::{ct_node_hb, ec_node_hb, mr_node_leader, run_scenario_with_queue, RunResult};
 use ecfd::sim::{LinkModel, NetworkConfig, ProcessId, QueueImpl, SimDuration, Time};
 
+mod large_n {
+    //! Large-n equivalence: at n = 512 a single detector period lands
+    //! hundreds of events in one wheel bucket and broadcasts cross the
+    //! active-span insert path constantly — the regime where a wheel
+    //! ordering bug would hide from the small-n consensus sweeps.
+
+    use ecfd::core::Standalone;
+    use ecfd::detectors::{RingConfig, RingDetector, VCubeConfig, VCubeDetector};
+    use ecfd::sim::{
+        LinkModel, NetworkConfig, ProcessId, QueueImpl, SimDuration, Time, TraceMode, WorldBuilder,
+    };
+
+    fn lossy_net(n: usize) -> NetworkConfig {
+        NetworkConfig::new(n).with_default(LinkModel::fair_lossy(
+            SimDuration::from_millis(1),
+            SimDuration::from_millis(8),
+            0.15,
+        ))
+    }
+
+    /// Digest plus kernel counters of one n = 512 run.
+    fn run<A: ecfd::sim::Actor>(
+        queue: QueueImpl,
+        mk: impl Fn(ProcessId, usize) -> A + Copy,
+    ) -> (u64, u64, u64) {
+        let n = 512;
+        let mut w = WorldBuilder::new(lossy_net(n))
+            .seed(99)
+            .queue_impl(queue)
+            .trace_mode(TraceMode::ObsOnly)
+            .crash_at(ProcessId(100), Time::from_millis(120))
+            .build(mk);
+        w.run_until_time(Time::from_millis(400));
+        let events = w.metrics().events_processed();
+        let messages = w.metrics().sent_total();
+        let (trace, _) = w.into_results();
+        (trace.digest(), events, messages)
+    }
+
+    #[test]
+    fn wheel_and_classic_queues_agree_at_n_512() {
+        let ring = |pid, n| Standalone(RingDetector::new(pid, n, RingConfig::default()));
+        assert_eq!(
+            run(QueueImpl::Wheel, ring),
+            run(QueueImpl::Classic, ring),
+            "ring digests/counters must match across queue implementations"
+        );
+        let vcube = |pid, n| Standalone(VCubeDetector::new(pid, n, VCubeConfig::default()));
+        assert_eq!(
+            run(QueueImpl::Wheel, vcube),
+            run(QueueImpl::Classic, vcube),
+            "vcube digests/counters must match across queue implementations"
+        );
+    }
+}
+
 /// Run one E8 plan under the given queue implementation.
 fn run_e8_seed(seed: u64, queue: QueueImpl) -> RunResult {
     let plan = E8Scenario.plan(seed);

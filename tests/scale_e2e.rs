@@ -1,0 +1,151 @@
+//! End-to-end tests of the large-n scale surface: the `scale` campaign
+//! scenario's determinism contract (byte-identical per-seed results
+//! whatever the worker count), and the three detector cost classes run
+//! through the full property checkers at sizes the rest of the test
+//! suite never reaches.
+//!
+//! The checker sweeps use *completeness-sized* horizons — long enough
+//! for suspicion to fully disseminate (hop-by-hop on the ring, that is
+//! O(n) poll periods) — unlike the throughput-sized horizons of
+//! `bench-scale`, which only demand weak completeness.
+
+use ecfd::bench::scale::{scale_cell_of, ScaleClass};
+use ecfd::campaign::Campaign;
+use ecfd::core::{FdClass, FdRun, ProcessSet, Standalone};
+use ecfd::detectors::{
+    HeartbeatConfig, HeartbeatDetector, RingConfig, RingDetector, VCubeConfig, VCubeDetector,
+};
+use ecfd::sim::{
+    LinkModel, NetworkConfig, ProcessId, SimDuration, Time, Trace, TraceMode, WorldBuilder,
+};
+
+fn stable_net(n: usize) -> NetworkConfig {
+    NetworkConfig::new(n).with_default(LinkModel::reliable_uniform(
+        SimDuration::from_millis(1),
+        SimDuration::from_millis(4),
+    ))
+}
+
+/// Run one detector class at size `n` with a single crash, in ObsOnly
+/// trace mode (what the scale sweep uses — the checkers only need
+/// observations and crash records).
+fn run_class(
+    class: ScaleClass,
+    n: usize,
+    crash: (usize, u64),
+    horizon_ms: u64,
+    seed: u64,
+) -> (Trace, Time) {
+    let end = Time::from_millis(horizon_ms);
+    let builder = WorldBuilder::new(stable_net(n))
+        .seed(seed)
+        .trace_mode(TraceMode::ObsOnly)
+        .crash_at(ProcessId(crash.0), Time::from_millis(crash.1));
+    let trace = match class {
+        ScaleClass::Heartbeat => {
+            let mut w = builder.build(|pid, n| {
+                Standalone(HeartbeatDetector::new(pid, n, HeartbeatConfig::default()))
+            });
+            w.run_until_time(end);
+            w.into_results().0
+        }
+        ScaleClass::Ring => {
+            let mut w = builder
+                .build(|pid, n| Standalone(RingDetector::new(pid, n, RingConfig::default())));
+            w.run_until_time(end);
+            w.into_results().0
+        }
+        ScaleClass::VCube => {
+            let mut w = builder
+                .build(|pid, n| Standalone(VCubeDetector::new(pid, n, VCubeConfig::default())));
+            w.run_until_time(end);
+            w.into_results().0
+        }
+    };
+    (trace, end)
+}
+
+/// All three classes at `n`: ◇P holds and every correct process ends
+/// suspecting exactly the crashed one.
+fn checker_sweep(n: usize, horizon_ms: &[u64; 3]) {
+    let victim = n / 3;
+    let crash = (victim, 300);
+    for (class, &h) in ScaleClass::ALL.iter().zip(horizon_ms) {
+        let (trace, end) = run_class(*class, n, crash, h, 7 + n as u64);
+        let run = FdRun::new(&trace, n, end);
+        run.check_class(FdClass::EventuallyPerfect)
+            .unwrap_or_else(|e| panic!("{:?} at n={n}: {e:?}", class));
+        let crashed: ProcessSet = [ProcessId(victim)].into_iter().collect();
+        for p in (0..n).filter(|&p| p != victim) {
+            assert_eq!(
+                run.final_suspects(ProcessId(p)),
+                crashed,
+                "{class:?} at n={n}: process {p} has the wrong final suspect list"
+            );
+        }
+    }
+}
+
+#[test]
+fn all_three_classes_satisfy_eventually_perfect_at_n_64() {
+    // Ring needs ~n poll periods (640ms) post-detection for the suspect
+    // list to circulate; heartbeat and vCube converge within a few
+    // timeouts. Horizons per class: heartbeat, ring, vcube.
+    checker_sweep(64, &[1200, 2500, 1500]);
+}
+
+/// The n = 256 sweep processes tens of millions of kernel events under
+/// the quadratic class — minutes in a debug test binary. Run with
+/// `cargo test --release -- --ignored`.
+#[test]
+#[ignore]
+fn all_three_classes_satisfy_eventually_perfect_at_n_256() {
+    checker_sweep(256, &[1500, 6000, 2000]);
+}
+
+#[test]
+fn scale_campaign_seeds_are_independent_of_job_count() {
+    // Seeds 0..6 are the six n = 64 cells (the cell list is n-major);
+    // larger sizes are covered by the ignored full sweep below.
+    let scenario = ecfd::bench::campaign::scenario_by_name("scale").expect("scale is registered");
+    let serial = Campaign::new(scenario.as_ref(), 0..6).jobs(1).run();
+    let parallel = Campaign::new(scenario.as_ref(), 0..6).jobs(4).run();
+    assert_eq!(
+        serial.results, parallel.results,
+        "per-seed verdicts and digests must be byte-identical across --jobs"
+    );
+    assert_eq!(
+        serial.failed(),
+        0,
+        "weak completeness must hold on every n = 64 cell: {:?}",
+        serial
+            .results
+            .iter()
+            .filter(|r| r.violation.is_some())
+            .collect::<Vec<_>>()
+    );
+}
+
+#[test]
+fn scale_seed_layout_wraps_the_cell_list() {
+    // 22 cells: 4 sizes × 3 classes × 2 nets minus the two
+    // heartbeat@4096 cells. Seed 22 restarts the list.
+    let c0 = scale_cell_of(0);
+    let c22 = scale_cell_of(22);
+    assert_eq!(c0.n, 64);
+    assert_eq!((c22.n, c22.class), (c0.n, c0.class));
+    assert_eq!(scale_cell_of(21).n, 4096);
+}
+
+/// The acceptance sweep: every cell of the scale family (n up to 4096),
+/// byte-identical across `--jobs {1,4}`. About a minute of work — run
+/// with `cargo test --release -- --ignored`.
+#[test]
+#[ignore]
+fn full_scale_sweep_is_deterministic_across_jobs() {
+    let scenario = ecfd::bench::campaign::scenario_by_name("scale").expect("scale is registered");
+    let serial = Campaign::new(scenario.as_ref(), 0..22).jobs(1).run();
+    let parallel = Campaign::new(scenario.as_ref(), 0..22).jobs(4).run();
+    assert_eq!(serial.results, parallel.results);
+    assert_eq!(serial.failed(), 0, "full scale sweep must be clean");
+}
