@@ -88,8 +88,8 @@ impl Scenario for E8Scenario {
 
     fn monitors(&self) -> Vec<Box<dyn Monitor>> {
         vec![
-            NamedMonitor::boxed("consensus.safety"),
-            NamedMonitor::boxed("consensus.termination"),
+            NamedMonitor::boxed(fd_obs::keys::CONSENSUS_SAFETY),
+            NamedMonitor::boxed(fd_obs::keys::CONSENSUS_TERMINATION),
         ]
     }
 

@@ -11,7 +11,7 @@
 //! counts sit at the `k(n−1)` version of each `kn` formula.
 
 use crate::scenarios::{jitter_net, run_scripted, stable_fd, Protocol};
-use crate::table::{f, Table};
+use crate::table::{fmt_num, Table};
 use fd_detectors::ScriptedDetector;
 use fd_sim::{ProcessId, Time};
 
@@ -59,7 +59,7 @@ pub fn run() -> Vec<Table> {
                 measured.to_string(),
                 paper.to_string(),
                 impl_expected.to_string(),
-                f(measured as f64 / paper as f64),
+                fmt_num(measured as f64 / paper as f64),
             ]);
         }
     }
@@ -92,12 +92,12 @@ pub fn run() -> Vec<Table> {
         assert!(r.all_decided);
         // Rounds churned before the stable round decided.
         let churned = r.max_decision_round().unwrap_or(1).saturating_sub(1).max(1);
-        let coord_msgs = r.metrics.sent_of_kind("ec.coordinator");
+        let coord_msgs = r.metrics.sent_of_kind(fd_obs::keys::EC_COORDINATOR);
         t2.row(vec![
             n.to_string(),
             churned.to_string(),
             coord_msgs.to_string(),
-            f(coord_msgs as f64 / churned as f64),
+            fmt_num(coord_msgs as f64 / churned as f64),
             (n * (n - 1)).to_string(),
         ]);
     }

@@ -13,7 +13,7 @@
 //! MR = 3 (each process flags locally, no extra broadcast step).
 
 use crate::scenarios::{const_delay_net, fast_poll, run_scripted, stable_fd, Protocol};
-use crate::table::{f, Table};
+use crate::table::{fmt_num, Table};
 use fd_sim::{SimDuration, Time};
 
 /// Run the experiment.
@@ -55,7 +55,7 @@ pub fn run() -> Vec<Table> {
                 proto.label().to_string(),
                 n.to_string(),
                 format!("{at}"),
-                f(steps),
+                fmt_num(steps),
                 proto.paper_phases().to_string(),
             ]);
         }

@@ -15,11 +15,11 @@
 //! the time from a mid-ring process's crash until *every* correct process
 //! suspects it.
 
-use crate::table::{f, Table};
+use crate::table::{fmt_num, Table};
 use fd_core::{obs, Standalone};
 use fd_detectors::{
     EcToEp, EcToEpConfig, EcToEpNode, FusedConfig, FusedDetector, HeartbeatConfig,
-    HeartbeatDetector, LeaderConfig, LeaderDetector, RingConfig, RingDetector, EP_SUSPECTS,
+    HeartbeatDetector, LeaderConfig, LeaderDetector, RingConfig, RingDetector, EP_SUSPECTS_OUT,
 };
 use fd_sim::{Actor, LinkModel, NetworkConfig, ProcessId, SimDuration, Time, WorldBuilder};
 
@@ -137,7 +137,7 @@ pub fn run() -> Vec<Table> {
                     EcToEp::new(pid, n, EcToEpConfig::default()),
                 )
             },
-            EP_SUSPECTS,
+            EP_SUSPECTS_OUT,
             victim,
         );
         push(
@@ -213,7 +213,7 @@ fn push(t: &mut Table, label: &str, n: usize, m: &Measured, formula: &str, value
     t.row(vec![
         label.to_string(),
         n.to_string(),
-        f(m.msgs_per_period),
+        fmt_num(m.msgs_per_period),
         formula.to_string(),
         value.to_string(),
         m.detect_latency_ms

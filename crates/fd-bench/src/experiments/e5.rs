@@ -17,7 +17,7 @@
 //! protocol still decides in round 1, over 20 seeds.
 
 use crate::scenarios::{fast_poll, jitter_net, run_scripted, Protocol};
-use crate::table::{f, Table};
+use crate::table::{fmt_num, Table};
 use fd_core::{FdOutput, ProcessSet};
 use fd_detectors::ScriptedDetector;
 use fd_sim::{ProcessId, Time};
@@ -107,8 +107,8 @@ pub fn run() -> Vec<Table> {
             t.row(vec![
                 proto.label().to_string(),
                 k.to_string(),
-                f(round1 as f64 / seeds as f64),
-                f(round_sum as f64 / seeds as f64),
+                fmt_num(round1 as f64 / seeds as f64),
+                fmt_num(round_sum as f64 / seeds as f64),
             ]);
         }
     }

@@ -12,7 +12,9 @@
 
 use crate::table::Table;
 use fd_core::{FdClass, FdRun};
-use fd_detectors::{EcToEp, EcToEpConfig, EcToEpNode, LeaderConfig, LeaderDetector, EP_SUSPECTS};
+use fd_detectors::{
+    EcToEp, EcToEpConfig, EcToEpNode, LeaderConfig, LeaderDetector, EP_SUSPECTS_OUT,
+};
 use fd_sim::{LinkModel, NetworkConfig, ProcessId, SimDuration, Time, WorldBuilder};
 
 fn stack_net(n: usize, leader: ProcessId, gst: Time, out_drop: f64) -> NetworkConfig {
@@ -76,7 +78,7 @@ pub fn run() -> Vec<Table> {
                 w.run_until_time(end);
                 let mistakes = w.actor(leader).ep.mistakes();
                 let (trace, _) = w.into_results();
-                let run = FdRun::new(&trace, n, end).with_suspects_tag(EP_SUSPECTS);
+                let run = FdRun::new(&trace, n, end).with_suspects_tag(EP_SUSPECTS_OUT);
                 let holds = run.check_class(FdClass::EventuallyPerfect);
                 let stab = run.stabilization_time().map(|t| t.as_millis());
                 t.row(vec![

@@ -9,7 +9,7 @@
 //! Method: n = 8, two crashes; report the steady-state suspect-set size
 //! at correct processes (ideal = 2) and whether Definition 1 holds.
 
-use crate::table::{f, Table};
+use crate::table::{fmt_num, Table};
 use fd_core::{FdClass, FdRun, Standalone};
 use fd_detectors::{
     FusedConfig, FusedDetector, HeartbeatConfig, HeartbeatDetector, LeaderByFirstNonSuspected,
@@ -58,7 +58,7 @@ pub fn run() -> Vec<Table> {
         let holds = run.check_class(FdClass::EventuallyConsistent).is_ok();
         t.row(vec![
             label.to_string(),
-            f(mean),
+            fmt_num(mean),
             "2".to_string(),
             if holds { "yes" } else { "NO" }.to_string(),
             extra.to_string(),

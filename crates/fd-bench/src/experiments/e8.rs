@@ -47,7 +47,7 @@ pub fn tabulate(report: &CampaignReport) -> Table {
                 .filter(|r| {
                     r.violation
                         .as_ref()
-                        .is_some_and(|(p, _)| p == "consensus.safety")
+                        .is_some_and(|(p, _)| p == fd_obs::keys::CONSENSUS_SAFETY)
                 })
                 .count();
             t.row(vec![

@@ -15,7 +15,7 @@
 //!   the paper's "at no additional cost" constructions.
 
 use crate::scenarios::{const_delay_net, fast_poll, jitter_net, stable_fd};
-use crate::table::{f, Table};
+use crate::table::{fmt_num, Table};
 use fd_consensus::{run_scenario, scripted_node, EcConsensus, EcMergedConsensus, Scenario};
 use fd_core::{FdRun, Standalone};
 use fd_detectors::{
@@ -51,7 +51,7 @@ fn e9a() -> Table {
         t.row(vec![
             "◇C 5-phase".into(),
             n.to_string(),
-            f(five.decide_time.unwrap().ticks() as f64 / delta.ticks() as f64),
+            fmt_num(five.decide_time.unwrap().ticks() as f64 / delta.ticks() as f64),
             five.messages_in_round("ec.", 1).to_string(),
             five.max_decision_round().unwrap().to_string(),
         ]);
@@ -67,7 +67,7 @@ fn e9a() -> Table {
         t.row(vec![
             "◇C merged".into(),
             n.to_string(),
-            f(merged.decide_time.unwrap().ticks() as f64 / delta.ticks() as f64),
+            fmt_num(merged.decide_time.unwrap().ticks() as f64 / delta.ticks() as f64),
             merged.messages_in_round("ecm.", 1).to_string(),
             merged.max_decision_round().unwrap().to_string(),
         ]);
@@ -164,13 +164,14 @@ fn e9c() -> Table {
             )
         });
         w.run_until_time(Time::from_millis(500));
-        let before = w.metrics().sent_of_kind("omega.gossip");
+        let before = w.metrics().sent_of_kind(fd_obs::keys::OMEGA_GOSSIP);
         w.run_until_time(Time::from_millis(1500));
-        let per_period = (w.metrics().sent_of_kind("omega.gossip") - before) as f64 / 100.0;
+        let per_period =
+            (w.metrics().sent_of_kind(fd_obs::keys::OMEGA_GOSSIP) - before) as f64 / 100.0;
         t.row(vec![
             "gossip Ω [5,7]".into(),
             n.to_string(),
-            f(per_period),
+            fmt_num(per_period),
             format!("n(n−1) = {}", n * (n - 1)),
         ]);
 
@@ -184,7 +185,7 @@ fn e9c() -> Table {
         t.row(vec![
             "candidate Ω [16]".into(),
             n.to_string(),
-            f(per_period),
+            fmt_num(per_period),
             format!("n−1 = {}", n - 1),
         ]);
     }

@@ -356,7 +356,7 @@ impl Scenario for ScaleScenario {
     }
 
     fn monitors(&self) -> Vec<Box<dyn Monitor>> {
-        vec![NamedMonitor::boxed("fd.weak_completeness")]
+        vec![NamedMonitor::boxed(fd_obs::keys::FD_WEAK_COMPLETENESS)]
     }
 
     fn make_executor(&self) -> Box<dyn SeedExecutor + '_> {

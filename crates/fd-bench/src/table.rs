@@ -90,7 +90,7 @@ impl Table {
 }
 
 /// Format a float compactly.
-pub fn f(x: f64) -> String {
+pub fn fmt_num(x: f64) -> String {
     if x.abs() >= 100.0 {
         format!("{x:.0}")
     } else if x.abs() >= 10.0 {
@@ -127,8 +127,8 @@ mod tests {
     #[test]
     fn float_formatting() {
         // `{:.0}` uses round-half-to-even.
-        assert_eq!(f(1234.5), "1234");
-        assert_eq!(f(42.25), "42.2");
-        assert_eq!(f(1.234), "1.23");
+        assert_eq!(fmt_num(1234.5), "1234");
+        assert_eq!(fmt_num(42.25), "42.2");
+        assert_eq!(fmt_num(1.234), "1.23");
     }
 }

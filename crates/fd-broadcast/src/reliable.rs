@@ -45,7 +45,7 @@ pub struct RbMsg<P> {
 
 impl<P: Clone + fmt::Debug + 'static> SimMessage for RbMsg<P> {
     fn kind(&self) -> &'static str {
-        "rb.msg"
+        fd_obs::keys::RB_MSG
     }
 }
 

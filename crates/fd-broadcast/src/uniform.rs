@@ -32,7 +32,7 @@ pub struct UrbMsg<P> {
 
 impl<P: Clone + fmt::Debug + 'static> SimMessage for UrbMsg<P> {
     fn kind(&self) -> &'static str {
-        "urb.msg"
+        fd_obs::keys::URB_MSG
     }
 }
 

@@ -22,7 +22,7 @@ struct Beat;
 
 impl SimMessage for Beat {
     fn kind(&self) -> &'static str {
-        "blind.hb"
+        fd_obs::keys::BLIND_HB
     }
 }
 
@@ -80,7 +80,7 @@ impl Scenario for BlindScenario {
     }
 
     fn monitors(&self) -> Vec<Box<dyn Monitor>> {
-        vec![NamedMonitor::boxed("fd.strong_completeness")]
+        vec![NamedMonitor::boxed(fd_obs::keys::FD_STRONG_COMPLETENESS)]
     }
 
     fn make_executor(&self) -> Box<dyn SeedExecutor + '_> {

@@ -183,7 +183,13 @@ impl ChaosPlan {
                         out.push((pid, crashed_at, ev.at));
                     }
                 }
-                _ => {}
+                // Network-shape events do not open or close down windows.
+                ChaosKind::Partition { .. }
+                | ChaosKind::CutLinks { .. }
+                | ChaosKind::Heal
+                | ChaosKind::Mangle(_)
+                | ChaosKind::Unmangle
+                | ChaosKind::GstMarker => {}
             }
         }
         out

@@ -169,7 +169,7 @@ impl Scenario for ChaosScenario {
     }
 
     fn monitors(&self) -> Vec<Box<dyn Monitor>> {
-        vec![NamedMonitor::boxed("chaos.class_after_faults")]
+        vec![NamedMonitor::boxed(fd_obs::keys::CHAOS_CLASS_AFTER_FAULTS)]
     }
 
     fn shrink_plan(&self, plan: &RunPlan) -> Vec<(String, RunPlan)> {

@@ -57,10 +57,10 @@ pub enum CtMsg {
 impl SimMessage for CtMsg {
     fn kind(&self) -> &'static str {
         match self {
-            CtMsg::Estimate { .. } => "ct.estimate",
-            CtMsg::Proposition { .. } => "ct.proposition",
-            CtMsg::Ack { .. } => "ct.ack",
-            CtMsg::Nack { .. } => "ct.nack",
+            CtMsg::Estimate { .. } => fd_obs::keys::CT_ESTIMATE,
+            CtMsg::Proposition { .. } => fd_obs::keys::CT_PROPOSITION,
+            CtMsg::Ack { .. } => fd_obs::keys::CT_ACK,
+            CtMsg::Nack { .. } => fd_obs::keys::CT_NACK,
         }
     }
     fn round(&self) -> Option<u64> {

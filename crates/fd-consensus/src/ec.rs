@@ -70,13 +70,13 @@ pub enum EcMsg {
 impl SimMessage for EcMsg {
     fn kind(&self) -> &'static str {
         match self {
-            EcMsg::Coordinator { .. } => "ec.coordinator",
-            EcMsg::Estimate { est: Some(_), .. } => "ec.estimate",
-            EcMsg::Estimate { est: None, .. } => "ec.null_estimate",
-            EcMsg::Proposition { value: Some(_), .. } => "ec.proposition",
-            EcMsg::Proposition { value: None, .. } => "ec.null_proposition",
-            EcMsg::Ack { .. } => "ec.ack",
-            EcMsg::Nack { .. } => "ec.nack",
+            EcMsg::Coordinator { .. } => fd_obs::keys::EC_COORDINATOR,
+            EcMsg::Estimate { est: Some(_), .. } => fd_obs::keys::EC_ESTIMATE,
+            EcMsg::Estimate { est: None, .. } => fd_obs::keys::EC_NULL_ESTIMATE,
+            EcMsg::Proposition { value: Some(_), .. } => fd_obs::keys::EC_PROPOSITION,
+            EcMsg::Proposition { value: None, .. } => fd_obs::keys::EC_NULL_PROPOSITION,
+            EcMsg::Ack { .. } => fd_obs::keys::EC_ACK,
+            EcMsg::Nack { .. } => fd_obs::keys::EC_NACK,
         }
     }
     fn round(&self) -> Option<u64> {
@@ -327,7 +327,7 @@ impl EcConsensus {
             // AwaitCoordinator re-evaluates on the poll timer; Idle and
             // Done are purely message-driven. (AwaitEstimates with a
             // coordinator other than us cannot happen, but falls here.)
-            _ => {}
+            Phase::Idle | Phase::AwaitCoordinator | Phase::AwaitEstimates | Phase::Done => {}
         }
     }
 
@@ -401,7 +401,13 @@ impl RoundProtocol for EcConsensus {
                 } => {
                     ctx.send(from, EcMsg::Nack { round });
                 }
-                _ => {}
+                // An Idle process plays no coordinator role, so replies
+                // (estimates/acks/nacks) have nothing to land on, and a
+                // null proposition asks for no answer: dropped by design.
+                EcMsg::Estimate { .. }
+                | EcMsg::Ack { .. }
+                | EcMsg::Nack { .. }
+                | EcMsg::Proposition { value: None, .. } => {}
             }
             return ProtocolStep::none();
         }
@@ -699,10 +705,15 @@ mod tests {
             sends(1, 5, &a1)[0].1,
             EcMsg::Estimate { est: None, .. }
         ));
-        assert!(
-            sends(1, 5, &a2).is_empty(),
-            "duplicate announcements are not re-answered"
-        );
+        // A duplicate announcement means the coordinator believes our
+        // reply was lost (§ Task 1): it is answered again with a null.
+        // Nulls never introduce values and the coordinator's reply
+        // bookkeeping is per-process idempotent, so the retransmission
+        // is harmless — silently dropping it would instead let a lossy
+        // link wedge the round (the PR 6 round-wedge class).
+        let again = sends(1, 5, &a2);
+        assert_eq!(again.len(), 1, "duplicate announcements are re-answered");
+        assert!(matches!(again[0].1, EcMsg::Estimate { est: None, .. }));
     }
 
     #[test]

@@ -56,12 +56,12 @@ pub enum EcmMsg {
 impl SimMessage for EcmMsg {
     fn kind(&self) -> &'static str {
         match self {
-            EcmMsg::Estimate { est: Some(_), .. } => "ecm.estimate",
-            EcmMsg::Estimate { est: None, .. } => "ecm.null_estimate",
-            EcmMsg::Proposition { value: Some(_), .. } => "ecm.proposition",
-            EcmMsg::Proposition { value: None, .. } => "ecm.null_proposition",
-            EcmMsg::Ack { .. } => "ecm.ack",
-            EcmMsg::Nack { .. } => "ecm.nack",
+            EcmMsg::Estimate { est: Some(_), .. } => fd_obs::keys::ECM_ESTIMATE,
+            EcmMsg::Estimate { est: None, .. } => fd_obs::keys::ECM_NULL_ESTIMATE,
+            EcmMsg::Proposition { value: Some(_), .. } => fd_obs::keys::ECM_PROPOSITION,
+            EcmMsg::Proposition { value: None, .. } => fd_obs::keys::ECM_NULL_PROPOSITION,
+            EcmMsg::Ack { .. } => fd_obs::keys::ECM_ACK,
+            EcmMsg::Nack { .. } => fd_obs::keys::ECM_NACK,
         }
     }
     fn round(&self) -> Option<u64> {

@@ -68,9 +68,9 @@ pub enum MrMsg {
 impl SimMessage for MrMsg {
     fn kind(&self) -> &'static str {
         match self {
-            MrMsg::Phase1 { .. } => "mr.phase1",
-            MrMsg::Phase2 { .. } => "mr.phase2",
-            MrMsg::Phase3 { .. } => "mr.phase3",
+            MrMsg::Phase1 { .. } => fd_obs::keys::MR_PHASE1,
+            MrMsg::Phase2 { .. } => fd_obs::keys::MR_PHASE2,
+            MrMsg::Phase3 { .. } => fd_obs::keys::MR_PHASE3,
         }
     }
     fn round(&self) -> Option<u64> {

@@ -28,7 +28,7 @@ use fd_sim::{Actor, Context, Payload, ProcessId, SimMessage, TimerTag};
 use std::collections::{BTreeMap, VecDeque};
 
 /// Observation tag for log appends: payload `U64Pair(slot, value)`.
-pub const LOG_APPEND: &str = "multi.append";
+pub use fd_obs::keys::MULTI_APPEND as LOG_APPEND;
 
 /// Timer-namespace base for slot instances: slot `s` uses `MULTI_NS_BASE + s`.
 pub const MULTI_NS_BASE: u32 = 0x1000_0000;
@@ -245,7 +245,7 @@ impl<F: SimMessage> SimMessage for MultiNodeMsg<F> {
             MultiNodeMsg::Fd(m) => m.kind(),
             MultiNodeMsg::Rb(m) => m.kind(),
             MultiNodeMsg::Cons(m) => m.kind(),
-            MultiNodeMsg::Open { .. } => "multi.open",
+            MultiNodeMsg::Open { .. } => fd_obs::keys::MULTI_OPEN,
         }
     }
     fn round(&self) -> Option<u64> {
@@ -466,7 +466,7 @@ where
 /// Observation tags specific to the multiplexer.
 pub mod api_obs {
     /// A replica proposed `U64Pair(slot, command)`.
-    pub const PROPOSE_SLOT: &str = "multi.propose";
+    pub use fd_obs::keys::MULTI_PROPOSE as PROPOSE_SLOT;
 }
 
 #[cfg(test)]
@@ -631,6 +631,59 @@ mod tests {
             w.actor(ProcessId(2)).multi.proposed_in(0),
             Some(NOOP),
             "bystander must gap-fill the opened slot with NOOP"
+        );
+    }
+
+    /// The `multi.propose` / `multi.append` observation tags are the
+    /// consensus layer's public telemetry (the fd-obs registry tracks
+    /// that they stay consumed): every entry of a replica's decided log
+    /// must be announced on `multi.append` exactly once, and the run
+    /// must carry `multi.propose` announcements for the submissions.
+    #[test]
+    fn log_telemetry_mirrors_the_decided_log() {
+        use fd_sim::TraceKind;
+        let n = 3;
+        let mut w = world(n, 209);
+        for i in 0..n {
+            let cmd = (i as u64 + 1) * 100;
+            w.interact(ProcessId(i), move |node, ctx| node.submit(ctx, cmd));
+        }
+        let done = w.run_until(Time::from_secs(60), |w| {
+            (0..n).all(|i| w.actor(ProcessId(i)).log().len() >= n)
+        });
+        assert!(done, "replicas stalled before deciding all submissions");
+
+        let mut appended: Vec<(u64, u64)> = w
+            .trace()
+            .events()
+            .iter()
+            .filter_map(|e| match e.kind {
+                TraceKind::Observation {
+                    pid,
+                    tag,
+                    payload: Payload::U64Pair(slot, value),
+                } if pid == ProcessId(0) && tag == LOG_APPEND => Some((slot, value)),
+                _ => None,
+            })
+            .collect();
+        let log = w.actor(ProcessId(0)).log();
+        for entry in &log {
+            assert!(
+                appended.contains(entry),
+                "log entry {entry:?} was never announced on multi.append"
+            );
+        }
+        let announced = appended.len();
+        appended.sort_unstable();
+        appended.dedup_by_key(|(slot, _)| *slot);
+        assert_eq!(announced, appended.len(), "a slot was announced twice");
+
+        assert!(
+            w.trace().events().iter().any(|e| matches!(
+                e.kind,
+                TraceKind::Observation { tag, .. } if tag == api_obs::PROPOSE_SLOT
+            )),
+            "submissions must be announced on multi.propose"
         );
     }
 

@@ -75,11 +75,11 @@ pub enum PaxosMsg {
 impl SimMessage for PaxosMsg {
     fn kind(&self) -> &'static str {
         match self {
-            PaxosMsg::Prepare { .. } => "paxos.prepare",
-            PaxosMsg::Promise { .. } => "paxos.promise",
-            PaxosMsg::Accept { .. } => "paxos.accept",
-            PaxosMsg::Accepted { .. } => "paxos.accepted",
-            PaxosMsg::Reject { .. } => "paxos.reject",
+            PaxosMsg::Prepare { .. } => fd_obs::keys::PAXOS_PREPARE,
+            PaxosMsg::Promise { .. } => fd_obs::keys::PAXOS_PROMISE,
+            PaxosMsg::Accept { .. } => fd_obs::keys::PAXOS_ACCEPT,
+            PaxosMsg::Accepted { .. } => fd_obs::keys::PAXOS_ACCEPTED,
+            PaxosMsg::Reject { .. } => fd_obs::keys::PAXOS_REJECT,
         }
     }
     fn round(&self) -> Option<u64> {
@@ -359,7 +359,8 @@ impl RoundProtocol for PaxosConsensus {
                     self.open_ballot(ctx);
                 }
             }
-            _ => {}
+            // Not leading while Idle: nothing to open. Done: decided.
+            ProposerPhase::Idle | ProposerPhase::Done => {}
         }
         ProtocolStep::none()
     }

@@ -68,14 +68,14 @@ impl FdOutput {
 /// consensus components emit these via `Context::observe`; the property
 /// checkers in [`crate::properties`] consume them.
 pub mod obs {
-    /// Suspect-set change: payload [`Payload::Pids`] with the new set.
-    pub const SUSPECTS: &str = "fd.suspects";
-    /// Trusted-process change: payload [`Payload::Pid`] with the new leader.
-    pub const TRUSTED: &str = "fd.trusted";
-    /// Consensus proposal: payload [`Payload::U64`] with the value.
-    pub const PROPOSE: &str = "consensus.propose";
     /// Consensus decision: payload [`Payload::U64Pair`] (value, round).
-    pub const DECIDE: &str = "consensus.decide";
+    pub use fd_obs::keys::CONSENSUS_DECIDE as DECIDE;
+    /// Consensus proposal: payload [`Payload::U64`] with the value.
+    pub use fd_obs::keys::CONSENSUS_PROPOSE as PROPOSE;
+    /// Suspect-set change: payload [`Payload::Pids`] with the new set.
+    pub use fd_obs::keys::FD_SUSPECTS as SUSPECTS;
+    /// Trusted-process change: payload [`Payload::Pid`] with the new leader.
+    pub use fd_obs::keys::FD_TRUSTED as TRUSTED;
 
     // Re-exported so the doc links above resolve.
     #[allow(unused_imports)]

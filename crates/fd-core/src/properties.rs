@@ -619,27 +619,29 @@ impl<'a> ConsensusRun<'a> {
     }
 }
 
+use fd_obs::keys;
+
 /// Every named check understood by [`run_named_check`]. Campaign repro
 /// artifacts refer to violated properties by these strings, so replay can
 /// re-run exactly the check that failed.
 pub const NAMED_CHECKS: &[&str] = &[
-    "fd.strong_completeness",
-    "fd.weak_completeness",
-    "fd.eventual_strong_accuracy",
-    "fd.eventual_weak_accuracy",
-    "fd.omega",
-    "fd.trusted_not_suspected",
-    "fd.eventually_consistent",
-    "consensus.agreement",
-    "consensus.validity",
-    "consensus.integrity",
-    "consensus.termination",
-    "consensus.safety",
-    "consensus.all",
-    "chaos.ep_after_faults",
-    "chaos.es_after_faults",
-    "chaos.omega_after_faults",
-    "chaos.class_after_faults",
+    keys::FD_STRONG_COMPLETENESS,
+    keys::FD_WEAK_COMPLETENESS,
+    keys::FD_EVENTUAL_STRONG_ACCURACY,
+    keys::FD_EVENTUAL_WEAK_ACCURACY,
+    keys::FD_OMEGA,
+    keys::FD_TRUSTED_NOT_SUSPECTED,
+    keys::FD_EVENTUALLY_CONSISTENT,
+    keys::CONSENSUS_AGREEMENT,
+    keys::CONSENSUS_VALIDITY,
+    keys::CONSENSUS_INTEGRITY,
+    keys::CONSENSUS_TERMINATION,
+    keys::CONSENSUS_SAFETY,
+    keys::CONSENSUS_ALL,
+    keys::CHAOS_EP_AFTER_FAULTS,
+    keys::CHAOS_ES_AFTER_FAULTS,
+    keys::CHAOS_OMEGA_AFTER_FAULTS,
+    keys::CHAOS_CLASS_AFTER_FAULTS,
 ];
 
 /// Run one trace check by its stable name (see [`NAMED_CHECKS`]).
@@ -649,23 +651,23 @@ pub fn run_named_check(name: &str, trace: &Trace, n: usize, end: Time) -> Option
     let fd = FdRun::new(trace, n, end);
     let cons = ConsensusRun::new(trace, n);
     Some(match name {
-        "fd.strong_completeness" => fd.check_strong_completeness(),
-        "fd.weak_completeness" => fd.check_weak_completeness(),
-        "fd.eventual_strong_accuracy" => fd.check_eventual_strong_accuracy(),
-        "fd.eventual_weak_accuracy" => fd.check_eventual_weak_accuracy(),
-        "fd.omega" => fd.check_omega(),
-        "fd.trusted_not_suspected" => fd.check_trusted_not_suspected(),
-        "fd.eventually_consistent" => fd.check_eventually_consistent(),
-        "consensus.agreement" => cons.check_uniform_agreement(),
-        "consensus.validity" => cons.check_validity(),
-        "consensus.integrity" => cons.check_integrity(),
-        "consensus.termination" => cons.check_termination(),
-        "consensus.safety" => cons.check_safety(),
-        "consensus.all" => cons.check_all(),
-        "chaos.ep_after_faults" => fd.check_class_after_faults(FdClass::EventuallyPerfect),
-        "chaos.es_after_faults" => fd.check_class_after_faults(FdClass::EventuallyStrong),
-        "chaos.omega_after_faults" => fd.check_class_after_faults(FdClass::Omega),
-        "chaos.class_after_faults" => fd.check_expected_class_after_faults(),
+        keys::FD_STRONG_COMPLETENESS => fd.check_strong_completeness(),
+        keys::FD_WEAK_COMPLETENESS => fd.check_weak_completeness(),
+        keys::FD_EVENTUAL_STRONG_ACCURACY => fd.check_eventual_strong_accuracy(),
+        keys::FD_EVENTUAL_WEAK_ACCURACY => fd.check_eventual_weak_accuracy(),
+        keys::FD_OMEGA => fd.check_omega(),
+        keys::FD_TRUSTED_NOT_SUSPECTED => fd.check_trusted_not_suspected(),
+        keys::FD_EVENTUALLY_CONSISTENT => fd.check_eventually_consistent(),
+        keys::CONSENSUS_AGREEMENT => cons.check_uniform_agreement(),
+        keys::CONSENSUS_VALIDITY => cons.check_validity(),
+        keys::CONSENSUS_INTEGRITY => cons.check_integrity(),
+        keys::CONSENSUS_TERMINATION => cons.check_termination(),
+        keys::CONSENSUS_SAFETY => cons.check_safety(),
+        keys::CONSENSUS_ALL => cons.check_all(),
+        keys::CHAOS_EP_AFTER_FAULTS => fd.check_class_after_faults(FdClass::EventuallyPerfect),
+        keys::CHAOS_ES_AFTER_FAULTS => fd.check_class_after_faults(FdClass::EventuallyStrong),
+        keys::CHAOS_OMEGA_AFTER_FAULTS => fd.check_class_after_faults(FdClass::Omega),
+        keys::CHAOS_CLASS_AFTER_FAULTS => fd.check_expected_class_after_faults(),
         _ => return None,
     })
 }
@@ -982,10 +984,10 @@ mod chaos_tests {
             obs_ev(80, 1, obs::TRUSTED, Payload::Pid(ProcessId(0))),
         ]);
         for name in [
-            "chaos.ep_after_faults",
-            "chaos.es_after_faults",
-            "chaos.omega_after_faults",
-            "chaos.class_after_faults",
+            keys::CHAOS_EP_AFTER_FAULTS,
+            keys::CHAOS_ES_AFTER_FAULTS,
+            keys::CHAOS_OMEGA_AFTER_FAULTS,
+            keys::CHAOS_CLASS_AFTER_FAULTS,
         ] {
             assert!(NAMED_CHECKS.contains(&name));
             run_named_check(name, &tr, 2, Time(1000))

@@ -454,6 +454,8 @@ impl Deserialize for ProcessSet {
                             repr: Repr::Small(*bits),
                         });
                     }
+                    // Tolerant reader: unknown or mistyped fields fall
+                    // through to the trailing type error below.
                     _ => {}
                 }
             }

@@ -32,7 +32,7 @@ use fd_sim::{Actor, Context, ProcessId, SimDuration, SimMessage, Time, TimerTag}
 
 /// Observation tag under which the transformation publishes its ◇P
 /// output (distinct from the inner ◇C detector's `fd.suspects`).
-pub const EP_SUSPECTS: &str = "ep.suspects.out";
+pub use fd_obs::keys::EP_SUSPECTS_OUT;
 
 /// Configuration of the [`EcToEp`] transformation.
 #[derive(Debug, Clone)]
@@ -73,8 +73,8 @@ pub enum EpMsg {
 impl SimMessage for EpMsg {
     fn kind(&self) -> &'static str {
         match self {
-            EpMsg::Alive => "ep.alive",
-            EpMsg::Suspects(_) => "ep.suspects",
+            EpMsg::Alive => fd_obs::keys::EP_ALIVE,
+            EpMsg::Suspects(_) => fd_obs::keys::EP_SUSPECTS,
         }
     }
 }
@@ -156,7 +156,7 @@ impl EcToEp {
     fn emit_if_changed<N: SimMessage>(&mut self, ctx: &mut SubCtx<'_, '_, N, EpMsg>) {
         let out = self.output();
         if self.last_emitted.as_ref() != Some(&out) {
-            ctx.observe(EP_SUSPECTS, fd_sim::Payload::Pids(out.to_vec()));
+            ctx.observe(EP_SUSPECTS_OUT, fd_sim::Payload::Pids(out.to_vec()));
             self.last_emitted = Some(out);
         }
     }
@@ -430,7 +430,7 @@ mod tests {
         let end = Time::from_millis(horizon_ms);
         w.run_until_time(end);
         let (trace, _) = w.into_results();
-        let run = FdRun::new(&trace, n, end).with_suspects_tag(EP_SUSPECTS);
+        let run = FdRun::new(&trace, n, end).with_suspects_tag(EP_SUSPECTS_OUT);
         run.check_class(FdClass::EventuallyPerfect)
             .unwrap_or_else(|v| panic!("{v} (n={n}, crashes={crashes:?}, seed={seed})"));
         // All correct processes converge to exactly the crashed set.
@@ -467,7 +467,7 @@ mod tests {
         let end = Time::from_secs(4);
         w.run_until_time(end);
         let (trace, _) = w.into_results();
-        let run = FdRun::new(&trace, n, end).with_suspects_tag(EP_SUSPECTS);
+        let run = FdRun::new(&trace, n, end).with_suspects_tag(EP_SUSPECTS_OUT);
         run.check_class(FdClass::EventuallyPerfect).unwrap();
         let expect: ProcessSet = [ProcessId(0), ProcessId(4)].into_iter().collect();
         for p in [1usize, 2, 3] {

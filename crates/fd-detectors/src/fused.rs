@@ -64,8 +64,8 @@ pub enum FusedMsg {
 impl SimMessage for FusedMsg {
     fn kind(&self) -> &'static str {
         match self {
-            FusedMsg::LeaderList(_) => "fused.leaderlist",
-            FusedMsg::Alive => "fused.alive",
+            FusedMsg::LeaderList(_) => fd_obs::keys::FUSED_LEADERLIST,
+            FusedMsg::Alive => fd_obs::keys::FUSED_ALIVE,
         }
     }
 }

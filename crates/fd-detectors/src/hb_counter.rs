@@ -50,7 +50,7 @@ pub struct HbBeat;
 
 impl SimMessage for HbBeat {
     fn kind(&self) -> &'static str {
-        "hbc.beat"
+        fd_obs::keys::HBC_BEAT
     }
 }
 
@@ -113,7 +113,7 @@ impl Component for HeartbeatCounter {
 
 /// Observation tag: a payload was quiescently delivered
 /// (`U64Pair(seq, payload)`).
-pub const QC_DELIVERED: &str = "qc.delivered";
+pub use fd_obs::keys::QC_DELIVERED;
 
 /// Messages of the quiescent channel.
 #[derive(Debug, Clone)]
@@ -135,8 +135,8 @@ pub enum QcMsg {
 impl SimMessage for QcMsg {
     fn kind(&self) -> &'static str {
         match self {
-            QcMsg::Data { .. } => "qc.data",
-            QcMsg::Ack { .. } => "qc.ack",
+            QcMsg::Data { .. } => fd_obs::keys::QC_DATA,
+            QcMsg::Ack { .. } => fd_obs::keys::QC_ACK,
         }
     }
 }
@@ -205,7 +205,9 @@ impl QuiescentChannel {
         idx: usize,
         hb: &[u64],
     ) {
+        // fd-lint: allow(HP001, reason = "idx is a live index into pending, produced by the caller's scan")
         let p = &mut self.pending[idx];
+        // fd-lint: allow(HP001, reason = "hb carries one counter per process; to.index() < n by construction")
         p.sent_at_hb = hb[p.to.index()];
         *self.transmissions.entry((p.to, p.seq)).or_default() += 1;
         let msg = QcMsg::Data {
@@ -323,6 +325,7 @@ impl QuiescentNode {
     /// Reliably send `payload` to `to` (callable via `World::interact`).
     pub fn send(&mut self, ctx: &mut Context<'_, QcNodeMsg>, to: ProcessId, payload: u64) -> u64 {
         let ns = self.qc.ns();
+        // fd-lint: allow(HP002, reason = "interactive reliable-send API, one snapshot per user call; not the per-delivery path")
         let hb = self.hb.counters().to_vec();
         self.qc
             .send(&mut SubCtx::new(ctx, &QcNodeMsg::Qc, ns), to, payload, &hb)
@@ -438,6 +441,24 @@ mod tests {
             .collect::<Vec<_>>();
         rx.dedup();
         assert_eq!(rx, vec![(ProcessId(0), 0, 4242)]);
+        // The delivery is also announced on the registered `qc.delivered`
+        // observation tag — the channel's public telemetry — exactly once.
+        let announced = w
+            .trace()
+            .events()
+            .iter()
+            .filter(|e| {
+                matches!(
+                    e.kind,
+                    fd_sim::TraceKind::Observation {
+                        pid: ProcessId(1),
+                        tag,
+                        payload: fd_sim::Payload::U64Pair(0, 4242),
+                    } if tag == QC_DELIVERED
+                )
+            })
+            .count();
+        assert_eq!(announced, 1, "one qc.delivered observation per delivery");
         assert!(
             w.actor(ProcessId(0)).qc.transmissions(ProcessId(1), 0) >= 2,
             "loss must have forced retransmissions"

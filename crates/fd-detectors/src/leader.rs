@@ -58,7 +58,7 @@ pub struct LeaderAlive;
 
 impl SimMessage for LeaderAlive {
     fn kind(&self) -> &'static str {
-        "leader.alive"
+        fd_obs::keys::LEADER_ALIVE
     }
 }
 

@@ -71,7 +71,7 @@ pub mod ns {
     pub const CONSENSUS: u32 = 9;
 }
 
-pub use ec_to_ep::{EcToEp, EcToEpConfig, EcToEpNode, EpMsg, StackMsg, EP_SUSPECTS};
+pub use ec_to_ep::{EcToEp, EcToEpConfig, EcToEpNode, EpMsg, StackMsg, EP_SUSPECTS_OUT};
 pub use fused::{FusedConfig, FusedDetector, FusedMsg};
 pub use hb_counter::{
     HbBeat, HbCounterConfig, HeartbeatCounter, QcMsg, QcNodeMsg, QuiescentChannel, QuiescentNode,
@@ -87,12 +87,12 @@ pub use scripted::{NoMsg, ScriptedDetector};
 pub use timeout::{GrowthPolicy, TimeoutTable};
 pub use vcube::{VCubeConfig, VCubeDetector, VCubeMsg};
 pub use weak_to_strong::{
-    W2sMsg, WeakToStrong, WeakToStrongConfig, WeakToStrongNode, W2S_SUSPECTS,
+    W2sMsg, WeakToStrong, WeakToStrongConfig, WeakToStrongNode, W2S_SUSPECTS_OUT,
 };
 
 /// Convenient glob-import for downstream crates and examples.
 pub mod prelude {
-    pub use crate::ec_to_ep::{EcToEp, EcToEpConfig, EcToEpNode, EP_SUSPECTS};
+    pub use crate::ec_to_ep::{EcToEp, EcToEpConfig, EcToEpNode, EP_SUSPECTS_OUT};
     pub use crate::fused::{FusedConfig, FusedDetector};
     pub use crate::heartbeat::{HeartbeatConfig, HeartbeatDetector};
     pub use crate::leader::{LeaderConfig, LeaderDetector};

@@ -47,7 +47,7 @@ pub struct GossipMsg(pub Vec<u64>);
 
 impl SimMessage for GossipMsg {
     fn kind(&self) -> &'static str {
-        "omega.gossip"
+        fd_obs::keys::OMEGA_GOSSIP
     }
 }
 

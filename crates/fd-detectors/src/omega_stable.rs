@@ -61,7 +61,7 @@ pub struct StableAlive {
 
 impl SimMessage for StableAlive {
     fn kind(&self) -> &'static str {
-        "stable.alive"
+        fd_obs::keys::STABLE_ALIVE
     }
 }
 

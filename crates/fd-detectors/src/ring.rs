@@ -73,8 +73,8 @@ pub enum RingMsg {
 impl SimMessage for RingMsg {
     fn kind(&self) -> &'static str {
         match self {
-            RingMsg::Poll => "ring.poll",
-            RingMsg::Reply { .. } => "ring.reply",
+            RingMsg::Poll => fd_obs::keys::RING_POLL,
+            RingMsg::Reply { .. } => fd_obs::keys::RING_REPLY,
         }
     }
 }
@@ -133,6 +133,7 @@ impl RingDetector {
     fn emit<N: SimMessage>(&self, ctx: &mut SubCtx<'_, '_, N, RingMsg>) {
         ctx.observe(
             fd_core::obs::SUSPECTS,
+            // fd-lint: allow(HP002, reason = "emit fires only when the suspect set changes, not per message")
             fd_sim::Payload::Pids(self.suspected.to_vec()),
         );
     }
@@ -174,6 +175,7 @@ impl RingDetector {
         // (the processes strictly between the responder and us); adopt the
         // upstream view for everyone else. Never suspect ourselves or the
         // (evidently alive) responder.
+        // fd-lint: allow(HP002, reason = "one set per poll reply, paced by the poll timer")
         let upstream: ProcessSet = list.iter().collect();
         let local_segment = self.between(from);
         let mut next = (upstream - &local_segment) | (&self.suspected & &local_segment);
@@ -207,6 +209,7 @@ impl Component for RingDetector {
         self.emit(ctx);
     }
 
+    // fd-lint: hot_path
     fn on_message<N: SimMessage>(
         &mut self,
         ctx: &mut SubCtx<'_, '_, N, RingMsg>,
@@ -218,6 +221,7 @@ impl Component for RingDetector {
                 ctx.send(
                     from,
                     RingMsg::Reply {
+                        // fd-lint: allow(HP002, reason = "one suspect snapshot per poll reply, paced by the poll timer")
                         suspects: self.suspected.to_vec(),
                     },
                 );
@@ -240,6 +244,7 @@ impl Component for RingDetector {
         }
     }
 
+    // fd-lint: hot_path
     fn on_timer<N: SimMessage>(
         &mut self,
         ctx: &mut SubCtx<'_, '_, N, RingMsg>,
@@ -264,6 +269,7 @@ impl Component for RingDetector {
                 }
                 ctx.set_timer(self.cfg.check_period, TIMER_CHECK, 0);
             }
+            // fd-lint: allow(HP001, reason = "timer kinds are set only by this detector; an unknown kind is a corrupted world and must halt loudly")
             _ => unreachable!("unknown ring timer kind {kind}"),
         }
     }

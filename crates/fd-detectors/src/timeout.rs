@@ -92,6 +92,7 @@ impl TimeoutTable {
                 self.grown.len() - 1
             }
         };
+        // fd-lint: allow(HP001, reason = "pos is either a scan hit or the index of the entry just pushed")
         let (_, cur, count) = &mut self.grown[pos];
         let next = match self.policy {
             GrowthPolicy::Additive(inc) => *cur + inc,

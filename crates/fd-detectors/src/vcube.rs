@@ -80,8 +80,8 @@ pub enum VCubeMsg {
 impl SimMessage for VCubeMsg {
     fn kind(&self) -> &'static str {
         match self {
-            VCubeMsg::Test => "vc.test",
-            VCubeMsg::Ack { .. } => "vc.ack",
+            VCubeMsg::Test => fd_obs::keys::VC_TEST,
+            VCubeMsg::Ack { .. } => fd_obs::keys::VC_ACK,
         }
     }
 }
@@ -159,7 +159,9 @@ impl VCubeDetector {
 
     /// Record the `down` event for `j` (local timeout detection).
     fn mark_down(&mut self, j: ProcessId) {
+        // fd-lint: allow(HP001, reason = "ts has one slot per process; pid index < n by construction")
         if self.ts[j.index()].is_multiple_of(2) {
+            // fd-lint: allow(HP001, reason = "ts has one slot per process; pid index < n by construction")
             self.ts[j.index()] += 1;
             self.push_news(j);
         }
@@ -171,7 +173,9 @@ impl VCubeDetector {
     /// Record direct evidence that `j` is alive. `mistake` grows `j`'s
     /// timeout (ack from a suspected peer = false suspicion).
     fn mark_up(&mut self, j: ProcessId) {
+        // fd-lint: allow(HP001, reason = "ts has one slot per process; pid index < n by construction")
         if self.ts[j.index()] % 2 == 1 {
+            // fd-lint: allow(HP001, reason = "ts has one slot per process; pid index < n by construction")
             self.ts[j.index()] += 1;
             self.timeouts.increase(j);
             self.push_news(j);
@@ -195,6 +199,7 @@ impl VCubeDetector {
 
     /// (Re-)share `j`'s current timestamp in upcoming acks.
     fn push_news(&mut self, j: ProcessId) {
+        // fd-lint: allow(HP001, reason = "ts has one slot per process; pid index < n by construction")
         let t = self.ts[j.index()];
         match self.news.iter_mut().find(|(p, _, _)| *p == j) {
             Some(entry) => {
@@ -206,6 +211,7 @@ impl VCubeDetector {
                     // Evict the stalest entry (oldest round, then lowest
                     // pid for determinism) to stay within the cap.
                     if let Some(idx) = (0..self.news.len())
+                        // fd-lint: allow(HP001, reason = "i ranges over 0..news.len() in the eviction scan")
                         .min_by_key(|&i| (self.news[i].2, self.news[i].0.index()))
                     {
                         self.news.swap_remove(idx);
@@ -221,13 +227,17 @@ impl VCubeDetector {
         if p == self.me {
             // Someone believes we are down: defend with a fresher
             // (even) timestamp so the rumor dies in ≤ log n rounds.
+            // fd-lint: allow(HP001, reason = "ts has one slot per process; me.index() < n by construction")
             if t % 2 == 1 && t >= self.ts[self.me.index()] {
+                // fd-lint: allow(HP001, reason = "ts has one slot per process; me.index() < n by construction")
                 self.ts[self.me.index()] = t + 1;
                 self.push_news(p);
             }
             return;
         }
+        // fd-lint: allow(HP001, reason = "ts has one slot per process; pid index < n by construction")
         if t > self.ts[p.index()] {
+            // fd-lint: allow(HP001, reason = "ts has one slot per process; pid index < n by construction")
             self.ts[p.index()] = t;
             let down = t % 2 == 1;
             let changed = if down {
@@ -250,6 +260,7 @@ impl VCubeDetector {
         // Expire overdue tests: a silent testee is declared down.
         let mut i = 0;
         while i < self.outstanding.len() {
+            // fd-lint: allow(HP001, reason = "the loop guard keeps i < outstanding.len()")
             let (target, deadline) = self.outstanding[i];
             if now >= deadline {
                 self.outstanding.remove(i);
@@ -282,6 +293,7 @@ impl VCubeDetector {
             self.dirty = false;
             ctx.observe(
                 fd_core::obs::SUSPECTS,
+                // fd-lint: allow(HP002, reason = "emit fires only when the suspect set is dirty, not per message")
                 Payload::Pids(self.suspected.to_vec()),
             );
         }
@@ -307,6 +319,7 @@ impl Component for VCubeDetector {
         ctx.set_timer(self.cfg.period, TIMER_ROUND, 0);
     }
 
+    // fd-lint: hot_path
     fn on_message<N: SimMessage>(
         &mut self,
         ctx: &mut SubCtx<'_, '_, N, VCubeMsg>,
@@ -318,6 +331,7 @@ impl Component for VCubeDetector {
                 // A test is proof of life; answer with our recent news.
                 self.mark_up(from);
                 let news: Vec<(ProcessId, u64)> =
+                    // fd-lint: allow(HP002, reason = "one news snapshot per test ack, paced by the test round timer")
                     self.news.iter().map(|&(p, t, _)| (p, t)).collect();
                 ctx.send(from, VCubeMsg::Ack { news });
             }
@@ -334,6 +348,7 @@ impl Component for VCubeDetector {
         self.emit_if_dirty(ctx);
     }
 
+    // fd-lint: hot_path
     fn on_timer<N: SimMessage>(
         &mut self,
         ctx: &mut SubCtx<'_, '_, N, VCubeMsg>,

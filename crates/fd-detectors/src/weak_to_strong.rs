@@ -19,7 +19,7 @@ use fd_core::{Component, LeaderOracle, ProcessSet, SubCtx, SuspectOracle};
 use fd_sim::{Actor, Context, ProcessId, SimDuration, SimMessage, TimerTag};
 
 /// Observation tag under which the amplifier publishes its ◇S output.
-pub const W2S_SUSPECTS: &str = "w2s.suspects.out";
+pub use fd_obs::keys::W2S_SUSPECTS_OUT;
 
 /// Configuration of the [`WeakToStrong`] amplifier.
 #[derive(Debug, Clone)]
@@ -42,7 +42,7 @@ pub struct W2sMsg(pub Vec<ProcessId>);
 
 impl SimMessage for W2sMsg {
     fn kind(&self) -> &'static str {
-        "w2s.suspects"
+        fd_obs::keys::W2S_SUSPECTS_OUT
     }
 }
 
@@ -81,7 +81,10 @@ impl WeakToStrong {
 
     fn emit_if_changed<N: SimMessage>(&mut self, ctx: &mut SubCtx<'_, '_, N, W2sMsg>) {
         if self.last_emitted.as_ref() != Some(&self.output) {
-            ctx.observe(W2S_SUSPECTS, fd_sim::Payload::Pids(self.output.to_vec()));
+            ctx.observe(
+                W2S_SUSPECTS_OUT,
+                fd_sim::Payload::Pids(self.output.to_vec()),
+            );
             self.last_emitted = Some(self.output.clone());
         }
     }
@@ -312,7 +315,7 @@ mod tests {
         weak_run.check_weak_completeness().unwrap();
 
         // ...but the amplified output does, and stays weakly accurate.
-        let amp_run = FdRun::new(&trace, n, end).with_suspects_tag(W2S_SUSPECTS);
+        let amp_run = FdRun::new(&trace, n, end).with_suspects_tag(W2S_SUSPECTS_OUT);
         amp_run.check_strong_completeness().unwrap();
         amp_run.check_eventual_weak_accuracy().unwrap();
         let expected: ProcessSet = [ProcessId(2), ProcessId(4)].into_iter().collect();
@@ -329,7 +332,7 @@ mod tests {
         let end = Time::from_millis(800);
         w.run_until_time(end);
         let (trace, _) = w.into_results();
-        let amp_run = FdRun::new(&trace, n, end).with_suspects_tag(W2S_SUSPECTS);
+        let amp_run = FdRun::new(&trace, n, end).with_suspects_tag(W2S_SUSPECTS_OUT);
         amp_run.check_eventual_strong_accuracy().unwrap();
     }
 

@@ -56,24 +56,24 @@ const TIMER_REPAIR: u32 = 4;
 
 /// Observation tags of the KV layer.
 pub mod obs {
-    /// A client op arrived at its replica: `U64Pair(uid, cmd)`.
-    pub const SUBMIT: &str = "kv.submit";
-    /// A slot was applied to the store: `U64Pair(slot, digest)` where
-    /// `digest` is the running apply digest *after* this slot.
-    pub const APPLY: &str = "kv.apply";
-    /// An op submitted here is decided *and* durable: `U64Pair(uid, slot)`.
-    pub const COMMIT: &str = "kv.commit";
-    /// Crash recovery finished its local replay:
-    /// `U64Pair(wal_records_replayed, applied_after_replay)`.
-    pub const RECOVERY: &str = "kv.recovery";
-    /// Catch-up reached a peer's frontier:
-    /// `U64Pair(applied, entries_fetched)`.
-    pub const SYNC_DONE: &str = "kv.sync_done";
     /// An op submitted here was proposed in a slot an adopted snapshot
     /// covers, and its decision was never observed locally: the ack is
     /// abandoned (the op may or may not have won its slot; the store
     /// image hides which). `U64Pair(uid, proposed_slot)`.
-    pub const ABANDON: &str = "kv.abandon";
+    pub use fd_obs::keys::KV_ABANDON as ABANDON;
+    /// A slot was applied to the store: `U64Pair(slot, digest)` where
+    /// `digest` is the running apply digest *after* this slot.
+    pub use fd_obs::keys::KV_APPLY as APPLY;
+    /// An op submitted here is decided *and* durable: `U64Pair(uid, slot)`.
+    pub use fd_obs::keys::KV_COMMIT as COMMIT;
+    /// Crash recovery finished its local replay:
+    /// `U64Pair(wal_records_replayed, applied_after_replay)`.
+    pub use fd_obs::keys::KV_RECOVERY as RECOVERY;
+    /// A client op arrived at its replica: `U64Pair(uid, cmd)`.
+    pub use fd_obs::keys::KV_SUBMIT as SUBMIT;
+    /// Catch-up reached a peer's frontier:
+    /// `U64Pair(applied, entries_fetched)`.
+    pub use fd_obs::keys::KV_SYNC_DONE as SYNC_DONE;
 }
 
 /// Tuning knobs of one replica's serving stack.
@@ -142,9 +142,9 @@ impl<F: SimMessage> SimMessage for KvMsg<F> {
             KvMsg::Fd(m) => m.kind(),
             KvMsg::Rb(m) => m.kind(),
             KvMsg::Cons(m) => m.kind(),
-            KvMsg::Open { .. } => "multi.open",
-            KvMsg::SyncReq { .. } => "kv.sync_req",
-            KvMsg::SyncResp { .. } => "kv.sync_resp",
+            KvMsg::Open { .. } => fd_obs::keys::MULTI_OPEN,
+            KvMsg::SyncReq { .. } => fd_obs::keys::KV_SYNC_REQ,
+            KvMsg::SyncResp { .. } => fd_obs::keys::KV_SYNC_RESP,
         }
     }
     fn round(&self) -> Option<u64> {

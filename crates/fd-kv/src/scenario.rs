@@ -408,7 +408,7 @@ struct LogAgreementMonitor;
 
 impl Monitor for LogAgreementMonitor {
     fn property(&self) -> &str {
-        "kv.log_agreement"
+        fd_obs::keys::KV_LOG_AGREEMENT
     }
 
     fn check(&self, outcome: &RunOutcome) -> Result<(), Violation> {
@@ -423,7 +423,7 @@ impl Monitor for LogAgreementMonitor {
                 }
                 Some(&(first, by)) if first != digest => {
                     return Err(Violation {
-                        property: "kv.log_agreement",
+                        property: fd_obs::keys::KV_LOG_AGREEMENT,
                         detail: format!(
                             "slot {slot}: {by} applied digest {first:#x}, \
                              {pid} applied {digest:#x}"
@@ -447,7 +447,7 @@ struct CommittedMonitor;
 
 impl Monitor for CommittedMonitor {
     fn property(&self) -> &str {
-        "kv.committed"
+        fd_obs::keys::KV_COMMITTED
     }
 
     fn check(&self, outcome: &RunOutcome) -> Result<(), Violation> {
@@ -474,7 +474,7 @@ impl Monitor for CommittedMonitor {
             };
             if !resolved.contains_key(&(pid.index(), uid)) {
                 return Err(Violation {
-                    property: "kv.committed",
+                    property: fd_obs::keys::KV_COMMITTED,
                     detail: format!("op uid {uid} submitted at {pid} never committed or abandoned"),
                 });
             }
@@ -489,7 +489,7 @@ struct RecoveryMonitor;
 
 impl Monitor for RecoveryMonitor {
     fn property(&self) -> &str {
-        "kv.recovery"
+        fd_obs::keys::KV_RECOVERY
     }
 
     fn check(&self, outcome: &RunOutcome) -> Result<(), Violation> {
@@ -505,7 +505,7 @@ impl Monitor for RecoveryMonitor {
                 .any(|(t, _)| t >= at);
             if !caught_up {
                 return Err(Violation {
-                    property: "kv.recovery",
+                    property: fd_obs::keys::KV_RECOVERY,
                     detail: format!("{pid} restarted at {at} but never finished catch-up"),
                 });
             }

@@ -1,0 +1,635 @@
+//! The workspace call graph and the hot-path reachability rules built
+//! on it (HP001 panic-reachability, HP002 alloc-reachability).
+//!
+//! ## Call-graph model
+//!
+//! Nodes are the fn definitions the item extractor found. Edges come
+//! from three token-level call shapes, resolved conservatively and
+//! documented here because every limit is part of the rule contract:
+//!
+//! - **Qualified** `Type::method(` (incl. `Self::method(`): edges to
+//!   every fn named `method` owned by `Type` anywhere in the workspace
+//!   (cross-crate edges included). `module::func(` falls back to free
+//!   fns named `func`.
+//! - **Self** `self.method(`: edges to fns named `method` with the same
+//!   owner in the same file's crate; if none exist, falls back to the
+//!   bare rule below.
+//! - **Bare** `.method(`: edges to *every* fn named `method` in the
+//!   same crate, regardless of owner — the trait-object dispatch
+//!   over-approximation (a `Box<dyn Actor>` call may land on any
+//!   same-crate impl). Cross-crate bare calls produce no edges: a
+//!   kernel-side `actor.on_message(…)` does not pull every protocol
+//!   crate into the kernel's hot path; protocol entry points carry
+//!   their own `// fd-lint: hot_path` markers instead.
+//! - **Free** `func(`: edges to free fns named `func`, same crate
+//!   first, then any workspace crate (cross-crate helper calls).
+//!
+//! Bare calls to ubiquitous std container/iterator method names
+//! ([`STD_METHODS`]) get no edges at all — without type information,
+//! `queue.push(…)` cannot be told apart from `Vec::push`, and wiring it
+//! to every workspace fn named `push` would drown the graph in false
+//! edges. The cost of the approximation: a workspace method that
+//! *shadows* a std name is only tracked through qualified or self
+//! calls, so hot-path-relevant fns with std names (the timer wheel's
+//! `push`/`pop`) carry their own markers.
+//!
+//! Recursion and cycles are handled by plain BFS over the edge set;
+//! reachability paths are reported root-first.
+
+use crate::items::FnDef;
+use crate::report::Finding;
+use crate::rules::Rule;
+use crate::tokens::{Tok, TokKind};
+use std::collections::BTreeMap;
+
+/// Bare-call method names assumed to be std container/option/iterator
+/// calls (no edges). Qualified and `self.` calls still resolve.
+pub const STD_METHODS: &[&str] = &[
+    "all",
+    "and_then",
+    "any",
+    "as_bytes",
+    "as_deref",
+    "as_mut",
+    "as_ref",
+    "as_slice",
+    "as_str",
+    "binary_search",
+    "chain",
+    "clear",
+    "clone",
+    "cloned",
+    "cmp",
+    "collect",
+    "contains",
+    "contains_key",
+    "copied",
+    "count",
+    "dedup",
+    "drain",
+    "entry",
+    "enumerate",
+    "eq",
+    "extend",
+    "filter",
+    "filter_map",
+    "find",
+    "first",
+    "flat_map",
+    "flatten",
+    "flush",
+    "fmt",
+    "fold",
+    "get",
+    "get_mut",
+    "hash",
+    "insert",
+    "into_iter",
+    "is_empty",
+    "iter",
+    "iter_mut",
+    "join",
+    "keys",
+    "last",
+    "len",
+    "map",
+    "max",
+    "min",
+    "next",
+    "ok",
+    "ok_or",
+    "ok_or_else",
+    "or_else",
+    "peek",
+    "pop",
+    "position",
+    "push",
+    "read",
+    "remove",
+    "retain",
+    "rev",
+    "skip",
+    "sort",
+    "sort_by",
+    "sort_by_key",
+    "sort_unstable",
+    "splice",
+    "split",
+    "sum",
+    "take",
+    "to_owned",
+    "to_string",
+    "to_vec",
+    "truncate",
+    "try_into",
+    "unwrap_or",
+    "unwrap_or_default",
+    "unwrap_or_else",
+    "values",
+    "values_mut",
+    "windows",
+    "write",
+    "zip",
+];
+
+/// One fn definition in the workspace-wide graph.
+pub struct WsFn {
+    /// Index of the owning file in the analyzed file set.
+    pub file: usize,
+    /// Crate of the owning file.
+    pub crate_name: String,
+    /// The extracted definition.
+    pub def: FnDef,
+}
+
+/// The workspace call graph.
+pub struct CallGraph {
+    /// All fn nodes, in file order.
+    pub fns: Vec<WsFn>,
+    /// Adjacency: `edges[i]` lists `(callee, call line)` pairs.
+    pub edges: Vec<Vec<(usize, u32)>>,
+}
+
+/// What a file must provide to graph construction.
+pub struct GraphFile<'a> {
+    /// Workspace-relative path.
+    pub rel_path: &'a str,
+    /// Crate the file belongs to.
+    pub crate_name: &'a str,
+    /// Token stream.
+    pub toks: &'a [Tok],
+    /// Extracted fn definitions.
+    pub fns: &'a [FnDef],
+}
+
+impl CallGraph {
+    /// Build the graph over a set of files.
+    pub fn build(files: &[GraphFile<'_>]) -> CallGraph {
+        let mut fns = Vec::new();
+        for (fi, f) in files.iter().enumerate() {
+            for def in f.fns {
+                fns.push(WsFn {
+                    file: fi,
+                    crate_name: f.crate_name.to_string(),
+                    def: def.clone(),
+                });
+            }
+        }
+
+        // Resolution indexes.
+        let mut by_owner_name: BTreeMap<(&str, &str), Vec<usize>> = BTreeMap::new();
+        let mut by_name_crate: BTreeMap<(&str, &str), Vec<usize>> = BTreeMap::new();
+        let mut free_by_name: BTreeMap<&str, Vec<usize>> = BTreeMap::new();
+        for (i, f) in fns.iter().enumerate() {
+            if let Some(owner) = &f.def.owner {
+                by_owner_name
+                    .entry((owner.as_str(), f.def.name.as_str()))
+                    .or_default()
+                    .push(i);
+            } else {
+                free_by_name.entry(f.def.name.as_str()).or_default().push(i);
+            }
+            by_name_crate
+                .entry((f.def.name.as_str(), f.crate_name.as_str()))
+                .or_default()
+                .push(i);
+        }
+
+        let mut edges: Vec<Vec<(usize, u32)>> = vec![Vec::new(); fns.len()];
+        for (i, wf) in fns.iter().enumerate() {
+            let file = &files[wf.file];
+            let toks = file.toks;
+            let (b0, b1) = wf.def.body;
+            for j in b0..b1.min(toks.len()) {
+                let t = &toks[j];
+                if t.kind != TokKind::Ident || !toks.get(j + 1).is_some_and(|n| n.is_punct('(')) {
+                    continue;
+                }
+                let name = t.text.as_str();
+                let line = t.line;
+                let prev = j.checked_sub(1).map(|p| &toks[p]);
+                let push_targets = |targets: &[usize], out: &mut Vec<(usize, u32)>| {
+                    for &tgt in targets {
+                        if tgt != i && !out.iter().any(|&(e, _)| e == tgt) {
+                            out.push((tgt, line));
+                        }
+                    }
+                };
+
+                if prev.is_some_and(|p| p.is_punct('.')) {
+                    // Method call: self or bare.
+                    let recv = j.checked_sub(2).map(|p| &toks[p]);
+                    let is_self_call = recv.is_some_and(|r| r.is_ident("self"))
+                        && !j
+                            .checked_sub(3)
+                            .map(|p| &toks[p])
+                            .is_some_and(|p| p.is_punct('.'));
+                    if is_self_call {
+                        if let Some(owner) = &wf.def.owner {
+                            let own = by_owner_name.get(&(owner.as_str(), name)).map(|v| {
+                                v.iter()
+                                    .filter(|&&k| fns[k].crate_name == wf.crate_name)
+                                    .copied()
+                                    .collect::<Vec<_>>()
+                            });
+                            if let Some(own) = own.filter(|v| !v.is_empty()) {
+                                push_targets(&own, &mut edges[i]);
+                                continue;
+                            }
+                        }
+                    }
+                    // Bare (or unresolved self) method call: same-crate
+                    // over-approximation, std names cut.
+                    if STD_METHODS.contains(&name) {
+                        continue;
+                    }
+                    if let Some(v) = by_name_crate.get(&(name, wf.crate_name.as_str())) {
+                        let v = v.clone();
+                        push_targets(&v, &mut edges[i]);
+                    }
+                } else if prev.is_some_and(|p| p.is_punct(':'))
+                    && j.checked_sub(2)
+                        .map(|p| &toks[p])
+                        .is_some_and(|p| p.is_punct(':'))
+                {
+                    // Qualified call `Path::name(`.
+                    let Some(qual) = j
+                        .checked_sub(3)
+                        .map(|p| &toks[p])
+                        .filter(|q| q.kind == TokKind::Ident)
+                    else {
+                        continue;
+                    };
+                    let qual_name = if qual.is_ident("Self") {
+                        wf.def.owner.clone().unwrap_or_default()
+                    } else {
+                        qual.text.clone()
+                    };
+                    if let Some(v) = by_owner_name.get(&(qual_name.as_str(), name)) {
+                        let v = v.clone();
+                        push_targets(&v, &mut edges[i]);
+                    } else if let Some(v) = free_by_name.get(name) {
+                        // `module::func(` — cross-module free call.
+                        let v = v.clone();
+                        push_targets(&v, &mut edges[i]);
+                    }
+                } else {
+                    // Free call `name(` — not a macro (no `!`), not a
+                    // keyword head like `if (…)`.
+                    if matches!(
+                        name,
+                        "if" | "while"
+                            | "match"
+                            | "for"
+                            | "return"
+                            | "let"
+                            | "move"
+                            | "fn"
+                            | "in"
+                            | "as"
+                            | "Some"
+                            | "Ok"
+                            | "Err"
+                    ) {
+                        continue;
+                    }
+                    if let Some(v) = free_by_name.get(name) {
+                        let same: Vec<usize> = v
+                            .iter()
+                            .filter(|&&k| fns[k].crate_name == wf.crate_name)
+                            .copied()
+                            .collect();
+                        let chosen = if same.is_empty() { v.clone() } else { same };
+                        push_targets(&chosen, &mut edges[i]);
+                    }
+                }
+            }
+        }
+        CallGraph { fns, edges }
+    }
+
+    /// Hot-path roots: marked, non-test fns.
+    pub fn roots(&self) -> Vec<usize> {
+        (0..self.fns.len())
+            .filter(|&i| self.fns[i].def.hot_path && !self.fns[i].def.is_test)
+            .collect()
+    }
+
+    /// Multi-source BFS from `roots`. Returns the parent map
+    /// (`parent[i] = Some(caller)` for reached non-root nodes) and the
+    /// reached set, excluding test fns.
+    pub fn reach(&self, roots: &[usize]) -> (Vec<Option<usize>>, Vec<bool>) {
+        let mut parent: Vec<Option<usize>> = vec![None; self.fns.len()];
+        let mut seen = vec![false; self.fns.len()];
+        let mut queue: std::collections::VecDeque<usize> = roots.iter().copied().collect();
+        for &r in roots {
+            seen[r] = true;
+        }
+        while let Some(i) = queue.pop_front() {
+            for &(j, _) in &self.edges[i] {
+                if !seen[j] && !self.fns[j].def.is_test {
+                    seen[j] = true;
+                    parent[j] = Some(i);
+                    queue.push_back(j);
+                }
+            }
+        }
+        (parent, seen)
+    }
+
+    /// Root-first call path to node `i`, as fn labels.
+    pub fn path_to(&self, parent: &[Option<usize>], mut i: usize) -> Vec<String> {
+        let mut rev = vec![self.fns[i].def.label()];
+        while let Some(p) = parent[i] {
+            rev.push(self.fns[p].def.label());
+            i = p;
+        }
+        rev.reverse();
+        rev
+    }
+}
+
+/// A panic or allocation sink found inside a fn body.
+struct Sink {
+    tok_idx: usize,
+    what: String,
+}
+
+/// Panic sinks: unwrap/expect calls, panicking macros, slice indexing.
+fn panic_sinks(toks: &[Tok], body: (usize, usize)) -> Vec<Sink> {
+    let mut out = Vec::new();
+    for j in body.0..body.1.min(toks.len()) {
+        let t = &toks[j];
+        if t.kind == TokKind::Ident
+            && (t.text == "unwrap" || t.text == "expect")
+            && j >= 1
+            && toks[j - 1].is_punct('.')
+            && toks.get(j + 1).is_some_and(|n| n.is_punct('('))
+        {
+            out.push(Sink {
+                tok_idx: j,
+                what: format!("`.{}()`", t.text),
+            });
+        }
+        if t.kind == TokKind::Ident
+            && matches!(
+                t.text.as_str(),
+                "panic"
+                    | "unreachable"
+                    | "todo"
+                    | "unimplemented"
+                    | "assert"
+                    | "assert_eq"
+                    | "assert_ne"
+            )
+            && toks.get(j + 1).is_some_and(|n| n.is_punct('!'))
+        {
+            out.push(Sink {
+                tok_idx: j,
+                what: format!("`{}!`", t.text),
+            });
+        }
+        // Slice/array indexing `expr[…]`: `ident [`, `) [`, `] [` — but
+        // not attributes (`# [`), macro brackets (`vec! [`), or pattern
+        // heads (`let [a, b] = …`).
+        if t.is_punct('[') && j >= 1 {
+            let p = &toks[j - 1];
+            let indexing = (p.kind == TokKind::Ident
+                && !matches!(
+                    p.text.as_str(),
+                    "let" | "in" | "mut" | "ref" | "return" | "else" | "match" | "if"
+                ))
+                || p.is_punct(')')
+                || p.is_punct(']');
+            let macro_or_attr = j >= 2 && (toks[j - 2].is_punct('!') || toks[j - 1].is_punct('#'));
+            if indexing && !macro_or_attr && !toks[j - 1].is_punct('#') {
+                out.push(Sink {
+                    tok_idx: j,
+                    what: "slice indexing `[…]`".to_string(),
+                });
+            }
+        }
+    }
+    out
+}
+
+/// Allocation sinks: cloning/formatting/collecting calls, allocating
+/// macros, boxed/heap constructors, and pushes onto a `Vec` constructed
+/// without capacity in the same body (the push-without-reserve
+/// approximation).
+fn alloc_sinks(toks: &[Tok], body: (usize, usize)) -> Vec<Sink> {
+    let mut out = Vec::new();
+    // Locals built as `let [mut] name = Vec::new()` — growth is
+    // unreserved by construction.
+    let mut fresh_vecs: Vec<&str> = Vec::new();
+    for j in body.0..body.1.min(toks.len()) {
+        if toks[j].is_ident("let") {
+            let mut k = j + 1;
+            if toks.get(k).is_some_and(|t| t.is_ident("mut")) {
+                k += 1;
+            }
+            let (Some(name), Some(eq)) = (toks.get(k), toks.get(k + 1)) else {
+                continue;
+            };
+            if name.kind == TokKind::Ident
+                && eq.is_punct('=')
+                && toks.get(k + 2).is_some_and(|t| t.is_ident("Vec"))
+                && toks.get(k + 5).is_some_and(|t| t.is_ident("new"))
+            {
+                fresh_vecs.push(&name.text);
+            }
+        }
+    }
+    for j in body.0..body.1.min(toks.len()) {
+        let t = &toks[j];
+        if t.kind == TokKind::Ident
+            && matches!(
+                t.text.as_str(),
+                "clone" | "to_string" | "to_owned" | "to_vec" | "collect"
+            )
+            && j >= 1
+            && toks[j - 1].is_punct('.')
+            && toks.get(j + 1).is_some_and(|n| n.is_punct('('))
+        {
+            out.push(Sink {
+                tok_idx: j,
+                what: format!("`.{}()`", t.text),
+            });
+        }
+        if t.kind == TokKind::Ident
+            && matches!(t.text.as_str(), "format" | "vec")
+            && toks.get(j + 1).is_some_and(|n| n.is_punct('!'))
+        {
+            out.push(Sink {
+                tok_idx: j,
+                what: format!("`{}!`", t.text),
+            });
+        }
+        if t.kind == TokKind::Ident
+            && matches!(t.text.as_str(), "Box" | "String" | "Rc" | "Arc")
+            && toks.get(j + 1).is_some_and(|n| n.is_punct(':'))
+            && toks.get(j + 2).is_some_and(|n| n.is_punct(':'))
+            && toks
+                .get(j + 3)
+                .is_some_and(|n| n.is_ident("new") || n.is_ident("from"))
+            && toks.get(j + 4).is_some_and(|n| n.is_punct('('))
+        {
+            out.push(Sink {
+                tok_idx: j,
+                what: format!("`{}::{}`", t.text, toks[j + 3].text),
+            });
+        }
+        if t.is_ident("push")
+            && j >= 2
+            && toks[j - 1].is_punct('.')
+            && toks.get(j + 1).is_some_and(|n| n.is_punct('('))
+            && toks[j - 2].kind == TokKind::Ident
+            && fresh_vecs.contains(&toks[j - 2].text.as_str())
+        {
+            out.push(Sink {
+                tok_idx: j,
+                what: format!(
+                    "`{}.push()` onto a Vec constructed without capacity in this fn",
+                    toks[j - 2].text
+                ),
+            });
+        }
+    }
+    out
+}
+
+/// Context the hot-path rules need per analyzed file, supplied by the
+/// driver in `lib.rs`.
+pub struct HotCtx<'a> {
+    /// Graph-facing view of every file.
+    pub files: &'a [GraphFile<'a>],
+    /// Per-file module path (for findings).
+    pub modules: &'a [String],
+    /// Per-file in-test predicate by token index.
+    pub is_test_at: &'a dyn Fn(usize, usize) -> bool,
+}
+
+/// Run HP001/HP002 over the graph. `hp001`/`hp002` are the rule entries
+/// if active.
+pub fn run_hot_path_rules(
+    ctx: &HotCtx<'_>,
+    hp001: Option<&'static Rule>,
+    hp002: Option<&'static Rule>,
+    out: &mut Vec<Finding>,
+) {
+    let graph = CallGraph::build(ctx.files);
+    let roots = graph.roots();
+    if roots.is_empty() {
+        return;
+    }
+    let (parent, seen) = graph.reach(&roots);
+    for (i, reached) in seen.iter().enumerate() {
+        if !reached || graph.fns[i].def.is_test {
+            continue;
+        }
+        let wf = &graph.fns[i];
+        let file = &ctx.files[wf.file];
+        let path = graph.path_to(&parent, i);
+        let path_str = path.join(" → ");
+        let emit = |rule: &'static Rule, sinks: Vec<Sink>, budget: &str, out: &mut Vec<Finding>| {
+            for s in sinks {
+                if (ctx.is_test_at)(wf.file, s.tok_idx) {
+                    continue;
+                }
+                let t = &file.toks[s.tok_idx];
+                out.push(Finding {
+                    rule: rule.id.to_string(),
+                    name: rule.name.to_string(),
+                    severity: rule.severity,
+                    file: file.rel_path.to_string(),
+                    line: t.line,
+                    col: t.col,
+                    module: ctx.modules[wf.file].clone(),
+                    feature: None,
+                    message: format!(
+                        "{} in `{}` is reachable from hot-path root `{}` (call path: {}); \
+                         the marked hot path has a zero-{budget} budget — restructure, or \
+                         allow with the invariant as the reason",
+                        s.what,
+                        wf.def.label(),
+                        path.first().map(String::as_str).unwrap_or(""),
+                        path_str,
+                    ),
+                    suppressed: false,
+                    reason: None,
+                });
+            }
+        };
+        if let Some(rule) = hp001 {
+            emit(rule, panic_sinks(file.toks, wf.def.body), "panic", out);
+        }
+        if let Some(rule) = hp002 {
+            emit(rule, alloc_sinks(file.toks, wf.def.body), "alloc", out);
+        }
+    }
+}
+
+/// Serialize the graph as JSON (version-pinned) for `--graph-out`.
+pub fn graph_json(graph: &CallGraph, files: &[GraphFile<'_>]) -> String {
+    use std::fmt::Write as _;
+    let mut s = String::from("{\"version\":1,\"nodes\":[");
+    for (i, f) in graph.fns.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        let _ = write!(
+            s,
+            "{{\"id\":{i},\"label\":{:?},\"crate\":{:?},\"file\":{:?},\"line\":{},\"col\":{},\
+             \"hot_path\":{},\"test\":{}}}",
+            f.def.label(),
+            f.crate_name,
+            files[f.file].rel_path,
+            f.def.line,
+            f.def.col,
+            f.def.hot_path,
+            f.def.is_test,
+        );
+    }
+    s.push_str("],\"edges\":[");
+    let mut first = true;
+    for (i, outs) in graph.edges.iter().enumerate() {
+        for &(j, line) in outs {
+            if !first {
+                s.push(',');
+            }
+            first = false;
+            let _ = write!(s, "{{\"from\":{i},\"to\":{j},\"line\":{line}}}");
+        }
+    }
+    s.push_str("]}");
+    s
+}
+
+/// Serialize the graph as Graphviz DOT for `--graph-out`.
+pub fn graph_dot(graph: &CallGraph, files: &[GraphFile<'_>]) -> String {
+    use std::fmt::Write as _;
+    let mut s = String::from("digraph calls {\n  rankdir=LR;\n  node [shape=box];\n");
+    for (i, f) in graph.fns.iter().enumerate() {
+        let style = if f.def.hot_path {
+            ",style=filled,fillcolor=salmon"
+        } else if f.def.is_test {
+            ",style=dashed"
+        } else {
+            ""
+        };
+        let _ = writeln!(
+            s,
+            "  n{i} [label=\"{}\\n{}:{}\"{style}];",
+            f.def.label().replace('"', "'"),
+            files[f.file].rel_path,
+            f.def.line,
+        );
+    }
+    for (i, outs) in graph.edges.iter().enumerate() {
+        for &(j, _) in outs {
+            let _ = writeln!(s, "  n{i} -> n{j};");
+        }
+    }
+    s.push_str("}\n");
+    s
+}

@@ -1,0 +1,414 @@
+//! Item extraction: `fn` definitions with their owning `impl`/`trait`
+//! block, body extent, test scope, and `// fd-lint: hot_path` markers.
+//!
+//! This is the layer the call graph builds on. Like everything in this
+//! crate it is a best-effort, panic-free pass over the token stream — no
+//! `syn`, no type resolution. The invariants the graph relies on:
+//!
+//! - every `fn` keyword in the file yields exactly one [`FnDef`];
+//! - `body` is a half-open token range covering the body braces, or an
+//!   empty range for bodyless declarations (`fn f();` in traits);
+//! - `owner` is the last path segment of the self type of the innermost
+//!   enclosing `impl` block (`impl Foo for Bar` → `Bar`), or the trait
+//!   name for items inside a `trait` block, or `None` for free fns.
+//!
+//! ## Hot-path marker grammar
+//!
+//! A fn is a hot-path *root* when the own-line comment
+//!
+//! ```text
+//! // fd-lint: hot_path
+//! ```
+//!
+//! sits directly above its item head — attributes and visibility
+//! modifiers may intervene, other code may not. The marker declares "the
+//! static panic/alloc budget of everything reachable from here is zero";
+//! rules HP001/HP002 enforce it transitively over the call graph.
+
+use crate::tokens::{Comment, Tok, TokKind};
+
+/// One `fn` definition found in a file.
+#[derive(Debug, Clone)]
+pub struct FnDef {
+    /// The fn's name.
+    pub name: String,
+    /// Self type of the enclosing `impl` (or name of the enclosing
+    /// `trait`); `None` for free fns.
+    pub owner: Option<String>,
+    /// 1-based line of the `fn` keyword.
+    pub line: u32,
+    /// 1-based column of the `fn` keyword.
+    pub col: u32,
+    /// Token index of the `fn` keyword.
+    pub fn_idx: usize,
+    /// Half-open token range of the body including its braces; empty
+    /// (`start == end`) for bodyless declarations.
+    pub body: (usize, usize),
+    /// The fn is test-only (test file, `#[cfg(test)]`, or `#[test]`).
+    pub is_test: bool,
+    /// A `// fd-lint: hot_path` marker sits directly above the item.
+    pub hot_path: bool,
+}
+
+impl FnDef {
+    /// Display label: `Owner::name` or bare `name`.
+    pub fn label(&self) -> String {
+        match &self.owner {
+            Some(o) => format!("{o}::{}", self.name),
+            None => self.name.clone(),
+        }
+    }
+}
+
+/// An `impl`/`trait` block: the token range of its braces and the type
+/// name its fns belong to.
+#[derive(Debug)]
+struct OwnerBlock {
+    name: String,
+    start: usize,
+    end: usize,
+}
+
+/// Extract every fn definition from one file's token stream.
+///
+/// `in_test` reports whether a token index is inside test scope;
+/// `hot_lines` is the set of source lines named by hot-path markers (see
+/// [`hot_marker_lines`]).
+pub fn extract_fns(toks: &[Tok], in_test: &dyn Fn(usize) -> bool, hot_lines: &[u32]) -> Vec<FnDef> {
+    let owners = owner_blocks(toks);
+    let mut fns = Vec::new();
+    for i in 0..toks.len() {
+        if !toks[i].is_ident("fn") {
+            continue;
+        }
+        let Some(name_tok) = toks.get(i + 1).filter(|t| t.kind == TokKind::Ident) else {
+            continue;
+        };
+        let owner = owners
+            .iter()
+            .filter(|o| o.start <= i && i < o.end)
+            .min_by_key(|o| o.end - o.start)
+            .map(|o| o.name.clone());
+        let body = fn_body(toks, i + 2);
+        let head = head_line(toks, i);
+        fns.push(FnDef {
+            name: name_tok.text.clone(),
+            owner,
+            line: toks[i].line,
+            col: toks[i].col,
+            fn_idx: i,
+            body,
+            is_test: in_test(i),
+            hot_path: hot_lines.contains(&head),
+        });
+    }
+    fns
+}
+
+/// The source lines targeted by `// fd-lint: hot_path` own-line marker
+/// comments: for each marker, the next line holding code.
+pub fn hot_marker_lines(comments: &[Comment], code_lines: &[u32]) -> Vec<u32> {
+    let mut out = Vec::new();
+    for c in comments {
+        if !c.own_line {
+            continue;
+        }
+        let body = c.text.trim_start_matches('/').trim();
+        if body == "fd-lint: hot_path" {
+            if let Some(&l) = code_lines.iter().find(|&&l| l > c.line) {
+                out.push(l);
+            }
+        }
+    }
+    out
+}
+
+/// Find `impl`/`trait` blocks and the type name owning their fns.
+fn owner_blocks(toks: &[Tok]) -> Vec<OwnerBlock> {
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i < toks.len() {
+        let t = &toks[i];
+        if t.is_ident("impl") {
+            if let Some((name, start, end)) = impl_header(toks, i) {
+                out.push(OwnerBlock { name, start, end });
+            }
+        } else if t.is_ident("trait") && toks.get(i + 1).is_some_and(|n| n.kind == TokKind::Ident) {
+            let name = toks[i + 1].text.clone();
+            if let Some(open) = body_open(toks, i + 2) {
+                let end = matching_brace(toks, open);
+                out.push(OwnerBlock {
+                    name,
+                    start: open,
+                    end,
+                });
+            }
+        }
+        i += 1;
+    }
+    out
+}
+
+/// Parse an `impl` header starting at the `impl` keyword: skip generics,
+/// read path segments, prefer the path after `for` (the self type), and
+/// return (self-type name, body start, body end).
+fn impl_header(toks: &[Tok], impl_idx: usize) -> Option<(String, usize, usize)> {
+    let mut i = impl_idx + 1;
+    let mut last_seg: Option<String> = None;
+    let mut self_seg: Option<String> = None;
+    while i < toks.len() {
+        let t = &toks[i];
+        if t.is_punct('<') {
+            i = skip_angles(toks, i);
+            continue;
+        }
+        if t.is_punct('{') {
+            let name = self_seg.or(last_seg)?;
+            let end = matching_brace(toks, i);
+            return Some((name, i, end));
+        }
+        if t.is_ident("for") {
+            // Everything before `for` was the trait; restart on the self
+            // type.
+            last_seg = None;
+        } else if t.is_ident("where") {
+            // The self type is settled; remember it before the clause.
+            self_seg = self_seg.or(last_seg.take());
+        } else if t.kind == TokKind::Ident && !t.is_ident("mut") && !t.is_ident("dyn") {
+            last_seg = Some(t.text.clone());
+        } else if t.is_punct(';') {
+            return None; // soup
+        }
+        i += 1;
+    }
+    None
+}
+
+/// Token index of the first top-level `{` from `start` (tracking paren
+/// and bracket depth so default-argument/array brackets don't confuse
+/// it), or `None` if a `;` ends the item first.
+pub(crate) fn body_open(toks: &[Tok], start: usize) -> Option<usize> {
+    let mut paren = 0i64;
+    let mut bracket = 0i64;
+    let mut i = start;
+    while i < toks.len() {
+        let t = &toks[i];
+        if t.is_punct('(') {
+            paren += 1;
+        } else if t.is_punct(')') {
+            paren -= 1;
+        } else if t.is_punct('[') {
+            bracket += 1;
+        } else if t.is_punct(']') {
+            bracket -= 1;
+        } else if t.is_punct('{') && paren <= 0 && bracket <= 0 {
+            return Some(i);
+        } else if t.is_punct(';') && paren <= 0 && bracket <= 0 {
+            return None;
+        }
+        i += 1;
+    }
+    None
+}
+
+/// The body token range of a fn whose signature starts at `sig_start`
+/// (just past the name). Empty range at the terminating `;` for bodyless
+/// declarations.
+fn fn_body(toks: &[Tok], sig_start: usize) -> (usize, usize) {
+    match body_open(toks, sig_start) {
+        Some(open) => (open, matching_brace(toks, open)),
+        None => (sig_start, sig_start),
+    }
+}
+
+/// One past the `}` matching the `{` at `open` (or `toks.len()` on soup).
+pub(crate) fn matching_brace(toks: &[Tok], open: usize) -> usize {
+    let mut depth = 0i64;
+    let mut i = open;
+    while i < toks.len() {
+        if toks[i].is_punct('{') {
+            depth += 1;
+        } else if toks[i].is_punct('}') {
+            depth -= 1;
+            if depth == 0 {
+                return i + 1;
+            }
+        }
+        i += 1;
+    }
+    toks.len()
+}
+
+/// One past a balanced `<…>` group starting at the `<` at `open`.
+fn skip_angles(toks: &[Tok], open: usize) -> usize {
+    let mut depth = 0i64;
+    let mut i = open;
+    while i < toks.len() {
+        if toks[i].is_punct('<') {
+            depth += 1;
+        } else if toks[i].is_punct('>') {
+            depth -= 1;
+            if depth == 0 {
+                return i + 1;
+            }
+        } else if toks[i].is_punct('{') || toks[i].is_punct(';') {
+            return i; // soup: bail before the body
+        }
+        i += 1;
+    }
+    toks.len()
+}
+
+/// The source line where the item head starts: the `fn` keyword's line,
+/// walked back over visibility/qualifier keywords and attached
+/// attributes (so a marker above `#[inline]\npub fn f()` still binds).
+fn head_line(toks: &[Tok], fn_idx: usize) -> u32 {
+    let mut j = fn_idx;
+    loop {
+        if j == 0 {
+            break;
+        }
+        let p = &toks[j - 1];
+        if p.is_ident("pub")
+            || p.is_ident("unsafe")
+            || p.is_ident("async")
+            || p.is_ident("const")
+            || p.is_ident("extern")
+            || p.is_ident("default")
+        {
+            j -= 1;
+            continue;
+        }
+        // `extern "C"` ABI string.
+        if p.kind == TokKind::Str && j >= 2 && toks[j - 2].is_ident("extern") {
+            j -= 2;
+            continue;
+        }
+        // `pub(crate)` / `pub(in …)` restriction.
+        if p.is_punct(')') {
+            let mut depth = 0i64;
+            let mut k = j - 1;
+            loop {
+                if toks[k].is_punct(')') {
+                    depth += 1;
+                } else if toks[k].is_punct('(') {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                if k == 0 {
+                    break;
+                }
+                k -= 1;
+            }
+            if k >= 1 && toks[k - 1].is_ident("pub") {
+                j = k - 1;
+                continue;
+            }
+            break;
+        }
+        // Attached attribute `#[…]`.
+        if p.is_punct(']') {
+            let mut depth = 0i64;
+            let mut k = j - 1;
+            loop {
+                if toks[k].is_punct(']') {
+                    depth += 1;
+                } else if toks[k].is_punct('[') {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                if k == 0 {
+                    break;
+                }
+                k -= 1;
+            }
+            if k >= 1 && toks[k - 1].is_punct('#') {
+                j = k - 1;
+                continue;
+            }
+            break;
+        }
+        break;
+    }
+    toks[j].line
+}
+
+/// The fn whose extent (signature through body) covers token index
+/// `idx`, if any — innermost wins for nested fns.
+pub fn enclosing_fn(fns: &[FnDef], idx: usize) -> Option<&FnDef> {
+    fns.iter()
+        .filter(|f| f.fn_idx <= idx && idx < f.body.1.max(f.fn_idx + 1))
+        .min_by_key(|f| f.body.1 - f.fn_idx)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tokens::lex;
+
+    fn extract(src: &str) -> Vec<FnDef> {
+        let (toks, comments) = lex(src);
+        let mut code_lines: Vec<u32> = toks.iter().map(|t| t.line).collect();
+        code_lines.dedup();
+        let hot = hot_marker_lines(&comments, &code_lines);
+        extract_fns(&toks, &|_| false, &hot)
+    }
+
+    #[test]
+    fn owners_from_impl_blocks() {
+        let fns = extract(
+            "struct W; impl W { fn a(&self) {} }\n\
+             impl Clone for W { fn clone(&self) -> W { W } }\n\
+             trait T { fn d(&self); fn e(&self) { self.d() } }\n\
+             fn free() {}",
+        );
+        let owners: Vec<(String, Option<String>)> = fns
+            .iter()
+            .map(|f| (f.name.clone(), f.owner.clone()))
+            .collect();
+        assert_eq!(
+            owners,
+            vec![
+                ("a".into(), Some("W".into())),
+                ("clone".into(), Some("W".into())),
+                ("d".into(), Some("T".into())),
+                ("e".into(), Some("T".into())),
+                ("free".into(), None),
+            ]
+        );
+        // Bodyless trait decl has an empty body range.
+        assert_eq!(fns[2].body.0, fns[2].body.1);
+        assert!(fns[3].body.1 > fns[3].body.0);
+    }
+
+    #[test]
+    fn generic_impl_owner_resolves_past_angles() {
+        let fns = extract("impl<K: Ord, V> Wheel<K, V> { fn push(&mut self) {} }");
+        assert_eq!(fns[0].owner.as_deref(), Some("Wheel"));
+    }
+
+    #[test]
+    fn hot_path_marker_binds_through_attributes() {
+        let fns = extract(
+            "// fd-lint: hot_path\n#[inline]\npub fn step() {}\n\
+             fn cold() {}\n\
+             // fd-lint: hot_path is documentation, not a marker\nfn also_cold() {}",
+        );
+        assert!(fns[0].hot_path, "marker above attributes binds");
+        assert!(!fns[1].hot_path);
+        assert!(!fns[2].hot_path, "prose mentioning the marker is inert");
+    }
+
+    #[test]
+    fn enclosing_fn_is_innermost() {
+        let src = "fn outer() { fn inner() { body(); } }";
+        let (toks, _) = lex(src);
+        let fns = extract_fns(&toks, &|_| false, &[]);
+        let body_idx = toks.iter().position(|t| t.is_ident("body")).unwrap();
+        assert_eq!(enclosing_fn(&fns, body_idx).unwrap().name, "inner");
+    }
+}

@@ -35,6 +35,9 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod graph;
+mod items;
+mod obskeys;
 mod report;
 mod rules;
 mod scan;
@@ -46,6 +49,91 @@ pub use rules::{rule_by_id, Rule, RULES};
 use rules::FileCtx;
 use std::collections::BTreeSet;
 use std::path::{Path, PathBuf};
+
+/// One in-memory source file handed to [`analyze_sources`].
+#[derive(Debug, Clone)]
+pub struct SourceFile {
+    /// Workspace-relative path with `/` separators (decides crate,
+    /// module, and test classification).
+    pub rel_path: String,
+    /// File contents.
+    pub src: String,
+}
+
+/// Everything the per-file and cross-file phases know about one file.
+pub(crate) struct FileModel {
+    pub(crate) rel_path: String,
+    pub(crate) crate_name: String,
+    pub(crate) module: String,
+    pub(crate) path_is_test: bool,
+    pub(crate) toks: Vec<tokens::Tok>,
+    pub(crate) uses: scan::UseMap,
+    pub(crate) scopes: scan::Scopes,
+    pub(crate) tracked: Vec<String>,
+    pub(crate) doc_lines: BTreeSet<u32>,
+    pub(crate) suppressions: Vec<scan::Suppression>,
+    pub(crate) items: Vec<items::FnDef>,
+}
+
+impl FileModel {
+    fn build(file: &SourceFile) -> FileModel {
+        let (toks, comments) = tokens::lex(&file.src);
+        let uses = scan::UseMap::from_tokens(&toks);
+        let scopes = scan::find_scopes(&toks);
+        let tracked = scan::tracked_idents(&toks, &uses, rules::UNORDERED);
+
+        // Lines holding at least one token, for attaching own-line
+        // allows and hot-path markers.
+        let mut code_lines: Vec<u32> = toks.iter().map(|t| t.line).collect();
+        code_lines.dedup();
+        let suppressions = scan::find_suppressions(&comments, &code_lines);
+
+        // Lines directly below the end of a doc comment. Own-line
+        // `fd-lint:` marker/allow comments are transparent: a
+        // `// fd-lint: hot_path` between the doc block and the fn must
+        // not make UH003 think the fn is undocumented.
+        let marker_lines: BTreeSet<u32> = comments
+            .iter()
+            .filter(|c| {
+                c.own_line
+                    && c.text
+                        .trim_start_matches('/')
+                        .trim_start_matches('*')
+                        .trim_start()
+                        .starts_with("fd-lint:")
+            })
+            .map(|c| c.line)
+            .collect();
+        let mut doc_lines: BTreeSet<u32> = BTreeSet::new();
+        for c in comments.iter().filter(|c| c.doc) {
+            let end = c.line + c.text.matches('\n').count() as u32;
+            let mut below = end + 1;
+            while marker_lines.contains(&below) {
+                below += 1;
+            }
+            doc_lines.insert(below);
+        }
+
+        let path_is_test = path_is_test(&file.rel_path);
+        let hot_lines = items::hot_marker_lines(&comments, &code_lines);
+        let in_test = |idx: usize| path_is_test || scopes.in_test(idx);
+        let items = items::extract_fns(&toks, &in_test, &hot_lines);
+
+        FileModel {
+            rel_path: file.rel_path.clone(),
+            crate_name: crate_of(&file.rel_path),
+            module: module_of(&file.rel_path),
+            path_is_test,
+            toks,
+            uses,
+            scopes,
+            tracked,
+            doc_lines,
+            suppressions,
+            items,
+        }
+    }
+}
 
 /// Engine options.
 #[derive(Debug, Default, Clone)]
@@ -97,94 +185,174 @@ fn active_rules(opts: &Options) -> Vec<&'static Rule> {
 
 /// Lint one source file given its workspace-relative path. Public so the
 /// engine tests (and the seeded-hazard acceptance check) can lint
-/// in-memory sources without a file tree.
+/// in-memory sources without a file tree. Cross-file rules run over the
+/// single-file "workspace": hot-path reachability works if the file
+/// carries its own markers; the obs-key rules are quiet unless the file
+/// *is* the registry (pass the registry alongside via
+/// [`analyze_sources`] to exercise them).
 pub fn lint_source(rel_path: &str, src: &str, opts: &Options) -> Vec<Finding> {
-    let (toks, comments) = tokens::lex(src);
-    let uses = scan::UseMap::from_tokens(&toks);
-    let scopes = scan::find_scopes(&toks);
-    let tracked = scan::tracked_idents(&toks, &uses, rules::UNORDERED);
+    analyze_sources(
+        &[SourceFile {
+            rel_path: rel_path.to_string(),
+            src: src.to_string(),
+        }],
+        opts,
+    )
+    .findings
+}
 
-    // Lines holding at least one token, for attaching own-line allows.
-    let mut code_lines: Vec<u32> = toks.iter().map(|t| t.line).collect();
-    code_lines.dedup();
-    let suppressions = scan::find_suppressions(&comments, &code_lines);
+/// Analyze a set of in-memory sources as one workspace: per-file rules,
+/// then the cross-file phase (hot-path reachability over the call
+/// graph, obs-key registry consistency), then the suppression pass.
+/// This is the whole engine; [`lint_workspace`] is a directory walk in
+/// front of it.
+pub fn analyze_sources(files: &[SourceFile], opts: &Options) -> Report {
+    let models: Vec<FileModel> = files.iter().map(FileModel::build).collect();
+    let active = active_rules(opts);
+    let mut findings = Vec::new();
 
-    // Lines directly below the end of a doc comment.
-    let mut doc_lines: BTreeSet<u32> = BTreeSet::new();
-    for c in comments.iter().filter(|c| c.doc) {
-        let end = c.line + c.text.matches('\n').count() as u32;
-        doc_lines.insert(end + 1);
+    // Phase 1: per-file rules.
+    for m in &models {
+        let ctx = FileCtx {
+            rel_path: &m.rel_path,
+            crate_name: &m.crate_name,
+            module: &m.module,
+            path_is_test: m.path_is_test,
+            toks: &m.toks,
+            uses: &m.uses,
+            scopes: &m.scopes,
+            tracked_unordered: &m.tracked,
+            doc_lines: &m.doc_lines,
+            items: &m.items,
+        };
+        findings.extend(rules::run_rules(&ctx, &active));
     }
 
-    let crate_name = crate_of(rel_path);
-    let module = module_of(rel_path);
-    let ctx = FileCtx {
-        rel_path,
-        crate_name: &crate_name,
-        module: &module,
-        path_is_test: path_is_test(rel_path),
-        toks: &toks,
-        uses: &uses,
-        scopes: &scopes,
-        tracked_unordered: &tracked,
-        doc_lines: &doc_lines,
-    };
+    // Phase 2: cross-file rules.
+    let by_id = |id: &str| active.iter().find(|r| r.id == id).copied();
+    let (hp001, hp002) = (by_id("HP001"), by_id("HP002"));
+    if hp001.is_some() || hp002.is_some() {
+        let gfiles: Vec<graph::GraphFile<'_>> = models
+            .iter()
+            .map(|m| graph::GraphFile {
+                rel_path: &m.rel_path,
+                crate_name: &m.crate_name,
+                toks: &m.toks,
+                fns: &m.items,
+            })
+            .collect();
+        let modules: Vec<String> = models.iter().map(|m| m.module.clone()).collect();
+        let is_test_at =
+            |fi: usize, idx: usize| models[fi].path_is_test || models[fi].scopes.in_test(idx);
+        let ctx = graph::HotCtx {
+            files: &gfiles,
+            modules: &modules,
+            is_test_at: &is_test_at,
+        };
+        graph::run_hot_path_rules(&ctx, hp001, hp002, &mut findings);
+    }
+    let (obs001, obs002) = (by_id("OBS001"), by_id("OBS002"));
+    if obs001.is_some() || obs002.is_some() {
+        obskeys::run_obs_rules(&models, obs001, obs002, &mut findings);
+    }
 
-    let active = active_rules(opts);
-    let mut findings = rules::run_rules(&ctx, &active);
-
-    // Suppression pass: a reasoned allow naming the rule silences the
-    // finding; a reasonless or unknown-rule allow is itself an error.
+    // Phase 3: suppressions. A reasoned allow naming the rule silences
+    // the finding (matched through the finding's own file, so cross-file
+    // rules are suppressed where they anchor); a reasonless or
+    // unknown-rule allow is itself an error.
     let sup_rule = rule_by_id("SUP001").expect("SUP001 is registered");
     let mut sup_findings = Vec::new();
-    for sup in &suppressions {
-        if sup.reason.is_none() {
-            sup_findings.push(Finding {
-                rule: sup_rule.id.to_string(),
-                name: sup_rule.name.to_string(),
-                severity: sup_rule.severity,
-                file: rel_path.to_string(),
-                line: sup.line,
-                col: sup.col,
-                module: module.clone(),
-                feature: None,
-                message: format!(
-                    "fd-lint allow({}) without a reason: every suppression must carry \
-                     `reason = \"…\"` explaining why the site is safe",
-                    sup.rules.join(", ")
-                ),
-                suppressed: false,
-                reason: None,
-            });
-        }
-        for r in &sup.rules {
-            if rule_by_id(r).is_none() {
+    for m in &models {
+        for sup in &m.suppressions {
+            if sup.reason.is_none() {
                 sup_findings.push(Finding {
                     rule: sup_rule.id.to_string(),
                     name: sup_rule.name.to_string(),
                     severity: sup_rule.severity,
-                    file: rel_path.to_string(),
+                    file: m.rel_path.clone(),
                     line: sup.line,
                     col: sup.col,
-                    module: module.clone(),
+                    module: m.module.clone(),
                     feature: None,
                     message: format!(
-                        "fd-lint allow names unknown rule {r:?} (valid: {})",
-                        RULES.iter().map(|r| r.id).collect::<Vec<_>>().join(", ")
+                        "fd-lint allow({}) without a reason: every suppression must carry \
+                         `reason = \"…\"` explaining why the site is safe",
+                        sup.rules.join(", ")
                     ),
                     suppressed: false,
                     reason: None,
                 });
             }
+            for r in &sup.rules {
+                if rule_by_id(r).is_none() {
+                    sup_findings.push(Finding {
+                        rule: sup_rule.id.to_string(),
+                        name: sup_rule.name.to_string(),
+                        severity: sup_rule.severity,
+                        file: m.rel_path.clone(),
+                        line: sup.line,
+                        col: sup.col,
+                        module: m.module.clone(),
+                        feature: None,
+                        message: format!(
+                            "fd-lint allow names unknown rule {r:?} (valid: {})",
+                            RULES.iter().map(|r| r.id).collect::<Vec<_>>().join(", ")
+                        ),
+                        suppressed: false,
+                        reason: None,
+                    });
+                }
+            }
         }
     }
+    let mut used: Vec<Vec<bool>> = models
+        .iter()
+        .map(|m| vec![false; m.suppressions.len()])
+        .collect();
     for f in &mut findings {
-        if let Some(sup) = suppressions
-            .iter()
-            .find(|s| s.target_line == f.line && s.reason.is_some() && s.rules.contains(&f.rule))
-        {
+        let Some(mi) = models.iter().position(|m| m.rel_path == f.file) else {
+            continue;
+        };
+        if let Some((si, sup)) = models[mi].suppressions.iter().enumerate().find(|(_, s)| {
+            s.target_line == f.line && s.reason.is_some() && s.rules.contains(&f.rule)
+        }) {
             f.suppressed = true;
             f.reason = sup.reason.clone();
+            used[mi][si] = true;
+        }
+    }
+    // A reasoned allow that silenced nothing is stale — the hazard it
+    // excused was removed, or it sits in the wrong file (cross-file
+    // findings anchor at the sink, not the hot-path root). Only checked
+    // when one of its named rules actually ran, so `--rule` subsets
+    // don't misreport allows for the rules left out.
+    for (mi, m) in models.iter().enumerate() {
+        for (si, sup) in m.suppressions.iter().enumerate() {
+            if used[mi][si]
+                || sup.reason.is_none()
+                || !sup.rules.iter().any(|r| active.iter().any(|a| a.id == r))
+            {
+                continue;
+            }
+            sup_findings.push(Finding {
+                rule: sup_rule.id.to_string(),
+                name: sup_rule.name.to_string(),
+                severity: sup_rule.severity,
+                file: m.rel_path.clone(),
+                line: sup.line,
+                col: sup.col,
+                module: m.module.clone(),
+                feature: None,
+                message: format!(
+                    "fd-lint allow({}) suppresses nothing on its target line \
+                     (line {}); remove the stale allow or move it to the line \
+                     the finding anchors on",
+                    sup.rules.join(", "),
+                    sup.target_line
+                ),
+                suppressed: false,
+                reason: None,
+            });
         }
     }
     findings.extend(sup_findings);
@@ -196,7 +364,11 @@ pub fn lint_source(rel_path: &str, src: &str, opts: &Options) -> Vec<Finding> {
             b.rule.as_str(),
         ))
     });
-    findings
+    Report {
+        findings,
+        rules_run: active.iter().map(|r| r.id.to_string()).collect(),
+        files_scanned: files.len(),
+    }
 }
 
 /// Lint every first-party `.rs` file under `root` (a workspace
@@ -205,6 +377,49 @@ pub fn lint_source(rel_path: &str, src: &str, opts: &Options) -> Vec<Finding> {
 /// anchored by their own `#![forbid(unsafe_code)]`).
 pub fn lint_workspace(root: &Path, opts: &Options) -> Result<Report, LintError> {
     validate_rule_ids(&opts.rules)?;
+    let sources = collect_sources(root)?;
+    Ok(analyze_sources(&sources, opts))
+}
+
+/// Output format of the call-graph dump (`ecfd lint --graph-out`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GraphFormat {
+    /// Version-pinned JSON (`{"version":1,"nodes":[…],"edges":[…]}`).
+    Json,
+    /// Graphviz DOT (hot-path roots filled, test fns dashed).
+    Dot,
+}
+
+/// Serialize the workspace call graph the HP rules reason over — the
+/// artifact CI uploads when a hot-path finding fails a build, so the
+/// offending `root → … → sink` chain can be inspected without rerunning.
+pub fn dump_graph(root: &Path, format: GraphFormat) -> Result<String, LintError> {
+    let sources = collect_sources(root)?;
+    Ok(dump_graph_sources(&sources, format))
+}
+
+/// [`dump_graph`] over in-memory sources (engine tests).
+pub fn dump_graph_sources(files: &[SourceFile], format: GraphFormat) -> String {
+    let models: Vec<FileModel> = files.iter().map(FileModel::build).collect();
+    let gfiles: Vec<graph::GraphFile<'_>> = models
+        .iter()
+        .map(|m| graph::GraphFile {
+            rel_path: &m.rel_path,
+            crate_name: &m.crate_name,
+            toks: &m.toks,
+            fns: &m.items,
+        })
+        .collect();
+    let g = graph::CallGraph::build(&gfiles);
+    match format {
+        GraphFormat::Json => graph::graph_json(&g, &gfiles),
+        GraphFormat::Dot => graph::graph_dot(&g, &gfiles),
+    }
+}
+
+/// Read every first-party `.rs` file under `root` into memory, sorted by
+/// path.
+fn collect_sources(root: &Path) -> Result<Vec<SourceFile>, LintError> {
     let mut files = Vec::new();
     for top in ["crates", "src", "tests", "examples"] {
         let dir = root.join(top);
@@ -214,14 +429,7 @@ pub fn lint_workspace(root: &Path, opts: &Options) -> Result<Report, LintError> 
         }
     }
     files.sort();
-
-    let mut report = Report {
-        rules_run: active_rules(opts)
-            .iter()
-            .map(|r| r.id.to_string())
-            .collect(),
-        ..Report::default()
-    };
+    let mut out = Vec::with_capacity(files.len());
     for path in files {
         let rel = path
             .strip_prefix(root)
@@ -230,18 +438,9 @@ pub fn lint_workspace(root: &Path, opts: &Options) -> Result<Report, LintError> 
             .replace('\\', "/");
         let src = std::fs::read_to_string(&path)
             .map_err(|e| LintError(format!("{}: {e}", path.display())))?;
-        report.findings.extend(lint_source(&rel, &src, opts));
-        report.files_scanned += 1;
+        out.push(SourceFile { rel_path: rel, src });
     }
-    report.findings.sort_by(|a, b| {
-        (a.file.as_str(), a.line, a.col, a.rule.as_str()).cmp(&(
-            b.file.as_str(),
-            b.line,
-            b.col,
-            b.rule.as_str(),
-        ))
-    });
-    Ok(report)
+    Ok(out)
 }
 
 /// Walk up from `start` to the directory whose `Cargo.toml` declares

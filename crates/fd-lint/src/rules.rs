@@ -77,6 +77,36 @@ pub const RULES: &[Rule] = &[
         summary: "public item without a doc comment on the fd-core/fd-sim API surface",
     },
     Rule {
+        id: "HP001",
+        name: "panic-reachable-from-hot-path",
+        severity: Severity::Deny,
+        summary: "unwrap/expect/panicking macro/slice index transitively reachable from a `// fd-lint: hot_path` root",
+    },
+    Rule {
+        id: "HP002",
+        name: "alloc-reachable-from-hot-path",
+        severity: Severity::Warn,
+        summary: "clone/format!/collect/unreserved Vec growth transitively reachable from a `// fd-lint: hot_path` root",
+    },
+    Rule {
+        id: "OBS001",
+        name: "unregistered-obs-key",
+        severity: Severity::Deny,
+        summary: "raw or typo'd observation-key literal; keys come from the fd-obs registry",
+    },
+    Rule {
+        id: "OBS002",
+        name: "obs-key-drift",
+        severity: Severity::Warn,
+        summary: "registered Metric/Obs key with no emitter or no consumer anywhere in the workspace",
+    },
+    Rule {
+        id: "MSG001",
+        name: "silent-wildcard-message-drop",
+        severity: Severity::Deny,
+        summary: "empty wildcard arm (`_ => {}`) in a protocol-message receive match",
+    },
+    Rule {
         id: "SUP001",
         name: "invalid-suppression",
         severity: Severity::Deny,
@@ -162,6 +192,8 @@ pub struct FileCtx<'a> {
     /// Source lines that sit directly below the end of a doc comment —
     /// an item whose head is on one of these lines is documented.
     pub doc_lines: &'a BTreeSet<u32>,
+    /// Extracted fn definitions (owner, body extent, hot-path marker).
+    pub items: &'a [crate::items::FnDef],
 }
 
 impl FileCtx<'_> {
@@ -200,10 +232,78 @@ pub fn run_rules(ctx: &FileCtx<'_>, active: &[&'static Rule]) -> Vec<Finding> {
             "UH001" => uh001(ctx, rule, &mut out),
             "UH002" => uh002(ctx, rule, &mut out),
             "UH003" => uh003(ctx, rule, &mut out),
-            _ => {} // SUP001 is emitted by the suppression pass
+            "MSG001" => msg001(ctx, rule, &mut out),
+            // SUP001 is emitted by the suppression pass; HP001/HP002 and
+            // OBS001/OBS002 run in the cross-file phase (graph / obskeys).
+            _ => {}
         }
     }
     out
+}
+
+/// MSG001 — an empty wildcard arm in a match over a protocol message
+/// enum silently drops messages. PR 6's round-wedge bug was exactly
+/// this: a `_ => {}` in a receive path ate a retransmitted announcement
+/// and the instance wedged. A match is a *receive path* when its body
+/// names a `*Msg` enum variant path, or when it sits inside an
+/// `on_message` fn. `_ => None` and other value-producing wildcards are
+/// fine — they make the drop visible to the caller.
+fn msg001(ctx: &FileCtx<'_>, rule: &'static Rule, out: &mut Vec<Finding>) {
+    if !DET_CRATES.contains(&ctx.crate_name) {
+        return;
+    }
+    let toks = ctx.toks;
+    for i in 0..toks.len() {
+        if !toks[i].is_ident("match") || ctx.is_test_at(i) {
+            continue;
+        }
+        let Some(open) = crate::items::body_open(toks, i + 1) else {
+            continue;
+        };
+        let close = crate::items::matching_brace(toks, open).min(toks.len());
+        let in_on_message =
+            crate::items::enclosing_fn(ctx.items, i).is_some_and(|f| f.name == "on_message");
+        let names_msg_enum = (open..close).any(|k| {
+            toks[k].kind == TokKind::Ident
+                && toks[k].text.ends_with("Msg")
+                && toks.get(k + 1).is_some_and(|n| n.is_punct(':'))
+                && toks.get(k + 2).is_some_and(|n| n.is_punct(':'))
+        });
+        if !in_on_message && !names_msg_enum {
+            continue;
+        }
+        let mut depth = 0i64;
+        for j in open..close {
+            let t = &toks[j];
+            if t.is_punct('{') {
+                depth += 1;
+            } else if t.is_punct('}') {
+                depth -= 1;
+            } else if depth == 1
+                && t.is_ident("_")
+                && toks.get(j + 1).is_some_and(|n| n.is_punct('='))
+                && toks.get(j + 2).is_some_and(|n| n.is_punct('>'))
+            {
+                let empty_block = toks.get(j + 3).is_some_and(|n| n.is_punct('{'))
+                    && toks.get(j + 4).is_some_and(|n| n.is_punct('}'));
+                let unit = toks.get(j + 3).is_some_and(|n| n.is_punct('('))
+                    && toks.get(j + 4).is_some_and(|n| n.is_punct(')'));
+                if empty_block || unit {
+                    out.push(
+                        ctx.finding(
+                            rule,
+                            j,
+                            "empty wildcard arm in a protocol-message match silently drops \
+                         messages (the PR 6 round-wedge failure mode); enumerate the \
+                         remaining variants explicitly, or allow with the reason the drop \
+                         is correct"
+                                .to_string(),
+                        ),
+                    );
+                }
+            }
+        }
+    }
 }
 
 /// ND001 — iteration over HashMap/HashSet in deterministic crates.

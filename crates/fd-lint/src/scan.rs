@@ -42,6 +42,13 @@ impl UseMap {
     pub fn canonical<'a>(&'a self, name: &'a str) -> &'a str {
         self.renames.get(name).map(String::as_str).unwrap_or(name)
     }
+
+    /// All `(alias, original)` pairs this file introduced — the obs-key
+    /// drift rule aggregates these workspace-wide so a key re-exported
+    /// as `pub use fd_obs::keys::X as Y` still resolves through `Y`.
+    pub fn rename_pairs(&self) -> impl Iterator<Item = (&String, &String)> {
+        self.renames.iter()
+    }
 }
 
 /// Parse one `use` tree starting at token index `i` (just past `use`),

@@ -1,0 +1,177 @@
+//! Acceptance tests from the rule families' reason for existing: seed a
+//! hazard the old token scanner could not see, and require the analyzer
+//! to catch it at the exact site.
+
+use fd_lint::{analyze_sources, Finding, Options, SourceFile};
+
+fn file(rel_path: &str, src: &str) -> SourceFile {
+    SourceFile {
+        rel_path: rel_path.to_string(),
+        src: src.to_string(),
+    }
+}
+
+/// The real fd-obs registry, so the seeded-key tests run against the
+/// keys the workspace actually registers.
+fn real_registry() -> SourceFile {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../fd-obs/src/keys.rs");
+    file(
+        "crates/fd-obs/src/keys.rs",
+        &std::fs::read_to_string(path).expect("fd-obs registry source"),
+    )
+}
+
+fn deny_hits<'a>(findings: &'a [Finding], rule: &str) -> Vec<&'a Finding> {
+    findings
+        .iter()
+        .filter(|f| f.rule == rule && !f.suppressed)
+        .collect()
+}
+
+#[test]
+fn a_typoed_obs_key_is_caught_at_its_site_with_a_suggestion() {
+    // "completness" — the dropped-letter typo a grep for the registered
+    // key never finds, silently detaching a checker from its dashboards.
+    let seeded = "\
+fn check(trace: &[(&str, u64)]) -> bool {
+    trace.iter().any(|(k, _)| *k == \"fd.weak_completness\")
+}
+";
+    let report = analyze_sources(
+        &[
+            real_registry(),
+            file("crates/fd-detectors/src/seeded.rs", seeded),
+        ],
+        &Options::default(),
+    );
+    let obs = deny_hits(&report.findings, "OBS001");
+    assert_eq!(obs.len(), 1, "{:?}", report.findings);
+    let f = obs[0];
+    assert_eq!(
+        (f.file.as_str(), f.line, f.col),
+        ("crates/fd-detectors/src/seeded.rs", 2, 37),
+        "caught at the literal itself"
+    );
+    assert!(
+        f.message.contains("fd.weak_completeness"),
+        "suggests the registered neighbor: {}",
+        f.message
+    );
+}
+
+#[test]
+fn a_registered_key_referenced_by_constant_passes() {
+    let ok = "\
+fn check(trace: &[(&str, u64)]) -> bool {
+    trace.iter().any(|(k, _)| *k == fd_obs::keys::FD_WEAK_COMPLETENESS)
+}
+";
+    let report = analyze_sources(
+        &[
+            real_registry(),
+            file("crates/fd-detectors/src/seeded.rs", ok),
+        ],
+        &Options::default(),
+    );
+    assert!(
+        deny_hits(&report.findings, "OBS001").is_empty(),
+        "{:?}",
+        report.findings
+    );
+}
+
+#[test]
+fn a_seeded_hot_path_unwrap_is_caught_at_its_site() {
+    let seeded = "\
+struct Q {
+    slots: Vec<Option<u64>>,
+}
+impl Q {
+    // fd-lint: hot_path
+    fn pop(&mut self) -> u64 {
+        self.take_head()
+    }
+    fn take_head(&mut self) -> u64 {
+        self.slots.pop().unwrap().unwrap()
+    }
+}
+";
+    let report = analyze_sources(
+        &[file("crates/fd-sim/src/seeded_q.rs", seeded)],
+        &Options::default(),
+    );
+    let hp = deny_hits(&report.findings, "HP001");
+    assert_eq!(hp.len(), 2, "both unwraps: {:?}", report.findings);
+    assert_eq!(
+        (hp[0].line, hp[0].col),
+        (10, 26),
+        "first unwrap at its exact site"
+    );
+    assert_eq!((hp[1].line, hp[1].col), (10, 35));
+    assert!(
+        hp[0].message.contains("Q::pop → Q::take_head"),
+        "names the path from the marked root: {}",
+        hp[0].message
+    );
+}
+
+#[test]
+fn an_emitter_with_no_consumer_is_drift() {
+    // A private registry plus one emitter and no consumer anywhere: the
+    // metric key is write-only, anchored at its registry row.
+    let registry = "\
+obs_keys! {
+    Metric SEEDED_ORPHAN = \"seeded.orphan\";
+}
+";
+    let emitter = "\
+fn tick(r: &fd_obs::Registry) {
+    r.counter(fd_obs::keys::SEEDED_ORPHAN).add(1);
+}
+";
+    let report = analyze_sources(
+        &[
+            file("crates/fd-obs/src/keys.rs", registry),
+            file("crates/fd-sim/src/emit.rs", emitter),
+        ],
+        &Options::default(),
+    );
+    let drift: Vec<_> = report
+        .findings
+        .iter()
+        .filter(|f| f.rule == "OBS002" && !f.suppressed)
+        .collect();
+    assert_eq!(drift.len(), 1, "{:?}", report.findings);
+    assert_eq!(drift[0].file, "crates/fd-obs/src/keys.rs");
+    assert_eq!(drift[0].line, 2, "anchored at the registry row");
+    assert!(
+        drift[0].message.contains("never consumed"),
+        "{}",
+        drift[0].message
+    );
+}
+
+#[test]
+fn a_silent_wildcard_in_a_receive_path_is_caught() {
+    let seeded = "\
+enum PingMsg {
+    Ping,
+    Pong,
+    Halt,
+}
+fn on_message(msg: PingMsg) {
+    match msg {
+        PingMsg::Ping => reply(),
+        _ => {}
+    }
+}
+fn reply() {}
+";
+    let report = analyze_sources(
+        &[file("crates/fd-consensus/src/seeded_rx.rs", seeded)],
+        &Options::default(),
+    );
+    let msg = deny_hits(&report.findings, "MSG001");
+    assert_eq!(msg.len(), 1, "{:?}", report.findings);
+    assert_eq!((msg[0].line, msg[0].col), (9, 9));
+}

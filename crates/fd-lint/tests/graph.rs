@@ -1,0 +1,200 @@
+//! Engine tests for the workspace call graph behind HP001/HP002:
+//! cycle handling, cross-crate edges, the trait-object over-approximation,
+//! suppression scoping for cross-file findings, and the dump formats.
+
+use fd_lint::{analyze_sources, dump_graph_sources, Finding, GraphFormat, Options, SourceFile};
+
+fn file(rel_path: &str, src: &str) -> SourceFile {
+    SourceFile {
+        rel_path: rel_path.to_string(),
+        src: src.to_string(),
+    }
+}
+
+fn hits<'a>(findings: &'a [Finding], rule: &str) -> Vec<&'a Finding> {
+    findings
+        .iter()
+        .filter(|f| f.rule == rule && !f.suppressed)
+        .collect()
+}
+
+#[test]
+fn recursion_cycle_terminates_and_still_reports_the_sink() {
+    // a → b → a is a cycle; the BFS must terminate and still find the
+    // panic inside the cycle.
+    let src = "\
+// fd-lint: hot_path
+fn a(n: u32) { b(n) }
+fn b(n: u32) { if n > 0 { a(n - 1) } else { panic!(\"bottom\") } }
+";
+    let report = analyze_sources(
+        &[file("crates/fd-sim/src/cyc.rs", src)],
+        &Options::default(),
+    );
+    let hp = hits(&report.findings, "HP001");
+    assert_eq!(hp.len(), 1, "{:?}", report.findings);
+    assert_eq!((hp[0].line, hp[0].col), (3, 45));
+    assert!(hp[0].message.contains("a → b"), "{}", hp[0].message);
+}
+
+#[test]
+fn qualified_calls_cross_crate_boundaries() {
+    // A hot root in fd-detectors reaches a panic two crates away through
+    // `Type::method` calls; the reported path names every hop.
+    let det = "\
+use fd_sim::queue::Queue;
+// fd-lint: hot_path
+fn poll() { Queue::take(); }
+";
+    let sim = "\
+pub struct Queue;
+impl Queue {
+    pub fn take() { fd_core::bits::word(9) }
+}
+";
+    let core = "\
+pub fn word(i: usize) -> u64 { MASKS[i] }
+const MASKS: [u64; 4] = [1, 2, 4, 8];
+";
+    let report = analyze_sources(
+        &[
+            file("crates/fd-detectors/src/poll.rs", det),
+            file("crates/fd-sim/src/queue.rs", sim),
+            file("crates/fd-core/src/bits.rs", core),
+        ],
+        &Options::default(),
+    );
+    let hp = hits(&report.findings, "HP001");
+    assert_eq!(hp.len(), 1, "{:?}", report.findings);
+    assert_eq!(hp[0].file, "crates/fd-core/src/bits.rs");
+    assert!(
+        hp[0].message.contains("poll → Queue::take → word"),
+        "{}",
+        hp[0].message
+    );
+}
+
+#[test]
+fn bare_method_calls_over_approximate_like_trait_objects() {
+    // `det.check()` on a trait object cannot be resolved statically; the
+    // graph links a bare `.check()` to every same-crate method named
+    // `check`, so the panic in an impl the root may never dispatch to is
+    // still reported. That over-approximation is the documented contract.
+    let src = "\
+trait Det { fn check(&self); }
+struct A;
+impl Det for A {
+    fn check(&self) {}
+}
+struct B;
+impl Det for B {
+    fn check(&self) { unreachable!(\"B is never polled\") }
+}
+// fd-lint: hot_path
+fn tick(d: &dyn Det) { d.check(); }
+";
+    let report = analyze_sources(
+        &[file("crates/fd-detectors/src/dyn_det.rs", src)],
+        &Options::default(),
+    );
+    let hp = hits(&report.findings, "HP001");
+    assert_eq!(hp.len(), 1, "{:?}", report.findings);
+    assert_eq!(hp[0].line, 8, "the sink in impl B is reached");
+}
+
+#[test]
+fn hot_path_findings_are_suppressed_in_the_sink_file_not_the_root_file() {
+    let root = "\
+use fd_sim::deep::boom;
+// fd-lint: hot_path
+fn go() { boom(); }
+";
+    // An allow in the ROOT file must not silence a finding anchored in
+    // the sink file…
+    let root_allowed = "\
+use fd_sim::deep::boom;
+// fd-lint: allow(HP001, reason = \"wrong scope: the finding lives in deep.rs\")
+// fd-lint: hot_path
+fn go() { boom(); }
+";
+    let sink = "pub fn boom() { panic!(\"sink\") }\n";
+    let sink_allowed = "\
+// fd-lint: allow(HP001, reason = \"demo invariant\")
+pub fn boom() { panic!(\"sink\") }
+";
+    let noisy = analyze_sources(
+        &[
+            file("crates/fd-sim/src/root.rs", root_allowed),
+            file("crates/fd-sim/src/deep.rs", sink),
+        ],
+        &Options::default(),
+    );
+    assert_eq!(hits(&noisy.findings, "HP001").len(), 1);
+    // …and SUP001 flags that misplaced allow as suppressing nothing.
+    assert!(
+        noisy
+            .findings
+            .iter()
+            .any(|f| f.rule == "SUP001" && f.file == "crates/fd-sim/src/root.rs"),
+        "{:?}",
+        noisy.findings
+    );
+
+    // An allow on the sink line itself works.
+    let quiet = analyze_sources(
+        &[
+            file("crates/fd-sim/src/root.rs", root),
+            file("crates/fd-sim/src/deep.rs", sink_allowed),
+        ],
+        &Options::default(),
+    );
+    assert!(hits(&quiet.findings, "HP001").is_empty());
+    let suppressed: Vec<_> = quiet
+        .findings
+        .iter()
+        .filter(|f| f.rule == "HP001" && f.suppressed)
+        .collect();
+    assert_eq!(suppressed.len(), 1);
+    assert_eq!(suppressed[0].reason.as_deref(), Some("demo invariant"));
+}
+
+#[test]
+fn test_fns_are_neither_roots_nor_path_hops() {
+    let src = "\
+// fd-lint: hot_path
+fn hot() {}
+#[cfg(test)]
+mod tests {
+    // fd-lint: hot_path
+    fn helper() { super::boom(); }
+}
+pub fn boom() { panic!(\"only reachable from tests\") }
+";
+    let report = analyze_sources(
+        &[file("crates/fd-sim/src/tst.rs", src)],
+        &Options::default(),
+    );
+    assert!(
+        hits(&report.findings, "HP001").is_empty(),
+        "{:?}",
+        report.findings
+    );
+}
+
+#[test]
+fn graph_dumps_are_stable_and_mark_roots() {
+    let files = [file(
+        "crates/fd-sim/src/g.rs",
+        "// fd-lint: hot_path\nfn hot() { helper(); }\nfn helper() {}\n",
+    )];
+    let json = dump_graph_sources(&files, GraphFormat::Json);
+    assert!(json.starts_with("{\"version\":1,\"nodes\":["), "{json}");
+    assert!(json.contains("\"label\":\"hot\""));
+    assert!(json.contains("\"hot_path\":true"));
+    assert!(json.contains("\"edges\":[{\"from\":0,\"to\":1,\"line\":2}]"));
+
+    let dot = dump_graph_sources(&files, GraphFormat::Dot);
+    assert!(dot.starts_with("digraph calls {"), "{dot}");
+    assert!(dot.contains("fillcolor=salmon"), "hot roots are filled");
+    assert!(dot.contains("n0 -> n1"));
+}

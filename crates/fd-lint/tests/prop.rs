@@ -1,8 +1,8 @@
-//! Robustness: the lexer, the use-rename resolver, and the whole
-//! single-file pipeline must never panic, whatever bytes they are fed —
-//! scanned files may be mid-edit garbage.
+//! Robustness: the lexer, the use-rename resolver, the item extractor,
+//! the call-graph builder, and the whole pipeline must never panic,
+//! whatever bytes they are fed — scanned files may be mid-edit garbage.
 
-use fd_lint::{lint_source, Options};
+use fd_lint::{analyze_sources, lint_source, Options, SourceFile};
 use proptest::prelude::*;
 
 /// Fragments the generator stitches together: Rust-ish material biased
@@ -49,6 +49,23 @@ const FRAGMENTS: &[&str] = &[
     "//!",
     "// fd-lint: allow(",
     "reason = \"",
+    "// fd-lint: hot_path",
+    "match ",
+    "=>",
+    "_",
+    "enum ",
+    "Msg",
+    "::",
+    "self.",
+    ".unwrap()",
+    "panic!(",
+    "where ",
+    "dyn ",
+    "&mut ",
+    "obs_keys!",
+    "Metric ",
+    "\"a.b\"",
+    "on_message",
     "\n",
     " ",
     "\t",
@@ -77,5 +94,22 @@ proptest! {
             .filter_map(|&c| char::from_u32(c % 0x11_0000))
             .collect();
         let _ = lint_source("crates/fd-sim/src/soup.rs", &src, &Options::default());
+    }
+
+    /// Cross-file phase over a garbage "workspace": token soup posing as
+    /// the obs registry plus token soup in a detector crate must not
+    /// panic the extractor, the graph builder, or the obs-key scanner.
+    #[test]
+    fn cross_file_phase_never_panics_on_fragment_soup(
+        reg_picks in prop::collection::vec(0usize..FRAGMENTS.len(), 0..80),
+        det_picks in prop::collection::vec(0usize..FRAGMENTS.len(), 0..80),
+    ) {
+        let reg: String = reg_picks.iter().map(|&i| FRAGMENTS[i]).collect();
+        let det: String = det_picks.iter().map(|&i| FRAGMENTS[i]).collect();
+        let files = [
+            SourceFile { rel_path: "crates/fd-obs/src/keys.rs".into(), src: reg },
+            SourceFile { rel_path: "crates/fd-detectors/src/soup.rs".into(), src: det },
+        ];
+        let _ = analyze_sources(&files, &Options::default());
     }
 }

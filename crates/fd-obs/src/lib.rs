@@ -32,6 +32,8 @@
 #[allow(unsafe_code)]
 mod alloc;
 
+pub mod keys;
+
 pub use alloc::CountingAllocator;
 
 use std::collections::BTreeMap;

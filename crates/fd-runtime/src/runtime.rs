@@ -55,9 +55,9 @@ impl RtObs {
     fn new(registry: &fd_obs::Registry, me: ProcessId) -> RtObs {
         let i = me.index();
         RtObs {
-            send_ns: registry.histogram(&format!("rt.p{i}.send_ns")),
-            recv_latency_ns: registry.histogram(&format!("rt.p{i}.recv_latency_ns")),
-            timer_drift_ns: registry.histogram(&format!("rt.p{i}.timer_drift_ns")),
+            send_ns: registry.histogram(&fd_obs::keys::rt_send_ns(i)),
+            recv_latency_ns: registry.histogram(&fd_obs::keys::rt_recv_latency_ns(i)),
+            timer_drift_ns: registry.histogram(&fd_obs::keys::rt_timer_drift_ns(i)),
         }
     }
 }

@@ -137,7 +137,8 @@ pub fn expand_sends<M: Clone>(
                     out.push((ProcessId(i), msg.clone()));
                 }
             }
-            _ => {}
+            // Not sends: nothing for the caller's message assertions.
+            Action::SetTimer { .. } | Action::CancelTimer { .. } | Action::Observe { .. } => {}
         }
     }
     out

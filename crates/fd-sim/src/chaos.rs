@@ -20,29 +20,29 @@ use crate::link::{LinkMangler, LinkModel};
 use crate::process::ProcessId;
 use crate::trace::Payload;
 
-/// Trace tag of an intervention that cuts one or more links. The kernel
-/// increments its active-partition count (and the `chaos.partitions_active`
-/// gauge, when instrumented) whenever an intervention carries this tag.
-pub const PARTITION: &str = "chaos.partition";
-/// Trace tag of an intervention that restores previously cut links; the
-/// kernel decrements its active-partition count on this tag.
-pub const HEAL: &str = "chaos.heal";
-/// Trace tag of an intervention installing a [`LinkMangler`].
-pub const MANGLE: &str = "chaos.mangle";
-/// Trace tag of an intervention removing the installed [`LinkMangler`].
-pub const UNMANGLE: &str = "chaos.unmangle";
+/// Trace tag of a scheduled crash intervention (the `Crashed` trace
+/// event is still recorded; this annotation attributes it to the plan).
+pub use fd_obs::keys::CHAOS_CRASH as CRASH;
+/// Trace tag announcing which detector class the run's scenario expects
+/// its checker to uphold (payload: index into `fd-core`'s class list).
+pub use fd_obs::keys::CHAOS_EXPECT_CLASS as EXPECT_CLASS;
 /// Trace tag marking the (scenario-chosen) global stabilization time.
 /// Chaos checkers treat it as part of the fault schedule: liveness is
 /// only demanded after the last chaos tag in the trace.
-pub const GST: &str = "chaos.gst";
-/// Trace tag of a scheduled crash intervention (the `Crashed` trace
-/// event is still recorded; this annotation attributes it to the plan).
-pub const CRASH: &str = "chaos.crash";
+pub use fd_obs::keys::CHAOS_GST as GST;
+/// Trace tag of an intervention that restores previously cut links; the
+/// kernel decrements its active-partition count on this tag.
+pub use fd_obs::keys::CHAOS_HEAL as HEAL;
+/// Trace tag of an intervention installing a [`LinkMangler`].
+pub use fd_obs::keys::CHAOS_MANGLE as MANGLE;
+/// Trace tag of an intervention that cuts one or more links. The kernel
+/// increments its active-partition count (and the `chaos.partitions_active`
+/// gauge, when instrumented) whenever an intervention carries this tag.
+pub use fd_obs::keys::CHAOS_PARTITION as PARTITION;
 /// Trace tag of a warm restart of a previously crashed process.
-pub const RESTART: &str = "chaos.restart";
-/// Trace tag announcing which detector class the run's scenario expects
-/// its checker to uphold (payload: index into `fd-core`'s class list).
-pub const EXPECT_CLASS: &str = "chaos.expect_class";
+pub use fd_obs::keys::CHAOS_RESTART as RESTART;
+/// Trace tag of an intervention removing the installed [`LinkMangler`].
+pub use fd_obs::keys::CHAOS_UNMANGLE as UNMANGLE;
 
 /// Every tag this module defines, for tooling that filters chaos bands.
 pub const ALL_TAGS: [&str; 8] = [

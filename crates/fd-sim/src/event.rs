@@ -201,6 +201,7 @@ impl<M> TimerWheel<M> {
         }
     }
 
+    // fd-lint: hot_path
     fn push(&mut self, at: Time, kind: EventKind<M>) {
         let seq = self.next_seq;
         self.next_seq += 1;
@@ -215,7 +216,9 @@ impl<M> TimerWheel<M> {
             self.inserts.push(ev);
         } else if b - self.cur_bucket < BUCKET_COUNT as u64 {
             let slot = (b as usize) & BUCKET_MASK;
+            // fd-lint: allow(HP001, reason = "slot is masked with BUCKET_MASK, always within buckets")
             self.buckets[slot].push(ev);
+            // fd-lint: allow(HP001, reason = "slot >> 6 < WORDS because slot < BUCKET_COUNT")
             self.occupied[slot >> 6] |= 1u64 << (slot & 63);
         } else {
             self.overflow.push(ev);
@@ -239,6 +242,7 @@ impl<M> TimerWheel<M> {
             seq: 0,
             kind: EventKind::Crash { pid: ProcessId(0) },
         };
+        // fd-lint: allow(HP001, reason = "take_current_head is only called after peeking Some at cur_head")
         let ev = std::mem::replace(&mut self.current[self.cur_head], dummy);
         self.cur_head += 1;
         if self.cur_head == self.current.len() {
@@ -248,6 +252,7 @@ impl<M> TimerWheel<M> {
         ev
     }
 
+    // fd-lint: hot_path
     fn pop(&mut self) -> Option<QueuedEvent<M>> {
         if !self.ensure_current() {
             return None;
@@ -257,7 +262,7 @@ impl<M> TimerWheel<M> {
             let ev = self
                 .inserts
                 .pop()
-                // fd-lint: allow(UH002, reason = "next_is_insert returned true, so the inserts heap is non-empty")
+                // fd-lint: allow(UH002, HP001, reason = "next_is_insert returned true, so the inserts heap is non-empty")
                 .expect("next_is_insert implies non-empty");
             return Some(ev);
         }
@@ -337,7 +342,7 @@ impl<M> TimerWheel<M> {
                 Some(abs) => self.activate(abs),
                 None => {
                     // Everything pending lives beyond the horizon.
-                    // fd-lint: allow(UH002, reason = "ensure_current checked len > 0, so an empty wheel implies a non-empty overflow heap; a panic here is a broken queue invariant, not an input")
+                    // fd-lint: allow(UH002, HP001, reason = "ensure_current checked len > 0, so an empty wheel implies a non-empty overflow heap; a panic here is a broken queue invariant, not an input")
                     let at = self.overflow.peek().expect("len > 0 but wheel empty").at;
                     self.activate(bucket_of(at));
                 }
@@ -358,11 +363,15 @@ impl<M> TimerWheel<M> {
             }
             let Some(e) = self.overflow.pop() else { break };
             let slot = (b as usize) & BUCKET_MASK;
+            // fd-lint: allow(HP001, reason = "slot is masked with BUCKET_MASK, always within buckets")
             self.buckets[slot].push(e);
+            // fd-lint: allow(HP001, reason = "slot >> 6 < WORDS because slot < BUCKET_COUNT")
             self.occupied[slot >> 6] |= 1u64 << (slot & 63);
         }
         let slot = (abs as usize) & BUCKET_MASK;
+        // fd-lint: allow(HP001, reason = "slot >> 6 < WORDS because slot < BUCKET_COUNT")
         self.occupied[slot >> 6] &= !(1u64 << (slot & 63));
+        // fd-lint: allow(HP001, reason = "slot is masked with BUCKET_MASK, always within buckets")
         std::mem::swap(&mut self.current, &mut self.buckets[slot]);
         self.current.sort_unstable_by_key(|e| (e.at, e.seq));
         self.cur_head = 0;
@@ -375,6 +384,7 @@ impl<M> TimerWheel<M> {
         let first_word = start >> 6;
         for k in 0..=WORDS {
             let wi = (first_word + k) % WORDS;
+            // fd-lint: allow(HP001, reason = "wi is reduced mod WORDS by the circular scan")
             let mut w = self.occupied[wi];
             if k == 0 {
                 w &= !0u64 << (start & 63);
@@ -434,6 +444,7 @@ impl<M> EventQueue<M> {
 
     /// Schedule `kind` at time `at`, after everything already scheduled
     /// at that instant.
+    // fd-lint: hot_path
     pub fn push(&mut self, at: Time, kind: EventKind<M>) {
         match self {
             EventQueue::Wheel(w) => w.push(at, kind),
@@ -446,6 +457,7 @@ impl<M> EventQueue<M> {
     }
 
     /// Remove and return the earliest event, FIFO among ties.
+    // fd-lint: hot_path
     pub fn pop(&mut self) -> Option<QueuedEvent<M>> {
         match self {
             EventQueue::Wheel(w) => w.pop(),

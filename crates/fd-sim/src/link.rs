@@ -153,6 +153,7 @@ impl PhaseSchedule {
     /// The model governing a send at `now`.
     pub fn at(&self, now: Time) -> &LinkModel {
         let idx = self.phases.partition_point(|(t, _)| *t <= now);
+        // fd-lint: allow(HP001, reason = "PhaseSchedule::new asserts a Time::ZERO first phase, so partition_point returns at least 1")
         &self.phases[idx - 1].1
     }
 

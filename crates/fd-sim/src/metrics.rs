@@ -119,6 +119,7 @@ impl Metrics {
         if idx >= self.sent_by_process.len() {
             self.sent_by_process.resize(idx + 1, 0);
         }
+        // fd-lint: allow(HP001, reason = "the branch above just resized sent_by_process to idx + 1")
         self.sent_by_process[idx] += 1;
         if let Some(r) = round {
             *self.sent_by_kind_round.entry((kind, r)).or_default() += 1;

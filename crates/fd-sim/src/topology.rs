@@ -105,6 +105,7 @@ impl NetworkConfig {
     /// link while a run is executing. Panics if either endpoint is out
     /// of range.
     pub fn set_link(&mut self, from: ProcessId, to: ProcessId, model: LinkModel) {
+        // fd-lint: allow(HP001, reason = "documented panic on out-of-range endpoints; interventions are rare control-plane events, not per-message work")
         assert!(
             from.index() < self.n && to.index() < self.n,
             "link endpoints out of range"

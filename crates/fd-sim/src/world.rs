@@ -97,16 +97,16 @@ impl WorldObs {
     /// Resolve the kernel metrics in `registry`.
     pub fn new(registry: &fd_obs::Registry) -> WorldObs {
         WorldObs {
-            events: registry.counter("sim.events"),
+            events: registry.counter(fd_obs::keys::SIM_EVENTS),
             pending_events: std::cell::Cell::new(0),
-            queue_depth_hwm: registry.gauge("sim.queue_depth_hwm"),
-            callback_ns: registry.histogram("sim.callback_ns"),
+            queue_depth_hwm: registry.gauge(fd_obs::keys::SIM_QUEUE_DEPTH_HWM),
+            callback_ns: registry.histogram(fd_obs::keys::SIM_CALLBACK_NS),
             callback_tick: std::cell::Cell::new(0),
             local_hwm: std::cell::Cell::new(0),
-            chaos_dropped: registry.counter("chaos.msgs_dropped"),
-            chaos_duplicated: registry.counter("chaos.msgs_duplicated"),
-            chaos_reordered: registry.counter("chaos.msgs_reordered"),
-            partitions_active: registry.gauge("chaos.partitions_active"),
+            chaos_dropped: registry.counter(fd_obs::keys::CHAOS_MSGS_DROPPED),
+            chaos_duplicated: registry.counter(fd_obs::keys::CHAOS_MSGS_DUPLICATED),
+            chaos_reordered: registry.counter(fd_obs::keys::CHAOS_MSGS_REORDERED),
+            partitions_active: registry.gauge(fd_obs::keys::CHAOS_PARTITIONS_ACTIVE),
         }
     }
 
@@ -437,10 +437,12 @@ impl<A: Actor> World<A> {
                 me: pid,
                 n,
                 now,
+                // fd-lint: allow(HP001, reason = "one rng per process; pid.index() < n by construction")
                 rng: &mut self.rngs[pid.index()],
                 actions: &mut actions,
                 next_timer_id: &mut self.next_timer_id,
             };
+            // fd-lint: allow(HP001, reason = "one actor per process; pid.index() < n by construction")
             f(&mut self.actors[pid.index()], &mut ctx);
         }
         for action in actions.drain(..) {
@@ -540,6 +542,7 @@ impl<A: Actor> World<A> {
                         // is enqueued first so equal delivery instants
                         // keep the original ahead of its duplicate.
                         let rc = match msg {
+                            // fd-lint: allow(HP002, reason = "one refcounted allocation per duplicated send is the sharing strategy that keeps the per-recipient path alloc-free")
                             MsgSlot::Inline(m) => Rc::new(m),
                             MsgSlot::Shared(rc) => rc,
                         };
@@ -608,9 +611,11 @@ impl<A: Actor> World<A> {
                         if !include_self && to == from {
                             continue;
                         }
+                        // fd-lint: allow(HP002, reason = "inline arm is gated to 16-byte no-drop payloads, so the clone is a register copy")
                         self.route(from, to, kind, round, MsgSlot::Inline(msg.clone()));
                     }
                 } else {
+                    // fd-lint: allow(HP002, reason = "one shared allocation per broadcast, amortized over n recipients")
                     let shared = Rc::new(msg);
                     for i in 0..self.n {
                         let to = ProcessId(i);
@@ -622,6 +627,7 @@ impl<A: Actor> World<A> {
                 }
             }
             Action::SetTimer { id, after, tag } => {
+                // fd-lint: allow(HP001, reason = "epochs has one entry per process; from.index() < n by construction")
                 let epoch = self.epochs[from.index()];
                 self.queue.push(
                     self.now + after,
@@ -658,6 +664,7 @@ impl<A: Actor> World<A> {
             // Depth at pop time, counting the event being processed.
             obs.record_event(self.queue.len() as u64 + 1 + self.batch_pending);
         }
+        // fd-lint: allow(HP001, reason = "the event-budget tripwire exists to panic: a zero-delay loop must halt the run, not spin")
         assert!(
             self.metrics.events_processed() <= self.max_events,
             "event budget exceeded ({}): possible zero-delay loop",
@@ -665,6 +672,7 @@ impl<A: Actor> World<A> {
         );
         match ev.kind {
             EventKind::Deliver { from, to, msg } => {
+                // fd-lint: allow(HP001, reason = "crashed has one flag per process; to.index() < n by construction")
                 if self.crashed[to.index()] {
                     self.metrics.record_dropped();
                     if self.trace_full() {
@@ -702,7 +710,9 @@ impl<A: Actor> World<A> {
             } => {
                 let i = pid.index();
                 if (!self.cancelled.is_empty() && self.cancelled.remove(&id.0))
+                    // fd-lint: allow(HP001, reason = "crashed has one flag per process; timer pids are < n by construction")
                     || self.crashed[i]
+                    // fd-lint: allow(HP001, reason = "epochs has one entry per process; timer pids are < n by construction")
                     || self.epochs[i] != epoch
                 {
                     return;
@@ -716,7 +726,9 @@ impl<A: Actor> World<A> {
 
     /// Mark `pid` crashed (idempotent) and record the trace event.
     fn crash_now(&mut self, pid: ProcessId) {
+        // fd-lint: allow(HP001, reason = "crashed has one flag per process; pid.index() < n by construction")
         if !self.crashed[pid.index()] {
+            // fd-lint: allow(HP001, reason = "crashed has one flag per process; pid.index() < n by construction")
             self.crashed[pid.index()] = true;
             if self.trace_obs() {
                 self.trace.push(self.now, TraceKind::Crashed { pid });
@@ -762,8 +774,11 @@ impl<A: Actor> World<A> {
             NetChange::Crash(pid) => self.crash_now(pid),
             NetChange::Restart(pid) => {
                 let i = pid.index();
+                // fd-lint: allow(HP001, reason = "crashed has one flag per process; intervention pids are < n by construction")
                 if self.crashed[i] {
+                    // fd-lint: allow(HP001, reason = "crashed has one flag per process; intervention pids are < n by construction")
                     self.crashed[i] = false;
+                    // fd-lint: allow(HP001, reason = "epochs has one entry per process; intervention pids are < n by construction")
                     self.epochs[i] += 1;
                     self.dispatch(pid, |actor, ctx| actor.on_start(ctx));
                 }
@@ -773,6 +788,7 @@ impl<A: Actor> World<A> {
 
     /// Process a single event. Returns its time, or `None` if the queue
     /// was empty.
+    // fd-lint: hot_path
     pub fn step(&mut self) -> Option<Time> {
         self.ensure_started();
         let ev = self.queue.pop()?;
@@ -1142,10 +1158,10 @@ mod tests {
         // The event count is batched per world and flushed when the
         // world (and its `WorldObs`) drops.
         drop(observed);
-        let events = registry.counter("sim.events");
+        let events = registry.counter(fd_obs::keys::SIM_EVENTS);
         assert_eq!(events.get(), bare.metrics().events_processed());
-        assert!(registry.gauge("sim.queue_depth_hwm").get() >= 1);
-        assert!(registry.histogram("sim.callback_ns").count() > 0);
+        assert!(registry.gauge(fd_obs::keys::SIM_QUEUE_DEPTH_HWM).get() >= 1);
+        assert!(registry.histogram(fd_obs::keys::SIM_CALLBACK_NS).count() > 0);
     }
 
     /// The batched `run_until_time` loop must be indistinguishable from
@@ -1526,7 +1542,10 @@ mod chaos_tests {
             );
         }
         w.run_until_time(Time::from_millis(30));
-        assert_eq!(registry.gauge("chaos.partitions_active").get(), 2);
+        assert_eq!(
+            registry.gauge(fd_obs::keys::CHAOS_PARTITIONS_ACTIVE).get(),
+            2
+        );
     }
 }
 

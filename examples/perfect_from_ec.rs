@@ -58,7 +58,7 @@ fn main() {
     let mistakes = world.actor(leader).ep.mistakes();
     let (trace, metrics) = world.into_results();
 
-    let run = FdRun::new(&trace, n, end).with_suspects_tag(EP_SUSPECTS);
+    let run = FdRun::new(&trace, n, end).with_suspects_tag(EP_SUSPECTS_OUT);
     for i in [0usize, 1, 3] {
         println!(
             "  p{i} final ◇P suspect list: {}",

@@ -49,7 +49,7 @@ USAGE:
   ecfd kv-bench  [--seeds N] [--out FILE]
   ecfd obs-report FILE
   ecfd lint      [--format human|json] [--deny-warnings] [--rule ID ...]
-                 [--root DIR]
+                 [--root DIR] [--graph-out FILE] [--graph-format json|dot]
   ecfd classes
   ecfd help
 
@@ -120,6 +120,9 @@ LINT OPTIONS:
                     crates/fd-lint/RULES.md for the catalog)
   --root DIR        workspace root to scan (default: nearest ancestor
                     with a [workspace] Cargo.toml)
+  --graph-out FILE  also dump the workspace call graph the HP rules
+                    reason over (hot-path roots marked)
+  --graph-format F  call-graph dump format: json (default) or dot
 
   Exit codes: 0 clean, 1 findings, 2 internal error (bad flags,
   unknown rule ID, unreadable workspace).
@@ -570,10 +573,10 @@ fn run_campaign(a: &Args) -> Result<(), CampaignError> {
             if let Some(metrics_path) = &a.metrics_out {
                 let registry = fd_obs::Registry::new();
                 registry
-                    .counter("campaign.shrink_steps")
+                    .counter(fd_obs::keys::CAMPAIGN_SHRINK_STEPS)
                     .add(out.applied.len() as u64);
                 registry
-                    .counter("campaign.shrink_attempts")
+                    .counter(fd_obs::keys::CAMPAIGN_SHRINK_ATTEMPTS)
                     .add(out.attempts as u64);
                 let metrics_path = std::path::Path::new(metrics_path);
                 fd_obs::write_jsonl_file(metrics_path, &registry.snapshot())
@@ -983,6 +986,8 @@ struct LintArgs {
     deny_warnings: bool,
     rules: Vec<String>,
     root: Option<String>,
+    graph_out: Option<String>,
+    graph_format: fd_lint::GraphFormat,
 }
 
 #[derive(Debug, PartialEq, Eq)]
@@ -997,6 +1002,8 @@ fn parse_lint_args(argv: &[String]) -> Result<LintArgs, String> {
         deny_warnings: false,
         rules: Vec::new(),
         root: None,
+        graph_out: None,
+        graph_format: fd_lint::GraphFormat::Json,
     };
     let mut it = argv.iter();
     while let Some(flag) = it.next() {
@@ -1012,6 +1019,16 @@ fn parse_lint_args(argv: &[String]) -> Result<LintArgs, String> {
             "--deny-warnings" => a.deny_warnings = true,
             "--rule" => a.rules.push(take()?.clone()),
             "--root" => a.root = Some(take()?.clone()),
+            "--graph-out" => a.graph_out = Some(take()?.clone()),
+            "--graph-format" => {
+                a.graph_format = match take()?.as_str() {
+                    "json" => fd_lint::GraphFormat::Json,
+                    "dot" => fd_lint::GraphFormat::Dot,
+                    other => {
+                        return Err(format!("--graph-format must be json or dot, got {other}"))
+                    }
+                }
+            }
             other => return Err(format!("unknown lint flag {other}")),
         }
     }
@@ -1050,6 +1067,19 @@ fn cmd_lint(rest: &[String]) -> ExitCode {
             return ExitCode::from(2);
         }
     };
+    if let Some(path) = &a.graph_out {
+        let graph = match fd_lint::dump_graph(&root, a.graph_format) {
+            Ok(g) => g,
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        if let Err(e) = std::fs::write(path, graph) {
+            eprintln!("error: writing {path}: {e}");
+            return ExitCode::from(2);
+        }
+    }
     match a.format {
         LintFormat::Human => print!("{}", report.render_human()),
         LintFormat::Json => println!("{}", report.render_json()),
@@ -1181,16 +1211,23 @@ mod tests {
         assert!(!a.deny_warnings);
         assert!(a.rules.is_empty());
         assert!(a.root.is_none());
+        assert!(a.graph_out.is_none());
+        assert_eq!(a.graph_format, fd_lint::GraphFormat::Json);
     }
 
     #[test]
     fn lint_full_flag_set() {
-        let a = parse_lint("--format json --deny-warnings --rule ND001 --rule UH002 --root /x")
-            .unwrap();
+        let a = parse_lint(
+            "--format json --deny-warnings --rule ND001 --rule UH002 --root /x \
+             --graph-out g.dot --graph-format dot",
+        )
+        .unwrap();
         assert_eq!(a.format, LintFormat::Json);
         assert!(a.deny_warnings);
         assert_eq!(a.rules, vec!["ND001".to_string(), "UH002".to_string()]);
         assert_eq!(a.root.as_deref(), Some("/x"));
+        assert_eq!(a.graph_out.as_deref(), Some("g.dot"));
+        assert_eq!(a.graph_format, fd_lint::GraphFormat::Dot);
     }
 
     #[test]
@@ -1198,6 +1235,8 @@ mod tests {
         assert!(parse_lint("--format yaml").is_err());
         assert!(parse_lint("--rule").is_err());
         assert!(parse_lint("--frmt json").is_err());
+        assert!(parse_lint("--graph-format svg").is_err());
+        assert!(parse_lint("--graph-out").is_err());
     }
 
     #[test]

@@ -56,6 +56,28 @@ fn e8_seed_results_are_independent_of_instrumentation() {
     assert!((0.0..=1.0).contains(&util));
 }
 
+/// External dashboards consume the `--metrics-out` jsonl by key name:
+/// this pins the serialized names of the shrink counters to the fd-obs
+/// registry entries, so a registry rename cannot silently orphan the
+/// rows downstream tooling greps for.
+#[test]
+fn shrink_metrics_serialize_under_their_registered_keys() {
+    let dir = scratch_dir("shrink-metrics");
+    std::fs::create_dir_all(&dir).unwrap();
+    let registry = ecfd::obs::Registry::new();
+    registry
+        .counter(ecfd::obs::keys::CAMPAIGN_SHRINK_STEPS)
+        .add(3);
+    registry
+        .counter(ecfd::obs::keys::CAMPAIGN_SHRINK_ATTEMPTS)
+        .add(17);
+    let path = dir.join("metrics.jsonl");
+    ecfd::obs::write_jsonl_file(&path, &registry.snapshot()).unwrap();
+    let text = std::fs::read_to_string(&path).unwrap();
+    assert!(text.contains("campaign.shrink_steps"));
+    assert!(text.contains("campaign.shrink_attempts"));
+}
+
 #[test]
 fn known_bad_scenario_artifact_replays_and_shrinks() {
     let scenario = scenario_by_name("blind").expect("blind is registered");

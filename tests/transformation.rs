@@ -29,7 +29,7 @@ fn fig2_over_the_candidate_leader_detector() {
     w.run_until_time(end);
     let (trace, _) = w.into_results();
     FdRun::new(&trace, n, end)
-        .with_suspects_tag(EP_SUSPECTS)
+        .with_suspects_tag(EP_SUSPECTS_OUT)
         .check_class(FdClass::EventuallyPerfect)
         .unwrap();
 }
@@ -53,7 +53,7 @@ fn fig2_over_a_heartbeat_based_ec_detector() {
     let end = Time::from_secs(4);
     w.run_until_time(end);
     let (trace, _) = w.into_results();
-    let run = FdRun::new(&trace, n, end).with_suspects_tag(EP_SUSPECTS);
+    let run = FdRun::new(&trace, n, end).with_suspects_tag(EP_SUSPECTS_OUT);
     run.check_class(FdClass::EventuallyPerfect).unwrap();
     // The underlying detector's own output is ALSO ◇P here — but the
     // transformed output must match the crashed set exactly too.
@@ -78,7 +78,7 @@ fn fig2_output_beats_the_poor_accuracy_of_its_own_base() {
     w.run_until_time(end);
     let (trace, _) = w.into_results();
     let base = FdRun::new(&trace, n, end);
-    let transformed = FdRun::new(&trace, n, end).with_suspects_tag(EP_SUSPECTS);
+    let transformed = FdRun::new(&trace, n, end).with_suspects_tag(EP_SUSPECTS_OUT);
     for p in 0..n {
         let p = ProcessId(p);
         assert_eq!(
@@ -160,7 +160,7 @@ fn fig2_over_the_stable_leader_detector() {
     w.run_until_time(end);
     let (trace, _) = w.into_results();
     FdRun::new(&trace, n, end)
-        .with_suspects_tag(EP_SUSPECTS)
+        .with_suspects_tag(EP_SUSPECTS_OUT)
         .check_class(FdClass::EventuallyPerfect)
         .unwrap();
 }
