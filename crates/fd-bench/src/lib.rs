@@ -11,6 +11,7 @@
 
 pub mod campaign;
 pub mod experiments;
+pub mod mc;
 pub mod micro;
 pub mod scale;
 pub mod scenarios;

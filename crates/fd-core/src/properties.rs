@@ -617,6 +617,41 @@ impl<'a> ConsensusRun<'a> {
         self.check_validity()?;
         self.check_integrity()
     }
+
+    /// Slot-wise agreement for multi-instance consensus: no two
+    /// `multi.append` observations bind different commands to the same
+    /// slot, and no single process appends to a slot twice. This is the
+    /// per-slot projection of Uniform Agreement — the safety property the
+    /// replicated log (fd-kv) builds on.
+    pub fn check_multi_log_agreement(&self) -> CheckResult {
+        let mut chosen: std::collections::BTreeMap<u64, (ProcessId, u64)> =
+            std::collections::BTreeMap::new();
+        let mut appended = std::collections::BTreeSet::new();
+        for (_, p, pl) in self.trace.observations(keys::MULTI_APPEND) {
+            let Some((slot, cmd)) = pl.as_u64_pair() else {
+                continue;
+            };
+            if !appended.insert((p, slot)) {
+                return Err(Violation::new(
+                    "multi-log-agreement",
+                    format!("{p} appended to slot {slot} twice"),
+                ));
+            }
+            match chosen.get(&slot) {
+                None => {
+                    chosen.insert(slot, (p, cmd));
+                }
+                Some((q, first)) if *first != cmd => {
+                    return Err(Violation::new(
+                        "multi-log-agreement",
+                        format!("slot {slot}: {q} appended {first} but {p} appended {cmd}"),
+                    ));
+                }
+                Some(_) => {}
+            }
+        }
+        Ok(())
+    }
 }
 
 use fd_obs::keys;
@@ -638,6 +673,7 @@ pub const NAMED_CHECKS: &[&str] = &[
     keys::CONSENSUS_TERMINATION,
     keys::CONSENSUS_SAFETY,
     keys::CONSENSUS_ALL,
+    keys::MULTI_LOG_AGREEMENT,
     keys::CHAOS_EP_AFTER_FAULTS,
     keys::CHAOS_ES_AFTER_FAULTS,
     keys::CHAOS_OMEGA_AFTER_FAULTS,
@@ -664,6 +700,7 @@ pub fn run_named_check(name: &str, trace: &Trace, n: usize, end: Time) -> Option
         keys::CONSENSUS_TERMINATION => cons.check_termination(),
         keys::CONSENSUS_SAFETY => cons.check_safety(),
         keys::CONSENSUS_ALL => cons.check_all(),
+        keys::MULTI_LOG_AGREEMENT => cons.check_multi_log_agreement(),
         keys::CHAOS_EP_AFTER_FAULTS => fd.check_class_after_faults(FdClass::EventuallyPerfect),
         keys::CHAOS_ES_AFTER_FAULTS => fd.check_class_after_faults(FdClass::EventuallyStrong),
         keys::CHAOS_OMEGA_AFTER_FAULTS => fd.check_class_after_faults(FdClass::Omega),
@@ -860,6 +897,37 @@ mod tests {
     fn safety_subset_ignores_termination() {
         let tr = consensus_trace(&[(0, 9, 1)]);
         ConsensusRun::new(&tr, 3).check_safety().unwrap();
+    }
+
+    #[test]
+    fn multi_log_agreement_accepts_consistent_appends() {
+        let tr = Trace::from_events(vec![
+            obs_ev(10, 0, keys::MULTI_APPEND, Payload::U64Pair(0, 7)),
+            obs_ev(12, 1, keys::MULTI_APPEND, Payload::U64Pair(0, 7)),
+            obs_ev(20, 0, keys::MULTI_APPEND, Payload::U64Pair(1, 9)),
+        ]);
+        ConsensusRun::new(&tr, 2)
+            .check_multi_log_agreement()
+            .unwrap();
+    }
+
+    #[test]
+    fn multi_log_agreement_rejects_slot_conflicts_and_double_appends() {
+        let conflict = Trace::from_events(vec![
+            obs_ev(10, 0, keys::MULTI_APPEND, Payload::U64Pair(0, 7)),
+            obs_ev(12, 1, keys::MULTI_APPEND, Payload::U64Pair(0, 8)),
+        ]);
+        assert!(ConsensusRun::new(&conflict, 2)
+            .check_multi_log_agreement()
+            .is_err());
+
+        let double = Trace::from_events(vec![
+            obs_ev(10, 0, keys::MULTI_APPEND, Payload::U64Pair(0, 7)),
+            obs_ev(12, 0, keys::MULTI_APPEND, Payload::U64Pair(0, 7)),
+        ]);
+        assert!(ConsensusRun::new(&double, 2)
+            .check_multi_log_agreement()
+            .is_err());
     }
 }
 

@@ -128,6 +128,7 @@ const DET_CRATES: &[&str] = &[
     "fd-broadcast",
     "fd-chaos",
     "fd-kv",
+    "fd-mc",
 ];
 
 /// Crates allowed to read the wall clock: the observability layer owns

@@ -1,0 +1,209 @@
+//! Replayable violation witnesses and their shrinker.
+//!
+//! A witness pins down one violating execution completely: the crash
+//! schedule (as a `ChaosPlan`, the same artifact the campaign tooling
+//! reads), the choice trace, and the digest of the trace it produces.
+//! Replay is byte-identical — [`replay_witness`] re-executes the run
+//! through the same [`run_one`] path exploration used and must
+//! reproduce the recorded trace digest exactly.
+//!
+//! Witnesses are shrunk greedily before being reported: drop crash
+//! events, truncate the choice suffix, then delete individual choices
+//! (forced losses last-to-first first, since a shorter fault script is
+//! a more legible counterexample), keeping any reduction that still
+//! violates the same property.
+
+use crate::explore::{run_one, Exec, McConfig, McTarget};
+use crate::replay::Choice;
+use fd_chaos::{ChaosKind, ChaosPlan};
+use fd_sim::{ProcessId, Time};
+use serde::{Deserialize, Serialize};
+
+/// A self-contained, replayable counterexample.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Witness {
+    /// The target the violation was found on.
+    pub target: String,
+    /// Process count.
+    pub n: usize,
+    /// Run horizon.
+    pub horizon: Time,
+    /// The crash schedule as a campaign-readable chaos plan.
+    pub plan: ChaosPlan,
+    /// The choice trace (canonical order after the last entry).
+    pub choices: Vec<Choice>,
+    /// The violated property (a `NAMED_CHECKS` name).
+    pub property: String,
+    /// Human-readable failure detail from the violating run.
+    pub detail: String,
+    /// FNV digest of the violating run's trace — replay must reproduce
+    /// this exactly.
+    pub trace_digest: u64,
+}
+
+impl Witness {
+    /// Assemble a witness from a shrunk violating execution.
+    pub fn new(
+        target: &McTarget,
+        schedule: &[(ProcessId, Time)],
+        choices: Vec<Choice>,
+        property: &str,
+        exec: &Exec,
+    ) -> Witness {
+        let mut plan = ChaosPlan::new(target.n, target.detector, target.horizon);
+        for &(pid, at) in schedule {
+            plan = plan.push(at, ChaosKind::Crash { pid });
+        }
+        Witness {
+            target: target.name.clone(),
+            n: target.n,
+            horizon: target.horizon,
+            plan,
+            choices,
+            property: property.to_string(),
+            detail: exec
+                .violations
+                .iter()
+                .find(|f| f.check == property)
+                .map(|f| f.violation.detail.clone())
+                .unwrap_or_default(),
+            trace_digest: exec.trace_digest,
+        }
+    }
+
+    /// The witness's crash schedule, extracted from its plan.
+    pub fn crash_schedule(&self) -> Vec<(ProcessId, Time)> {
+        self.plan
+            .events
+            .iter()
+            .filter_map(|e| match e.kind {
+                ChaosKind::Crash { pid } => Some((pid, e.at)),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Serialize to pretty JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("witness serializes")
+    }
+
+    /// Parse from JSON.
+    pub fn from_json(s: &str) -> Result<Witness, serde_json::Error> {
+        serde_json::from_str(s)
+    }
+}
+
+/// The outcome of replaying a witness.
+#[derive(Debug)]
+pub struct ReplayOutcome {
+    /// The replay's trace digest (must equal the witness's).
+    pub trace_digest: u64,
+    /// True when the replay reproduced the recorded trace digest.
+    pub reproduced: bool,
+    /// True when the replay violates the witness's property.
+    pub violated: bool,
+    /// Detail of the reproduced violation, if any.
+    pub detail: Option<String>,
+}
+
+/// Re-execute a witness against its target. Byte-identical by
+/// construction: same factory, same crash schedule, same choices, same
+/// execution path as exploration.
+pub fn replay_witness(target: &McTarget, cfg: &McConfig, w: &Witness) -> ReplayOutcome {
+    let exec = run_one(target, cfg, &w.crash_schedule(), &w.choices);
+    let hit = exec.violations.iter().find(|f| f.check == w.property);
+    ReplayOutcome {
+        trace_digest: exec.trace_digest,
+        reproduced: exec.trace_digest == w.trace_digest,
+        violated: hit.is_some(),
+        detail: hit.map(|f| f.violation.detail.clone()),
+    }
+}
+
+/// Greedily shrink a violating `(crash schedule, choice trace)` pair,
+/// preserving a violation of `property`. Returns the shrunk pair and
+/// its execution. Every candidate costs one run, counted into
+/// `shrink_runs`.
+pub fn shrink_witness(
+    target: &McTarget,
+    cfg: &McConfig,
+    mut schedule: Vec<(ProcessId, Time)>,
+    mut choices: Vec<Choice>,
+    property: &str,
+    shrink_runs: &mut usize,
+) -> (Vec<(ProcessId, Time)>, Vec<Choice>, Exec) {
+    let fails =
+        |sched: &[(ProcessId, Time)], script: &[Choice], runs: &mut usize| -> Option<Exec> {
+            *runs += 1;
+            let exec = run_one(target, cfg, sched, script);
+            exec.violations
+                .iter()
+                .any(|f| f.check == property)
+                .then_some(exec)
+        };
+
+    loop {
+        let mut improved = false;
+
+        // 1. Remove crash events, one at a time.
+        let mut i = 0;
+        while i < schedule.len() {
+            let mut cand = schedule.clone();
+            cand.remove(i);
+            if fails(&cand, &choices, shrink_runs).is_some() {
+                schedule = cand;
+                improved = true;
+            } else {
+                i += 1;
+            }
+        }
+
+        // 2. Truncate the choice suffix aggressively (halving), then
+        // one entry at a time.
+        while !choices.is_empty() {
+            let keep = choices.len() / 2;
+            if fails(&schedule, &choices[..keep], shrink_runs).is_some() {
+                choices.truncate(keep);
+                improved = true;
+            } else {
+                break;
+            }
+        }
+        while !choices.is_empty()
+            && fails(&schedule, &choices[..choices.len() - 1], shrink_runs).is_some()
+        {
+            choices.pop();
+            improved = true;
+        }
+
+        // 3. Delete interior choices, forced losses first (a witness
+        // without gratuitous faults is easier to read). Deleting shifts
+        // later choices onto different choice points; the replayer
+        // falls back to canonical order when a shifted choice no longer
+        // fits, and the candidate only survives if it still violates.
+        for drops_only in [true, false] {
+            let mut i = choices.len();
+            while i > 0 {
+                i -= 1;
+                if drops_only && !choices[i].is_drop() {
+                    continue;
+                }
+                let mut cand = choices.clone();
+                cand.remove(i);
+                if fails(&schedule, &cand, shrink_runs).is_some() {
+                    choices = cand;
+                    improved = true;
+                }
+            }
+        }
+
+        if !improved {
+            break;
+        }
+    }
+
+    let exec = run_one(target, cfg, &schedule, &choices);
+    *shrink_runs += 1;
+    (schedule, choices, exec)
+}

@@ -183,6 +183,8 @@ obs_keys! {
     Check CHAOS_OMEGA_AFTER_FAULTS = "chaos.omega_after_faults";
     /// The run upholds the class its `chaos.expect_class` annotation names.
     Check CHAOS_CLASS_AFTER_FAULTS = "chaos.class_after_faults";
+    /// No two processes append different commands to the same slot.
+    Check MULTI_LOG_AGREEMENT = "multi.log_agreement";
     /// All replicas applied byte-identical log prefixes.
     Check KV_LOG_AGREEMENT = "kv.log_agreement";
     /// Every survivor-submitted op committed (or visibly abandoned).

@@ -57,6 +57,7 @@ pub mod link;
 pub mod metrics;
 pub mod process;
 pub mod rng;
+pub mod sched;
 pub mod storage;
 pub mod time;
 pub mod timeline;
@@ -70,11 +71,14 @@ pub use event::QueueImpl;
 pub use link::{DelayDist, LinkMangler, LinkModel};
 pub use metrics::Metrics;
 pub use process::{all_processes, ProcessId};
+pub use sched::{
+    CanonicalScheduler, ChoicePoint, EnabledEvent, EnabledKind, SchedChoice, SchedWorld, Scheduler,
+};
 pub use storage::{SimDisk, StorageConfig};
 pub use time::{SimDuration, Time};
 pub use timeline::{summary as trace_summary, Timeline};
 pub use topology::NetworkConfig;
-pub use trace::{DropReason, Payload, Trace, TraceEvent, TraceKind};
+pub use trace::{DropReason, Fnv, Payload, Trace, TraceEvent, TraceKind};
 pub use world::{TraceMode, World, WorldBuilder, WorldObs};
 
 /// Convenient glob-import for downstream crates and examples.

@@ -79,6 +79,16 @@ impl DelayDist {
             DelayDist::Spiky { max, spike_max, .. } => max.max(spike_max),
         }
     }
+
+    /// Whether sampling this distribution never consumes the RNG —
+    /// exactly the [`DelayDist::Constant`] case (a degenerate uniform
+    /// still draws). Model-checked worlds require RNG-free delays: the
+    /// network RNG is shared across links, so any draw makes its stream
+    /// position depend on the delivery *order* the scheduler chose, and
+    /// state hashes of equivalent interleavings would diverge.
+    pub fn is_rng_free(&self) -> bool {
+        matches!(self, DelayDist::Constant(_))
+    }
 }
 
 /// Behaviour of one directed link.
@@ -269,6 +279,20 @@ impl LinkModel {
             }
             LinkModel::Dead => None,
             LinkModel::Phased(ref sched) => sched.at(now).deliver_at(now, rng),
+        }
+    }
+
+    /// Whether [`deliver_at`](LinkModel::deliver_at) never consumes the
+    /// RNG on this link, at any instant. Required of every link in a
+    /// model-checked world (see [`DelayDist::is_rng_free`]): reliable
+    /// constant-delay links and dead links qualify; anything with a drop
+    /// probability or a sampled delay does not.
+    pub fn is_rng_free(&self) -> bool {
+        match *self {
+            LinkModel::Reliable { delay } => delay.is_rng_free(),
+            LinkModel::Dead => true,
+            LinkModel::EventuallyTimely { .. } | LinkModel::FairLossy { .. } => false,
+            LinkModel::Phased(ref sched) => sched.phases().iter().all(|(_, m)| m.is_rng_free()),
         }
     }
 

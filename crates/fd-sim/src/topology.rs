@@ -135,6 +135,17 @@ impl NetworkConfig {
         self.overrides.get(&(from, to)).unwrap_or(&self.default)
     }
 
+    /// Whether every link in the network (default, loopback, and all
+    /// overrides) is RNG-free — see [`LinkModel::is_rng_free`]. Model
+    /// checking requires this: state hashes assume the network RNG
+    /// stream is never consumed, so delivery reordering cannot shift
+    /// later draws.
+    pub fn is_rng_free(&self) -> bool {
+        self.default.is_rng_free()
+            && self.loopback.is_rng_free()
+            && self.overrides.values().all(LinkModel::is_rng_free)
+    }
+
     /// A copy of this configuration restricted to the first `new_n`
     /// processes: link overrides touching removed processes are dropped.
     /// Used by the campaign shrinker to try smaller systems.

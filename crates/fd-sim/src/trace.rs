@@ -357,11 +357,24 @@ impl Trace {
 
 /// Incremental FNV-1a (64-bit) with length-prefixed strings, so the
 /// encoding is unambiguous (no concatenation collisions).
-struct Fnv(u64);
+///
+/// Public because the same canonical word-folding digest underpins the
+/// model checker's state hashing (`fd-mc` keys its visited set on the
+/// exact fold [`Trace::digest`] uses) — one digest definition, one set
+/// of collision properties, everywhere.
+pub struct Fnv(u64);
 
 impl Fnv {
-    fn new() -> Fnv {
+    /// A fresh digest at the standard FNV-1a offset basis.
+    pub fn new() -> Fnv {
         Fnv(0xcbf2_9ce4_8422_2325)
+    }
+
+    /// Continue folding from a previously [`finish`](Fnv::finish)ed
+    /// state — the incremental form the kernel's per-process history
+    /// hashes use (fold one event, store, resume at the next event).
+    pub fn resume(state: u64) -> Fnv {
+        Fnv(state)
     }
 
     /// Fold one 64-bit word: FNV-1a's xor-multiply, applied to whole
@@ -372,22 +385,25 @@ impl Fnv {
     /// the digest deterministic and platform-independent at an eighth
     /// of the serial work.
     #[inline]
-    fn u64(&mut self, x: u64) {
+    pub fn u64(&mut self, x: u64) {
         self.0 = (self.0 ^ x)
             .wrapping_mul(0x0000_0100_0000_01b3)
             .rotate_left(29);
     }
 
-    fn pid(&mut self, p: ProcessId) {
+    /// Fold a process id.
+    pub fn pid(&mut self, p: ProcessId) {
         self.u64(p.0 as u64);
     }
 
-    fn str(&mut self, s: &str) {
+    /// Fold a string, length-prefixed.
+    pub fn str(&mut self, s: &str) {
         // The length prefix disambiguates the zero-padded final chunk.
         let bytes = s.as_bytes();
         self.u64(bytes.len() as u64);
         let mut chunks = bytes.chunks_exact(8);
         for c in &mut chunks {
+            // fd-lint: allow(HP001, reason = "chunks_exact(8) yields exactly 8-byte slices; the conversion cannot fail")
             self.u64(u64::from_le_bytes(c.try_into().expect("8-byte chunk")));
         }
         let mut last = 0u64;
@@ -397,7 +413,8 @@ impl Fnv {
         self.u64(last);
     }
 
-    fn opt_u64(&mut self, x: Option<u64>) {
+    /// Fold an optional word, tagged so `None` and `Some(0)` differ.
+    pub fn opt_u64(&mut self, x: Option<u64>) {
         match x {
             None => self.u64(0),
             Some(v) => {
@@ -407,8 +424,15 @@ impl Fnv {
         }
     }
 
-    fn finish(&self) -> u64 {
+    /// The digest of everything folded so far.
+    pub fn finish(&self) -> u64 {
         self.0
+    }
+}
+
+impl Default for Fnv {
+    fn default() -> Fnv {
+        Fnv::new()
     }
 }
 

@@ -15,9 +15,10 @@ use crate::link::LinkMangler;
 use crate::metrics::{FxBuildHasher, Metrics};
 use crate::process::ProcessId;
 use crate::rng::{derive_network_rng, derive_process_rng};
+use crate::sched::{ChoicePoint, EnabledEvent, EnabledKind, SchedChoice, Scheduler};
 use crate::time::Time;
 use crate::topology::NetworkConfig;
-use crate::trace::{DropReason, Payload, Trace, TraceKind};
+use crate::trace::{DropReason, Fnv, Payload, Trace, TraceKind};
 use rand::rngs::SmallRng;
 use rand::Rng;
 use std::collections::HashSet;
@@ -164,6 +165,7 @@ pub struct WorldBuilder {
     max_events: u64,
     obs: Option<WorldObs>,
     queue: QueueImpl,
+    track_state: bool,
 }
 
 impl WorldBuilder {
@@ -177,6 +179,7 @@ impl WorldBuilder {
             max_events: u64::MAX,
             obs: None,
             queue: QueueImpl::default(),
+            track_state: false,
         }
     }
 
@@ -219,6 +222,17 @@ impl WorldBuilder {
     /// a guard against accidental zero-delay timer loops.
     pub fn max_events(mut self, max: u64) -> Self {
         self.max_events = max;
+        self
+    }
+
+    /// Maintain an incremental state digest during the run (see
+    /// [`World::state_digest`]). Off by default — it Debug-formats every
+    /// message at enqueue and dequeue time, which only the model
+    /// checker's visited-set pruning can justify. Sound only over
+    /// RNG-free networks ([`NetworkConfig::is_rng_free`]) with no
+    /// mangler installed; [`World::run_scheduled_until`] asserts this.
+    pub fn track_state(mut self, on: bool) -> Self {
+        self.track_state = on;
         self
     }
 
@@ -265,9 +279,13 @@ impl WorldBuilder {
             trace_hwm: 0,
             mangler: None,
             partitions_open: 0,
+            track_state: self.track_state,
+            proc_hash: vec![0; n],
+            queue_hash: 0,
+            env_hash: 0,
         };
         for (pid, at) in self.crashes {
-            world.queue.push(at, EventKind::Crash { pid });
+            world.push_event(at, EventKind::Crash { pid });
         }
         world
     }
@@ -324,6 +342,23 @@ pub struct World<A: Actor> {
     /// ([`chaos::PARTITION`] opens, [`chaos::HEAL`] closes); feeds the
     /// `chaos.partitions_active` gauge when instrumented.
     partitions_open: u64,
+    /// Whether the incremental state digest below is maintained (see
+    /// [`WorldBuilder::track_state`]).
+    track_state: bool,
+    /// Per-process history hashes: each scheduler-dispatched event that
+    /// reaches process `i` (a delivery it handles, a timer that fires)
+    /// folds its content key into `proc_hash[i]`. Order-sensitive per
+    /// process, blind to interleaving across processes — exactly the
+    /// equivalence partial-order reduction exploits.
+    proc_hash: Vec<u64>,
+    /// Commutative multiset hash (wrapping sum of content keys) of every
+    /// pending event — queued or drained-but-unconsumed. Push adds,
+    /// consumption subtracts, so insertion order never matters.
+    queue_hash: u64,
+    /// History hash of consumed global-state events (crashes and
+    /// interventions), order-sensitive: these don't commute with
+    /// anything.
+    env_hash: u64,
 }
 
 impl<A: Actor> World<A> {
@@ -369,7 +404,7 @@ impl<A: Actor> World<A> {
     /// Schedule a crash after construction.
     pub fn schedule_crash(&mut self, pid: ProcessId, at: Time) {
         assert!(at >= self.now, "cannot schedule a crash in the past");
-        self.queue.push(at, EventKind::Crash { pid });
+        self.push_event(at, EventKind::Crash { pid });
     }
 
     /// Schedule a fault-injection [`Intervention`] to fire at `at`. The
@@ -393,8 +428,7 @@ impl<A: Actor> World<A> {
         if let NetChange::Crash(pid) | NetChange::Restart(pid) = intervention.change {
             assert!(pid.index() < self.n, "intervention target out of range");
         }
-        self.queue
-            .push(at, EventKind::Intervention(Box::new(intervention)));
+        self.push_event(at, EventKind::Intervention(Box::new(intervention)));
     }
 
     /// Interact with a live actor outside of message/timer dispatch —
@@ -546,7 +580,7 @@ impl<A: Actor> World<A> {
                             MsgSlot::Inline(m) => Rc::new(m),
                             MsgSlot::Shared(rc) => rc,
                         };
-                        self.queue.push(
+                        self.push_event(
                             at,
                             EventKind::Deliver {
                                 from,
@@ -554,7 +588,7 @@ impl<A: Actor> World<A> {
                                 msg: MsgSlot::Shared(Rc::clone(&rc)),
                             },
                         );
-                        self.queue.push(
+                        self.push_event(
                             dup_at,
                             EventKind::Deliver {
                                 from,
@@ -569,7 +603,7 @@ impl<A: Actor> World<A> {
                 // the send instant in queue order is already
                 // guaranteed by the sequence number; a zero sampled
                 // delay is therefore fine.
-                self.queue.push(at, EventKind::Deliver { from, to, msg });
+                self.push_event(at, EventKind::Deliver { from, to, msg });
             }
             None => {
                 self.metrics.record_dropped();
@@ -629,7 +663,7 @@ impl<A: Actor> World<A> {
             Action::SetTimer { id, after, tag } => {
                 // fd-lint: allow(HP001, reason = "epochs has one entry per process; from.index() < n by construction")
                 let epoch = self.epochs[from.index()];
-                self.queue.push(
+                self.push_event(
                     self.now + after,
                     EventKind::Timer {
                         pid: from,
@@ -909,6 +943,10 @@ impl<A: Actor> World<A> {
         self.next_timer_id = 0;
         self.mangler = None;
         self.partitions_open = 0;
+        self.proc_hash.clear();
+        self.proc_hash.resize(n, 0);
+        self.queue_hash = 0;
+        self.env_hash = 0;
         self.trace
             .reset_with_capacity(if self.trace_obs() { self.trace_hwm } else { 0 });
         self.metrics = Metrics::default();
@@ -931,6 +969,249 @@ impl<A: Actor> World<A> {
             );
         }
     }
+
+    /// Enqueue `kind` at `at`, folding its content key into the pending
+    /// multiset hash when state tracking is on. Every kernel push goes
+    /// through here so the digest can never miss an event.
+    fn push_event(&mut self, at: Time, kind: EventKind<A::Msg>) {
+        if self.track_state {
+            let key = Self::event_key(at, &kind);
+            self.queue_hash = self.queue_hash.wrapping_add(key);
+        }
+        self.queue.push(at, kind);
+    }
+
+    /// A content-based digest of one event: due time, kind, endpoints,
+    /// and (for deliveries) the message's `Debug` form — everything
+    /// *except* the sequence number, which is an artifact of scheduling
+    /// order. Two interleavings that leave "the same" event pending
+    /// therefore agree on its key, which is what both the pending-set
+    /// multiset hash and `fd-mc`'s sleep sets rely on. Timer ids are
+    /// likewise excluded: they come from a global counter whose values
+    /// depend on dispatch order, and actors use them only as opaque
+    /// cancellation handles.
+    fn event_key(at: Time, kind: &EventKind<A::Msg>) -> u64 {
+        let mut h = Fnv::new();
+        h.u64(at.0);
+        match kind {
+            EventKind::Deliver { from, to, msg } => {
+                h.u64(0);
+                h.pid(*from);
+                h.pid(*to);
+                // fd-lint: allow(HP002, reason = "only reached with state tracking on (model-checking worlds, n <= 4); the default campaign/bench path never computes content keys")
+                h.str(&format!("{:?}", msg.get()));
+            }
+            EventKind::Timer {
+                pid, tag, epoch, ..
+            } => {
+                h.u64(1);
+                h.pid(*pid);
+                h.u64(tag.ns as u64);
+                h.u64(tag.kind as u64);
+                h.u64(tag.data);
+                h.u64(*epoch as u64);
+            }
+            EventKind::Crash { pid } => {
+                h.u64(2);
+                h.pid(*pid);
+            }
+            EventKind::Intervention(iv) => {
+                h.u64(3);
+                h.str(iv.tag);
+            }
+        }
+        h.finish()
+    }
+
+    /// Scheduler-facing summary of a drained event (see
+    /// [`EnabledEvent`]). The key is computed unconditionally — partial
+    /// order reduction needs it even when the visited-set digest is off.
+    fn summarize(ev: &QueuedEvent<A::Msg>) -> EnabledEvent {
+        EnabledEvent {
+            at: ev.at,
+            seq: ev.seq,
+            key: Self::event_key(ev.at, &ev.kind),
+            kind: match &ev.kind {
+                EventKind::Deliver { from, to, msg } => EnabledKind::Deliver {
+                    from: *from,
+                    to: *to,
+                    msg_kind: msg.get().kind(),
+                },
+                EventKind::Timer { pid, tag, .. } => EnabledKind::Timer {
+                    pid: *pid,
+                    tag: *tag,
+                },
+                EventKind::Crash { pid } => EnabledKind::Crash { pid: *pid },
+                EventKind::Intervention(_) => EnabledKind::Intervention,
+            },
+        }
+    }
+
+    /// Account for one consumed pending event (fired or force-dropped):
+    /// remove it from the pending multiset and, if it actually reaches a
+    /// process (a delivery to a live target, a timer that passes the
+    /// cancelled/crashed/epoch filters), fold it into that process's
+    /// history hash. Crashes and interventions fold into the global
+    /// environment history instead. Events the kernel silently discards
+    /// (delivery to a crashed process, stale timer) touch no history:
+    /// their outcome is fully determined by state already in the digest.
+    fn fold_consumed(&mut self, key: u64, ev: &QueuedEvent<A::Msg>) {
+        self.queue_hash = self.queue_hash.wrapping_sub(key);
+        match &ev.kind {
+            EventKind::Deliver { to, .. } => {
+                let i = to.index();
+                if !self.crashed[i] {
+                    let mut h = Fnv::resume(self.proc_hash[i]);
+                    h.u64(key);
+                    self.proc_hash[i] = h.finish();
+                }
+            }
+            EventKind::Timer { pid, id, epoch, .. } => {
+                let i = pid.index();
+                let cancelled = !self.cancelled.is_empty() && self.cancelled.contains(&id.0);
+                if !cancelled && !self.crashed[i] && self.epochs[i] == *epoch {
+                    let mut h = Fnv::resume(self.proc_hash[i]);
+                    h.u64(key);
+                    self.proc_hash[i] = h.finish();
+                }
+            }
+            EventKind::Crash { .. } | EventKind::Intervention(_) => {
+                let mut h = Fnv::resume(self.env_hash);
+                h.u64(key);
+                self.env_hash = h.finish();
+            }
+        }
+    }
+
+    /// The incremental state digest: clock, pending-event multiset,
+    /// per-process histories, environment history, crash flags, and
+    /// restart epochs, folded with the same FNV the trace digest uses.
+    ///
+    /// For deterministic actors over RNG-free links, equal digests imply
+    /// equal futures: each actor's state is a function of its dispatch
+    /// history (plus the identical pre-run `on_start`/`interact` prefix,
+    /// which is deliberately not folded), and what remains to happen is
+    /// the pending multiset plus the environment. Two *equivalent*
+    /// interleavings — same per-process dispatch orders, same global
+    /// event order — produce equal digests even though their traces
+    /// differ, which is exactly what makes this usable as a visited-set
+    /// key. Meaningful only with [`WorldBuilder::track_state`] on.
+    pub fn state_digest(&self) -> u64 {
+        let mut h = Fnv::new();
+        h.u64(self.now.0);
+        h.u64(self.queue_hash);
+        h.u64(self.env_hash);
+        for &p in &self.proc_hash {
+            h.u64(p);
+        }
+        let mut word = 0u64;
+        for (i, &c) in self.crashed.iter().enumerate() {
+            if c {
+                word |= 1 << (i & 63);
+            }
+            if i & 63 == 63 {
+                h.u64(word);
+                word = 0;
+            }
+        }
+        h.u64(word);
+        for &e in &self.epochs {
+            h.u64(e as u64);
+        }
+        h.finish()
+    }
+
+    /// Run every event scheduled at or before `until` under an explicit
+    /// [`Scheduler`], then advance the clock to `until`.
+    ///
+    /// This is [`run_until_time`](World::run_until_time) with the one
+    /// hard-coded policy — fire same-instant events in `(time, seq)`
+    /// order — replaced by a choice point: all events due at the current
+    /// earliest instant form the *enabled set*, and the scheduler picks
+    /// which fires next (or force-drops a delivery). After each firing,
+    /// events the handler scheduled for the same instant join the
+    /// enabled set (they carry higher seqs, so the canonical choice of
+    /// index 0 walks the exact global `(time, seq)` order). Driving this
+    /// with [`CanonicalScheduler`](crate::sched::CanonicalScheduler) is
+    /// byte-identical to `run_until_time` — trace, metrics, and gauges.
+    pub fn run_scheduled_until(&mut self, until: Time, sched: &mut dyn Scheduler) {
+        if self.track_state {
+            assert!(
+                self.net.is_rng_free() && self.mangler.is_none(),
+                "state tracking requires an RNG-free network and no mangler: \
+                 shared-stream draws make state hashes schedule-dependent"
+            );
+        }
+        self.ensure_started();
+        let mut batch = std::mem::take(&mut self.batch);
+        let mut enabled: Vec<EnabledEvent> = Vec::new();
+        loop {
+            if batch.is_empty() {
+                enabled.clear();
+                if self.queue.pop_due_batch(until, &mut batch) == 0 {
+                    break;
+                }
+                enabled.extend(batch.iter().map(Self::summarize));
+            }
+            let t = batch[0].at;
+            let choice = {
+                let cp = ChoicePoint {
+                    now: t,
+                    enabled: &enabled,
+                    crashed: &self.crashed,
+                    state_digest: self.track_state.then(|| self.state_digest()),
+                };
+                sched.choose(&cp)
+            };
+            match choice {
+                SchedChoice::Event(i) => {
+                    assert!(i < batch.len(), "scheduler chose out-of-range event {i}");
+                    let ev = batch.remove(i);
+                    let info = enabled.remove(i);
+                    if self.track_state {
+                        self.fold_consumed(info.key, &ev);
+                    }
+                    self.batch_pending = batch.len() as u64;
+                    self.process(ev);
+                    // Newly scheduled same-instant events join the
+                    // enabled set; nothing earlier than `t` can exist,
+                    // so this drains exactly the instant's arrivals.
+                    let before = batch.len();
+                    self.queue.pop_due_batch(t, &mut batch);
+                    enabled.extend(batch[before..].iter().map(Self::summarize));
+                }
+                SchedChoice::Drop(i) => {
+                    assert!(i < batch.len(), "scheduler chose out-of-range drop {i}");
+                    let ev = batch.remove(i);
+                    let info = enabled.remove(i);
+                    let EventKind::Deliver { from, to, msg } = &ev.kind else {
+                        panic!("scheduler Drop choice selected a non-delivery event");
+                    };
+                    if self.track_state {
+                        // A forced drop only removes the message from
+                        // the pending set — no process observes it.
+                        self.queue_hash = self.queue_hash.wrapping_sub(info.key);
+                    }
+                    self.now = t;
+                    self.metrics.record_dropped();
+                    if self.trace_full() {
+                        self.trace.push(
+                            t,
+                            TraceKind::Dropped {
+                                from: *from,
+                                to: *to,
+                                kind: msg.get().kind(),
+                                reason: DropReason::Link,
+                            },
+                        );
+                    }
+                }
+            }
+        }
+        self.batch_pending = 0;
+        self.batch = batch;
+        self.now = self.now.max(until);
+    }
 }
 
 #[cfg(test)]
@@ -942,13 +1223,13 @@ mod tests {
 
     /// Each process pings its successor on start; a ping is answered with
     /// a pong; receipt of a pong re-arms a timer that pings again.
-    struct PingPong {
-        pings_seen: u64,
-        pongs_seen: u64,
+    pub(crate) struct PingPong {
+        pub(crate) pings_seen: u64,
+        pub(crate) pongs_seen: u64,
     }
 
     #[derive(Clone, Debug)]
-    enum Pp {
+    pub(crate) enum Pp {
         Ping,
         Pong,
     }
@@ -986,7 +1267,7 @@ mod tests {
         }
     }
 
-    fn two_node_world(seed: u64) -> World<PingPong> {
+    pub(crate) fn two_node_world(seed: u64) -> World<PingPong> {
         let net = NetworkConfig::new(2)
             .with_default(LinkModel::reliable_const(SimDuration::from_millis(1)));
         WorldBuilder::new(net).seed(seed).build(|_, _| PingPong {
@@ -1546,6 +1827,207 @@ mod chaos_tests {
             registry.gauge(fd_obs::keys::CHAOS_PARTITIONS_ACTIVE).get(),
             2
         );
+    }
+}
+
+#[cfg(test)]
+mod sched_tests {
+    use super::tests::{two_node_world, Pp};
+    use super::*;
+    use crate::actor::TimerTag;
+    use crate::link::LinkModel;
+    use crate::sched::CanonicalScheduler;
+    use crate::time::SimDuration;
+
+    /// Replays a fixed prefix of choices, then falls back to canonical.
+    struct Script {
+        choices: Vec<SchedChoice>,
+        next: usize,
+    }
+
+    impl Script {
+        fn new(choices: Vec<SchedChoice>) -> Script {
+            Script { choices, next: 0 }
+        }
+    }
+
+    impl Scheduler for Script {
+        fn choose(&mut self, _cp: &ChoicePoint<'_>) -> SchedChoice {
+            let c = self
+                .choices
+                .get(self.next)
+                .copied()
+                .unwrap_or(SchedChoice::Event(0));
+            self.next += 1;
+            c
+        }
+    }
+
+    /// The canonical scheduler must reproduce `run_until_time` byte for
+    /// byte — trace digest, metrics, and final clock. This is the
+    /// "branch zero is the canonical schedule" anchor of DESIGN.md §3.1.
+    #[test]
+    fn canonical_scheduler_matches_run_until_time() {
+        let until = Time::from_millis(80);
+        let mut plain = two_node_world(17);
+        plain.run_until_time(until);
+        let mut scheduled = two_node_world(17);
+        scheduled.run_scheduled_until(until, &mut CanonicalScheduler);
+        assert_eq!(plain.trace().digest(), scheduled.trace().digest());
+        assert_eq!(
+            plain.metrics().events_processed(),
+            scheduled.metrics().events_processed()
+        );
+        assert_eq!(plain.now(), scheduled.now());
+    }
+
+    /// State tracking must not perturb the run: a tracked canonical run
+    /// has the same trace as an untracked one.
+    #[test]
+    fn state_tracking_does_not_change_the_run() {
+        let net = NetworkConfig::new(2)
+            .with_default(LinkModel::reliable_const(SimDuration::from_millis(1)));
+        let mut tracked = WorldBuilder::new(net)
+            .seed(17)
+            .track_state(true)
+            .build(|_, _| super::tests::PingPong {
+                pings_seen: 0,
+                pongs_seen: 0,
+            });
+        tracked.run_scheduled_until(Time::from_millis(80), &mut CanonicalScheduler);
+        let mut plain = two_node_world(17);
+        plain.run_until_time(Time::from_millis(80));
+        assert_eq!(tracked.trace().digest(), plain.trace().digest());
+    }
+
+    /// Drops the first enabled delivery it sees, then runs canonically.
+    struct DropFirstDeliver {
+        dropped: bool,
+    }
+
+    impl Scheduler for DropFirstDeliver {
+        fn choose(&mut self, cp: &ChoicePoint<'_>) -> SchedChoice {
+            if !self.dropped {
+                if let Some(i) = cp.enabled.iter().position(EnabledEvent::is_deliver) {
+                    self.dropped = true;
+                    return SchedChoice::Drop(i);
+                }
+            }
+            SchedChoice::Event(0)
+        }
+    }
+
+    /// A forced drop behaves exactly like a link loss: the receiver
+    /// never dispatches, the trace records a `Link` drop, metrics count
+    /// it.
+    #[test]
+    fn drop_choice_is_a_link_loss() {
+        let mut w = two_node_world(5);
+        let mut sched = DropFirstDeliver { dropped: false };
+        w.run_scheduled_until(Time::from_millis(10), &mut sched);
+        assert!(sched.dropped, "a delivery was enabled and dropped");
+        assert!(w.metrics().dropped_total() >= 1);
+        let forced = w
+            .trace()
+            .events()
+            .iter()
+            .filter(|e| {
+                matches!(
+                    e.kind,
+                    TraceKind::Dropped {
+                        reason: DropReason::Link,
+                        ..
+                    }
+                )
+            })
+            .count();
+        assert_eq!(forced, 1, "exactly one forced drop in the trace");
+        // The canonical run delivers strictly more: the dropped ping
+        // never arrives, and the reply chain it would have fed dies too.
+        let mut canonical = two_node_world(5);
+        canonical.run_until_time(Time::from_millis(10));
+        assert!(
+            canonical.metrics().delivered_total() > w.metrics().delivered_total(),
+            "canonical {} vs dropped {}",
+            canonical.metrics().delivered_total(),
+            w.metrics().delivered_total()
+        );
+    }
+
+    /// p0 sends one message to each other process on start; everyone
+    /// else stays quiet. Gives one same-instant batch of two
+    /// independent deliveries (targets p1, p2) to reorder.
+    struct Fan;
+
+    impl Actor for Fan {
+        type Msg = Pp;
+        fn on_start(&mut self, ctx: &mut Context<'_, Pp>) {
+            if ctx.me() == ProcessId(0) {
+                ctx.send(ProcessId(1), Pp::Ping);
+                ctx.send(ProcessId(2), Pp::Ping);
+            }
+        }
+        fn on_message(&mut self, _: &mut Context<'_, Pp>, _: ProcessId, _: Pp) {}
+        fn on_timer(&mut self, _: &mut Context<'_, Pp>, _: TimerTag) {}
+    }
+
+    fn fan_world() -> World<Fan> {
+        let net = NetworkConfig::new(3)
+            .with_default(LinkModel::reliable_const(SimDuration::from_millis(1)));
+        WorldBuilder::new(net).track_state(true).build(|_, _| Fan)
+    }
+
+    /// Equivalent interleavings — same per-process dispatch orders,
+    /// different cross-process order — converge to the same state
+    /// digest even though their traces differ. This is the property the
+    /// model checker's visited set stands on.
+    #[test]
+    fn equivalent_interleavings_share_a_state_digest() {
+        let until = Time::from_millis(5);
+        let mut a = fan_world();
+        a.run_scheduled_until(until, &mut Script::new(vec![SchedChoice::Event(0)]));
+        let mut b = fan_world();
+        b.run_scheduled_until(until, &mut Script::new(vec![SchedChoice::Event(1)]));
+        assert_ne!(
+            a.trace().digest(),
+            b.trace().digest(),
+            "the two delivery orders are distinct schedules"
+        );
+        assert_eq!(
+            a.state_digest(),
+            b.state_digest(),
+            "commuting deliveries must converge"
+        );
+        // A run that dropped a delivery is NOT equivalent.
+        let mut c = fan_world();
+        c.run_scheduled_until(until, &mut Script::new(vec![SchedChoice::Drop(0)]));
+        assert_ne!(a.state_digest(), c.state_digest());
+    }
+
+    /// The digest machinery must be deterministic across identically
+    /// scheduled runs (the replay guarantee fd-mc's witnesses rely on).
+    #[test]
+    fn scheduled_replays_are_byte_identical() {
+        let run = |choices: Vec<SchedChoice>| {
+            let mut w = fan_world();
+            w.run_scheduled_until(Time::from_millis(5), &mut Script::new(choices));
+            (w.trace().digest(), w.state_digest())
+        };
+        let script = vec![SchedChoice::Event(1), SchedChoice::Drop(0)];
+        assert_eq!(run(script.clone()), run(script));
+    }
+
+    /// Tracked worlds refuse to run over RNG-consuming networks — the
+    /// shared net-RNG stream would make digests schedule-dependent.
+    #[test]
+    #[should_panic(expected = "state tracking requires an RNG-free network")]
+    fn tracked_worlds_reject_random_networks() {
+        let net = NetworkConfig::new(2).with_default(LinkModel::reliable_uniform(
+            SimDuration::from_millis(1),
+            SimDuration::from_millis(4),
+        ));
+        let mut w = WorldBuilder::new(net).track_state(true).build(|_, _| Fan);
+        w.run_scheduled_until(Time::from_millis(5), &mut CanonicalScheduler);
     }
 }
 

@@ -50,6 +50,12 @@ USAGE:
   ecfd obs-report FILE
   ecfd lint      [--format human|json] [--deny-warnings] [--rule ID ...]
                  [--root DIR] [--graph-out FILE] [--graph-format json|dot]
+  ecfd mc        (--detector hb|ring|leader | --protocol ec|ct|paxos|multi | --all)
+                 [--n N] [--horizon-ms MS] [--depth D] [--crashes K] [--drops L]
+                 [--crash-window-ms MS] [--crash-grid-ms MS] [--max-runs R]
+                 [--no-por] [--no-dedup] [--por-baseline]
+                 [--witness-dir DIR] [--json FILE]
+  ecfd mc        --replay FILE (--detector X | --protocol X)
   ecfd classes
   ecfd help
 
@@ -126,6 +132,35 @@ LINT OPTIONS:
 
   Exit codes: 0 clean, 1 findings, 2 internal error (bad flags,
   unknown rule ID, unreadable workspace).
+
+MC OPTIONS (bounded exhaustive schedule exploration, see fd-mc):
+  --detector X      explore a standalone detector world: hb, ring, leader
+  --protocol X      explore a consensus stack: ec (with the retransmission
+                    watchdog), ct, paxos, or the multi replicated log
+  --all             explore every detector class and every protocol
+  --n N             processes (default 3; exhaustive exploration is meant
+                    for n=3..4)
+  --horizon-ms MS   run horizon per execution (default 300)
+  --depth D         recorded choice points per run; nondeterminism past
+                    the cap is resolved canonically (default 6)
+  --crashes K       max crash victims per schedule, placed exhaustively
+                    on the time grid (default 0)
+  --drops L         max forced message losses per run (default 0)
+  --crash-window-ms MS  crash placement window (default 100)
+  --crash-grid-ms MS    crash placement grid step (default 25)
+  --max-runs R      hard cap on executions; exceeding it reports a
+                    truncated (non-exhaustive) search (default 200000)
+  --no-por          disable sleep-set partial-order reduction
+  --no-dedup        disable visited-state pruning
+  --por-baseline    also run with POR off and report the reduction factor
+  --witness-dir D   where violation witnesses are written
+                    (default target/mc-witnesses)
+  --json FILE       write the full exploration reports as JSON
+  --replay FILE     replay a witness JSON byte-identically instead of
+                    exploring (target flags select the world to replay on)
+
+  Exit codes: 0 exhaustive and clean (replay: reproduced), 1 violations
+  found or replay diverged, 2 bad flags / setup errors.
 ";
 
 #[derive(Debug, Default)]
@@ -1111,6 +1146,304 @@ fn cmd_classes() {
     }
 }
 
+#[derive(Debug)]
+struct McArgs {
+    detector: Option<String>,
+    protocol: Option<String>,
+    all: bool,
+    n: usize,
+    horizon_ms: u64,
+    cfg: fd_mc::McConfig,
+    por_baseline: bool,
+    witness_dir: String,
+    json: Option<String>,
+    replay: Option<String>,
+}
+
+fn parse_mc_args(argv: &[String]) -> Result<McArgs, String> {
+    let mut a = McArgs {
+        detector: None,
+        protocol: None,
+        all: false,
+        n: 3,
+        horizon_ms: 300,
+        cfg: fd_mc::McConfig {
+            depth: 6,
+            ..fd_mc::McConfig::default()
+        },
+        por_baseline: false,
+        witness_dir: "target/mc-witnesses".into(),
+        json: None,
+        replay: None,
+    };
+    let mut it = argv.iter();
+    while let Some(flag) = it.next() {
+        let mut take = || it.next().ok_or_else(|| format!("{flag} needs a value"));
+        match flag.as_str() {
+            "--detector" => a.detector = Some(take()?.clone()),
+            "--protocol" => a.protocol = Some(take()?.clone()),
+            "--all" => a.all = true,
+            "--n" => a.n = take()?.parse().map_err(|e| format!("--n: {e}"))?,
+            "--horizon-ms" => {
+                a.horizon_ms = take()?.parse().map_err(|e| format!("--horizon-ms: {e}"))?
+            }
+            "--depth" => a.cfg.depth = take()?.parse().map_err(|e| format!("--depth: {e}"))?,
+            "--crashes" => {
+                a.cfg.crashes = take()?.parse().map_err(|e| format!("--crashes: {e}"))?
+            }
+            "--drops" => a.cfg.drops = take()?.parse().map_err(|e| format!("--drops: {e}"))?,
+            "--crash-window-ms" => {
+                let ms: u64 = take()?
+                    .parse()
+                    .map_err(|e| format!("--crash-window-ms: {e}"))?;
+                a.cfg.crash_window = Time::from_millis(ms);
+            }
+            "--crash-grid-ms" => {
+                let ms: u64 = take()?
+                    .parse()
+                    .map_err(|e| format!("--crash-grid-ms: {e}"))?;
+                if ms == 0 {
+                    return Err("--crash-grid-ms must be at least 1".into());
+                }
+                a.cfg.crash_grid = SimDuration::from_millis(ms);
+            }
+            "--max-runs" => {
+                a.cfg.max_runs = take()?.parse().map_err(|e| format!("--max-runs: {e}"))?
+            }
+            "--no-por" => a.cfg.por = false,
+            "--no-dedup" => a.cfg.dedup = false,
+            "--por-baseline" => a.por_baseline = true,
+            "--witness-dir" => a.witness_dir = take()?.clone(),
+            "--json" => a.json = Some(take()?.clone()),
+            "--replay" => a.replay = Some(take()?.clone()),
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    if a.n == 0 || a.n > fd_core::MAX_PROCESSES {
+        return Err(format!("--n must be in 1..={}", fd_core::MAX_PROCESSES));
+    }
+    if !a.all && a.detector.is_none() && a.protocol.is_none() {
+        return Err("pick a target: --detector, --protocol, or --all".into());
+    }
+    Ok(a)
+}
+
+/// The targets an `ecfd mc` invocation explores, in order.
+fn mc_targets(a: &McArgs) -> Result<Vec<fd_mc::McTarget>, String> {
+    use fd_bench::mc::{detector_kind, detector_target, protocol_target, McProtocol};
+    let horizon = Time::from_millis(a.horizon_ms);
+    let mut out = Vec::new();
+    if a.all {
+        for kind in fd_chaos::DetectorKind::ALL {
+            out.push(detector_target(kind, a.n, horizon));
+        }
+        for proto in McProtocol::ALL {
+            out.push(protocol_target(proto, a.n, horizon));
+        }
+        return Ok(out);
+    }
+    if let Some(name) = &a.detector {
+        let kind = detector_kind(name).ok_or_else(|| format!("--detector: unknown kind {name}"))?;
+        out.push(detector_target(kind, a.n, horizon));
+    }
+    if let Some(name) = &a.protocol {
+        let proto = McProtocol::parse(name)
+            .ok_or_else(|| format!("--protocol: unknown protocol {name}"))?;
+        out.push(protocol_target(proto, a.n, horizon));
+    }
+    Ok(out)
+}
+
+fn cmd_mc_replay(a: &McArgs, path: &str) -> Result<bool, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let w = fd_mc::Witness::from_json(&text).map_err(|e| format!("{path}: {e}"))?;
+    let rebuilt = McArgs {
+        detector: a.detector.clone(),
+        protocol: a.protocol.clone(),
+        all: false,
+        n: w.n,
+        horizon_ms: 0, // overwritten with the witness's horizon below
+        cfg: a.cfg.clone(),
+        por_baseline: false,
+        witness_dir: a.witness_dir.clone(),
+        json: None,
+        replay: None,
+    };
+    let mut targets = mc_targets(&rebuilt)?;
+    let mut target = targets.remove(0);
+    target.horizon = w.horizon;
+    if target.name != w.target {
+        eprintln!(
+            "warning: witness was recorded on {:?}, replaying on {:?}",
+            w.target, target.name
+        );
+    }
+    let outcome = fd_mc::replay_witness(&target, &a.cfg, &w);
+    println!(
+        "replay {}: property {} — digest {:#018x} ({}), violation {}",
+        w.target,
+        w.property,
+        outcome.trace_digest,
+        if outcome.reproduced {
+            "reproduced byte-identically"
+        } else {
+            "DIVERGED from witness"
+        },
+        if outcome.violated {
+            "reproduced"
+        } else {
+            "NOT reproduced"
+        },
+    );
+    if let Some(d) = &outcome.detail {
+        println!("  {d}");
+    }
+    Ok(outcome.reproduced && outcome.violated)
+}
+
+/// One target's exploration, timed, with the optional POR-off baseline.
+#[derive(serde::Serialize)]
+struct McCell {
+    report: fd_mc::McReport,
+    wall_ms: u64,
+    baseline_runs: Option<usize>,
+}
+
+fn cmd_mc(rest: &[String]) -> ExitCode {
+    let a = match parse_mc_args(rest) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    if let Some(path) = &a.replay {
+        if a.all || (a.detector.is_some() == a.protocol.is_some()) {
+            eprintln!("error: --replay wants exactly one of --detector / --protocol");
+            return ExitCode::from(2);
+        }
+        return match cmd_mc_replay(&a, path) {
+            Ok(true) => ExitCode::SUCCESS,
+            Ok(false) => ExitCode::FAILURE,
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::from(2)
+            }
+        };
+    }
+    let targets = match mc_targets(&a) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    println!(
+        "mc: n={} horizon={}ms depth={} crashes={} drops={} por={} dedup={}",
+        a.n, a.horizon_ms, a.cfg.depth, a.cfg.crashes, a.cfg.drops, a.cfg.por, a.cfg.dedup
+    );
+    let mut cells = Vec::new();
+    let mut any_violation = false;
+    let mut any_truncated = false;
+    for target in &targets {
+        // fd-lint: allow(ND002, reason = "wall-clock timing for the mc report; exploration results, witnesses, and digests never read it")
+        let start = std::time::Instant::now();
+        let report = fd_mc::explore(target, &a.cfg);
+        let wall_ms = start.elapsed().as_millis() as u64;
+        let baseline_runs = if a.por_baseline {
+            let off = fd_mc::explore(
+                target,
+                &fd_mc::McConfig {
+                    por: false,
+                    ..a.cfg.clone()
+                },
+            );
+            Some(off.stats.runs)
+        } else {
+            None
+        };
+        let s = &report.stats;
+        print!(
+            "  {:<12} runs={:<7} schedules={:<4} states={:<6} cps={:<7} sleep_skips={:<7} \
+visited_hits={:<6} capped={:<6} wall={:>6}ms {}",
+            report.target,
+            s.runs,
+            s.schedules,
+            s.distinct_states,
+            s.choice_points,
+            s.sleep_skips,
+            s.visited_hits,
+            s.depth_capped_runs,
+            wall_ms,
+            if report.complete {
+                "exhaustive"
+            } else {
+                "TRUNCATED"
+            },
+        );
+        if let Some(b) = baseline_runs {
+            let factor = b as f64 / s.runs.max(1) as f64;
+            print!(" por-reduction={factor:.2}x");
+        }
+        println!();
+        if !report.complete {
+            any_truncated = true;
+        }
+        if !report.violations.is_empty() {
+            any_violation = true;
+            if let Err(e) = std::fs::create_dir_all(&a.witness_dir) {
+                eprintln!("error: {}: {e}", a.witness_dir);
+                return ExitCode::from(2);
+            }
+            for v in &report.violations {
+                let file = format!(
+                    "{}/{}-{}.json",
+                    a.witness_dir,
+                    report.target,
+                    v.property.replace('.', "-")
+                );
+                println!("    VIOLATION {}: {}", v.property, v.detail);
+                match std::fs::write(&file, v.witness.to_json() + "\n") {
+                    Ok(()) => println!("    witness: {file}"),
+                    Err(e) => {
+                        eprintln!("error: {file}: {e}");
+                        return ExitCode::from(2);
+                    }
+                }
+            }
+        }
+        cells.push(McCell {
+            report,
+            wall_ms,
+            baseline_runs,
+        });
+    }
+    if let Some(path) = &a.json {
+        let json = match serde_json::to_string_pretty(&cells) {
+            Ok(j) => j,
+            Err(e) => {
+                eprintln!("error: serializing report: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        if let Err(e) = std::fs::write(path, json + "\n") {
+            eprintln!("error: {path}: {e}");
+            return ExitCode::from(2);
+        }
+        println!("report: {path}");
+    }
+    if any_violation {
+        println!("mc: violations found — witnesses written");
+        ExitCode::FAILURE
+    } else if any_truncated {
+        println!("mc: clean but truncated (raise --max-runs for an exhaustive verdict)");
+        ExitCode::SUCCESS
+    } else {
+        println!("mc: exhaustive within budgets, no violations");
+        ExitCode::SUCCESS
+    }
+}
+
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let Some((cmd, rest)) = argv.split_first() else {
@@ -1154,6 +1487,9 @@ fn main() -> ExitCode {
     }
     if cmd == "lint" {
         return cmd_lint(rest);
+    }
+    if cmd == "mc" {
+        return cmd_mc(rest);
     }
     if cmd == "obs-report" {
         return match cmd_obs_report(rest) {

@@ -44,6 +44,7 @@
 //! | [`kv`] | durable replicated KV service on the consensus log: WAL, snapshots, crash catch-up |
 //! | [`obs`] | counters/gauges/histograms, scoped spans, JSONL metrics export |
 //! | [`bench`] | experiment harness regenerating the paper's tables (incl. campaign scenarios) |
+//! | [`mc`] | bounded exhaustive schedule exploration (model checking) with replayable witnesses |
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -56,6 +57,7 @@ pub use fd_consensus as consensus;
 pub use fd_core as core;
 pub use fd_detectors as detectors;
 pub use fd_kv as kv;
+pub use fd_mc as mc;
 pub use fd_obs as obs;
 pub use fd_runtime as runtime;
 pub use fd_sim as sim;
